@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the DSE machinery: forest fitting/prediction
+//! and Pareto-front extraction (the non-pipeline cost of a HyperMapper
+//! iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slam_dse::forest::{RandomForest, RandomForestOptions};
+use slam_dse::pareto::pareto_front;
+use slam_dse::Evaluation;
+
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..10).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|v| v[0] * 3.0 + v[3] * v[3] - v[7]).collect();
+    (x, y)
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let (x, y) = training_data(150);
+    let mut group = c.benchmark_group("forest");
+    group.sample_size(10);
+    group.bench_function("fit_150x10", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            RandomForest::fit(&x, &y, &RandomForestOptions::default(), &mut rng)
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let forest = RandomForest::fit(&x, &y, &RandomForestOptions::default(), &mut rng);
+    group.bench_function("predict_2000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in x.iter().cycle().take(2000) {
+                acc += forest.predict(row);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let evals: Vec<Evaluation> = (0..500)
+        .map(|_| {
+            Evaluation::new(
+                vec![],
+                vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)],
+            )
+        })
+        .collect();
+    c.bench_function("pareto_front_500x3", |b| b.iter(|| pareto_front(&evals)));
+}
+
+criterion_group!(benches, bench_forest, bench_pareto);
+criterion_main!(benches);

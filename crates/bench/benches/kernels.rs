@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the individual KinectFusion kernels
+//! (host wall-clock; the per-kernel *modelled* device table is
+//! `cargo run -p bench --bin kernel_table`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slam_kfusion::image::Image2D;
+use slam_kfusion::preprocess::{bilateral_filter, depth2vertex, half_sample, mm2meters, vertex2normal};
+use slam_kfusion::raycast::{raycast, RaycastParams};
+use slam_kfusion::tsdf::TsdfVolume;
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+
+fn camera() -> PinholeCamera {
+    PinholeCamera::tiny()
+}
+
+fn structured_depth(cam: &PinholeCamera) -> Image2D<f32> {
+    let mut depth = Image2D::new(cam.width, cam.height, 1.5f32);
+    for y in 20..60 {
+        for x in 20..60 {
+            depth.set(x, y, 1.2);
+        }
+    }
+    depth
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let cam = camera();
+    let depth = structured_depth(&cam);
+    let mm: Vec<u16> = depth.as_slice().iter().map(|d| (d * 1000.0) as u16).collect();
+
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(20);
+    group.bench_function("mm2meters", |b| {
+        b.iter(|| mm2meters(&mm, cam.width, cam.height, 1))
+    });
+    group.bench_function("bilateral_filter", |b| {
+        b.iter(|| bilateral_filter(&depth, 2, 1.5, 0.1))
+    });
+    group.bench_function("half_sample", |b| b.iter(|| half_sample(&depth, 0.1)));
+    let (vertices, _) = depth2vertex(&depth, &cam);
+    group.bench_function("depth2vertex", |b| b.iter(|| depth2vertex(&depth, &cam)));
+    group.bench_function("vertex2normal", |b| b.iter(|| vertex2normal(&vertices)));
+    group.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    use slam_kfusion::mesh::marching_cubes;
+    let cam = camera();
+    let depth = structured_depth(&cam);
+    let pose = Se3::from_translation(Vec3::new(2.0, 2.0, 0.2));
+    let mut vol = TsdfVolume::new(96, 4.0);
+    for _ in 0..3 {
+        vol.integrate(&depth, &cam, &pose, 0.1, 100.0);
+    }
+    let mut group = c.benchmark_group("mesh");
+    group.sample_size(10);
+    group.bench_function("marching_cubes_96", |b| b.iter(|| marching_cubes(&vol)));
+    group.finish();
+}
+
+fn bench_volume(c: &mut Criterion) {
+    let cam = camera();
+    let depth = structured_depth(&cam);
+    let pose = Se3::from_translation(Vec3::new(2.0, 2.0, 0.2));
+
+    let mut group = c.benchmark_group("volume");
+    group.sample_size(10);
+    for res in [64usize, 128] {
+        group.bench_with_input(BenchmarkId::new("integrate", res), &res, |b, &res| {
+            let mut vol = TsdfVolume::new(res, 4.0);
+            b.iter(|| vol.integrate(&depth, &cam, &pose, 0.1, 100.0));
+        });
+        group.bench_with_input(BenchmarkId::new("raycast", res), &res, |b, &res| {
+            let mut vol = TsdfVolume::new(res, 4.0);
+            for _ in 0..3 {
+                vol.integrate(&depth, &cam, &pose, 0.1, 100.0);
+            }
+            let params = RaycastParams { near: 0.3, far: 5.0, step_fraction: 0.5, mu: 0.1 };
+            b.iter(|| raycast(&vol, &cam, &pose, &params));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess, bench_volume, bench_mesh);
+criterion_main!(benches);

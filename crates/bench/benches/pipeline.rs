@@ -1,0 +1,50 @@
+//! Criterion benchmark of the full per-frame pipeline under the default
+//! and tuned configurations (host wall-clock).
+
+use bench::xu3_tuned_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use slam_kfusion::{KFusionConfig, KinectFusion};
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+
+fn depth_frame(cam: &PinholeCamera) -> Vec<u16> {
+    let mut d = vec![1500u16; cam.pixel_count()];
+    for y in 20..60 {
+        for x in 20..60 {
+            d[y * cam.width + x] = 1200;
+        }
+    }
+    for y in 70..100 {
+        for x in 100..140 {
+            d[y * cam.width + x] = 1350;
+        }
+    }
+    d
+}
+
+fn bench_process_frame(c: &mut Criterion) {
+    let cam = PinholeCamera::tiny();
+    let depth = depth_frame(&cam);
+    let init = Se3::from_translation(Vec3::new(2.0, 2.0, 0.2));
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let mut configs: Vec<(&str, KFusionConfig)> = vec![
+        ("tuned", xu3_tuned_config()),
+        ("fast_test", KFusionConfig::fast_test()),
+    ];
+    let mut default_small = KFusionConfig::default();
+    default_small.volume_resolution = 128; // keep the host bench bounded
+    configs.push(("default_vr128", default_small));
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            let mut kf = KinectFusion::new(config.clone(), cam, init);
+            kf.process_frame(&depth); // bootstrap
+            b.iter(|| kf.process_frame(&depth));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_process_frame);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **Ablation A1:** the bilateral filter's effect on accuracy and cost.
+//!
+//! The filter exists to tame sensor noise before ICP and TSDF fusion;
+//! this ablation runs the same noisy sequence with the filter on and off
+//! and reports the ATE and runtime consequences.
+//!
+//! Run with `cargo run --release -p bench --bin ablation_bilateral`.
+
+use bench::{exploration_camera, living_room_dataset};
+use slam_kfusion::KFusionConfig;
+use slam_metrics::report::Table;
+use slambench::run::run_pipeline;
+use slam_power::devices::odroid_xu3;
+
+fn main() {
+    let frames = 20;
+    println!("== Ablation A1: bilateral filter on/off (noisy living_room) ==\n");
+    let dataset = living_room_dataset(exploration_camera(), frames);
+    let device = odroid_xu3();
+
+    let mut config = KFusionConfig::default();
+    config.volume_resolution = 128;
+
+    let mut table = Table::new(vec![
+        "bilateral".into(),
+        "max ATE (m)".into(),
+        "mean ATE (m)".into(),
+        "lost frames".into(),
+        "modelled s/frame".into(),
+        "power (W)".into(),
+    ]);
+    let mut results = Vec::new();
+    for on in [true, false] {
+        let mut c = config.clone();
+        c.bilateral_filter = on;
+        eprintln!("running with bilateral_filter = {on}...");
+        let run = run_pipeline(&dataset, &c);
+        let report = run.cost_on(&device);
+        table.row(vec![
+            if on { "on" } else { "off" }.into(),
+            format!("{:.4}", run.ate.max),
+            format!("{:.4}", run.ate.mean),
+            format!("{}", run.lost_frames),
+            format!("{:.4}", report.timing.mean_frame_time()),
+            format!("{:.2}", report.run_cost.average_watts()),
+        ]);
+        results.push((on, run.ate.max, report.timing.mean_frame_time()));
+    }
+    println!("{}", table.render());
+
+    let (on, off) = (&results[0], &results[1]);
+    println!(
+        "filter costs {:.1}% runtime and changes max ATE by {:+.4} m",
+        (on.2 - off.2) / off.2 * 100.0,
+        on.1 - off.1,
+    );
+}

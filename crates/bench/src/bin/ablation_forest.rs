@@ -1,0 +1,84 @@
+//! **Ablation A3:** surrogate quality vs exploration outcome.
+//!
+//! Repeats the Figure 2 exploration with different random-forest sizes
+//! (and pure random search as the degenerate case) at the same
+//! evaluation budget, reporting the best feasible runtime each finds —
+//! the design choice behind HyperMapper's "random forest predictor".
+//!
+//! Run with `cargo run --release -p bench --bin ablation_forest`.
+
+use bench::{exploration_camera, living_room_dataset, thresholds};
+use slam_dse::active::ActiveLearnerOptions;
+use slam_metrics::report::Table;
+use slambench::explore::{explore, random_sweep, ExploreOptions, MeasuredConfig};
+use slam_power::devices::odroid_xu3;
+
+fn best_feasible(ms: &[MeasuredConfig]) -> Option<&MeasuredConfig> {
+    ms.iter()
+        .filter(|m| m.max_ate_m <= thresholds::MAX_ATE_M)
+        .min_by(|a, b| a.runtime_s.partial_cmp(&b.runtime_s).expect("finite"))
+}
+
+fn main() {
+    let frames = 20;
+    let budget = 70;
+    println!("== Ablation A3: surrogate forest size at a {budget}-evaluation budget ==\n");
+    let dataset = living_room_dataset(exploration_camera(), frames);
+    let device = odroid_xu3();
+
+    let mut table = Table::new(vec![
+        "strategy".into(),
+        "best feasible runtime (s)".into(),
+        "best feasible FPS".into(),
+        "feasible found".into(),
+    ]);
+
+    eprintln!("random search baseline...");
+    let random = random_sweep(&dataset, &device, budget, 77);
+    let feasible_count = random
+        .iter()
+        .filter(|m| m.max_ate_m <= thresholds::MAX_ATE_M)
+        .count();
+    match best_feasible(&random) {
+        Some(b) => table.row(vec![
+            "random search".into(),
+            format!("{:.4}", b.runtime_s),
+            format!("{:.1}", b.fps),
+            format!("{feasible_count}"),
+        ]),
+        None => table.row(vec!["random search".into(), "-".into(), "-".into(), "0".into()]),
+    };
+
+    for trees in [4usize, 16, 48] {
+        eprintln!("active learning with {trees}-tree forests...");
+        let mut options = ExploreOptions {
+            budget,
+            learner: ActiveLearnerOptions {
+                initial_samples: 25,
+                iterations: 12,
+                batch_size: 4,
+                seed: 77,
+                ..ActiveLearnerOptions::default()
+            },
+            accuracy_limit: thresholds::MAX_ATE_M,
+        };
+        options.learner.forest.trees = trees;
+        let outcome = explore(&dataset, &device, &options);
+        let feasible_count = outcome
+            .measured
+            .iter()
+            .filter(|m| m.max_ate_m <= thresholds::MAX_ATE_M)
+            .count();
+        match best_feasible(&outcome.measured) {
+            Some(b) => table.row(vec![
+                format!("active, {trees} trees"),
+                format!("{:.4}", b.runtime_s),
+                format!("{:.1}", b.fps),
+                format!("{feasible_count}"),
+            ]),
+            None => table.row(vec![format!("active, {trees} trees"), "-".into(), "-".into(), "0".into()]),
+        };
+    }
+    println!("{}", table.render());
+    println!("expected shape: active learning finds faster feasible configs than random\nat equal budget; very small forests are noisier guides.");
+}

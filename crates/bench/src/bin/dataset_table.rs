@@ -1,0 +1,58 @@
+//! **E7 / sequence table:** default vs tuned configuration across the
+//! whole sequence suite (living-room kt0–kt3, office, corridor) — the
+//! multi-sequence accuracy/speed table of the SLAMBench methodology
+//! (ICRA'15) the poster builds on.
+//!
+//! Run with `cargo run --release -p bench --bin dataset_table`.
+
+use bench::{tiny_camera, xu3_tuned_config};
+use slam_kfusion::KFusionConfig;
+use slam_metrics::report::Table;
+use slambench::suite::{run_suite, standard_suite};
+use slam_power::devices::odroid_xu3;
+
+fn main() {
+    let frames = 25;
+    println!("== E7: sequence suite, default vs XU3-tuned (ODROID XU3 model) ==");
+    println!("sequences at 160x120, {frames} frames each\n");
+
+    let sequences = standard_suite(tiny_camera(), frames);
+    let mut default_config = KFusionConfig::default();
+    // keep the host run tractable on the suite; ratios are unaffected
+    default_config.volume_resolution = 128;
+    let configs = vec![
+        ("default(vr128)".to_string(), default_config),
+        ("xu3-tuned".to_string(), xu3_tuned_config()),
+    ];
+    eprintln!("running {} sequences x {} configs...", sequences.len(), configs.len());
+    let cells = run_suite(&sequences, &configs, &odroid_xu3());
+
+    let mut table = Table::new(vec![
+        "sequence".into(),
+        "config".into(),
+        "max ATE (m)".into(),
+        "mean ATE (m)".into(),
+        "lost".into(),
+        "FPS".into(),
+        "power (W)".into(),
+    ]);
+    for c in &cells {
+        table.row(vec![
+            c.sequence.clone(),
+            c.config.clone(),
+            format!("{:.4}", c.max_ate_m),
+            format!("{:.4}", c.mean_ate_m),
+            format!("{}", c.lost_frames),
+            format!("{:.1}", c.fps),
+            format!("{:.2}", c.watts),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let accurate = cells.iter().filter(|c| c.max_ate_m < 0.05).count();
+    println!(
+        "{accurate}/{} cells meet the 5 cm bar; the corridor sequence is expected to be\n\
+         the hardest (aperture problem), the living-room variants the easiest.",
+        cells.len()
+    );
+}

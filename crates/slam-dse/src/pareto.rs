@@ -1,0 +1,204 @@
+//! Pareto-dominance utilities for multi-objective results. All objectives
+//! are minimised.
+
+use crate::Evaluation;
+
+/// True when `a` dominates `b`: no objective worse, at least one strictly
+/// better.
+///
+/// # Panics
+///
+/// Panics when the objective vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective dimensionality mismatch");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Extracts the non-dominated subset of `evaluations` (first occurrence
+/// wins among exact duplicates).
+pub fn pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
+    let mut front: Vec<Evaluation> = Vec::new();
+    for e in evaluations {
+        if front.iter().any(|f| dominates(&f.objectives, &e.objectives) || f.objectives == e.objectives) {
+            continue;
+        }
+        front.retain(|f| !dominates(&e.objectives, &f.objectives));
+        front.push(e.clone());
+    }
+    front
+}
+
+/// 2-D hypervolume (area dominated by the front, bounded by `reference`),
+/// the standard scalar quality measure for a front. Points beyond the
+/// reference are clipped out.
+///
+/// # Panics
+///
+/// Panics when any evaluation is not 2-D.
+pub fn hypervolume_2d(front: &[Evaluation], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = front
+        .iter()
+        .map(|e| {
+            assert_eq!(e.objectives.len(), 2, "hypervolume_2d needs 2 objectives");
+            [e.objectives[0], e.objectives[1]]
+        })
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite objectives"));
+    // sweep left-to-right keeping the best (lowest) y so far
+    let mut area = 0.0;
+    let mut best_y = f64::INFINITY;
+    // process non-dominated staircase: since sorted by x ascending, a
+    // point contributes if its y improves on everything before it
+    let mut staircase: Vec<[f64; 2]> = Vec::new();
+    for p in pts {
+        if p[1] < best_y {
+            best_y = p[1];
+            staircase.push(p);
+        }
+    }
+    for (i, p) in staircase.iter().enumerate() {
+        let next_x = staircase.get(i + 1).map_or(reference[0], |q| q[0]);
+        area += (next_x - p[0]) * (reference[1] - p[1]);
+    }
+    area
+}
+
+/// Filters evaluations by a constraint on one objective (e.g. the paper's
+/// "max ATE < 0.05 m"), returning those satisfying
+/// `objectives[index] <= limit`.
+pub fn filter_feasible(evaluations: &[Evaluation], index: usize, limit: f64) -> Vec<Evaluation> {
+    evaluations
+        .iter()
+        .filter(|e| e.objectives.get(index).is_some_and(|&v| v <= limit))
+        .cloned()
+        .collect()
+}
+
+/// The evaluation minimising one objective, or `None` when empty.
+pub fn best_by_objective(evaluations: &[Evaluation], index: usize) -> Option<&Evaluation> {
+    evaluations
+        .iter()
+        .filter(|e| e.objectives.get(index).is_some_and(|v| v.is_finite()))
+        .min_by(|a, b| {
+            a.objectives[index]
+                .partial_cmp(&b.objectives[index])
+                .expect("finite objectives")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(obj: &[f64]) -> Evaluation {
+        Evaluation::new(vec![], obj.to_vec())
+    }
+
+    #[test]
+    fn dominance_relations() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn front_extracts_non_dominated() {
+        let evals = vec![
+            ev(&[1.0, 4.0]),
+            ev(&[2.0, 2.0]),
+            ev(&[4.0, 1.0]),
+            ev(&[3.0, 3.0]), // dominated by (2,2)
+            ev(&[5.0, 5.0]), // dominated
+        ];
+        let front = pareto_front(&evals);
+        assert_eq!(front.len(), 3);
+        assert!(front.iter().all(|e| e.objectives[0] + e.objectives[1] <= 5.0));
+    }
+
+    #[test]
+    fn front_handles_duplicates() {
+        let evals = vec![ev(&[1.0, 1.0]), ev(&[1.0, 1.0])];
+        assert_eq!(pareto_front(&evals).len(), 1);
+    }
+
+    #[test]
+    fn front_of_empty_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn front_insertion_order_independent() {
+        let a = vec![ev(&[1.0, 4.0]), ev(&[3.0, 3.0]), ev(&[2.0, 2.0])];
+        let b = vec![ev(&[2.0, 2.0]), ev(&[1.0, 4.0]), ev(&[3.0, 3.0])];
+        let fa: Vec<Vec<f64>> = {
+            let mut v: Vec<Vec<f64>> = pareto_front(&a).into_iter().map(|e| e.objectives).collect();
+            v.sort_by(|x, y| x[0].partial_cmp(&y[0]).unwrap());
+            v
+        };
+        let fb: Vec<Vec<f64>> = {
+            let mut v: Vec<Vec<f64>> = pareto_front(&b).into_iter().map(|e| e.objectives).collect();
+            v.sort_by(|x, y| x[0].partial_cmp(&y[0]).unwrap());
+            v
+        };
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn hypervolume_single_point() {
+        let front = vec![ev(&[1.0, 1.0])];
+        // dominated rectangle up to (3,3) is 2x2
+        assert!((hypervolume_2d(&front, [3.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_staircase() {
+        let front = vec![ev(&[1.0, 2.0]), ev(&[2.0, 1.0])];
+        // area = (2-1)*(3-2) + (3-2)*(3-1) = 1 + 2 = 3
+        assert!((hypervolume_2d(&front, [3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_clips_outside_reference() {
+        let front = vec![ev(&[5.0, 5.0])];
+        assert_eq!(hypervolume_2d(&front, [3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_more_points_not_smaller() {
+        let small = vec![ev(&[2.0, 2.0])];
+        let large = vec![ev(&[2.0, 2.0]), ev(&[1.0, 2.5])];
+        let reference = [4.0, 4.0];
+        assert!(hypervolume_2d(&large, reference) >= hypervolume_2d(&small, reference));
+    }
+
+    #[test]
+    fn feasibility_filter() {
+        let evals = vec![ev(&[1.0, 0.04]), ev(&[0.5, 0.08])];
+        let feasible = filter_feasible(&evals, 1, 0.05);
+        assert_eq!(feasible.len(), 1);
+        assert_eq!(feasible[0].objectives[1], 0.04);
+    }
+
+    #[test]
+    fn best_by_objective_picks_minimum() {
+        let evals = vec![ev(&[3.0, 1.0]), ev(&[1.0, 9.0]), ev(&[2.0, 2.0])];
+        assert_eq!(best_by_objective(&evals, 0).unwrap().objectives[0], 1.0);
+        assert_eq!(best_by_objective(&evals, 1).unwrap().objectives[1], 1.0);
+        assert!(best_by_objective(&[], 0).is_none());
+    }
+}

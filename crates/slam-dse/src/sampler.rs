@@ -1,0 +1,209 @@
+//! Space sampling strategies: uniform random and Latin hypercube.
+
+use crate::space::ParameterSpace;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws `n` independent uniform samples from the space.
+pub fn random_samples(space: &ParameterSpace, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    (0..n).map(|_| space.sample(rng)).collect()
+}
+
+/// Draws `n` Latin-hypercube samples: each dimension's `[0, 1]` range is
+/// split into `n` strata and each stratum is used exactly once, giving
+/// better space coverage than pure random sampling for the initial design.
+pub fn latin_hypercube(space: &ParameterSpace, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    if n == 0 || space.is_empty() {
+        return Vec::new();
+    }
+    let dims = space.len();
+    // per-dimension shuffled strata
+    let strata: Vec<Vec<usize>> = (0..dims)
+        .map(|_| {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(rng);
+            idx
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            space
+                .domains()
+                .iter()
+                .enumerate()
+                .map(|(d, domain)| {
+                    let stratum = strata[d][i];
+                    let u = (stratum as f64 + rng.gen::<f64>()) / n as f64;
+                    domain.from_unit(u)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Enumerates the full Cartesian grid over the space, using each ordinal
+/// / flag value, every integer, and `real_steps` evenly spaced values for
+/// continuous domains. Returns `None` when the grid would exceed
+/// `max_points` — the reason the paper needs model-based search instead
+/// of exhaustive sweeps.
+pub fn grid(space: &ParameterSpace, real_steps: usize, max_points: usize) -> Option<Vec<Vec<f64>>> {
+    use crate::space::Domain;
+    if space.is_empty() || real_steps == 0 {
+        return Some(Vec::new());
+    }
+    let mut axes: Vec<Vec<f64>> = Vec::with_capacity(space.len());
+    let mut total: usize = 1;
+    for domain in space.domains() {
+        let values: Vec<f64> = match domain {
+            Domain::Ordinal(v) => v.clone(),
+            Domain::Flag => vec![0.0, 1.0],
+            Domain::Integer { min, max } => (*min..=*max).map(|v| v as f64).collect(),
+            Domain::Real { .. } => (0..real_steps)
+                .map(|i| {
+                    let u = if real_steps == 1 {
+                        0.5
+                    } else {
+                        i as f64 / (real_steps - 1) as f64
+                    };
+                    domain.from_unit(u)
+                })
+                .collect(),
+        };
+        total = total.checked_mul(values.len())?;
+        if total > max_points {
+            return None;
+        }
+        axes.push(values);
+    }
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; axes.len()];
+    loop {
+        out.push(idx.iter().zip(&axes).map(|(&i, a)| a[i]).collect());
+        // odometer increment
+        let mut d = 0;
+        loop {
+            idx[d] += 1;
+            if idx[d] < axes[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+            if d == axes.len() {
+                return Some(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Domain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn space() -> ParameterSpace {
+        let mut s = ParameterSpace::new();
+        s.add("a", Domain::real(0.0, 1.0))
+            .add("b", Domain::ordinal(vec![1.0, 2.0, 4.0, 8.0]));
+        s
+    }
+
+    #[test]
+    fn random_samples_count_and_domain() {
+        let s = space();
+        let samples = random_samples(&s, 25, &mut rng());
+        assert_eq!(samples.len(), 25);
+        for x in &samples {
+            assert!((0.0..=1.0).contains(&x[0]));
+            assert!([1.0, 2.0, 4.0, 8.0].contains(&x[1]));
+        }
+    }
+
+    #[test]
+    fn lhs_stratifies_continuous_dimension() {
+        let s = space();
+        let n = 10;
+        let samples = latin_hypercube(&s, n, &mut rng());
+        assert_eq!(samples.len(), n);
+        // dimension 0: exactly one sample per decile
+        let mut deciles = vec![0usize; n];
+        for x in &samples {
+            let d = ((x[0] * n as f64) as usize).min(n - 1);
+            deciles[d] += 1;
+        }
+        assert!(deciles.iter().all(|&c| c == 1), "strata {deciles:?}");
+    }
+
+    #[test]
+    fn lhs_zero_or_empty() {
+        let s = space();
+        assert!(latin_hypercube(&s, 0, &mut rng()).is_empty());
+        let empty = ParameterSpace::new();
+        assert!(latin_hypercube(&empty, 5, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn lhs_covers_ordinals_roughly_uniformly() {
+        let s = space();
+        let samples = latin_hypercube(&s, 40, &mut rng());
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            let count = samples.iter().filter(|x| x[1] == v).count();
+            assert!((5..=15).contains(&count), "value {v} drawn {count} times");
+        }
+    }
+
+    #[test]
+    fn grid_enumerates_full_product() {
+        let mut s = ParameterSpace::new();
+        s.add("a", Domain::ordinal(vec![1.0, 2.0]))
+            .add("b", Domain::Flag)
+            .add("c", Domain::real(0.0, 1.0));
+        let g = grid(&s, 3, 100).expect("12 points fit");
+        assert_eq!(g.len(), 2 * 2 * 3);
+        // all points distinct
+        let mut sorted = g.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sorted.dedup();
+        assert_eq!(sorted.len(), g.len());
+        // real axis covers the endpoints
+        assert!(g.iter().any(|p| p[2] == 0.0));
+        assert!(g.iter().any(|p| p[2] == 1.0));
+    }
+
+    #[test]
+    fn grid_refuses_explosions() {
+        let mut s = ParameterSpace::new();
+        s.add("a", Domain::Integer { min: 0, max: 99 })
+            .add("b", Domain::Integer { min: 0, max: 99 });
+        assert!(grid(&s, 2, 1000).is_none());
+        assert!(grid(&s, 2, 10_000).is_some());
+    }
+
+    #[test]
+    fn grid_trivial_cases() {
+        assert_eq!(grid(&ParameterSpace::new(), 2, 10), Some(vec![]));
+        let mut s = ParameterSpace::new();
+        s.add("a", Domain::Flag);
+        assert_eq!(grid(&s, 0, 10), Some(vec![]));
+        let g = grid(&s, 1, 10).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let s = space();
+        assert_eq!(
+            latin_hypercube(&s, 8, &mut rng()),
+            latin_hypercube(&s, 8, &mut rng())
+        );
+        assert_eq!(
+            random_samples(&s, 8, &mut rng()),
+            random_samples(&s, 8, &mut rng())
+        );
+    }
+}

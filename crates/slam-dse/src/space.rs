@@ -1,0 +1,375 @@
+//! Parameter space definition and configuration encoding.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The domain of one tunable parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// An explicit ordered list of allowed values
+    /// (e.g. volume resolution ∈ {32, 64, 128, 192, 256}).
+    Ordinal(Vec<f64>),
+    /// A continuous range `[min, max]`.
+    Real {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+        /// Sample log-uniformly (for scale-free parameters like the ICP
+        /// convergence threshold).
+        log: bool,
+    },
+    /// An integer range `[min, max]` (inclusive).
+    Integer {
+        /// Lower bound.
+        min: i64,
+        /// Upper bound.
+        max: i64,
+    },
+    /// A boolean flag, encoded as `0.0` / `1.0`.
+    Flag,
+}
+
+impl Domain {
+    /// Convenience constructor for a linear real range.
+    pub fn real(min: f64, max: f64) -> Domain {
+        Domain::Real { min, max, log: false }
+    }
+
+    /// Convenience constructor for a log-uniform real range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min <= 0` (log scale needs positive bounds).
+    pub fn log_real(min: f64, max: f64) -> Domain {
+        assert!(min > 0.0, "log domain requires positive bounds");
+        Domain::Real { min, max, log: true }
+    }
+
+    /// Convenience constructor for an ordinal list.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty.
+    pub fn ordinal(values: impl Into<Vec<f64>>) -> Domain {
+        let values = values.into();
+        assert!(!values.is_empty(), "ordinal domain needs at least one value");
+        Domain::Ordinal(values)
+    }
+
+    /// Draws a uniform random value from the domain.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match self {
+            Domain::Ordinal(values) => values[rng.gen_range(0..values.len())],
+            Domain::Real { min, max, log } => {
+                if *log {
+                    let (lo, hi) = (min.ln(), max.ln());
+                    rng.gen_range(lo..=hi).exp()
+                } else {
+                    rng.gen_range(*min..=*max)
+                }
+            }
+            Domain::Integer { min, max } => rng.gen_range(*min..=*max) as f64,
+            Domain::Flag => {
+                if rng.gen_bool(0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Maps a unit-interval coordinate (`[0, 1]`) into the domain —
+    /// used by the Latin hypercube sampler.
+    pub fn from_unit(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match self {
+            Domain::Ordinal(values) => {
+                let idx = ((u * values.len() as f64) as usize).min(values.len() - 1);
+                values[idx]
+            }
+            Domain::Real { min, max, log } => {
+                if *log {
+                    (min.ln() + u * (max.ln() - min.ln())).exp()
+                } else {
+                    min + u * (max - min)
+                }
+            }
+            Domain::Integer { min, max } => {
+                let span = (max - min + 1) as f64;
+                (min + ((u * span) as i64).min(max - min)) as f64
+            }
+            Domain::Flag => {
+                if u < 0.5 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Clamps/snap a raw value back into the domain (nearest ordinal
+    /// value, clipped range, rounded integer, thresholded flag).
+    pub fn snap(&self, v: f64) -> f64 {
+        match self {
+            Domain::Ordinal(values) => *values
+                .iter()
+                .min_by(|a, b| {
+                    (*a - v).abs().partial_cmp(&(*b - v).abs()).expect("finite ordinals")
+                })
+                .expect("non-empty ordinal"),
+            Domain::Real { min, max, .. } => v.clamp(*min, *max),
+            Domain::Integer { min, max } => (v.round() as i64).clamp(*min, *max) as f64,
+            Domain::Flag => {
+                if v >= 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The domain bounds as `(min, max)` for normalisation.
+    pub fn bounds(&self) -> (f64, f64) {
+        match self {
+            Domain::Ordinal(values) => {
+                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (min, max)
+            }
+            Domain::Real { min, max, .. } => (*min, *max),
+            Domain::Integer { min, max } => (*min as f64, *max as f64),
+            Domain::Flag => (0.0, 1.0),
+        }
+    }
+}
+
+/// A named, ordered collection of parameters; configurations are encoded
+/// as `Vec<f64>` in parameter order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParameterSpace {
+    names: Vec<String>,
+    domains: Vec<Domain>,
+}
+
+impl ParameterSpace {
+    /// Creates an empty space.
+    pub fn new() -> ParameterSpace {
+        ParameterSpace::default()
+    }
+
+    /// Adds a parameter; returns `&mut self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate parameter names.
+    pub fn add(&mut self, name: impl Into<String>, domain: Domain) -> &mut ParameterSpace {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "duplicate parameter name {name:?}"
+        );
+        self.names.push(name);
+        self.domains.push(domain);
+        self
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Parameter names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Parameter domains in order.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// The index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Draws a uniform random configuration.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
+        self.domains.iter().map(|d| d.sample(rng)).collect()
+    }
+
+    /// Snaps every component of a raw vector into its domain.
+    pub fn snap(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.domains.len(), "dimension mismatch");
+        x.iter()
+            .zip(&self.domains)
+            .map(|(v, d)| d.snap(*v))
+            .collect()
+    }
+
+    /// Normalises a configuration to the unit hypercube (for distance
+    /// computations and tree features).
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.domains.len(), "dimension mismatch");
+        x.iter()
+            .zip(&self.domains)
+            .map(|(v, d)| {
+                let (lo, hi) = d.bounds();
+                if (hi - lo).abs() < 1e-12 {
+                    0.0
+                } else {
+                    (v - lo) / (hi - lo)
+                }
+            })
+            .collect()
+    }
+
+    /// A random neighbour of `x`: one randomly chosen coordinate is
+    /// re-sampled (the local perturbation used by the active learner).
+    pub fn mutate(&self, x: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+        assert!(!self.is_empty(), "cannot mutate in an empty space");
+        let mut out = x.to_vec();
+        let i = rng.gen_range(0..self.domains.len());
+        out[i] = self.domains[i].sample(rng);
+        out
+    }
+}
+
+impl fmt::Display for ParameterSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} parameters:", self.len())?;
+        for (n, d) in self.names.iter().zip(&self.domains) {
+            writeln!(f, "  {n}: {d:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    fn space() -> ParameterSpace {
+        let mut s = ParameterSpace::new();
+        s.add("vr", Domain::ordinal(vec![32.0, 64.0, 128.0, 256.0]))
+            .add("mu", Domain::real(0.01, 0.2))
+            .add("icp", Domain::log_real(1e-6, 1e-4))
+            .add("iters", Domain::Integer { min: 1, max: 10 })
+            .add("bf", Domain::Flag);
+        s
+    }
+
+    #[test]
+    fn sampling_respects_domains() {
+        let s = space();
+        let mut r = rng();
+        for _ in 0..200 {
+            let x = s.sample(&mut r);
+            assert_eq!(x.len(), 5);
+            assert!([32.0, 64.0, 128.0, 256.0].contains(&x[0]));
+            assert!((0.01..=0.2).contains(&x[1]));
+            assert!((1e-6..=1e-4).contains(&x[2]));
+            assert!((1.0..=10.0).contains(&x[3]));
+            assert!(x[3].fract() == 0.0);
+            assert!(x[4] == 0.0 || x[4] == 1.0);
+        }
+    }
+
+    #[test]
+    fn log_sampling_spreads_over_decades() {
+        let d = Domain::log_real(1e-6, 1e-2);
+        let mut r = rng();
+        let below_1e4 = (0..2000).filter(|_| d.sample(&mut r) < 1e-4).count();
+        // log-uniform: half the draws below the geometric midpoint 1e-4
+        assert!((800..1200).contains(&below_1e4), "got {below_1e4}");
+    }
+
+    #[test]
+    fn snap_to_nearest_ordinal() {
+        let d = Domain::ordinal(vec![32.0, 64.0, 128.0]);
+        assert_eq!(d.snap(40.0), 32.0);
+        assert_eq!(d.snap(100.0), 128.0);
+        assert_eq!(d.snap(-5.0), 32.0);
+    }
+
+    #[test]
+    fn snap_clamps_and_rounds() {
+        assert_eq!(Domain::real(0.0, 1.0).snap(2.0), 1.0);
+        assert_eq!(Domain::Integer { min: 1, max: 5 }.snap(3.4), 3.0);
+        assert_eq!(Domain::Integer { min: 1, max: 5 }.snap(9.0), 5.0);
+        assert_eq!(Domain::Flag.snap(0.7), 1.0);
+        assert_eq!(Domain::Flag.snap(0.2), 0.0);
+    }
+
+    #[test]
+    fn from_unit_covers_domain() {
+        let d = Domain::ordinal(vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.from_unit(0.0), 1.0);
+        assert_eq!(d.from_unit(0.99), 3.0);
+        assert_eq!(d.from_unit(1.0), 3.0);
+        let r = Domain::real(10.0, 20.0);
+        assert_eq!(r.from_unit(0.5), 15.0);
+        let i = Domain::Integer { min: 0, max: 4 };
+        assert_eq!(i.from_unit(0.0), 0.0);
+        assert_eq!(i.from_unit(1.0), 4.0);
+    }
+
+    #[test]
+    fn normalize_is_unit_interval() {
+        let s = space();
+        let mut r = rng();
+        for _ in 0..50 {
+            let x = s.sample(&mut r);
+            for v in s.normalize(&x) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn mutate_changes_at_most_one_coordinate() {
+        let s = space();
+        let mut r = rng();
+        let x = s.sample(&mut r);
+        let y = s.mutate(&x, &mut r);
+        let changed = x.iter().zip(&y).filter(|(a, b)| a != b).count();
+        assert!(changed <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_name_panics() {
+        let mut s = ParameterSpace::new();
+        s.add("a", Domain::Flag).add("a", Domain::Flag);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bounds")]
+    fn log_domain_requires_positive() {
+        let _ = Domain::log_real(0.0, 1.0);
+    }
+
+    #[test]
+    fn index_of_and_display() {
+        let s = space();
+        assert_eq!(s.index_of("mu"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(format!("{s}").contains("mu"));
+    }
+}

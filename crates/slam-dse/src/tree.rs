@@ -1,0 +1,441 @@
+//! CART decision trees: regression (variance reduction) and
+//! classification (Gini impurity), grown greedily with optional feature
+//! subsampling — the building block of [`crate::forest::RandomForest`]
+//! and the knowledge-extraction step.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tree growth hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeOptions {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child after a split.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split; `0` means all.
+    pub feature_subsample: usize,
+}
+
+impl Default for TreeOptions {
+    fn default() -> TreeOptions {
+        TreeOptions {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            feature_subsample: 0,
+        }
+    }
+}
+
+/// A binary tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// An internal split: `feature < threshold` goes left, else right.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Subtree for `x[feature] < threshold`.
+        left: Box<Node>,
+        /// Subtree for `x[feature] >= threshold`.
+        right: Box<Node>,
+    },
+    /// A leaf predicting a constant value (mean for regression, class
+    /// index as `f64` for classification).
+    Leaf {
+        /// Predicted value.
+        value: f64,
+        /// Training samples that reached this leaf.
+        samples: usize,
+    },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Node::Leaf { value, .. } => *value,
+            Node::Split { feature, threshold, left, right } => {
+                if x[*feature] < *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+}
+
+/// The split-quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Criterion {
+    Variance,
+    Gini,
+}
+
+/// A fitted decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    dimensions: usize,
+}
+
+impl DecisionTree {
+    /// Fits a regression tree minimising within-leaf variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is empty, lengths mismatch, or rows have unequal
+    /// dimensions.
+    pub fn fit_regression(
+        x: &[Vec<f64>],
+        y: &[f64],
+        options: &TreeOptions,
+        rng: &mut impl Rng,
+    ) -> DecisionTree {
+        Self::fit(x, y, options, Criterion::Variance, rng)
+    }
+
+    /// Fits a classification tree on integer class labels (passed as
+    /// `f64`), minimising Gini impurity. Leaves predict the majority
+    /// class.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DecisionTree::fit_regression`].
+    pub fn fit_classification(
+        x: &[Vec<f64>],
+        labels: &[f64],
+        options: &TreeOptions,
+        rng: &mut impl Rng,
+    ) -> DecisionTree {
+        Self::fit(x, labels, options, Criterion::Gini, rng)
+    }
+
+    fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        options: &TreeOptions,
+        criterion: Criterion,
+        rng: &mut impl Rng,
+    ) -> DecisionTree {
+        assert!(!x.is_empty(), "cannot fit a tree on no data");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let dims = x[0].len();
+        assert!(x.iter().all(|row| row.len() == dims), "ragged feature matrix");
+        let indices: Vec<usize> = (0..x.len()).collect();
+        let root = grow(x, y, &indices, options, criterion, 0, rng);
+        DecisionTree { root, dimensions: dims }
+    }
+
+    /// Predicts the value/class for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` has the wrong dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dimensions, "dimension mismatch");
+        self.root.predict(x)
+    }
+
+    /// The tree's depth.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.root.leaves()
+    }
+
+    /// The root node (for rule extraction / printing).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+}
+
+fn leaf_value(y: &[f64], indices: &[usize], criterion: Criterion) -> f64 {
+    match criterion {
+        Criterion::Variance => indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64,
+        Criterion::Gini => {
+            // majority class
+            let mut counts: Vec<(i64, usize)> = Vec::new();
+            for &i in indices {
+                let c = y[i].round() as i64;
+                if let Some(e) = counts.iter_mut().find(|(k, _)| *k == c) {
+                    e.1 += 1;
+                } else {
+                    counts.push((c, 1));
+                }
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(_, n)| n)
+                .map(|(c, _)| c as f64)
+                .unwrap_or(0.0)
+        }
+    }
+}
+
+/// Impurity of a subset times its size ("weighted impurity").
+fn weighted_impurity(y: &[f64], indices: &[usize], criterion: Criterion) -> f64 {
+    let n = indices.len() as f64;
+    if indices.is_empty() {
+        return 0.0;
+    }
+    match criterion {
+        Criterion::Variance => {
+            let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / n;
+            indices.iter().map(|&i| (y[i] - mean).powi(2)).sum::<f64>()
+        }
+        Criterion::Gini => {
+            let mut counts: Vec<(i64, usize)> = Vec::new();
+            for &i in indices {
+                let c = y[i].round() as i64;
+                if let Some(e) = counts.iter_mut().find(|(k, _)| *k == c) {
+                    e.1 += 1;
+                } else {
+                    counts.push((c, 1));
+                }
+            }
+            let gini = 1.0
+                - counts
+                    .iter()
+                    .map(|&(_, k)| (k as f64 / n).powi(2))
+                    .sum::<f64>();
+            gini * n
+        }
+    }
+}
+
+fn grow(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    options: &TreeOptions,
+    criterion: Criterion,
+    depth: usize,
+    rng: &mut impl Rng,
+) -> Node {
+    let make_leaf = |indices: &[usize]| Node::Leaf {
+        value: leaf_value(y, indices, criterion),
+        samples: indices.len(),
+    };
+    if depth >= options.max_depth || indices.len() < options.min_samples_split {
+        return make_leaf(indices);
+    }
+    let parent_impurity = weighted_impurity(y, indices, criterion);
+    if parent_impurity < 1e-12 {
+        return make_leaf(indices);
+    }
+    let dims = x[0].len();
+    let mut features: Vec<usize> = (0..dims).collect();
+    if options.feature_subsample > 0 && options.feature_subsample < dims {
+        features.shuffle(rng);
+        features.truncate(options.feature_subsample);
+    }
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+    for &f in &features {
+        // candidate thresholds: midpoints between consecutive sorted values
+        let mut values: Vec<f64> = indices.iter().map(|&i| x[i][f]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        for w in values.windows(2) {
+            let threshold = 0.5 * (w[0] + w[1]);
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in indices {
+                if x[i][f] < threshold {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if left.len() < options.min_samples_leaf || right.len() < options.min_samples_leaf {
+                continue;
+            }
+            let imp = weighted_impurity(y, &left, criterion) + weighted_impurity(y, &right, criterion);
+            if best.map_or(true, |(b, _, _)| imp < b) {
+                best = Some((imp, f, threshold));
+            }
+        }
+    }
+    match best {
+        Some((imp, feature, threshold)) if imp < parent_impurity - 1e-12 => {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in indices {
+                if x[i][feature] < threshold {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(grow(x, y, &left, options, criterion, depth + 1, rng)),
+                right: Box::new(grow(x, y, &right, options, criterion, depth + 1, rng)),
+            }
+        }
+        _ => make_leaf(indices),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn regression_fits_step_function() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| if v[0] < 0.5 { 1.0 } else { 3.0 }).collect();
+        let t = DecisionTree::fit_regression(&x, &y, &TreeOptions::default(), &mut rng());
+        assert!((t.predict(&[0.2]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[0.8]) - 3.0).abs() < 1e-9);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn regression_approximates_smooth_function() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 6.0).sin()).collect();
+        let t = DecisionTree::fit_regression(&x, &y, &TreeOptions::default(), &mut rng());
+        let mut max_err = 0.0f64;
+        for i in 0..100 {
+            let xv = i as f64 / 100.0;
+            max_err = max_err.max((t.predict(&[xv]) - (xv * 6.0).sin()).abs());
+        }
+        assert!(max_err < 0.25, "max error {max_err}");
+    }
+
+    #[test]
+    fn regression_uses_relevant_feature() {
+        // y depends only on feature 1
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| if v[1] < 0.4 { 0.0 } else { 10.0 }).collect();
+        let t = DecisionTree::fit_regression(&x, &y, &TreeOptions::default(), &mut r);
+        match t.root() {
+            Node::Split { feature, threshold, .. } => {
+                assert_eq!(*feature, 1);
+                assert!((threshold - 0.4).abs() < 0.1);
+            }
+            Node::Leaf { .. } => panic!("expected a split"),
+        }
+    }
+
+    #[test]
+    fn classification_learns_rectangle() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)])
+            .collect();
+        let labels: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] > 0.3 && v[1] < 0.6 { 1.0 } else { 0.0 })
+            .collect();
+        let t = DecisionTree::fit_classification(&x, &labels, &TreeOptions::default(), &mut r);
+        let correct = x
+            .iter()
+            .zip(&labels)
+            .filter(|(xi, &l)| t.predict(xi) == l)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn pure_node_stays_leaf() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![5.0, 5.0, 5.0];
+        let t = DecisionTree::fit_regression(&x, &y, &TreeOptions::default(), &mut rng());
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict(&[7.0]), 5.0);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let opts = TreeOptions { max_depth: 2, min_samples_leaf: 1, min_samples_split: 2, feature_subsample: 0 };
+        let t = DecisionTree::fit_regression(&x, &y, &opts, &mut rng());
+        assert!(t.depth() <= 2);
+        assert!(t.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 1 { 100.0 } else { 0.0 }).collect();
+        let opts = TreeOptions { min_samples_leaf: 3, ..TreeOptions::default() };
+        let t = DecisionTree::fit_regression(&x, &y, &opts, &mut rng());
+        // cannot isolate the single outlier into a leaf of size 1
+        fn check(node: &Node, min: usize) {
+            match node {
+                Node::Leaf { samples, .. } => assert!(*samples >= min),
+                Node::Split { left, right, .. } => {
+                    check(left, min);
+                    check(right, min);
+                }
+            }
+        }
+        check(t.root(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_data_panics() {
+        let _ = DecisionTree::fit_regression(&[], &[], &TreeOptions::default(), &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dims_panics() {
+        let t = DecisionTree::fit_regression(&[vec![1.0, 2.0]], &[1.0], &TreeOptions::default(), &mut rng());
+        let _ = t.predict(&[1.0]);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..5).map(|_| r.gen_range(0.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[2] * 10.0).collect();
+        let opts = TreeOptions { feature_subsample: 2, ..TreeOptions::default() };
+        let t = DecisionTree::fit_regression(&x, &y, &opts, &mut r);
+        // prediction correlates with the true function
+        let mut err = 0.0;
+        for xi in x.iter().take(50) {
+            err += (t.predict(xi) - xi[2] * 10.0).abs();
+        }
+        assert!(err / 50.0 < 2.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the DSE engine.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slam_dse::forest::{RandomForest, RandomForestOptions};
+use slam_dse::pareto::{dominates, filter_feasible, pareto_front};
+use slam_dse::space::{Domain, ParameterSpace};
+use slam_dse::tree::{DecisionTree, TreeOptions};
+use slam_dse::Evaluation;
+
+fn objectives() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, 3)
+}
+
+fn evaluations() -> impl Strategy<Value = Vec<Evaluation>> {
+    proptest::collection::vec(objectives(), 1..40)
+        .prop_map(|objs| objs.into_iter().map(|o| Evaluation::new(vec![], o)).collect())
+}
+
+proptest! {
+    /// Dominance is a strict partial order: irreflexive and asymmetric.
+    #[test]
+    fn dominance_partial_order(a in objectives(), b in objectives()) {
+        prop_assert!(!dominates(&a, &a));
+        if dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a));
+        }
+    }
+
+    /// Nothing on the Pareto front is dominated by anything in the set,
+    /// and everything off the front is dominated by (or equal to)
+    /// something on it.
+    #[test]
+    fn pareto_front_correctness(evals in evaluations()) {
+        let front = pareto_front(&evals);
+        prop_assert!(!front.is_empty());
+        for f in &front {
+            for e in &evals {
+                prop_assert!(!dominates(&e.objectives, &f.objectives));
+            }
+        }
+        for e in &evals {
+            let covered = front
+                .iter()
+                .any(|f| f.objectives == e.objectives || dominates(&f.objectives, &e.objectives));
+            prop_assert!(covered, "{:?} neither on nor dominated by the front", e.objectives);
+        }
+    }
+
+    /// The front of the front is the front (idempotence).
+    #[test]
+    fn pareto_front_idempotent(evals in evaluations()) {
+        let once = pareto_front(&evals);
+        let twice = pareto_front(&once);
+        prop_assert_eq!(once.len(), twice.len());
+    }
+
+    /// Feasibility filtering keeps exactly the satisfying points.
+    #[test]
+    fn feasibility_filter_exact(evals in evaluations(), limit in 0.0f64..10.0) {
+        let feasible = filter_feasible(&evals, 1, limit);
+        prop_assert_eq!(
+            feasible.len(),
+            evals.iter().filter(|e| e.objectives[1] <= limit).count()
+        );
+        for f in &feasible {
+            prop_assert!(f.objectives[1] <= limit);
+        }
+    }
+
+    /// Tree predictions are always within the training target range
+    /// (leaves are means of training subsets).
+    #[test]
+    fn tree_predictions_within_range(
+        data in proptest::collection::vec(((-5.0f64..5.0), (-10.0f64..10.0)), 4..50),
+        query in -8.0f64..8.0,
+    ) {
+        let x: Vec<Vec<f64>> = data.iter().map(|(a, _)| vec![*a]).collect();
+        let y: Vec<f64> = data.iter().map(|(_, b)| *b).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = DecisionTree::fit_regression(&x, &y, &TreeOptions::default(), &mut rng);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = tree.predict(&[query]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    /// Forest predictions are convex combinations of tree predictions,
+    /// hence also within the training range.
+    #[test]
+    fn forest_predictions_within_range(
+        data in proptest::collection::vec(((-5.0f64..5.0), (-10.0f64..10.0)), 4..40),
+        query in -8.0f64..8.0,
+    ) {
+        let x: Vec<Vec<f64>> = data.iter().map(|(a, _)| vec![*a]).collect();
+        let y: Vec<f64> = data.iter().map(|(_, b)| *b).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let forest = RandomForest::fit(&x, &y, &RandomForestOptions::fast(), &mut rng);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (mean, std) = forest.predict_with_std(&[query]);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert!(std >= 0.0 && std.is_finite());
+    }
+
+    /// Snapping is idempotent and always lands inside the domain.
+    #[test]
+    fn snap_idempotent(v in -1000.0f64..1000.0) {
+        let domains = [
+            Domain::ordinal(vec![1.0, 2.0, 4.0, 8.0]),
+            Domain::real(0.0, 1.0),
+            Domain::Integer { min: -3, max: 7 },
+            Domain::Flag,
+        ];
+        for d in &domains {
+            let once = d.snap(v);
+            prop_assert_eq!(once, d.snap(once));
+            let (lo, hi) = d.bounds();
+            prop_assert!(once >= lo && once <= hi);
+        }
+    }
+
+    /// Samples normalise into the unit cube and snap to themselves.
+    #[test]
+    fn samples_consistent(seed in 0u64..1000) {
+        let mut space = ParameterSpace::new();
+        space
+            .add("a", Domain::ordinal(vec![32.0, 64.0, 128.0]))
+            .add("b", Domain::log_real(1e-6, 1e-2))
+            .add("c", Domain::Integer { min: 1, max: 9 })
+            .add("d", Domain::Flag);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = space.sample(&mut rng);
+        prop_assert_eq!(&space.snap(&x), &x, "samples must already be in-domain");
+        for u in space.normalize(&x) {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The KinectFusion algorithmic configuration — the design space of the
+//! ISPASS'18 paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced by [`KFusionConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfigError {
+    /// Which parameter is out of range.
+    pub parameter: &'static str,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.parameter, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidConfigError {}
+
+/// What the ICP tracker aligns each new frame against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TrackingReference {
+    /// The raycast prediction of the fused TSDF model — KinectFusion's
+    /// defining choice, which suppresses drift.
+    #[default]
+    Model,
+    /// The previous frame's measured maps (classical frame-to-frame ICP).
+    /// Cheaper (no raycast needed for tracking) but accumulates drift;
+    /// kept as the ablation baseline.
+    PreviousFrame,
+}
+
+/// The algorithmic parameters of the KinectFusion pipeline, matching the
+/// knobs SLAMBench exposes and the PACT'16 / ISPASS'18 design-space
+/// exploration sweeps.
+///
+/// Defaults are the SLAMBench defaults (the paper's "default
+/// configuration" baseline).
+///
+/// # Examples
+///
+/// ```
+/// use slam_kfusion::KFusionConfig;
+/// let mut config = KFusionConfig::default();
+/// assert_eq!(config.volume_resolution, 256);
+/// config.volume_resolution = 64;
+/// config.compute_size_ratio = 2;
+/// config.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KFusionConfig {
+    /// Input down-sampling ratio: the pipeline runs at
+    /// `input_resolution / compute_size_ratio`. One of {1, 2, 4, 8}.
+    pub compute_size_ratio: usize,
+    /// ICP convergence threshold on the norm of the 6-DoF update twist.
+    pub icp_threshold: f32,
+    /// TSDF truncation distance in metres.
+    pub mu: f32,
+    /// TSDF volume resolution (voxels per side).
+    pub volume_resolution: usize,
+    /// TSDF volume physical size in metres (cube side).
+    pub volume_size: f32,
+    /// ICP iterations per pyramid level, **finest first**
+    /// (level 0 = full tracking resolution).
+    pub pyramid_iterations: [usize; 3],
+    /// Track only every n-th frame (1 = every frame). Untracked frames
+    /// inherit the previous pose.
+    pub tracking_rate: usize,
+    /// Integrate only every n-th frame (1 = every frame).
+    pub integration_rate: usize,
+    /// Raycast the model only every n-th frame (1 = every frame).
+    /// Skipping raycasts reuses the previous model prediction for ICP.
+    pub raycast_rate: usize,
+    /// Whether to run the bilateral filter on the input depth.
+    pub bilateral_filter: bool,
+    /// Maximum TSDF integration weight (running-average window).
+    pub max_weight: f32,
+    /// ICP outlier rejection: maximum distance between associated points
+    /// (metres).
+    pub icp_dist_threshold: f32,
+    /// ICP outlier rejection: maximum angle between associated normals
+    /// (radians).
+    pub icp_normal_threshold: f32,
+    /// Minimum fraction of tracked pixels with valid associations for a
+    /// track to be declared successful.
+    pub min_track_fraction: f32,
+    /// What the tracker aligns against (frame-to-model vs
+    /// frame-to-frame).
+    pub tracking_reference: TrackingReference,
+}
+
+impl Default for KFusionConfig {
+    fn default() -> KFusionConfig {
+        KFusionConfig {
+            compute_size_ratio: 1,
+            icp_threshold: 1e-5,
+            mu: 0.1,
+            volume_resolution: 256,
+            volume_size: 4.0,
+            pyramid_iterations: [10, 5, 4],
+            tracking_rate: 1,
+            integration_rate: 1,
+            raycast_rate: 1,
+            bilateral_filter: true,
+            max_weight: 100.0,
+            icp_dist_threshold: 0.1,
+            icp_normal_threshold: 0.8,
+            min_track_fraction: 0.1,
+            tracking_reference: TrackingReference::Model,
+        }
+    }
+}
+
+impl KFusionConfig {
+    /// A small configuration for unit tests: 64³ volume, quarter-size
+    /// compute, few iterations — runs the whole pipeline in milliseconds.
+    pub fn fast_test() -> KFusionConfig {
+        KFusionConfig {
+            compute_size_ratio: 1,
+            volume_resolution: 64,
+            pyramid_iterations: [4, 3, 2],
+            ..KFusionConfig::default()
+        }
+    }
+
+    /// The resolution the pipeline actually computes at, given the sensor
+    /// resolution.
+    pub fn compute_resolution(&self, width: usize, height: usize) -> (usize, usize) {
+        (width / self.compute_size_ratio, height / self.compute_size_ratio)
+    }
+
+    /// Side length of one voxel in metres.
+    pub fn voxel_size(&self) -> f32 {
+        self.volume_size / self.volume_resolution as f32
+    }
+
+    /// Total ICP iterations across the pyramid (an upper bound actually
+    /// used per tracked frame).
+    pub fn total_icp_iterations(&self) -> usize {
+        self.pyramid_iterations.iter().sum()
+    }
+
+    /// Checks that every parameter is inside its legal range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending parameter.
+    pub fn validate(&self) -> Result<(), InvalidConfigError> {
+        fn err(parameter: &'static str, reason: impl Into<String>) -> InvalidConfigError {
+            InvalidConfigError { parameter, reason: reason.into() }
+        }
+        if ![1, 2, 4, 8].contains(&self.compute_size_ratio) {
+            return Err(err("compute_size_ratio", format!("{} not in {{1,2,4,8}}", self.compute_size_ratio)));
+        }
+        if !(self.icp_threshold > 0.0) || self.icp_threshold > 1.0 {
+            return Err(err("icp_threshold", format!("{} not in (0, 1]", self.icp_threshold)));
+        }
+        if !(self.mu > 0.0) || self.mu > 1.0 {
+            return Err(err("mu", format!("{} not in (0, 1] m", self.mu)));
+        }
+        if self.volume_resolution < 16 || self.volume_resolution > 1024 {
+            return Err(err("volume_resolution", format!("{} not in [16, 1024]", self.volume_resolution)));
+        }
+        if !(self.volume_size > 0.0) || self.volume_size > 32.0 {
+            return Err(err("volume_size", format!("{} not in (0, 32] m", self.volume_size)));
+        }
+        if self.pyramid_iterations.iter().all(|&n| n == 0) {
+            return Err(err("pyramid_iterations", "at least one level needs an iteration"));
+        }
+        if self.pyramid_iterations.iter().any(|&n| n > 100) {
+            return Err(err("pyramid_iterations", "more than 100 iterations per level"));
+        }
+        for (name, v) in [
+            ("tracking_rate", self.tracking_rate),
+            ("integration_rate", self.integration_rate),
+            ("raycast_rate", self.raycast_rate),
+        ] {
+            if v == 0 || v > 30 {
+                return Err(err(
+                    match name {
+                        "tracking_rate" => "tracking_rate",
+                        "integration_rate" => "integration_rate",
+                        _ => "raycast_rate",
+                    },
+                    format!("{v} not in [1, 30]"),
+                ));
+            }
+        }
+        if !(self.min_track_fraction >= 0.0 && self.min_track_fraction <= 1.0) {
+            return Err(err("min_track_fraction", "not in [0, 1]"));
+        }
+        if !(self.max_weight >= 1.0) {
+            return Err(err("max_weight", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for KFusionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "csr={} vr={} vs={:.1} mu={:.3} icp={:.0e} pyr={:?} tr={} ir={} rr={} bf={}",
+            self.compute_size_ratio,
+            self.volume_resolution,
+            self.volume_size,
+            self.mu,
+            self.icp_threshold,
+            self.pyramid_iterations,
+            self.tracking_rate,
+            self.integration_rate,
+            self.raycast_rate,
+            self.bilateral_filter,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_slambench_default() {
+        let c = KFusionConfig::default();
+        assert_eq!(c.compute_size_ratio, 1);
+        assert_eq!(c.volume_resolution, 256);
+        assert_eq!(c.pyramid_iterations, [10, 5, 4]);
+        assert!((c.mu - 0.1).abs() < 1e-9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn fast_test_is_valid() {
+        KFusionConfig::fast_test().validate().unwrap();
+    }
+
+    #[test]
+    fn compute_resolution_divides() {
+        let mut c = KFusionConfig::default();
+        c.compute_size_ratio = 4;
+        assert_eq!(c.compute_resolution(640, 480), (160, 120));
+    }
+
+    #[test]
+    fn voxel_size() {
+        let mut c = KFusionConfig::default();
+        c.volume_size = 4.0;
+        c.volume_resolution = 128;
+        assert!((c.voxel_size() - 0.03125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn validate_rejects_bad_csr() {
+        let mut c = KFusionConfig::default();
+        c.compute_size_ratio = 3;
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.parameter, "compute_size_ratio");
+        assert!(e.to_string().contains("compute_size_ratio"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_mu() {
+        let mut c = KFusionConfig::default();
+        c.mu = 0.0;
+        assert_eq!(c.validate().unwrap_err().parameter, "mu");
+        c.mu = f32::NAN;
+        assert_eq!(c.validate().unwrap_err().parameter, "mu");
+    }
+
+    #[test]
+    fn validate_rejects_zero_iterations() {
+        let mut c = KFusionConfig::default();
+        c.pyramid_iterations = [0, 0, 0];
+        assert_eq!(c.validate().unwrap_err().parameter, "pyramid_iterations");
+    }
+
+    #[test]
+    fn validate_rejects_zero_rates() {
+        let mut c = KFusionConfig::default();
+        c.integration_rate = 0;
+        assert_eq!(c.validate().unwrap_err().parameter, "integration_rate");
+        c.integration_rate = 1;
+        c.tracking_rate = 31;
+        assert_eq!(c.validate().unwrap_err().parameter, "tracking_rate");
+    }
+
+    #[test]
+    fn validate_rejects_extreme_volume() {
+        let mut c = KFusionConfig::default();
+        c.volume_resolution = 8;
+        assert_eq!(c.validate().unwrap_err().parameter, "volume_resolution");
+        c.volume_resolution = 2048;
+        assert_eq!(c.validate().unwrap_err().parameter, "volume_resolution");
+    }
+
+    #[test]
+    fn total_iterations_sums_pyramid() {
+        assert_eq!(KFusionConfig::default().total_icp_iterations(), 19);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = KFusionConfig::fast_test();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: KFusionConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn display_mentions_key_params() {
+        let s = format!("{}", KFusionConfig::default());
+        assert!(s.contains("vr=256"));
+        assert!(s.contains("csr=1"));
+    }
+}

@@ -1,0 +1,208 @@
+//! A minimal 2-D image container for depth, vertex and normal maps.
+
+use slam_math::Vec3;
+use std::fmt;
+
+/// A row-major 2-D image of `T` values.
+///
+/// # Examples
+///
+/// ```
+/// use slam_kfusion::Image2D;
+/// let mut img = Image2D::new(4, 3, 0.0f32);
+/// img.set(2, 1, 5.0);
+/// assert_eq!(img.get(2, 1), 5.0);
+/// assert_eq!(img.len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image2D<T> {
+    width: usize,
+    height: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Image2D<T> {
+    /// Creates an image filled with `fill`.
+    pub fn new(width: usize, height: usize, fill: T) -> Image2D<T> {
+        Image2D { width, height, data: vec![fill; width * height] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Image2D<T> {
+        assert_eq!(data.len(), width * height, "buffer size mismatch");
+        Image2D { width, height, data }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-pixel image.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds. Hot loops bypass this accessor and use
+    /// direct slice access instead.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Value at `(x, y)`, or `None` when out of bounds.
+    #[inline]
+    pub fn try_get(&self, x: isize, y: isize) -> Option<T> {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            None
+        } else {
+            Some(self.data[y as usize * self.width + x as usize])
+        }
+    }
+
+    /// Sets the value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: T) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The raw row-major buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning the buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterates over `(x, y, value)` triples in row-major order.
+    pub fn enumerate_pixels(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i % w, i / w, v))
+    }
+}
+
+impl<T> fmt::Display for Image2D<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Image2D({}x{})", self.width, self.height)
+    }
+}
+
+/// A depth image in metres (`0.0` = hole).
+pub type DepthImage = Image2D<f32>;
+
+/// A per-pixel 3-D point map. Invalid pixels hold [`Vec3::ZERO`]
+/// (distinguished by the paired validity convention: a vertex map pixel is
+/// valid iff its depth source was valid, encoded here as `z > 0` for
+/// camera-frame maps).
+pub type VertexMap = Image2D<Vec3>;
+
+/// A per-pixel unit-normal map. Invalid pixels hold [`Vec3::ZERO`].
+pub type NormalMap = Image2D<Vec3>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_fills() {
+        let img = Image2D::new(3, 2, 7u16);
+        assert_eq!(img.len(), 6);
+        assert!(img.as_slice().iter().all(|&v| v == 7));
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let img = Image2D::from_vec(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(img.get(0, 0), 1);
+        assert_eq!(img.get(1, 1), 4);
+        assert_eq!(img.into_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_vec_wrong_size_panics() {
+        let _ = Image2D::from_vec(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn get_set() {
+        let mut img = Image2D::new(4, 4, 0.0f32);
+        img.set(3, 2, 1.5);
+        assert_eq!(img.get(3, 2), 1.5);
+        assert_eq!(img.as_slice()[2 * 4 + 3], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = Image2D::new(2, 2, 0u8);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn try_get_handles_borders() {
+        let img = Image2D::from_vec(2, 1, vec![5, 6]);
+        assert_eq!(img.try_get(0, 0), Some(5));
+        assert_eq!(img.try_get(-1, 0), None);
+        assert_eq!(img.try_get(0, 1), None);
+        assert_eq!(img.try_get(2, 0), None);
+    }
+
+    #[test]
+    fn enumerate_is_row_major() {
+        let img = Image2D::from_vec(2, 2, vec![10, 11, 12, 13]);
+        let px: Vec<_> = img.enumerate_pixels().collect();
+        assert_eq!(px[0], (0, 0, 10));
+        assert_eq!(px[1], (1, 0, 11));
+        assert_eq!(px[2], (0, 1, 12));
+        assert_eq!(px[3], (1, 1, 13));
+    }
+
+    #[test]
+    fn empty_image() {
+        let img = Image2D::new(0, 5, 0u8);
+        assert!(img.is_empty());
+        assert_eq!(format!("{img}"), "Image2D(0x5)");
+    }
+}

@@ -1,0 +1,62 @@
+//! A from-scratch KinectFusion (Newcombe et al., ISMAR 2011) dense SLAM
+//! pipeline with the algorithmic parameterisation of SLAMBench.
+//!
+//! The pipeline consumes a stream of depth images (millimetres, `0` =
+//! hole) and produces a camera pose per frame plus a dense TSDF model of
+//! the scene. Per frame it runs the classic kernel chain:
+//!
+//! ```text
+//! mm2meters → bilateral filter → pyramid (half-sample)
+//!           → depth2vertex / vertex2normal
+//!           → ICP tracking against the raycast model
+//!           → TSDF integration → raycast (model prediction)
+//! ```
+//!
+//! Every kernel is instrumented with a [`workload::Workload`] —
+//! arithmetic-op and memory-byte counts — which the `slam-power` crate
+//! turns into modelled execution time and energy on embedded devices.
+//! This is what lets the workspace reproduce the paper's
+//! performance/accuracy/power trade-off studies without the original
+//! hardware.
+//!
+//! The algorithmic parameters exposed by [`config::KFusionConfig`]
+//! (volume resolution, TSDF truncation `mu`, `compute_size_ratio`, ICP
+//! threshold, pyramid iterations, tracking/integration rates) are exactly
+//! the knobs the ISPASS'18 paper's design-space exploration sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! use slam_kfusion::{KFusionConfig, KinectFusion};
+//! use slam_math::camera::PinholeCamera;
+//! use slam_math::Se3;
+//!
+//! let camera = PinholeCamera::tiny();
+//! let config = KFusionConfig::fast_test();
+//! let mut kf = KinectFusion::new(config, camera, Se3::IDENTITY);
+//! // feed a synthetic flat-wall depth image (2 m everywhere)
+//! let depth_mm = vec![2000u16; camera.pixel_count()];
+//! let result = kf.process_frame(&depth_mm);
+//! assert!(result.tracked);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod icp;
+mod mc_tables;
+pub mod mesh;
+pub mod image;
+pub mod pipeline;
+pub mod preprocess;
+pub mod raycast;
+pub mod tsdf;
+pub mod workload;
+
+pub use config::KFusionConfig;
+pub use image::Image2D;
+pub use pipeline::{FrameResult, KinectFusion};
+pub use mesh::{marching_cubes, TriangleMesh};
+pub use tsdf::TsdfVolume;
+pub use workload::{FrameWorkload, Kernel, Workload};

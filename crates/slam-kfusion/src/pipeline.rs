@@ -1,0 +1,507 @@
+//! The per-frame KinectFusion pipeline orchestration.
+
+use crate::config::{KFusionConfig, TrackingReference};
+use crate::icp::{track, TrackLevel, TrackResult};
+use crate::image::{DepthImage, Image2D};
+use crate::preprocess::{bilateral_filter, depth2vertex, half_sample, mm2meters, vertex2normal};
+use crate::raycast::{raycast, RaycastParams, RaycastResult};
+use crate::tsdf::TsdfVolume;
+use crate::workload::{FrameWorkload, Kernel, Workload};
+use slam_math::camera::PinholeCamera;
+use slam_math::Se3;
+use std::time::Instant;
+
+/// Everything the pipeline produced for one frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Frame index (0-based).
+    pub frame_index: usize,
+    /// The estimated camera-to-world pose after this frame.
+    pub pose: Se3,
+    /// Whether the frame is considered successfully tracked. Frame 0 and
+    /// frames skipped by `tracking_rate` count as tracked.
+    pub tracked: bool,
+    /// RMS point-to-plane residual of the final ICP iteration (metres);
+    /// `0.0` when tracking did not run.
+    pub rms_residual: f64,
+    /// Fraction of valid pixels with ICP associations; `0.0` when
+    /// tracking did not run.
+    pub matched_fraction: f64,
+    /// ICP iterations executed this frame.
+    pub icp_iterations: usize,
+    /// Whether the frame was integrated into the volume.
+    pub integrated: bool,
+    /// Whether the model was re-raycast after this frame.
+    pub raycasted: bool,
+    /// Measured per-kernel workload of this frame.
+    pub workload: FrameWorkload,
+    /// Wall-clock time this frame took on the host, in seconds. (The
+    /// *modelled* device time comes from `slam-power` applied to
+    /// `workload`.)
+    pub wall_time: f64,
+}
+
+/// The KinectFusion dense SLAM system.
+///
+/// Feed depth frames (millimetres, row-major, `0` = hole) via
+/// [`KinectFusion::process_frame`]; read back poses and the TSDF model.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct KinectFusion {
+    config: KFusionConfig,
+    sensor_camera: PinholeCamera,
+    compute_camera: PinholeCamera,
+    pyramid_cameras: [PinholeCamera; 3],
+    volume: TsdfVolume,
+    pose: Se3,
+    model: Option<RaycastResult>,
+    /// Previous frame's measured maps in world coordinates, kept when
+    /// frame-to-frame tracking is selected.
+    prev_frame_maps: Option<RaycastResult>,
+    frame_index: usize,
+    lost_frames: usize,
+}
+
+impl KinectFusion {
+    /// Creates a pipeline for a sensor with the given intrinsics, starting
+    /// at `initial_pose` (camera-to-world, world = the `[0, volume_size]³`
+    /// volume frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`KFusionConfig::validate`].
+    pub fn new(config: KFusionConfig, sensor_camera: PinholeCamera, initial_pose: Se3) -> KinectFusion {
+        config.validate().expect("invalid KinectFusion configuration");
+        let compute_camera = sensor_camera.scaled_down(config.compute_size_ratio);
+        let pyramid_cameras = [
+            compute_camera,
+            compute_camera.scaled_down(2),
+            compute_camera.scaled_down(4),
+        ];
+        let volume = TsdfVolume::new(config.volume_resolution, config.volume_size);
+        KinectFusion {
+            config,
+            sensor_camera,
+            compute_camera,
+            pyramid_cameras,
+            volume,
+            pose: initial_pose,
+            model: None,
+            prev_frame_maps: None,
+            frame_index: 0,
+            lost_frames: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KFusionConfig {
+        &self.config
+    }
+
+    /// The sensor intrinsics this pipeline was built for.
+    pub fn sensor_camera(&self) -> &PinholeCamera {
+        &self.sensor_camera
+    }
+
+    /// The intrinsics at compute resolution (after `compute_size_ratio`).
+    pub fn compute_camera(&self) -> &PinholeCamera {
+        &self.compute_camera
+    }
+
+    /// The current pose estimate (camera-to-world).
+    pub fn current_pose(&self) -> Se3 {
+        self.pose
+    }
+
+    /// The TSDF model built so far.
+    pub fn volume(&self) -> &TsdfVolume {
+        &self.volume
+    }
+
+    /// Number of frames processed so far.
+    pub fn frames_processed(&self) -> usize {
+        self.frame_index
+    }
+
+    /// Number of frames on which tracking failed.
+    pub fn lost_frames(&self) -> usize {
+        self.lost_frames
+    }
+
+    /// The most recent raycast model prediction, if any.
+    pub fn model(&self) -> Option<&RaycastResult> {
+        self.model.as_ref()
+    }
+
+    fn raycast_params(&self) -> RaycastParams {
+        RaycastParams {
+            near: 0.2,
+            far: self.config.volume_size * 1.8,
+            step_fraction: 0.5,
+            mu: self.config.mu,
+        }
+    }
+
+    /// Builds the three-level tracking pyramid from the filtered depth.
+    fn build_pyramid(&self, filtered: &DepthImage, fw: &mut FrameWorkload) -> Vec<TrackLevel> {
+        let mut depths = Vec::with_capacity(3);
+        depths.push(filtered.clone());
+        for level in 1..3 {
+            let (half, work) = half_sample(&depths[level - 1], 0.1);
+            fw.record(Kernel::HalfSample, work);
+            depths.push(half);
+        }
+        depths
+            .into_iter()
+            .enumerate()
+            .map(|(level, depth)| {
+                let camera = self.pyramid_cameras[level];
+                let (vertices, vw) = depth2vertex(&depth, &camera);
+                fw.record(Kernel::Depth2Vertex, vw);
+                let (normals, nw) = vertex2normal(&vertices);
+                fw.record(Kernel::Vertex2Normal, nw);
+                TrackLevel { vertices, normals, camera }
+            })
+            .collect()
+    }
+
+    /// Processes one depth frame and advances the pipeline state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth_mm.len()` does not match the sensor resolution.
+    pub fn process_frame(&mut self, depth_mm: &[u16]) -> FrameResult {
+        assert_eq!(
+            depth_mm.len(),
+            self.sensor_camera.pixel_count(),
+            "depth buffer does not match sensor resolution"
+        );
+        let start = Instant::now();
+        let mut fw = FrameWorkload::new();
+
+        // --- preprocessing -------------------------------------------------
+        let (raw_m, work) = mm2meters(
+            depth_mm,
+            self.sensor_camera.width,
+            self.sensor_camera.height,
+            self.config.compute_size_ratio,
+        );
+        fw.record(Kernel::Mm2Meters, work);
+        let filtered = if self.config.bilateral_filter {
+            let (f, work) = bilateral_filter(&raw_m, 2, 1.5, 0.1);
+            fw.record(Kernel::BilateralFilter, work);
+            f
+        } else {
+            raw_m
+        };
+        let levels = self.build_pyramid(&filtered, &mut fw);
+
+        // --- tracking ------------------------------------------------------
+        let is_first = self.frame_index == 0;
+        let should_track = !is_first && self.frame_index % self.config.tracking_rate == 0;
+        let mut tracked = true;
+        let mut track_result: Option<TrackResult> = None;
+        if should_track {
+            let reference = match self.config.tracking_reference {
+                TrackingReference::Model => self.model.as_ref(),
+                TrackingReference::PreviousFrame => self.prev_frame_maps.as_ref(),
+            };
+            if let Some(model) = reference {
+                let (result, track_work, solve_work) =
+                    track(&levels, model, &self.compute_camera, &self.pose, &self.config);
+                fw.record(Kernel::Track, track_work);
+                fw.record(Kernel::Solve, solve_work);
+                tracked = result.tracked;
+                if result.tracked {
+                    self.pose = result.pose;
+                } else {
+                    self.lost_frames += 1;
+                }
+                track_result = Some(result);
+            } else {
+                tracked = false;
+                self.lost_frames += 1;
+            }
+        }
+
+        // --- integration ---------------------------------------------------
+        let should_integrate = (tracked || self.frame_index < 4)
+            && self.frame_index % self.config.integration_rate == 0;
+        if should_integrate {
+            let work = self.volume.integrate(
+                &filtered,
+                &self.compute_camera,
+                &self.pose,
+                self.config.mu,
+                self.config.max_weight,
+            );
+            fw.record(Kernel::Integrate, work);
+        }
+
+        // --- model prediction ----------------------------------------------
+        let should_raycast =
+            self.frame_index % self.config.raycast_rate == 0 || self.model.is_none();
+        if should_raycast {
+            let (model, work) = raycast(
+                &self.volume,
+                &self.compute_camera,
+                &self.pose,
+                &self.raycast_params(),
+            );
+            fw.record(Kernel::Raycast, work);
+            self.model = Some(model);
+        }
+
+        // keep the previous-frame reference when frame-to-frame tracking
+        // is selected: the finest level's maps, lifted to world coordinates
+        if self.config.tracking_reference == TrackingReference::PreviousFrame {
+            let level0 = &levels[0];
+            let mut vertices = Image2D::new(level0.camera.width, level0.camera.height, slam_math::Vec3::ZERO);
+            let mut normals = Image2D::new(level0.camera.width, level0.camera.height, slam_math::Vec3::ZERO);
+            for y in 0..level0.camera.height {
+                for x in 0..level0.camera.width {
+                    let v = level0.vertices.get(x, y);
+                    let n = level0.normals.get(x, y);
+                    if v.z > 0.0 && n.norm_squared() > 0.25 {
+                        vertices.set(x, y, self.pose.transform_point(v));
+                        normals.set(x, y, self.pose.transform_vector(n));
+                    }
+                }
+            }
+            self.prev_frame_maps = Some(RaycastResult { vertices, normals, pose: self.pose });
+        }
+
+        let result = FrameResult {
+            frame_index: self.frame_index,
+            pose: self.pose,
+            tracked,
+            rms_residual: track_result.as_ref().map_or(0.0, |r| r.rms_residual),
+            matched_fraction: track_result.as_ref().map_or(0.0, |r| r.matched_fraction),
+            icp_iterations: track_result.as_ref().map_or(0, |r| r.iterations),
+            integrated: should_integrate,
+            raycasted: should_raycast,
+            workload: fw,
+            wall_time: start.elapsed().as_secs_f64(),
+        };
+        self.frame_index += 1;
+        result
+    }
+
+    /// Convenience: total workload of a no-op query frame is zero; this
+    /// returns the zero workload for symmetry in reports.
+    pub fn idle_workload(&self) -> Workload {
+        Workload::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_depth(camera: &PinholeCamera, mm: u16) -> Vec<u16> {
+        vec![mm; camera.pixel_count()]
+    }
+
+    /// Depth with structure: a wall plus two bumps (same layout as the ICP
+    /// tests, enough to constrain the pose).
+    fn structured_depth(camera: &PinholeCamera) -> Vec<u16> {
+        let mut d = flat_depth(camera, 1500);
+        for y in 20..60 {
+            for x in 20..60 {
+                d[y * camera.width + x] = 1200;
+            }
+        }
+        for y in 70..100 {
+            for x in 100..140 {
+                d[y * camera.width + x] = 1350;
+            }
+        }
+        d
+    }
+
+    fn center_pose() -> Se3 {
+        Se3::from_translation(slam_math::Vec3::new(2.0, 2.0, 0.2))
+    }
+
+    #[test]
+    fn first_frame_bootstraps() {
+        let cam = PinholeCamera::tiny();
+        let mut kf = KinectFusion::new(KFusionConfig::fast_test(), cam, center_pose());
+        let r = kf.process_frame(&structured_depth(&cam));
+        assert!(r.tracked);
+        assert!(r.integrated);
+        assert!(r.raycasted);
+        assert_eq!(r.frame_index, 0);
+        assert!(kf.volume().occupied_voxels() > 0);
+        assert!(kf.model().is_some());
+        assert_eq!(kf.frames_processed(), 1);
+    }
+
+    #[test]
+    fn static_camera_stays_put() {
+        let cam = PinholeCamera::tiny();
+        let init = center_pose();
+        let mut kf = KinectFusion::new(KFusionConfig::fast_test(), cam, init);
+        let depth = structured_depth(&cam);
+        for _ in 0..5 {
+            let r = kf.process_frame(&depth);
+            assert!(r.tracked, "frame {} lost", r.frame_index);
+        }
+        let drift = kf.current_pose().translation_distance(&init);
+        assert!(drift < 0.01, "static camera drifted {drift} m");
+        assert_eq!(kf.lost_frames(), 0);
+    }
+
+    #[test]
+    fn workload_covers_all_phases() {
+        let cam = PinholeCamera::tiny();
+        let mut kf = KinectFusion::new(KFusionConfig::fast_test(), cam, center_pose());
+        let depth = structured_depth(&cam);
+        kf.process_frame(&depth);
+        let r = kf.process_frame(&depth);
+        for kernel in [
+            Kernel::Mm2Meters,
+            Kernel::BilateralFilter,
+            Kernel::HalfSample,
+            Kernel::Depth2Vertex,
+            Kernel::Vertex2Normal,
+            Kernel::Track,
+            Kernel::Solve,
+            Kernel::Integrate,
+            Kernel::Raycast,
+        ] {
+            assert!(
+                !r.workload.kernel(kernel).is_zero(),
+                "kernel {kernel} recorded no work"
+            );
+        }
+        assert!(r.wall_time > 0.0);
+    }
+
+    #[test]
+    fn disabling_bilateral_removes_its_work() {
+        let cam = PinholeCamera::tiny();
+        let mut config = KFusionConfig::fast_test();
+        config.bilateral_filter = false;
+        let mut kf = KinectFusion::new(config, cam, center_pose());
+        let r = kf.process_frame(&structured_depth(&cam));
+        assert!(r.workload.kernel(Kernel::BilateralFilter).is_zero());
+    }
+
+    #[test]
+    fn integration_rate_skips_frames() {
+        let cam = PinholeCamera::tiny();
+        let mut config = KFusionConfig::fast_test();
+        config.integration_rate = 2;
+        let mut kf = KinectFusion::new(config, cam, center_pose());
+        let depth = structured_depth(&cam);
+        let r0 = kf.process_frame(&depth);
+        let r1 = kf.process_frame(&depth);
+        let r2 = kf.process_frame(&depth);
+        assert!(r0.integrated);
+        assert!(!r1.integrated, "frame 1 must be skipped at rate 2");
+        assert!(r2.integrated);
+    }
+
+    #[test]
+    fn tracking_rate_skips_tracking() {
+        let cam = PinholeCamera::tiny();
+        let mut config = KFusionConfig::fast_test();
+        config.tracking_rate = 2;
+        let mut kf = KinectFusion::new(config, cam, center_pose());
+        let depth = structured_depth(&cam);
+        kf.process_frame(&depth);
+        let r1 = kf.process_frame(&depth);
+        let r2 = kf.process_frame(&depth);
+        assert_eq!(r1.icp_iterations, 0, "odd frame skipped at rate 2");
+        assert!(r2.icp_iterations > 0);
+    }
+
+    #[test]
+    fn compute_size_ratio_shrinks_work() {
+        let cam = PinholeCamera::tiny();
+        let depth = structured_depth(&cam);
+        let run = |csr: usize| {
+            let mut config = KFusionConfig::fast_test();
+            config.compute_size_ratio = csr;
+            let mut kf = KinectFusion::new(config, cam, center_pose());
+            kf.process_frame(&depth);
+            kf.process_frame(&depth).workload.total()
+        };
+        let full = run(1);
+        let quarter = run(4);
+        assert!(
+            quarter.ops < full.ops,
+            "csr=4 ({:.2e}) should do less work than csr=1 ({:.2e})",
+            quarter.ops,
+            full.ops
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match sensor resolution")]
+    fn wrong_buffer_size_panics() {
+        let cam = PinholeCamera::tiny();
+        let mut kf = KinectFusion::new(KFusionConfig::fast_test(), cam, Se3::IDENTITY);
+        kf.process_frame(&[0u16; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid KinectFusion configuration")]
+    fn invalid_config_panics() {
+        let mut config = KFusionConfig::fast_test();
+        config.compute_size_ratio = 3;
+        let _ = KinectFusion::new(config, PinholeCamera::tiny(), Se3::IDENTITY);
+    }
+
+    #[test]
+    fn raycast_rate_reuses_model() {
+        let cam = PinholeCamera::tiny();
+        let mut config = KFusionConfig::fast_test();
+        config.raycast_rate = 3;
+        let mut kf = KinectFusion::new(config, cam, center_pose());
+        let depth = structured_depth(&cam);
+        let r0 = kf.process_frame(&depth);
+        let r1 = kf.process_frame(&depth);
+        let r2 = kf.process_frame(&depth);
+        let r3 = kf.process_frame(&depth);
+        assert!(r0.raycasted, "frame 0 must bootstrap the model");
+        assert!(!r1.raycasted);
+        assert!(!r2.raycasted);
+        assert!(r3.raycasted);
+        // tracking still works against the stale model
+        assert!(r1.tracked && r2.tracked && r3.tracked);
+    }
+
+    #[test]
+    fn frame_to_frame_mode_tracks_without_model() {
+        use crate::config::TrackingReference;
+        let cam = PinholeCamera::tiny();
+        let mut config = KFusionConfig::fast_test();
+        config.tracking_reference = TrackingReference::PreviousFrame;
+        // raycast almost never: frame-to-frame does not need it
+        config.raycast_rate = 30;
+        let mut kf = KinectFusion::new(config, cam, center_pose());
+        let depth = structured_depth(&cam);
+        for i in 0..4 {
+            let r = kf.process_frame(&depth);
+            assert!(r.tracked, "frame {i} lost in frame-to-frame mode");
+        }
+        let drift = kf.current_pose().translation_distance(&center_pose());
+        assert!(drift < 0.02, "static frame-to-frame drifted {drift} m");
+    }
+
+    #[test]
+    fn all_holes_frame_is_lost_but_survives() {
+        let cam = PinholeCamera::tiny();
+        let mut kf = KinectFusion::new(KFusionConfig::fast_test(), cam, center_pose());
+        kf.process_frame(&structured_depth(&cam));
+        let r = kf.process_frame(&flat_depth(&cam, 0));
+        assert!(!r.tracked);
+        assert_eq!(kf.lost_frames(), 1);
+        // pipeline keeps going on the next good frame
+        let r = kf.process_frame(&structured_depth(&cam));
+        assert!(r.tracked);
+    }
+}

@@ -1,0 +1,348 @@
+//! Depth preprocessing kernels: unit conversion, bilateral filtering,
+//! pyramid construction, vertex and normal maps.
+//!
+//! Every kernel returns its result together with the [`Workload`] it
+//! performed, mirroring the per-kernel instrumentation of SLAMBench.
+
+use crate::image::{DepthImage, Image2D, NormalMap, VertexMap};
+use crate::workload::Workload;
+use slam_math::camera::PinholeCamera;
+use slam_math::Vec3;
+
+/// Converts a millimetre depth buffer to metres while down-sampling by
+/// `ratio` (the `compute_size_ratio` parameter): output pixel `(x, y)`
+/// takes input pixel `(x·ratio, y·ratio)`.
+///
+/// # Panics
+///
+/// Panics when `depth_mm.len() != width * height` or `ratio == 0`.
+pub fn mm2meters(
+    depth_mm: &[u16],
+    width: usize,
+    height: usize,
+    ratio: usize,
+) -> (DepthImage, Workload) {
+    assert!(ratio > 0, "ratio must be positive");
+    assert_eq!(depth_mm.len(), width * height, "depth buffer size mismatch");
+    let (ow, oh) = (width / ratio, height / ratio);
+    let mut out = Image2D::new(ow, oh, 0.0f32);
+    for y in 0..oh {
+        for x in 0..ow {
+            let mm = depth_mm[(y * ratio) * width + x * ratio];
+            out.set(x, y, f32::from(mm) / 1000.0);
+        }
+    }
+    let n = (ow * oh) as f64;
+    // one multiply per pixel; read u16, write f32
+    (out, Workload::new(n, n * 6.0))
+}
+
+/// Bilateral filter: edge-preserving smoothing of the depth image.
+///
+/// `radius` is the half window (SLAMBench uses 2), `sigma_space` the
+/// spatial Gaussian in pixels, `sigma_range` the range Gaussian in metres.
+/// Holes (`0`) neither contribute nor get filled.
+pub fn bilateral_filter(
+    depth: &DepthImage,
+    radius: usize,
+    sigma_space: f32,
+    sigma_range: f32,
+) -> (DepthImage, Workload) {
+    let (w, h) = (depth.width(), depth.height());
+    let mut out = Image2D::new(w, h, 0.0f32);
+    let r = radius as isize;
+    // precompute the spatial weights
+    let side = 2 * radius + 1;
+    let mut spatial = vec![0.0f32; side * side];
+    let inv_2ss = 1.0 / (2.0 * sigma_space * sigma_space);
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let d2 = (dx * dx + dy * dy) as f32;
+            spatial[((dy + r) as usize) * side + (dx + r) as usize] = (-d2 * inv_2ss).exp();
+        }
+    }
+    let inv_2sr = 1.0 / (2.0 * sigma_range * sigma_range);
+    let mut ops = 0.0f64;
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let center = depth.try_get(x, y).unwrap_or(0.0);
+            if center <= 0.0 {
+                continue;
+            }
+            let mut sum = 0.0f32;
+            let mut weight = 0.0f32;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if let Some(d) = depth.try_get(x + dx, y + dy) {
+                        if d > 0.0 {
+                            let diff = d - center;
+                            let wgt = spatial[((dy + r) as usize) * side + (dx + r) as usize]
+                                * (-diff * diff * inv_2sr).exp();
+                            sum += wgt * d;
+                            weight += wgt;
+                        }
+                    }
+                }
+            }
+            ops += (side * side) as f64 * 6.0;
+            if weight > 0.0 {
+                out.set(x as usize, y as usize, sum / weight);
+            }
+        }
+    }
+    let n = (w * h) as f64;
+    let window_reads = n * (side * side) as f64 * 4.0;
+    (out, Workload::new(ops, window_reads + n * 4.0))
+}
+
+/// Depth-aware half-sampling for pyramid construction: averages the 2×2
+/// block but only over pixels within `3·sigma_range` of the block's
+/// top-left pixel, preserving depth edges.
+pub fn half_sample(depth: &DepthImage, sigma_range: f32) -> (DepthImage, Workload) {
+    let (w, h) = (depth.width() / 2, depth.height() / 2);
+    let mut out = Image2D::new(w, h, 0.0f32);
+    let band = 3.0 * sigma_range;
+    for y in 0..h {
+        for x in 0..w {
+            let center = depth.get(x * 2, y * 2);
+            if center <= 0.0 {
+                continue;
+            }
+            let mut sum = 0.0f32;
+            let mut count = 0u32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let d = depth.get(x * 2 + dx, y * 2 + dy);
+                    if d > 0.0 && (d - center).abs() < band {
+                        sum += d;
+                        count += 1;
+                    }
+                }
+            }
+            if count > 0 {
+                out.set(x, y, sum / count as f32);
+            }
+        }
+    }
+    let n = (w * h) as f64;
+    (out, Workload::new(n * 8.0, n * 5.0 * 4.0))
+}
+
+/// Back-projects a depth image into a camera-frame vertex map. Invalid
+/// depth yields the zero vertex.
+///
+/// # Panics
+///
+/// Panics when the camera resolution does not match the image.
+pub fn depth2vertex(depth: &DepthImage, camera: &PinholeCamera) -> (VertexMap, Workload) {
+    assert_eq!(
+        (camera.width, camera.height),
+        (depth.width(), depth.height()),
+        "camera/image resolution mismatch"
+    );
+    let (w, h) = (depth.width(), depth.height());
+    let mut out = Image2D::new(w, h, Vec3::ZERO);
+    for y in 0..h {
+        for x in 0..w {
+            let d = depth.get(x, y);
+            if d > 0.0 {
+                out.set(
+                    x,
+                    y,
+                    camera.unproject(slam_math::Vec2::new(x as f32, y as f32), d),
+                );
+            }
+        }
+    }
+    let n = (w * h) as f64;
+    (out, Workload::new(n * 6.0, n * 16.0))
+}
+
+/// Estimates per-pixel normals from a camera-frame vertex map via the
+/// cross product of forward differences. Border pixels and pixels with
+/// invalid neighbours get the zero normal.
+pub fn vertex2normal(vertices: &VertexMap) -> (NormalMap, Workload) {
+    let (w, h) = (vertices.width(), vertices.height());
+    let mut out = Image2D::new(w, h, Vec3::ZERO);
+    for y in 0..h {
+        for x in 0..w {
+            let center = vertices.get(x, y);
+            if center.z <= 0.0 || x + 1 >= w || y + 1 >= h || x == 0 || y == 0 {
+                continue;
+            }
+            let right = vertices.get(x + 1, y);
+            let left = vertices.get(x - 1, y);
+            let down = vertices.get(x, y + 1);
+            let up = vertices.get(x, y - 1);
+            if right.z <= 0.0 || left.z <= 0.0 || down.z <= 0.0 || up.z <= 0.0 {
+                continue;
+            }
+            let dx = right - left;
+            let dy = down - up;
+            // cross(dy, dx) gives the normal facing the camera (-z) for a
+            // fronto-parallel wall in the y-down camera convention
+            out.set(x, y, dy.cross(dx).normalized_or_zero());
+        }
+    }
+    let n = (w * h) as f64;
+    (out, Workload::new(n * 15.0, n * 5.0 * 12.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_depth(w: usize, h: usize, z: f32) -> DepthImage {
+        Image2D::new(w, h, z)
+    }
+
+    #[test]
+    fn mm2meters_converts_and_downsamples() {
+        let mm: Vec<u16> = vec![1500; 8 * 4];
+        let (m, work) = mm2meters(&mm, 8, 4, 2);
+        assert_eq!(m.width(), 4);
+        assert_eq!(m.height(), 2);
+        assert!((m.get(0, 0) - 1.5).abs() < 1e-6);
+        assert!(work.ops > 0.0);
+    }
+
+    #[test]
+    fn mm2meters_keeps_holes() {
+        let mut mm = vec![1000u16; 4];
+        mm[0] = 0;
+        let (m, _) = mm2meters(&mm, 2, 2, 1);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert!((m.get(1, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mm2meters_checks_size() {
+        let _ = mm2meters(&[0u16; 3], 2, 2, 1);
+    }
+
+    #[test]
+    fn bilateral_preserves_flat_regions() {
+        let depth = flat_depth(16, 16, 2.0);
+        let (f, _) = bilateral_filter(&depth, 2, 1.5, 0.1);
+        for (_, _, v) in f.enumerate_pixels() {
+            assert!((v - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bilateral_smooths_noise() {
+        let mut depth = flat_depth(16, 16, 2.0);
+        depth.set(8, 8, 2.01); // small perturbation within range sigma
+        let (f, _) = bilateral_filter(&depth, 2, 1.5, 0.1);
+        let v = f.get(8, 8);
+        assert!((v - 2.0).abs() < 0.009, "noise should shrink, got {v}");
+    }
+
+    #[test]
+    fn bilateral_preserves_edges() {
+        // step edge: left half at 1 m, right half at 3 m
+        let mut depth = flat_depth(16, 16, 1.0);
+        for y in 0..16 {
+            for x in 8..16 {
+                depth.set(x, y, 3.0);
+            }
+        }
+        let (f, _) = bilateral_filter(&depth, 2, 1.5, 0.1);
+        assert!((f.get(7, 8) - 1.0).abs() < 1e-3, "edge bled: {}", f.get(7, 8));
+        assert!((f.get(8, 8) - 3.0).abs() < 1e-3, "edge bled: {}", f.get(8, 8));
+    }
+
+    #[test]
+    fn bilateral_skips_holes() {
+        let mut depth = flat_depth(8, 8, 2.0);
+        depth.set(4, 4, 0.0);
+        let (f, _) = bilateral_filter(&depth, 2, 1.5, 0.1);
+        assert_eq!(f.get(4, 4), 0.0, "hole must stay a hole");
+        assert!((f.get(3, 4) - 2.0).abs() < 1e-4, "neighbours unaffected");
+    }
+
+    #[test]
+    fn half_sample_halves_resolution() {
+        let depth = flat_depth(8, 6, 1.5);
+        let (h, _) = half_sample(&depth, 0.1);
+        assert_eq!(h.width(), 4);
+        assert_eq!(h.height(), 3);
+        assert!((h.get(1, 1) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn half_sample_respects_depth_band() {
+        let mut depth = flat_depth(4, 4, 1.0);
+        // one far outlier inside the 2x2 block at (0,0)
+        depth.set(1, 1, 3.0);
+        let (h, _) = half_sample(&depth, 0.1);
+        assert!((h.get(0, 0) - 1.0).abs() < 1e-6, "outlier averaged in: {}", h.get(0, 0));
+    }
+
+    #[test]
+    fn depth2vertex_back_projects() {
+        let cam = PinholeCamera::tiny();
+        let depth = flat_depth(cam.width, cam.height, 2.0);
+        let (v, _) = depth2vertex(&depth, &cam);
+        let centre = v.get(cam.width / 2, cam.height / 2);
+        assert!((centre.z - 2.0).abs() < 1e-5);
+        assert!(centre.x.abs() < 0.02);
+        // off-centre pixel has lateral offset
+        let corner = v.get(0, 0);
+        assert!(corner.x < -0.5);
+        assert!((corner.z - 2.0).abs() < 1e-5, "z-depth is constant for a flat wall");
+    }
+
+    #[test]
+    fn depth2vertex_zeroes_holes() {
+        let cam = PinholeCamera::tiny();
+        let mut depth = flat_depth(cam.width, cam.height, 2.0);
+        depth.set(5, 5, 0.0);
+        let (v, _) = depth2vertex(&depth, &cam);
+        assert_eq!(v.get(5, 5), Vec3::ZERO);
+    }
+
+    #[test]
+    fn normals_of_flat_wall_face_camera() {
+        let cam = PinholeCamera::tiny();
+        let depth = flat_depth(cam.width, cam.height, 2.0);
+        let (v, _) = depth2vertex(&depth, &cam);
+        let (n, _) = vertex2normal(&v);
+        let centre = n.get(cam.width / 2, cam.height / 2);
+        assert!(
+            (centre - Vec3::new(0.0, 0.0, -1.0)).norm() < 1e-3,
+            "wall normal should face the camera, got {centre}"
+        );
+    }
+
+    #[test]
+    fn normals_are_unit_or_zero() {
+        let cam = PinholeCamera::tiny();
+        // a sloped surface: depth increases with x
+        let mut depth = flat_depth(cam.width, cam.height, 0.0);
+        for y in 0..cam.height {
+            for x in 0..cam.width {
+                depth.set(x, y, 1.0 + x as f32 * 0.01);
+            }
+        }
+        let (v, _) = depth2vertex(&depth, &cam);
+        let (n, _) = vertex2normal(&v);
+        for (_, _, nv) in n.enumerate_pixels() {
+            let len = nv.norm();
+            assert!(len < 1e-6 || (len - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn normals_invalid_near_holes_and_borders() {
+        let cam = PinholeCamera::tiny();
+        let mut depth = flat_depth(cam.width, cam.height, 2.0);
+        depth.set(10, 10, 0.0);
+        let (v, _) = depth2vertex(&depth, &cam);
+        let (n, _) = vertex2normal(&v);
+        assert_eq!(n.get(10, 10), Vec3::ZERO);
+        assert_eq!(n.get(11, 10), Vec3::ZERO, "neighbour of a hole is invalid");
+        assert_eq!(n.get(0, 0), Vec3::ZERO, "border is invalid");
+    }
+}

@@ -1,0 +1,548 @@
+//! The truncated signed distance function (TSDF) volume and its
+//! integration kernel.
+
+use crate::image::DepthImage;
+use crate::workload::Workload;
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+
+/// A dense voxel grid storing a truncated signed distance to the nearest
+/// surface (normalised to `[-1, 1]`) and an integration weight per voxel.
+///
+/// The volume spans the axis-aligned cube `[0, size]³` in world
+/// coordinates, matching the KinectFusion convention where the camera
+/// starts inside the volume.
+///
+/// # Examples
+///
+/// ```
+/// use slam_kfusion::TsdfVolume;
+/// let vol = TsdfVolume::new(32, 2.0);
+/// assert_eq!(vol.resolution(), 32);
+/// assert!((vol.voxel_size() - 0.0625).abs() < 1e-7);
+/// assert_eq!(vol.occupied_voxels(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TsdfVolume {
+    resolution: usize,
+    size: f32,
+    voxel: f32,
+    tsdf: Vec<f32>,
+    weight: Vec<f32>,
+}
+
+impl TsdfVolume {
+    /// Creates an empty volume: all voxels at distance `1.0`, weight `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `resolution == 0` or `size <= 0`.
+    pub fn new(resolution: usize, size: f32) -> TsdfVolume {
+        assert!(resolution > 0, "resolution must be positive");
+        assert!(size > 0.0, "size must be positive");
+        let n = resolution * resolution * resolution;
+        TsdfVolume {
+            resolution,
+            size,
+            voxel: size / resolution as f32,
+            tsdf: vec![1.0; n],
+            weight: vec![0.0; n],
+        }
+    }
+
+    /// Voxels per side.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Physical size of the cube side in metres.
+    pub fn size(&self) -> f32 {
+        self.size
+    }
+
+    /// Side of one voxel in metres.
+    pub fn voxel_size(&self) -> f32 {
+        self.voxel
+    }
+
+    /// Memory footprint of the voxel data in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.tsdf.len() + self.weight.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Number of voxels that have received at least one observation.
+    pub fn occupied_voxels(&self) -> usize {
+        self.weight.iter().filter(|&&w| w > 0.0).count()
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.resolution + y) * self.resolution + x
+    }
+
+    /// Raw TSDF value of voxel `(x, y, z)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any coordinate is out of range.
+    pub fn voxel_tsdf(&self, x: usize, y: usize, z: usize) -> f32 {
+        assert!(
+            x < self.resolution && y < self.resolution && z < self.resolution,
+            "voxel out of range"
+        );
+        self.tsdf[self.index(x, y, z)]
+    }
+
+    /// Integration weight of voxel `(x, y, z)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any coordinate is out of range.
+    pub fn voxel_weight(&self, x: usize, y: usize, z: usize) -> f32 {
+        assert!(
+            x < self.resolution && y < self.resolution && z < self.resolution,
+            "voxel out of range"
+        );
+        self.weight[self.index(x, y, z)]
+    }
+
+    /// World-space centre of voxel `(x, y, z)`.
+    pub fn voxel_center(&self, x: usize, y: usize, z: usize) -> Vec3 {
+        Vec3::new(
+            (x as f32 + 0.5) * self.voxel,
+            (y as f32 + 0.5) * self.voxel,
+            (z as f32 + 0.5) * self.voxel,
+        )
+    }
+
+    /// Trilinearly-interpolated TSDF at a world point, or `None` when the
+    /// point is outside the volume or entirely unobserved (all eight
+    /// neighbouring voxels have zero weight).
+    pub fn sample(&self, p: Vec3) -> Option<f32> {
+        let g = p * (1.0 / self.voxel) - Vec3::splat(0.5);
+        let x0 = g.x.floor();
+        let y0 = g.y.floor();
+        let z0 = g.z.floor();
+        let max = (self.resolution - 1) as f32;
+        if x0 < 0.0 || y0 < 0.0 || z0 < 0.0 || x0 >= max || y0 >= max || z0 >= max {
+            return None;
+        }
+        let (xi, yi, zi) = (x0 as usize, y0 as usize, z0 as usize);
+        let mut c = [0.0f32; 8];
+        let mut any_observed = false;
+        for (i, corner) in c.iter_mut().enumerate() {
+            let idx = self.index(xi + (i & 1), yi + ((i >> 1) & 1), zi + ((i >> 2) & 1));
+            *corner = self.tsdf[idx];
+            any_observed |= self.weight[idx] > 0.0;
+        }
+        if !any_observed {
+            return None;
+        }
+        Some(slam_math::interp::trilerp(
+            c,
+            g.x - x0,
+            g.y - y0,
+            g.z - z0,
+        ))
+    }
+
+    /// TSDF gradient (points from inside to outside) at a world point via
+    /// central differences of trilinear samples; `None` near the volume
+    /// border or in unobserved space.
+    pub fn gradient(&self, p: Vec3) -> Option<Vec3> {
+        let h = self.voxel;
+        let dx = self.sample(p + Vec3::new(h, 0.0, 0.0))? - self.sample(p - Vec3::new(h, 0.0, 0.0))?;
+        let dy = self.sample(p + Vec3::new(0.0, h, 0.0))? - self.sample(p - Vec3::new(0.0, h, 0.0))?;
+        let dz = self.sample(p + Vec3::new(0.0, 0.0, h))? - self.sample(p - Vec3::new(0.0, 0.0, h))?;
+        Some(Vec3::new(dx, dy, dz))
+    }
+
+    /// Fuses one depth frame into the volume.
+    ///
+    /// `pose` is the camera-to-world pose of the frame, `mu` the
+    /// truncation distance in metres, `max_weight` the running-average
+    /// cap. Returns the measured [`Workload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the camera resolution does not match the depth image.
+    pub fn integrate(
+        &mut self,
+        depth: &DepthImage,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        mu: f32,
+        max_weight: f32,
+    ) -> Workload {
+        assert_eq!(
+            (camera.width, camera.height),
+            (depth.width(), depth.height()),
+            "camera/image resolution mismatch"
+        );
+        let world_to_cam = pose.inverse();
+        let res = self.resolution;
+        let voxel = self.voxel;
+        // camera-frame step for one voxel along world +x (the innermost
+        // loop direction: indices are z-major, x fastest)
+        let r = world_to_cam.rotation();
+        let dx_cam = r * Vec3::new(voxel, 0.0, 0.0);
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8)
+            .min(res);
+        let slab = res * res; // voxels per z slice
+        let depth_ref = depth;
+        // split the storage into contiguous z-slabs and process slab
+        // groups in parallel; each voxel is written exactly once so the
+        // result is independent of the thread count
+        let zs_per_task = res.div_ceil(threads);
+        let mut tasks: Vec<(usize, &mut [f32], &mut [f32])> = Vec::new();
+        {
+            let mut t_rest: &mut [f32] = &mut self.tsdf;
+            let mut w_rest: &mut [f32] = &mut self.weight;
+            let mut z0 = 0usize;
+            while z0 < res {
+                let zn = zs_per_task.min(res - z0);
+                let (t_chunk, t_next) = t_rest.split_at_mut(zn * slab);
+                let (w_chunk, w_next) = w_rest.split_at_mut(zn * slab);
+                t_rest = t_next;
+                w_rest = w_next;
+                tasks.push((z0, t_chunk, w_chunk));
+                z0 += zn;
+            }
+        }
+        let results: Vec<(f64, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|(z0, tsdf_chunk, weight_chunk)| {
+                    scope.spawn(move || {
+                        let mut ops: f64 = 0.0;
+                        let mut updated: f64 = 0.0;
+                        let zn = tsdf_chunk.len() / slab;
+                        for zi in 0..zn {
+                            let z = z0 + zi;
+                            for y in 0..res {
+                                let row_world = Vec3::new(
+                                    0.5 * voxel,
+                                    (y as f32 + 0.5) * voxel,
+                                    (z as f32 + 0.5) * voxel,
+                                );
+                                let mut cam_p = world_to_cam.transform_point(row_world);
+                                for x in 0..res {
+                                    if x > 0 {
+                                        cam_p += dx_cam;
+                                    }
+                                    ops += 4.0;
+                                    if cam_p.z <= 0.001 {
+                                        continue;
+                                    }
+                                    let u = camera.fx * cam_p.x / cam_p.z + camera.cx;
+                                    let v = camera.fy * cam_p.y / cam_p.z + camera.cy;
+                                    ops += 6.0;
+                                    if u < -0.5 || v < -0.5 {
+                                        continue;
+                                    }
+                                    // nearest-pixel lookup (truncation
+                                    // would bias the fusion)
+                                    let (ui, vi) = ((u + 0.5) as usize, (v + 0.5) as usize);
+                                    if ui >= camera.width || vi >= camera.height {
+                                        continue;
+                                    }
+                                    let d = depth_ref.get(ui, vi);
+                                    if d <= 0.0 {
+                                        continue;
+                                    }
+                                    // projective signed distance along the
+                                    // optical axis
+                                    let sdf = d - cam_p.z;
+                                    if sdf < -mu {
+                                        continue; // occluded
+                                    }
+                                    let tsdf_obs = (sdf / mu).min(1.0);
+                                    let idx = zi * slab + y * res + x;
+                                    let w_old = weight_chunk[idx];
+                                    let w_new = (w_old + 1.0).min(max_weight);
+                                    tsdf_chunk[idx] =
+                                        (tsdf_chunk[idx] * w_old + tsdf_obs) / (w_old + 1.0);
+                                    weight_chunk[idx] = w_new;
+                                    ops += 8.0;
+                                    updated += 1.0;
+                                }
+                            }
+                        }
+                        (ops, updated)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("integration worker must not panic"))
+                .collect()
+        });
+        let (ops, updated) = results
+            .into_iter()
+            .fold((0.0, 0.0), |(a, b), (o, u)| (a + o, b + u));
+        let voxels = (res * res * res) as f64;
+        Workload::new(ops, voxels * 2.0 + updated * 16.0)
+    }
+
+    /// Serialises the volume into a compact little-endian binary blob
+    /// (`magic, resolution, size, tsdf[], weight[]`) — the dump format
+    /// the CLI's volume export uses.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.tsdf.len() * 8);
+        out.extend_from_slice(b"TSDF");
+        out.extend_from_slice(&(self.resolution as u32).to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+        for v in &self.tsdf {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for w in &self.weight {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a volume from [`TsdfVolume::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TsdfVolume, String> {
+        if bytes.len() < 12 || &bytes[..4] != b"TSDF" {
+            return Err("not a TSDF volume dump".into());
+        }
+        let resolution = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        let size = f32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if resolution == 0 || resolution > 1024 {
+            return Err(format!("implausible resolution {resolution}"));
+        }
+        if !(size > 0.0) || size > 100.0 {
+            return Err(format!("implausible size {size}"));
+        }
+        let n = resolution * resolution * resolution;
+        let expected = 12 + n * 8;
+        if bytes.len() != expected {
+            return Err(format!("expected {expected} bytes, found {}", bytes.len()));
+        }
+        let read_f32s = |offset: usize| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    let at = offset + i * 4;
+                    f32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+                })
+                .collect()
+        };
+        Ok(TsdfVolume {
+            resolution,
+            size,
+            voxel: size / resolution as f32,
+            tsdf: read_f32s(12),
+            weight: read_f32s(12 + n * 4),
+        })
+    }
+
+    /// Compares the stored implicit surface against a reference signed
+    /// distance function, returning the mean absolute surface error in
+    /// metres over voxels near the zero crossing (|tsdf| < 0.5 and
+    /// observed). Returns `None` when no voxels qualify.
+    ///
+    /// Used by the reconstruction-accuracy metric: the reference is the
+    /// synthetic scene's exact SDF.
+    pub fn surface_error(&self, reference: impl Fn(Vec3) -> f32, mu: f32) -> Option<f32> {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        let res = self.resolution;
+        for z in 0..res {
+            for y in 0..res {
+                for x in 0..res {
+                    let idx = self.index(x, y, z);
+                    if self.weight[idx] <= 0.0 || self.tsdf[idx].abs() >= 0.5 {
+                        continue;
+                    }
+                    let p = self.voxel_center(x, y, z);
+                    // stored tsdf approximates distance/mu
+                    let stored = self.tsdf[idx] * mu;
+                    let actual = reference(p);
+                    sum += f64::from((stored - actual).abs());
+                    count += 1;
+                }
+            }
+        }
+        (count > 0).then(|| (sum / count as f64) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image2D;
+
+    /// Integrates a flat wall at `z = wall_z` seen from the origin.
+    fn integrated_wall(res: usize, size: f32, wall_z: f32, frames: usize) -> TsdfVolume {
+        let cam = PinholeCamera::tiny();
+        let mut vol = TsdfVolume::new(res, size);
+        let depth = Image2D::new(cam.width, cam.height, wall_z);
+        // camera at the volume centre (x/y), at z=0, looking +z
+        let pose = Se3::from_translation(Vec3::new(size / 2.0, size / 2.0, 0.0));
+        for _ in 0..frames {
+            vol.integrate(&depth, &cam, &pose, 0.2, 100.0);
+        }
+        vol
+    }
+
+    #[test]
+    fn new_volume_is_empty() {
+        let vol = TsdfVolume::new(16, 1.0);
+        assert_eq!(vol.occupied_voxels(), 0);
+        assert_eq!(vol.voxel_tsdf(0, 0, 0), 1.0);
+        assert_eq!(vol.voxel_weight(8, 8, 8), 0.0);
+        assert_eq!(vol.memory_bytes(), 16 * 16 * 16 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resolution_panics() {
+        let _ = TsdfVolume::new(0, 1.0);
+    }
+
+    #[test]
+    fn integration_observes_voxels() {
+        let vol = integrated_wall(32, 2.0, 1.0, 1);
+        assert!(vol.occupied_voxels() > 1000, "got {}", vol.occupied_voxels());
+    }
+
+    #[test]
+    fn tsdf_sign_flips_across_wall() {
+        let vol = integrated_wall(32, 2.0, 1.0, 3);
+        // sample along the optical axis: in front of the wall (z < 1) the
+        // tsdf is positive, behind it negative
+        let front = vol.sample(Vec3::new(1.0, 1.0, 0.9)).expect("observed");
+        let behind = vol.sample(Vec3::new(1.0, 1.0, 1.1)).expect("observed");
+        assert!(front > 0.0, "front {front}");
+        assert!(behind < 0.0, "behind {behind}");
+    }
+
+    #[test]
+    fn zero_crossing_at_surface() {
+        let vol = integrated_wall(64, 2.0, 1.0, 3);
+        // bisect the zero crossing along the centre ray
+        let mut lo = 0.8f32;
+        let mut hi = 1.2f32;
+        for _ in 0..30 {
+            let mid = 0.5 * (lo + hi);
+            let v = vol.sample(Vec3::new(1.0, 1.0, mid)).expect("observed");
+            if v > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let crossing = 0.5 * (lo + hi);
+        assert!((crossing - 1.0).abs() < 0.02, "surface at {crossing}");
+    }
+
+    #[test]
+    fn gradient_points_towards_camera_side() {
+        let vol = integrated_wall(32, 2.0, 1.0, 3);
+        let g = vol.gradient(Vec3::new(1.0, 1.0, 1.0)).expect("observed");
+        // tsdf decreases with z here, so gradient z must be negative
+        assert!(g.z < 0.0, "gradient {g}");
+    }
+
+    #[test]
+    fn sample_outside_returns_none() {
+        let vol = TsdfVolume::new(16, 1.0);
+        assert!(vol.sample(Vec3::new(-0.5, 0.5, 0.5)).is_none());
+        assert!(vol.sample(Vec3::new(0.5, 0.5, 2.0)).is_none());
+    }
+
+    #[test]
+    fn sample_unobserved_returns_none() {
+        let vol = TsdfVolume::new(16, 1.0);
+        assert!(vol.sample(Vec3::new(0.5, 0.5, 0.5)).is_none());
+    }
+
+    #[test]
+    fn weight_saturates_at_max() {
+        let cam = PinholeCamera::tiny();
+        let mut vol = TsdfVolume::new(16, 2.0);
+        let depth = Image2D::new(cam.width, cam.height, 1.0);
+        let pose = Se3::from_translation(Vec3::new(1.0, 1.0, 0.0));
+        for _ in 0..5 {
+            vol.integrate(&depth, &cam, &pose, 0.2, 3.0);
+        }
+        let max_w = (0..16)
+            .flat_map(|z| (0..16).flat_map(move |y| (0..16).map(move |x| (x, y, z))))
+            .map(|(x, y, z)| vol.voxel_weight(x, y, z))
+            .fold(0.0f32, f32::max);
+        assert!(max_w <= 3.0 + 1e-6);
+        assert!(max_w > 2.9);
+    }
+
+    #[test]
+    fn occluded_space_stays_unobserved() {
+        let vol = integrated_wall(32, 2.0, 1.0, 1);
+        // far behind the wall (z = 1.8): occluded, never updated
+        assert!(vol.sample(Vec3::new(1.0, 1.0, 1.9)).is_none());
+    }
+
+    #[test]
+    fn integration_workload_scales_with_resolution() {
+        let cam = PinholeCamera::tiny();
+        let depth = Image2D::new(cam.width, cam.height, 1.0);
+        let pose = Se3::from_translation(Vec3::new(1.0, 1.0, 0.0));
+        let mut small = TsdfVolume::new(16, 2.0);
+        let mut large = TsdfVolume::new(32, 2.0);
+        let w_small = small.integrate(&depth, &cam, &pose, 0.2, 100.0);
+        let w_large = large.integrate(&depth, &cam, &pose, 0.2, 100.0);
+        assert!(w_large.ops > 4.0 * w_small.ops, "8x voxels should cost much more");
+        assert!(w_large.bytes > 4.0 * w_small.bytes);
+    }
+
+    #[test]
+    fn volume_bytes_roundtrip() {
+        let vol = integrated_wall(24, 2.0, 1.0, 2);
+        let bytes = vol.to_bytes();
+        let back = TsdfVolume::from_bytes(&bytes).unwrap();
+        assert_eq!(back.resolution(), vol.resolution());
+        assert_eq!(back.size(), vol.size());
+        assert_eq!(back.occupied_voxels(), vol.occupied_voxels());
+        for z in (0..24).step_by(5) {
+            for y in (0..24).step_by(5) {
+                for x in (0..24).step_by(5) {
+                    assert_eq!(back.voxel_tsdf(x, y, z), vol.voxel_tsdf(x, y, z));
+                    assert_eq!(back.voxel_weight(x, y, z), vol.voxel_weight(x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn volume_from_bytes_rejects_garbage() {
+        assert!(TsdfVolume::from_bytes(b"nope").is_err());
+        assert!(TsdfVolume::from_bytes(b"TSDF").is_err());
+        let mut truncated = integrated_wall(16, 1.0, 0.5, 1).to_bytes();
+        truncated.pop();
+        assert!(TsdfVolume::from_bytes(&truncated).is_err());
+        // implausible header values
+        let mut bad = b"TSDF".to_vec();
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(TsdfVolume::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn surface_error_against_exact_plane() {
+        let vol = integrated_wall(64, 2.0, 1.0, 5);
+        // the exact SDF of the wall half-space z >= 1 is (1 - z)… distance
+        // to surface along z for points in front: z - 1 is negative inside
+        let err = vol
+            .surface_error(|p| 1.0 - p.z, 0.2)
+            .expect("surface voxels exist");
+        // note: reference here is signed distance *to the wall plane* with
+        // the same sign convention (positive in front)
+        assert!(err < 0.05, "mean surface error {err} m");
+    }
+}

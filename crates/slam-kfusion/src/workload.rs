@@ -1,0 +1,269 @@
+//! Per-kernel workload instrumentation.
+//!
+//! The ISPASS'18 paper measures execution time and power on physical
+//! devices (ODROID XU3, Android phones). This workspace replaces those
+//! measurements with an analytic model: every kernel reports how much
+//! arithmetic and memory traffic it actually performed, and the
+//! `slam-power` crate maps those counts onto device models. Keeping the
+//! counts *measured* (not estimated from parameters) means rates,
+//! early-exits and data-dependent work (e.g. raycast step counts) are all
+//! reflected, exactly like a hardware counter would.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The KinectFusion kernels, in pipeline order. Matches the kernel
+/// breakdown SLAMBench reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Millimetre → metre conversion + input down-sampling.
+    Mm2Meters,
+    /// Bilateral filter on the input depth.
+    BilateralFilter,
+    /// Pyramid construction (depth-aware half-sampling).
+    HalfSample,
+    /// Back-projection of depth to camera-frame vertices.
+    Depth2Vertex,
+    /// Normal estimation from the vertex map.
+    Vertex2Normal,
+    /// ICP data association + Jacobian accumulation (all iterations).
+    Track,
+    /// The 6×6 normal-equation solve (all iterations).
+    Solve,
+    /// TSDF integration.
+    Integrate,
+    /// Model raycast (surface prediction).
+    Raycast,
+}
+
+impl Kernel {
+    /// All kernels in pipeline order.
+    pub const ALL: [Kernel; 9] = [
+        Kernel::Mm2Meters,
+        Kernel::BilateralFilter,
+        Kernel::HalfSample,
+        Kernel::Depth2Vertex,
+        Kernel::Vertex2Normal,
+        Kernel::Track,
+        Kernel::Solve,
+        Kernel::Integrate,
+        Kernel::Raycast,
+    ];
+
+    /// Short lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Mm2Meters => "mm2meters",
+            Kernel::BilateralFilter => "bilateral",
+            Kernel::HalfSample => "halfsample",
+            Kernel::Depth2Vertex => "depth2vertex",
+            Kernel::Vertex2Normal => "vertex2normal",
+            Kernel::Track => "track",
+            Kernel::Solve => "solve",
+            Kernel::Integrate => "integrate",
+            Kernel::Raycast => "raycast",
+        }
+    }
+
+    /// Fraction of the kernel that is data-parallel (Amdahl). The solve is
+    /// a small serial kernel; everything else is embarrassingly parallel
+    /// over pixels or voxels — which is why KinectFusion maps so well to
+    /// GPUs.
+    pub fn parallel_fraction(self) -> f64 {
+        match self {
+            Kernel::Solve => 0.05,
+            _ => 0.97,
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Measured work of one kernel invocation (or an accumulation of many).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// Arithmetic operations (flops and comparable integer ops).
+    pub ops: f64,
+    /// Bytes moved to/from memory.
+    pub bytes: f64,
+}
+
+impl Workload {
+    /// The zero workload.
+    pub const ZERO: Workload = Workload { ops: 0.0, bytes: 0.0 };
+
+    /// Creates a workload from op and byte counts.
+    pub fn new(ops: f64, bytes: f64) -> Workload {
+        Workload { ops, bytes }
+    }
+
+    /// Arithmetic intensity in ops/byte (`0` when no bytes were moved).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes > 0.0 {
+            self.ops / self.bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// True when no work was recorded.
+    pub fn is_zero(&self) -> bool {
+        self.ops == 0.0 && self.bytes == 0.0
+    }
+}
+
+impl Add for Workload {
+    type Output = Workload;
+    fn add(self, rhs: Workload) -> Workload {
+        Workload { ops: self.ops + rhs.ops, bytes: self.bytes + rhs.bytes }
+    }
+}
+
+impl AddAssign for Workload {
+    fn add_assign(&mut self, rhs: Workload) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3e} ops, {:.3e} B", self.ops, self.bytes)
+    }
+}
+
+/// Workload of one full pipeline frame, broken down by kernel.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameWorkload {
+    entries: Vec<(Kernel, Workload)>,
+}
+
+impl FrameWorkload {
+    /// Creates an empty frame workload.
+    pub fn new() -> FrameWorkload {
+        FrameWorkload::default()
+    }
+
+    /// Adds work for a kernel (accumulates if already present).
+    pub fn record(&mut self, kernel: Kernel, work: Workload) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == kernel) {
+            e.1 += work;
+        } else {
+            self.entries.push((kernel, work));
+        }
+    }
+
+    /// The accumulated work for one kernel.
+    pub fn kernel(&self, kernel: Kernel) -> Workload {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == kernel)
+            .map(|(_, w)| *w)
+            .unwrap_or(Workload::ZERO)
+    }
+
+    /// Iterates over `(kernel, workload)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Kernel, Workload)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Total workload across all kernels.
+    pub fn total(&self) -> Workload {
+        self.entries
+            .iter()
+            .fold(Workload::ZERO, |acc, (_, w)| acc + *w)
+    }
+
+    /// Merges another frame's workload into this one (used when
+    /// aggregating a whole sequence).
+    pub fn merge(&mut self, other: &FrameWorkload) {
+        for (k, w) in other.iter() {
+            self.record(k, w);
+        }
+    }
+}
+
+impl fmt::Display for FrameWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, w) in &self.entries {
+            writeln!(f, "{k:>14}: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_addition() {
+        let a = Workload::new(100.0, 50.0);
+        let b = Workload::new(10.0, 5.0);
+        let c = a + b;
+        assert_eq!(c.ops, 110.0);
+        assert_eq!(c.bytes, 55.0);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn intensity() {
+        assert_eq!(Workload::new(100.0, 50.0).intensity(), 2.0);
+        assert_eq!(Workload::ZERO.intensity(), 0.0);
+        assert!(Workload::ZERO.is_zero());
+    }
+
+    #[test]
+    fn frame_workload_accumulates_per_kernel() {
+        let mut fw = FrameWorkload::new();
+        fw.record(Kernel::Track, Workload::new(10.0, 4.0));
+        fw.record(Kernel::Track, Workload::new(5.0, 2.0));
+        fw.record(Kernel::Integrate, Workload::new(100.0, 80.0));
+        assert_eq!(fw.kernel(Kernel::Track), Workload::new(15.0, 6.0));
+        assert_eq!(fw.kernel(Kernel::Raycast), Workload::ZERO);
+        let total = fw.total();
+        assert_eq!(total.ops, 115.0);
+        assert_eq!(total.bytes, 86.0);
+    }
+
+    #[test]
+    fn merge_sums_frames() {
+        let mut a = FrameWorkload::new();
+        a.record(Kernel::Raycast, Workload::new(1.0, 1.0));
+        let mut b = FrameWorkload::new();
+        b.record(Kernel::Raycast, Workload::new(2.0, 3.0));
+        b.record(Kernel::Solve, Workload::new(4.0, 0.0));
+        a.merge(&b);
+        assert_eq!(a.kernel(Kernel::Raycast), Workload::new(3.0, 4.0));
+        assert_eq!(a.kernel(Kernel::Solve), Workload::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn kernel_names_unique() {
+        let mut names: Vec<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Kernel::ALL.len());
+    }
+
+    #[test]
+    fn solve_is_mostly_serial() {
+        assert!(Kernel::Solve.parallel_fraction() < 0.5);
+        assert!(Kernel::Integrate.parallel_fraction() > 0.9);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut fw = FrameWorkload::new();
+        fw.record(Kernel::Track, Workload::new(1e6, 1e5));
+        let s = format!("{fw}");
+        assert!(s.contains("track"));
+        assert!(format!("{}", Kernel::Integrate) == "integrate");
+    }
+}

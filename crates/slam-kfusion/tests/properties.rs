@@ -1,0 +1,133 @@
+//! Property-based tests for the KinectFusion substrate's invariants.
+
+use proptest::prelude::*;
+use slam_kfusion::image::Image2D;
+use slam_kfusion::preprocess::{bilateral_filter, depth2vertex, half_sample, mm2meters, vertex2normal};
+use slam_kfusion::tsdf::TsdfVolume;
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+
+fn small_depth_image() -> impl Strategy<Value = Image2D<f32>> {
+    proptest::collection::vec(
+        prop_oneof![3 => 0.5f32..4.0, 1 => Just(0.0f32)],
+        16 * 12,
+    )
+    .prop_map(|v| Image2D::from_vec(16, 12, v))
+}
+
+proptest! {
+    /// mm→m conversion preserves holes and scales values exactly.
+    #[test]
+    fn mm2meters_exact(values in proptest::collection::vec(0u16..8000, 8 * 6)) {
+        let (m, _) = mm2meters(&values, 8, 6, 1);
+        for (mm, metres) in values.iter().zip(m.as_slice()) {
+            prop_assert!((f32::from(*mm) / 1000.0 - metres).abs() < 1e-6);
+        }
+    }
+
+    /// The bilateral filter never inverts holes (0 stays 0, valid stays
+    /// valid) and keeps output within the local value range.
+    #[test]
+    fn bilateral_range_preserving(depth in small_depth_image()) {
+        let (f, _) = bilateral_filter(&depth, 2, 1.5, 0.1);
+        let (lo, hi) = depth
+            .as_slice()
+            .iter()
+            .filter(|&&d| d > 0.0)
+            .fold((f32::INFINITY, 0.0f32), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+        for (x, y, v) in f.enumerate_pixels() {
+            let src = depth.get(x, y);
+            if src <= 0.0 {
+                prop_assert_eq!(v, 0.0, "hole filled at ({}, {})", x, y);
+            } else {
+                prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "out of range at ({x},{y}): {v}");
+            }
+        }
+    }
+
+    /// Half-sampling output values lie within the range of their source
+    /// block (it is an average of a subset).
+    #[test]
+    fn half_sample_is_local_average(depth in small_depth_image()) {
+        let (h, _) = half_sample(&depth, 0.1);
+        for (x, y, v) in h.enumerate_pixels() {
+            if v <= 0.0 {
+                continue;
+            }
+            let mut lo = f32::INFINITY;
+            let mut hi = 0.0f32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let d = depth.get(x * 2 + dx, y * 2 + dy);
+                    if d > 0.0 {
+                        lo = lo.min(d);
+                        hi = hi.max(d);
+                    }
+                }
+            }
+            prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+        }
+    }
+
+    /// Back-projected vertices reproduce their depth in z, and normals
+    /// are unit or zero.
+    #[test]
+    fn vertex_and_normal_invariants(depth in small_depth_image()) {
+        let cam = PinholeCamera::new(16, 12, 14.0, 14.0, 7.5, 5.5);
+        let (v, _) = depth2vertex(&depth, &cam);
+        for (x, y, p) in v.enumerate_pixels() {
+            let d = depth.get(x, y);
+            if d > 0.0 {
+                prop_assert!((p.z - d).abs() < 1e-5);
+            } else {
+                prop_assert_eq!(p, Vec3::ZERO);
+            }
+        }
+        let (n, _) = vertex2normal(&v);
+        for (_, _, nv) in n.enumerate_pixels() {
+            let len = nv.norm();
+            prop_assert!(len < 1e-6 || (len - 1.0).abs() < 1e-3);
+        }
+    }
+
+    /// TSDF invariants after arbitrary integrations: values stay in
+    /// [-1, 1], weights in [0, max_weight].
+    #[test]
+    fn tsdf_bounds(
+        wall in 0.8f32..2.5,
+        frames in 1usize..5,
+        mu in 0.05f32..0.3,
+        max_weight in 1.0f32..10.0,
+    ) {
+        let cam = PinholeCamera::tiny();
+        let mut vol = TsdfVolume::new(24, 3.0);
+        let depth = Image2D::new(cam.width, cam.height, wall);
+        let pose = Se3::from_translation(Vec3::new(1.5, 1.5, 0.0));
+        for _ in 0..frames {
+            vol.integrate(&depth, &cam, &pose, mu, max_weight);
+        }
+        for z in 0..24 {
+            for y in 0..24 {
+                for x in 0..24 {
+                    let t = vol.voxel_tsdf(x, y, z);
+                    let w = vol.voxel_weight(x, y, z);
+                    prop_assert!((-1.0..=1.0).contains(&t), "tsdf {t} out of range");
+                    prop_assert!(w >= 0.0 && w <= max_weight + 1e-6, "weight {w}");
+                }
+            }
+        }
+    }
+
+    /// Trilinear sampling of the TSDF stays within the voxel value range.
+    #[test]
+    fn tsdf_sample_bounded(px in 0.2f32..2.8, py in 0.2f32..2.8, pz in 0.2f32..2.8) {
+        let cam = PinholeCamera::tiny();
+        let mut vol = TsdfVolume::new(24, 3.0);
+        let depth = Image2D::new(cam.width, cam.height, 1.5f32);
+        let pose = Se3::from_translation(Vec3::new(1.5, 1.5, 0.0));
+        vol.integrate(&depth, &cam, &pose, 0.15, 100.0);
+        if let Some(v) = vol.sample(Vec3::new(px, py, pz)) {
+            prop_assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Pinhole camera projective geometry.
+//!
+//! Shared by the synthetic renderer (world → image) and the KinectFusion
+//! pipeline (image → vertex map), so it lives with the rest of the
+//! projective math.
+
+use crate::vec::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pinhole camera intrinsics for an image of `width` × `height` pixels.
+///
+/// The camera frame convention is +z forward (optical axis), +x right,
+/// +y down — the usual RGB-D sensor convention.
+///
+/// # Examples
+///
+/// ```
+/// use slam_math::camera::PinholeCamera;
+/// use slam_math::Vec3;
+///
+/// let cam = PinholeCamera::kinect();
+/// let p = Vec3::new(0.0, 0.0, 2.0);            // on the optical axis
+/// let px = cam.project(p).unwrap();
+/// assert!((px.x - cam.cx).abs() < 1e-4);
+/// let back = cam.unproject(px, 2.0);           // depth 2 m
+/// assert!((back - p).norm() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PinholeCamera {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Focal length in pixels (x).
+    pub fx: f32,
+    /// Focal length in pixels (y).
+    pub fy: f32,
+    /// Principal point x.
+    pub cx: f32,
+    /// Principal point y.
+    pub cy: f32,
+}
+
+impl PinholeCamera {
+    /// Creates intrinsics from explicit parameters.
+    pub const fn new(width: usize, height: usize, fx: f32, fy: f32, cx: f32, cy: f32) -> PinholeCamera {
+        PinholeCamera { width, height, fx, fy, cx, cy }
+    }
+
+    /// The Microsoft Kinect / ICL-NUIM standard intrinsics: 640×480,
+    /// focal length 525 px, principal point at…  the image centre
+    /// (within half a pixel), matching the dataset SLAMBench ships.
+    pub const fn kinect() -> PinholeCamera {
+        PinholeCamera::new(640, 480, 525.0, 525.0, 319.5, 239.5)
+    }
+
+    /// A quarter-resolution camera useful in tests (160×120, same field of
+    /// view as [`PinholeCamera::kinect`]).
+    pub const fn tiny() -> PinholeCamera {
+        PinholeCamera::new(160, 120, 131.25, 131.25, 79.5, 59.5)
+    }
+
+    /// Scales the intrinsics down by an integer factor, as the
+    /// `compute_size_ratio` parameter and the tracking pyramid do.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is zero.
+    pub fn scaled_down(&self, factor: usize) -> PinholeCamera {
+        assert!(factor > 0, "scale factor must be positive");
+        let f = factor as f32;
+        PinholeCamera {
+            width: self.width / factor,
+            height: self.height / factor,
+            fx: self.fx / f,
+            fy: self.fy / f,
+            // principal point convention: centre of the scaled image
+            cx: (self.cx + 0.5) / f - 0.5,
+            cy: (self.cy + 0.5) / f - 0.5,
+        }
+    }
+
+    /// Number of pixels in the image.
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Projects a camera-frame point onto the image plane. Returns `None`
+    /// for points at or behind the camera (`z <= 0`).
+    ///
+    /// The result may lie outside the image bounds; combine with
+    /// [`PinholeCamera::contains`] when visibility matters.
+    pub fn project(&self, p: Vec3) -> Option<Vec2> {
+        if p.z <= crate::EPS {
+            return None;
+        }
+        Some(Vec2::new(
+            self.fx * p.x / p.z + self.cx,
+            self.fy * p.y / p.z + self.cy,
+        ))
+    }
+
+    /// Back-projects pixel `px` at `depth` metres to a camera-frame point.
+    pub fn unproject(&self, px: Vec2, depth: f32) -> Vec3 {
+        Vec3::new(
+            (px.x - self.cx) * depth / self.fx,
+            (px.y - self.cy) * depth / self.fy,
+            depth,
+        )
+    }
+
+    /// The unit ray direction through pixel `(u, v)` (pixel centres).
+    pub fn ray_direction(&self, u: f32, v: f32) -> Vec3 {
+        Vec3::new((u - self.cx) / self.fx, (v - self.cy) / self.fy, 1.0)
+            .normalized()
+            .expect("ray through pinhole is never degenerate")
+    }
+
+    /// True when the (sub-pixel) coordinate lies inside the image.
+    pub fn contains(&self, px: Vec2) -> bool {
+        px.x >= 0.0 && px.y >= 0.0 && px.x <= (self.width - 1) as f32 && px.y <= (self.height - 1) as f32
+    }
+
+    /// Horizontal field of view in radians.
+    pub fn fov_x(&self) -> f32 {
+        2.0 * (self.width as f32 / (2.0 * self.fx)).atan()
+    }
+
+    /// Vertical field of view in radians.
+    pub fn fov_y(&self) -> f32 {
+        2.0 * (self.height as f32 / (2.0 * self.fy)).atan()
+    }
+}
+
+impl Default for PinholeCamera {
+    fn default() -> PinholeCamera {
+        PinholeCamera::kinect()
+    }
+}
+
+impl fmt::Display for PinholeCamera {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} fx={:.1} fy={:.1} cx={:.1} cy={:.1}",
+            self.width, self.height, self.fx, self.fy, self.cx, self.cy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_unproject_roundtrip() {
+        let cam = PinholeCamera::kinect();
+        let p = Vec3::new(0.3, -0.2, 1.7);
+        let px = cam.project(p).unwrap();
+        let q = cam.unproject(px, p.z);
+        assert!((p - q).norm() < 1e-4);
+    }
+
+    #[test]
+    fn behind_camera_does_not_project() {
+        let cam = PinholeCamera::kinect();
+        assert!(cam.project(Vec3::new(0.0, 0.0, -1.0)).is_none());
+        assert!(cam.project(Vec3::new(1.0, 1.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn centre_pixel_on_optical_axis() {
+        let cam = PinholeCamera::kinect();
+        let px = cam.project(Vec3::new(0.0, 0.0, 3.0)).unwrap();
+        assert!((px.x - cam.cx).abs() < 1e-4);
+        assert!((px.y - cam.cy).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ray_direction_is_unit_and_consistent() {
+        let cam = PinholeCamera::kinect();
+        let d = cam.ray_direction(100.0, 200.0);
+        assert!((d.norm() - 1.0).abs() < 1e-5);
+        // walking along the ray and projecting lands on the same pixel
+        let p = d * 2.5;
+        let px = cam.project(p).unwrap();
+        assert!((px.x - 100.0).abs() < 1e-2);
+        assert!((px.y - 200.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn scaled_down_preserves_field_of_view() {
+        let cam = PinholeCamera::kinect();
+        let half = cam.scaled_down(2);
+        assert_eq!(half.width, 320);
+        assert_eq!(half.height, 240);
+        assert!((cam.fov_x() - half.fov_x()).abs() < 1e-3);
+        assert!((cam.fov_y() - half.fov_y()).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scale_by_zero_panics() {
+        let _ = PinholeCamera::kinect().scaled_down(0);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let cam = PinholeCamera::tiny();
+        assert!(cam.contains(Vec2::new(0.0, 0.0)));
+        assert!(cam.contains(Vec2::new(159.0, 119.0)));
+        assert!(!cam.contains(Vec2::new(-0.5, 10.0)));
+        assert!(!cam.contains(Vec2::new(10.0, 119.5)));
+    }
+
+    #[test]
+    fn kinect_fov_is_plausible() {
+        let cam = PinholeCamera::kinect();
+        let deg = cam.fov_x().to_degrees();
+        assert!((57.0..=65.0).contains(&deg), "got {deg}");
+    }
+}

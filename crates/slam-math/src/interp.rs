@@ -1,0 +1,96 @@
+//! Interpolation helpers used by the TSDF raycaster and samplers.
+
+/// Linear interpolation between `a` and `b`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(slam_math::interp::lerp(2.0, 4.0, 0.5), 3.0);
+/// ```
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+/// Bilinear interpolation of the four corner values of a unit square.
+///
+/// `c00` is the value at `(0,0)`, `c10` at `(1,0)`, `c01` at `(0,1)`,
+/// `c11` at `(1,1)`; `(tx, ty)` are the fractional coordinates.
+#[inline]
+pub fn bilerp(c00: f32, c10: f32, c01: f32, c11: f32, tx: f32, ty: f32) -> f32 {
+    lerp(lerp(c00, c10, tx), lerp(c01, c11, tx), ty)
+}
+
+/// Trilinear interpolation of the eight corner values of a unit cube.
+///
+/// `c[i]` holds the value at corner `(i & 1, (i >> 1) & 1, (i >> 2) & 1)`,
+/// i.e. x varies fastest.
+#[inline]
+pub fn trilerp(c: [f32; 8], tx: f32, ty: f32, tz: f32) -> f32 {
+    lerp(
+        bilerp(c[0], c[1], c[2], c[3], tx, ty),
+        bilerp(c[4], c[5], c[6], c[7], tx, ty),
+        tz,
+    )
+}
+
+/// Smoothstep: cubic Hermite ramp from 0 at `edge0` to 1 at `edge1`.
+///
+/// Used for soft-shading the synthetic renderer's output.
+#[inline]
+pub fn smoothstep(edge0: f32, edge1: f32, x: f32) -> f32 {
+    if (edge1 - edge0).abs() < f32::EPSILON {
+        return if x < edge0 { 0.0 } else { 1.0 };
+    }
+    let t = ((x - edge0) / (edge1 - edge0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(-1.0, 5.0, 0.0), -1.0);
+        assert_eq!(lerp(-1.0, 5.0, 1.0), 5.0);
+        assert_eq!(lerp(-1.0, 5.0, 0.5), 2.0);
+    }
+
+    #[test]
+    fn bilerp_corners_and_centre() {
+        assert_eq!(bilerp(1.0, 2.0, 3.0, 4.0, 0.0, 0.0), 1.0);
+        assert_eq!(bilerp(1.0, 2.0, 3.0, 4.0, 1.0, 0.0), 2.0);
+        assert_eq!(bilerp(1.0, 2.0, 3.0, 4.0, 0.0, 1.0), 3.0);
+        assert_eq!(bilerp(1.0, 2.0, 3.0, 4.0, 1.0, 1.0), 4.0);
+        assert_eq!(bilerp(1.0, 2.0, 3.0, 4.0, 0.5, 0.5), 2.5);
+    }
+
+    #[test]
+    fn trilerp_recovers_corners() {
+        let c = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        for i in 0..8 {
+            let tx = (i & 1) as f32;
+            let ty = ((i >> 1) & 1) as f32;
+            let tz = ((i >> 2) & 1) as f32;
+            assert_eq!(trilerp(c, tx, ty, tz), i as f32);
+        }
+    }
+
+    #[test]
+    fn trilerp_is_linear_along_axes() {
+        // constant gradient along z
+        let c = [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(trilerp(c, 0.3, 0.8, 0.25), 0.25);
+    }
+
+    #[test]
+    fn smoothstep_clamps_and_ramps() {
+        assert_eq!(smoothstep(0.0, 1.0, -1.0), 0.0);
+        assert_eq!(smoothstep(0.0, 1.0, 2.0), 1.0);
+        assert_eq!(smoothstep(0.0, 1.0, 0.5), 0.5);
+        // degenerate edge interval behaves like a step
+        assert_eq!(smoothstep(1.0, 1.0, 0.5), 0.0);
+        assert_eq!(smoothstep(1.0, 1.0, 1.5), 1.0);
+    }
+}

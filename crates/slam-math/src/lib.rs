@@ -1,0 +1,84 @@
+//! Minimal linear algebra and statistics for the `slambench-rs` workspace.
+//!
+//! This crate provides exactly the numeric substrate the KinectFusion
+//! pipeline, the synthetic renderer and the design-space-exploration engine
+//! need, and nothing more:
+//!
+//! * [`Vec2`], [`Vec3`], [`Vec4`] — small `f32` vectors,
+//! * [`Mat3`], [`Mat4`] — row-major matrices,
+//! * [`Quat`] — unit quaternions for rotations,
+//! * [`Se3`] — rigid-body transforms with `exp`/`log` maps,
+//! * [`solve`] — small dense symmetric solvers (Cholesky) used by ICP,
+//! * [`stats`] — summary statistics used by the metrics and DSE crates,
+//! * [`interp`] — linear/trilinear interpolation helpers used by the TSDF.
+//!
+//! Everything is implemented in safe, dependency-free Rust so the workspace
+//! does not pull a general-purpose linear-algebra crate for the handful of
+//! fixed-size operations dense SLAM requires.
+//!
+//! # Examples
+//!
+//! ```
+//! use slam_math::{Se3, Vec3};
+//!
+//! // A pose 1 m along +x, rotated 90 degrees about +z.
+//! let pose = Se3::from_axis_angle(Vec3::new(0.0, 0.0, 1.0),
+//!                                 std::f32::consts::FRAC_PI_2,
+//!                                 Vec3::new(1.0, 0.0, 0.0));
+//! let p = pose.transform_point(Vec3::new(1.0, 0.0, 0.0));
+//! assert!((p - Vec3::new(1.0, 1.0, 0.0)).norm() < 1e-6);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod camera;
+pub mod interp;
+pub mod mat;
+pub mod quat;
+pub mod se3;
+pub mod solve;
+pub mod stats;
+pub mod vec;
+
+pub use mat::{Mat3, Mat4};
+pub use quat::Quat;
+pub use se3::Se3;
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// The workspace-wide floating point epsilon used for "is this basically
+/// zero" decisions in geometry code.
+pub const EPS: f32 = 1e-6;
+
+/// Clamps `x` into `[lo, hi]`.
+///
+/// Unlike [`f32::clamp`] this never panics: if `lo > hi` the bounds are
+/// swapped first, which is convenient for interval arithmetic on
+/// possibly-reversed ranges.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(slam_math::clamp(5.0, 0.0, 1.0), 1.0);
+/// assert_eq!(slam_math::clamp(5.0, 1.0, 0.0), 1.0); // reversed bounds
+/// ```
+pub fn clamp(x: f32, lo: f32, hi: f32) -> f32 {
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    x.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_handles_reversed_bounds() {
+        assert_eq!(clamp(0.5, 1.0, 0.0), 0.5);
+        assert_eq!(clamp(-2.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn clamp_is_identity_inside_range() {
+        assert_eq!(clamp(0.25, 0.0, 1.0), 0.25);
+    }
+}

@@ -1,0 +1,296 @@
+//! Unit quaternions for representing and interpolating rotations.
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Mul;
+
+/// A quaternion `w + xi + yj + zk`. Rotation quaternions are kept unit
+/// length by the constructors; [`Quat::normalized`] is available after long
+/// chains of multiplications.
+///
+/// # Examples
+///
+/// ```
+/// use slam_math::{Quat, Vec3};
+/// let q = Quat::from_axis_angle(Vec3::Z, std::f32::consts::FRAC_PI_2);
+/// let v = q.rotate(Vec3::X);
+/// assert!((v - Vec3::Y).norm() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f32,
+    /// `i` component.
+    pub x: f32,
+    /// `j` component.
+    pub y: f32,
+    /// `k` component.
+    pub z: f32,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from raw components (not normalised).
+    #[inline]
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Quat {
+        Quat { w, x, y, z }
+    }
+
+    /// A rotation of `angle` radians about `axis`. A degenerate axis yields
+    /// the identity.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Quat {
+        match axis.normalized() {
+            Some(a) => {
+                let (s, c) = (angle * 0.5).sin_cos();
+                Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+            }
+            None => Quat::IDENTITY,
+        }
+    }
+
+    /// Converts a rotation matrix to a quaternion (Shepperd's method).
+    pub fn from_mat3(m: &Mat3) -> Quat {
+        let t = m.trace();
+        let q = if t > 0.0 {
+            let s = (t + 1.0).sqrt() * 2.0;
+            Quat {
+                w: 0.25 * s,
+                x: (m.m[2][1] - m.m[1][2]) / s,
+                y: (m.m[0][2] - m.m[2][0]) / s,
+                z: (m.m[1][0] - m.m[0][1]) / s,
+            }
+        } else if m.m[0][0] > m.m[1][1] && m.m[0][0] > m.m[2][2] {
+            let s = (1.0 + m.m[0][0] - m.m[1][1] - m.m[2][2]).sqrt() * 2.0;
+            Quat {
+                w: (m.m[2][1] - m.m[1][2]) / s,
+                x: 0.25 * s,
+                y: (m.m[0][1] + m.m[1][0]) / s,
+                z: (m.m[0][2] + m.m[2][0]) / s,
+            }
+        } else if m.m[1][1] > m.m[2][2] {
+            let s = (1.0 + m.m[1][1] - m.m[0][0] - m.m[2][2]).sqrt() * 2.0;
+            Quat {
+                w: (m.m[0][2] - m.m[2][0]) / s,
+                x: (m.m[0][1] + m.m[1][0]) / s,
+                y: 0.25 * s,
+                z: (m.m[1][2] + m.m[2][1]) / s,
+            }
+        } else {
+            let s = (1.0 + m.m[2][2] - m.m[0][0] - m.m[1][1]).sqrt() * 2.0;
+            Quat {
+                w: (m.m[1][0] - m.m[0][1]) / s,
+                x: (m.m[0][2] + m.m[2][0]) / s,
+                y: (m.m[1][2] + m.m[2][1]) / s,
+                z: 0.25 * s,
+            }
+        };
+        q.normalized()
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_mat3(self) -> Mat3 {
+        let Quat { w, x, y, z } = self.normalized();
+        Mat3::from_rows([
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        ])
+    }
+
+    /// Quaternion norm.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the unit quaternion in the same direction; identity for a
+    /// (near-)zero quaternion.
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n < crate::EPS {
+            Quat::IDENTITY
+        } else {
+            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        }
+    }
+
+    /// The conjugate; for unit quaternions this is the inverse rotation.
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Rotates a vector.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = q * (0, v) * q^-1, expanded for efficiency.
+        let u = Vec3::new(self.x, self.y, self.z);
+        let s = self.w;
+        u * 2.0 * u.dot(v) + v * (s * s - u.dot(u)) + u.cross(v) * 2.0 * s
+    }
+
+    /// The rotation angle in radians, in `[0, π]`.
+    pub fn angle(self) -> f32 {
+        let q = self.normalized();
+        2.0 * q.w.abs().min(1.0).acos()
+    }
+
+    /// Spherical linear interpolation between two rotations.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`; the shorter arc is
+    /// taken.
+    pub fn slerp(self, other: Quat, t: f32) -> Quat {
+        let a = self.normalized();
+        let mut b = other.normalized();
+        let mut dot = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+        if dot < 0.0 {
+            b = Quat::new(-b.w, -b.x, -b.y, -b.z);
+            dot = -dot;
+        }
+        if dot > 0.9995 {
+            // nearly parallel: lerp + renormalise
+            return Quat::new(
+                a.w + (b.w - a.w) * t,
+                a.x + (b.x - a.x) * t,
+                a.y + (b.y - a.y) * t,
+                a.z + (b.z - a.z) * t,
+            )
+            .normalized();
+        }
+        let theta = dot.min(1.0).acos();
+        let (s0, s1) = (((1.0 - t) * theta).sin() / theta.sin(), (t * theta).sin() / theta.sin());
+        Quat::new(
+            a.w * s0 + b.w * s1,
+            a.x * s0 + b.x * s1,
+            a.y * s0 + b.y * s1,
+            a.z * s0 + b.z * s1,
+        )
+        .normalized()
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Quat {
+        Quat::IDENTITY
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    fn mul(self, r: Quat) -> Quat {
+        Quat {
+            w: self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            x: self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            y: self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            z: self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        }
+    }
+}
+
+impl fmt::Display for Quat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4} + {:.4}i + {:.4}j + {:.4}k)", self.w, self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    fn assert_close(a: Vec3, b: Vec3) {
+        assert!((a - b).norm() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn rotate_matches_matrix() {
+        let axis = Vec3::new(0.3, -0.4, 0.8);
+        let angle = 1.3;
+        let q = Quat::from_axis_angle(axis, angle);
+        let m = Mat3::from_axis_angle(axis, angle);
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert_close(q.rotate(v), m * v);
+    }
+
+    #[test]
+    fn mat3_roundtrip() {
+        for (axis, angle) in [
+            (Vec3::X, 0.2),
+            (Vec3::Y, -1.1),
+            (Vec3::new(1.0, 1.0, 1.0), PI - 0.1),
+            (Vec3::new(-0.2, 0.9, 0.1), 2.5),
+        ] {
+            let q = Quat::from_axis_angle(axis, angle);
+            let q2 = Quat::from_mat3(&q.to_mat3());
+            // q and -q are the same rotation
+            let v = Vec3::new(0.7, 0.1, -0.4);
+            assert_close(q.rotate(v), q2.rotate(v));
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let qa = Quat::from_axis_angle(Vec3::X, 0.5);
+        let qb = Quat::from_axis_angle(Vec3::Y, -0.8);
+        let v = Vec3::new(0.2, 0.3, 0.4);
+        assert_close((qa * qb).rotate(v), qa.rotate(qb.rotate(v)));
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, 3.0), 0.9);
+        let v = Vec3::new(-0.3, 0.8, 0.2);
+        assert_close(q.conjugate().rotate(q.rotate(v)), v);
+    }
+
+    #[test]
+    fn angle_extraction() {
+        let q = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert!((q.angle() - FRAC_PI_2).abs() < 1e-5);
+        assert!(Quat::IDENTITY.angle() < 1e-5);
+    }
+
+    #[test]
+    fn slerp_endpoints_and_midpoint() {
+        let a = Quat::IDENTITY;
+        let b = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        let v = Vec3::X;
+        assert_close(a.slerp(b, 0.0).rotate(v), v);
+        assert_close(a.slerp(b, 1.0).rotate(v), b.rotate(v));
+        let mid = a.slerp(b, 0.5);
+        assert!((mid.angle() - FRAC_PI_2 / 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn slerp_takes_shorter_arc() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.1);
+        let b = Quat::new(-1.0, 0.0, 0.0, 0.0) * Quat::from_axis_angle(Vec3::Z, 0.2);
+        let mid = a.slerp(b, 0.5);
+        assert!(mid.angle() < 0.3);
+    }
+
+    #[test]
+    fn degenerate_axis_is_identity() {
+        assert_eq!(Quat::from_axis_angle(Vec3::ZERO, 2.0), Quat::IDENTITY);
+    }
+
+    #[test]
+    fn normalized_zero_is_identity() {
+        assert_eq!(Quat::new(0.0, 0.0, 0.0, 0.0).normalized(), Quat::IDENTITY);
+    }
+}

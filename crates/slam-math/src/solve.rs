@@ -1,0 +1,460 @@
+//! Small dense linear solvers.
+//!
+//! The ICP tracker reduces each iteration to a 6×6 symmetric positive
+//! (semi-)definite normal-equation system `J<sup>T</sup>J x = J<sup>T</sup>r`. We accumulate and
+//! solve it in `f64` for numerical robustness and convert back to `f32` at
+//! the pose-update boundary.
+
+use std::fmt;
+
+/// Error returned when a matrix is not positive definite (or otherwise
+/// numerically singular) during factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveSingularError {
+    /// Pivot index at which the factorisation broke down.
+    pub pivot: usize,
+}
+
+impl fmt::Display for SolveSingularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular or not positive definite at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for SolveSingularError {}
+
+/// A symmetric `N`×`N` system accumulated as upper-triangular entries plus a
+/// right-hand side; the staple of Gauss–Newton solvers.
+///
+/// # Examples
+///
+/// ```
+/// use slam_math::solve::NormalEquations;
+/// let mut ne = NormalEquations::<2>::new();
+/// // accumulate rows of J and residuals r: here J = I, r = (3, 4)
+/// ne.add_row(&[1.0, 0.0], 3.0, 1.0);
+/// ne.add_row(&[0.0, 1.0], 4.0, 1.0);
+/// let x = ne.solve().unwrap();
+/// assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NormalEquations<const N: usize> {
+    /// `JᵀJ`, full storage for simplicity.
+    ata: [[f64; N]; N],
+    /// `Jᵀr`.
+    atb: [f64; N],
+    /// Sum of squared residuals (weighted).
+    residual_sq: f64,
+    /// Number of accumulated rows.
+    count: usize,
+}
+
+impl<const N: usize> NormalEquations<N> {
+    /// Creates an empty (all-zero) system.
+    pub fn new() -> Self {
+        NormalEquations {
+            ata: [[0.0; N]; N],
+            atb: [0.0; N],
+            residual_sq: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Accumulates one measurement row: Jacobian row `j`, residual `r`,
+    /// weight `w` (use `1.0` for unweighted least squares).
+    pub fn add_row(&mut self, j: &[f64; N], r: f64, w: f64) {
+        for a in 0..N {
+            let wja = w * j[a];
+            for b in a..N {
+                self.ata[a][b] += wja * j[b];
+            }
+            self.atb[a] += wja * r;
+        }
+        self.residual_sq += w * r * r;
+        self.count += 1;
+    }
+
+    /// Merges another accumulated system into this one (used by the
+    /// parallel reduction in ICP).
+    pub fn merge(&mut self, other: &NormalEquations<N>) {
+        for a in 0..N {
+            for b in a..N {
+                self.ata[a][b] += other.ata[a][b];
+            }
+            self.atb[a] += other.atb[a];
+        }
+        self.residual_sq += other.residual_sq;
+        self.count += other.count;
+    }
+
+    /// Number of accumulated rows.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sum of weighted squared residuals over all accumulated rows.
+    pub fn residual_squared_sum(&self) -> f64 {
+        self.residual_sq
+    }
+
+    /// Root-mean-square residual, or `0.0` when empty.
+    pub fn rms_residual(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.residual_sq / self.count as f64).sqrt()
+        }
+    }
+
+    /// Solves `JᵀJ x = Jᵀr` via Cholesky.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveSingularError`] when the system is rank deficient
+    /// (e.g. ICP with too few or degenerate correspondences).
+    pub fn solve(&self) -> Result<[f64; N], SolveSingularError> {
+        // mirror the upper triangle
+        let mut a = self.ata;
+        for r in 1..N {
+            for c in 0..r {
+                a[r][c] = a[c][r];
+            }
+        }
+        cholesky_solve(a, self.atb)
+    }
+
+    /// Solves the damped system `(JᵀJ + λ·diag(JᵀJ)) x = Jᵀr`
+    /// (Levenberg–Marquardt style damping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveSingularError`] when even the damped system is
+    /// singular (all-zero Jacobian).
+    pub fn solve_damped(&self, lambda: f64) -> Result<[f64; N], SolveSingularError> {
+        let mut a = self.ata;
+        for r in 1..N {
+            for c in 0..r {
+                a[r][c] = a[c][r];
+            }
+        }
+        for i in 0..N {
+            a[i][i] += lambda * a[i][i].max(1e-12);
+        }
+        cholesky_solve(a, self.atb)
+    }
+}
+
+impl<const N: usize> Default for NormalEquations<N> {
+    fn default() -> Self {
+        NormalEquations::new()
+    }
+}
+
+/// Solves `A x = b` for a symmetric positive-definite `A` via Cholesky
+/// factorisation `A = L Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`SolveSingularError`] when a pivot is non-positive, i.e. the
+/// matrix is not positive definite.
+pub fn cholesky_solve<const N: usize>(
+    a: [[f64; N]; N],
+    b: [f64; N],
+) -> Result<[f64; N], SolveSingularError> {
+    let l = cholesky_factor(a)?;
+    // forward substitution: L y = b
+    let mut y = [0.0; N];
+    for i in 0..N {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i][k] * y[k];
+        }
+        y[i] = s / l[i][i];
+    }
+    // back substitution: Lᵀ x = y
+    let mut x = [0.0; N];
+    for i in (0..N).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..N {
+            s -= l[k][i] * x[k];
+        }
+        x[i] = s / l[i][i];
+    }
+    Ok(x)
+}
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`SolveSingularError`] when a pivot is non-positive.
+pub fn cholesky_factor<const N: usize>(a: [[f64; N]; N]) -> Result<[[f64; N]; N], SolveSingularError> {
+    let mut l = [[0.0; N]; N];
+    for i in 0..N {
+        for j in 0..=i {
+            let mut s = a[i][j];
+            for k in 0..j {
+                s -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if s <= 1e-15 {
+                    return Err(SolveSingularError { pivot: i });
+                }
+                l[i][j] = s.sqrt();
+            } else {
+                l[i][j] = s / l[j][j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix via the
+/// cyclic Jacobi rotation method.
+///
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors[i]` is the
+/// unit eigenvector for `eigenvalues[i]`, sorted in descending eigenvalue
+/// order. Used by the Horn trajectory-alignment step of the ATE metric.
+///
+/// The input is assumed symmetric; only the upper triangle is read
+/// conceptually (the implementation symmetrises defensively).
+pub fn jacobi_eigen<const N: usize>(a: [[f64; N]; N]) -> ([f64; N], [[f64; N]; N]) {
+    let mut m = a;
+    // defensive symmetrisation
+    for r in 0..N {
+        for c in (r + 1)..N {
+            let avg = 0.5 * (m[r][c] + m[c][r]);
+            m[r][c] = avg;
+            m[c][r] = avg;
+        }
+    }
+    let mut v = [[0.0; N]; N];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..64 {
+        // off-diagonal magnitude
+        let mut off = 0.0;
+        for r in 0..N {
+            for c in (r + 1)..N {
+                off += m[r][c] * m[r][c];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..N {
+            for q in (p + 1)..N {
+                if m[p][q].abs() < 1e-18 {
+                    continue;
+                }
+                let theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..N {
+                    let (mkp, mkq) = (m[k][p], m[k][q]);
+                    m[k][p] = c * mkp - s * mkq;
+                    m[k][q] = s * mkp + c * mkq;
+                }
+                for k in 0..N {
+                    let (mpk, mqk) = (m[p][k], m[q][k]);
+                    m[p][k] = c * mpk - s * mqk;
+                    m[q][k] = s * mpk + c * mqk;
+                }
+                for row in v.iter_mut() {
+                    let (vkp, vkq) = (row[p], row[q]);
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // extract and sort descending
+    let mut order: [usize; N] = [0; N];
+    for (i, slot) in order.iter_mut().enumerate() {
+        *slot = i;
+    }
+    order.sort_by(|&i, &j| m[j][j].partial_cmp(&m[i][i]).expect("finite eigenvalues"));
+    let mut values = [0.0; N];
+    let mut vectors = [[0.0; N]; N];
+    for (rank, &i) in order.iter().enumerate() {
+        values[rank] = m[i][i];
+        for k in 0..N {
+            vectors[rank][k] = v[k][i];
+        }
+    }
+    (values, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec<const N: usize>(a: &[[f64; N]; N], x: &[f64; N]) -> [f64; N] {
+        let mut out = [0.0; N];
+        for r in 0..N {
+            for c in 0..N {
+                out[r] += a[r][c] * x[c];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = [[4.0, 2.0, 0.6], [2.0, 5.0, 1.0], [0.6, 1.0, 3.0]];
+        let x_true = [1.0, -2.0, 0.5];
+        let b = mat_vec(&a, &x_true);
+        let x = cholesky_solve(a, b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = [[1.0, 2.0], [2.0, 1.0]]; // eigenvalues 3, -1
+        assert!(cholesky_solve(a, [1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_rejects_singular() {
+        let a = [[1.0, 1.0], [1.0, 1.0]];
+        let err = cholesky_solve(a, [1.0, 1.0]).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn normal_equations_least_squares() {
+        // fit y = a + b t to noiseless data from a=2, b=3
+        let mut ne = NormalEquations::<2>::new();
+        for i in 0..10 {
+            let t = i as f64 * 0.1;
+            ne.add_row(&[1.0, t], 2.0 + 3.0 * t, 1.0);
+        }
+        let x = ne.solve().unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert_eq!(ne.count(), 10);
+    }
+
+    #[test]
+    fn weights_change_solution() {
+        // two inconsistent measurements of a scalar; weighting picks the mean
+        let mut ne = NormalEquations::<1>::new();
+        ne.add_row(&[1.0], 0.0, 1.0);
+        ne.add_row(&[1.0], 10.0, 3.0);
+        let x = ne.solve().unwrap();
+        assert!((x[0] - 7.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let rows: Vec<([f64; 2], f64)> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                ([1.0, t], 0.5 * t - 1.0)
+            })
+            .collect();
+        let mut all = NormalEquations::<2>::new();
+        for (j, r) in &rows {
+            all.add_row(j, *r, 1.0);
+        }
+        let mut a = NormalEquations::<2>::new();
+        let mut b = NormalEquations::<2>::new();
+        for (i, (j, r)) in rows.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add_row(j, *r, 1.0);
+            } else {
+                b.add_row(j, *r, 1.0);
+            }
+        }
+        a.merge(&b);
+        let xa = a.solve().unwrap();
+        let xb = all.solve().unwrap();
+        assert!((xa[0] - xb[0]).abs() < 1e-12);
+        assert!((xa[1] - xb[1]).abs() < 1e-12);
+        assert_eq!(a.count(), all.count());
+        assert!((a.residual_squared_sum() - all.residual_squared_sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damped_solve_handles_rank_deficiency() {
+        // only one observable direction
+        let mut ne = NormalEquations::<2>::new();
+        ne.add_row(&[1.0, 0.0], 2.0, 1.0);
+        assert!(ne.solve().is_err());
+        // Heavy damping cannot rescue a structurally zero diagonal, but the
+        // observable component must survive with mild damping on it alone.
+        let err = ne.solve_damped(1e-3).unwrap_err();
+        assert_eq!(err.pivot, 1);
+    }
+
+    #[test]
+    fn jacobi_diagonal_is_trivial() {
+        let (vals, vecs) = jacobi_eigen([[3.0, 0.0], [0.0, 1.0]]);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        assert!(vecs[0][0].abs() > 0.99);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // eigenvalues of [[2,1],[1,2]] are 3 and 1
+        let (vals, vecs) = jacobi_eigen([[2.0, 1.0], [1.0, 2.0]]);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // eigenvector for 3 is (1,1)/sqrt(2)
+        assert!((vecs[0][0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let a = [
+            [4.0, 1.0, -0.5, 0.2],
+            [1.0, 3.0, 0.7, -0.1],
+            [-0.5, 0.7, 2.0, 0.3],
+            [0.2, -0.1, 0.3, 1.0],
+        ];
+        let (vals, vecs) = jacobi_eigen(a);
+        // A v = lambda v for every pair
+        for i in 0..4 {
+            let av = mat_vec(&a, &vecs[i]);
+            for k in 0..4 {
+                assert!(
+                    (av[k] - vals[i] * vecs[i][k]).abs() < 1e-8,
+                    "eigenpair {i} fails at component {k}"
+                );
+            }
+        }
+        // eigenvalues descending
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let a = [[5.0, 2.0, 1.0], [2.0, 4.0, 0.5], [1.0, 0.5, 3.0]];
+        let (_, vecs) = jacobi_eigen(a);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|k| vecs[i][k] * vecs[j][k]).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rms_residual_reports_misfit() {
+        let mut ne = NormalEquations::<1>::new();
+        ne.add_row(&[1.0], 3.0, 1.0);
+        ne.add_row(&[1.0], -3.0, 1.0);
+        assert!((ne.rms_residual() - 3.0).abs() < 1e-12);
+        let empty = NormalEquations::<1>::new();
+        assert_eq!(empty.rms_residual(), 0.0);
+    }
+}

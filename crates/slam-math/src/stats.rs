@@ -1,0 +1,352 @@
+//! Summary statistics used by the metrics and DSE crates.
+//!
+//! Two flavours: [`OnlineStats`] (constant memory, streaming) and
+//! [`Summary`] (computed from a retained sample, supports percentiles).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use slam_math::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of (finite) observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or `0.0` for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation, or `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation, or `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.5} std={:.5} min={:.5} max={:.5}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A five-plus-number summary computed from a retained sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Root mean square.
+    pub rms: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `values`. Non-finite entries are dropped;
+    /// an empty (or all-non-finite) input yields the all-zero summary.
+    pub fn of(values: &[f64]) -> Summary {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return Summary::default();
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let rms = (v.iter().map(|x| x * x).sum::<f64>() / count as f64).sqrt();
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: v[0],
+            median: percentile_sorted(&v, 50.0),
+            p95: percentile_sorted(&v, 95.0),
+            max: v[count - 1],
+            rms,
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.5} std={:.5} min={:.5} med={:.5} p95={:.5} max={:.5}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of an already-sorted
+/// slice. Returns `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Debug-asserts that `p` is within `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let rank = p / 100.0 * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an unsorted slice (copies and sorts).
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    percentile_sorted(&v, p)
+}
+
+/// Root mean square of a slice; `0.0` when empty.
+pub fn rms(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|x| x * x).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Arithmetic mean of a slice; `0.0` when empty.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_matches_batch() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let batch = Summary::of(&data);
+        assert!((s.mean() - batch.mean).abs() < 1e-12);
+        assert!((s.std_dev() - batch.std_dev).abs() < 1e-12);
+        assert_eq!(s.min(), batch.min);
+        assert_eq!(s.max(), batch.max);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn online_ignores_non_finite() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn online_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i < 37 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_noop() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), before);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn percentiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 25.0), 2.0);
+        // interpolation between ranks
+        let v2 = [0.0, 10.0];
+        assert_eq!(percentile(&v2, 50.0), 5.0);
+        assert_eq!(percentile(&[42.0], 73.0), 42.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.rms > s.mean); // rms >= mean for non-negative data
+    }
+
+    #[test]
+    fn rms_and_mean_helpers() {
+        assert_eq!(rms(&[3.0, 4.0]), (12.5f64).sqrt());
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn display_non_empty() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        assert!(format!("{s}").contains("n=1"));
+        assert!(format!("{}", Summary::of(&[1.0])).contains("n=1"));
+    }
+}

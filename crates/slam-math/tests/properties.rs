@@ -1,0 +1,188 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use slam_math::solve::{cholesky_solve, NormalEquations};
+use slam_math::stats::{percentile, OnlineStats, Summary};
+use slam_math::{Mat3, Quat, Se3, Vec3};
+use slam_math::se3::Twist;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-10.0f32..10.0).prop_map(|x| x)
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (small_f32(), small_f32(), small_f32()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_vec3() -> impl Strategy<Value = Vec3> {
+    vec3().prop_filter_map("non-degenerate", |v| v.normalized())
+}
+
+fn angle() -> impl Strategy<Value = f32> {
+    -3.0f32..3.0
+}
+
+fn pose() -> impl Strategy<Value = Se3> {
+    (unit_vec3(), angle(), vec3()).prop_map(|(axis, a, t)| Se3::from_axis_angle(axis, a, t))
+}
+
+proptest! {
+    #[test]
+    fn cross_product_orthogonal(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-2 * (1.0 + a.norm() * b.norm()));
+        prop_assert!(c.dot(b).abs() < 1e-2 * (1.0 + a.norm() * b.norm()));
+    }
+
+    #[test]
+    fn triangle_inequality(a in vec3(), b in vec3()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-4);
+    }
+
+    #[test]
+    fn rotation_preserves_norm(axis in unit_vec3(), theta in angle(), v in vec3()) {
+        let r = Mat3::from_axis_angle(axis, theta);
+        prop_assert!(((r * v).norm() - v.norm()).abs() < 1e-3 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn rotation_determinant_one(axis in unit_vec3(), theta in angle()) {
+        let r = Mat3::from_axis_angle(axis, theta);
+        prop_assert!((r.determinant() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip(axis in unit_vec3(), theta in angle(), d in 0.5f32..3.0) {
+        // rotation * diagonal scaling is always invertible
+        let m = Mat3::from_axis_angle(axis, theta) * Mat3::from_diagonal(Vec3::splat(d));
+        let inv = m.inverse().expect("invertible by construction");
+        prop_assert!((m * inv).distance(&Mat3::IDENTITY) < 1e-3);
+    }
+
+    #[test]
+    fn quat_mat_roundtrip(axis in unit_vec3(), theta in angle(), v in vec3()) {
+        let q = Quat::from_axis_angle(axis, theta);
+        let q2 = Quat::from_mat3(&q.to_mat3());
+        prop_assert!((q.rotate(v) - q2.rotate(v)).norm() < 1e-3 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn se3_group_associativity(a in pose(), b in pose(), c in pose(), p in vec3()) {
+        let lhs = ((a * b) * c).transform_point(p);
+        let rhs = (a * (b * c)).transform_point(p);
+        prop_assert!((lhs - rhs).norm() < 1e-2 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn se3_inverse_is_group_inverse(a in pose(), p in vec3()) {
+        let q = a.inverse().transform_point(a.transform_point(p));
+        prop_assert!((q - p).norm() < 1e-3 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn se3_exp_log_roundtrip(
+        v in (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0),
+        w in (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0),
+    ) {
+        let xi = Twist::new(Vec3::new(v.0, v.1, v.2), Vec3::new(w.0, w.1, w.2));
+        let back = Se3::exp(xi).log();
+        prop_assert!((back.v - xi.v).norm() < 1e-3);
+        prop_assert!((back.w - xi.w).norm() < 1e-3);
+    }
+
+    #[test]
+    fn cholesky_solves_random_spd(
+        seed in proptest::array::uniform9(-2.0f64..2.0),
+        reg in 0.1f64..2.0,
+        b in proptest::array::uniform3(-5.0f64..5.0),
+    ) {
+        // A = M Mᵀ + reg·I is SPD for any M
+        let m = [
+            [seed[0], seed[1], seed[2]],
+            [seed[3], seed[4], seed[5]],
+            [seed[6], seed[7], seed[8]],
+        ];
+        let mut a = [[0.0f64; 3]; 3];
+        for r in 0..3 {
+            for c in 0..3 {
+                for k in 0..3 {
+                    a[r][c] += m[r][k] * m[c][k];
+                }
+            }
+            a[r][r] += reg;
+        }
+        let x = cholesky_solve(a, b).expect("SPD by construction");
+        // check A x == b
+        for r in 0..3 {
+            let mut s = 0.0;
+            for c in 0..3 {
+                s += a[r][c] * x[c];
+            }
+            prop_assert!((s - b[r]).abs() < 1e-6 * (1.0 + b[r].abs()));
+        }
+    }
+
+    #[test]
+    fn normal_equations_recover_plane(
+        a0 in -5.0f64..5.0,
+        a1 in -5.0f64..5.0,
+        a2 in -5.0f64..5.0,
+    ) {
+        // fit z = a0 + a1 x + a2 y to noiseless samples
+        let mut ne = NormalEquations::<3>::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                let (x, y) = (i as f64 * 0.7 - 1.0, j as f64 * 0.3 + 0.5);
+                ne.add_row(&[1.0, x, y], a0 + a1 * x + a2 * y, 1.0);
+            }
+        }
+        let sol = ne.solve().expect("well-conditioned grid");
+        prop_assert!((sol[0] - a0).abs() < 1e-6);
+        prop_assert!((sol[1] - a1).abs() < 1e-6);
+        prop_assert!((sol[2] - a2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn online_stats_match_summary(data in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let sum = Summary::of(&data);
+        prop_assert!((s.mean() - sum.mean).abs() < 1e-8);
+        prop_assert!((s.std_dev() - sum.std_dev).abs() < 1e-6);
+        prop_assert_eq!(s.min(), sum.min);
+        prop_assert_eq!(s.max(), sum.max);
+    }
+
+    #[test]
+    fn percentile_is_monotone(data in proptest::collection::vec(-100.0f64..100.0, 1..40)) {
+        let p25 = percentile(&data, 25.0);
+        let p50 = percentile(&data, 50.0);
+        let p75 = percentile(&data, 75.0);
+        prop_assert!(p25 <= p50 && p50 <= p75);
+    }
+
+    #[test]
+    fn percentile_within_range(data in proptest::collection::vec(-100.0f64..100.0, 1..40), p in 0.0f64..100.0) {
+        let v = percentile(&data, p);
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn slerp_angle_monotone(axis in unit_vec3(), theta in 0.1f32..2.8, t in 0.0f32..1.0) {
+        let q = Quat::IDENTITY.slerp(Quat::from_axis_angle(axis, theta), t);
+        prop_assert!((q.angle() - t * theta).abs() < 1e-2);
+    }
+
+    #[test]
+    fn look_at_is_rigid(eye in vec3(), target in vec3()) {
+        prop_assume!((eye - target).norm() > 0.1);
+        let pose = Se3::look_at(eye, target, Vec3::Y);
+        let r = pose.rotation();
+        prop_assert!((r.determinant() - 1.0).abs() < 1e-3);
+        prop_assert!((r * r.transpose()).distance(&Mat3::IDENTITY) < 1e-3);
+    }
+}

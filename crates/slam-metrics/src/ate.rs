@@ -1,0 +1,310 @@
+//! Absolute trajectory error (ATE).
+//!
+//! The SLAMBench accuracy metric: per-frame Euclidean distance between the
+//! estimated and ground-truth camera positions. The paper's quality
+//! constraint is `Max ATE < 5 cm`.
+//!
+//! Optionally the estimated trajectory is rigidly aligned to the ground
+//! truth first (Horn's closed-form quaternion method), as the TUM RGB-D
+//! and ICL-NUIM evaluation tools do; SLAMBench-style evaluation (shared
+//! initial pose) uses [`Alignment::None`].
+
+use serde::{Deserialize, Serialize};
+use slam_math::solve::jacobi_eigen;
+use slam_math::stats::Summary;
+use slam_math::{Mat3, Quat, Se3, Vec3};
+use std::fmt;
+
+/// How to register the estimated trajectory onto the ground truth before
+/// computing errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Alignment {
+    /// Compare trajectories in their native frames (SLAMBench style:
+    /// the pipeline was seeded with the ground-truth initial pose).
+    #[default]
+    None,
+    /// Align by mapping the first estimated pose onto the first
+    /// ground-truth pose.
+    FirstPose,
+    /// Best rigid alignment over the whole trajectory (Horn 1987).
+    Horn,
+}
+
+/// Options for [`ate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AteOptions {
+    /// Trajectory registration mode.
+    pub alignment: Alignment,
+}
+
+/// Error returned by [`ate`] and [`crate::rpe::rpe`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// The two trajectories have different lengths.
+    LengthMismatch {
+        /// Estimated trajectory length.
+        estimated: usize,
+        /// Ground-truth trajectory length.
+        ground_truth: usize,
+    },
+    /// The trajectories are empty (or too short for the metric).
+    TooShort,
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::LengthMismatch { estimated, ground_truth } => write!(
+                f,
+                "trajectory length mismatch: {estimated} estimated vs {ground_truth} ground truth"
+            ),
+            TrajectoryError::TooShort => write!(f, "trajectory too short for this metric"),
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+/// The ATE of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AteResult {
+    /// Per-frame translational error in metres.
+    pub errors: Vec<f64>,
+    /// Maximum error ("Max ATE", the paper's accuracy axis).
+    pub max: f64,
+    /// Mean error.
+    pub mean: f64,
+    /// Root-mean-square error (what the TUM tool reports).
+    pub rmse: f64,
+    /// Median error.
+    pub median: f64,
+}
+
+impl fmt::Display for AteResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ATE max={:.4} m mean={:.4} m rmse={:.4} m median={:.4} m (n={})",
+            self.max,
+            self.mean,
+            self.rmse,
+            self.median,
+            self.errors.len()
+        )
+    }
+}
+
+/// Computes the absolute trajectory error of `estimated` against
+/// `ground_truth`.
+///
+/// # Errors
+///
+/// Returns [`TrajectoryError`] when the trajectories differ in length or
+/// are empty.
+pub fn ate(
+    estimated: &[Se3],
+    ground_truth: &[Se3],
+    options: AteOptions,
+) -> Result<AteResult, TrajectoryError> {
+    if estimated.len() != ground_truth.len() {
+        return Err(TrajectoryError::LengthMismatch {
+            estimated: estimated.len(),
+            ground_truth: ground_truth.len(),
+        });
+    }
+    if estimated.is_empty() {
+        return Err(TrajectoryError::TooShort);
+    }
+    let aligned: Vec<Se3> = match options.alignment {
+        Alignment::None => estimated.to_vec(),
+        Alignment::FirstPose => {
+            let correction = ground_truth[0] * estimated[0].inverse();
+            estimated.iter().map(|p| correction * *p).collect()
+        }
+        Alignment::Horn => {
+            let correction = horn_alignment(estimated, ground_truth);
+            estimated.iter().map(|p| correction * *p).collect()
+        }
+    };
+    let errors: Vec<f64> = aligned
+        .iter()
+        .zip(ground_truth)
+        .map(|(e, g)| f64::from(e.translation_distance(g)))
+        .collect();
+    let summary = Summary::of(&errors);
+    Ok(AteResult {
+        max: summary.max,
+        mean: summary.mean,
+        rmse: summary.rms,
+        median: summary.median,
+        errors,
+    })
+}
+
+/// Computes the rigid transform `T` minimising
+/// `Σ ‖T·est_i − gt_i‖²` over the trajectory positions (Horn's
+/// closed-form quaternion solution, no scale).
+pub fn horn_alignment(estimated: &[Se3], ground_truth: &[Se3]) -> Se3 {
+    assert_eq!(estimated.len(), ground_truth.len());
+    assert!(!estimated.is_empty());
+    let n = estimated.len() as f32;
+    let mean = |poses: &[Se3]| -> Vec3 {
+        poses
+            .iter()
+            .fold(Vec3::ZERO, |acc, p| acc + p.translation())
+            * (1.0 / n)
+    };
+    let mu_e = mean(estimated);
+    let mu_g = mean(ground_truth);
+    // cross-covariance of centred positions
+    let mut cov = Mat3::ZERO;
+    for (e, g) in estimated.iter().zip(ground_truth) {
+        let a = e.translation() - mu_e;
+        let b = g.translation() - mu_g;
+        // Horn's S matrix: S[i][j] = Σ a_i b_j, rotating a (estimated) onto
+        // b (ground truth)
+        cov = cov + Mat3::outer(a, b);
+    }
+    // Horn's symmetric 4x4 matrix from the covariance
+    let s = &cov.m;
+    let trace = f64::from(cov.trace());
+    let q_mat = [
+        [
+            trace,
+            f64::from(s[1][2] - s[2][1]),
+            f64::from(s[2][0] - s[0][2]),
+            f64::from(s[0][1] - s[1][0]),
+        ],
+        [
+            f64::from(s[1][2] - s[2][1]),
+            f64::from(2.0 * s[0][0]) - trace,
+            f64::from(s[0][1] + s[1][0]),
+            f64::from(s[2][0] + s[0][2]),
+        ],
+        [
+            f64::from(s[2][0] - s[0][2]),
+            f64::from(s[0][1] + s[1][0]),
+            f64::from(2.0 * s[1][1]) - trace,
+            f64::from(s[1][2] + s[2][1]),
+        ],
+        [
+            f64::from(s[0][1] - s[1][0]),
+            f64::from(s[2][0] + s[0][2]),
+            f64::from(s[1][2] + s[2][1]),
+            f64::from(2.0 * s[2][2]) - trace,
+        ],
+    ];
+    let (_, vecs) = jacobi_eigen(q_mat);
+    let q = Quat::new(
+        vecs[0][0] as f32,
+        vecs[0][1] as f32,
+        vecs[0][2] as f32,
+        vecs[0][3] as f32,
+    )
+    .normalized();
+    let r = q.to_mat3();
+    let t = mu_g - r * mu_e;
+    Se3::new(r, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_line(n: usize) -> Vec<Se3> {
+        (0..n)
+            .map(|i| Se3::from_translation(Vec3::new(i as f32 * 0.1, 0.0, 0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_error() {
+        let gt = straight_line(10);
+        let r = ate(&gt, &gt, AteOptions::default()).unwrap();
+        assert!(r.max < 1e-9);
+        assert!(r.rmse < 1e-9);
+        assert_eq!(r.errors.len(), 10);
+    }
+
+    #[test]
+    fn constant_offset_is_reported_unaligned() {
+        let gt = straight_line(10);
+        let est: Vec<Se3> = gt
+            .iter()
+            .map(|p| Se3::from_translation(Vec3::new(0.0, 0.03, 0.0)) * *p)
+            .collect();
+        let r = ate(&est, &gt, AteOptions::default()).unwrap();
+        assert!((r.max - 0.03).abs() < 1e-6);
+        assert!((r.mean - 0.03).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_pose_alignment_removes_initial_offset() {
+        let gt = straight_line(10);
+        let offset = Se3::from_axis_angle(Vec3::Y, 0.2, Vec3::new(1.0, 2.0, 3.0));
+        let est: Vec<Se3> = gt.iter().map(|p| offset * *p).collect();
+        let r = ate(&est, &gt, AteOptions { alignment: Alignment::FirstPose }).unwrap();
+        assert!(r.max < 1e-5, "rigidly offset trajectory must align, max {}", r.max);
+    }
+
+    #[test]
+    fn horn_alignment_removes_global_transform() {
+        // a 3-D looping trajectory so the alignment is well constrained
+        let gt: Vec<Se3> = (0..30)
+            .map(|i| {
+                let t = i as f32 * 0.2;
+                Se3::from_translation(Vec3::new(t.cos(), 0.5 * t.sin(), t * 0.1))
+            })
+            .collect();
+        let offset = Se3::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.7, Vec3::new(-2.0, 1.0, 0.5));
+        let est: Vec<Se3> = gt.iter().map(|p| offset * *p).collect();
+        let r = ate(&est, &gt, AteOptions { alignment: Alignment::Horn }).unwrap();
+        assert!(r.max < 1e-4, "Horn must recover the offset, max {}", r.max);
+    }
+
+    #[test]
+    fn horn_alignment_beats_none_on_drifted_run() {
+        let gt = straight_line(20);
+        // simulated drift: error grows linearly
+        let est: Vec<Se3> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Se3::from_translation(Vec3::new(0.0, i as f32 * 0.002, 0.0)) * *p)
+            .collect();
+        let raw = ate(&est, &gt, AteOptions::default()).unwrap();
+        let horn = ate(&est, &gt, AteOptions { alignment: Alignment::Horn }).unwrap();
+        assert!(horn.rmse < raw.rmse);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let gt = straight_line(5);
+        let est = straight_line(4);
+        let err = ate(&est, &gt, AteOptions::default()).unwrap_err();
+        assert!(matches!(err, TrajectoryError::LengthMismatch { estimated: 4, ground_truth: 5 }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_trajectories_error() {
+        let err = ate(&[], &[], AteOptions::default()).unwrap_err();
+        assert_eq!(err, TrajectoryError::TooShort);
+    }
+
+    #[test]
+    fn statistics_are_consistent() {
+        let gt = straight_line(4);
+        let est: Vec<Se3> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Se3::from_translation(Vec3::new(0.0, 0.0, i as f32 * 0.01)) * *p)
+            .collect();
+        let r = ate(&est, &gt, AteOptions::default()).unwrap();
+        // errors are 0, 0.01, 0.02, 0.03
+        assert!((r.max - 0.03).abs() < 1e-6);
+        assert!((r.mean - 0.015).abs() < 1e-6);
+        assert!(r.rmse >= r.mean);
+        assert!(r.median > 0.0 && r.median < r.max);
+        assert!(format!("{r}").contains("max"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Plain-text table rendering for the figure-regeneration binaries.
+//!
+//! The paper's artefacts are figures and headline numbers; our bench
+//! binaries print them as aligned text tables and simple ASCII series, so
+//! a terminal diff against `EXPERIMENTS.md` is enough to check a
+//! reproduction.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use slam_metrics::report::Table;
+/// let mut t = Table::new(vec!["device".into(), "speedup".into()]);
+/// t.row(vec!["odroid-xu3".into(), "4.8".into()]);
+/// let text = t.render();
+/// assert!(text.contains("odroid-xu3"));
+/// assert!(text.contains("speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Table {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the table width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}  ");
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Renders a horizontal ASCII bar chart: one line per `(label, value)`,
+/// bars scaled to `width` characters at the maximum value.
+///
+/// Used for the Figure 3 speed-up distribution.
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(f64::EPSILON, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bars = ((value / max) * width as f64).round().max(0.0) as usize;
+        let _ = writeln!(out, "{label:<label_w$} | {} {value:.2}", "#".repeat(bars));
+    }
+    out
+}
+
+/// Renders an ASCII scatter plot of `(x, y)` series on a `cols`×`rows`
+/// character grid. Each series gets its own glyph, in the order given.
+///
+/// Used for the Figure 2 runtime-vs-accuracy cloud.
+pub fn scatter_plot(
+    series: &[(&str, char, Vec<(f64, f64)>)],
+    cols: usize,
+    rows: usize,
+) -> String {
+    let mut all_x: Vec<f64> = Vec::new();
+    let mut all_y: Vec<f64> = Vec::new();
+    for (_, _, pts) in series {
+        for &(x, y) in pts {
+            if x.is_finite() && y.is_finite() {
+                all_x.push(x);
+                all_y.push(y);
+            }
+        }
+    }
+    if all_x.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (x_min, x_max) = bounds(&all_x);
+    let (y_min, y_max) = bounds(&all_y);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (_, glyph, pts) in series {
+        for &(x, y) in pts {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = scale(x, x_min, x_max, cols);
+            // y axis points up: row 0 is the top
+            let cy = rows - 1 - scale(y, y_min, y_max, rows);
+            grid[cy][cx] = *glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "y: [{y_min:.4}, {y_max:.4}]");
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "|{line}");
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(cols));
+    let _ = writeln!(out, "x: [{x_min:.4}, {x_max:.4}]");
+    for (name, glyph, _) in series {
+        let _ = writeln!(out, "  {glyph} = {name}");
+    }
+    out
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < 1e-12 {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn scale(v: f64, min: f64, max: f64, cells: usize) -> usize {
+    let t = (v - min) / (max - min);
+    ((t * (cells - 1) as f64).round() as usize).min(cells - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a".into(), "long_header".into()]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "2".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // header '1' column starts at the same offset in each row
+        let pos_header = lines[0].find("long_header").unwrap();
+        let pos_row = lines[2].find('1').unwrap();
+        assert_eq!(pos_header, pos_row);
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["only".into()]);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        let text = t.render();
+        assert!(text.contains("only"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let items = vec![("a".to_string(), 1.0), ("b".to_string(), 2.0)];
+        let chart = bar_chart(&items, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[1]), 10);
+        assert_eq!(hashes(lines[0]), 5);
+    }
+
+    #[test]
+    fn scatter_plot_contains_glyphs_and_ranges() {
+        let series = vec![
+            ("random", '.', vec![(0.1, 0.04), (0.3, 0.06)]),
+            ("active", 'o', vec![(0.15, 0.035)]),
+        ];
+        let plot = scatter_plot(&series, 40, 10);
+        assert!(plot.contains('o'));
+        assert!(plot.contains('.'));
+        assert!(plot.contains("random"));
+        assert!(plot.contains("x: ["));
+    }
+
+    #[test]
+    fn scatter_plot_empty_series() {
+        let plot = scatter_plot(&[("none", 'x', vec![])], 10, 5);
+        assert!(plot.contains("no data"));
+    }
+
+    #[test]
+    fn scatter_handles_constant_values() {
+        let plot = scatter_plot(&[("flat", '*', vec![(1.0, 2.0), (1.0, 2.0)])], 10, 5);
+        assert!(plot.contains('*'));
+    }
+}

@@ -1,0 +1,168 @@
+//! Relative pose error (RPE): local drift per fixed frame interval,
+//! following Sturm et al. (IROS 2012).
+
+use crate::ate::TrajectoryError;
+use serde::{Deserialize, Serialize};
+use slam_math::stats::Summary;
+use slam_math::Se3;
+use std::fmt;
+
+/// The RPE of one run at a fixed interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpeResult {
+    /// The evaluation interval in frames.
+    pub interval: usize,
+    /// Per-pair translational drift in metres.
+    pub translation_errors: Vec<f64>,
+    /// Per-pair rotational drift in radians.
+    pub rotation_errors: Vec<f64>,
+    /// RMS translational drift.
+    pub translation_rmse: f64,
+    /// Maximum translational drift.
+    pub translation_max: f64,
+    /// RMS rotational drift.
+    pub rotation_rmse: f64,
+}
+
+impl fmt::Display for RpeResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RPE(Δ={}) trans rmse={:.4} m max={:.4} m, rot rmse={:.4} rad",
+            self.interval, self.translation_rmse, self.translation_max, self.rotation_rmse
+        )
+    }
+}
+
+/// Computes the relative pose error at the given frame `interval`.
+///
+/// For each index `i`, the relative motions
+/// `gt_i⁻¹ · gt_{i+Δ}` and `est_i⁻¹ · est_{i+Δ}` are compared; the error
+/// transform's translation norm and rotation angle are recorded.
+///
+/// # Errors
+///
+/// Returns [`TrajectoryError`] when the trajectories differ in length or
+/// contain fewer than `interval + 1` poses, or when `interval` is zero.
+pub fn rpe(
+    estimated: &[Se3],
+    ground_truth: &[Se3],
+    interval: usize,
+) -> Result<RpeResult, TrajectoryError> {
+    if estimated.len() != ground_truth.len() {
+        return Err(TrajectoryError::LengthMismatch {
+            estimated: estimated.len(),
+            ground_truth: ground_truth.len(),
+        });
+    }
+    if interval == 0 || estimated.len() <= interval {
+        return Err(TrajectoryError::TooShort);
+    }
+    let mut translation_errors = Vec::new();
+    let mut rotation_errors = Vec::new();
+    for i in 0..(estimated.len() - interval) {
+        let rel_gt = ground_truth[i].inverse() * ground_truth[i + interval];
+        let rel_est = estimated[i].inverse() * estimated[i + interval];
+        let err = rel_gt.inverse() * rel_est;
+        translation_errors.push(f64::from(err.translation().norm()));
+        rotation_errors.push(f64::from(err.rotation_angle_to(&Se3::IDENTITY)));
+    }
+    let t = Summary::of(&translation_errors);
+    let r = Summary::of(&rotation_errors);
+    Ok(RpeResult {
+        interval,
+        translation_rmse: t.rms,
+        translation_max: t.max,
+        rotation_rmse: r.rms,
+        translation_errors,
+        rotation_errors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slam_math::Vec3;
+
+    fn line(n: usize, step: f32) -> Vec<Se3> {
+        (0..n)
+            .map(|i| Se3::from_translation(Vec3::new(i as f32 * step, 0.0, 0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_trajectory_has_zero_rpe() {
+        let gt = line(10, 0.1);
+        let r = rpe(&gt, &gt, 1).unwrap();
+        assert!(r.translation_rmse < 1e-9);
+        assert!(r.rotation_rmse < 1e-9);
+        assert_eq!(r.translation_errors.len(), 9);
+    }
+
+    #[test]
+    fn constant_offset_cancels_in_rpe() {
+        // a rigid offset does not affect relative motion
+        let gt = line(10, 0.1);
+        let offset = Se3::from_axis_angle(Vec3::Y, 0.5, Vec3::new(1.0, 2.0, 3.0));
+        let est: Vec<Se3> = gt.iter().map(|p| offset * *p).collect();
+        let r = rpe(&est, &gt, 1).unwrap();
+        assert!(r.translation_rmse < 1e-5, "got {}", r.translation_rmse);
+    }
+
+    #[test]
+    fn speed_error_shows_in_rpe() {
+        let gt = line(10, 0.1);
+        let est = line(10, 0.11); // 10% too fast
+        let r = rpe(&est, &gt, 1).unwrap();
+        assert!((r.translation_rmse - 0.01).abs() < 1e-6);
+        assert!((r.translation_max - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interval_scales_drift() {
+        let gt = line(20, 0.1);
+        let est = line(20, 0.11);
+        let r1 = rpe(&est, &gt, 1).unwrap();
+        let r5 = rpe(&est, &gt, 5).unwrap();
+        assert!((r5.translation_rmse - 5.0 * r1.translation_rmse).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_error_detected() {
+        let gt = line(5, 0.1);
+        let est: Vec<Se3> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| *p * Se3::from_axis_angle(Vec3::Z, i as f32 * 0.01, Vec3::ZERO))
+            .collect();
+        let r = rpe(&est, &gt, 1).unwrap();
+        assert!((r.rotation_rmse - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let gt = line(5, 0.1);
+        assert_eq!(rpe(&gt, &gt, 0).unwrap_err(), TrajectoryError::TooShort);
+    }
+
+    #[test]
+    fn too_short_trajectory_rejected() {
+        let gt = line(3, 0.1);
+        assert_eq!(rpe(&gt, &gt, 3).unwrap_err(), TrajectoryError::TooShort);
+        assert!(rpe(&gt, &gt, 2).is_ok());
+    }
+
+    #[test]
+    fn mismatch_rejected() {
+        let a = line(4, 0.1);
+        let b = line(5, 0.1);
+        assert!(matches!(rpe(&a, &b, 1).unwrap_err(), TrajectoryError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn display_mentions_interval() {
+        let gt = line(5, 0.1);
+        let r = rpe(&gt, &gt, 2).unwrap();
+        assert!(format!("{r}").contains("Δ=2"));
+    }
+}

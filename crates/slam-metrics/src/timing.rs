@@ -1,0 +1,184 @@
+//! Frame-time aggregation and FPS computation.
+//!
+//! Works with *modelled* device time (from `slam-power`) or wall-clock
+//! time alike — both are just seconds per frame.
+
+use serde::{Deserialize, Serialize};
+use slam_math::stats::Summary;
+use std::fmt;
+
+/// One frame's timing record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingRecord {
+    /// Frame index.
+    pub frame: usize,
+    /// Time for the full pipeline on this frame, in seconds.
+    pub seconds: f64,
+}
+
+/// Aggregated timing of a sequence run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceTiming {
+    records: Vec<TimingRecord>,
+}
+
+impl SequenceTiming {
+    /// Creates an empty aggregate.
+    pub fn new() -> SequenceTiming {
+        SequenceTiming { records: Vec::new() }
+    }
+
+    /// Builds directly from per-frame seconds.
+    pub fn from_seconds(seconds: impl IntoIterator<Item = f64>) -> SequenceTiming {
+        let records = seconds
+            .into_iter()
+            .enumerate()
+            .map(|(frame, s)| TimingRecord { frame, seconds: s })
+            .collect();
+        SequenceTiming { records }
+    }
+
+    /// Appends one frame's time.
+    pub fn push(&mut self, seconds: f64) {
+        let frame = self.records.len();
+        self.records.push(TimingRecord { frame, seconds });
+    }
+
+    /// Number of recorded frames.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The per-frame records.
+    pub fn records(&self) -> &[TimingRecord] {
+        &self.records
+    }
+
+    /// Total time over the sequence in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.records.iter().map(|r| r.seconds).sum()
+    }
+
+    /// Mean seconds per frame (`0.0` when empty).
+    pub fn mean_frame_time(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.total_seconds() / self.records.len() as f64
+        }
+    }
+
+    /// Mean frames per second (`0.0` when empty or instantaneous).
+    pub fn mean_fps(&self) -> f64 {
+        let t = self.mean_frame_time();
+        if t > 0.0 {
+            1.0 / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Worst-case (slowest) frame time in seconds.
+    pub fn max_frame_time(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.seconds)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of frames at or above the given FPS target (e.g. `30.0`
+    /// for the paper's real-time criterion).
+    pub fn realtime_fraction(&self, target_fps: f64) -> f64 {
+        if self.records.is_empty() || target_fps <= 0.0 {
+            return 0.0;
+        }
+        let budget = 1.0 / target_fps;
+        let ok = self.records.iter().filter(|r| r.seconds <= budget).count();
+        ok as f64 / self.records.len() as f64
+    }
+
+    /// Distributional summary of the frame times.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.records.iter().map(|r| r.seconds).collect::<Vec<_>>())
+    }
+}
+
+impl Default for SequenceTiming {
+    fn default() -> SequenceTiming {
+        SequenceTiming::new()
+    }
+}
+
+impl Extend<f64> for SequenceTiming {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+impl fmt::Display for SequenceTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frames, mean {:.2} ms/frame ({:.1} FPS), worst {:.2} ms",
+            self.len(),
+            self.mean_frame_time() * 1e3,
+            self.mean_fps(),
+            self.max_frame_time() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fps_from_frame_times() {
+        let t = SequenceTiming::from_seconds([0.02, 0.02, 0.02]);
+        assert!((t.mean_fps() - 50.0).abs() < 1e-9);
+        assert!((t.mean_frame_time() - 0.02).abs() < 1e-12);
+        assert!((t.total_seconds() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timing_is_zero() {
+        let t = SequenceTiming::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_fps(), 0.0);
+        assert_eq!(t.max_frame_time(), 0.0);
+        assert_eq!(t.realtime_fraction(30.0), 0.0);
+    }
+
+    #[test]
+    fn realtime_fraction_counts_within_budget() {
+        // budget at 30 FPS is 33.3 ms
+        let t = SequenceTiming::from_seconds([0.02, 0.04, 0.03, 0.05]);
+        assert!((t.realtime_fraction(30.0) - 0.5).abs() < 1e-9);
+        assert_eq!(t.realtime_fraction(0.0), 0.0);
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut t = SequenceTiming::new();
+        t.push(0.1);
+        t.extend([0.2, 0.3]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records()[2].frame, 2);
+        assert!((t.max_frame_time() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_and_display() {
+        let t = SequenceTiming::from_seconds([0.01, 0.03]);
+        let s = t.summary();
+        assert!((s.mean - 0.02).abs() < 1e-12);
+        assert!(format!("{t}").contains("FPS"));
+    }
+}

@@ -1,0 +1,206 @@
+//! TUM RGB-D trajectory format support.
+//!
+//! The evaluation ecosystem the paper builds on (TUM RGB-D benchmark,
+//! ICL-NUIM, SLAMBench) exchanges trajectories as text files with one
+//! `timestamp tx ty tz qx qy qz qw` line per pose. This module parses and
+//! renders that format so runs can be exported to (or compared against)
+//! the standard external tools.
+
+use slam_math::{Quat, Se3, Vec3};
+use std::fmt;
+
+/// One timestamped pose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedPose {
+    /// Timestamp in seconds.
+    pub timestamp: f64,
+    /// Camera-to-world pose.
+    pub pose: Se3,
+}
+
+/// Error from [`parse_tum`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTumError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TUM trajectory parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTumError {}
+
+/// Renders a trajectory in TUM format. Lines are
+/// `timestamp tx ty tz qx qy qz qw` with `#`-comments allowed.
+pub fn to_tum(poses: &[TimedPose]) -> String {
+    let mut out = String::from("# timestamp tx ty tz qx qy qz qw\n");
+    for p in poses {
+        let t = p.pose.translation();
+        let q = p.pose.rotation_quat();
+        out.push_str(&format!(
+            "{:.6} {} {} {} {} {} {} {}\n",
+            p.timestamp, t.x, t.y, t.z, q.x, q.y, q.z, q.w
+        ));
+    }
+    out
+}
+
+/// Parses a TUM-format trajectory. Empty lines and `#` comments are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseTumError`] on the first malformed line.
+pub fn parse_tum(text: &str) -> Result<Vec<TimedPose>, ParseTumError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 8 {
+            return Err(ParseTumError {
+                line: i + 1,
+                reason: format!("expected 8 fields, found {}", fields.len()),
+            });
+        }
+        let mut values = [0.0f64; 8];
+        for (k, f) in fields.iter().enumerate() {
+            values[k] = f.parse().map_err(|_| ParseTumError {
+                line: i + 1,
+                reason: format!("field {k} ({f:?}) is not a number"),
+            })?;
+        }
+        let t = Vec3::new(values[1] as f32, values[2] as f32, values[3] as f32);
+        let q = Quat::new(
+            values[7] as f32, // w is last in TUM order
+            values[4] as f32,
+            values[5] as f32,
+            values[6] as f32,
+        );
+        if q.norm() < 1e-6 {
+            return Err(ParseTumError {
+                line: i + 1,
+                reason: "zero quaternion".into(),
+            });
+        }
+        out.push(TimedPose {
+            timestamp: values[0],
+            pose: Se3::from_quat_translation(q.normalized(), t),
+        });
+    }
+    Ok(out)
+}
+
+/// Associates two timestamped trajectories by nearest timestamp within
+/// `max_dt` seconds, returning index pairs — the association step of the
+/// TUM evaluation tools.
+pub fn associate(
+    a: &[TimedPose],
+    b: &[TimedPose],
+    max_dt: f64,
+) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut bi = 0usize;
+    for (ai, pa) in a.iter().enumerate() {
+        // advance bi to the closest b timestamp
+        while bi + 1 < b.len()
+            && (b[bi + 1].timestamp - pa.timestamp).abs() <= (b[bi].timestamp - pa.timestamp).abs()
+        {
+            bi += 1;
+        }
+        if bi < b.len() && (b[bi].timestamp - pa.timestamp).abs() <= max_dt {
+            pairs.push((ai, bi));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TimedPose> {
+        (0..5)
+            .map(|i| TimedPose {
+                timestamp: i as f64 / 30.0,
+                pose: Se3::from_axis_angle(
+                    Vec3::new(0.2, 1.0, -0.3),
+                    0.1 * i as f32,
+                    Vec3::new(i as f32 * 0.05, 0.0, 1.0),
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_poses() {
+        let poses = sample();
+        let text = to_tum(&poses);
+        let back = parse_tum(&text).unwrap();
+        assert_eq!(back.len(), poses.len());
+        for (a, b) in poses.iter().zip(&back) {
+            // timestamps are printed with 6 decimals, as the TUM tools do
+            assert!((a.timestamp - b.timestamp).abs() < 5e-7);
+            assert!(a.pose.translation_distance(&b.pose) < 1e-5);
+            assert!(a.pose.rotation_angle_to(&b.pose) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0.0 1 2 3 0 0 0 1\n# trailing\n";
+        let poses = parse_tum(text).unwrap();
+        assert_eq!(poses.len(), 1);
+        assert_eq!(poses[0].pose.translation(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0.0 1 2 3 0 0 0 1\n0.1 nope 2 3 0 0 0 1\n";
+        let err = parse_tum(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let err = parse_tum("0.0 1 2 3\n").unwrap_err();
+        assert!(err.reason.contains("8 fields"));
+    }
+
+    #[test]
+    fn zero_quaternion_rejected() {
+        let err = parse_tum("0.0 1 2 3 0 0 0 0\n").unwrap_err();
+        assert!(err.reason.contains("quaternion"));
+    }
+
+    #[test]
+    fn association_by_timestamp() {
+        let a = sample();
+        // b runs at half rate with a small offset
+        let b: Vec<TimedPose> = a
+            .iter()
+            .step_by(2)
+            .map(|p| TimedPose { timestamp: p.timestamp + 0.001, ..*p })
+            .collect();
+        let pairs = associate(&a, &b, 0.01);
+        assert_eq!(pairs.len(), 3); // a[0], a[2], a[4] match
+        for (ai, bi) in pairs {
+            assert!((a[ai].timestamp - b[bi].timestamp).abs() <= 0.01);
+        }
+    }
+
+    #[test]
+    fn association_respects_max_dt() {
+        let a = sample();
+        let b = vec![TimedPose { timestamp: 99.0, pose: Se3::IDENTITY }];
+        assert!(associate(&a, &b, 0.01).is_empty());
+    }
+}

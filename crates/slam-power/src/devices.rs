@@ -1,0 +1,230 @@
+//! A catalogue of named device models.
+//!
+//! Numbers are *sustained* throughputs on irregular SLAM kernels, not
+//! datasheet peaks — calibrated so the default KinectFusion configuration
+//! lands in the few-FPS range on the ODROID XU3 (as reported by
+//! SLAMBench) and the overall power envelope matches the boards' measured
+//! budgets. Absolute accuracy is not the goal (see `DESIGN.md`); relative
+//! behaviour across configurations and devices is.
+
+use crate::model::{ComputeUnit, DeviceModel, UnitKind, UNIFORM_EFFICIENCY};
+
+fn cpu_big(name: &str, gops: f64, bw: f64, nj: f64) -> ComputeUnit {
+    ComputeUnit {
+        name: name.into(),
+        kind: UnitKind::CpuBig,
+        gops,
+        bandwidth_gbps: bw,
+        nj_per_op: nj,
+        dispatch_overhead_s: 2e-5,
+        class_efficiency: UNIFORM_EFFICIENCY,
+    }
+}
+
+fn cpu_little(name: &str, gops: f64, bw: f64, nj: f64) -> ComputeUnit {
+    ComputeUnit {
+        name: name.into(),
+        kind: UnitKind::CpuLittle,
+        gops,
+        bandwidth_gbps: bw,
+        nj_per_op: nj,
+        dispatch_overhead_s: 2e-5,
+        class_efficiency: UNIFORM_EFFICIENCY,
+    }
+}
+
+fn gpu(name: &str, gops: f64, bw: f64, nj: f64, overhead: f64) -> ComputeUnit {
+    ComputeUnit {
+        name: name.into(),
+        kind: UnitKind::Gpu,
+        gops,
+        bandwidth_gbps: bw,
+        nj_per_op: nj,
+        dispatch_overhead_s: overhead,
+        class_efficiency: UNIFORM_EFFICIENCY,
+    }
+}
+
+/// The ODROID XU3 (Samsung Exynos 5422: 4×A15 + 4×A7 big.LITTLE and a
+/// Mali-T628 MP6 GPU) — the paper's headline embedded platform.
+pub fn odroid_xu3() -> DeviceModel {
+    DeviceModel {
+        name: "ODROID XU3".into(),
+        soc: "Exynos 5422".into(),
+        units: vec![
+            cpu_big("Cortex-A15 x4", 1.6, 6.0, 0.95),
+            cpu_little("Cortex-A7 x4", 0.45, 4.0, 0.35),
+            gpu("Mali-T628 MP6", 3.4, 8.5, 0.85, 7e-4),
+        ],
+        nj_per_byte: 0.10,
+        static_watts: 0.25,
+        gpu_compute_usable: true,
+        dvfs_scale: 1.0,
+        thermal_watts: None,
+        large_kernel_bytes: f64::MAX,
+        thrash_factor: 1.0,
+    }
+}
+
+/// The NVIDIA Jetson TK1 (Tegra K1: 4×A15 + Kepler GK20A) — the other
+/// embedded board SLAMBench commonly reports.
+pub fn jetson_tk1() -> DeviceModel {
+    DeviceModel {
+        name: "Jetson TK1".into(),
+        soc: "Tegra K1".into(),
+        units: vec![
+            cpu_big("Cortex-A15 x4", 1.8, 7.0, 0.90),
+            gpu("Kepler GK20A", 6.5, 12.0, 0.65, 3e-4),
+        ],
+        nj_per_byte: 0.09,
+        static_watts: 0.6,
+        gpu_compute_usable: true,
+        dvfs_scale: 1.0,
+        thermal_watts: None,
+        large_kernel_bytes: f64::MAX,
+        thrash_factor: 1.0,
+    }
+}
+
+/// The Arndale board (Exynos 5250: 2×A15 + Mali-T604).
+pub fn arndale() -> DeviceModel {
+    DeviceModel {
+        name: "Arndale".into(),
+        soc: "Exynos 5250".into(),
+        units: vec![
+            cpu_big("Cortex-A15 x2", 0.9, 5.0, 0.95),
+            gpu("Mali-T604 MP4", 2.0, 6.5, 0.9, 8e-4),
+        ],
+        nj_per_byte: 0.11,
+        static_watts: 0.3,
+        gpu_compute_usable: true,
+        dvfs_scale: 1.0,
+        thermal_watts: None,
+        large_kernel_bytes: f64::MAX,
+        thrash_factor: 1.0,
+    }
+}
+
+/// A Raspberry Pi 2 (BCM2836, 4×A7, no usable compute GPU) — the
+/// CPU-only low end.
+pub fn raspberry_pi2() -> DeviceModel {
+    DeviceModel {
+        name: "Raspberry Pi 2".into(),
+        soc: "BCM2836".into(),
+        units: vec![cpu_big("Cortex-A7 x4", 0.35, 1.8, 0.8)],
+        nj_per_byte: 0.14,
+        static_watts: 0.9,
+        gpu_compute_usable: false,
+        dvfs_scale: 1.0,
+        thermal_watts: None,
+        large_kernel_bytes: f64::MAX,
+        thrash_factor: 1.0,
+    }
+}
+
+/// A desktop workstation with a discrete GPU (the "state of the art"
+/// high-power reference point in SLAMBench tables).
+pub fn desktop_gtx() -> DeviceModel {
+    DeviceModel {
+        name: "Desktop + GTX 870M".into(),
+        soc: "i7-4770K / GTX 870M".into(),
+        units: vec![
+            cpu_big("i7-4770K x4", 12.0, 22.0, 1.1),
+            gpu("GTX 870M", 95.0, 120.0, 0.55, 3.0e-5),
+        ],
+        nj_per_byte: 0.18,
+        static_watts: 35.0,
+        gpu_compute_usable: true,
+        dvfs_scale: 1.0,
+        thermal_watts: None,
+        large_kernel_bytes: f64::MAX,
+        thrash_factor: 1.0,
+    }
+}
+
+/// Every catalogue device, for table-style reports.
+pub fn all_devices() -> Vec<DeviceModel> {
+    vec![odroid_xu3(), jetson_tk1(), arndale(), raspberry_pi2(), desktop_gtx()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slam_kfusion::{FrameWorkload, Kernel, Workload};
+
+    /// A workload vector roughly matching the *default* KinectFusion
+    /// configuration at 640×480 with a 256³ volume (per-frame).
+    pub fn default_config_frame() -> FrameWorkload {
+        let mut f = FrameWorkload::new();
+        f.record(Kernel::Mm2Meters, Workload::new(3.1e5, 1.8e6));
+        f.record(Kernel::BilateralFilter, Workload::new(4.6e7, 3.2e7));
+        f.record(Kernel::HalfSample, Workload::new(8e5, 2e6));
+        f.record(Kernel::Depth2Vertex, Workload::new(2.4e6, 6.4e6));
+        f.record(Kernel::Vertex2Normal, Workload::new(6e6, 2.4e7));
+        f.record(Kernel::Track, Workload::new(1.6e8, 2.0e8));
+        f.record(Kernel::Solve, Workload::new(1e4, 2e4));
+        f.record(Kernel::Integrate, Workload::new(2.5e8, 1.7e8));
+        f.record(Kernel::Raycast, Workload::new(2.8e8, 9e7));
+        f
+    }
+
+    #[test]
+    fn xu3_default_config_is_a_few_fps() {
+        let cost = odroid_xu3().execute_frame(&default_config_frame());
+        let fps = 1.0 / cost.seconds;
+        assert!(
+            (1.0..=12.0).contains(&fps),
+            "XU3 default config should run at a few FPS, got {fps:.1}"
+        );
+    }
+
+    #[test]
+    fn xu3_default_power_in_board_envelope() {
+        let cost = odroid_xu3().execute_frame(&default_config_frame());
+        let watts = cost.average_watts();
+        assert!(
+            (1.0..=8.0).contains(&watts),
+            "XU3 under load should draw a couple of watts, got {watts:.2}"
+        );
+    }
+
+    #[test]
+    fn desktop_outruns_every_board() {
+        let frame = default_config_frame();
+        let desktop = desktop_gtx().execute_frame(&frame).seconds;
+        for dev in [odroid_xu3(), jetson_tk1(), arndale(), raspberry_pi2()] {
+            assert!(
+                desktop < dev.execute_frame(&frame).seconds,
+                "desktop should beat {}",
+                dev.name
+            );
+        }
+    }
+
+    #[test]
+    fn desktop_uses_more_power_than_boards() {
+        let frame = default_config_frame();
+        let desktop = desktop_gtx().execute_frame(&frame).average_watts();
+        let xu3 = odroid_xu3().execute_frame(&frame).average_watts();
+        assert!(desktop > 4.0 * xu3);
+    }
+
+    #[test]
+    fn pi_is_the_slowest() {
+        let frame = default_config_frame();
+        let pi = raspberry_pi2().execute_frame(&frame).seconds;
+        for dev in [odroid_xu3(), jetson_tk1(), arndale(), desktop_gtx()] {
+            assert!(pi > dev.execute_frame(&frame).seconds);
+        }
+    }
+
+    #[test]
+    fn catalogue_is_complete_and_distinct() {
+        let devices = all_devices();
+        assert_eq!(devices.len(), 5);
+        let mut names: Vec<_> = devices.iter().map(|d| d.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

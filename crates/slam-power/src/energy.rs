@@ -1,0 +1,164 @@
+//! Run-level energy accounting.
+
+use crate::model::{DeviceModel, FrameCost};
+use serde::{Deserialize, Serialize};
+use slam_kfusion::FrameWorkload;
+use std::fmt;
+
+/// Accumulated cost of a whole benchmark run on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunCost {
+    /// Number of frames accounted.
+    pub frames: usize,
+    /// Total modelled compute time, seconds.
+    pub seconds: f64,
+    /// Total modelled energy, joules.
+    pub joules: f64,
+}
+
+impl RunCost {
+    /// Mean frames per second (`0` when empty).
+    pub fn mean_fps(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.frames as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Average power over the run, watts (`0` when empty).
+    pub fn average_watts(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.joules / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean energy per frame, joules (`0` when empty).
+    pub fn joules_per_frame(&self) -> f64 {
+        if self.frames > 0 {
+            self.joules / self.frames as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for RunCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frames in {:.3} s ({:.2} FPS), {:.2} J ({:.2} W avg)",
+            self.frames,
+            self.seconds,
+            self.mean_fps(),
+            self.joules,
+            self.average_watts()
+        )
+    }
+}
+
+/// Streams per-frame workloads through a device model and accumulates the
+/// run cost — the software analogue of the XU3's on-board power sensors.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    device: DeviceModel,
+    cost: RunCost,
+    frame_costs: Vec<FrameCost>,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for one device.
+    pub fn new(device: DeviceModel) -> EnergyMeter {
+        EnergyMeter { device, cost: RunCost::default(), frame_costs: Vec::new() }
+    }
+
+    /// The device being metered.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Accounts one frame's workload; returns that frame's cost.
+    pub fn record_frame(&mut self, workload: &FrameWorkload) -> FrameCost {
+        let fc = self.device.execute_frame(workload);
+        self.cost.frames += 1;
+        self.cost.seconds += fc.seconds;
+        self.cost.joules += fc.joules;
+        self.frame_costs.push(fc.clone());
+        fc
+    }
+
+    /// The accumulated run cost so far.
+    pub fn run_cost(&self) -> RunCost {
+        self.cost
+    }
+
+    /// Per-frame costs in order.
+    pub fn frame_costs(&self) -> &[FrameCost] {
+        &self.frame_costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::odroid_xu3;
+    use slam_kfusion::{Kernel, Workload};
+
+    fn frame(scale: f64) -> FrameWorkload {
+        let mut f = FrameWorkload::new();
+        f.record(Kernel::Track, Workload::new(1e8 * scale, 5e7 * scale));
+        f.record(Kernel::Integrate, Workload::new(2e8 * scale, 1e8 * scale));
+        f
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let mut m = EnergyMeter::new(odroid_xu3());
+        m.record_frame(&frame(1.0));
+        m.record_frame(&frame(1.0));
+        let c = m.run_cost();
+        assert_eq!(c.frames, 2);
+        assert!(c.seconds > 0.0);
+        assert!(c.joules > 0.0);
+        assert_eq!(m.frame_costs().len(), 2);
+        assert!(format!("{c}").contains("FPS"));
+    }
+
+    #[test]
+    fn fps_and_watts_derivation() {
+        let c = RunCost { frames: 10, seconds: 2.0, joules: 6.0 };
+        assert!((c.mean_fps() - 5.0).abs() < 1e-12);
+        assert!((c.average_watts() - 3.0).abs() < 1e-12);
+        assert!((c.joules_per_frame() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let c = RunCost::default();
+        assert_eq!(c.mean_fps(), 0.0);
+        assert_eq!(c.average_watts(), 0.0);
+        assert_eq!(c.joules_per_frame(), 0.0);
+    }
+
+    #[test]
+    fn identical_frames_cost_identically() {
+        let mut m = EnergyMeter::new(odroid_xu3());
+        let a = m.record_frame(&frame(1.0));
+        let b = m.record_frame(&frame(1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smaller_workload_cheaper_run() {
+        let mut big = EnergyMeter::new(odroid_xu3());
+        let mut small = EnergyMeter::new(odroid_xu3());
+        for _ in 0..3 {
+            big.record_frame(&frame(1.0));
+            small.record_frame(&frame(0.1));
+        }
+        assert!(small.run_cost().seconds < big.run_cost().seconds);
+        assert!(small.run_cost().joules < big.run_cost().joules);
+    }
+}

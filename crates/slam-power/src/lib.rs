@@ -1,0 +1,48 @@
+//! Analytic performance and energy models of embedded devices.
+//!
+//! The ISPASS'18 paper measures KinectFusion speed and power on physical
+//! hardware: an ODROID XU3 development board and 83 crowdsourced Android
+//! phones. This crate is the workspace's substitute for that hardware
+//! (documented in `DESIGN.md`): a roofline-style cost model that maps the
+//! *measured* per-kernel workload vectors produced by `slam-kfusion`
+//! onto modelled execution time and energy.
+//!
+//! The model captures the effects the paper's studies rely on:
+//!
+//! * **roofline** — each kernel is compute- or bandwidth-bound depending
+//!   on its arithmetic intensity and the unit it runs on,
+//! * **heterogeneity** — devices have big/LITTLE CPU clusters and
+//!   optionally an OpenCL-capable GPU; data-parallel kernels prefer the
+//!   GPU when present (Amdahl's law covers the serial remainder),
+//! * **dispatch overhead** — fixed per-kernel launch cost, which limits
+//!   the benefit of shrinking work on slow drivers,
+//! * **energy** — per-op and per-byte energies plus static power, so
+//!   configurations that move less data use proportionally less energy
+//!   and average power,
+//! * **DVFS** — frequency/voltage scaling to trade speed for power.
+//!
+//! # Examples
+//!
+//! ```
+//! use slam_power::devices::odroid_xu3;
+//! use slam_kfusion::{FrameWorkload, Kernel, Workload};
+//!
+//! let device = odroid_xu3();
+//! let mut frame = FrameWorkload::new();
+//! frame.record(Kernel::Integrate, Workload::new(2.5e8, 1.6e8));
+//! let cost = device.execute_frame(&frame);
+//! assert!(cost.seconds > 0.0);
+//! assert!(cost.average_watts() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod devices;
+pub mod energy;
+pub mod fleet;
+pub mod model;
+
+pub use energy::{EnergyMeter, RunCost};
+pub use fleet::{phone_fleet, PhoneSpec};
+pub use model::{ComputeUnit, DeviceModel, FrameCost, KernelCost, UnitKind};

@@ -1,0 +1,431 @@
+//! The device cost model.
+
+use serde::{Deserialize, Serialize};
+use slam_kfusion::{FrameWorkload, Kernel, Workload};
+use std::fmt;
+
+/// The kind of a compute unit, which decides kernel placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// A high-performance CPU cluster (e.g. Cortex-A15).
+    CpuBig,
+    /// A low-power CPU cluster (e.g. Cortex-A7).
+    CpuLittle,
+    /// An OpenCL/CUDA-capable GPU.
+    Gpu,
+}
+
+/// Microarchitectural kernel classes: different silicon runs them with
+/// very different efficiency (a cheap mobile GPU streams TSDF updates
+/// fine but collapses on divergent raycast marching, a CPU is the
+/// opposite). The per-unit [`ComputeUnit::class_efficiency`] multipliers
+/// express this, and are what spreads the fleet speed-ups in Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Predictable streaming passes: unit conversion, pyramid,
+    /// back-projection, TSDF integration.
+    Streaming,
+    /// Neighbourhood stencils: bilateral filter, normal estimation.
+    Stencil,
+    /// Divergent gather/search: raycast marching, ICP association.
+    Gather,
+    /// Tiny serial steps: the 6×6 solve.
+    Serial,
+}
+
+impl KernelClass {
+    /// The class a pipeline kernel belongs to.
+    pub fn of(kernel: Kernel) -> KernelClass {
+        match kernel {
+            Kernel::Mm2Meters | Kernel::HalfSample | Kernel::Depth2Vertex | Kernel::Integrate => {
+                KernelClass::Streaming
+            }
+            Kernel::BilateralFilter | Kernel::Vertex2Normal => KernelClass::Stencil,
+            Kernel::Track | Kernel::Raycast => KernelClass::Gather,
+            Kernel::Solve => KernelClass::Serial,
+        }
+    }
+
+    /// Index into [`ComputeUnit::class_efficiency`].
+    pub fn index(self) -> usize {
+        match self {
+            KernelClass::Streaming => 0,
+            KernelClass::Stencil => 1,
+            KernelClass::Gather => 2,
+            KernelClass::Serial => 3,
+        }
+    }
+}
+
+/// One compute unit of a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeUnit {
+    /// Human-readable name (e.g. `"Mali-T628 MP6"`).
+    pub name: String,
+    /// Unit kind.
+    pub kind: UnitKind,
+    /// *Sustained* arithmetic throughput on SLAM-style kernels, in Gop/s.
+    /// This is deliberately far below peak FLOPS: irregular access and
+    /// branching dominate these kernels.
+    pub gops: f64,
+    /// Sustained memory bandwidth from this unit, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Energy per arithmetic op, nanojoules.
+    pub nj_per_op: f64,
+    /// Fixed dispatch overhead per kernel launch, seconds.
+    pub dispatch_overhead_s: f64,
+    /// Efficiency multiplier on `gops` per [`KernelClass`], indexed by
+    /// [`KernelClass::index`]: `[streaming, stencil, gather, serial]`.
+    /// `1.0` everywhere means the calibration in `gops` applies to all
+    /// kernel shapes equally.
+    pub class_efficiency: [f64; 4],
+}
+
+/// The all-ones efficiency vector.
+pub const UNIFORM_EFFICIENCY: [f64; 4] = [1.0, 1.0, 1.0, 1.0];
+
+impl ComputeUnit {
+    /// Roofline execution time for a workload on this unit, seconds
+    /// (excluding dispatch overhead).
+    pub fn roofline_seconds(&self, w: Workload) -> f64 {
+        let compute = w.ops / (self.gops * 1e9);
+        let memory = w.bytes / (self.bandwidth_gbps * 1e9);
+        compute.max(memory)
+    }
+}
+
+/// Cost of one kernel on a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Modelled execution time, seconds.
+    pub seconds: f64,
+    /// Modelled energy, joules (dynamic only; static power is added at
+    /// frame level).
+    pub joules: f64,
+    /// Name of the unit the parallel part ran on.
+    pub unit: String,
+}
+
+/// Cost of one full frame on a device.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameCost {
+    /// Total frame time, seconds.
+    pub seconds: f64,
+    /// Total frame energy, joules (dynamic + static).
+    pub joules: f64,
+    /// Per-kernel breakdown.
+    pub kernels: Vec<KernelCost>,
+}
+
+impl FrameCost {
+    /// Average power over the frame, watts (`0` for an empty frame).
+    pub fn average_watts(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.joules / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The cost entry for one kernel, if it ran.
+    pub fn kernel(&self, kernel: Kernel) -> Option<&KernelCost> {
+        self.kernels.iter().find(|k| k.kernel == kernel)
+    }
+}
+
+/// An embedded device: compute units, shared memory system, static power
+/// and an optional DVFS scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Device name (e.g. `"ODROID XU3"`).
+    pub name: String,
+    /// SoC name (e.g. `"Exynos 5422"`).
+    pub soc: String,
+    /// The compute units. Must contain at least one CPU unit.
+    pub units: Vec<ComputeUnit>,
+    /// Energy per byte of DRAM traffic, nanojoules.
+    pub nj_per_byte: f64,
+    /// Static (always-on) power while the benchmark runs, watts.
+    pub static_watts: f64,
+    /// Whether the GPU (if any) is usable for compute (OpenCL available
+    /// and functional — on many phones it is not).
+    pub gpu_compute_usable: bool,
+    /// DVFS frequency scale in `(0, 1]`; `1.0` = highest operating point.
+    /// Throughput scales linearly, dynamic energy roughly with `f²`
+    /// (voltage tracks frequency).
+    pub dvfs_scale: f64,
+    /// Sustained power budget in watts, if the device throttles under
+    /// load (passively-cooled phones); `None` for actively-cooled boards.
+    pub thermal_watts: Option<f64>,
+    /// Working-set threshold in bytes: a kernel moving more than this per
+    /// invocation blows the memory system's sweet spot (TLB reach, DRAM
+    /// row locality) and sees its bandwidth divided by
+    /// [`DeviceModel::thrash_factor`]. `f64::MAX` (the boards' value) effectively disables the
+    /// effect (server/board-class memory controllers).
+    pub large_kernel_bytes: f64,
+    /// Bandwidth division factor for kernels beyond
+    /// [`DeviceModel::large_kernel_bytes`]; `1.0` = no penalty.
+    pub thrash_factor: f64,
+}
+
+impl DeviceModel {
+    /// Returns the unit a kernel's parallel phase runs on: the usable GPU
+    /// when the kernel is strongly parallel, otherwise the big CPU.
+    pub fn placement(&self, kernel: Kernel) -> &ComputeUnit {
+        if self.gpu_compute_usable && kernel.parallel_fraction() > 0.5 {
+            if let Some(gpu) = self.units.iter().find(|u| u.kind == UnitKind::Gpu) {
+                return gpu;
+            }
+        }
+        self.units
+            .iter()
+            .find(|u| u.kind == UnitKind::CpuBig)
+            .or_else(|| self.units.first())
+            .expect("device must have at least one unit")
+    }
+
+    /// The big-CPU unit used for serial phases.
+    fn serial_unit(&self) -> &ComputeUnit {
+        self.units
+            .iter()
+            .find(|u| u.kind == UnitKind::CpuBig)
+            .or_else(|| self.units.first())
+            .expect("device must have at least one unit")
+    }
+
+    /// Models the execution of one kernel invocation.
+    pub fn execute(&self, kernel: Kernel, w: Workload) -> KernelCost {
+        let f = self.dvfs_scale.clamp(0.05, 1.0);
+        let pf = kernel.parallel_fraction();
+        let par_unit = self.placement(kernel);
+        let ser_unit = self.serial_unit();
+        let par_w = Workload::new(w.ops * pf, w.bytes * pf);
+        let ser_w = Workload::new(w.ops * (1.0 - pf), w.bytes * (1.0 - pf));
+        // working sets beyond the memory system's reach lose row locality
+        let bw_penalty = if w.bytes > self.large_kernel_bytes {
+            self.thrash_factor.max(1.0)
+        } else {
+            1.0
+        };
+        // frequency scaling slows compute but not DRAM bandwidth
+        let class = KernelClass::of(kernel).index();
+        let par_gops = par_unit.gops * par_unit.class_efficiency[class].max(1e-3);
+        let ser_gops = ser_unit.gops * ser_unit.class_efficiency[class].max(1e-3);
+        let par_t = (par_w.ops / (par_gops * 1e9 * f))
+            .max(par_w.bytes * bw_penalty / (par_unit.bandwidth_gbps * 1e9))
+            + par_unit.dispatch_overhead_s;
+        let ser_t = (ser_w.ops / (ser_gops * 1e9 * f))
+            .max(ser_w.bytes * bw_penalty / (ser_unit.bandwidth_gbps * 1e9));
+        // dynamic energy: per-op on the executing unit (scaled by f² via
+        // the voltage/frequency relation) + DRAM traffic
+        let v2f = f * f;
+        let joules = (par_w.ops * par_unit.nj_per_op * v2f
+            + ser_w.ops * ser_unit.nj_per_op * v2f
+            + w.bytes * self.nj_per_byte)
+            * 1e-9;
+        KernelCost {
+            kernel,
+            seconds: par_t + ser_t,
+            joules,
+            unit: par_unit.name.clone(),
+        }
+    }
+
+    /// Models a full frame: every recorded kernel plus static energy over
+    /// the frame's span.
+    pub fn execute_frame(&self, frame: &FrameWorkload) -> FrameCost {
+        let mut kernels = Vec::new();
+        let mut seconds = 0.0;
+        let mut joules = 0.0;
+        for (kernel, w) in frame.iter() {
+            let cost = self.execute(kernel, w);
+            seconds += cost.seconds;
+            joules += cost.joules;
+            kernels.push(cost);
+        }
+        joules += self.static_watts * seconds;
+        FrameCost { seconds, joules, kernels }
+    }
+
+    /// A copy of this device at a different DVFS operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is not in `(0, 1]`.
+    pub fn at_dvfs(&self, scale: f64) -> DeviceModel {
+        assert!(scale > 0.0 && scale <= 1.0, "dvfs scale must be in (0, 1]");
+        DeviceModel { dvfs_scale: scale, ..self.clone() }
+    }
+
+    /// Models sustained execution under the device's thermal budget: when
+    /// the steady-state average power of `frame` exceeds
+    /// [`DeviceModel::thermal_watts`], the governor bisects the DVFS
+    /// range for the fastest operating point within the budget (average
+    /// power is monotone in frequency).
+    pub fn execute_frame_sustained(&self, frame: &FrameWorkload) -> FrameCost {
+        let cost = self.execute_frame(frame);
+        let Some(budget) = self.thermal_watts else {
+            return cost;
+        };
+        let watts = if cost.seconds > 0.0 { cost.joules / cost.seconds } else { 0.0 };
+        if watts <= budget {
+            return cost;
+        }
+        let mut lo = 0.05f64;
+        let mut hi = self.dvfs_scale;
+        // DRAM traffic and static power do not scale with frequency, so
+        // the device has a power floor; if even the lowest point exceeds
+        // the budget the governor simply pins it
+        let floor = self.at_dvfs(lo).execute_frame(frame);
+        if floor.average_watts() > budget {
+            return floor;
+        }
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            if self.at_dvfs(mid).execute_frame(frame).average_watts() > budget {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        self.at_dvfs(lo).execute_frame(frame)
+    }
+
+    /// Whether the device exposes a usable compute GPU.
+    pub fn has_usable_gpu(&self) -> bool {
+        self.gpu_compute_usable && self.units.iter().any(|u| u.kind == UnitKind::Gpu)
+    }
+}
+
+impl fmt::Display for DeviceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} units{}, dvfs {:.2})",
+            self.name,
+            self.soc,
+            self.units.len(),
+            if self.has_usable_gpu() { ", GPU compute" } else { "" },
+            self.dvfs_scale
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{odroid_xu3, raspberry_pi2};
+
+    fn work(ops: f64, bytes: f64) -> Workload {
+        Workload::new(ops, bytes)
+    }
+
+    #[test]
+    fn roofline_picks_binding_resource() {
+        let unit = ComputeUnit {
+            name: "test".into(),
+            kind: UnitKind::CpuBig,
+            gops: 1.0,          // 1e9 ops/s
+            bandwidth_gbps: 1.0, // 1e9 B/s
+            nj_per_op: 1.0,
+            dispatch_overhead_s: 0.0,
+            class_efficiency: UNIFORM_EFFICIENCY,
+        };
+        // compute bound: 2e9 ops, 1e9 bytes → 2 s
+        assert!((unit.roofline_seconds(work(2e9, 1e9)) - 2.0).abs() < 1e-12);
+        // memory bound: 1e9 ops, 4e9 bytes → 4 s
+        assert!((unit.roofline_seconds(work(1e9, 4e9)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_gets_parallel_kernels() {
+        let dev = odroid_xu3();
+        assert_eq!(dev.placement(Kernel::Integrate).kind, UnitKind::Gpu);
+        // the solver is serial: stays on the CPU
+        assert_eq!(dev.placement(Kernel::Solve).kind, UnitKind::CpuBig);
+    }
+
+    #[test]
+    fn no_gpu_falls_back_to_cpu() {
+        let mut dev = odroid_xu3();
+        dev.gpu_compute_usable = false;
+        assert_eq!(dev.placement(Kernel::Integrate).kind, UnitKind::CpuBig);
+        assert!(!dev.has_usable_gpu());
+    }
+
+    #[test]
+    fn more_work_takes_longer_and_more_energy() {
+        let dev = odroid_xu3();
+        let small = dev.execute(Kernel::Integrate, work(1e7, 1e7));
+        let large = dev.execute(Kernel::Integrate, work(1e9, 1e9));
+        assert!(large.seconds > small.seconds);
+        assert!(large.joules > small.joules);
+    }
+
+    #[test]
+    fn dispatch_overhead_floors_tiny_kernels() {
+        let dev = odroid_xu3();
+        let tiny = dev.execute(Kernel::Integrate, work(1.0, 1.0));
+        let overhead = dev.placement(Kernel::Integrate).dispatch_overhead_s;
+        assert!(tiny.seconds >= overhead);
+    }
+
+    #[test]
+    fn dvfs_slows_and_saves_energy() {
+        let dev = odroid_xu3();
+        let slow = dev.at_dvfs(0.5);
+        let w = work(1e9, 1e6); // compute bound
+        let fast_cost = dev.execute(Kernel::Integrate, w);
+        let slow_cost = slow.execute(Kernel::Integrate, w);
+        assert!(slow_cost.seconds > fast_cost.seconds * 1.5);
+        assert!(slow_cost.joules < fast_cost.joules, "dynamic energy drops with V²");
+    }
+
+    #[test]
+    #[should_panic(expected = "dvfs scale")]
+    fn invalid_dvfs_panics() {
+        let _ = odroid_xu3().at_dvfs(0.0);
+    }
+
+    #[test]
+    fn frame_cost_accumulates_and_adds_static_power() {
+        let dev = odroid_xu3();
+        let mut frame = FrameWorkload::new();
+        frame.record(Kernel::Track, work(1e8, 5e7));
+        frame.record(Kernel::Integrate, work(2e8, 2e8));
+        let cost = dev.execute_frame(&frame);
+        assert_eq!(cost.kernels.len(), 2);
+        let dynamic: f64 = cost.kernels.iter().map(|k| k.joules).sum();
+        assert!(cost.joules > dynamic, "static energy must be included");
+        assert!(cost.kernel(Kernel::Track).is_some());
+        assert!(cost.kernel(Kernel::Raycast).is_none());
+        assert!(cost.average_watts() > 0.0);
+    }
+
+    #[test]
+    fn empty_frame_costs_nothing() {
+        let dev = odroid_xu3();
+        let cost = dev.execute_frame(&FrameWorkload::new());
+        assert_eq!(cost.seconds, 0.0);
+        assert_eq!(cost.average_watts(), 0.0);
+    }
+
+    #[test]
+    fn weaker_device_is_slower() {
+        let xu3 = odroid_xu3();
+        let pi = raspberry_pi2();
+        let mut frame = FrameWorkload::new();
+        frame.record(Kernel::Integrate, work(5e8, 3e8));
+        frame.record(Kernel::Track, work(2e8, 1e8));
+        assert!(pi.execute_frame(&frame).seconds > xu3.execute_frame(&frame).seconds);
+    }
+
+    #[test]
+    fn display_mentions_device() {
+        let s = format!("{}", odroid_xu3());
+        assert!(s.contains("XU3"));
+        assert!(s.contains("GPU"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the device cost models.
+
+use proptest::prelude::*;
+use slam_kfusion::{FrameWorkload, Kernel, Workload};
+use slam_power::devices::{all_devices, odroid_xu3};
+use slam_power::fleet::phone_fleet;
+
+fn frame(ops: f64, bytes: f64) -> FrameWorkload {
+    let mut f = FrameWorkload::new();
+    f.record(Kernel::Integrate, Workload::new(ops * 0.5, bytes * 0.6));
+    f.record(Kernel::Track, Workload::new(ops * 0.3, bytes * 0.3));
+    f.record(Kernel::Raycast, Workload::new(ops * 0.2, bytes * 0.1));
+    f
+}
+
+proptest! {
+    /// Cost is monotone in work: more ops and bytes never take less time
+    /// or energy on any catalogue device.
+    #[test]
+    fn cost_monotone_in_work(ops in 1e6f64..1e9, bytes in 1e5f64..1e8, scale in 1.1f64..4.0) {
+        for device in all_devices() {
+            let small = device.execute_frame(&frame(ops, bytes));
+            let large = device.execute_frame(&frame(ops * scale, bytes * scale));
+            prop_assert!(large.seconds >= small.seconds, "{}: time", device.name);
+            prop_assert!(large.joules >= small.joules, "{}: energy", device.name);
+        }
+    }
+
+    /// Lower DVFS points are never faster, and dynamic energy per frame
+    /// never increases when slowing down.
+    #[test]
+    fn dvfs_monotone(ops in 1e7f64..1e9, bytes in 1e5f64..1e7, s in 0.2f64..0.95) {
+        let dev = odroid_xu3();
+        let fast = dev.execute_frame(&frame(ops, bytes));
+        let slow = dev.at_dvfs(s).execute_frame(&frame(ops, bytes));
+        prop_assert!(slow.seconds >= fast.seconds);
+        // subtract static energy before comparing dynamic parts
+        let fast_dyn = fast.joules - 0.25 * fast.seconds;
+        let slow_dyn = slow.joules - 0.25 * slow.seconds;
+        prop_assert!(slow_dyn <= fast_dyn + 1e-9);
+    }
+
+    /// Thermal throttling never yields a run hotter than ~the budget, and
+    /// never makes the frame faster.
+    #[test]
+    fn throttling_respects_budget(idx in 0usize..83, ops in 5e7f64..2e9, bytes in 1e6f64..3e8) {
+        let fleet = phone_fleet(2018);
+        let phone = &fleet[idx];
+        let w = frame(ops, bytes);
+        let free = phone.device.execute_frame(&w);
+        let sustained = phone.device.execute_frame_sustained(&w);
+        prop_assert!(sustained.seconds >= free.seconds - 1e-12);
+        if let Some(budget) = phone.device.thermal_watts {
+            let watts = sustained.average_watts();
+            // DVFS cannot scale away DRAM traffic energy or static power,
+            // so the governor can only reach the device's power floor
+            let floor = phone.device.at_dvfs(0.05).execute_frame(&w).average_watts();
+            prop_assert!(
+                watts <= (budget * 1.10).max(floor * 1.01) + 1e-9,
+                "{}: {watts:.2} W over budget {budget:.2} W (floor {floor:.2} W)",
+                phone.device.name
+            );
+        }
+    }
+
+    /// Average power stays within physically plausible mobile bounds for
+    /// every phone on every workload (no runaway parameters).
+    #[test]
+    fn fleet_power_plausible(idx in 0usize..83, ops in 1e7f64..1e9, bytes in 1e5f64..1e8) {
+        let fleet = phone_fleet(2018);
+        let phone = &fleet[idx];
+        let cost = phone.device.execute_frame_sustained(&frame(ops, bytes));
+        let watts = cost.average_watts();
+        prop_assert!(watts > 0.05 && watts < 12.0, "{}: {watts} W", phone.device.name);
+    }
+
+    /// Kernel costs compose: a frame's time and dynamic energy equal the
+    /// sums of its kernels' (plus static energy).
+    #[test]
+    fn frame_cost_composes(ops in 1e6f64..1e8, bytes in 1e5f64..1e7) {
+        let dev = odroid_xu3();
+        let w = frame(ops, bytes);
+        let fc = dev.execute_frame(&w);
+        let t: f64 = fc.kernels.iter().map(|k| k.seconds).sum();
+        let e: f64 = fc.kernels.iter().map(|k| k.joules).sum();
+        prop_assert!((fc.seconds - t).abs() < 1e-12);
+        prop_assert!((fc.joules - (e + dev.static_watts * t)).abs() < 1e-9);
+    }
+}

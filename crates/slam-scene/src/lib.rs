@@ -1,0 +1,47 @@
+//! Synthetic RGB-D scene rendering, camera trajectories and dataset
+//! generation — the workspace's substitute for the ICL-NUIM dataset.
+//!
+//! The original SLAMBench evaluates KinectFusion on the ICL-NUIM
+//! `living_room` sequences: ray-traced RGB-D frames of a synthetic room
+//! with perfect ground-truth camera poses. We reproduce that recipe
+//! entirely in Rust:
+//!
+//! 1. a scene is a signed-distance field ([`sdf::Sdf`]) composed of
+//!    primitives and CSG operators ([`scene::Scene`] adds albedos),
+//! 2. a camera path is a [`trajectory::Trajectory`] with exact poses,
+//! 3. the sphere-tracing [`render::Renderer`] turns scene × pose into a
+//!    depth + RGB frame,
+//! 4. a Kinect-style [`noise::DepthNoiseModel`] degrades the ideal depth,
+//! 5. [`dataset::SyntheticDataset`] packages everything as a frame stream
+//!    with ground truth, mirroring a recorded RGB-D sequence.
+//!
+//! # Examples
+//!
+//! ```
+//! use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+//!
+//! let mut config = DatasetConfig::living_room();
+//! config.frame_count = 4;
+//! config.camera = slam_math::camera::PinholeCamera::tiny();
+//! let dataset = SyntheticDataset::generate(&config);
+//! assert_eq!(dataset.len(), 4);
+//! let frame = &dataset.frames()[0];
+//! assert!(frame.valid_depth_fraction() > 0.5);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod noise;
+pub mod ppm;
+pub mod presets;
+pub mod render;
+pub mod scene;
+pub mod sdf;
+pub mod trajectory;
+
+pub use dataset::{DatasetConfig, Frame, SyntheticDataset};
+pub use scene::Scene;
+pub use sdf::Sdf;
+pub use trajectory::Trajectory;

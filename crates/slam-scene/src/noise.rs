@@ -1,0 +1,193 @@
+//! Kinect-style depth sensor noise.
+//!
+//! Ideal rendered depth is degraded with the standard structured-light
+//! noise model (Khoshelham & Elberink, 2012): axial noise growing
+//! quadratically with distance, plus dropouts at grazing angles / random
+//! pixels, plus millimetre quantisation. The KinectFusion bilateral filter
+//! and the `mu` TSDF truncation exist to cope with exactly this noise, so
+//! feeding it keeps the performance–accuracy trade-off realistic.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic depth-noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthNoiseModel {
+    /// Constant part of the axial noise standard deviation (metres).
+    pub sigma_base: f32,
+    /// Quadratic coefficient of the axial noise (metres⁻¹): the standard
+    /// deviation at depth `z` is `sigma_base + sigma_quad * (z - z0)²`.
+    pub sigma_quad: f32,
+    /// Reference depth `z0` of the quadratic model (metres).
+    pub z0: f32,
+    /// Probability that any valid pixel drops out entirely.
+    pub dropout: f32,
+    /// Minimum sensed range (metres); closer pixels read as holes, like a
+    /// structured-light sensor's blind zone.
+    pub min_range: f32,
+    /// Maximum sensed range (metres); farther pixels read as holes.
+    pub max_range: f32,
+}
+
+impl DepthNoiseModel {
+    /// The Kinect v1 model from Khoshelham & Elberink (2012).
+    pub fn kinect() -> DepthNoiseModel {
+        DepthNoiseModel {
+            sigma_base: 0.0012,
+            sigma_quad: 0.0019,
+            z0: 0.4,
+            dropout: 0.01,
+            min_range: 0.4,
+            max_range: 4.5,
+        }
+    }
+
+    /// A noise-free model (still applies range limits and quantisation).
+    pub fn ideal() -> DepthNoiseModel {
+        DepthNoiseModel {
+            sigma_base: 0.0,
+            sigma_quad: 0.0,
+            z0: 0.4,
+            dropout: 0.0,
+            min_range: 0.1,
+            max_range: 10.0,
+        }
+    }
+
+    /// Axial noise standard deviation at depth `z` (metres).
+    pub fn sigma_at(&self, z: f32) -> f32 {
+        let dz = z - self.z0;
+        self.sigma_base + self.sigma_quad * dz * dz
+    }
+
+    /// Applies the model to one ideal depth value (metres), returning the
+    /// sensed value in millimetres (`0` = hole).
+    pub fn apply(&self, z: f32, rng: &mut impl Rng) -> u16 {
+        if z <= 0.0 || z < self.min_range || z > self.max_range {
+            return 0;
+        }
+        if self.dropout > 0.0 && rng.gen::<f32>() < self.dropout {
+            return 0;
+        }
+        let noisy = if self.sigma_base > 0.0 || self.sigma_quad > 0.0 {
+            z + gaussian(rng) * self.sigma_at(z)
+        } else {
+            z
+        };
+        if noisy <= 0.0 {
+            return 0;
+        }
+        let mm = (noisy * 1000.0).round();
+        if mm > f32::from(u16::MAX) {
+            0
+        } else {
+            mm as u16
+        }
+    }
+
+    /// Applies the model to a whole depth image (metres in, millimetres
+    /// out, row-major, `0` = hole).
+    pub fn apply_image(&self, depth: &[f32], rng: &mut impl Rng) -> Vec<u16> {
+        depth.iter().map(|&z| self.apply(z, rng)).collect()
+    }
+}
+
+impl Default for DepthNoiseModel {
+    fn default() -> DepthNoiseModel {
+        DepthNoiseModel::kinect()
+    }
+}
+
+/// A standard-normal sample via Box–Muller (keeps us off `rand_distr`).
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen();
+        if u1 > 1e-12 {
+            let u2: f32 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ideal_model_quantises_only() {
+        let m = DepthNoiseModel::ideal();
+        let mut r = rng();
+        assert_eq!(m.apply(1.2345, &mut r), 1235); // rounded to mm
+        assert_eq!(m.apply(2.0, &mut r), 2000);
+    }
+
+    #[test]
+    fn out_of_range_is_hole() {
+        let m = DepthNoiseModel::kinect();
+        let mut r = rng();
+        assert_eq!(m.apply(0.1, &mut r), 0); // below min range
+        assert_eq!(m.apply(9.0, &mut r), 0); // beyond max range
+        assert_eq!(m.apply(0.0, &mut r), 0);
+        assert_eq!(m.apply(-1.0, &mut r), 0);
+    }
+
+    #[test]
+    fn sigma_grows_quadratically() {
+        let m = DepthNoiseModel::kinect();
+        assert!(m.sigma_at(4.0) > m.sigma_at(2.0));
+        assert!(m.sigma_at(2.0) > m.sigma_at(0.5));
+        // roughly the published magnitudes: a few mm at 2 m
+        let s2 = m.sigma_at(2.0);
+        assert!(s2 > 0.002 && s2 < 0.01, "sigma(2m) = {s2}");
+    }
+
+    #[test]
+    fn noise_statistics_match_model() {
+        let m = DepthNoiseModel::kinect();
+        let mut r = rng();
+        let z = 2.0f32;
+        let samples: Vec<f32> = (0..20_000)
+            .filter_map(|_| {
+                let mm = m.apply(z, &mut r);
+                (mm > 0).then_some(mm as f32 / 1000.0)
+            })
+            .collect();
+        let n = samples.len() as f32;
+        let mean = samples.iter().sum::<f32>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        assert!((mean - z).abs() < 0.001, "mean {mean}");
+        let sigma = m.sigma_at(z);
+        assert!((var.sqrt() - sigma).abs() < 0.2 * sigma + 3e-4, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn dropout_rate_is_respected() {
+        let m = DepthNoiseModel { dropout: 0.25, ..DepthNoiseModel::kinect() };
+        let mut r = rng();
+        let holes = (0..10_000).filter(|_| m.apply(2.0, &mut r) == 0).count();
+        let rate = holes as f32 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "dropout rate {rate}");
+    }
+
+    #[test]
+    fn apply_image_maps_pixelwise() {
+        let m = DepthNoiseModel::ideal();
+        let mut r = rng();
+        let img = m.apply_image(&[1.0, 0.0, 2.0, 20.0], &mut r);
+        assert_eq!(img, vec![1000, 0, 2000, 0]);
+    }
+
+    #[test]
+    fn seeded_noise_is_reproducible() {
+        let m = DepthNoiseModel::kinect();
+        let a = m.apply_image(&vec![2.0; 100], &mut rng());
+        let b = m.apply_image(&vec![2.0; 100], &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal PPM/PGM image serialisation for inspecting rendered frames —
+//! the debugging channel the SLAMBench GUI's RGB/depth panes provide.
+
+/// Serialises an RGB image as binary PPM (`P6`).
+///
+/// # Panics
+///
+/// Panics when `rgb.len() != width * height`.
+pub fn rgb_to_ppm(rgb: &[[u8; 3]], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(rgb.len(), width * height, "pixel buffer size mismatch");
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    out.reserve(rgb.len() * 3);
+    for px in rgb {
+        out.extend_from_slice(px);
+    }
+    out
+}
+
+/// Serialises a depth image (metres) as an 8-bit binary PGM (`P5`),
+/// normalised so `max_depth` maps to white; holes render black.
+///
+/// # Panics
+///
+/// Panics when `depth.len() != width * height` or `max_depth <= 0`.
+pub fn depth_to_pgm(depth: &[f32], width: usize, height: usize, max_depth: f32) -> Vec<u8> {
+    assert_eq!(depth.len(), width * height, "pixel buffer size mismatch");
+    assert!(max_depth > 0.0, "max_depth must be positive");
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.reserve(depth.len());
+    for &d in depth {
+        let v = if d <= 0.0 {
+            0u8
+        } else {
+            ((d / max_depth).clamp(0.0, 1.0) * 255.0) as u8
+        };
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_header_and_size() {
+        let rgb = vec![[1u8, 2, 3]; 6];
+        let ppm = rgb_to_ppm(&rgb, 3, 2);
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n3 2\n255\n".len() + 18);
+        assert_eq!(&ppm[ppm.len() - 3..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn pgm_normalises_and_marks_holes() {
+        let depth = vec![0.0f32, 2.0, 4.0, 8.0];
+        let pgm = depth_to_pgm(&depth, 2, 2, 4.0);
+        let data = &pgm[pgm.len() - 4..];
+        assert_eq!(data[0], 0, "hole is black");
+        assert_eq!(data[1], 127);
+        assert_eq!(data[2], 255);
+        assert_eq!(data[3], 255, "beyond max clamps to white");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_size_panics() {
+        let _ = rgb_to_ppm(&[[0; 3]; 3], 2, 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! Ready-made scenes and trajectories mirroring the ICL-NUIM sequences.
+//!
+//! World convention: the scenes live inside the positive octant so they fit
+//! a KinectFusion TSDF volume spanning `[0, volume_size]³` with the default
+//! `volume_size = 4 m`. The floor is at `y = 0`.
+
+use crate::scene::{Albedo, Scene};
+use crate::sdf::Sdf;
+use crate::trajectory::Trajectory;
+use slam_math::Vec3;
+
+/// Centre of the preset rooms (and the natural look-at target).
+pub const ROOM_CENTER: Vec3 = Vec3 { x: 2.0, y: 1.1, z: 2.0 };
+
+/// A furnished living room, the workspace's stand-in for ICL-NUIM
+/// `living_room`: a 4 × 2.5 × 4 m room containing a sofa, a table, a lamp
+/// and a ball.
+///
+/// # Examples
+///
+/// ```
+/// let room = slam_scene::presets::living_room();
+/// assert!(room.objects().len() >= 5);
+/// // the room centre is free space
+/// assert!(room.distance(slam_scene::presets::ROOM_CENTER) > 0.5);
+/// ```
+pub fn living_room() -> Scene {
+    let mut s = Scene::new("living_room");
+    // the room itself: an inverted box; inside is free space
+    s.add(
+        "room",
+        Sdf::cuboid(Vec3::new(2.0, 1.25, 2.0), Vec3::new(2.0, 1.25, 2.0)).complement(),
+        Albedo::new(0.75, 0.72, 0.65),
+    );
+    // sofa against the -z wall: seat + back rest
+    s.add(
+        "sofa_seat",
+        Sdf::rounded_cuboid(Vec3::new(2.0, 0.25, 0.45), Vec3::new(0.8, 0.22, 0.35), 0.03),
+        Albedo::new(0.55, 0.25, 0.2),
+    );
+    s.add(
+        "sofa_back",
+        Sdf::rounded_cuboid(Vec3::new(2.0, 0.62, 0.18), Vec3::new(0.8, 0.32, 0.08), 0.03),
+        Albedo::new(0.5, 0.22, 0.18),
+    );
+    // coffee table: top plus a chunky leg
+    s.add(
+        "table_top",
+        Sdf::cuboid(Vec3::new(2.1, 0.48, 1.5), Vec3::new(0.45, 0.03, 0.3)),
+        Albedo::new(0.45, 0.3, 0.15),
+    );
+    s.add(
+        "table_leg",
+        Sdf::cuboid(Vec3::new(2.1, 0.24, 1.5), Vec3::new(0.3, 0.24, 0.18)),
+        Albedo::new(0.4, 0.26, 0.13),
+    );
+    // a ball on the floor
+    s.add(
+        "ball",
+        Sdf::sphere(Vec3::new(3.1, 0.18, 2.6), 0.18),
+        Albedo::new(0.2, 0.4, 0.7),
+    );
+    // floor lamp in a corner: pole + shade
+    s.add(
+        "lamp_pole",
+        Sdf::cylinder_y(Vec3::new(0.6, 0.8, 3.3), 0.04, 0.8),
+        Albedo::grey(0.3),
+    );
+    s.add(
+        "lamp_shade",
+        Sdf::cylinder_y(Vec3::new(0.6, 1.7, 3.3), 0.2, 0.15),
+        Albedo::new(0.85, 0.8, 0.6),
+    );
+    // a cabinet against the +x wall
+    s.add(
+        "cabinet",
+        Sdf::cuboid(Vec3::new(3.75, 0.5, 1.2), Vec3::new(0.25, 0.5, 0.5)),
+        Albedo::new(0.35, 0.33, 0.3),
+    );
+    s
+}
+
+/// A sparser office room: desk, monitor slab, shelf and a bin. Useful as a
+/// second sequence with different surface statistics.
+pub fn office() -> Scene {
+    let mut s = Scene::new("office");
+    s.add(
+        "room",
+        Sdf::cuboid(Vec3::new(2.0, 1.25, 2.0), Vec3::new(2.0, 1.25, 2.0)).complement(),
+        Albedo::new(0.7, 0.7, 0.72),
+    );
+    s.add(
+        "desk",
+        Sdf::cuboid(Vec3::new(2.0, 0.68, 0.6), Vec3::new(0.9, 0.03, 0.4)),
+        Albedo::new(0.5, 0.35, 0.2),
+    );
+    s.add(
+        "desk_body",
+        Sdf::cuboid(Vec3::new(2.6, 0.34, 0.6), Vec3::new(0.25, 0.34, 0.35)),
+        Albedo::new(0.45, 0.32, 0.18),
+    );
+    s.add(
+        "monitor",
+        Sdf::cuboid(Vec3::new(2.0, 1.0, 0.45), Vec3::new(0.3, 0.2, 0.03)),
+        Albedo::grey(0.12),
+    );
+    s.add(
+        "shelf",
+        Sdf::cuboid(Vec3::new(3.8, 1.1, 2.5), Vec3::new(0.18, 0.9, 0.6)),
+        Albedo::new(0.55, 0.45, 0.3),
+    );
+    s.add(
+        "bin",
+        Sdf::cylinder_y(Vec3::new(1.1, 0.18, 0.8), 0.15, 0.18),
+        Albedo::grey(0.4),
+    );
+    s.add(
+        "chair_seat",
+        Sdf::rounded_cuboid(Vec3::new(2.0, 0.45, 1.3), Vec3::new(0.25, 0.05, 0.25), 0.02),
+        Albedo::new(0.2, 0.2, 0.35),
+    );
+    s
+}
+
+/// A corridor: a long, feature-poor hallway with a few wall-mounted
+/// boxes. Deliberately hard for ICP (the aperture problem: walls
+/// constrain only the lateral degrees of freedom), used by robustness
+/// tests and ablations.
+pub fn corridor() -> Scene {
+    let mut s = Scene::new("corridor");
+    // a 1.6 m wide, 2.5 m tall, 8 m long hallway centred on x = 2
+    s.add(
+        "hall",
+        Sdf::cuboid(Vec3::new(2.0, 1.25, 2.0), Vec3::new(0.8, 1.25, 4.0)).complement(),
+        Albedo::grey(0.72),
+    );
+    s.add(
+        "sign_left",
+        Sdf::cuboid(Vec3::new(1.25, 1.4, 1.0), Vec3::new(0.04, 0.25, 0.18)),
+        Albedo::new(0.6, 0.2, 0.2),
+    );
+    s.add(
+        "sign_right",
+        Sdf::cuboid(Vec3::new(2.75, 1.2, 2.8), Vec3::new(0.04, 0.18, 0.3)),
+        Albedo::new(0.2, 0.3, 0.6),
+    );
+    s.add(
+        "bin",
+        Sdf::cylinder_y(Vec3::new(1.45, 0.22, 3.4), 0.15, 0.22),
+        Albedo::grey(0.35),
+    );
+    s
+}
+
+/// The corridor's walking trajectory: straight down the hall looking
+/// forward — the aperture-problem stress case (forward translation is
+/// weakly observable against the side walls).
+pub fn corridor_trajectory() -> Trajectory {
+    use slam_math::Se3;
+    let eyes = [
+        Vec3::new(2.0, 1.3, 0.6),
+        Vec3::new(2.02, 1.3, 1.4),
+        Vec3::new(1.98, 1.28, 2.2),
+        Vec3::new(2.0, 1.3, 3.0),
+    ];
+    Trajectory::Keyframes(
+        eyes.iter()
+            .map(|&eye| Se3::look_at(eye, eye + Vec3::new(0.0, -0.15, 1.0), Vec3::Y))
+            .collect(),
+    )
+}
+
+/// A deliberately cheap scene — a room with a ball, a box and a pillar —
+/// for unit tests and quickstart examples where render time matters more
+/// than realism. The three primitives sit inside the default trajectory's
+/// field of view so all six pose degrees of freedom stay observable.
+pub fn sphere_world() -> Scene {
+    let mut s = Scene::new("sphere_world");
+    s.add(
+        "room",
+        Sdf::cuboid(Vec3::new(2.0, 1.25, 2.0), Vec3::new(2.0, 1.25, 2.0)).complement(),
+        Albedo::grey(0.7),
+    );
+    s.add(
+        "ball",
+        Sdf::sphere(Vec3::new(2.0, 0.4, 2.0), 0.4),
+        Albedo::new(0.3, 0.5, 0.8),
+    );
+    s.add(
+        "crate",
+        Sdf::cuboid(Vec3::new(1.4, 0.3, 1.0), Vec3::new(0.3, 0.3, 0.25)),
+        Albedo::new(0.7, 0.5, 0.3),
+    );
+    s.add(
+        "pillar",
+        Sdf::cylinder_y(Vec3::new(2.7, 0.6, 1.1), 0.18, 0.6),
+        Albedo::new(0.4, 0.6, 0.4),
+    );
+    s
+}
+
+/// The default scanning trajectory for the preset rooms: a partial orbit
+/// at ~1.1 m radius around [`ROOM_CENTER`], sweeping 120°, always looking
+/// at the room centre — similar in spirit to the handheld ICL-NUIM
+/// `kt2` sweep.
+pub fn living_room_trajectory() -> Trajectory {
+    Trajectory::Orbit {
+        center: ROOM_CENTER,
+        radius: 1.1,
+        height: 0.3,
+        target: Vec3::new(2.0, 0.6, 1.4),
+        sweep: 2.0 * std::f32::consts::FRAC_PI_3,
+        start_angle: std::f32::consts::FRAC_PI_2 * 0.6,
+    }
+}
+
+/// A gentler wobble trajectory (small translations, fixed gaze) for
+/// tracking-robustness experiments.
+pub fn wobble_trajectory() -> Trajectory {
+    Trajectory::Wobble {
+        base: Vec3::new(2.0, 1.3, 3.2),
+        amplitude: Vec3::new(0.25, 0.1, 0.15),
+        frequency: Vec3::new(1.0, 2.0, 1.0),
+        target: Vec3::new(2.0, 0.6, 1.5),
+    }
+}
+
+/// The four living-room camera paths, mirroring ICL-NUIM's `kt0`–`kt3`
+/// sequences (different motion styles over the same scene):
+///
+/// * `kt0` — near-static wobble in front of the sofa,
+/// * `kt1` — slow low orbit around the coffee table,
+/// * `kt2` — the standard 120° sweep ([`living_room_trajectory`]),
+/// * `kt3` — a longer keyframed walk across the room.
+///
+/// # Panics
+///
+/// Panics when `k > 3`.
+pub fn living_room_kt(k: usize) -> Trajectory {
+    use slam_math::Se3;
+    match k {
+        0 => Trajectory::Wobble {
+            base: Vec3::new(2.0, 1.2, 2.9),
+            amplitude: Vec3::new(0.15, 0.06, 0.08),
+            frequency: Vec3::new(1.0, 2.0, 1.0),
+            target: Vec3::new(2.0, 0.5, 0.8),
+        },
+        1 => Trajectory::Orbit {
+            center: Vec3::new(2.1, 0.0, 1.7),
+            radius: 1.0,
+            height: 1.0,
+            target: Vec3::new(2.1, 0.4, 1.5),
+            sweep: std::f32::consts::FRAC_PI_2,
+            start_angle: 0.9,
+        },
+        2 => living_room_trajectory(),
+        3 => {
+            let gaze = Vec3::new(2.0, 0.7, 1.4);
+            let eyes = [
+                Vec3::new(3.0, 1.3, 3.1),
+                Vec3::new(2.4, 1.2, 3.2),
+                Vec3::new(1.5, 1.1, 3.0),
+                Vec3::new(1.0, 1.2, 2.4),
+                Vec3::new(1.1, 1.3, 1.9),
+            ];
+            Trajectory::Keyframes(
+                eyes.iter()
+                    .map(|&eye| Se3::look_at(eye, gaze, Vec3::Y))
+                    .collect(),
+            )
+        }
+        _ => panic!("living room has trajectories kt0..kt3, got kt{k}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::Renderer;
+    use slam_math::camera::PinholeCamera;
+
+    #[test]
+    fn presets_have_free_space_at_center() {
+        for scene in [living_room(), office(), sphere_world()] {
+            assert!(
+                scene.distance(ROOM_CENTER) > 0.2,
+                "{} centre is not free",
+                scene.name()
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_stays_inside_room() {
+        for traj in [living_room_trajectory(), wobble_trajectory()] {
+            let scene = living_room();
+            for pose in traj.sample(50) {
+                let p = pose.translation();
+                assert!(
+                    scene.distance(p) > 0.15,
+                    "camera at {p} is too close to geometry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn living_room_renders_mostly_valid_depth() {
+        let r = Renderer::new(living_room());
+        let cam = PinholeCamera::tiny();
+        let pose = living_room_trajectory().pose(0.0);
+        let frame = r.render(&cam, &pose);
+        assert!(
+            frame.valid_fraction() > 0.9,
+            "valid fraction {}",
+            frame.valid_fraction()
+        );
+    }
+
+    #[test]
+    fn living_room_depth_within_sensor_range() {
+        let r = Renderer::new(living_room());
+        let cam = PinholeCamera::tiny();
+        let pose = living_room_trajectory().pose(0.5);
+        let frame = r.render(&cam, &pose);
+        let valid: Vec<f32> = frame.depth.iter().copied().filter(|&d| d > 0.0).collect();
+        let min = valid.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = valid.iter().cloned().fold(0.0f32, f32::max);
+        assert!(min > 0.3, "min depth {min} below Kinect blind zone");
+        assert!(max < 4.8, "max depth {max} beyond sensor range");
+    }
+
+    #[test]
+    fn inter_frame_motion_is_trackable() {
+        // 100-frame sequence: per-frame translation must stay small enough
+        // for projective-association ICP (a few cm)
+        let step = living_room_trajectory().max_step(100);
+        assert!(step < 0.05, "max inter-frame step {step} m");
+    }
+
+    #[test]
+    fn scenes_have_distinct_names() {
+        assert_ne!(living_room().name(), office().name());
+    }
+
+    #[test]
+    fn all_kt_trajectories_stay_in_free_space() {
+        let scene = living_room();
+        for k in 0..4 {
+            let traj = living_room_kt(k);
+            for pose in traj.sample(60) {
+                let p = pose.translation();
+                assert!(
+                    scene.distance(p) > 0.1,
+                    "kt{k} camera at {p} too close to geometry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kt_trajectories_are_distinct() {
+        let mid: Vec<_> = (0..4).map(|k| living_room_kt(k).pose(0.5).translation()).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    (mid[i] - mid[j]).norm() > 0.05,
+                    "kt{i} and kt{j} coincide at mid-path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kt_trajectories_trackable() {
+        for k in 0..4 {
+            let step = living_room_kt(k).max_step(100);
+            assert!(step < 0.06, "kt{k} step {step} m per frame");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kt0..kt3")]
+    fn kt4_panics() {
+        let _ = living_room_kt(4);
+    }
+
+    #[test]
+    fn corridor_camera_path_is_clear() {
+        let scene = corridor();
+        for pose in corridor_trajectory().sample(50) {
+            let p = pose.translation();
+            assert!(scene.distance(p) > 0.15, "camera at {p} inside geometry");
+        }
+    }
+
+    #[test]
+    fn corridor_renders_far_geometry() {
+        let r = Renderer::new(corridor());
+        let cam = PinholeCamera::tiny();
+        let frame = r.render(&cam, &corridor_trajectory().pose(0.0));
+        assert!(frame.valid_fraction() > 0.6, "got {}", frame.valid_fraction());
+        // the end wall is several metres away
+        let centre = frame.depth_at(cam.width / 2, cam.height / 2);
+        assert!(centre > 3.0, "corridor should be deep, centre depth {centre}");
+    }
+}

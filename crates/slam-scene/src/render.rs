@@ -1,0 +1,273 @@
+//! Sphere-tracing renderer: scene × camera pose → ideal depth + RGB.
+//!
+//! This plays the role of the offline ray tracer that produced the
+//! ICL-NUIM sequences. Output depth is the *z-depth* (distance along the
+//! optical axis), which is what RGB-D sensors report and what the
+//! KinectFusion preprocessing expects.
+
+use crate::scene::Scene;
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+
+/// Renderer settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOptions {
+    /// Maximum ray length in metres; rays that exceed it produce a depth
+    /// hole (value `0`), like a sensor's maximum range.
+    pub max_range: f32,
+    /// Sphere-tracing hit threshold as a fraction of the current ray
+    /// length (plus a small absolute floor).
+    pub hit_epsilon: f32,
+    /// Maximum sphere-tracing steps per ray.
+    pub max_steps: usize,
+    /// Light direction for Lambertian shading of the RGB image
+    /// (world frame; need not be normalised).
+    pub light_dir: Vec3,
+    /// Ambient light term in `[0, 1]`.
+    pub ambient: f32,
+}
+
+impl Default for RenderOptions {
+    fn default() -> RenderOptions {
+        RenderOptions {
+            max_range: 8.0,
+            hit_epsilon: 1e-4,
+            max_steps: 192,
+            light_dir: Vec3::new(0.4, -1.0, 0.3),
+            ambient: 0.25,
+        }
+    }
+}
+
+/// An ideal (noise-free) rendered RGB-D frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedFrame {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Row-major z-depth in metres; `0.0` marks a hole (no hit in range).
+    pub depth: Vec<f32>,
+    /// Row-major RGB pixels.
+    pub rgb: Vec<[u8; 3]>,
+}
+
+impl RenderedFrame {
+    /// Depth at pixel `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pixel is out of bounds.
+    pub fn depth_at(&self, u: usize, v: usize) -> f32 {
+        assert!(u < self.width && v < self.height, "pixel out of bounds");
+        self.depth[v * self.width + u]
+    }
+
+    /// Fraction of pixels with valid (non-hole) depth.
+    pub fn valid_fraction(&self) -> f32 {
+        if self.depth.is_empty() {
+            return 0.0;
+        }
+        let valid = self.depth.iter().filter(|&&d| d > 0.0).count();
+        valid as f32 / self.depth.len() as f32
+    }
+}
+
+/// A sphere-tracing renderer over a [`Scene`].
+#[derive(Debug, Clone)]
+pub struct Renderer {
+    scene: Scene,
+    options: RenderOptions,
+}
+
+impl Renderer {
+    /// Creates a renderer with default [`RenderOptions`].
+    pub fn new(scene: Scene) -> Renderer {
+        Renderer { scene, options: RenderOptions::default() }
+    }
+
+    /// Creates a renderer with explicit options.
+    pub fn with_options(scene: Scene, options: RenderOptions) -> Renderer {
+        Renderer { scene, options }
+    }
+
+    /// The scene being rendered.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &RenderOptions {
+        &self.options
+    }
+
+    /// Casts a single ray from `origin` along (unit) `dir`; returns the
+    /// Euclidean hit distance, or `None` when nothing is hit within range.
+    pub fn cast_ray(&self, origin: Vec3, dir: Vec3) -> Option<f32> {
+        if self.scene.is_empty() {
+            return None;
+        }
+        let mut t = 0.0f32;
+        for _ in 0..self.options.max_steps {
+            let p = origin + dir * t;
+            let d = self.scene.distance(p);
+            if d < self.options.hit_epsilon * t.max(1.0) {
+                return Some(t);
+            }
+            // sphere tracing step; small floor avoids stalling on grazing rays
+            t += d.max(1e-4);
+            if t > self.options.max_range {
+                return None;
+            }
+        }
+        // Ran out of steps very close to a surface: accept the hit if we
+        // are within a loose band, otherwise report a hole.
+        let p = origin + dir * t;
+        if self.scene.distance(p) < 5e-3 {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Renders a full RGB-D frame from the camera-to-world `pose`.
+    pub fn render(&self, camera: &PinholeCamera, pose: &Se3) -> RenderedFrame {
+        let (w, h) = (camera.width, camera.height);
+        let mut depth = vec![0.0f32; w * h];
+        let mut rgb = vec![[0u8; 3]; w * h];
+        let origin = pose.translation();
+        let light = self.options.light_dir.normalized_or_zero();
+        for v in 0..h {
+            for u in 0..w {
+                let dir_cam = camera.ray_direction(u as f32, v as f32);
+                let dir = pose.transform_vector(dir_cam);
+                if let Some(t) = self.cast_ray(origin, dir) {
+                    // z-depth: component of the hit along the optical axis
+                    let z = t * dir_cam.z;
+                    if z > 0.0 && z <= self.options.max_range {
+                        let idx = v * w + u;
+                        depth[idx] = z;
+                        let p = origin + dir * t;
+                        let (_, obj_idx) = self.scene.closest(p);
+                        let n = self.scene.normal(p);
+                        let diffuse = (-light).dot(n).max(0.0);
+                        let shade = self.options.ambient
+                            + (1.0 - self.options.ambient) * diffuse;
+                        rgb[idx] = self.scene.objects()[obj_idx].albedo.to_rgb8(shade);
+                    }
+                }
+            }
+        }
+        RenderedFrame { width: w, height: h, depth, rgb }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::Albedo;
+    use crate::sdf::Sdf;
+
+    fn wall_scene() -> Scene {
+        // a wall at z = 2 in front of a camera at the origin looking +z
+        let mut s = Scene::new("wall");
+        s.add(
+            "wall",
+            Sdf::half_space(-Vec3::Z, Vec3::new(0.0, 0.0, 2.0)),
+            Albedo::grey(0.8),
+        );
+        s
+    }
+
+    #[test]
+    fn ray_hits_wall_at_exact_distance() {
+        let r = Renderer::new(wall_scene());
+        let t = r.cast_ray(Vec3::ZERO, Vec3::Z).expect("hit");
+        assert!((t - 2.0).abs() < 1e-2, "got {t}");
+    }
+
+    #[test]
+    fn ray_misses_when_pointing_away() {
+        let r = Renderer::new(wall_scene());
+        assert!(r.cast_ray(Vec3::ZERO, -Vec3::Z).is_none());
+    }
+
+    #[test]
+    fn empty_scene_never_hits() {
+        let r = Renderer::new(Scene::new("empty"));
+        assert!(r.cast_ray(Vec3::ZERO, Vec3::Z).is_none());
+    }
+
+    #[test]
+    fn rendered_wall_has_flat_z_depth() {
+        let r = Renderer::new(wall_scene());
+        let cam = PinholeCamera::tiny();
+        let frame = r.render(&cam, &Se3::IDENTITY);
+        // z-depth of a fronto-parallel plane is constant across the image
+        let centre = frame.depth_at(cam.width / 2, cam.height / 2);
+        assert!((centre - 2.0).abs() < 1e-2);
+        let corner = frame.depth_at(0, 0);
+        assert!((corner - 2.0).abs() < 2e-2, "z-depth should be flat, got {corner}");
+        assert!(frame.valid_fraction() > 0.99);
+    }
+
+    #[test]
+    fn sphere_depth_profile() {
+        let mut s = Scene::new("ball");
+        s.add("ball", Sdf::sphere(Vec3::new(0.0, 0.0, 3.0), 1.0), Albedo::grey(0.9));
+        let r = Renderer::new(s);
+        let cam = PinholeCamera::tiny();
+        let frame = r.render(&cam, &Se3::IDENTITY);
+        // centre pixel hits the nearest point of the sphere
+        let centre = frame.depth_at(cam.width / 2, cam.height / 2);
+        assert!((centre - 2.0).abs() < 1e-2, "got {centre}");
+        // border pixels miss
+        assert_eq!(frame.depth_at(0, 0), 0.0);
+        assert!(frame.valid_fraction() > 0.05);
+        assert!(frame.valid_fraction() < 0.9);
+    }
+
+    #[test]
+    fn beyond_max_range_is_hole() {
+        let mut opts = RenderOptions::default();
+        opts.max_range = 1.0;
+        let r = Renderer::with_options(wall_scene(), opts);
+        let cam = PinholeCamera::tiny();
+        let frame = r.render(&cam, &Se3::IDENTITY);
+        assert_eq!(frame.valid_fraction(), 0.0);
+    }
+
+    #[test]
+    fn shading_darker_away_from_light() {
+        let mut s = Scene::new("ball");
+        s.add("ball", Sdf::sphere(Vec3::new(0.0, 0.0, 3.0), 1.0), Albedo::grey(1.0));
+        let r = Renderer::new(s);
+        let cam = PinholeCamera::tiny();
+        let frame = r.render(&cam, &Se3::IDENTITY);
+        // light travels towards -y, so surfaces whose normals point +y are
+        // lit. The camera convention is y-down: with the identity pose,
+        // larger image v means larger world y, so the *bottom* of the image
+        // sees the lit side of the sphere.
+        let cx = cam.width / 2;
+        let top = frame.rgb[(cam.height / 2 - 20) * cam.width + cx][0] as i32;
+        let bottom = frame.rgb[(cam.height / 2 + 20) * cam.width + cx][0] as i32;
+        assert!(bottom > top, "lit side {bottom} should outshine dark side {top}");
+    }
+
+    #[test]
+    fn camera_translation_shifts_depth() {
+        let r = Renderer::new(wall_scene());
+        let cam = PinholeCamera::tiny();
+        let closer = Se3::from_translation(Vec3::new(0.0, 0.0, 1.0));
+        let frame = r.render(&cam, &closer);
+        let centre = frame.depth_at(cam.width / 2, cam.height / 2);
+        assert!((centre - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn depth_at_out_of_bounds_panics() {
+        let frame = RenderedFrame { width: 2, height: 2, depth: vec![0.0; 4], rgb: vec![[0; 3]; 4] };
+        frame.depth_at(2, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Scenes: geometry plus appearance.
+//!
+//! A [`Scene`] is a list of named [`Sdf`] objects, each with an albedo.
+//! Geometry queries return the distance of the *closest* object so the
+//! renderer can sphere-trace the whole scene, and the index of that object
+//! so it can shade with the right colour.
+
+use crate::sdf::Sdf;
+use serde::{Deserialize, Serialize};
+use slam_math::Vec3;
+
+/// A linear RGB albedo in `[0, 1]³`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Albedo {
+    /// Red component.
+    pub r: f32,
+    /// Green component.
+    pub g: f32,
+    /// Blue component.
+    pub b: f32,
+}
+
+impl Albedo {
+    /// Creates an albedo from components, clamped to `[0, 1]`.
+    pub fn new(r: f32, g: f32, b: f32) -> Albedo {
+        Albedo {
+            r: r.clamp(0.0, 1.0),
+            g: g.clamp(0.0, 1.0),
+            b: b.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A neutral grey.
+    pub fn grey(v: f32) -> Albedo {
+        Albedo::new(v, v, v)
+    }
+
+    /// Converts to 8-bit sRGB-ish values after scaling by `shade`.
+    pub fn to_rgb8(self, shade: f32) -> [u8; 3] {
+        let s = shade.clamp(0.0, 1.0);
+        [
+            (self.r * s * 255.0) as u8,
+            (self.g * s * 255.0) as u8,
+            (self.b * s * 255.0) as u8,
+        ]
+    }
+}
+
+impl Default for Albedo {
+    fn default() -> Albedo {
+        Albedo::grey(0.7)
+    }
+}
+
+/// One object in a scene: a name (for debugging and reports), geometry and
+/// appearance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneObject {
+    /// Human-readable object name (e.g. `"sofa"`).
+    pub name: String,
+    /// Signed distance field of the object.
+    pub sdf: Sdf,
+    /// Surface colour.
+    pub albedo: Albedo,
+}
+
+/// A renderable scene.
+///
+/// # Examples
+///
+/// ```
+/// use slam_scene::{Scene, Sdf};
+/// use slam_scene::scene::Albedo;
+/// use slam_math::Vec3;
+///
+/// let mut scene = Scene::new("two spheres");
+/// scene.add("left", Sdf::sphere(Vec3::new(-1.0, 0.0, 0.0), 0.5), Albedo::grey(0.9));
+/// scene.add("right", Sdf::sphere(Vec3::new(1.0, 0.0, 0.0), 0.5), Albedo::grey(0.4));
+/// let (d, idx) = scene.closest(Vec3::new(-1.0, 0.0, 1.0));
+/// assert_eq!(scene.objects()[idx].name, "left");
+/// assert!((d - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    name: String,
+    objects: Vec<SceneObject>,
+}
+
+impl Scene {
+    /// Creates an empty scene with the given name.
+    pub fn new(name: impl Into<String>) -> Scene {
+        Scene { name: name.into(), objects: Vec::new() }
+    }
+
+    /// The scene's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an object and returns `&mut self` for chaining.
+    pub fn add(&mut self, name: impl Into<String>, sdf: Sdf, albedo: Albedo) -> &mut Scene {
+        self.objects.push(SceneObject { name: name.into(), sdf, albedo });
+        self
+    }
+
+    /// The scene's objects.
+    pub fn objects(&self) -> &[SceneObject] {
+        &self.objects
+    }
+
+    /// True when the scene has no geometry.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Signed distance of the closest object at `p`, together with that
+    /// object's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scene is empty.
+    pub fn closest(&self, p: Vec3) -> (f32, usize) {
+        assert!(!self.objects.is_empty(), "closest() on an empty scene");
+        let mut best = (f32::INFINITY, 0);
+        for (i, obj) in self.objects.iter().enumerate() {
+            let d = obj.sdf.distance(p);
+            if d < best.0 {
+                best = (d, i);
+            }
+        }
+        best
+    }
+
+    /// Signed distance of the whole scene (union of all objects). Returns
+    /// `+∞` for an empty scene so it never produces a hit.
+    pub fn distance(&self, p: Vec3) -> f32 {
+        self.objects
+            .iter()
+            .map(|o| o.sdf.distance(p))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Outward surface normal of the whole scene at `p` (central
+    /// differences on the union distance).
+    pub fn normal(&self, p: Vec3) -> Vec3 {
+        const H: f32 = 1e-3;
+        let dx = self.distance(p + Vec3::new(H, 0.0, 0.0)) - self.distance(p - Vec3::new(H, 0.0, 0.0));
+        let dy = self.distance(p + Vec3::new(0.0, H, 0.0)) - self.distance(p - Vec3::new(0.0, H, 0.0));
+        let dz = self.distance(p + Vec3::new(0.0, 0.0, H)) - self.distance(p - Vec3::new(0.0, 0.0, H));
+        Vec3::new(dx, dy, dz).normalized_or_zero()
+    }
+
+    /// Total SDF node count over all objects (per-sample cost proxy).
+    pub fn complexity(&self) -> usize {
+        self.objects.iter().map(|o| o.sdf.node_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scene() -> Scene {
+        let mut s = Scene::new("test");
+        s.add("ball", Sdf::sphere(Vec3::ZERO, 1.0), Albedo::grey(0.5));
+        s.add(
+            "floor",
+            Sdf::half_space(Vec3::Y, Vec3::new(0.0, -2.0, 0.0)),
+            Albedo::new(0.8, 0.2, 0.2),
+        );
+        s
+    }
+
+    #[test]
+    fn distance_is_union_minimum() {
+        let s = sample_scene();
+        let p = Vec3::new(0.0, -1.8, 0.0);
+        // closer to the floor (0.2) than the ball (0.8)
+        assert!((s.distance(p) - 0.2).abs() < 1e-6);
+        let (d, idx) = s.closest(p);
+        assert_eq!(idx, 1);
+        assert!((d - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_scene_distance_is_infinite() {
+        let s = Scene::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.distance(Vec3::ZERO), f32::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scene")]
+    fn closest_on_empty_scene_panics() {
+        Scene::new("empty").closest(Vec3::ZERO);
+    }
+
+    #[test]
+    fn normal_of_sphere_points_out() {
+        let s = sample_scene();
+        let n = s.normal(Vec3::new(0.0, 1.0, 0.0));
+        assert!((n - Vec3::Y).norm() < 1e-2);
+    }
+
+    #[test]
+    fn albedo_clamps_and_scales() {
+        let a = Albedo::new(2.0, -1.0, 0.5);
+        assert_eq!(a.r, 1.0);
+        assert_eq!(a.g, 0.0);
+        let rgb = a.to_rgb8(1.0);
+        assert_eq!(rgb[0], 255);
+        assert_eq!(rgb[1], 0);
+        let dark = a.to_rgb8(0.0);
+        assert_eq!(dark, [0, 0, 0]);
+    }
+
+    #[test]
+    fn complexity_sums_nodes() {
+        let s = sample_scene();
+        assert_eq!(s.complexity(), 2);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut s = Scene::new("chain");
+        s.add("a", Sdf::sphere(Vec3::ZERO, 1.0), Albedo::default())
+            .add("b", Sdf::sphere(Vec3::X, 1.0), Albedo::default());
+        assert_eq!(s.objects().len(), 2);
+        assert_eq!(s.name(), "chain");
+    }
+}

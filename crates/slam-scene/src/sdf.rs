@@ -1,0 +1,287 @@
+//! Signed-distance-field primitives and CSG operators.
+//!
+//! A scene's geometry is an [`Sdf`] expression tree. Every node evaluates
+//! to a signed distance: negative inside the surface, positive outside.
+//! The tree form (rather than trait objects) keeps scenes `Clone + Send +
+//! Sync + Serialize` for free, which the dataset generator and the fleet
+//! runner rely on.
+
+use serde::{Deserialize, Serialize};
+use slam_math::Vec3;
+
+/// A signed distance field expression.
+///
+/// # Examples
+///
+/// ```
+/// use slam_scene::Sdf;
+/// use slam_math::Vec3;
+///
+/// let ball = Sdf::sphere(Vec3::ZERO, 1.0);
+/// assert!(ball.distance(Vec3::new(2.0, 0.0, 0.0)) > 0.0); // outside
+/// assert!(ball.distance(Vec3::ZERO) < 0.0);               // inside
+/// let surface = ball.distance(Vec3::new(1.0, 0.0, 0.0));
+/// assert!(surface.abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Sdf {
+    /// A sphere given by centre and radius.
+    Sphere {
+        /// Centre of the sphere.
+        center: Vec3,
+        /// Radius in metres.
+        radius: f32,
+    },
+    /// An axis-aligned box given by centre and half extents.
+    Cuboid {
+        /// Centre of the box.
+        center: Vec3,
+        /// Half extents along each axis.
+        half_extents: Vec3,
+    },
+    /// An axis-aligned box with rounded edges.
+    RoundedCuboid {
+        /// Centre of the box.
+        center: Vec3,
+        /// Half extents along each axis (before rounding).
+        half_extents: Vec3,
+        /// Rounding radius.
+        radius: f32,
+    },
+    /// A half space: all points `p` with `normal · p <= offset`.
+    HalfSpace {
+        /// Outward unit normal of the bounding plane.
+        normal: Vec3,
+        /// Signed offset of the plane along the normal.
+        offset: f32,
+    },
+    /// A vertical (y-axis) capped cylinder.
+    CylinderY {
+        /// Centre of the cylinder.
+        center: Vec3,
+        /// Radius in the xz plane.
+        radius: f32,
+        /// Half height along y.
+        half_height: f32,
+    },
+    /// Union of two fields (minimum distance).
+    Union(Box<Sdf>, Box<Sdf>),
+    /// Intersection of two fields (maximum distance).
+    Intersection(Box<Sdf>, Box<Sdf>),
+    /// The first field with the second carved out.
+    Difference(Box<Sdf>, Box<Sdf>),
+    /// The complement: inside becomes outside. Turning a box inside out is
+    /// how the rooms in [`crate::presets`] are built.
+    Complement(Box<Sdf>),
+}
+
+impl Sdf {
+    /// A sphere at `center` with the given `radius`.
+    pub fn sphere(center: Vec3, radius: f32) -> Sdf {
+        Sdf::Sphere { center, radius }
+    }
+
+    /// An axis-aligned box at `center` with the given `half_extents`.
+    pub fn cuboid(center: Vec3, half_extents: Vec3) -> Sdf {
+        Sdf::Cuboid { center, half_extents }
+    }
+
+    /// A rounded axis-aligned box.
+    pub fn rounded_cuboid(center: Vec3, half_extents: Vec3, radius: f32) -> Sdf {
+        Sdf::RoundedCuboid { center, half_extents, radius }
+    }
+
+    /// The half space below the plane with (not necessarily unit) `normal`
+    /// passing through `point`. A degenerate normal defaults to +y.
+    pub fn half_space(normal: Vec3, point: Vec3) -> Sdf {
+        let n = normal.normalized().unwrap_or(Vec3::Y);
+        Sdf::HalfSpace { normal: n, offset: n.dot(point) }
+    }
+
+    /// A vertical capped cylinder.
+    pub fn cylinder_y(center: Vec3, radius: f32, half_height: f32) -> Sdf {
+        Sdf::CylinderY { center, radius, half_height }
+    }
+
+    /// Union with another field.
+    pub fn union(self, other: Sdf) -> Sdf {
+        Sdf::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Intersection with another field.
+    pub fn intersection(self, other: Sdf) -> Sdf {
+        Sdf::Intersection(Box::new(self), Box::new(other))
+    }
+
+    /// This field with `other` carved out.
+    pub fn difference(self, other: Sdf) -> Sdf {
+        Sdf::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// The complement of this field (inside out).
+    pub fn complement(self) -> Sdf {
+        Sdf::Complement(Box::new(self))
+    }
+
+    /// Evaluates the signed distance at point `p`.
+    ///
+    /// Exact for primitives; CSG results are a lower bound on the true
+    /// distance, which is exactly the property sphere tracing requires.
+    pub fn distance(&self, p: Vec3) -> f32 {
+        match self {
+            Sdf::Sphere { center, radius } => (p - *center).norm() - radius,
+            Sdf::Cuboid { center, half_extents } => {
+                let q = (p - *center).abs() - *half_extents;
+                let outside = q.max(Vec3::ZERO).norm();
+                let inside = q.max_component().min(0.0);
+                outside + inside
+            }
+            Sdf::RoundedCuboid { center, half_extents, radius } => {
+                let q = (p - *center).abs() - *half_extents;
+                let outside = q.max(Vec3::ZERO).norm();
+                let inside = q.max_component().min(0.0);
+                outside + inside - radius
+            }
+            Sdf::HalfSpace { normal, offset } => normal.dot(p) - offset,
+            Sdf::CylinderY { center, radius, half_height } => {
+                let d = p - *center;
+                let radial = (d.x * d.x + d.z * d.z).sqrt() - radius;
+                let axial = d.y.abs() - half_height;
+                let outside =
+                    (radial.max(0.0).powi(2) + axial.max(0.0).powi(2)).sqrt();
+                let inside = radial.max(axial).min(0.0);
+                outside + inside
+            }
+            Sdf::Union(a, b) => a.distance(p).min(b.distance(p)),
+            Sdf::Intersection(a, b) => a.distance(p).max(b.distance(p)),
+            Sdf::Difference(a, b) => a.distance(p).max(-b.distance(p)),
+            Sdf::Complement(a) => -a.distance(p),
+        }
+    }
+
+    /// Estimates the outward surface normal at `p` by central differences.
+    ///
+    /// Meaningful near the surface; far from it the gradient of the
+    /// distance field is returned, which is still the steepest-descent
+    /// direction the renderer needs.
+    pub fn normal(&self, p: Vec3) -> Vec3 {
+        const H: f32 = 1e-3;
+        let dx = self.distance(p + Vec3::new(H, 0.0, 0.0)) - self.distance(p - Vec3::new(H, 0.0, 0.0));
+        let dy = self.distance(p + Vec3::new(0.0, H, 0.0)) - self.distance(p - Vec3::new(0.0, H, 0.0));
+        let dz = self.distance(p + Vec3::new(0.0, 0.0, H)) - self.distance(p - Vec3::new(0.0, 0.0, H));
+        Vec3::new(dx, dy, dz).normalized_or_zero()
+    }
+
+    /// Number of nodes in the expression tree (a proxy for per-sample
+    /// evaluation cost, reported by the dataset generator).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Sdf::Union(a, b) | Sdf::Intersection(a, b) | Sdf::Difference(a, b) => {
+                1 + a.node_count() + b.node_count()
+            }
+            Sdf::Complement(a) => 1 + a.node_count(),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_distance_is_exact() {
+        let s = Sdf::sphere(Vec3::new(1.0, 2.0, 3.0), 0.5);
+        assert!((s.distance(Vec3::new(1.0, 2.0, 4.0)) - 0.5).abs() < 1e-6);
+        assert!((s.distance(Vec3::new(1.0, 2.0, 3.0)) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cuboid_distance_inside_outside() {
+        let b = Sdf::cuboid(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        assert!((b.distance(Vec3::new(2.0, 0.0, 0.0)) - 1.0).abs() < 1e-6);
+        // inside: distance to closest face
+        assert!((b.distance(Vec3::ZERO) + 1.0).abs() < 1e-6);
+        // corner region: Euclidean distance to the corner
+        let d = b.distance(Vec3::new(2.0, 3.0, 4.0));
+        assert!((d - (3.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rounded_cuboid_shrinks_distance_by_radius() {
+        let b = Sdf::cuboid(Vec3::ZERO, Vec3::ONE);
+        let r = Sdf::rounded_cuboid(Vec3::ZERO, Vec3::ONE, 0.1);
+        let p = Vec3::new(3.0, 0.0, 0.0);
+        assert!((b.distance(p) - r.distance(p) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn half_space_signs() {
+        let floor = Sdf::half_space(Vec3::Y, Vec3::ZERO); // below y=0 is inside
+        assert!(floor.distance(Vec3::new(0.0, -1.0, 0.0)) < 0.0);
+        assert!(floor.distance(Vec3::new(0.0, 1.0, 0.0)) > 0.0);
+        assert!(floor.distance(Vec3::ZERO).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cylinder_distance() {
+        let c = Sdf::cylinder_y(Vec3::ZERO, 1.0, 2.0);
+        assert!((c.distance(Vec3::new(3.0, 0.0, 0.0)) - 2.0).abs() < 1e-6);
+        assert!((c.distance(Vec3::new(0.0, 3.0, 0.0)) - 1.0).abs() < 1e-6);
+        assert!(c.distance(Vec3::ZERO) < 0.0);
+    }
+
+    #[test]
+    fn union_takes_minimum() {
+        let a = Sdf::sphere(Vec3::new(-2.0, 0.0, 0.0), 1.0);
+        let b = Sdf::sphere(Vec3::new(2.0, 0.0, 0.0), 1.0);
+        let u = a.clone().union(b.clone());
+        let p = Vec3::new(-2.0, 0.0, 0.0);
+        assert_eq!(u.distance(p), a.distance(p).min(b.distance(p)));
+        assert!(u.distance(p) < 0.0);
+    }
+
+    #[test]
+    fn complement_flips_sign() {
+        let room = Sdf::cuboid(Vec3::ZERO, Vec3::splat(2.0)).complement();
+        // centre of the room is *inside* the complement's empty space...
+        assert!(room.distance(Vec3::ZERO) > 0.0);
+        // ...and beyond the walls is "solid"
+        assert!(room.distance(Vec3::splat(3.0)) < 0.0);
+    }
+
+    #[test]
+    fn difference_carves() {
+        let slab = Sdf::cuboid(Vec3::ZERO, Vec3::new(2.0, 1.0, 2.0));
+        let hole = Sdf::sphere(Vec3::ZERO, 0.5);
+        let carved = slab.difference(hole);
+        assert!(carved.distance(Vec3::ZERO) > 0.0); // hollow centre
+        assert!(carved.distance(Vec3::new(1.5, 0.0, 0.0)) < 0.0); // body remains
+    }
+
+    #[test]
+    fn normal_points_outward() {
+        let s = Sdf::sphere(Vec3::ZERO, 1.0);
+        let n = s.normal(Vec3::new(1.0, 0.0, 0.0));
+        assert!((n - Vec3::X).norm() < 1e-2);
+        let b = Sdf::cuboid(Vec3::ZERO, Vec3::ONE);
+        let n = b.normal(Vec3::new(0.0, 1.0, 0.0));
+        assert!((n - Vec3::Y).norm() < 1e-2);
+    }
+
+    #[test]
+    fn node_count_counts_tree() {
+        let s = Sdf::sphere(Vec3::ZERO, 1.0)
+            .union(Sdf::cuboid(Vec3::ZERO, Vec3::ONE))
+            .difference(Sdf::cylinder_y(Vec3::ZERO, 0.2, 0.5));
+        assert_eq!(s.node_count(), 5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Sdf::sphere(Vec3::ZERO, 1.0).union(Sdf::cuboid(Vec3::X, Vec3::ONE));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sdf = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

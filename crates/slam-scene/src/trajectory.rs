@@ -1,0 +1,230 @@
+//! Ground-truth camera trajectories.
+//!
+//! A trajectory maps normalised time `s ∈ [0, 1]` to a camera-to-world
+//! pose. Because the pose is analytic, the dataset's ground truth is exact
+//! — the same property that makes ICL-NUIM suitable for ATE evaluation.
+
+use serde::{Deserialize, Serialize};
+use slam_math::{Se3, Vec3};
+
+/// A parametric camera path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Trajectory {
+    /// A horizontal circular orbit around `center`, always looking at
+    /// `target`. `sweep` is the total angle covered in radians (2π for a
+    /// full loop); small sweeps give the gentle pans typical of handheld
+    /// scans.
+    Orbit {
+        /// Centre of the circular path.
+        center: Vec3,
+        /// Orbit radius in metres.
+        radius: f32,
+        /// Camera height (y) relative to `center`.
+        height: f32,
+        /// Point the camera looks at.
+        target: Vec3,
+        /// Total angular sweep in radians.
+        sweep: f32,
+        /// Starting angle in radians.
+        start_angle: f32,
+    },
+    /// A Lissajous-style wobble around a base position, looking at a fixed
+    /// target — approximates a person scanning a room corner.
+    Wobble {
+        /// Mean camera position.
+        base: Vec3,
+        /// Oscillation amplitudes along each axis.
+        amplitude: Vec3,
+        /// Oscillation frequencies (cycles over the whole trajectory).
+        frequency: Vec3,
+        /// Point the camera looks at.
+        target: Vec3,
+    },
+    /// Piecewise pose interpolation through explicit keyframes
+    /// (slerp + lerp between consecutive poses, uniform spacing).
+    Keyframes(
+        /// The poses to interpolate through. Must contain at least one.
+        Vec<Se3>,
+    ),
+}
+
+impl Trajectory {
+    /// The pose at normalised time `s`; values outside `[0, 1]` are
+    /// clamped.
+    pub fn pose(&self, s: f32) -> Se3 {
+        let s = s.clamp(0.0, 1.0);
+        match self {
+            Trajectory::Orbit { center, radius, height, target, sweep, start_angle } => {
+                let angle = start_angle + sweep * s;
+                let eye = Vec3::new(
+                    center.x + radius * angle.cos(),
+                    center.y + height,
+                    center.z + radius * angle.sin(),
+                );
+                Se3::look_at(eye, *target, Vec3::Y)
+            }
+            Trajectory::Wobble { base, amplitude, frequency, target } => {
+                use std::f32::consts::TAU;
+                let eye = Vec3::new(
+                    base.x + amplitude.x * (TAU * frequency.x * s).sin(),
+                    base.y + amplitude.y * (TAU * frequency.y * s).sin(),
+                    base.z + amplitude.z * (TAU * frequency.z * s).cos(),
+                );
+                Se3::look_at(eye, *target, Vec3::Y)
+            }
+            Trajectory::Keyframes(poses) => {
+                assert!(!poses.is_empty(), "keyframe trajectory needs at least one pose");
+                if poses.len() == 1 {
+                    return poses[0];
+                }
+                let t = s * (poses.len() - 1) as f32;
+                let i = (t.floor() as usize).min(poses.len() - 2);
+                poses[i].interpolate(&poses[i + 1], t - i as f32)
+            }
+        }
+    }
+
+    /// Samples `n` equally spaced poses over `[0, 1]` (inclusive of both
+    /// endpoints when `n > 1`).
+    pub fn sample(&self, n: usize) -> Vec<Se3> {
+        match n {
+            0 => Vec::new(),
+            1 => vec![self.pose(0.0)],
+            _ => (0..n)
+                .map(|i| self.pose(i as f32 / (n - 1) as f32))
+                .collect(),
+        }
+    }
+
+    /// Total path length, estimated with `steps` linear segments.
+    pub fn path_length(&self, steps: usize) -> f32 {
+        let poses = self.sample(steps.max(2));
+        poses
+            .windows(2)
+            .map(|w| w[0].translation_distance(&w[1]))
+            .sum()
+    }
+
+    /// Maximum translational speed (m per unit `s`), estimated with
+    /// `steps` segments. Useful to verify inter-frame motion stays within
+    /// what ICP can track.
+    pub fn max_step(&self, steps: usize) -> f32 {
+        let poses = self.sample(steps.max(2));
+        poses
+            .windows(2)
+            .map(|w| w[0].translation_distance(&w[1]))
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orbit() -> Trajectory {
+        Trajectory::Orbit {
+            center: Vec3::ZERO,
+            radius: 2.0,
+            height: 1.0,
+            target: Vec3::ZERO,
+            sweep: std::f32::consts::TAU,
+            start_angle: 0.0,
+        }
+    }
+
+    #[test]
+    fn orbit_stays_on_circle() {
+        let t = orbit();
+        for i in 0..10 {
+            let pose = t.pose(i as f32 / 9.0);
+            let p = pose.translation();
+            let radial = (p.x * p.x + p.z * p.z).sqrt();
+            assert!((radial - 2.0).abs() < 1e-4);
+            assert!((p.y - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn orbit_looks_at_target() {
+        let t = orbit();
+        let pose = t.pose(0.37);
+        let fwd = pose.transform_vector(Vec3::Z);
+        let expected = (Vec3::ZERO - pose.translation()).normalized().unwrap();
+        assert!((fwd - expected).norm() < 1e-4);
+    }
+
+    #[test]
+    fn full_orbit_returns_to_start() {
+        let t = orbit();
+        assert!(t.pose(0.0).translation_distance(&t.pose(1.0)) < 1e-4);
+    }
+
+    #[test]
+    fn time_is_clamped() {
+        let t = orbit();
+        assert!(t.pose(-3.0).translation_distance(&t.pose(0.0)) < 1e-6);
+        assert!(t.pose(7.0).translation_distance(&t.pose(1.0)) < 1e-6);
+    }
+
+    #[test]
+    fn wobble_stays_within_amplitude() {
+        let t = Trajectory::Wobble {
+            base: Vec3::new(0.0, 1.0, -2.0),
+            amplitude: Vec3::new(0.3, 0.1, 0.2),
+            frequency: Vec3::new(1.0, 2.0, 1.0),
+            target: Vec3::ZERO,
+        };
+        for i in 0..50 {
+            let p = t.pose(i as f32 / 49.0).translation();
+            assert!((p.x).abs() <= 0.3 + 1e-5);
+            assert!((p.y - 1.0).abs() <= 0.1 + 1e-5);
+            assert!((p.z + 2.0).abs() <= 0.2 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn keyframes_interpolate_linearly() {
+        let t = Trajectory::Keyframes(vec![
+            Se3::from_translation(Vec3::ZERO),
+            Se3::from_translation(Vec3::X),
+            Se3::from_translation(Vec3::new(1.0, 1.0, 0.0)),
+        ]);
+        assert!((t.pose(0.5).translation() - Vec3::X).norm() < 1e-5);
+        assert!((t.pose(0.25).translation() - Vec3::new(0.5, 0.0, 0.0)).norm() < 1e-5);
+    }
+
+    #[test]
+    fn single_keyframe_is_constant() {
+        let pose = Se3::from_translation(Vec3::Y);
+        let t = Trajectory::Keyframes(vec![pose]);
+        assert!(t.pose(0.7).translation_distance(&pose) < 1e-6);
+    }
+
+    #[test]
+    fn sample_endpoints() {
+        let t = orbit();
+        let poses = t.sample(11);
+        assert_eq!(poses.len(), 11);
+        assert!(poses[0].translation_distance(&t.pose(0.0)) < 1e-6);
+        assert!(poses[10].translation_distance(&t.pose(1.0)) < 1e-6);
+        assert!(t.sample(0).is_empty());
+        assert_eq!(t.sample(1).len(), 1);
+    }
+
+    #[test]
+    fn path_length_of_full_orbit_is_circumference() {
+        let t = orbit();
+        let len = t.path_length(1000);
+        let circ = std::f32::consts::TAU * 2.0;
+        assert!((len - circ).abs() < 0.01 * circ);
+    }
+
+    #[test]
+    fn max_step_scales_with_sampling() {
+        let t = orbit();
+        // 100 segments of a 4π-metre path
+        let step = t.max_step(101);
+        assert!(step < 0.2);
+        assert!(step > 0.05);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the scene substrate.
+
+use proptest::prelude::*;
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+use slam_scene::sdf::Sdf;
+use slam_scene::trajectory::Trajectory;
+
+fn vec3(range: f32) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    /// A signed distance field's value is a lower bound on the true
+    /// distance to the surface: walking `d` along any direction never
+    /// crosses it (1-Lipschitz property, the contract sphere tracing
+    /// relies on).
+    #[test]
+    fn sdf_is_lipschitz(
+        p in vec3(5.0),
+        q in vec3(5.0),
+        r in 0.2f32..2.0,
+        c in vec3(2.0),
+        h in (0.2f32..1.5, 0.2f32..1.5, 0.2f32..1.5),
+    ) {
+        let shapes = [
+            Sdf::sphere(c, r),
+            Sdf::cuboid(c, Vec3::new(h.0, h.1, h.2)),
+            Sdf::cylinder_y(c, r, h.1),
+            Sdf::sphere(c, r).union(Sdf::cuboid(Vec3::ZERO, Vec3::new(h.0, h.1, h.2))),
+            Sdf::cuboid(c, Vec3::new(h.0, h.1, h.2)).complement(),
+        ];
+        for s in &shapes {
+            let dp = s.distance(p);
+            let dq = s.distance(q);
+            let dist = (p - q).norm();
+            prop_assert!(
+                (dp - dq).abs() <= dist + 1e-3,
+                "Lipschitz violated: |{dp} - {dq}| > {dist}"
+            );
+        }
+    }
+
+    /// Union distance is the minimum of its parts; intersection the
+    /// maximum.
+    #[test]
+    fn csg_min_max(p in vec3(4.0), c1 in vec3(2.0), c2 in vec3(2.0), r1 in 0.2f32..1.5, r2 in 0.2f32..1.5) {
+        let a = Sdf::sphere(c1, r1);
+        let b = Sdf::sphere(c2, r2);
+        let u = a.clone().union(b.clone());
+        let i = a.clone().intersection(b.clone());
+        prop_assert_eq!(u.distance(p), a.distance(p).min(b.distance(p)));
+        prop_assert_eq!(i.distance(p), a.distance(p).max(b.distance(p)));
+        prop_assert!(u.distance(p) <= i.distance(p));
+    }
+
+    /// Complement exactly negates.
+    #[test]
+    fn complement_negates(p in vec3(4.0), c in vec3(2.0), r in 0.3f32..2.0) {
+        let s = Sdf::sphere(c, r);
+        let n = s.clone().complement();
+        prop_assert_eq!(s.distance(p), -n.distance(p));
+    }
+
+    /// Surface normals are unit length (where defined) and point away
+    /// from the inside: stepping along the normal increases distance.
+    #[test]
+    fn normals_increase_distance(dir in vec3(1.0), r in 0.5f32..2.0) {
+        prop_assume!(dir.norm() > 0.1);
+        let s = Sdf::sphere(Vec3::ZERO, r);
+        let surface = dir.normalized().unwrap() * r;
+        let n = s.normal(surface);
+        prop_assert!((n.norm() - 1.0).abs() < 1e-2);
+        let stepped = s.distance(surface + n * 0.05);
+        let back = s.distance(surface - n * 0.05);
+        prop_assert!(stepped > back);
+    }
+
+    /// Camera project/unproject round-trips for arbitrary valid depths.
+    #[test]
+    fn camera_roundtrip(u in 0.0f32..639.0, v in 0.0f32..479.0, depth in 0.2f32..8.0) {
+        let cam = PinholeCamera::kinect();
+        let p = cam.unproject(slam_math::Vec2::new(u, v), depth);
+        prop_assert!((p.z - depth).abs() < 1e-4);
+        let px = cam.project(p).expect("positive depth projects");
+        prop_assert!((px.x - u).abs() < 1e-2);
+        prop_assert!((px.y - v).abs() < 1e-2);
+    }
+
+    /// Trajectory poses are always rigid transforms with orthonormal
+    /// rotation, for any parameter.
+    #[test]
+    fn trajectory_poses_are_rigid(s in -1.0f32..2.0, radius in 0.5f32..2.0, sweep in 0.1f32..6.0) {
+        let t = Trajectory::Orbit {
+            center: Vec3::new(2.0, 1.0, 2.0),
+            radius,
+            height: 0.3,
+            target: Vec3::new(2.0, 0.5, 1.5),
+            sweep,
+            start_angle: 0.3,
+        };
+        let pose = t.pose(s);
+        let r = pose.rotation();
+        prop_assert!((r.determinant() - 1.0).abs() < 1e-3);
+        // clamped outside [0, 1]
+        if s < 0.0 {
+            prop_assert!(pose.translation_distance(&t.pose(0.0)) < 1e-5);
+        }
+        if s > 1.0 {
+            prop_assert!(pose.translation_distance(&t.pose(1.0)) < 1e-5);
+        }
+    }
+
+    /// Keyframe interpolation stays within the convex hull of the
+    /// keyframe positions (for translations).
+    #[test]
+    fn keyframe_interpolation_bounded(s in 0.0f32..1.0, pts in proptest::collection::vec((-3.0f32..3.0, -3.0f32..3.0, -3.0f32..3.0), 2..6)) {
+        let poses: Vec<Se3> = pts
+            .iter()
+            .map(|&(x, y, z)| Se3::from_translation(Vec3::new(x, y, z)))
+            .collect();
+        let t = Trajectory::Keyframes(poses.clone());
+        let p = t.pose(s).translation();
+        let lo = poses.iter().fold(Vec3::splat(f32::INFINITY), |a, q| a.min(q.translation()));
+        let hi = poses.iter().fold(Vec3::splat(f32::NEG_INFINITY), |a, q| a.max(q.translation()));
+        prop_assert!(p.x >= lo.x - 1e-4 && p.x <= hi.x + 1e-4);
+        prop_assert!(p.y >= lo.y - 1e-4 && p.y <= hi.y + 1e-4);
+        prop_assert!(p.z >= lo.z - 1e-4 && p.z <= hi.z + 1e-4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Binding between [`KFusionConfig`] and the DSE parameter space.
+//!
+//! The space matches the algorithmic parameters the PACT'16/ISPASS'18
+//! studies sweep (table in `DESIGN.md`). `volume_size` is held at the
+//! default 4 m — the preset scenes are built to fill exactly that volume.
+
+use slam_dse::space::{Domain, ParameterSpace};
+use slam_kfusion::KFusionConfig;
+
+/// Parameter order of the encoded vector. Kept in one place so encode,
+/// decode and the space definition can never drift apart.
+const NAMES: [&str; 10] = [
+    "compute_size_ratio",
+    "icp_threshold",
+    "mu",
+    "volume_resolution",
+    "pyramid_l0",
+    "pyramid_l1",
+    "pyramid_l2",
+    "tracking_rate",
+    "integration_rate",
+    "bilateral_filter",
+];
+
+/// The SLAMBench algorithmic configuration space of the paper.
+pub fn slambench_space() -> ParameterSpace {
+    let mut s = ParameterSpace::new();
+    s.add(NAMES[0], Domain::ordinal(vec![1.0, 2.0, 4.0, 8.0]))
+        .add(NAMES[1], Domain::log_real(1e-6, 1e-4))
+        .add(NAMES[2], Domain::real(0.01, 0.2))
+        .add(
+            NAMES[3],
+            Domain::ordinal(vec![32.0, 64.0, 96.0, 128.0, 192.0, 256.0]),
+        )
+        .add(NAMES[4], Domain::Integer { min: 1, max: 10 })
+        .add(NAMES[5], Domain::Integer { min: 0, max: 5 })
+        .add(NAMES[6], Domain::Integer { min: 0, max: 4 })
+        .add(NAMES[7], Domain::Integer { min: 1, max: 3 })
+        .add(NAMES[8], Domain::Integer { min: 1, max: 5 })
+        .add(NAMES[9], Domain::Flag);
+    s
+}
+
+/// Decodes an encoded vector (in [`slambench_space`] order) into a
+/// validated configuration.
+///
+/// # Panics
+///
+/// Panics when the vector has the wrong length. Values are snapped into
+/// their domains, so any in-length vector decodes to a valid config.
+pub fn decode_config(x: &[f64]) -> KFusionConfig {
+    assert_eq!(x.len(), NAMES.len(), "encoded config must have {} entries", NAMES.len());
+    let space = slambench_space();
+    let x = space.snap(x);
+    let config = KFusionConfig {
+        compute_size_ratio: x[0] as usize,
+        icp_threshold: x[1] as f32,
+        mu: x[2] as f32,
+        volume_resolution: x[3] as usize,
+        pyramid_iterations: [x[4] as usize, x[5] as usize, x[6] as usize],
+        tracking_rate: x[7] as usize,
+        integration_rate: x[8] as usize,
+        bilateral_filter: x[9] >= 0.5,
+        ..KFusionConfig::default()
+    };
+    debug_assert!(config.validate().is_ok(), "snapped config must validate");
+    config
+}
+
+/// Encodes a configuration into the space's vector form.
+pub fn encode_config(config: &KFusionConfig) -> Vec<f64> {
+    vec![
+        config.compute_size_ratio as f64,
+        f64::from(config.icp_threshold),
+        f64::from(config.mu),
+        config.volume_resolution as f64,
+        config.pyramid_iterations[0] as f64,
+        config.pyramid_iterations[1] as f64,
+        config.pyramid_iterations[2] as f64,
+        config.tracking_rate as f64,
+        config.integration_rate as f64,
+        if config.bilateral_filter { 1.0 } else { 0.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn space_has_ten_parameters() {
+        let s = slambench_space();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.index_of("volume_resolution"), Some(3));
+    }
+
+    #[test]
+    fn default_config_roundtrips() {
+        let c = KFusionConfig::default();
+        let decoded = decode_config(&encode_config(&c));
+        assert_eq!(decoded.compute_size_ratio, c.compute_size_ratio);
+        assert_eq!(decoded.volume_resolution, c.volume_resolution);
+        assert_eq!(decoded.pyramid_iterations, c.pyramid_iterations);
+        assert_eq!(decoded.bilateral_filter, c.bilateral_filter);
+        assert!((decoded.mu - c.mu).abs() < 1e-6);
+        assert!((decoded.icp_threshold - c.icp_threshold).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_sample_decodes_to_valid_config() {
+        let space = slambench_space();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let x = space.sample(&mut rng);
+            let config = decode_config(&x);
+            config.validate().expect("sampled config must be valid");
+        }
+    }
+
+    #[test]
+    fn zero_pyramid_levels_get_rescued_by_l0_minimum() {
+        // the l0 domain starts at 1, so pyramid [1,0,0] is the floor
+        let mut x = encode_config(&KFusionConfig::default());
+        x[4] = 0.0;
+        x[5] = 0.0;
+        x[6] = 0.0;
+        let config = decode_config(&x);
+        assert!(config.pyramid_iterations[0] >= 1);
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn snapping_repairs_off_grid_values() {
+        let mut x = encode_config(&KFusionConfig::default());
+        x[0] = 3.0; // not in {1,2,4,8} → snaps to 2 or 4
+        x[3] = 100.0; // → 96 or 128
+        let config = decode_config(&x);
+        assert!([2usize, 4].contains(&config.compute_size_ratio));
+        assert!([96usize, 128].contains(&config.volume_resolution));
+    }
+
+    #[test]
+    #[should_panic(expected = "10 entries")]
+    fn wrong_length_panics() {
+        let _ = decode_config(&[1.0, 2.0]);
+    }
+}

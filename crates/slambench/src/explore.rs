@@ -1,0 +1,285 @@
+//! Design-space exploration of the KinectFusion configuration on a device
+//! model — the machinery behind the paper's Figure 2 and headline result.
+
+use crate::config_space::{decode_config, encode_config, slambench_space};
+use crate::run::run_pipeline;
+use serde::{Deserialize, Serialize};
+use slam_dse::active::{ActiveLearner, ActiveLearnerOptions};
+use slam_dse::Evaluation;
+use slam_kfusion::KFusionConfig;
+use slam_power::DeviceModel;
+use slam_scene::dataset::SyntheticDataset;
+
+/// Options for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Total pipeline evaluations to spend.
+    pub budget: usize,
+    /// Active-learner settings (seed, batch sizes, forest).
+    pub learner: ActiveLearnerOptions,
+    /// The paper's accuracy constraint: max ATE must stay below this
+    /// (metres) for a configuration to count as feasible.
+    pub accuracy_limit: f64,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> ExploreOptions {
+        ExploreOptions {
+            budget: 120,
+            learner: ActiveLearnerOptions::default(),
+            accuracy_limit: 0.05,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// A tiny exploration for tests.
+    pub fn fast() -> ExploreOptions {
+        ExploreOptions {
+            budget: 12,
+            learner: ActiveLearnerOptions::fast(),
+            accuracy_limit: 0.05,
+        }
+    }
+}
+
+/// One configuration with its measured objectives on the target device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredConfig {
+    /// Encoded parameter vector.
+    pub x: Vec<f64>,
+    /// Decoded configuration.
+    pub config: KFusionConfig,
+    /// Modelled mean seconds per frame on the device (the paper's
+    /// "Runtime (sec)" axis).
+    pub runtime_s: f64,
+    /// Maximum ATE over the sequence, metres (the "Max ATE (m)" axis).
+    pub max_ate_m: f64,
+    /// Modelled average power, watts.
+    pub watts: f64,
+    /// Convenience: `1 / runtime_s`.
+    pub fps: f64,
+}
+
+impl MeasuredConfig {
+    /// Whether the configuration meets the accuracy constraint.
+    pub fn is_accurate(&self, limit: f64) -> bool {
+        self.max_ate_m <= limit
+    }
+
+    fn objectives(&self) -> Vec<f64> {
+        vec![self.runtime_s, self.max_ate_m, self.watts]
+    }
+}
+
+/// The outcome of an exploration (Figure 2's data).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExploreOutcome {
+    /// Everything evaluated, in evaluation order.
+    pub measured: Vec<MeasuredConfig>,
+    /// How many of `measured` came from the initial random design.
+    pub initial_count: usize,
+    /// The measured default configuration (the baseline point in the
+    /// figure).
+    pub default_config: MeasuredConfig,
+    /// The accuracy constraint used.
+    pub accuracy_limit: f64,
+}
+
+impl ExploreOutcome {
+    /// The feasible (accurate-enough) configuration with the lowest
+    /// runtime — the "best configuration" the paper deploys on the XU3
+    /// and the phones.
+    pub fn best_feasible(&self) -> Option<&MeasuredConfig> {
+        self.measured
+            .iter()
+            .filter(|m| m.is_accurate(self.accuracy_limit))
+            .min_by(|a, b| a.runtime_s.partial_cmp(&b.runtime_s).expect("finite runtimes"))
+    }
+
+    /// The non-dominated subset over (runtime, maxATE, watts).
+    pub fn pareto(&self) -> Vec<&MeasuredConfig> {
+        let evals: Vec<Evaluation> = self
+            .measured
+            .iter()
+            .map(|m| Evaluation::new(m.x.clone(), m.objectives()))
+            .collect();
+        let front = slam_dse::pareto::pareto_front(&evals);
+        front
+            .iter()
+            .filter_map(|f| self.measured.iter().find(|m| m.x == f.x))
+            .collect()
+    }
+}
+
+/// Measures one encoded configuration on `(dataset, device)`.
+pub fn measure(dataset: &SyntheticDataset, device: &DeviceModel, x: &[f64]) -> MeasuredConfig {
+    let config = decode_config(x);
+    let run = run_pipeline(dataset, &config);
+    let report = run.cost_on(device);
+    let runtime_s = report.timing.mean_frame_time();
+    // a run that lost tracking for good is useless regardless of its ATE
+    // numbers mid-run; penalise by reporting the worst-case error bound
+    let max_ate_m = if run.lost_frames > run.frames.len() / 2 {
+        f64::from(config.volume_size)
+    } else {
+        run.ate.max
+    };
+    MeasuredConfig {
+        x: x.to_vec(),
+        config,
+        runtime_s,
+        max_ate_m,
+        watts: report.run_cost.average_watts(),
+        fps: if runtime_s > 0.0 { 1.0 / runtime_s } else { 0.0 },
+    }
+}
+
+/// Runs the HyperMapper-style active exploration (Figure 2's "Active
+/// learning" series). Deterministic in `options.learner.seed`.
+pub fn explore(
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    options: &ExploreOptions,
+) -> ExploreOutcome {
+    let space = slambench_space();
+    let mut learner = ActiveLearner::new(space, 3, options.learner);
+    let mut measured: Vec<MeasuredConfig> = Vec::new();
+    let result = learner.run(options.budget, |x| {
+        let m = measure(dataset, device, x);
+        let obj = m.objectives();
+        measured.push(m);
+        obj
+    });
+    let default_config = measure(dataset, device, &encode_config(&KFusionConfig::default()));
+    ExploreOutcome {
+        measured,
+        initial_count: result.initial_count,
+        default_config,
+        accuracy_limit: options.accuracy_limit,
+    }
+}
+
+/// Evaluates `n` uniform random configurations in parallel (Figure 2's
+/// "Random sampling" baseline). Deterministic in `seed`; results are
+/// returned in draw order.
+pub fn random_sweep(
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    n: usize,
+    seed: u64,
+) -> Vec<MeasuredConfig> {
+    use rand::SeedableRng;
+    let space = slambench_space();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let samples = slam_dse::sampler::random_samples(&space, n, &mut rng);
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<MeasuredConfig>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= samples.len() {
+                    break;
+                }
+                let m = measure(dataset, device, &samples[i]);
+                *results[i].lock() = Some(m);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every sample evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slam_power::devices::odroid_xu3;
+    use slam_scene::dataset::DatasetConfig;
+    use slam_scene::noise::DepthNoiseModel;
+
+    fn tiny_dataset(frames: usize) -> SyntheticDataset {
+        let mut dc = DatasetConfig::tiny_test();
+        dc.frame_count = frames;
+        dc.noise = DepthNoiseModel::ideal();
+        SyntheticDataset::generate(&dc)
+    }
+
+    #[test]
+    fn measure_default_config() {
+        let dataset = tiny_dataset(4);
+        let m = measure(
+            &dataset,
+            &odroid_xu3(),
+            &encode_config(&KFusionConfig::fast_test()),
+        );
+        assert!(m.runtime_s > 0.0);
+        assert!(m.watts > 0.0);
+        assert!(m.fps > 0.0);
+        assert!(m.max_ate_m < 1.0);
+    }
+
+    #[test]
+    fn smaller_volume_is_faster() {
+        let dataset = tiny_dataset(4);
+        let dev = odroid_xu3();
+        let mut small = KFusionConfig::fast_test();
+        small.volume_resolution = 32;
+        let mut large = KFusionConfig::fast_test();
+        large.volume_resolution = 192;
+        let ms = measure(&dataset, &dev, &encode_config(&small));
+        let ml = measure(&dataset, &dev, &encode_config(&large));
+        assert!(ms.runtime_s < ml.runtime_s, "{} !< {}", ms.runtime_s, ml.runtime_s);
+    }
+
+    #[test]
+    fn explore_runs_within_budget_and_finds_feasible() {
+        let dataset = tiny_dataset(4);
+        let outcome = explore(&dataset, &odroid_xu3(), &ExploreOptions::fast());
+        assert!(outcome.measured.len() <= 12);
+        assert!(outcome.initial_count <= outcome.measured.len());
+        assert!(outcome.default_config.runtime_s > 0.0);
+        // the tiny scene tracks easily: something feasible must exist
+        assert!(outcome.best_feasible().is_some());
+        let pareto = outcome.pareto();
+        assert!(!pareto.is_empty());
+        assert!(pareto.len() <= outcome.measured.len());
+    }
+
+    #[test]
+    fn random_sweep_is_deterministic_and_parallel_safe() {
+        let dataset = tiny_dataset(3);
+        let dev = odroid_xu3();
+        let a = random_sweep(&dataset, &dev, 6, 99);
+        let b = random_sweep(&dataset, &dev, 6, 99);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.x, y.x);
+            assert!((x.runtime_s - y.runtime_s).abs() < 1e-12);
+            assert!((x.max_ate_m - y.max_ate_m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_feasible_respects_limit() {
+        let dataset = tiny_dataset(4);
+        let outcome = explore(&dataset, &odroid_xu3(), &ExploreOptions::fast());
+        if let Some(best) = outcome.best_feasible() {
+            assert!(best.max_ate_m <= outcome.accuracy_limit);
+            // nothing feasible is faster
+            for m in &outcome.measured {
+                if m.is_accurate(outcome.accuracy_limit) {
+                    assert!(m.runtime_s >= best.runtime_s - 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! SLAMBench in Rust: a performance, accuracy and energy benchmarking
+//! framework for dense SLAM, reproducing
+//! *"Algorithmic Performance-Accuracy Trade-off in 3D Vision
+//! Applications"* (Bodin et al., ISPASS 2018).
+//!
+//! The framework composes the workspace's substrates:
+//!
+//! * [`slam_scene`] — synthetic RGB-D datasets with exact ground truth
+//!   (the ICL-NUIM stand-in),
+//! * [`slam_kfusion`] — the KinectFusion pipeline with SLAMBench's
+//!   algorithmic parameters,
+//! * [`slam_metrics`] — ATE/RPE accuracy and timing metrics,
+//! * [`slam_power`] — analytic device models (ODROID XU3, phone fleet),
+//! * [`slam_dse`] — the HyperMapper-style design-space explorer.
+//!
+//! The central abstraction is the split between a device-independent
+//! [`run::PipelineRun`] (trajectory + per-frame workload trace) and
+//! device costing ([`run::PipelineRun::cost_on`]): one pipeline execution
+//! can be "replayed" onto any number of device models, which is what
+//! makes exploring 83 phones (Figure 3) or hundreds of DSE
+//! configurations (Figure 2) tractable.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use slambench::run::run_pipeline;
+//! use slam_kfusion::KFusionConfig;
+//! use slam_power::devices::odroid_xu3;
+//! use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+//!
+//! let mut dc = DatasetConfig::tiny_test();
+//! dc.frame_count = 5;
+//! let dataset = SyntheticDataset::generate(&dc);
+//! let run = run_pipeline(&dataset, &KFusionConfig::fast_test());
+//! let on_xu3 = run.cost_on(&odroid_xu3());
+//! println!("ATE {:.3} m at {:.1} FPS, {:.2} W",
+//!          run.ate.max, on_xu3.run_cost.mean_fps(), on_xu3.run_cost.average_watts());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codesign;
+pub mod config_space;
+pub mod explore;
+pub mod fleet;
+pub mod run;
+pub mod suite;
+
+pub use codesign::{codesign_explore, CoDesignOptions, CoDesignOutcome};
+pub use config_space::{decode_config, encode_config, slambench_space};
+pub use explore::{explore, random_sweep, ExploreOptions, ExploreOutcome, MeasuredConfig};
+pub use fleet::{fleet_speedups, FleetEntry};
+pub use run::{run_pipeline, DeviceRunReport, FrameRecord, PipelineRun};
+pub use suite::{run_suite, standard_suite, Sequence, SuiteCell};

@@ -1,0 +1,171 @@
+//! Multi-sequence benchmark suites: run a set of (sequence ×
+//! configuration) pairs and tabulate speed/accuracy/power per cell —
+//! the shape of the original SLAMBench result tables.
+
+use crate::run::{run_pipeline, PipelineRun};
+use serde::{Deserialize, Serialize};
+use slam_kfusion::KFusionConfig;
+use slam_math::camera::PinholeCamera;
+use slam_power::DeviceModel;
+use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+use slam_scene::noise::DepthNoiseModel;
+use slam_scene::presets;
+
+/// A named benchmark sequence (dataset recipe).
+#[derive(Debug, Clone)]
+pub struct Sequence {
+    /// Sequence name (e.g. `"living_room/kt2"`).
+    pub name: String,
+    /// The dataset recipe.
+    pub config: DatasetConfig,
+}
+
+/// The standard sequence suite: the four living-room trajectories plus
+/// the office and corridor scenes, at the given camera and length.
+pub fn standard_suite(camera: PinholeCamera, frames: usize) -> Vec<Sequence> {
+    let mut suite = Vec::new();
+    for k in 0..4 {
+        let mut dc = DatasetConfig::living_room();
+        dc.name = format!("living_room/kt{k}");
+        dc.trajectory = presets::living_room_kt(k);
+        dc.camera = camera;
+        dc.frame_count = frames;
+        suite.push(Sequence { name: dc.name.clone(), config: dc });
+    }
+    let mut office = DatasetConfig::office();
+    office.camera = camera;
+    office.frame_count = frames;
+    suite.push(Sequence { name: "office/wobble".into(), config: office });
+    let corridor = DatasetConfig {
+        name: "corridor/walk".into(),
+        scene: presets::corridor(),
+        trajectory: presets::corridor_trajectory(),
+        camera,
+        frame_count: frames,
+        fps: 30.0,
+        noise: DepthNoiseModel { max_range: 6.0, ..DepthNoiseModel::kinect() },
+        seed: 0xC0441D04,
+        time_step: 0.0101,
+    };
+    suite.push(Sequence { name: corridor.name.clone(), config: corridor });
+    suite
+}
+
+/// One suite cell: a configuration's result on a sequence, costed on a
+/// device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteCell {
+    /// Sequence name.
+    pub sequence: String,
+    /// Configuration label.
+    pub config: String,
+    /// Max ATE, metres.
+    pub max_ate_m: f64,
+    /// Mean ATE, metres.
+    pub mean_ate_m: f64,
+    /// Tracking failures.
+    pub lost_frames: usize,
+    /// Modelled FPS on the device.
+    pub fps: f64,
+    /// Modelled average power on the device, watts.
+    pub watts: f64,
+}
+
+/// Runs every configuration over every sequence, costing on `device`.
+///
+/// Returns cells in `(sequence-major, configuration-minor)` order.
+pub fn run_suite(
+    sequences: &[Sequence],
+    configs: &[(String, KFusionConfig)],
+    device: &DeviceModel,
+) -> Vec<SuiteCell> {
+    let mut cells = Vec::with_capacity(sequences.len() * configs.len());
+    for seq in sequences {
+        let dataset = SyntheticDataset::generate(&seq.config);
+        for (label, config) in configs {
+            let run: PipelineRun = run_pipeline(&dataset, config);
+            let report = run.cost_on(device);
+            cells.push(SuiteCell {
+                sequence: seq.name.clone(),
+                config: label.clone(),
+                max_ate_m: run.ate.max,
+                mean_ate_m: run.ate.mean,
+                lost_frames: run.lost_frames,
+                fps: report.run_cost.mean_fps(),
+                watts: report.run_cost.average_watts(),
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slam_power::devices::odroid_xu3;
+
+    fn tiny_camera() -> PinholeCamera {
+        PinholeCamera::tiny()
+    }
+
+    #[test]
+    fn standard_suite_contains_six_distinct_sequences() {
+        let suite = standard_suite(tiny_camera(), 10);
+        assert_eq!(suite.len(), 6);
+        let mut names: Vec<_> = suite.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        assert!(names.iter().any(|n| n.contains("corridor")));
+    }
+
+    #[test]
+    fn run_suite_produces_full_grid() {
+        let suite = &standard_suite(tiny_camera(), 5)[..2];
+        let configs = vec![
+            ("fast".to_string(), KFusionConfig::fast_test()),
+            ("tiny".to_string(), {
+                let mut c = KFusionConfig::fast_test();
+                c.volume_resolution = 32;
+                c
+            }),
+        ];
+        let cells = run_suite(suite, &configs, &odroid_xu3());
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            assert!(cell.fps > 0.0);
+            assert!(cell.watts > 0.0);
+            assert!(cell.max_ate_m >= cell.mean_ate_m);
+        }
+        // grid order: sequence-major
+        assert_eq!(cells[0].sequence, cells[1].sequence);
+        assert_ne!(cells[1].sequence, cells[2].sequence);
+    }
+
+    #[test]
+    fn corridor_is_harder_than_living_room() {
+        let camera = tiny_camera();
+        let suite = standard_suite(camera, 12);
+        let configs = vec![("fast".to_string(), {
+            let mut c = KFusionConfig::fast_test();
+            c.volume_resolution = 128;
+            c
+        })];
+        let cells = run_suite(&suite, &configs, &odroid_xu3());
+        let kt2 = cells
+            .iter()
+            .find(|c| c.sequence == "living_room/kt2")
+            .expect("kt2 present");
+        let corridor = cells
+            .iter()
+            .find(|c| c.sequence == "corridor/walk")
+            .expect("corridor present");
+        assert!(
+            corridor.max_ate_m > kt2.max_ate_m * 0.8,
+            "the aperture-problem corridor ({:.4} m) should not be easier than the \
+             feature-rich living room ({:.4} m)",
+            corridor.max_ate_m,
+            kt2.max_ate_m
+        );
+    }
+}

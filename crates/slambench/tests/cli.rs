@@ -1,0 +1,72 @@
+//! Black-box tests of the `slambench` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_slambench"))
+        .args(args)
+        .output()
+        .expect("binary must launch")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["--help"]);
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--volume-resolution"));
+    assert!(text.contains("--device"));
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let out = run(&["--frobnicate"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown option"));
+}
+
+#[test]
+fn invalid_config_fails_cleanly() {
+    let out = run(&["--compute-size-ratio", "3"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("invalid configuration"));
+}
+
+#[test]
+fn unknown_device_fails_cleanly() {
+    let out = run(&["--device", "toaster"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown device"));
+}
+
+#[test]
+fn tiny_run_produces_summary_and_exports() {
+    let dir = std::env::temp_dir().join("slambench_cli_test");
+    let _ = std::fs::create_dir_all(&dir);
+    let tum = dir.join("run.tum");
+    let off = dir.join("model.off");
+    let frame = dir.join("frame0");
+    let out = run(&[
+        "--frames", "6",
+        "--width", "160",
+        "--height", "120",
+        "--volume-resolution", "64",
+        "--quiet",
+        "--export-trajectory", tum.to_str().unwrap(),
+        "--export-mesh", off.to_str().unwrap(),
+        "--export-frame", frame.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("slambench summary"));
+    assert!(text.contains("accuracy"));
+    // exports exist and have plausible headers
+    let tum_text = std::fs::read_to_string(&tum).unwrap();
+    assert!(tum_text.lines().count() >= 7);
+    let off_text = std::fs::read_to_string(&off).unwrap();
+    assert!(off_text.starts_with("OFF"));
+    assert!(std::fs::read(dir.join("frame0.ppm")).unwrap().starts_with(b"P6"));
+    assert!(std::fs::read(dir.join("frame0.pgm")).unwrap().starts_with(b"P5"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,87 @@
+//! Fleet example: deploy two configurations across the simulated
+//! 83-phone catalogue and see which kinds of devices benefit most — a
+//! small-scale version of the `fig3_phones` experiment.
+//!
+//! Run with `cargo run --release --example android_fleet`.
+
+use slam_kfusion::KFusionConfig;
+use slam_math::camera::PinholeCamera;
+use slam_power::fleet::{phone_fleet, Tier};
+use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+use slambench::fleet::fleet_speedups;
+
+fn main() {
+    let mut dataset_config = DatasetConfig::living_room();
+    dataset_config.camera = PinholeCamera::tiny();
+    dataset_config.frame_count = 15;
+    println!("rendering dataset...");
+    let dataset = SyntheticDataset::generate(&dataset_config);
+
+    // a deliberately heavy "default" and a lean "tuned" configuration
+    let default_config = KFusionConfig {
+        volume_resolution: 192,
+        ..KFusionConfig::default()
+    };
+    let tuned_config = KFusionConfig {
+        volume_resolution: 96,
+        compute_size_ratio: 2,
+        pyramid_iterations: [4, 2, 2],
+        integration_rate: 2,
+        ..KFusionConfig::default()
+    };
+
+    let fleet = phone_fleet(2018);
+    println!("costing both configurations on {} phones...", fleet.len());
+    let entries = fleet_speedups(&dataset, &default_config, &tuned_config, &fleet);
+
+    // aggregate per market tier
+    println!("\nspeed-up of the tuned configuration, by device tier:");
+    for tier in Tier::ALL {
+        let tier_speedups: Vec<f64> = entries
+            .iter()
+            .filter(|e| e.tier == tier)
+            .map(|e| e.speedup)
+            .collect();
+        if tier_speedups.is_empty() {
+            continue;
+        }
+        let mean = tier_speedups.iter().sum::<f64>() / tier_speedups.len() as f64;
+        let min = tier_speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = tier_speedups.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "  {:?}: {} devices, mean {:.2}x (range {:.2}x - {:.2}x)",
+            tier,
+            tier_speedups.len(),
+            mean,
+            min,
+            max
+        );
+    }
+
+    // highlight the extremes
+    let best = entries
+        .iter()
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite"))
+        .expect("non-empty fleet");
+    let worst = entries
+        .iter()
+        .min_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite"))
+        .expect("non-empty fleet");
+    println!(
+        "\nbiggest winner : {} ({}, {} MB RAM, default volume {}³): {:.2}x",
+        best.name, best.soc, best.ram_mb, best.default_volume, best.speedup
+    );
+    println!(
+        "smallest winner: {} ({}, {} MB RAM, default volume {}³): {:.2}x",
+        worst.name, worst.soc, worst.ram_mb, worst.default_volume, worst.speedup
+    );
+
+    let realtime = entries
+        .iter()
+        .filter(|e| e.tuned_s <= 1.0 / 30.0)
+        .count();
+    println!(
+        "\nphones reaching 30 FPS with the tuned configuration: {realtime}/{}",
+        entries.len()
+    );
+}

@@ -1,0 +1,91 @@
+//! Design-space exploration example: use the HyperMapper-style active
+//! learner to find fast-but-accurate KinectFusion configurations for a
+//! target device, then inspect the Pareto front and the extracted rules.
+//!
+//! This is a scaled-down version of the `fig2_dse` / `fig2_knowledge`
+//! experiments — a few dozen evaluations instead of a few hundred.
+//!
+//! Run with `cargo run --release --example dse_exploration`.
+
+use slam_dse::active::ActiveLearnerOptions;
+use slam_dse::knowledge::{KnowledgeTree, LabelledConfigs};
+use slam_math::camera::PinholeCamera;
+use slam_power::devices::jetson_tk1;
+use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+use slambench::config_space::slambench_space;
+use slambench::explore::{explore, ExploreOptions};
+
+fn main() {
+    let mut dataset_config = DatasetConfig::living_room();
+    dataset_config.camera = PinholeCamera::tiny();
+    dataset_config.frame_count = 20;
+    println!("rendering dataset...");
+    let dataset = SyntheticDataset::generate(&dataset_config);
+
+    // explore for the Jetson TK1 this time (the figures use the XU3)
+    let device = jetson_tk1();
+    println!("exploring the configuration space for the {} model...", device.name);
+    let options = ExploreOptions {
+        budget: 40,
+        learner: ActiveLearnerOptions {
+            initial_samples: 20,
+            iterations: 6,
+            batch_size: 4,
+            candidates_per_iteration: 800,
+            exploration_fraction: 0.25,
+            seed: 1,
+            ..ActiveLearnerOptions::default()
+        },
+        accuracy_limit: 0.05,
+    };
+    let outcome = explore(&dataset, &device, &options);
+
+    println!(
+        "\nevaluated {} configurations ({} initial random + {} active)",
+        outcome.measured.len(),
+        outcome.initial_count,
+        outcome.measured.len() - outcome.initial_count
+    );
+    println!(
+        "default configuration: {:.1} FPS, max ATE {:.3} m, {:.2} W",
+        outcome.default_config.fps, outcome.default_config.max_ate_m, outcome.default_config.watts
+    );
+
+    println!("\nPareto front (runtime × accuracy × power):");
+    let mut front = outcome.pareto();
+    front.sort_by(|a, b| a.runtime_s.partial_cmp(&b.runtime_s).expect("finite"));
+    for m in front.iter().take(8) {
+        println!(
+            "  {:.1} FPS, ATE {:.3} m, {:.2} W  <- {}",
+            m.fps, m.max_ate_m, m.watts, m.config
+        );
+    }
+
+    match outcome.best_feasible() {
+        Some(best) => {
+            println!("\nbest feasible (max ATE < {} m):", outcome.accuracy_limit);
+            println!(
+                "  {:.1} FPS ({:.2}x the default), {:.2} W\n  {}",
+                best.fps,
+                outcome.default_config.runtime_s / best.runtime_s,
+                best.watts,
+                best.config
+            );
+        }
+        None => println!("\nno feasible configuration found at this tiny budget"),
+    }
+
+    // knowledge extraction over everything we measured
+    let labels: Vec<f64> = outcome
+        .measured
+        .iter()
+        .map(|m| f64::from(u8::from(m.max_ate_m <= 0.05 && m.fps >= 30.0)))
+        .collect();
+    let data = LabelledConfigs {
+        x: outcome.measured.iter().map(|m| m.x.clone()).collect(),
+        labels,
+        class_names: vec!["rejected".into(), "accurate & fast".into()],
+    };
+    let tree = KnowledgeTree::fit(&slambench_space(), &data, 3);
+    println!("\nwhat makes a configuration good on this device?\n{}", tree.render());
+}

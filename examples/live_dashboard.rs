@@ -1,0 +1,75 @@
+//! Live dashboard: the terminal analogue of the SLAMBench GUI (the
+//! paper's Figure 1) — per-frame tracking status, speed, power and
+//! accuracy, plus an ASCII rendering of the reconstructed model raycast
+//! from the current pose.
+//!
+//! Run with `cargo run --release --example live_dashboard`.
+
+use slam_kfusion::{KFusionConfig, KinectFusion};
+use slam_math::camera::PinholeCamera;
+use slam_power::devices::odroid_xu3;
+use slam_power::EnergyMeter;
+use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+
+/// Renders the model's predicted depth as ASCII art (near = dark glyphs).
+fn ascii_model(kf: &KinectFusion, cols: usize, rows: usize) -> String {
+    const RAMP: &[u8] = b"@%#*+=-:. ";
+    let mut out = String::new();
+    let Some(model) = kf.model() else {
+        return "(no model yet)".into();
+    };
+    let cam = kf.compute_camera();
+    let origin = kf.current_pose().translation();
+    for r in 0..rows {
+        for c in 0..cols {
+            let x = c * cam.width / cols;
+            let y = r * cam.height / rows;
+            let v = model.vertices.get(x, y);
+            let ch = if model.is_valid(x, y) {
+                let depth = (v - origin).norm();
+                let t = ((depth - 0.5) / 3.0).clamp(0.0, 0.999);
+                RAMP[(t * RAMP.len() as f32) as usize] as char
+            } else {
+                ' '
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mut dataset_config = DatasetConfig::living_room();
+    dataset_config.camera = PinholeCamera::tiny();
+    dataset_config.frame_count = 30;
+    println!("rendering dataset...");
+    let dataset = SyntheticDataset::generate(&dataset_config);
+
+    let mut config = KFusionConfig::default();
+    config.volume_resolution = 128;
+    let init = dataset.frames()[0].ground_truth;
+    let mut kf = KinectFusion::new(config, *dataset.camera(), init);
+    let mut meter = EnergyMeter::new(odroid_xu3());
+
+    println!("frame | track |   FPS(XU3) | power(W) | ATE(m) | matched");
+    println!("------+-------+------------+----------+--------+--------");
+    for frame in dataset.frames() {
+        let result = kf.process_frame(&frame.depth_mm);
+        let cost = meter.record_frame(&result.workload);
+        let ate = result.pose.translation_distance(&frame.ground_truth);
+        println!(
+            "{:>5} | {:^5} | {:>10.1} | {:>8.2} | {:.4} | {:>5.1}%",
+            frame.index,
+            if result.tracked { "ok" } else { "LOST" },
+            1.0 / cost.seconds,
+            cost.average_watts(),
+            ate,
+            result.matched_fraction * 100.0,
+        );
+    }
+
+    println!("\nreconstructed model (raycast from the final pose):\n");
+    println!("{}", ascii_model(&kf, 96, 28));
+    println!("{}", meter.run_cost());
+}

@@ -1,0 +1,27 @@
+//! Shared helpers for the workspace-level integration tests and examples.
+//!
+//! The real library surface lives in the `crates/` members; this crate
+//! only exists so `tests/` and `examples/` at the repository root have a
+//! package to belong to.
+
+use slam_math::camera::PinholeCamera;
+use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+use slam_scene::noise::DepthNoiseModel;
+
+/// A small, fast living-room dataset for integration tests: 160×120,
+/// noise-free depth, configurable length.
+pub fn test_dataset(frames: usize) -> SyntheticDataset {
+    let mut dc = DatasetConfig::living_room();
+    dc.camera = PinholeCamera::tiny();
+    dc.frame_count = frames;
+    dc.noise = DepthNoiseModel::ideal();
+    SyntheticDataset::generate(&dc)
+}
+
+/// Same as [`test_dataset`] but with Kinect-style sensor noise.
+pub fn noisy_test_dataset(frames: usize) -> SyntheticDataset {
+    let mut dc = DatasetConfig::living_room();
+    dc.camera = PinholeCamera::tiny();
+    dc.frame_count = frames;
+    SyntheticDataset::generate(&dc)
+}

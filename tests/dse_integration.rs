@@ -1,0 +1,92 @@
+//! Integration of the DSE engine with the real benchmark pipeline.
+
+use slam_dse::knowledge::{KnowledgeTree, LabelledConfigs};
+use slam_power::devices::odroid_xu3;
+use slambench::config_space::{decode_config, slambench_space};
+use slambench::explore::{explore, measure, random_sweep, ExploreOptions};
+use slambench_suite::test_dataset;
+
+#[test]
+fn exploration_is_deterministic() {
+    let dataset = test_dataset(5);
+    let device = odroid_xu3();
+    let a = explore(&dataset, &device, &ExploreOptions::fast());
+    let b = explore(&dataset, &device, &ExploreOptions::fast());
+    assert_eq!(a.measured.len(), b.measured.len());
+    for (x, y) in a.measured.iter().zip(&b.measured) {
+        assert_eq!(x.x, y.x);
+        assert!((x.runtime_s - y.runtime_s).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn every_measured_config_is_valid_and_finite() {
+    let dataset = test_dataset(5);
+    let device = odroid_xu3();
+    let outcome = explore(&dataset, &device, &ExploreOptions::fast());
+    for m in &outcome.measured {
+        m.config.validate().expect("explored config must be valid");
+        assert!(m.runtime_s.is_finite() && m.runtime_s > 0.0);
+        assert!(m.max_ate_m.is_finite() && m.max_ate_m >= 0.0);
+        assert!(m.watts.is_finite() && m.watts > 0.0);
+    }
+}
+
+#[test]
+fn pareto_of_outcome_is_consistent_with_measured() {
+    let dataset = test_dataset(5);
+    let device = odroid_xu3();
+    let outcome = explore(&dataset, &device, &ExploreOptions::fast());
+    let front = outcome.pareto();
+    assert!(!front.is_empty());
+    // every front member is one of the measured points
+    for f in &front {
+        assert!(outcome.measured.iter().any(|m| m.x == f.x));
+    }
+}
+
+#[test]
+fn knowledge_tree_over_real_measurements() {
+    let dataset = test_dataset(5);
+    let device = odroid_xu3();
+    let measured = random_sweep(&dataset, &device, 30, 5);
+    // label on speed alone so both classes are guaranteed non-empty on a
+    // tiny budget: faster than the median vs not
+    let mut runtimes: Vec<f64> = measured.iter().map(|m| m.runtime_s).collect();
+    runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = runtimes[runtimes.len() / 2];
+    let data = LabelledConfigs {
+        x: measured.iter().map(|m| m.x.clone()).collect(),
+        labels: measured
+            .iter()
+            .map(|m| f64::from(u8::from(m.runtime_s < median)))
+            .collect(),
+        class_names: vec!["slow".into(), "fast".into()],
+    };
+    let tree = KnowledgeTree::fit(&slambench_space(), &data, 3);
+    // the dominant cost driver must appear among the splits
+    let splits = tree.split_parameters();
+    assert!(!splits.is_empty(), "tree learned nothing");
+    assert!(
+        splits.iter().any(|(n, _)| n == "volume_resolution"
+            || n == "compute_size_ratio"
+            || n == "mu"
+            || n == "integration_rate"
+            || n == "pyramid_l0"),
+        "splits {splits:?} miss every plausible runtime driver"
+    );
+    assert!(tree.accuracy(&data) > 0.6);
+}
+
+#[test]
+fn measure_matches_direct_decode() {
+    let dataset = test_dataset(4);
+    let device = odroid_xu3();
+    let space = slambench_space();
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let x = space.sample(&mut rng);
+    let m = measure(&dataset, &device, &x);
+    let direct = decode_config(&x);
+    assert_eq!(m.config, direct);
+}

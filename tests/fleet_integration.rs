@@ -1,0 +1,86 @@
+//! Integration of the phone-fleet study with the pipeline.
+
+use slam_kfusion::KFusionConfig;
+use slam_power::fleet::phone_fleet;
+use slambench::fleet::{fleet_speedups, memory_capped_volume};
+use slambench_suite::test_dataset;
+
+fn configs() -> (KFusionConfig, KFusionConfig) {
+    let default_cfg = KFusionConfig {
+        volume_resolution: 192,
+        ..KFusionConfig::fast_test()
+    };
+    let tuned_cfg = KFusionConfig {
+        volume_resolution: 64,
+        compute_size_ratio: 2,
+        pyramid_iterations: [3, 2, 2],
+        ..KFusionConfig::fast_test()
+    };
+    (default_cfg, tuned_cfg)
+}
+
+#[test]
+fn fleet_study_is_reproducible() {
+    let dataset = test_dataset(4);
+    let (d, t) = configs();
+    let fleet = phone_fleet(2018);
+    let a = fleet_speedups(&dataset, &d, &t, &fleet);
+    let b = fleet_speedups(&dataset, &d, &t, &fleet);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.index, y.index);
+        assert!((x.speedup - y.speedup).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn memory_caps_respect_the_request() {
+    for ram in [256, 512, 1024, 2048, 4096] {
+        for requested in [64, 96, 128, 192, 256] {
+            let v = memory_capped_volume(requested, ram);
+            assert!(v <= requested.max(64));
+            // the cap always returns something runnable
+            assert!(v >= 64);
+        }
+    }
+}
+
+#[test]
+fn entries_serialize() {
+    let dataset = test_dataset(3);
+    let (d, t) = configs();
+    let fleet = phone_fleet(2018);
+    let entries = fleet_speedups(&dataset, &d, &t, &fleet[..5]);
+    let json = serde_json::to_string(&entries).unwrap();
+    assert!(json.contains("speedup"));
+    let back: Vec<slambench::fleet::FleetEntry> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), 5);
+}
+
+#[test]
+fn fragile_gpu_phones_see_smaller_gains() {
+    let dataset = test_dataset(4);
+    let (d, t) = configs();
+    let fleet = phone_fleet(2018);
+    let entries = fleet_speedups(&dataset, &d, &t, &fleet);
+    let fragile: Vec<f64> = fleet
+        .iter()
+        .zip(&entries)
+        .filter(|(p, _)| p.gpu_fragile)
+        .map(|(_, e)| e.speedup)
+        .collect();
+    let robust: Vec<f64> = fleet
+        .iter()
+        .zip(&entries)
+        .filter(|(p, _)| !p.gpu_fragile && p.device.has_usable_gpu())
+        .map(|(_, e)| e.speedup)
+        .collect();
+    if !fragile.is_empty() && !robust.is_empty() {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&fragile) < mean(&robust),
+            "fragile drivers should blunt the tuned config ({} vs {})",
+            mean(&fragile),
+            mean(&robust)
+        );
+    }
+}

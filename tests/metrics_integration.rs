@@ -1,0 +1,53 @@
+//! Integration of the metrics crate with real pipeline output.
+
+use slam_kfusion::KFusionConfig;
+use slam_math::Se3;
+use slam_metrics::ate::{ate, Alignment, AteOptions};
+use slam_metrics::rpe::rpe;
+use slambench::run::run_pipeline;
+use slambench_suite::test_dataset;
+
+fn run_poses(frames: usize) -> (Vec<Se3>, Vec<Se3>) {
+    let dataset = test_dataset(frames);
+    let mut config = KFusionConfig::fast_test();
+    config.volume_resolution = 128;
+    let run = run_pipeline(&dataset, &config);
+    (
+        run.frames.iter().map(|f| f.pose).collect(),
+        run.frames.iter().map(|f| f.ground_truth).collect(),
+    )
+}
+
+#[test]
+fn ate_and_rpe_agree_on_quality() {
+    let (est, gt) = run_poses(15);
+    let a = ate(&est, &gt, AteOptions::default()).unwrap();
+    let r = rpe(&est, &gt, 1).unwrap();
+    // a tracking run with small ATE must also have small per-frame drift
+    assert!(a.max < 0.05, "ATE {}", a.max);
+    assert!(r.translation_rmse < 0.02, "RPE {}", r.translation_rmse);
+    // drift per frame is no larger than the worst absolute error
+    assert!(r.translation_max <= 2.0 * a.max + 1e-6);
+}
+
+#[test]
+fn alignment_modes_are_ordered() {
+    let (est, gt) = run_poses(15);
+    let none = ate(&est, &gt, AteOptions { alignment: Alignment::None }).unwrap();
+    let first = ate(&est, &gt, AteOptions { alignment: Alignment::FirstPose }).unwrap();
+    let horn = ate(&est, &gt, AteOptions { alignment: Alignment::Horn }).unwrap();
+    // Horn minimises the rms over rigid alignments, so it is at least as
+    // good as any other registration of the same trajectory
+    assert!(horn.rmse <= none.rmse + 1e-9);
+    assert!(horn.rmse <= first.rmse + 1e-9);
+}
+
+#[test]
+fn rpe_interval_sweep_is_monotone_in_expectation() {
+    let (est, gt) = run_poses(20);
+    let r1 = rpe(&est, &gt, 1).unwrap();
+    let r5 = rpe(&est, &gt, 5).unwrap();
+    // longer intervals accumulate at least as much drift as single steps
+    // for a non-degenerate run (allow slack for error cancellation)
+    assert!(r5.translation_rmse >= r1.translation_rmse * 0.5);
+}

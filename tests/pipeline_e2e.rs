@@ -1,0 +1,72 @@
+//! End-to-end integration: synthetic dataset → KinectFusion → trajectory
+//! accuracy.
+
+use slam_kfusion::{KFusionConfig, KinectFusion};
+use slam_math::camera::PinholeCamera;
+use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+use slam_scene::noise::DepthNoiseModel;
+
+/// Runs the pipeline over a dataset and returns per-frame translational
+/// errors against ground truth (metres).
+fn run_errors(dataset: &SyntheticDataset, config: KFusionConfig) -> Vec<f32> {
+    let init = dataset.frames()[0].ground_truth;
+    let mut kf = KinectFusion::new(config, *dataset.camera(), init);
+    dataset
+        .frames()
+        .iter()
+        .map(|frame| {
+            let r = kf.process_frame(&frame.depth_mm);
+            r.pose.translation_distance(&frame.ground_truth)
+        })
+        .collect()
+}
+
+fn living_room_tiny(frames: usize, noisy: bool) -> SyntheticDataset {
+    let mut cfg = DatasetConfig::living_room();
+    cfg.camera = PinholeCamera::tiny();
+    cfg.frame_count = frames;
+    if !noisy {
+        cfg.noise = DepthNoiseModel::ideal();
+    }
+    SyntheticDataset::generate(&cfg)
+}
+
+#[test]
+fn tracks_living_room_noise_free() {
+    let dataset = living_room_tiny(25, false);
+    let mut config = KFusionConfig::fast_test();
+    config.volume_resolution = 128;
+    config.pyramid_iterations = [6, 4, 3];
+    let errors = run_errors(&dataset, config);
+    let max = errors.iter().cloned().fold(0.0f32, f32::max);
+    assert!(max < 0.05, "max trajectory error {max} m, errors: {errors:?}");
+}
+
+#[test]
+fn tracks_living_room_with_kinect_noise() {
+    let dataset = living_room_tiny(25, true);
+    let mut config = KFusionConfig::fast_test();
+    config.volume_resolution = 128;
+    config.pyramid_iterations = [6, 4, 3];
+    let errors = run_errors(&dataset, config);
+    let max = errors.iter().cloned().fold(0.0f32, f32::max);
+    assert!(max < 0.08, "max trajectory error {max} m, errors: {errors:?}");
+}
+
+#[test]
+fn tiny_volume_degrades_accuracy() {
+    let dataset = living_room_tiny(20, false);
+    let mut good = KFusionConfig::fast_test();
+    good.volume_resolution = 128;
+    good.pyramid_iterations = [6, 4, 3];
+    let mut coarse = good.clone();
+    coarse.volume_resolution = 32;
+    let e_good = run_errors(&dataset, good);
+    let e_coarse = run_errors(&dataset, coarse);
+    let max_good = e_good.iter().cloned().fold(0.0f32, f32::max);
+    let max_coarse = e_coarse.iter().cloned().fold(0.0f32, f32::max);
+    assert!(
+        max_coarse > max_good,
+        "coarse volume ({max_coarse}) should be less accurate than fine ({max_good})"
+    );
+}

@@ -1,0 +1,67 @@
+//! Serde round-trips across the crate boundary: configurations, device
+//! models, runs and reports must survive JSON (the formats a downstream
+//! harness would log).
+
+use slam_kfusion::KFusionConfig;
+use slam_power::devices::odroid_xu3;
+use slam_power::fleet::phone_fleet;
+use slam_power::DeviceModel;
+use slambench::explore::MeasuredConfig;
+use slambench::run::run_pipeline;
+use slambench_suite::test_dataset;
+
+#[test]
+fn kfusion_config_roundtrip() {
+    let config = KFusionConfig::default();
+    let json = serde_json::to_string_pretty(&config).unwrap();
+    let back: KFusionConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(config, back);
+}
+
+#[test]
+fn device_model_roundtrip() {
+    let device = odroid_xu3();
+    let json = serde_json::to_string(&device).unwrap();
+    let back: DeviceModel = serde_json::from_str(&json).unwrap();
+    assert_eq!(device, back);
+}
+
+#[test]
+fn phone_fleet_roundtrip() {
+    let fleet = phone_fleet(2018);
+    let json = serde_json::to_string(&fleet).unwrap();
+    let back: Vec<slam_power::PhoneSpec> = serde_json::from_str(&json).unwrap();
+    assert_eq!(fleet, back);
+}
+
+#[test]
+fn pipeline_run_roundtrip() {
+    let dataset = test_dataset(3);
+    let run = run_pipeline(&dataset, &KFusionConfig::fast_test());
+    let json = serde_json::to_string(&run).unwrap();
+    let back: slambench::run::PipelineRun = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.frames.len(), run.frames.len());
+    assert!((back.ate.max - run.ate.max).abs() < 1e-12);
+    // the workload trace survives, so device costing after reload matches
+    let dev = odroid_xu3();
+    let a = run.cost_on(&dev).run_cost;
+    let b = back.cost_on(&dev).run_cost;
+    assert!((a.seconds - b.seconds).abs() < 1e-12);
+    assert!((a.joules - b.joules).abs() < 1e-12);
+}
+
+#[test]
+fn measured_config_roundtrip() {
+    let m = MeasuredConfig {
+        x: vec![1.0; 10],
+        config: KFusionConfig::default(),
+        runtime_s: 0.1,
+        max_ate_m: 0.03,
+        watts: 2.5,
+        fps: 10.0,
+    };
+    let json = serde_json::to_string(&m).unwrap();
+    let back: MeasuredConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.x, m.x);
+    assert_eq!(back.config, m.config);
+}
