@@ -48,7 +48,11 @@ fn bench_pareto(c: &mut Criterion) {
         .map(|_| {
             Evaluation::new(
                 vec![],
-                vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)],
+                vec![
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ],
             )
         })
         .collect();

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slam_kfusion::image::Image2D;
-use slam_kfusion::preprocess::{bilateral_filter, depth2vertex, half_sample, mm2meters, vertex2normal};
+use slam_kfusion::preprocess::{
+    bilateral_filter, depth2vertex, half_sample, mm2meters, vertex2normal,
+};
 use slam_kfusion::raycast::{raycast, RaycastParams};
 use slam_kfusion::tsdf::TsdfVolume;
 use slam_math::camera::PinholeCamera;
@@ -27,7 +29,11 @@ fn structured_depth(cam: &PinholeCamera) -> Image2D<f32> {
 fn bench_preprocess(c: &mut Criterion) {
     let cam = camera();
     let depth = structured_depth(&cam);
-    let mm: Vec<u16> = depth.as_slice().iter().map(|d| (d * 1000.0) as u16).collect();
+    let mm: Vec<u16> = depth
+        .as_slice()
+        .iter()
+        .map(|d| (d * 1000.0) as u16)
+        .collect();
 
     let mut group = c.benchmark_group("preprocess");
     group.sample_size(20);
@@ -76,12 +82,97 @@ fn bench_volume(c: &mut Criterion) {
             for _ in 0..3 {
                 vol.integrate(&depth, &cam, &pose, 0.1, 100.0);
             }
-            let params = RaycastParams { near: 0.3, far: 5.0, step_fraction: 0.5, mu: 0.1 };
+            let params = RaycastParams {
+                near: 0.3,
+                far: 5.0,
+                step_fraction: 0.5,
+                mu: 0.1,
+            };
             b.iter(|| raycast(&vol, &cam, &pose, &params));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_preprocess, bench_volume, bench_mesh);
+/// 1 thread vs N threads on the shared worker pool, per parallel kernel.
+/// The outputs are bit-identical; only the wall clock should move
+/// (`cargo run -p bench --bin bench_kernels` emits the same comparison as
+/// JSON for regression tracking).
+fn bench_thread_scaling(c: &mut Criterion) {
+    use slam_kfusion::exec;
+    use slam_kfusion::icp::{track, TrackLevel};
+    use slam_kfusion::mesh::marching_cubes_with_threads;
+    use slam_kfusion::preprocess::bilateral_filter_with_threads;
+    use slam_kfusion::raycast::raycast_with_threads;
+    use slam_kfusion::KFusionConfig;
+
+    let cam = PinholeCamera::new(320, 240, 262.5, 262.5, 159.5, 119.5);
+    let depth = structured_depth(&cam);
+    let pose = Se3::from_translation(Vec3::new(2.0, 2.0, 0.2));
+    let mut vol = TsdfVolume::new(128, 4.0);
+    for _ in 0..3 {
+        vol.integrate(&depth, &cam, &pose, 0.1, 100.0);
+    }
+    let params = RaycastParams {
+        near: 0.3,
+        far: 5.0,
+        step_fraction: 0.5,
+        mu: 0.1,
+    };
+    let (model, _) = raycast(&vol, &cam, &pose, &params);
+    let (vertices, _) = depth2vertex(&depth, &cam);
+    let (normals, _) = vertex2normal(&vertices);
+    let levels = [TrackLevel {
+        vertices,
+        normals,
+        camera: cam,
+    }];
+    let start = Se3::from_translation(Vec3::new(2.0, 2.0, 0.22));
+
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10);
+    let many = exec::available_threads().min(4).max(2);
+    for threads in [1usize, many] {
+        group.bench_with_input(
+            BenchmarkId::new("bilateral_filter", threads),
+            &threads,
+            |b, &t| b.iter(|| bilateral_filter_with_threads(&depth, 2, 1.5, 0.1, t)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("integrate_128", threads),
+            &threads,
+            |b, &t| {
+                let mut v = TsdfVolume::new(128, 4.0);
+                b.iter(|| v.integrate_with_threads(&depth, &cam, &pose, 0.1, 100.0, t));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("raycast_128", threads),
+            &threads,
+            |b, &t| b.iter(|| raycast_with_threads(&vol, &cam, &pose, &params, t)),
+        );
+        group.bench_with_input(BenchmarkId::new("icp_track", threads), &threads, |b, &t| {
+            let config = KFusionConfig {
+                pyramid_iterations: [10, 0, 0],
+                threads: t,
+                ..KFusionConfig::fast_test()
+            };
+            b.iter(|| track(&levels, &model, &cam, &start, &config))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("marching_cubes_128", threads),
+            &threads,
+            |b, &t| b.iter(|| marching_cubes_with_threads(&vol, t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_volume,
+    bench_mesh,
+    bench_thread_scaling
+);
 criterion_main!(benches);

@@ -33,8 +33,11 @@ fn bench_process_frame(c: &mut Criterion) {
         ("tuned", xu3_tuned_config()),
         ("fast_test", KFusionConfig::fast_test()),
     ];
-    let mut default_small = KFusionConfig::default();
-    default_small.volume_resolution = 128; // keep the host bench bounded
+    // keep the host bench bounded
+    let default_small = KFusionConfig {
+        volume_resolution: 128,
+        ..KFusionConfig::default()
+    };
     configs.push(("default_vr128", default_small));
     for (name, config) in configs {
         group.bench_function(name, |b| {

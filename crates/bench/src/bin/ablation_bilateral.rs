@@ -9,8 +9,8 @@
 use bench::{exploration_camera, living_room_dataset};
 use slam_kfusion::KFusionConfig;
 use slam_metrics::report::Table;
-use slambench::run::run_pipeline;
 use slam_power::devices::odroid_xu3;
+use slambench::run::run_pipeline;
 
 fn main() {
     let frames = 20;
@@ -18,8 +18,10 @@ fn main() {
     let dataset = living_room_dataset(exploration_camera(), frames);
     let device = odroid_xu3();
 
-    let mut config = KFusionConfig::default();
-    config.volume_resolution = 128;
+    let config = KFusionConfig {
+        volume_resolution: 128,
+        ..KFusionConfig::default()
+    };
 
     let mut table = Table::new(vec![
         "bilateral".into(),

@@ -10,8 +10,8 @@
 use bench::{exploration_camera, living_room_dataset, thresholds};
 use slam_dse::active::ActiveLearnerOptions;
 use slam_metrics::report::Table;
-use slambench::explore::{explore, random_sweep, ExploreOptions, MeasuredConfig};
 use slam_power::devices::odroid_xu3;
+use slambench::explore::{explore, random_sweep, ExploreOptions, MeasuredConfig};
 
 fn best_feasible(ms: &[MeasuredConfig]) -> Option<&MeasuredConfig> {
     ms.iter()
@@ -46,7 +46,12 @@ fn main() {
             format!("{:.1}", b.fps),
             format!("{feasible_count}"),
         ]),
-        None => table.row(vec!["random search".into(), "-".into(), "-".into(), "0".into()]),
+        None => table.row(vec![
+            "random search".into(),
+            "-".into(),
+            "-".into(),
+            "0".into(),
+        ]),
     };
 
     for trees in [4usize, 16, 48] {
@@ -76,7 +81,12 @@ fn main() {
                 format!("{:.1}", b.fps),
                 format!("{feasible_count}"),
             ]),
-            None => table.row(vec![format!("active, {trees} trees"), "-".into(), "-".into(), "0".into()]),
+            None => table.row(vec![
+                format!("active, {trees} trees"),
+                "-".into(),
+                "-".into(),
+                "0".into(),
+            ]),
         };
     }
     println!("{}", table.render());

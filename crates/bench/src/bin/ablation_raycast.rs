@@ -12,8 +12,8 @@
 use bench::{exploration_camera, living_room_dataset};
 use slam_kfusion::{KFusionConfig, Kernel};
 use slam_metrics::report::Table;
-use slambench::run::run_pipeline;
 use slam_power::devices::odroid_xu3;
+use slambench::run::run_pipeline;
 
 fn main() {
     let frames = 20;
@@ -29,9 +29,11 @@ fn main() {
         "total s/frame".into(),
     ]);
     for mu in [0.02f32, 0.05, 0.1, 0.15, 0.2] {
-        let mut config = KFusionConfig::default();
-        config.volume_resolution = 128;
-        config.mu = mu;
+        let config = KFusionConfig {
+            volume_resolution: 128,
+            mu,
+            ..KFusionConfig::default()
+        };
         eprintln!("running mu = {mu}...");
         let run = run_pipeline(&dataset, &config);
         let report = run.cost_on(&device);

@@ -12,8 +12,8 @@ use bench::{exploration_camera, living_room_dataset};
 use slam_kfusion::config::TrackingReference;
 use slam_kfusion::KFusionConfig;
 use slam_metrics::report::Table;
-use slambench::run::run_pipeline;
 use slam_power::devices::odroid_xu3;
+use slambench::run::run_pipeline;
 
 fn main() {
     let frames = 90; // long enough for frame-to-frame drift to accumulate
@@ -31,11 +31,16 @@ fn main() {
     ]);
     for (name, reference) in [
         ("frame-to-model (KinectFusion)", TrackingReference::Model),
-        ("frame-to-frame (baseline)", TrackingReference::PreviousFrame),
+        (
+            "frame-to-frame (baseline)",
+            TrackingReference::PreviousFrame,
+        ),
     ] {
-        let mut config = KFusionConfig::default();
-        config.volume_resolution = 128;
-        config.tracking_reference = reference;
+        let config = KFusionConfig {
+            volume_resolution: 128,
+            tracking_reference: reference,
+            ..KFusionConfig::default()
+        };
         eprintln!("running {name}...");
         let run = run_pipeline(&dataset, &config);
         let report = run.cost_on(&device);

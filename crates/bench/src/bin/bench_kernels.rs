@@ -1,0 +1,143 @@
+//! Thread-scaling baseline for the parallel kernels.
+//!
+//! Times each worker-pool kernel at 1 thread and at N threads on this
+//! host (same inputs, bit-identical outputs) and writes the comparison to
+//! `BENCH_kernels.json` so the performance trajectory is machine-readable.
+//!
+//! Run with `cargo run --release -p bench --bin bench_kernels`.
+
+use slam_kfusion::exec;
+use slam_kfusion::icp::{track, TrackLevel};
+use slam_kfusion::image::Image2D;
+use slam_kfusion::mesh::marching_cubes_with_threads;
+use slam_kfusion::preprocess::{bilateral_filter_with_threads, depth2vertex, vertex2normal};
+use slam_kfusion::raycast::{raycast_with_threads, RaycastParams};
+use slam_kfusion::tsdf::TsdfVolume;
+use slam_kfusion::KFusionConfig;
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `runs` calls (after one warm-up call).
+fn median_secs(mut f: impl FnMut(), runs: usize) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Entry {
+    kernel: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+fn main() {
+    let threads = exec::available_threads().min(4).max(2);
+    let runs = 7;
+
+    let cam = PinholeCamera::new(320, 240, 262.5, 262.5, 159.5, 119.5);
+    let mut depth = Image2D::new(cam.width, cam.height, 1.5f32);
+    for y in 40..140 {
+        for x in 60..220 {
+            depth.set(x, y, 1.2 + 0.001 * (x + y) as f32);
+        }
+    }
+    let pose = Se3::from_translation(Vec3::new(2.0, 2.0, 0.2));
+    let mut vol = TsdfVolume::new(128, 4.0);
+    for _ in 0..3 {
+        vol.integrate(&depth, &cam, &pose, 0.1, 100.0);
+    }
+    let params = RaycastParams {
+        near: 0.3,
+        far: 5.0,
+        step_fraction: 0.5,
+        mu: 0.1,
+    };
+    let (model, _) = raycast_with_threads(&vol, &cam, &pose, &params, 0);
+    let (vertices, _) = depth2vertex(&depth, &cam);
+    let (normals, _) = vertex2normal(&vertices);
+    let levels = [TrackLevel {
+        vertices,
+        normals,
+        camera: cam,
+    }];
+    let start = Se3::from_translation(Vec3::new(2.0, 2.0, 0.22));
+    let icp_config = |t: usize| KFusionConfig {
+        pyramid_iterations: [10, 0, 0],
+        threads: t,
+        ..KFusionConfig::fast_test()
+    };
+
+    eprintln!("timing kernels at 1 vs {threads} threads ({runs} runs each, median)...");
+    let mut entries = Vec::new();
+    let mut time_pair = |kernel: &'static str, run: &mut dyn FnMut(usize)| {
+        let serial_s = median_secs(|| run(1), runs);
+        let parallel_s = median_secs(|| run(threads), runs);
+        entries.push(Entry {
+            kernel,
+            serial_s,
+            parallel_s,
+        });
+    };
+    time_pair("bilateral_filter", &mut |t| {
+        bilateral_filter_with_threads(&depth, 2, 1.5, 0.1, t);
+    });
+    time_pair("icp_track", &mut |t| {
+        track(&levels, &model, &cam, &start, &icp_config(t));
+    });
+    let mut scratch = TsdfVolume::new(128, 4.0);
+    time_pair("integrate_128", &mut |t| {
+        scratch.integrate_with_threads(&depth, &cam, &pose, 0.1, 100.0, t);
+    });
+    time_pair("raycast_128", &mut |t| {
+        raycast_with_threads(&vol, &cam, &pose, &params, t);
+    });
+    time_pair("marching_cubes_128", &mut |t| {
+        marching_cubes_with_threads(&vol, t);
+    });
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>9}",
+        "kernel", "1 thr (ms)", "N thr (ms)", "speedup"
+    );
+    let kernels: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|e| {
+            let speedup = e.serial_s / e.parallel_s;
+            println!(
+                "{:<20} {:>12.3} {:>12.3} {:>8.2}x",
+                e.kernel,
+                e.serial_s * 1e3,
+                e.parallel_s * 1e3,
+                speedup
+            );
+            serde_json::json!({
+                "kernel": e.kernel,
+                "serial_ms": e.serial_s * 1e3,
+                "parallel_ms": e.parallel_s * 1e3,
+                "speedup": speedup,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "threads": threads,
+        "runs": runs,
+        "resolution": [cam.width, cam.height],
+        "volume_resolution": 128,
+        "kernels": kernels,
+    });
+    let path = "BENCH_kernels.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialisable report"),
+    )
+    .expect("writable working directory");
+    println!("\nwritten to {path}");
+}

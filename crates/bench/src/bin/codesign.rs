@@ -12,14 +12,17 @@
 use bench::{exploration_camera, living_room_dataset, thresholds};
 use slam_dse::active::ActiveLearnerOptions;
 use slam_metrics::report::Table;
-use slambench::codesign::{codesign_explore, CoDesignOptions};
 use slam_power::devices::odroid_xu3;
+use slambench::codesign::{codesign_explore, CoDesignOptions};
 
 fn main() {
     let frames = 25;
     println!("== E5b: incremental co-design (algorithm x DVFS) on the ODROID XU3 ==");
     println!("dataset: living_room, {frames} frames at 320x240");
-    println!("constraints: max ATE < {} m, power < 1 W\n", thresholds::MAX_ATE_M);
+    println!(
+        "constraints: max ATE < {} m, power < 1 W\n",
+        thresholds::MAX_ATE_M
+    );
 
     let dataset = living_room_dataset(exploration_camera(), frames);
     let device = odroid_xu3();
@@ -38,8 +41,10 @@ fn main() {
         accuracy_limit: thresholds::MAX_ATE_M,
         power_budget: 1.0,
     };
-    eprintln!("exploring (up to {} pipeline runs, {} evaluations)...",
-        options.pipeline_budget, options.evaluation_budget);
+    eprintln!(
+        "exploring (up to {} pipeline runs, {} evaluations)...",
+        options.pipeline_budget, options.evaluation_budget
+    );
     let outcome = codesign_explore(&dataset, &device, &options);
 
     println!(
@@ -65,7 +70,12 @@ fn main() {
         .points
         .iter()
         .filter(|p| p.measured.max_ate_m <= outcome.accuracy_limit)
-        .min_by(|a, b| a.measured.runtime_s.partial_cmp(&b.measured.runtime_s).unwrap());
+        .min_by(|a, b| {
+            a.measured
+                .runtime_s
+                .partial_cmp(&b.measured.runtime_s)
+                .unwrap()
+        });
     let mut push = |name: &str, p: &slambench::codesign::CoDesignPoint| {
         table.row(vec![
             name.into(),
@@ -93,7 +103,11 @@ fn main() {
                 p.measured.fps,
                 p.measured.watts,
                 p.measured.max_ate_m,
-                if p.measured.fps >= 10.0 { "(reproduced)" } else { "(slower than real-time here)" },
+                if p.measured.fps >= 10.0 {
+                    "(reproduced)"
+                } else {
+                    "(slower than real-time here)"
+                },
             );
         }
         None => println!("no point satisfied both constraints at this budget"),

@@ -8,8 +8,8 @@
 use bench::{tiny_camera, xu3_tuned_config};
 use slam_kfusion::KFusionConfig;
 use slam_metrics::report::Table;
-use slambench::suite::{run_suite, standard_suite};
 use slam_power::devices::odroid_xu3;
+use slambench::suite::{run_suite, standard_suite};
 
 fn main() {
     let frames = 25;
@@ -17,14 +17,20 @@ fn main() {
     println!("sequences at 160x120, {frames} frames each\n");
 
     let sequences = standard_suite(tiny_camera(), frames);
-    let mut default_config = KFusionConfig::default();
     // keep the host run tractable on the suite; ratios are unaffected
-    default_config.volume_resolution = 128;
+    let default_config = KFusionConfig {
+        volume_resolution: 128,
+        ..KFusionConfig::default()
+    };
     let configs = vec![
         ("default(vr128)".to_string(), default_config),
         ("xu3-tuned".to_string(), xu3_tuned_config()),
     ];
-    eprintln!("running {} sequences x {} configs...", sequences.len(), configs.len());
+    eprintln!(
+        "running {} sequences x {} configs...",
+        sequences.len(),
+        configs.len()
+    );
     let cells = run_suite(&sequences, &configs, &odroid_xu3());
 
     let mut table = Table::new(vec![

@@ -12,8 +12,8 @@ use bench::{exploration_camera, living_room_dataset, thresholds};
 use slam_dse::active::ActiveLearnerOptions;
 use slam_dse::Evaluation;
 use slam_metrics::report::{scatter_plot, Table};
-use slambench::explore::{explore, random_sweep, ExploreOptions, MeasuredConfig};
 use slam_power::devices::odroid_xu3;
+use slambench::explore::{explore, random_sweep, ExploreOptions, MeasuredConfig};
 
 fn to_points(ms: &[MeasuredConfig]) -> Vec<(f64, f64)> {
     ms.iter().map(|m| (m.runtime_s, m.max_ate_m)).collect()
@@ -71,10 +71,16 @@ fn main() {
         (
             "default configuration",
             'D',
-            vec![(outcome.default_config.runtime_s, outcome.default_config.max_ate_m)],
+            vec![(
+                outcome.default_config.runtime_s,
+                outcome.default_config.max_ate_m,
+            )],
         ),
     ];
-    println!("\nRuntime (s, x) vs Max ATE (m, y); accuracy limit {} m:", thresholds::MAX_ATE_M);
+    println!(
+        "\nRuntime (s, x) vs Max ATE (m, y); accuracy limit {} m:",
+        thresholds::MAX_ATE_M
+    );
     print!("{}", scatter_plot(&series, 72, 24));
 
     // ---- best configurations ----------------------------------------------
@@ -138,7 +144,11 @@ fn main() {
                 "\nshape check: best feasible runtime — active {:.4} s vs random {:.4} s ({})",
                 a.runtime_s,
                 r.runtime_s,
-                if a.runtime_s <= r.runtime_s { "active wins" } else { "random wins" },
+                if a.runtime_s <= r.runtime_s {
+                    "active wins"
+                } else {
+                    "random wins"
+                },
             );
         }
         _ => println!("\nshape check: a series found no feasible configuration"),

@@ -9,9 +9,9 @@
 
 use bench::{exploration_camera, living_room_dataset, thresholds};
 use slam_dse::knowledge::{KnowledgeTree, LabelledConfigs};
+use slam_power::devices::odroid_xu3;
 use slambench::config_space::slambench_space;
 use slambench::explore::random_sweep;
-use slam_power::devices::odroid_xu3;
 
 fn main() {
     let frames = 25;
@@ -74,11 +74,19 @@ fn main() {
     let features: Vec<Vec<f64>> = measured.iter().map(|m| space.normalize(&m.x)).collect();
     println!("\nrandom-forest permutation importance per objective:");
     for (objective, values) in [
-        ("runtime", measured.iter().map(|m| m.runtime_s).collect::<Vec<_>>()),
+        (
+            "runtime",
+            measured.iter().map(|m| m.runtime_s).collect::<Vec<_>>(),
+        ),
         ("max ATE", measured.iter().map(|m| m.max_ate_m).collect()),
         ("power", measured.iter().map(|m| m.watts).collect()),
     ] {
-        let forest = RandomForest::fit(&features, &values, &RandomForestOptions::default(), &mut rng);
+        let forest = RandomForest::fit(
+            &features,
+            &values,
+            &RandomForestOptions::default(),
+            &mut rng,
+        );
         let importances = permutation_importance(&forest, &features, &values, 3, &mut rng);
         let top: Vec<String> = importances
             .iter()

@@ -10,11 +10,11 @@
 
 use bench::{headline_camera, living_room_dataset, xu3_tuned_config};
 use slam_kfusion::KFusionConfig;
+use slam_math::stats::Summary;
 use slam_metrics::report::{bar_chart, Table};
+use slam_power::fleet::phone_fleet;
 use slambench::fleet::fleet_speedups;
 use slambench::run::run_pipeline;
-use slam_math::stats::Summary;
-use slam_power::fleet::phone_fleet;
 
 fn main() {
     let frames = 20;
@@ -32,7 +32,12 @@ fn main() {
 
     let fleet = phone_fleet(2018);
     eprintln!("running pipeline per distinct memory-capped volume and costing 83 phones...");
-    let mut entries = fleet_speedups(&dataset, &KFusionConfig::default(), &xu3_tuned_config(), &fleet);
+    let mut entries = fleet_speedups(
+        &dataset,
+        &KFusionConfig::default(),
+        &xu3_tuned_config(),
+        &fleet,
+    );
     entries.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"));
 
     // ---- the sorted speed-up series (the paper's dot plot) -----------------
@@ -69,7 +74,11 @@ fn main() {
         .enumerate()
         .map(|(i, &c)| {
             (
-                format!("[{:>5.2}, {:>5.2})", i as f64 * bin_w, (i + 1) as f64 * bin_w),
+                format!(
+                    "[{:>5.2}, {:>5.2})",
+                    i as f64 * bin_w,
+                    (i + 1) as f64 * bin_w
+                ),
                 c as f64,
             )
         })
@@ -81,12 +90,21 @@ fn main() {
     let mut table = Table::new(vec!["statistic".into(), "value".into()]);
     table.row(vec!["devices".into(), format!("{}", entries.len())]);
     table.row(vec!["min speed-up".into(), format!("{:.2}x", summary.min)]);
-    table.row(vec!["median speed-up".into(), format!("{:.2}x", summary.median)]);
-    table.row(vec!["mean speed-up".into(), format!("{:.2}x", summary.mean)]);
+    table.row(vec![
+        "median speed-up".into(),
+        format!("{:.2}x", summary.median),
+    ]);
+    table.row(vec![
+        "mean speed-up".into(),
+        format!("{:.2}x", summary.mean),
+    ]);
     table.row(vec!["p95 speed-up".into(), format!("{:.2}x", summary.p95)]);
     table.row(vec!["max speed-up".into(), format!("{:.2}x", summary.max)]);
     let gpu_count = entries.iter().filter(|e| e.gpu).count();
-    table.row(vec!["devices with usable GPU".into(), format!("{gpu_count}")]);
+    table.row(vec![
+        "devices with usable GPU".into(),
+        format!("{gpu_count}"),
+    ]);
     println!("\n{}", table.render());
 
     println!(

@@ -13,9 +13,9 @@
 use bench::{headline_camera, living_room_dataset, xu3_tuned_config};
 use slam_kfusion::KFusionConfig;
 use slam_metrics::report::Table;
-use slambench::run::{run_pipeline, PipelineRun};
 use slam_power::devices::odroid_xu3;
 use slam_power::DeviceModel;
+use slambench::run::{run_pipeline, PipelineRun};
 
 struct Row {
     label: String,
@@ -58,9 +58,17 @@ fn main() {
     for step in (6..=20).rev() {
         let scale = step as f64 / 20.0;
         let dev = xu3.at_dvfs(scale);
-        let row = cost(&tuned_run, &dev, &format!("tuned   @ {:.0}% freq", scale * 100.0));
+        let row = cost(
+            &tuned_run,
+            &dev,
+            &format!("tuned   @ {:.0}% freq", scale * 100.0),
+        );
         if row.watts <= 1.0 && budget_row.is_none() {
-            budget_row = Some(cost(&tuned_run, &dev, &format!("tuned   @ {:.0}% freq (1 W budget)", scale * 100.0)));
+            budget_row = Some(cost(
+                &tuned_run,
+                &dev,
+                &format!("tuned   @ {:.0}% freq (1 W budget)", scale * 100.0),
+            ));
         }
         sweep_rows.push(row);
     }

@@ -8,8 +8,8 @@ use bench::living_room_dataset;
 use slam_kfusion::{KFusionConfig, Kernel};
 use slam_math::camera::PinholeCamera;
 use slam_metrics::report::Table;
-use slambench::run::run_pipeline;
 use slam_power::devices::all_devices;
+use slambench::run::run_pipeline;
 
 fn main() {
     let frames = 20;
@@ -19,8 +19,11 @@ fn main() {
     println!("dataset: living_room, {frames} frames at 320x240\n");
 
     let dataset = living_room_dataset(camera, frames);
-    let mut config = KFusionConfig::default();
-    config.volume_resolution = 128; // keep the host run snappy; ratios hold
+    // keep the host run snappy; ratios hold
+    let config = KFusionConfig {
+        volume_resolution: 128,
+        ..KFusionConfig::default()
+    };
     eprintln!("running pipeline...");
     let run = run_pipeline(&dataset, &config);
 

@@ -99,10 +99,18 @@ impl ActiveLearner {
     /// # Panics
     ///
     /// Panics when the space is empty or `objectives == 0`.
-    pub fn new(space: ParameterSpace, objectives: usize, options: ActiveLearnerOptions) -> ActiveLearner {
+    pub fn new(
+        space: ParameterSpace,
+        objectives: usize,
+        options: ActiveLearnerOptions,
+    ) -> ActiveLearner {
         assert!(!space.is_empty(), "parameter space must not be empty");
         assert!(objectives > 0, "need at least one objective");
-        ActiveLearner { space, objectives, options }
+        ActiveLearner {
+            space,
+            objectives,
+            options,
+        }
     }
 
     /// The parameter space being explored.
@@ -117,12 +125,20 @@ impl ActiveLearner {
     /// The evaluator maps an encoded configuration to its objective vector
     /// (all minimised). It must return `objectives` values; non-finite
     /// values mark failed runs and are treated as very bad.
-    pub fn run(&mut self, budget: usize, mut evaluator: impl FnMut(&[f64]) -> Vec<f64>) -> ExplorationResult {
+    pub fn run(
+        &mut self,
+        budget: usize,
+        mut evaluator: impl FnMut(&[f64]) -> Vec<f64>,
+    ) -> ExplorationResult {
         let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
         let mut evaluations: Vec<Evaluation> = Vec::new();
         let mut evaluate = |x: Vec<f64>, evals: &mut Vec<Evaluation>| {
             let mut obj = evaluator(&x);
-            assert_eq!(obj.len(), self.objectives, "evaluator returned wrong objective count");
+            assert_eq!(
+                obj.len(),
+                self.objectives,
+                "evaluator returned wrong objective count"
+            );
             for o in &mut obj {
                 if !o.is_finite() {
                     // large finite penalty; f64::MAX would overflow the
@@ -157,7 +173,11 @@ impl ActiveLearner {
         }
 
         let front = pareto_front(&evaluations);
-        ExplorationResult { evaluations, initial_count, pareto_front: front }
+        ExplorationResult {
+            evaluations,
+            initial_count,
+            pareto_front: front,
+        }
     }
 
     /// Proposes the next batch from the surrogate models.
@@ -175,9 +195,10 @@ impl ActiveLearner {
             .collect();
         // candidate pool: random samples plus mutations of the current front
         let front = pareto_front(evaluations);
-        let mut candidates: Vec<Vec<f64>> = Vec::with_capacity(self.options.candidates_per_iteration);
+        let mut candidates: Vec<Vec<f64>> =
+            Vec::with_capacity(self.options.candidates_per_iteration);
         for i in 0..self.options.candidates_per_iteration {
-            if !front.is_empty() && i % 2 == 0 {
+            if !front.is_empty() && i.is_multiple_of(2) {
                 let parent = &front[rng.gen_range(0..front.len())];
                 candidates.push(self.space.mutate(&parent.x, rng));
             } else {
@@ -201,7 +222,11 @@ impl ActiveLearner {
                     predicted.push(mean);
                     uncertainty += std;
                 }
-                Scored { x, predicted, uncertainty }
+                Scored {
+                    x,
+                    predicted,
+                    uncertainty,
+                }
             })
             .collect();
         // predicted Pareto candidates (exploitation)
@@ -223,8 +248,8 @@ impl ActiveLearner {
                 .partial_cmp(&scored[a].uncertainty)
                 .expect("finite uncertainty")
         });
-        let explore_n = ((self.options.batch_size as f64 * self.options.exploration_fraction).round()
-            as usize)
+        let explore_n = ((self.options.batch_size as f64 * self.options.exploration_fraction)
+            .round() as usize)
             .min(self.options.batch_size);
         let exploit_n = self.options.batch_size - explore_n;
         let mut batch: Vec<Vec<f64>> = Vec::with_capacity(self.options.batch_size);
@@ -234,7 +259,8 @@ impl ActiveLearner {
             if predicted_front_idx.is_empty() {
                 break;
             }
-            let idx = predicted_front_idx[(k * predicted_front_idx.len()) / exploit_n.max(1) % predicted_front_idx.len()];
+            let idx = predicted_front_idx
+                [(k * predicted_front_idx.len()) / exploit_n.max(1) % predicted_front_idx.len()];
             if !used.contains(&idx) {
                 used.push(idx);
                 batch.push(scored[idx].x.clone());
@@ -297,7 +323,9 @@ mod tests {
         // a deceptive 2-D function with a narrow valley: active learning
         // should find lower values than pure random sampling
         let mut space = ParameterSpace::new();
-        space.add("a", Domain::real(0.0, 1.0)).add("b", Domain::real(0.0, 1.0));
+        space
+            .add("a", Domain::real(0.0, 1.0))
+            .add("b", Domain::real(0.0, 1.0));
         let f = |x: &[f64]| {
             let v = (x[0] - 0.8).powi(2) * 4.0 + (x[1] - 0.2).powi(2) * 4.0;
             vec![v]
@@ -332,9 +360,7 @@ mod tests {
     #[test]
     fn multi_objective_front_is_nondominated() {
         let mut learner = ActiveLearner::new(one_d_space(), 2, ActiveLearnerOptions::fast());
-        let result = learner.run(30, |x| {
-            vec![(x[0] - 0.2).powi(2), (x[0] - 0.9).powi(2)]
-        });
+        let result = learner.run(30, |x| vec![(x[0] - 0.2).powi(2), (x[0] - 0.9).powi(2)]);
         assert!(!result.pareto_front.is_empty());
         for a in &result.pareto_front {
             for b in &result.pareto_front {

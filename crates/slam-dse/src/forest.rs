@@ -32,7 +32,10 @@ impl RandomForestOptions {
     pub fn fast() -> RandomForestOptions {
         RandomForestOptions {
             trees: 8,
-            tree: TreeOptions { max_depth: 8, ..TreeOptions::default() },
+            tree: TreeOptions {
+                max_depth: 8,
+                ..TreeOptions::default()
+            },
             bootstrap_fraction: 1.0,
         }
     }
@@ -110,7 +113,11 @@ mod tests {
         StdRng::seed_from_u64(11)
     }
 
-    fn training_set(n: usize, f: impl Fn(f64, f64) -> f64, r: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn training_set(
+        n: usize,
+        f: impl Fn(f64, f64) -> f64,
+        r: &mut StdRng,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
         let x: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)])
             .collect();
@@ -147,7 +154,10 @@ mod tests {
         let tree = RandomForest::fit(
             &x,
             &y,
-            &RandomForestOptions { trees: 1, ..RandomForestOptions::default() },
+            &RandomForestOptions {
+                trees: 1,
+                ..RandomForestOptions::default()
+            },
             &mut r,
         );
         let test_err = |m: &RandomForest| {
@@ -165,7 +175,9 @@ mod tests {
     fn uncertainty_higher_far_from_data() {
         let mut r = rng();
         // train only on x ∈ [0, 0.3]
-        let x: Vec<Vec<f64>> = (0..150).map(|i| vec![0.3 * (i as f64) / 150.0, 0.5]).collect();
+        let x: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![0.3 * (i as f64) / 150.0, 0.5])
+            .collect();
         let y: Vec<f64> = x.iter().map(|v| (v[0] * 20.0).sin()).collect();
         let forest = RandomForest::fit(&x, &y, &RandomForestOptions::default(), &mut r);
         let (_, std_near) = forest.predict_with_std(&[0.15, 0.5]);
@@ -192,7 +204,10 @@ mod tests {
         let forest = RandomForest::fit(
             &[vec![0.0], vec![1.0]],
             &[0.0, 1.0],
-            &RandomForestOptions { trees: 5, ..RandomForestOptions::fast() },
+            &RandomForestOptions {
+                trees: 5,
+                ..RandomForestOptions::fast()
+            },
             &mut r,
         );
         assert_eq!(forest.tree_count(), 5);

@@ -86,9 +86,18 @@ impl KnowledgeTree {
     pub fn split_parameters(&self) -> Vec<(String, f64)> {
         let mut out = Vec::new();
         fn walk(node: &Node, names: &[String], out: &mut Vec<(String, f64)>) {
-            if let Node::Split { feature, threshold, left, right } = node {
+            if let Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } = node
+            {
                 out.push((
-                    names.get(*feature).cloned().unwrap_or_else(|| format!("x{feature}")),
+                    names
+                        .get(*feature)
+                        .cloned()
+                        .unwrap_or_else(|| format!("x{feature}")),
                     *threshold,
                 ));
                 walk(left, names, out);
@@ -129,7 +138,12 @@ impl KnowledgeTree {
                     .unwrap_or("?");
                 let _ = writeln!(out, "  n{id} [label=\"{name}\\n({samples} configs)\"];");
             }
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 let name = self
                     .parameter_names
                     .get(*feature)
@@ -157,7 +171,12 @@ impl KnowledgeTree {
                     .unwrap_or("?");
                 let _ = writeln!(out, "{indent}=> {name}  ({samples} configs)");
             }
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 let name = self
                     .parameter_names
                     .get(*feature)
@@ -180,8 +199,14 @@ mod tests {
 
     fn space() -> ParameterSpace {
         let mut s = ParameterSpace::new();
-        s.add("volume_resolution", Domain::ordinal(vec![32.0, 64.0, 128.0, 192.0, 256.0]))
-            .add("compute_size_ratio", Domain::ordinal(vec![1.0, 2.0, 4.0, 8.0]));
+        s.add(
+            "volume_resolution",
+            Domain::ordinal(vec![32.0, 64.0, 128.0, 192.0, 256.0]),
+        )
+        .add(
+            "compute_size_ratio",
+            Domain::ordinal(vec![1.0, 2.0, 4.0, 8.0]),
+        );
         s
     }
 
@@ -213,7 +238,11 @@ mod tests {
     fn tree_learns_the_rule() {
         let data = dataset();
         let tree = KnowledgeTree::fit(&space(), &data, 4);
-        assert!(tree.accuracy(&data) > 0.95, "accuracy {}", tree.accuracy(&data));
+        assert!(
+            tree.accuracy(&data) > 0.95,
+            "accuracy {}",
+            tree.accuracy(&data)
+        );
     }
 
     #[test]
@@ -263,7 +292,10 @@ mod tests {
         // every node id referenced by an edge is declared
         for line in dot.lines() {
             if let Some((from, _)) = line.trim().split_once(" -> ") {
-                assert!(dot.contains(&format!("{from} [label=")), "undeclared {from}");
+                assert!(
+                    dot.contains(&format!("{from} [label=")),
+                    "undeclared {from}"
+                );
             }
         }
     }

@@ -28,7 +28,10 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 pub fn pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
     let mut front: Vec<Evaluation> = Vec::new();
     for e in evaluations {
-        if front.iter().any(|f| dominates(&f.objectives, &e.objectives) || f.objectives == e.objectives) {
+        if front
+            .iter()
+            .any(|f| dominates(&f.objectives, &e.objectives) || f.objectives == e.objectives)
+        {
             continue;
         }
         front.retain(|f| !dominates(&e.objectives, &f.objectives));
@@ -127,7 +130,9 @@ mod tests {
         ];
         let front = pareto_front(&evals);
         assert_eq!(front.len(), 3);
-        assert!(front.iter().all(|e| e.objectives[0] + e.objectives[1] <= 5.0));
+        assert!(front
+            .iter()
+            .all(|e| e.objectives[0] + e.objectives[1] <= 5.0));
     }
 
     #[test]

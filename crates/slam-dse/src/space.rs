@@ -34,7 +34,11 @@ pub enum Domain {
 impl Domain {
     /// Convenience constructor for a linear real range.
     pub fn real(min: f64, max: f64) -> Domain {
-        Domain::Real { min, max, log: false }
+        Domain::Real {
+            min,
+            max,
+            log: false,
+        }
     }
 
     /// Convenience constructor for a log-uniform real range.
@@ -44,7 +48,11 @@ impl Domain {
     /// Panics when `min <= 0` (log scale needs positive bounds).
     pub fn log_real(min: f64, max: f64) -> Domain {
         assert!(min > 0.0, "log domain requires positive bounds");
-        Domain::Real { min, max, log: true }
+        Domain::Real {
+            min,
+            max,
+            log: true,
+        }
     }
 
     /// Convenience constructor for an ordinal list.
@@ -54,7 +62,10 @@ impl Domain {
     /// Panics when `values` is empty.
     pub fn ordinal(values: impl Into<Vec<f64>>) -> Domain {
         let values = values.into();
-        assert!(!values.is_empty(), "ordinal domain needs at least one value");
+        assert!(
+            !values.is_empty(),
+            "ordinal domain needs at least one value"
+        );
         Domain::Ordinal(values)
     }
 
@@ -118,7 +129,10 @@ impl Domain {
             Domain::Ordinal(values) => *values
                 .iter()
                 .min_by(|a, b| {
-                    (*a - v).abs().partial_cmp(&(*b - v).abs()).expect("finite ordinals")
+                    (*a - v)
+                        .abs()
+                        .partial_cmp(&(*b - v).abs())
+                        .expect("finite ordinals")
                 })
                 .expect("non-empty ordinal"),
             Domain::Real { min, max, .. } => v.clamp(*min, *max),

@@ -59,7 +59,12 @@ impl Node {
     fn predict(&self, x: &[f64]) -> f64 {
         match self {
             Node::Leaf { value, .. } => *value,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if x[*feature] < *threshold {
                     left.predict(x)
                 } else {
@@ -140,10 +145,16 @@ impl DecisionTree {
         assert!(!x.is_empty(), "cannot fit a tree on no data");
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         let dims = x[0].len();
-        assert!(x.iter().all(|row| row.len() == dims), "ragged feature matrix");
+        assert!(
+            x.iter().all(|row| row.len() == dims),
+            "ragged feature matrix"
+        );
         let indices: Vec<usize> = (0..x.len()).collect();
         let root = grow(x, y, &indices, options, criterion, 0, rng);
-        DecisionTree { root, dimensions: dims }
+        DecisionTree {
+            root,
+            dimensions: dims,
+        }
     }
 
     /// Predicts the value/class for one configuration.
@@ -274,7 +285,8 @@ fn grow(
             if left.len() < options.min_samples_leaf || right.len() < options.min_samples_leaf {
                 continue;
             }
-            let imp = weighted_impurity(y, &left, criterion) + weighted_impurity(y, &right, criterion);
+            let imp =
+                weighted_impurity(y, &left, criterion) + weighted_impurity(y, &right, criterion);
             if best.map_or(true, |(b, _, _)| imp < b) {
                 best = Some((imp, f, threshold));
             }
@@ -314,7 +326,10 @@ mod tests {
     #[test]
     fn regression_fits_step_function() {
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
-        let y: Vec<f64> = x.iter().map(|v| if v[0] < 0.5 { 1.0 } else { 3.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] < 0.5 { 1.0 } else { 3.0 })
+            .collect();
         let t = DecisionTree::fit_regression(&x, &y, &TreeOptions::default(), &mut rng());
         assert!((t.predict(&[0.2]) - 1.0).abs() < 1e-9);
         assert!((t.predict(&[0.8]) - 3.0).abs() < 1e-9);
@@ -341,10 +356,15 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..100)
             .map(|_| vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)])
             .collect();
-        let y: Vec<f64> = x.iter().map(|v| if v[1] < 0.4 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[1] < 0.4 { 0.0 } else { 10.0 })
+            .collect();
         let t = DecisionTree::fit_regression(&x, &y, &TreeOptions::default(), &mut r);
         match t.root() {
-            Node::Split { feature, threshold, .. } => {
+            Node::Split {
+                feature, threshold, ..
+            } => {
                 assert_eq!(*feature, 1);
                 assert!((threshold - 0.4).abs() < 0.1);
             }
@@ -384,7 +404,12 @@ mod tests {
     fn max_depth_limits_tree() {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        let opts = TreeOptions { max_depth: 2, min_samples_leaf: 1, min_samples_split: 2, feature_subsample: 0 };
+        let opts = TreeOptions {
+            max_depth: 2,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            feature_subsample: 0,
+        };
         let t = DecisionTree::fit_regression(&x, &y, &opts, &mut rng());
         assert!(t.depth() <= 2);
         assert!(t.leaf_count() <= 4);
@@ -394,7 +419,10 @@ mod tests {
     fn min_samples_leaf_respected() {
         let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..10).map(|i| if i < 1 { 100.0 } else { 0.0 }).collect();
-        let opts = TreeOptions { min_samples_leaf: 3, ..TreeOptions::default() };
+        let opts = TreeOptions {
+            min_samples_leaf: 3,
+            ..TreeOptions::default()
+        };
         let t = DecisionTree::fit_regression(&x, &y, &opts, &mut rng());
         // cannot isolate the single outlier into a leaf of size 1
         fn check(node: &Node, min: usize) {
@@ -418,7 +446,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn wrong_dims_panics() {
-        let t = DecisionTree::fit_regression(&[vec![1.0, 2.0]], &[1.0], &TreeOptions::default(), &mut rng());
+        let t = DecisionTree::fit_regression(
+            &[vec![1.0, 2.0]],
+            &[1.0],
+            &TreeOptions::default(),
+            &mut rng(),
+        );
         let _ = t.predict(&[1.0]);
     }
 
@@ -429,7 +462,10 @@ mod tests {
             .map(|_| (0..5).map(|_| r.gen_range(0.0..1.0)).collect())
             .collect();
         let y: Vec<f64> = x.iter().map(|v| v[2] * 10.0).collect();
-        let opts = TreeOptions { feature_subsample: 2, ..TreeOptions::default() };
+        let opts = TreeOptions {
+            feature_subsample: 2,
+            ..TreeOptions::default()
+        };
         let t = DecisionTree::fit_regression(&x, &y, &opts, &mut r);
         // prediction correlates with the true function
         let mut err = 0.0;

@@ -14,8 +14,11 @@ fn objectives() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn evaluations() -> impl Strategy<Value = Vec<Evaluation>> {
-    proptest::collection::vec(objectives(), 1..40)
-        .prop_map(|objs| objs.into_iter().map(|o| Evaluation::new(vec![], o)).collect())
+    proptest::collection::vec(objectives(), 1..40).prop_map(|objs| {
+        objs.into_iter()
+            .map(|o| Evaluation::new(vec![], o))
+            .collect()
+    })
 }
 
 proptest! {

@@ -91,6 +91,13 @@ pub struct KFusionConfig {
     /// What the tracker aligns against (frame-to-model vs
     /// frame-to-frame).
     pub tracking_reference: TrackingReference,
+    /// Worker threads for the parallel kernels (`0` = all available).
+    /// Kernel outputs are bit-identical across thread counts, so this is
+    /// a pure performance knob — a hardware/software co-design parameter
+    /// for the DSE. Capped by the machine size and any active
+    /// [`crate::exec::with_thread_budget`].
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for KFusionConfig {
@@ -111,6 +118,7 @@ impl Default for KFusionConfig {
             icp_normal_threshold: 0.8,
             min_track_fraction: 0.1,
             tracking_reference: TrackingReference::Model,
+            threads: 0,
         }
     }
 }
@@ -130,7 +138,10 @@ impl KFusionConfig {
     /// The resolution the pipeline actually computes at, given the sensor
     /// resolution.
     pub fn compute_resolution(&self, width: usize, height: usize) -> (usize, usize) {
-        (width / self.compute_size_ratio, height / self.compute_size_ratio)
+        (
+            width / self.compute_size_ratio,
+            height / self.compute_size_ratio,
+        )
     }
 
     /// Side length of one voxel in metres.
@@ -149,30 +160,53 @@ impl KFusionConfig {
     /// # Errors
     ///
     /// Returns the first offending parameter.
+    // negated comparisons are deliberate: `!(x > 0.0)` also rejects NaN
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), InvalidConfigError> {
         fn err(parameter: &'static str, reason: impl Into<String>) -> InvalidConfigError {
-            InvalidConfigError { parameter, reason: reason.into() }
+            InvalidConfigError {
+                parameter,
+                reason: reason.into(),
+            }
         }
         if ![1, 2, 4, 8].contains(&self.compute_size_ratio) {
-            return Err(err("compute_size_ratio", format!("{} not in {{1,2,4,8}}", self.compute_size_ratio)));
+            return Err(err(
+                "compute_size_ratio",
+                format!("{} not in {{1,2,4,8}}", self.compute_size_ratio),
+            ));
         }
         if !(self.icp_threshold > 0.0) || self.icp_threshold > 1.0 {
-            return Err(err("icp_threshold", format!("{} not in (0, 1]", self.icp_threshold)));
+            return Err(err(
+                "icp_threshold",
+                format!("{} not in (0, 1]", self.icp_threshold),
+            ));
         }
         if !(self.mu > 0.0) || self.mu > 1.0 {
             return Err(err("mu", format!("{} not in (0, 1] m", self.mu)));
         }
         if self.volume_resolution < 16 || self.volume_resolution > 1024 {
-            return Err(err("volume_resolution", format!("{} not in [16, 1024]", self.volume_resolution)));
+            return Err(err(
+                "volume_resolution",
+                format!("{} not in [16, 1024]", self.volume_resolution),
+            ));
         }
         if !(self.volume_size > 0.0) || self.volume_size > 32.0 {
-            return Err(err("volume_size", format!("{} not in (0, 32] m", self.volume_size)));
+            return Err(err(
+                "volume_size",
+                format!("{} not in (0, 32] m", self.volume_size),
+            ));
         }
         if self.pyramid_iterations.iter().all(|&n| n == 0) {
-            return Err(err("pyramid_iterations", "at least one level needs an iteration"));
+            return Err(err(
+                "pyramid_iterations",
+                "at least one level needs an iteration",
+            ));
         }
         if self.pyramid_iterations.iter().any(|&n| n > 100) {
-            return Err(err("pyramid_iterations", "more than 100 iterations per level"));
+            return Err(err(
+                "pyramid_iterations",
+                "more than 100 iterations per level",
+            ));
         }
         for (name, v) in [
             ("tracking_rate", self.tracking_rate),
@@ -196,6 +230,9 @@ impl KFusionConfig {
         if !(self.max_weight >= 1.0) {
             return Err(err("max_weight", "must be at least 1"));
         }
+        if self.threads > 1024 {
+            return Err(err("threads", format!("{} not in [0, 1024]", self.threads)));
+        }
         Ok(())
     }
 }
@@ -204,7 +241,7 @@ impl fmt::Display for KFusionConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "csr={} vr={} vs={:.1} mu={:.3} icp={:.0e} pyr={:?} tr={} ir={} rr={} bf={}",
+            "csr={} vr={} vs={:.1} mu={:.3} icp={:.0e} pyr={:?} tr={} ir={} rr={} bf={} thr={}",
             self.compute_size_ratio,
             self.volume_resolution,
             self.volume_size,
@@ -215,6 +252,7 @@ impl fmt::Display for KFusionConfig {
             self.integration_rate,
             self.raycast_rate,
             self.bilateral_filter,
+            self.threads,
         )
     }
 }
@@ -240,23 +278,29 @@ mod tests {
 
     #[test]
     fn compute_resolution_divides() {
-        let mut c = KFusionConfig::default();
-        c.compute_size_ratio = 4;
+        let c = KFusionConfig {
+            compute_size_ratio: 4,
+            ..KFusionConfig::default()
+        };
         assert_eq!(c.compute_resolution(640, 480), (160, 120));
     }
 
     #[test]
     fn voxel_size() {
-        let mut c = KFusionConfig::default();
-        c.volume_size = 4.0;
-        c.volume_resolution = 128;
+        let c = KFusionConfig {
+            volume_size: 4.0,
+            volume_resolution: 128,
+            ..KFusionConfig::default()
+        };
         assert!((c.voxel_size() - 0.03125).abs() < 1e-7);
     }
 
     #[test]
     fn validate_rejects_bad_csr() {
-        let mut c = KFusionConfig::default();
-        c.compute_size_ratio = 3;
+        let c = KFusionConfig {
+            compute_size_ratio: 3,
+            ..KFusionConfig::default()
+        };
         let e = c.validate().unwrap_err();
         assert_eq!(e.parameter, "compute_size_ratio");
         assert!(e.to_string().contains("compute_size_ratio"));
@@ -264,8 +308,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_mu() {
-        let mut c = KFusionConfig::default();
-        c.mu = 0.0;
+        let mut c = KFusionConfig {
+            mu: 0.0,
+            ..KFusionConfig::default()
+        };
         assert_eq!(c.validate().unwrap_err().parameter, "mu");
         c.mu = f32::NAN;
         assert_eq!(c.validate().unwrap_err().parameter, "mu");
@@ -273,15 +319,19 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_iterations() {
-        let mut c = KFusionConfig::default();
-        c.pyramid_iterations = [0, 0, 0];
+        let c = KFusionConfig {
+            pyramid_iterations: [0, 0, 0],
+            ..KFusionConfig::default()
+        };
         assert_eq!(c.validate().unwrap_err().parameter, "pyramid_iterations");
     }
 
     #[test]
     fn validate_rejects_zero_rates() {
-        let mut c = KFusionConfig::default();
-        c.integration_rate = 0;
+        let mut c = KFusionConfig {
+            integration_rate: 0,
+            ..KFusionConfig::default()
+        };
         assert_eq!(c.validate().unwrap_err().parameter, "integration_rate");
         c.integration_rate = 1;
         c.tracking_rate = 31;
@@ -290,8 +340,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_extreme_volume() {
-        let mut c = KFusionConfig::default();
-        c.volume_resolution = 8;
+        let mut c = KFusionConfig {
+            volume_resolution: 8,
+            ..KFusionConfig::default()
+        };
         assert_eq!(c.validate().unwrap_err().parameter, "volume_resolution");
         c.volume_resolution = 2048;
         assert_eq!(c.validate().unwrap_err().parameter, "volume_resolution");
@@ -300,6 +352,29 @@ mod tests {
     #[test]
     fn total_iterations_sums_pyramid() {
         assert_eq!(KFusionConfig::default().total_icp_iterations(), 19);
+    }
+
+    #[test]
+    fn threads_knob_validates_and_defaults_to_auto() {
+        let c = KFusionConfig::default();
+        assert_eq!(c.threads, 0, "0 = use all available threads");
+        let mut c = KFusionConfig {
+            threads: 4,
+            ..KFusionConfig::default()
+        };
+        c.validate().unwrap();
+        c.threads = 2000;
+        assert_eq!(c.validate().unwrap_err().parameter, "threads");
+    }
+
+    #[test]
+    fn threads_field_is_serde_defaulted() {
+        // configs serialised before the knob existed must still load
+        let json = serde_json::to_string(&KFusionConfig::fast_test()).unwrap();
+        let stripped = json.replace(",\"threads\":0", "");
+        assert!(!stripped.contains("threads"));
+        let back: KFusionConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.threads, 0);
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! Shared worker-pool execution layer for the hot kernels.
+//!
+//! All parallel kernels (bilateral filter, ICP association, TSDF
+//! integration, raycast, marching cubes) run on one process-wide pool of
+//! long-lived worker threads instead of spawning OS threads per frame.
+//! The submitting thread participates in executing its own tasks, so a
+//! kernel never blocks idle while work remains, and a pool worker that
+//! itself submits work (nested parallelism) simply drains its inner task
+//! group in place — nesting cannot deadlock.
+//!
+//! # Determinism
+//!
+//! Work is partitioned by [`band_ranges`], which derives the band layout
+//! from the *data size only* — never from the thread count. Each band is
+//! computed independently and the per-band results are reduced in band
+//! order by the caller. Floating-point reductions therefore associate the
+//! same way no matter how many threads ran, and every kernel output is
+//! bit-identical across thread counts (including 1).
+//!
+//! # Thread budgets
+//!
+//! Coarse-grained outer parallelism (e.g. evaluating many configurations
+//! at once during design-space exploration) caps the kernels underneath
+//! it with [`with_thread_budget`], so outer × inner parallelism never
+//! oversubscribes the machine. [`effective_threads`] resolves a
+//! configuration's `threads` knob against the machine size and the
+//! active budget, and is the single thread-count derivation used
+//! everywhere.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work submitted to the pool: one boxed closure whose result
+/// is collected in submission order.
+pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// Maximum number of bands [`band_ranges`] splits a dimension into.
+///
+/// Large enough that up to `MAX_BANDS` threads can be kept busy and the
+/// longest band cannot dominate, small enough that per-band overhead
+/// stays negligible.
+pub const MAX_BANDS: usize = 64;
+
+/// Splits `0..n` into at most [`MAX_BANDS`] contiguous, near-equal
+/// ranges. The layout depends only on `n`, never on the thread count, so
+/// per-band results always reduce in the same order regardless of how
+/// many threads execute the bands.
+///
+/// # Examples
+///
+/// ```
+/// use slam_kfusion::exec::band_ranges;
+/// let bands = band_ranges(10);
+/// assert_eq!(bands.len(), 10); // n <= MAX_BANDS: one band per item
+/// assert_eq!(bands[0], 0..1);
+/// let big = band_ranges(1000);
+/// assert_eq!(big.len(), 63);
+/// assert_eq!(big.iter().map(|r| r.len()).sum::<usize>(), 1000);
+/// ```
+pub fn band_ranges(n: usize) -> Vec<Range<usize>> {
+    let bands = n.min(MAX_BANDS);
+    if bands == 0 {
+        return Vec::new();
+    }
+    let per = n.div_ceil(bands);
+    let mut out = Vec::with_capacity(bands);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + per).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+thread_local! {
+    static BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with kernel parallelism on this thread capped at `limit`
+/// (at least 1). Used by coarse-grained outer parallelism — e.g. a
+/// configuration sweep evaluating many pipelines at once — so that
+/// outer workers × inner kernel threads never multiply beyond the
+/// machine. The previous budget is restored afterwards, even on panic.
+pub fn with_thread_budget<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let prev = BUDGET.with(|b| b.replace(Some(limit.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The kernel thread budget active on this thread, if any.
+pub fn thread_budget() -> Option<usize> {
+    BUDGET.with(|b| b.get())
+}
+
+/// Total concurrency the pool offers: its workers plus the submitting
+/// thread (the machine's available parallelism).
+pub fn available_threads() -> usize {
+    pool().max_concurrency()
+}
+
+/// Resolves a `threads` knob into an actual thread count: `0` means
+/// "all available", anything else is clamped to the machine size, and
+/// the active [`with_thread_budget`] cap (if any) is applied on top.
+/// Always at least 1. This is the single thread-count derivation the
+/// kernels share.
+pub fn effective_threads(requested: usize) -> usize {
+    let avail = available_threads();
+    let t = if requested == 0 {
+        avail
+    } else {
+        requested.min(avail)
+    };
+    match thread_budget() {
+        Some(b) => t.min(b).max(1),
+        None => t.max(1),
+    }
+}
+
+/// Runs `tasks` on the global pool with up to `threads` threads
+/// (including the calling thread) and returns their results in
+/// submission order. With `threads <= 1`, a single task, or no pool
+/// workers, the tasks simply run serially on the caller.
+///
+/// Panics from tasks are forwarded to the caller after all tasks of the
+/// group have finished.
+pub fn run_tasks<'a, R: Send>(threads: usize, tasks: Vec<Task<'a, R>>) -> Vec<R> {
+    pool().run_tasks(threads, tasks)
+}
+
+/// Convenience for read-only banded reductions: runs `f` over the
+/// canonical [`band_ranges`] of `0..n` with up to `threads` threads and
+/// returns the per-band results **in band order**, ready for an ordered
+/// (deterministic) reduction by the caller.
+pub fn run_bands<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let f = &f;
+    let tasks: Vec<Task<'_, R>> = band_ranges(n)
+        .into_iter()
+        .map(|range| Box::new(move || f(range)) as Task<'_, R>)
+        .collect();
+    run_tasks(threads, tasks)
+}
+
+/// The process-wide worker pool, created on first use with one worker
+/// per available hardware thread minus one (the submitter supplies the
+/// remaining thread). Workers live for the rest of the process.
+pub fn pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        WorkerPool::new(hw)
+    })
+}
+
+/// A type-erased, lifetime-erased task. Safety of the lifetime erasure
+/// is argued at the single construction site in [`WorkerPool::run_tasks`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One batch of jobs submitted together. Workers and the submitter claim
+/// jobs by atomic index; the submitter blocks until every job has run.
+struct TaskGroup {
+    jobs: Vec<Mutex<Option<Job>>>,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+impl TaskGroup {
+    fn new(jobs: Vec<Job>) -> TaskGroup {
+        TaskGroup {
+            jobs: jobs.into_iter().map(|j| Mutex::new(Some(j))).collect(),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs jobs until none are left unclaimed. Each job runs
+    /// exactly once; the claimer that completes the last job flips the
+    /// finished latch.
+    fn run_available(&self) {
+        let total = self.jobs.len();
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                return;
+            }
+            let job = self.jobs[i].lock().expect("job slot lock").take();
+            if let Some(job) = job {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    let mut slot = self.panic.lock().expect("panic slot lock");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == total {
+                *self.finished.lock().expect("finished lock") = true;
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait_finished(&self) {
+        let mut finished = self.finished.lock().expect("finished lock");
+        while !*finished {
+            finished = self.finished_cv.wait(finished).expect("finished wait");
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<TaskGroup>>>,
+    work_cv: Condvar,
+}
+
+/// A pool of persistent worker threads executing [`TaskGroup`]s.
+///
+/// Use the process-wide instance via [`pool`] (or the [`run_tasks`] /
+/// [`run_bands`] free functions); constructing extra pools leaks their
+/// worker threads for the rest of the process.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool offering `total_threads` of concurrency: it spawns
+    /// `total_threads - 1` detached workers, the submitting thread being
+    /// the last one. `total_threads <= 1` creates a pool with no workers
+    /// (everything runs on the submitter).
+    pub fn new(total_threads: usize) -> WorkerPool {
+        let workers = total_threads.saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("slam-exec-{i}"))
+                .spawn(move || loop {
+                    let group = {
+                        let mut queue = shared.queue.lock().expect("pool queue lock");
+                        loop {
+                            if let Some(g) = queue.pop_front() {
+                                break g;
+                            }
+                            queue = shared.work_cv.wait(queue).expect("pool queue wait");
+                        }
+                    };
+                    group.run_available();
+                })
+                .expect("failed to spawn pool worker");
+        }
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of persistent worker threads (not counting submitters).
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Maximum concurrency for one task group: all workers plus the
+    /// submitting thread.
+    pub fn max_concurrency(&self) -> usize {
+        self.workers + 1
+    }
+
+    /// See the free function [`run_tasks`].
+    pub fn run_tasks<'a, R: Send>(&self, threads: usize, tasks: Vec<Task<'a, R>>) -> Vec<R> {
+        let total = tasks.len();
+        if threads <= 1 || total <= 1 || self.workers == 0 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .zip(results.iter())
+            .map(|(task, slot)| {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let value = task();
+                    *slot.lock().expect("result slot lock") = Some(value);
+                });
+                // SAFETY: the job borrows `tasks`' captures (lifetime 'a)
+                // and `results` (a local). Both strictly outlive the
+                // group: this function does not return before
+                // `wait_finished` observes every job executed (or the
+                // stored panic is resumed), and unclaimed jobs cannot
+                // exist past that point because claiming is the only way
+                // a job leaves its slot and `done` counts every claim.
+                // Queue stragglers (extra Arc clones of the group popped
+                // by workers later) find only empty job slots. Hence no
+                // borrow is ever dereferenced after this frame unwinds.
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+            })
+            .collect();
+        let group = Arc::new(TaskGroup::new(jobs));
+        // enlist at most threads-1 helpers; the submitter is the last thread
+        let helpers = (threads - 1).min(self.workers).min(total - 1);
+        if helpers > 0 {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            for _ in 0..helpers {
+                queue.push_back(Arc::clone(&group));
+            }
+            drop(queue);
+            self.shared.work_cv.notify_all();
+        }
+        group.run_available();
+        group.wait_finished();
+        if let Some(payload) = group.panic.lock().expect("panic slot lock").take() {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("every task produced a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 63, 64, 65, 100, 1000, 4097] {
+            let bands = band_ranges(n);
+            assert!(bands.len() <= MAX_BANDS);
+            let mut expected = 0usize;
+            for b in &bands {
+                assert_eq!(b.start, expected, "bands must be contiguous for n={n}");
+                assert!(!b.is_empty(), "empty band for n={n}");
+                expected = b.end;
+            }
+            assert_eq!(expected, n, "bands must cover 0..{n}");
+        }
+    }
+
+    #[test]
+    fn band_layout_ignores_thread_count() {
+        // the layout is a pure function of n — this is the determinism
+        // cornerstone, so pin it explicitly
+        assert_eq!(band_ranges(128), band_ranges(128));
+        assert_eq!(band_ranges(5).len(), 5);
+        assert_eq!(band_ranges(640).len(), 64);
+    }
+
+    #[test]
+    fn run_tasks_returns_in_submission_order() {
+        for threads in [1usize, 2, 4, 7] {
+            let tasks: Vec<Task<'_, usize>> = (0..100usize)
+                .map(|i| Box::new(move || i * i) as Task<'_, usize>)
+                .collect();
+            let out = run_tasks(threads, tasks);
+            assert_eq!(out, (0..100usize).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_tasks_borrows_caller_data() {
+        let data: Vec<u64> = (0..1000).collect();
+        let bands = band_ranges(data.len());
+        let tasks: Vec<Task<'_, u64>> = bands
+            .into_iter()
+            .map(|r| {
+                let slice = &data[r];
+                Box::new(move || slice.iter().sum()) as Task<'_, u64>
+            })
+            .collect();
+        let partials = run_tasks(4, tasks);
+        assert_eq!(partials.iter().sum::<u64>(), 499_500);
+    }
+
+    #[test]
+    fn run_bands_reduction_is_thread_count_invariant() {
+        // a float reduction whose result depends on association order:
+        // identical across thread counts because the banding is fixed
+        let values: Vec<f32> = (0..1234).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let sum_with = |threads: usize| -> f32 {
+            run_bands(threads, values.len(), |r| {
+                values[r].iter().copied().sum::<f32>()
+            })
+            .into_iter()
+            .sum()
+        };
+        let reference = sum_with(1);
+        for threads in [2usize, 4, 7, 64] {
+            assert_eq!(sum_with(threads).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_run_tasks_completes() {
+        let out = run_bands(4, 8, |outer| {
+            run_bands(4, 16, |inner| (outer.len() * inner.len()) as u64)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|&v| v == 16));
+    }
+
+    #[test]
+    fn panics_propagate_to_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            let tasks: Vec<Task<'_, ()>> = (0..16)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 7 {
+                            panic!("task seven failed");
+                        }
+                    }) as Task<'_, ()>
+                })
+                .collect();
+            run_tasks(4, tasks);
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "task seven failed");
+    }
+
+    #[test]
+    fn thread_budget_caps_effective_threads() {
+        assert_eq!(thread_budget(), None);
+        let avail = available_threads();
+        assert!(avail >= 1);
+        assert_eq!(effective_threads(0), avail);
+        assert_eq!(effective_threads(usize::MAX), avail);
+        assert_eq!(effective_threads(1), 1);
+        with_thread_budget(1, || {
+            assert_eq!(thread_budget(), Some(1));
+            assert_eq!(effective_threads(0), 1);
+            assert_eq!(effective_threads(8), 1);
+            with_thread_budget(3, || {
+                assert_eq!(effective_threads(0), 3.min(avail));
+            });
+            assert_eq!(thread_budget(), Some(1));
+        });
+        assert_eq!(thread_budget(), None);
+    }
+
+    #[test]
+    fn budget_restored_after_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_thread_budget(2, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(thread_budget(), None);
+    }
+
+    #[test]
+    fn explicit_multiworker_pool_runs_parallel_groups() {
+        // a dedicated 4-thread pool exercises the cross-thread claim and
+        // finished-latch path even on single-core machines, where the
+        // global pool has no workers and everything degrades to serial
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.worker_count(), 3);
+        assert_eq!(pool.max_concurrency(), 4);
+        let data: Vec<u64> = (0..10_000).collect();
+        for _ in 0..50 {
+            let tasks: Vec<Task<'_, u64>> = band_ranges(data.len())
+                .into_iter()
+                .map(|r| {
+                    let slice = &data[r];
+                    Box::new(move || slice.iter().sum()) as Task<'_, u64>
+                })
+                .collect();
+            let partials = pool.run_tasks(4, tasks);
+            assert_eq!(partials.iter().sum::<u64>(), 49_995_000);
+        }
+    }
+
+    #[test]
+    fn pool_reuses_persistent_workers() {
+        // run many task groups and check no group ever sees a thread
+        // outside the fixed pool (workers are created once, not per call)
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let seen: StdMutex<HashSet<String>> = StdMutex::new(HashSet::new());
+        for _ in 0..20 {
+            let tasks: Vec<Task<'_, ()>> = (0..16)
+                .map(|_| {
+                    Box::new(|| {
+                        let name = std::thread::current()
+                            .name()
+                            .unwrap_or("submitter")
+                            .to_string();
+                        seen.lock().unwrap().insert(name);
+                    }) as Task<'_, ()>
+                })
+                .collect();
+            run_tasks(available_threads(), tasks);
+        }
+        let seen = seen.into_inner().unwrap();
+        // every participating thread is either the submitter or a
+        // persistent named pool worker
+        for name in &seen {
+            assert!(
+                name.starts_with("slam-exec-") || !name.starts_with("slam-"),
+                "unexpected thread {name}"
+            );
+        }
+        assert!(seen.len() <= pool().max_concurrency() + 1);
+    }
+}

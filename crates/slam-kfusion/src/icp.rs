@@ -7,6 +7,7 @@
 //! point-to-plane system for a 6-DoF pose update.
 
 use crate::config::KFusionConfig;
+use crate::exec;
 use crate::image::{NormalMap, VertexMap};
 use crate::raycast::RaycastResult;
 use crate::workload::Workload;
@@ -53,6 +54,12 @@ struct IterationStats {
 
 /// Runs one ICP iteration at one level. Returns the accumulated stats and
 /// the workload of the association pass.
+///
+/// The association runs on the shared [`exec`] worker pool over fixed
+/// row bands; each band accumulates a partial [`NormalEquations`] and the
+/// partials are merged **in band order**, so the solved update is
+/// bit-identical for every thread count (`config.threads`, `0` = all
+/// available).
 fn icp_iteration(
     level: &TrackLevel,
     model: &RaycastResult,
@@ -61,67 +68,85 @@ fn icp_iteration(
     config: &KFusionConfig,
 ) -> (IterationStats, Workload) {
     let model_inv = model.pose.inverse();
+    let normal_cos_min = config.icp_normal_threshold.cos();
+    let threads = exec::effective_threads(config.threads);
+    let band_results = exec::run_bands(threads, level.camera.height, |rows| {
+        let mut ne = NormalEquations::<6>::new();
+        let mut matched = 0usize;
+        let mut total_valid = 0usize;
+        for y in rows {
+            for x in 0..level.camera.width {
+                let v = level.vertices.get(x, y);
+                if v.z <= 0.0 {
+                    continue;
+                }
+                let n_cur = level.normals.get(x, y);
+                if n_cur.norm_squared() < 0.25 {
+                    continue;
+                }
+                total_valid += 1;
+                // current point in world coordinates under the pose estimate
+                let p_world = pose.transform_point(v);
+                // project into the model camera
+                let p_model_cam = model_inv.transform_point(p_world);
+                let Some(px) = model_camera.project(p_model_cam) else {
+                    continue;
+                };
+                if !model_camera.contains(px) {
+                    continue;
+                }
+                // round to the nearest pixel — truncation would bias the
+                // association half a pixel towards the origin
+                let (ui, vi) = ((px.x + 0.5) as usize, (px.y + 0.5) as usize);
+                if ui >= model_camera.width || vi >= model_camera.height {
+                    continue;
+                }
+                let v_ref = model.vertices.get(ui, vi);
+                let n_ref = model.normals.get(ui, vi);
+                if n_ref.norm_squared() < 0.25 {
+                    continue;
+                }
+                let diff = v_ref - p_world;
+                if diff.norm() > config.icp_dist_threshold {
+                    continue;
+                }
+                let n_world_cur = pose.transform_vector(n_cur);
+                if n_world_cur.dot(n_ref) < normal_cos_min {
+                    continue;
+                }
+                matched += 1;
+                let r = f64::from(n_ref.dot(diff));
+                let cross = p_world.cross(n_ref);
+                let j = [
+                    f64::from(n_ref.x),
+                    f64::from(n_ref.y),
+                    f64::from(n_ref.z),
+                    f64::from(cross.x),
+                    f64::from(cross.y),
+                    f64::from(cross.z),
+                ];
+                // Huber weighting: down-weight residuals beyond ~1 cm so depth
+                // discontinuities and TSDF skirts do not drag the solution
+                const HUBER_DELTA: f64 = 0.01;
+                let w = if r.abs() <= HUBER_DELTA {
+                    1.0
+                } else {
+                    HUBER_DELTA / r.abs()
+                };
+                ne.add_row(&j, r, w);
+            }
+        }
+        (ne, matched, total_valid)
+    });
+    // merge the per-band partial systems in band order: the fixed band
+    // layout makes the floating-point accumulation order canonical
     let mut ne = NormalEquations::<6>::new();
     let mut matched = 0usize;
     let mut total_valid = 0usize;
-    let normal_cos_min = config.icp_normal_threshold.cos();
-    for y in 0..level.camera.height {
-        for x in 0..level.camera.width {
-            let v = level.vertices.get(x, y);
-            if v.z <= 0.0 {
-                continue;
-            }
-            let n_cur = level.normals.get(x, y);
-            if n_cur.norm_squared() < 0.25 {
-                continue;
-            }
-            total_valid += 1;
-            // current point in world coordinates under the pose estimate
-            let p_world = pose.transform_point(v);
-            // project into the model camera
-            let p_model_cam = model_inv.transform_point(p_world);
-            let Some(px) = model_camera.project(p_model_cam) else {
-                continue;
-            };
-            if !model_camera.contains(px) {
-                continue;
-            }
-            // round to the nearest pixel — truncation would bias the
-            // association half a pixel towards the origin
-            let (ui, vi) = ((px.x + 0.5) as usize, (px.y + 0.5) as usize);
-            if ui >= model_camera.width || vi >= model_camera.height {
-                continue;
-            }
-            let v_ref = model.vertices.get(ui, vi);
-            let n_ref = model.normals.get(ui, vi);
-            if n_ref.norm_squared() < 0.25 {
-                continue;
-            }
-            let diff = v_ref - p_world;
-            if diff.norm() > config.icp_dist_threshold {
-                continue;
-            }
-            let n_world_cur = pose.transform_vector(n_cur);
-            if n_world_cur.dot(n_ref) < normal_cos_min {
-                continue;
-            }
-            matched += 1;
-            let r = f64::from(n_ref.dot(diff));
-            let cross = p_world.cross(n_ref);
-            let j = [
-                f64::from(n_ref.x),
-                f64::from(n_ref.y),
-                f64::from(n_ref.z),
-                f64::from(cross.x),
-                f64::from(cross.y),
-                f64::from(cross.z),
-            ];
-            // Huber weighting: down-weight residuals beyond ~1 cm so depth
-            // discontinuities and TSDF skirts do not drag the solution
-            const HUBER_DELTA: f64 = 0.01;
-            let w = if r.abs() <= HUBER_DELTA { 1.0 } else { HUBER_DELTA / r.abs() };
-            ne.add_row(&j, r, w);
-        }
+    for (band_ne, band_matched, band_valid) in &band_results {
+        ne.merge(band_ne);
+        matched += band_matched;
+        total_valid += band_valid;
     }
     let pixels = level.camera.pixel_count() as f64;
     // association: transform + project + lookups + checks ≈ 40 ops/pixel;
@@ -274,7 +299,12 @@ mod tests {
         for _ in 0..3 {
             vol.integrate(&depth, cam, pose, 0.1, 100.0);
         }
-        let params = RaycastParams { near: 0.3, far: 4.0, step_fraction: 0.4, mu: 0.1 };
+        let params = RaycastParams {
+            near: 0.3,
+            far: 4.0,
+            step_fraction: 0.4,
+            mu: 0.1,
+        };
         let (model, _) = raycast(&vol, cam, pose, &params);
         (vol, model)
     }
@@ -283,7 +313,11 @@ mod tests {
         // single level is enough for unit tests
         let (v, _) = depth2vertex(depth, cam);
         let (n, _) = vertex2normal(&v);
-        vec![TrackLevel { vertices: v, normals: n, camera: *cam }]
+        vec![TrackLevel {
+            vertices: v,
+            normals: n,
+            camera: *cam,
+        }]
     }
 
     fn test_config() -> KFusionConfig {
@@ -302,7 +336,11 @@ mod tests {
         let levels = levels_from_depth(&depth, &cam);
         let (result, tw, sw) = track(&levels, &model, &cam, &pose, &test_config());
         assert!(result.tracked);
-        assert!(result.pose.translation_distance(&pose) < 0.01, "drifted {}", result.pose.translation_distance(&pose));
+        assert!(
+            result.pose.translation_distance(&pose) < 0.01,
+            "drifted {}",
+            result.pose.translation_distance(&pose)
+        );
         assert!(result.rms_residual < 0.01);
         assert!(tw.ops > 0.0);
         assert!(sw.ops > 0.0);
@@ -361,7 +399,11 @@ mod tests {
         // rotation/translation coupling on mostly-frontal geometry makes
         // this a slow convergence valley, so allow plenty of iterations
         let bad = true_pose
-            * Se3::from_axis_angle(Vec3::new(0.3, 1.0, 0.1), 0.008, Vec3::new(0.01, -0.008, 0.012));
+            * Se3::from_axis_angle(
+                Vec3::new(0.3, 1.0, 0.1),
+                0.008,
+                Vec3::new(0.01, -0.008, 0.012),
+            );
         let mut config = test_config();
         config.pyramid_iterations = [40, 0, 0];
         config.icp_threshold = 1e-7;
@@ -384,6 +426,41 @@ mod tests {
         // the depth direction (fully observable) must be recovered
         let dz = (result.pose.translation().z - true_pose.translation().z).abs();
         assert!(dz < 0.004, "z residual {dz}");
+    }
+
+    #[test]
+    fn tracking_is_thread_count_invariant() {
+        let cam = PinholeCamera::tiny();
+        let true_pose = Se3::from_translation(Vec3::new(2.0, 2.0, 0.0));
+        let (_vol, model) = model_setup(&cam, &true_pose);
+        let depth = structured_depth(&cam);
+        let levels = levels_from_depth(&depth, &cam);
+        let bad = Se3::from_translation(Vec3::new(2.0, 2.0, 0.02));
+        let run = |threads: usize| {
+            let mut config = test_config();
+            config.threads = threads;
+            track(&levels, &model, &cam, &bad, &config).0
+        };
+        let reference = run(1);
+        // a probe point captures the full rigid transform bit-exactly
+        let probe = Vec3::new(0.3, -0.2, 1.7);
+        let ref_probe = reference.pose.transform_point(probe);
+        for threads in [2usize, 4, 7] {
+            let result = run(threads);
+            let p = result.pose.transform_point(probe);
+            for (a, b) in [(p.x, ref_probe.x), (p.y, ref_probe.y), (p.z, ref_probe.z)] {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads diverged");
+            }
+            assert_eq!(
+                result.rms_residual.to_bits(),
+                reference.rms_residual.to_bits()
+            );
+            assert_eq!(result.iterations, reference.iterations);
+            assert_eq!(
+                result.matched_fraction.to_bits(),
+                reference.matched_fraction.to_bits()
+            );
+        }
     }
 
     #[test]
@@ -411,6 +488,10 @@ mod tests {
         let mut config = test_config();
         config.icp_threshold = 1e-2;
         let (result, _, _) = track(&levels, &model, &cam, &pose, &config);
-        assert!(result.iterations <= 2, "took {} iterations", result.iterations);
+        assert!(
+            result.iterations <= 2,
+            "took {} iterations",
+            result.iterations
+        );
     }
 }

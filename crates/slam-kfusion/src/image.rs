@@ -24,7 +24,11 @@ pub struct Image2D<T> {
 impl<T: Copy> Image2D<T> {
     /// Creates an image filled with `fill`.
     pub fn new(width: usize, height: usize, fill: T) -> Image2D<T> {
-        Image2D { width, height, data: vec![fill; width * height] }
+        Image2D {
+            width,
+            height,
+            data: vec![fill; width * height],
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -34,7 +38,11 @@ impl<T: Copy> Image2D<T> {
     /// Panics when `data.len() != width * height`.
     pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Image2D<T> {
         assert_eq!(data.len(), width * height, "buffer size mismatch");
-        Image2D { width, height, data }
+        Image2D {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -68,7 +76,10 @@ impl<T: Copy> Image2D<T> {
     /// direct slice access instead.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> T {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -89,7 +100,10 @@ impl<T: Copy> Image2D<T> {
     /// Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, v: T) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = v;
     }
 

@@ -12,6 +12,12 @@
 //!           → TSDF integration → raycast (model prediction)
 //! ```
 //!
+//! The hot kernels (bilateral filter, ICP association, TSDF
+//! integration, raycast, marching cubes) execute on a shared persistent
+//! worker pool ([`exec`]) with deterministic partitioning: outputs are
+//! bit-identical regardless of the `threads` knob in
+//! [`config::KFusionConfig`].
+//!
 //! Every kernel is instrumented with a [`workload::Workload`] —
 //! arithmetic-op and memory-byte counts — which the `slam-power` crate
 //! turns into modelled execution time and energy on embedded devices.
@@ -44,10 +50,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod exec;
 pub mod icp;
+pub mod image;
 mod mc_tables;
 pub mod mesh;
-pub mod image;
 pub mod pipeline;
 pub mod preprocess;
 pub mod raycast;
@@ -55,8 +62,9 @@ pub mod tsdf;
 pub mod workload;
 
 pub use config::KFusionConfig;
+pub use exec::{available_threads, effective_threads, with_thread_budget};
 pub use image::Image2D;
+pub use mesh::{marching_cubes, marching_cubes_with_threads, TriangleMesh};
 pub use pipeline::{FrameResult, KinectFusion};
-pub use mesh::{marching_cubes, TriangleMesh};
 pub use tsdf::TsdfVolume;
 pub use workload::{FrameWorkload, Kernel, Workload};

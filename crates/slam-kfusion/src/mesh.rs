@@ -2,10 +2,39 @@
 //! original KinectFusion and the SLAMBench GUI use for visualising and
 //! exporting the reconstruction.
 
+use crate::exec;
 use crate::mc_tables::{EDGE_TABLE, TRI_TABLE};
 use crate::tsdf::TsdfVolume;
 use slam_math::Vec3;
 use std::fmt::Write as _;
+
+/// Cube corner offsets in (x, y, z), Bourke ordering.
+const CORNERS: [(usize, usize, usize); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (1, 1, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (1, 1, 1),
+    (0, 1, 1),
+];
+
+/// The two corner indices of each of the twelve cube edges.
+const EDGES: [(usize, usize); 12] = [
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (3, 0),
+    (4, 5),
+    (5, 6),
+    (6, 7),
+    (7, 4),
+    (0, 4),
+    (1, 5),
+    (2, 6),
+    (3, 7),
+];
 
 /// A triangle mesh: flat vertex list plus index triples.
 #[derive(Debug, Clone, Default)]
@@ -69,7 +98,8 @@ impl TriangleMesh {
     }
 }
 
-/// Extracts the zero-level isosurface of the TSDF with marching cubes.
+/// Extracts the zero-level isosurface of the TSDF with marching cubes,
+/// using all available threads (see [`marching_cubes_with_threads`]).
 ///
 /// Only cells where all eight corners have been observed (non-zero
 /// integration weight) produce geometry, so unobserved space does not
@@ -77,89 +107,99 @@ impl TriangleMesh {
 /// (each triangle owns its vertices), which is what the original
 /// KinectFusion's renderer produced too.
 pub fn marching_cubes(volume: &TsdfVolume) -> TriangleMesh {
+    marching_cubes_with_threads(volume, 0)
+}
+
+/// Like [`marching_cubes`] with an explicit thread count (`0` = all
+/// available). Runs on the shared [`exec`] worker pool over fixed
+/// z-slabs, each emitting into its own vertex buffer; the slabs are
+/// stitched back together **in slab order** with re-based triangle
+/// indices, reproducing the serial emission order exactly — the mesh is
+/// bit-identical for every thread count.
+pub fn marching_cubes_with_threads(volume: &TsdfVolume, threads: usize) -> TriangleMesh {
     let res = volume.resolution();
-    let mut mesh = TriangleMesh::default();
     if res < 2 {
-        return mesh;
+        return TriangleMesh::default();
     }
-    // cube corner offsets in (x, y, z), Bourke ordering
-    const CORNERS: [(usize, usize, usize); 8] = [
-        (0, 0, 0),
-        (1, 0, 0),
-        (1, 1, 0),
-        (0, 1, 0),
-        (0, 0, 1),
-        (1, 0, 1),
-        (1, 1, 1),
-        (0, 1, 1),
-    ];
-    // the two corner indices of each of the twelve edges
-    const EDGES: [(usize, usize); 12] = [
-        (0, 1),
-        (1, 2),
-        (2, 3),
-        (3, 0),
-        (4, 5),
-        (5, 6),
-        (6, 7),
-        (7, 4),
-        (0, 4),
-        (1, 5),
-        (2, 6),
-        (3, 7),
-    ];
-    for z in 0..res - 1 {
-        for y in 0..res - 1 {
-            for x in 0..res - 1 {
-                let mut values = [0.0f32; 8];
-                let mut observed = true;
-                for (i, &(dx, dy, dz)) in CORNERS.iter().enumerate() {
-                    let (cx, cy, cz) = (x + dx, y + dy, z + dz);
-                    if volume.voxel_weight(cx, cy, cz) <= 0.0 {
-                        observed = false;
-                        break;
-                    }
-                    values[i] = volume.voxel_tsdf(cx, cy, cz);
+    let threads = exec::effective_threads(threads);
+    let slabs = exec::run_bands(threads, res - 1, |zs| {
+        let mut mesh = TriangleMesh::default();
+        for z in zs {
+            march_slice(volume, z, &mut mesh);
+        }
+        mesh
+    });
+    // stitch the per-slab buffers in slab order, re-basing indices
+    let mut mesh = TriangleMesh::default();
+    for slab in slabs {
+        let base = mesh.vertices.len() as u32;
+        mesh.vertices.extend(slab.vertices);
+        mesh.triangles.extend(
+            slab.triangles
+                .into_iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
+    }
+    mesh
+}
+
+/// Marches every cell of one z-slice, appending geometry to `mesh` in
+/// the canonical y-major/x-fastest cell order.
+fn march_slice(volume: &TsdfVolume, z: usize, mesh: &mut TriangleMesh) {
+    let res = volume.resolution();
+    for y in 0..res - 1 {
+        for x in 0..res - 1 {
+            let mut values = [0.0f32; 8];
+            let mut observed = true;
+            for (i, &(dx, dy, dz)) in CORNERS.iter().enumerate() {
+                let (cx, cy, cz) = (x + dx, y + dy, z + dz);
+                if volume.voxel_weight(cx, cy, cz) <= 0.0 {
+                    observed = false;
+                    break;
                 }
-                if !observed {
+                values[i] = volume.voxel_tsdf(cx, cy, cz);
+            }
+            if !observed {
+                continue;
+            }
+            let mut case = 0usize;
+            for (i, &v) in values.iter().enumerate() {
+                if v < 0.0 {
+                    case |= 1 << i;
+                }
+            }
+            let edges = EDGE_TABLE[case];
+            if edges == 0 {
+                continue;
+            }
+            // interpolated crossing point on each crossed edge
+            let mut edge_points = [Vec3::ZERO; 12];
+            for (e, &(a, b)) in EDGES.iter().enumerate() {
+                if edges & (1 << e) == 0 {
                     continue;
                 }
-                let mut case = 0usize;
-                for (i, &v) in values.iter().enumerate() {
-                    if v < 0.0 {
-                        case |= 1 << i;
-                    }
-                }
-                let edges = EDGE_TABLE[case];
-                if edges == 0 {
-                    continue;
-                }
-                // interpolated crossing point on each crossed edge
-                let mut edge_points = [Vec3::ZERO; 12];
-                for (e, &(a, b)) in EDGES.iter().enumerate() {
-                    if edges & (1 << e) == 0 {
-                        continue;
-                    }
-                    let (va, vb) = (values[a], values[b]);
-                    let t = if (va - vb).abs() < 1e-9 { 0.5 } else { va / (va - vb) };
-                    let pa = corner_pos(volume, x, y, z, CORNERS[a]);
-                    let pb = corner_pos(volume, x, y, z, CORNERS[b]);
-                    edge_points[e] = pa.lerp(pb, t.clamp(0.0, 1.0));
-                }
-                let tris = &TRI_TABLE[case];
-                let mut i = 0;
-                while i + 2 < tris.len() && tris[i] >= 0 {
-                    let base = mesh.vertices.len() as u32;
-                    mesh.vertices.push(edge_points[tris[i] as usize]);
-                    mesh.vertices.push(edge_points[tris[i + 1] as usize]);
-                    mesh.vertices.push(edge_points[tris[i + 2] as usize]);
-                    mesh.triangles.push([base, base + 1, base + 2]);
-                    i += 3;
-                }
+                let (va, vb) = (values[a], values[b]);
+                let t = if (va - vb).abs() < 1e-9 {
+                    0.5
+                } else {
+                    va / (va - vb)
+                };
+                let pa = corner_pos(volume, x, y, z, CORNERS[a]);
+                let pb = corner_pos(volume, x, y, z, CORNERS[b]);
+                edge_points[e] = pa.lerp(pb, t.clamp(0.0, 1.0));
+            }
+            let tris = &TRI_TABLE[case];
+            let mut i = 0;
+            while i + 2 < tris.len() && tris[i] >= 0 {
+                let base = mesh.vertices.len() as u32;
+                mesh.vertices.push(edge_points[tris[i] as usize]);
+                mesh.vertices.push(edge_points[tris[i + 1] as usize]);
+                mesh.vertices.push(edge_points[tris[i + 2] as usize]);
+                mesh.triangles.push([base, base + 1, base + 2]);
+                i += 3;
             }
         }
     }
-    mesh
 }
 
 fn corner_pos(volume: &TsdfVolume, x: usize, y: usize, z: usize, d: (usize, usize, usize)) -> Vec3 {
@@ -257,6 +297,27 @@ mod tests {
         assert_eq!(counts[0], mesh.vertices.len());
         assert_eq!(counts[1], mesh.triangles.len());
         assert_eq!(off.lines().count(), 2 + counts[0] + counts[1]);
+    }
+
+    #[test]
+    fn marching_cubes_is_thread_count_invariant() {
+        // 33³ so the 32 marchable slices do not divide evenly into bands
+        let vol = wall_volume(33);
+        let reference = marching_cubes_with_threads(&vol, 1);
+        assert!(!reference.is_empty());
+        for threads in [2usize, 4, 7] {
+            let mesh = marching_cubes_with_threads(&vol, threads);
+            assert_eq!(
+                mesh.triangles, reference.triangles,
+                "{threads} threads diverged"
+            );
+            assert_eq!(mesh.vertices.len(), reference.vertices.len());
+            for (a, b) in mesh.vertices.iter().zip(&reference.vertices) {
+                for (ac, bc) in [(a.x, b.x), (a.y, b.y), (a.z, b.z)] {
+                    assert_eq!(ac.to_bits(), bc.to_bits(), "{threads} threads diverged");
+                }
+            }
+        }
     }
 
     #[test]

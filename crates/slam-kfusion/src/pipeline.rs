@@ -3,8 +3,10 @@
 use crate::config::{KFusionConfig, TrackingReference};
 use crate::icp::{track, TrackLevel, TrackResult};
 use crate::image::{DepthImage, Image2D};
-use crate::preprocess::{bilateral_filter, depth2vertex, half_sample, mm2meters, vertex2normal};
-use crate::raycast::{raycast, RaycastParams, RaycastResult};
+use crate::preprocess::{
+    bilateral_filter_with_threads, depth2vertex, half_sample, mm2meters, vertex2normal,
+};
+use crate::raycast::{raycast_with_threads, RaycastParams, RaycastResult};
 use crate::tsdf::TsdfVolume;
 use crate::workload::{FrameWorkload, Kernel, Workload};
 use slam_math::camera::PinholeCamera;
@@ -71,8 +73,14 @@ impl KinectFusion {
     /// # Panics
     ///
     /// Panics when `config` fails [`KFusionConfig::validate`].
-    pub fn new(config: KFusionConfig, sensor_camera: PinholeCamera, initial_pose: Se3) -> KinectFusion {
-        config.validate().expect("invalid KinectFusion configuration");
+    pub fn new(
+        config: KFusionConfig,
+        sensor_camera: PinholeCamera,
+        initial_pose: Se3,
+    ) -> KinectFusion {
+        config
+            .validate()
+            .expect("invalid KinectFusion configuration");
         let compute_camera = sensor_camera.scaled_down(config.compute_size_ratio);
         let pyramid_cameras = [
             compute_camera,
@@ -161,7 +169,11 @@ impl KinectFusion {
                 fw.record(Kernel::Depth2Vertex, vw);
                 let (normals, nw) = vertex2normal(&vertices);
                 fw.record(Kernel::Vertex2Normal, nw);
-                TrackLevel { vertices, normals, camera }
+                TrackLevel {
+                    vertices,
+                    normals,
+                    camera,
+                }
             })
             .collect()
     }
@@ -189,7 +201,7 @@ impl KinectFusion {
         );
         fw.record(Kernel::Mm2Meters, work);
         let filtered = if self.config.bilateral_filter {
-            let (f, work) = bilateral_filter(&raw_m, 2, 1.5, 0.1);
+            let (f, work) = bilateral_filter_with_threads(&raw_m, 2, 1.5, 0.1, self.config.threads);
             fw.record(Kernel::BilateralFilter, work);
             f
         } else {
@@ -199,7 +211,7 @@ impl KinectFusion {
 
         // --- tracking ------------------------------------------------------
         let is_first = self.frame_index == 0;
-        let should_track = !is_first && self.frame_index % self.config.tracking_rate == 0;
+        let should_track = !is_first && self.frame_index.is_multiple_of(self.config.tracking_rate);
         let mut tracked = true;
         let mut track_result: Option<TrackResult> = None;
         if should_track {
@@ -208,8 +220,13 @@ impl KinectFusion {
                 TrackingReference::PreviousFrame => self.prev_frame_maps.as_ref(),
             };
             if let Some(model) = reference {
-                let (result, track_work, solve_work) =
-                    track(&levels, model, &self.compute_camera, &self.pose, &self.config);
+                let (result, track_work, solve_work) = track(
+                    &levels,
+                    model,
+                    &self.compute_camera,
+                    &self.pose,
+                    &self.config,
+                );
                 fw.record(Kernel::Track, track_work);
                 fw.record(Kernel::Solve, solve_work);
                 tracked = result.tracked;
@@ -227,27 +244,31 @@ impl KinectFusion {
 
         // --- integration ---------------------------------------------------
         let should_integrate = (tracked || self.frame_index < 4)
-            && self.frame_index % self.config.integration_rate == 0;
+            && self
+                .frame_index
+                .is_multiple_of(self.config.integration_rate);
         if should_integrate {
-            let work = self.volume.integrate(
+            let work = self.volume.integrate_with_threads(
                 &filtered,
                 &self.compute_camera,
                 &self.pose,
                 self.config.mu,
                 self.config.max_weight,
+                self.config.threads,
             );
             fw.record(Kernel::Integrate, work);
         }
 
         // --- model prediction ----------------------------------------------
         let should_raycast =
-            self.frame_index % self.config.raycast_rate == 0 || self.model.is_none();
+            self.frame_index.is_multiple_of(self.config.raycast_rate) || self.model.is_none();
         if should_raycast {
-            let (model, work) = raycast(
+            let (model, work) = raycast_with_threads(
                 &self.volume,
                 &self.compute_camera,
                 &self.pose,
                 &self.raycast_params(),
+                self.config.threads,
             );
             fw.record(Kernel::Raycast, work);
             self.model = Some(model);
@@ -257,8 +278,16 @@ impl KinectFusion {
         // is selected: the finest level's maps, lifted to world coordinates
         if self.config.tracking_reference == TrackingReference::PreviousFrame {
             let level0 = &levels[0];
-            let mut vertices = Image2D::new(level0.camera.width, level0.camera.height, slam_math::Vec3::ZERO);
-            let mut normals = Image2D::new(level0.camera.width, level0.camera.height, slam_math::Vec3::ZERO);
+            let mut vertices = Image2D::new(
+                level0.camera.width,
+                level0.camera.height,
+                slam_math::Vec3::ZERO,
+            );
+            let mut normals = Image2D::new(
+                level0.camera.width,
+                level0.camera.height,
+                slam_math::Vec3::ZERO,
+            );
             for y in 0..level0.camera.height {
                 for x in 0..level0.camera.width {
                     let v = level0.vertices.get(x, y);
@@ -269,7 +298,11 @@ impl KinectFusion {
                     }
                 }
             }
-            self.prev_frame_maps = Some(RaycastResult { vertices, normals, pose: self.pose });
+            self.prev_frame_maps = Some(RaycastResult {
+                vertices,
+                normals,
+                pose: self.pose,
+            });
         }
 
         let result = FrameResult {

@@ -4,6 +4,7 @@
 //! Every kernel returns its result together with the [`Workload`] it
 //! performed, mirroring the per-kernel instrumentation of SLAMBench.
 
+use crate::exec;
 use crate::image::{DepthImage, Image2D, NormalMap, VertexMap};
 use crate::workload::Workload;
 use slam_math::camera::PinholeCamera;
@@ -38,6 +39,7 @@ pub fn mm2meters(
 }
 
 /// Bilateral filter: edge-preserving smoothing of the depth image.
+/// Uses all available threads (see [`bilateral_filter_with_threads`]).
 ///
 /// `radius` is the half window (SLAMBench uses 2), `sigma_space` the
 /// spatial Gaussian in pixels, `sigma_range` the range Gaussian in metres.
@@ -47,6 +49,21 @@ pub fn bilateral_filter(
     radius: usize,
     sigma_space: f32,
     sigma_range: f32,
+) -> (DepthImage, Workload) {
+    bilateral_filter_with_threads(depth, radius, sigma_space, sigma_range, 0)
+}
+
+/// Like [`bilateral_filter`] with an explicit thread count (`0` = all
+/// available). Runs on the shared [`exec`] worker pool over fixed row
+/// bands; every output pixel is written exactly once and the band
+/// layout depends only on the image height, so the output is
+/// bit-identical for every thread count.
+pub fn bilateral_filter_with_threads(
+    depth: &DepthImage,
+    radius: usize,
+    sigma_space: f32,
+    sigma_range: f32,
+    threads: usize,
 ) -> (DepthImage, Workload) {
     let (w, h) = (depth.width(), depth.height());
     let mut out = Image2D::new(w, h, 0.0f32);
@@ -62,34 +79,51 @@ pub fn bilateral_filter(
         }
     }
     let inv_2sr = 1.0 / (2.0 * sigma_range * sigma_range);
-    let mut ops = 0.0f64;
-    for y in 0..h as isize {
-        for x in 0..w as isize {
-            let center = depth.try_get(x, y).unwrap_or(0.0);
-            if center <= 0.0 {
-                continue;
-            }
-            let mut sum = 0.0f32;
-            let mut weight = 0.0f32;
-            for dy in -r..=r {
-                for dx in -r..=r {
-                    if let Some(d) = depth.try_get(x + dx, y + dy) {
-                        if d > 0.0 {
-                            let diff = d - center;
-                            let wgt = spatial[((dy + r) as usize) * side + (dx + r) as usize]
-                                * (-diff * diff * inv_2sr).exp();
-                            sum += wgt * d;
-                            weight += wgt;
+    let threads = exec::effective_threads(threads);
+    let spatial = &spatial;
+    let mut tasks: Vec<exec::Task<'_, f64>> = Vec::new();
+    {
+        let mut rest: &mut [f32] = out.as_mut_slice();
+        for band in exec::band_ranges(h) {
+            let (chunk, next) = rest.split_at_mut(band.len() * w);
+            rest = next;
+            tasks.push(Box::new(move || {
+                let mut ops = 0.0f64;
+                for (row, y) in band.enumerate() {
+                    let y = y as isize;
+                    for x in 0..w as isize {
+                        let center = depth.try_get(x, y).unwrap_or(0.0);
+                        if center <= 0.0 {
+                            continue;
+                        }
+                        let mut sum = 0.0f32;
+                        let mut weight = 0.0f32;
+                        for dy in -r..=r {
+                            for dx in -r..=r {
+                                if let Some(d) = depth.try_get(x + dx, y + dy) {
+                                    if d > 0.0 {
+                                        let diff = d - center;
+                                        let wgt = spatial
+                                            [((dy + r) as usize) * side + (dx + r) as usize]
+                                            * (-diff * diff * inv_2sr).exp();
+                                        sum += wgt * d;
+                                        weight += wgt;
+                                    }
+                                }
+                            }
+                        }
+                        ops += (side * side) as f64 * 6.0;
+                        if weight > 0.0 {
+                            chunk[row * w + x as usize] = sum / weight;
                         }
                     }
                 }
-            }
-            ops += (side * side) as f64 * 6.0;
-            if weight > 0.0 {
-                out.set(x as usize, y as usize, sum / weight);
-            }
+                ops
+            }));
         }
     }
+    // ordered sum over the fixed band layout: deterministic
+    let ops: f64 = exec::run_tasks(threads, tasks).into_iter().sum();
     let n = (w * h) as f64;
     let window_reads = n * (side * side) as f64 * 4.0;
     (out, Workload::new(ops, window_reads + n * 4.0))
@@ -249,8 +283,16 @@ mod tests {
             }
         }
         let (f, _) = bilateral_filter(&depth, 2, 1.5, 0.1);
-        assert!((f.get(7, 8) - 1.0).abs() < 1e-3, "edge bled: {}", f.get(7, 8));
-        assert!((f.get(8, 8) - 3.0).abs() < 1e-3, "edge bled: {}", f.get(8, 8));
+        assert!(
+            (f.get(7, 8) - 1.0).abs() < 1e-3,
+            "edge bled: {}",
+            f.get(7, 8)
+        );
+        assert!(
+            (f.get(8, 8) - 3.0).abs() < 1e-3,
+            "edge bled: {}",
+            f.get(8, 8)
+        );
     }
 
     #[test]
@@ -260,6 +302,29 @@ mod tests {
         let (f, _) = bilateral_filter(&depth, 2, 1.5, 0.1);
         assert_eq!(f.get(4, 4), 0.0, "hole must stay a hole");
         assert!((f.get(3, 4) - 2.0).abs() < 1e-4, "neighbours unaffected");
+    }
+
+    #[test]
+    fn bilateral_filter_is_thread_count_invariant() {
+        // structured scene: slope + deterministic noise + a hole, with a
+        // height that does not divide evenly into bands
+        let mut depth = flat_depth(64, 47, 0.0);
+        for y in 0..47 {
+            for x in 0..64 {
+                let noise = ((x * 31 + y * 17) % 7) as f32 * 0.002;
+                depth.set(x, y, 1.0 + x as f32 * 0.01 + noise);
+            }
+        }
+        depth.set(10, 10, 0.0);
+        let (reference, ref_work) = bilateral_filter_with_threads(&depth, 2, 1.5, 0.1, 1);
+        for threads in [2usize, 4, 7] {
+            let (f, work) = bilateral_filter_with_threads(&depth, 2, 1.5, 0.1, threads);
+            let bits = |img: &DepthImage| -> Vec<u32> {
+                img.as_slice().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(bits(&f), bits(&reference), "{threads} threads diverged");
+            assert_eq!(work.ops.to_bits(), ref_work.ops.to_bits());
+        }
     }
 
     #[test]
@@ -277,7 +342,11 @@ mod tests {
         // one far outlier inside the 2x2 block at (0,0)
         depth.set(1, 1, 3.0);
         let (h, _) = half_sample(&depth, 0.1);
-        assert!((h.get(0, 0) - 1.0).abs() < 1e-6, "outlier averaged in: {}", h.get(0, 0));
+        assert!(
+            (h.get(0, 0) - 1.0).abs() < 1e-6,
+            "outlier averaged in: {}",
+            h.get(0, 0)
+        );
     }
 
     #[test]
@@ -291,7 +360,10 @@ mod tests {
         // off-centre pixel has lateral offset
         let corner = v.get(0, 0);
         assert!(corner.x < -0.5);
-        assert!((corner.z - 2.0).abs() < 1e-5, "z-depth is constant for a flat wall");
+        assert!(
+            (corner.z - 2.0).abs() < 1e-5,
+            "z-depth is constant for a flat wall"
+        );
     }
 
     #[test]

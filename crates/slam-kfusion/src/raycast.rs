@@ -6,6 +6,7 @@
 //! resolution and `mu`, which is one of the key levers in the paper's
 //! performance–accuracy trade-off.
 
+use crate::exec;
 use crate::image::{Image2D, NormalMap, VertexMap};
 use crate::tsdf::TsdfVolume;
 use crate::workload::Workload;
@@ -61,7 +62,12 @@ pub struct RaycastParams {
 
 impl Default for RaycastParams {
     fn default() -> RaycastParams {
-        RaycastParams { near: 0.3, far: 6.0, step_fraction: 0.5, mu: 0.1 }
+        RaycastParams {
+            near: 0.3,
+            far: 6.0,
+            step_fraction: 0.5,
+            mu: 0.1,
+        }
     }
 }
 
@@ -141,67 +147,76 @@ fn ray_aabb(origin: Vec3, dir: Vec3, size: f32) -> Option<(f32, f32)> {
 }
 
 /// Raycasts the volume from `pose`, producing the model maps for ICP.
+/// Uses all available threads (see [`raycast_with_threads`]).
 pub fn raycast(
     volume: &TsdfVolume,
     camera: &PinholeCamera,
     pose: &Se3,
     params: &RaycastParams,
 ) -> (RaycastResult, Workload) {
+    raycast_with_threads(volume, camera, pose, params, 0)
+}
+
+/// Like [`raycast`] with an explicit thread count (`0` = all
+/// available). Runs on the shared [`exec`] worker pool over fixed row
+/// bands; every pixel is written exactly once and the band layout
+/// depends only on the image height, so the output is bit-identical
+/// for every thread count.
+pub fn raycast_with_threads(
+    volume: &TsdfVolume,
+    camera: &PinholeCamera,
+    pose: &Se3,
+    params: &RaycastParams,
+    threads: usize,
+) -> (RaycastResult, Workload) {
     let (w, h) = (camera.width, camera.height);
     let mut vertices = Image2D::new(w, h, Vec3::ZERO);
     let mut normals = Image2D::new(w, h, Vec3::ZERO);
     let origin = pose.translation();
-    // parallel over row bands: every pixel is written exactly once, so
-    // the output is independent of the thread count
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(8)
-        .min(h.max(1));
-    let rows_per_task = h.div_ceil(threads.max(1)).max(1);
-    let step_counts: Vec<u64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = vertices
-            .as_mut_slice()
-            .chunks_mut(rows_per_task * w)
-            .zip(normals.as_mut_slice().chunks_mut(rows_per_task * w))
-            .enumerate()
-            .map(|(band, (v_band, n_band))| {
-                scope.spawn(move || {
-                    let y0 = band * rows_per_task;
-                    let mut band_steps: u64 = 0;
-                    for (i, (v_out, n_out)) in v_band.iter_mut().zip(n_band.iter_mut()).enumerate()
-                    {
-                        let x = i % w;
-                        let y = y0 + i / w;
-                        let dir =
-                            pose.transform_vector(camera.ray_direction(x as f32, y as f32));
-                        let mut steps = 0u32;
-                        if let Some(hit) = march_ray(volume, origin, dir, params, &mut steps) {
-                            if let Some(g) = volume.gradient(hit) {
-                                if let Some(n) = g.normalized() {
-                                    *v_out = hit;
-                                    *n_out = n;
-                                }
+    let threads = exec::effective_threads(threads);
+    let mut tasks: Vec<exec::Task<'_, u64>> = Vec::new();
+    {
+        let mut v_rest: &mut [Vec3] = vertices.as_mut_slice();
+        let mut n_rest: &mut [Vec3] = normals.as_mut_slice();
+        for band in exec::band_ranges(h) {
+            let (v_band, v_next) = v_rest.split_at_mut(band.len() * w);
+            let (n_band, n_next) = n_rest.split_at_mut(band.len() * w);
+            v_rest = v_next;
+            n_rest = n_next;
+            let y0 = band.start;
+            tasks.push(Box::new(move || {
+                let mut band_steps: u64 = 0;
+                for (i, (v_out, n_out)) in v_band.iter_mut().zip(n_band.iter_mut()).enumerate() {
+                    let x = i % w;
+                    let y = y0 + i / w;
+                    let dir = pose.transform_vector(camera.ray_direction(x as f32, y as f32));
+                    let mut steps = 0u32;
+                    if let Some(hit) = march_ray(volume, origin, dir, params, &mut steps) {
+                        if let Some(g) = volume.gradient(hit) {
+                            if let Some(n) = g.normalized() {
+                                *v_out = hit;
+                                *n_out = n;
                             }
                         }
-                        band_steps += u64::from(steps);
                     }
-                    band_steps
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|hdl| hdl.join().expect("raycast worker must not panic"))
-            .collect()
-    });
+                    band_steps += u64::from(steps);
+                }
+                band_steps
+            }));
+        }
+    }
+    let step_counts = exec::run_tasks(threads, tasks);
     let total_steps: u64 = step_counts.into_iter().sum();
     // per step: one trilinear sample (~30 ops, 8 voxel reads) — this is the
     // dominant cost; plus per-pixel setup and the gradient at the hit
     let ops = total_steps as f64 * 30.0 + (w * h) as f64 * 20.0;
     let bytes = total_steps as f64 * 8.0 * 4.0 + (w * h) as f64 * 24.0;
     (
-        RaycastResult { vertices, normals, pose: *pose },
+        RaycastResult {
+            vertices,
+            normals,
+            pose: *pose,
+        },
         Workload::new(ops, bytes),
     )
 }
@@ -225,7 +240,12 @@ mod tests {
     }
 
     fn params() -> RaycastParams {
-        RaycastParams { near: 0.3, far: 3.0, step_fraction: 0.5, mu: 0.15 }
+        RaycastParams {
+            near: 0.3,
+            far: 3.0,
+            step_fraction: 0.5,
+            mu: 0.15,
+        }
     }
 
     #[test]
@@ -254,7 +274,11 @@ mod tests {
     fn raycast_mostly_valid_for_wall() {
         let (vol, cam, pose) = wall_volume();
         let (result, _) = raycast(&vol, &cam, &pose, &params());
-        assert!(result.valid_fraction() > 0.7, "valid {}", result.valid_fraction());
+        assert!(
+            result.valid_fraction() > 0.7,
+            "valid {}",
+            result.valid_fraction()
+        );
     }
 
     #[test]
@@ -273,8 +297,29 @@ mod tests {
         let closer = Se3::from_translation(Vec3::new(1.0, 1.0, 0.1));
         let (result, _) = raycast(&vol, &cam, &closer, &params());
         let centre = result.vertices.get(cam.width / 2, cam.height / 2);
-        assert!((centre.z - 1.0).abs() < 0.03, "world-space hit stays at the wall");
+        assert!(
+            (centre.z - 1.0).abs() < 0.03,
+            "world-space hit stays at the wall"
+        );
         let _ = pose;
+    }
+
+    #[test]
+    fn raycast_is_thread_count_invariant() {
+        let (vol, cam, pose) = wall_volume();
+        let (reference, ref_work) = raycast_with_threads(&vol, &cam, &pose, &params(), 1);
+        for threads in [2usize, 4, 7] {
+            let (result, work) = raycast_with_threads(&vol, &cam, &pose, &params(), threads);
+            assert_eq!(
+                result.vertices, reference.vertices,
+                "{threads} threads diverged"
+            );
+            assert_eq!(
+                result.normals, reference.normals,
+                "{threads} threads diverged"
+            );
+            assert_eq!(work.ops.to_bits(), ref_work.ops.to_bits());
+        }
     }
 
     #[test]
@@ -309,8 +354,14 @@ mod tests {
     fn workload_counts_steps() {
         let (vol, cam, pose) = wall_volume();
         let near = raycast(&vol, &cam, &pose, &params()).1;
-        let far_params = RaycastParams { far: 1.05, ..params() };
+        let far_params = RaycastParams {
+            far: 1.05,
+            ..params()
+        };
         let short = raycast(&vol, &cam, &pose, &far_params).1;
-        assert!(near.ops >= short.ops, "longer march must cost at least as much");
+        assert!(
+            near.ops >= short.ops,
+            "longer march must cost at least as much"
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! The truncated signed distance function (TSDF) volume and its
 //! integration kernel.
 
+use crate::exec;
 use crate::image::DepthImage;
 use crate::workload::Workload;
 use slam_math::camera::PinholeCamera;
@@ -138,12 +139,7 @@ impl TsdfVolume {
         if !any_observed {
             return None;
         }
-        Some(slam_math::interp::trilerp(
-            c,
-            g.x - x0,
-            g.y - y0,
-            g.z - z0,
-        ))
+        Some(slam_math::interp::trilerp(c, g.x - x0, g.y - y0, g.z - z0))
     }
 
     /// TSDF gradient (points from inside to outside) at a world point via
@@ -151,13 +147,17 @@ impl TsdfVolume {
     /// border or in unobserved space.
     pub fn gradient(&self, p: Vec3) -> Option<Vec3> {
         let h = self.voxel;
-        let dx = self.sample(p + Vec3::new(h, 0.0, 0.0))? - self.sample(p - Vec3::new(h, 0.0, 0.0))?;
-        let dy = self.sample(p + Vec3::new(0.0, h, 0.0))? - self.sample(p - Vec3::new(0.0, h, 0.0))?;
-        let dz = self.sample(p + Vec3::new(0.0, 0.0, h))? - self.sample(p - Vec3::new(0.0, 0.0, h))?;
+        let dx =
+            self.sample(p + Vec3::new(h, 0.0, 0.0))? - self.sample(p - Vec3::new(h, 0.0, 0.0))?;
+        let dy =
+            self.sample(p + Vec3::new(0.0, h, 0.0))? - self.sample(p - Vec3::new(0.0, h, 0.0))?;
+        let dz =
+            self.sample(p + Vec3::new(0.0, 0.0, h))? - self.sample(p - Vec3::new(0.0, 0.0, h))?;
         Some(Vec3::new(dx, dy, dz))
     }
 
-    /// Fuses one depth frame into the volume.
+    /// Fuses one depth frame into the volume, using all available
+    /// threads (see [`TsdfVolume::integrate_with_threads`]).
     ///
     /// `pose` is the camera-to-world pose of the frame, `mu` the
     /// truncation distance in metres, `max_weight` the running-average
@@ -174,6 +174,27 @@ impl TsdfVolume {
         mu: f32,
         max_weight: f32,
     ) -> Workload {
+        self.integrate_with_threads(depth, camera, pose, mu, max_weight, 0)
+    }
+
+    /// Like [`TsdfVolume::integrate`] with an explicit thread count
+    /// (`0` = all available). Runs on the shared [`exec`] worker pool
+    /// over fixed z-slabs; each voxel is written exactly once and the
+    /// slab layout depends only on the resolution, so the result is
+    /// bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the camera resolution does not match the depth image.
+    pub fn integrate_with_threads(
+        &mut self,
+        depth: &DepthImage,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        mu: f32,
+        max_weight: f32,
+        threads: usize,
+    ) -> Workload {
         assert_eq!(
             (camera.width, camera.height),
             (depth.width(), depth.height()),
@@ -186,100 +207,84 @@ impl TsdfVolume {
         // loop direction: indices are z-major, x fastest)
         let r = world_to_cam.rotation();
         let dx_cam = r * Vec3::new(voxel, 0.0, 0.0);
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(8)
-            .min(res);
+        let threads = exec::effective_threads(threads);
         let slab = res * res; // voxels per z slice
         let depth_ref = depth;
-        // split the storage into contiguous z-slabs and process slab
-        // groups in parallel; each voxel is written exactly once so the
-        // result is independent of the thread count
-        let zs_per_task = res.div_ceil(threads);
-        let mut tasks: Vec<(usize, &mut [f32], &mut [f32])> = Vec::new();
+        // split the storage into contiguous z-slab bands; each voxel is
+        // written exactly once and the band layout is fixed by `res`, so
+        // the result is independent of the thread count
+        let mut tasks: Vec<exec::Task<'_, (f64, f64)>> = Vec::new();
         {
             let mut t_rest: &mut [f32] = &mut self.tsdf;
             let mut w_rest: &mut [f32] = &mut self.weight;
-            let mut z0 = 0usize;
-            while z0 < res {
-                let zn = zs_per_task.min(res - z0);
-                let (t_chunk, t_next) = t_rest.split_at_mut(zn * slab);
-                let (w_chunk, w_next) = w_rest.split_at_mut(zn * slab);
+            for band in exec::band_ranges(res) {
+                let (t_chunk, t_next) = t_rest.split_at_mut(band.len() * slab);
+                let (w_chunk, w_next) = w_rest.split_at_mut(band.len() * slab);
                 t_rest = t_next;
                 w_rest = w_next;
-                tasks.push((z0, t_chunk, w_chunk));
-                z0 += zn;
-            }
-        }
-        let results: Vec<(f64, f64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = tasks
-                .into_iter()
-                .map(|(z0, tsdf_chunk, weight_chunk)| {
-                    scope.spawn(move || {
-                        let mut ops: f64 = 0.0;
-                        let mut updated: f64 = 0.0;
-                        let zn = tsdf_chunk.len() / slab;
-                        for zi in 0..zn {
-                            let z = z0 + zi;
-                            for y in 0..res {
-                                let row_world = Vec3::new(
-                                    0.5 * voxel,
-                                    (y as f32 + 0.5) * voxel,
-                                    (z as f32 + 0.5) * voxel,
-                                );
-                                let mut cam_p = world_to_cam.transform_point(row_world);
-                                for x in 0..res {
-                                    if x > 0 {
-                                        cam_p += dx_cam;
-                                    }
-                                    ops += 4.0;
-                                    if cam_p.z <= 0.001 {
-                                        continue;
-                                    }
-                                    let u = camera.fx * cam_p.x / cam_p.z + camera.cx;
-                                    let v = camera.fy * cam_p.y / cam_p.z + camera.cy;
-                                    ops += 6.0;
-                                    if u < -0.5 || v < -0.5 {
-                                        continue;
-                                    }
-                                    // nearest-pixel lookup (truncation
-                                    // would bias the fusion)
-                                    let (ui, vi) = ((u + 0.5) as usize, (v + 0.5) as usize);
-                                    if ui >= camera.width || vi >= camera.height {
-                                        continue;
-                                    }
-                                    let d = depth_ref.get(ui, vi);
-                                    if d <= 0.0 {
-                                        continue;
-                                    }
-                                    // projective signed distance along the
-                                    // optical axis
-                                    let sdf = d - cam_p.z;
-                                    if sdf < -mu {
-                                        continue; // occluded
-                                    }
-                                    let tsdf_obs = (sdf / mu).min(1.0);
-                                    let idx = zi * slab + y * res + x;
-                                    let w_old = weight_chunk[idx];
-                                    let w_new = (w_old + 1.0).min(max_weight);
-                                    tsdf_chunk[idx] =
-                                        (tsdf_chunk[idx] * w_old + tsdf_obs) / (w_old + 1.0);
-                                    weight_chunk[idx] = w_new;
-                                    ops += 8.0;
-                                    updated += 1.0;
+                let z0 = band.start;
+                let (tsdf_chunk, weight_chunk) = (t_chunk, w_chunk);
+                tasks.push(Box::new(move || {
+                    let mut ops: f64 = 0.0;
+                    let mut updated: f64 = 0.0;
+                    let zn = tsdf_chunk.len() / slab;
+                    for zi in 0..zn {
+                        let z = z0 + zi;
+                        for y in 0..res {
+                            let row_world = Vec3::new(
+                                0.5 * voxel,
+                                (y as f32 + 0.5) * voxel,
+                                (z as f32 + 0.5) * voxel,
+                            );
+                            let mut cam_p = world_to_cam.transform_point(row_world);
+                            for x in 0..res {
+                                if x > 0 {
+                                    cam_p += dx_cam;
                                 }
+                                ops += 4.0;
+                                if cam_p.z <= 0.001 {
+                                    continue;
+                                }
+                                let u = camera.fx * cam_p.x / cam_p.z + camera.cx;
+                                let v = camera.fy * cam_p.y / cam_p.z + camera.cy;
+                                ops += 6.0;
+                                if u < -0.5 || v < -0.5 {
+                                    continue;
+                                }
+                                // nearest-pixel lookup (truncation
+                                // would bias the fusion)
+                                let (ui, vi) = ((u + 0.5) as usize, (v + 0.5) as usize);
+                                if ui >= camera.width || vi >= camera.height {
+                                    continue;
+                                }
+                                let d = depth_ref.get(ui, vi);
+                                if d <= 0.0 {
+                                    continue;
+                                }
+                                // projective signed distance along the
+                                // optical axis
+                                let sdf = d - cam_p.z;
+                                if sdf < -mu {
+                                    continue; // occluded
+                                }
+                                let tsdf_obs = (sdf / mu).min(1.0);
+                                let idx = zi * slab + y * res + x;
+                                let w_old = weight_chunk[idx];
+                                let w_new = (w_old + 1.0).min(max_weight);
+                                tsdf_chunk[idx] =
+                                    (tsdf_chunk[idx] * w_old + tsdf_obs) / (w_old + 1.0);
+                                weight_chunk[idx] = w_new;
+                                ops += 8.0;
+                                updated += 1.0;
                             }
                         }
-                        (ops, updated)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("integration worker must not panic"))
-                .collect()
-        });
+                    }
+                    (ops, updated)
+                }));
+            }
+        }
+        // ordered fold over the fixed band layout: deterministic
+        let results = exec::run_tasks(threads, tasks);
         let (ops, updated) = results
             .into_iter()
             .fold((0.0, 0.0), |(a, b), (o, u)| (a + o, b + u));
@@ -309,6 +314,8 @@ impl TsdfVolume {
     /// # Errors
     ///
     /// Returns a description of the first structural problem found.
+    // `!(size > 0.0)` is deliberate: it also rejects NaN
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn from_bytes(bytes: &[u8]) -> Result<TsdfVolume, String> {
         if bytes.len() < 12 || &bytes[..4] != b"TSDF" {
             return Err("not a TSDF volume dump".into());
@@ -410,7 +417,11 @@ mod tests {
     #[test]
     fn integration_observes_voxels() {
         let vol = integrated_wall(32, 2.0, 1.0, 1);
-        assert!(vol.occupied_voxels() > 1000, "got {}", vol.occupied_voxels());
+        assert!(
+            vol.occupied_voxels() > 1000,
+            "got {}",
+            vol.occupied_voxels()
+        );
     }
 
     #[test]
@@ -489,6 +500,30 @@ mod tests {
     }
 
     #[test]
+    fn integration_is_thread_count_invariant() {
+        let cam = PinholeCamera::tiny();
+        // structured depth so updates vary across the volume
+        let mut depth = Image2D::new(cam.width, cam.height, 1.0f32);
+        for y in 0..cam.height {
+            for x in 0..cam.width {
+                depth.set(x, y, 0.8 + (x as f32 * 0.002) + (y as f32 * 0.001));
+            }
+        }
+        let pose = Se3::from_translation(Vec3::new(1.0, 1.0, 0.0));
+        // 33³: does not divide evenly into bands
+        let run = |threads: usize| {
+            let mut vol = TsdfVolume::new(33, 2.0);
+            let w1 = vol.integrate_with_threads(&depth, &cam, &pose, 0.2, 100.0, threads);
+            let w2 = vol.integrate_with_threads(&depth, &cam, &pose, 0.2, 100.0, threads);
+            (vol.to_bytes(), w1.ops.to_bits(), w2.ops.to_bits())
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(run(threads), reference, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
     fn integration_workload_scales_with_resolution() {
         let cam = PinholeCamera::tiny();
         let depth = Image2D::new(cam.width, cam.height, 1.0);
@@ -497,7 +532,10 @@ mod tests {
         let mut large = TsdfVolume::new(32, 2.0);
         let w_small = small.integrate(&depth, &cam, &pose, 0.2, 100.0);
         let w_large = large.integrate(&depth, &cam, &pose, 0.2, 100.0);
-        assert!(w_large.ops > 4.0 * w_small.ops, "8x voxels should cost much more");
+        assert!(
+            w_large.ops > 4.0 * w_small.ops,
+            "8x voxels should cost much more"
+        );
         assert!(w_large.bytes > 4.0 * w_small.bytes);
     }
 

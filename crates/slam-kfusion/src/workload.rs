@@ -95,7 +95,10 @@ pub struct Workload {
 
 impl Workload {
     /// The zero workload.
-    pub const ZERO: Workload = Workload { ops: 0.0, bytes: 0.0 };
+    pub const ZERO: Workload = Workload {
+        ops: 0.0,
+        bytes: 0.0,
+    };
 
     /// Creates a workload from op and byte counts.
     pub fn new(ops: f64, bytes: f64) -> Workload {
@@ -120,7 +123,10 @@ impl Workload {
 impl Add for Workload {
     type Output = Workload;
     fn add(self, rhs: Workload) -> Workload {
-        Workload { ops: self.ops + rhs.ops, bytes: self.bytes + rhs.bytes }
+        Workload {
+            ops: self.ops + rhs.ops,
+            bytes: self.bytes + rhs.bytes,
+        }
     }
 }
 

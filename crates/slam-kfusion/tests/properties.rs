@@ -2,17 +2,16 @@
 
 use proptest::prelude::*;
 use slam_kfusion::image::Image2D;
-use slam_kfusion::preprocess::{bilateral_filter, depth2vertex, half_sample, mm2meters, vertex2normal};
+use slam_kfusion::preprocess::{
+    bilateral_filter, depth2vertex, half_sample, mm2meters, vertex2normal,
+};
 use slam_kfusion::tsdf::TsdfVolume;
 use slam_math::camera::PinholeCamera;
 use slam_math::{Se3, Vec3};
 
 fn small_depth_image() -> impl Strategy<Value = Image2D<f32>> {
-    proptest::collection::vec(
-        prop_oneof![3 => 0.5f32..4.0, 1 => Just(0.0f32)],
-        16 * 12,
-    )
-    .prop_map(|v| Image2D::from_vec(16, 12, v))
+    proptest::collection::vec(prop_oneof![3 => 0.5f32..4.0, 1 => Just(0.0f32)], 16 * 12)
+        .prop_map(|v| Image2D::from_vec(16, 12, v))
 }
 
 proptest! {

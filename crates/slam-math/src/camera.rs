@@ -44,8 +44,22 @@ pub struct PinholeCamera {
 
 impl PinholeCamera {
     /// Creates intrinsics from explicit parameters.
-    pub const fn new(width: usize, height: usize, fx: f32, fy: f32, cx: f32, cy: f32) -> PinholeCamera {
-        PinholeCamera { width, height, fx, fy, cx, cy }
+    pub const fn new(
+        width: usize,
+        height: usize,
+        fx: f32,
+        fy: f32,
+        cx: f32,
+        cy: f32,
+    ) -> PinholeCamera {
+        PinholeCamera {
+            width,
+            height,
+            fx,
+            fy,
+            cx,
+            cy,
+        }
     }
 
     /// The Microsoft Kinect / ICL-NUIM standard intrinsics: 640×480,
@@ -119,7 +133,10 @@ impl PinholeCamera {
 
     /// True when the (sub-pixel) coordinate lies inside the image.
     pub fn contains(&self, px: Vec2) -> bool {
-        px.x >= 0.0 && px.y >= 0.0 && px.x <= (self.width - 1) as f32 && px.y <= (self.height - 1) as f32
+        px.x >= 0.0
+            && px.y >= 0.0
+            && px.x <= (self.width - 1) as f32
+            && px.y <= (self.height - 1) as f32
     }
 
     /// Horizontal field of view in radians.

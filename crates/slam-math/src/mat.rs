@@ -55,11 +55,7 @@ impl Mat3 {
     #[inline]
     pub fn from_col_vecs(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
         Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
+            m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]],
         }
     }
 
@@ -106,11 +102,7 @@ impl Mat3 {
     /// The skew-symmetric (cross-product) matrix of `v`: `skew(v) * w == v.cross(w)`.
     #[inline]
     pub fn skew(v: Vec3) -> Mat3 {
-        Mat3::from_rows([
-            [0.0, -v.z, v.y],
-            [v.z, 0.0, -v.x],
-            [-v.y, v.x, 0.0],
-        ])
+        Mat3::from_rows([[0.0, -v.z, v.y], [v.z, 0.0, -v.x], [-v.y, v.x, 0.0]])
     }
 
     /// Outer product `a * bᵀ`.
@@ -176,7 +168,9 @@ impl Mat3 {
         }
         let m = &self.m;
         let inv_det = 1.0 / det;
-        let cof = |r0: usize, c0: usize, r1: usize, c1: usize| m[r0][c0] * m[r1][c1] - m[r0][c1] * m[r1][c0];
+        let cof = |r0: usize, c0: usize, r1: usize, c1: usize| {
+            m[r0][c0] * m[r1][c1] - m[r0][c1] * m[r1][c0]
+        };
         Some(Mat3::from_rows([
             [
                 cof(1, 1, 2, 2) * inv_det,
@@ -292,7 +286,11 @@ impl Sub for Mat3 {
 impl fmt::Display for Mat3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in 0..3 {
-            writeln!(f, "[{:8.4} {:8.4} {:8.4}]", self.m[r][0], self.m[r][1], self.m[r][2])?;
+            writeln!(
+                f,
+                "[{:8.4} {:8.4} {:8.4}]",
+                self.m[r][0], self.m[r][1], self.m[r][2]
+            )?;
         }
         Ok(())
     }
@@ -497,7 +495,10 @@ mod tests {
         let a = Mat4::from_rotation_translation(Mat3::rotation_x(0.2), Vec3::X);
         let b = Mat4::from_rotation_translation(Mat3::rotation_y(-0.3), Vec3::Y);
         let p = Vec3::new(0.1, 0.2, 0.3);
-        assert_close((a * b).transform_point(p), a.transform_point(b.transform_point(p)));
+        assert_close(
+            (a * b).transform_point(p),
+            a.transform_point(b.transform_point(p)),
+        );
     }
 
     #[test]

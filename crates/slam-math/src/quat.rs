@@ -32,7 +32,12 @@ pub struct Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from raw components (not normalised).
     #[inline]
@@ -46,7 +51,12 @@ impl Quat {
         match axis.normalized() {
             Some(a) => {
                 let (s, c) = (angle * 0.5).sin_cos();
-                Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+                Quat {
+                    w: c,
+                    x: a.x * s,
+                    y: a.y * s,
+                    z: a.z * s,
+                }
             }
             None => Quat::IDENTITY,
         }
@@ -126,14 +136,24 @@ impl Quat {
         if n < crate::EPS {
             Quat::IDENTITY
         } else {
-            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Quat {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         }
     }
 
     /// The conjugate; for unit quaternions this is the inverse rotation.
     #[inline]
     pub fn conjugate(self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Rotates a vector.
@@ -173,7 +193,10 @@ impl Quat {
             .normalized();
         }
         let theta = dot.min(1.0).acos();
-        let (s0, s1) = (((1.0 - t) * theta).sin() / theta.sin(), (t * theta).sin() / theta.sin());
+        let (s0, s1) = (
+            ((1.0 - t) * theta).sin() / theta.sin(),
+            (t * theta).sin() / theta.sin(),
+        );
         Quat::new(
             a.w * s0 + b.w * s1,
             a.x * s0 + b.x * s1,
@@ -204,7 +227,11 @@ impl Mul for Quat {
 
 impl fmt::Display for Quat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({:.4} + {:.4}i + {:.4}j + {:.4}k)", self.w, self.x, self.y, self.z)
+        write!(
+            f,
+            "({:.4} + {:.4}i + {:.4}j + {:.4}k)",
+            self.w, self.x, self.y, self.z
+        )
     }
 }
 

@@ -76,27 +76,42 @@ impl Se3 {
     /// The rotation is *not* checked for orthonormality; use
     /// [`Se3::orthonormalized`] after long accumulation chains.
     pub fn new(rotation: Mat3, translation: Vec3) -> Se3 {
-        Se3 { rotation, translation }
+        Se3 {
+            rotation,
+            translation,
+        }
     }
 
     /// A pure translation.
     pub fn from_translation(t: Vec3) -> Se3 {
-        Se3 { rotation: Mat3::IDENTITY, translation: t }
+        Se3 {
+            rotation: Mat3::IDENTITY,
+            translation: t,
+        }
     }
 
     /// A pure rotation.
     pub fn from_rotation(r: Mat3) -> Se3 {
-        Se3 { rotation: r, translation: Vec3::ZERO }
+        Se3 {
+            rotation: r,
+            translation: Vec3::ZERO,
+        }
     }
 
     /// A rotation of `angle` radians about `axis` followed by translation `t`.
     pub fn from_axis_angle(axis: Vec3, angle: f32, t: Vec3) -> Se3 {
-        Se3 { rotation: Mat3::from_axis_angle(axis, angle), translation: t }
+        Se3 {
+            rotation: Mat3::from_axis_angle(axis, angle),
+            translation: t,
+        }
     }
 
     /// Builds a pose from a unit quaternion and translation.
     pub fn from_quat_translation(q: Quat, t: Vec3) -> Se3 {
-        Se3 { rotation: q.to_mat3(), translation: t }
+        Se3 {
+            rotation: q.to_mat3(),
+            translation: t,
+        }
     }
 
     /// A "look-at" camera pose: camera at `eye`, optical axis (+z) pointing
@@ -111,13 +126,10 @@ impl Se3 {
         let right = match forward.cross(up).normalized() {
             Some(r) => r,
             // forward parallel to up: pick any perpendicular
-            None => forward
-                .cross(Vec3::X)
-                .normalized()
-                .unwrap_or(Vec3::Y),
+            None => forward.cross(Vec3::X).normalized().unwrap_or(Vec3::Y),
         };
         let down = forward.cross(right); // +y in camera convention points "down"
-        // columns are the camera basis vectors expressed in world coordinates
+                                         // columns are the camera basis vectors expressed in world coordinates
         Se3 {
             rotation: Mat3::from_col_vecs(right, down, forward),
             translation: eye,
@@ -209,7 +221,10 @@ impl Se3 {
                 (self.rotation.m[0][2] - self.rotation.m[2][0]) * 0.5,
                 (self.rotation.m[1][0] - self.rotation.m[0][1]) * 0.5,
             );
-            return Twist { v: self.translation, w };
+            return Twist {
+                v: self.translation,
+                w,
+            };
         }
         let factor = theta / (2.0 * theta.sin());
         let w = Vec3::new(
@@ -283,7 +298,12 @@ impl Mul for Se3 {
 
 impl fmt::Display for Se3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Se3 {{ t: {}, q: {} }}", self.translation, self.rotation_quat())
+        write!(
+            f,
+            "Se3 {{ t: {}, q: {} }}",
+            self.translation,
+            self.rotation_quat()
+        )
     }
 }
 

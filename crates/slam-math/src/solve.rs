@@ -5,6 +5,10 @@
 //! solve it in `f64` for numerical robustness and convert back to `f32` at
 //! the pose-update boundary.
 
+// the factorisations below mirror the textbook index formulations; iterator
+// rewrites would obscure the triangular loop bounds for no gain
+#![allow(clippy::needless_range_loop)]
+
 use std::fmt;
 
 /// Error returned when a matrix is not positive definite (or otherwise
@@ -17,7 +21,11 @@ pub struct SolveSingularError {
 
 impl fmt::Display for SolveSingularError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "matrix is singular or not positive definite at pivot {}", self.pivot)
+        write!(
+            f,
+            "matrix is singular or not positive definite at pivot {}",
+            self.pivot
+        )
     }
 }
 
@@ -188,7 +196,9 @@ pub fn cholesky_solve<const N: usize>(
 /// # Errors
 ///
 /// Returns [`SolveSingularError`] when a pivot is non-positive.
-pub fn cholesky_factor<const N: usize>(a: [[f64; N]; N]) -> Result<[[f64; N]; N], SolveSingularError> {
+pub fn cholesky_factor<const N: usize>(
+    a: [[f64; N]; N],
+) -> Result<[[f64; N]; N], SolveSingularError> {
     let mut l = [[0.0; N]; N];
     for i in 0..N {
         for j in 0..=i {

@@ -6,7 +6,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 2-D `f32` vector, used for image-plane coordinates.
 ///
@@ -89,15 +91,35 @@ impl Vec2 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// All components one.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
     /// Unit vector along +x.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +y.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit vector along +z.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from its components.
     #[inline]
@@ -216,7 +238,12 @@ impl Vec3 {
     /// Extends to homogeneous coordinates with the given `w`.
     #[inline]
     pub fn extend(self, w: f32) -> Vec4 {
-        Vec4 { x: self.x, y: self.y, z: self.z, w }
+        Vec4 {
+            x: self.x,
+            y: self.y,
+            z: self.z,
+            w,
+        }
     }
 
     /// The components as an array `[x, y, z]`.
@@ -228,7 +255,12 @@ impl Vec3 {
 
 impl Vec4 {
     /// The zero vector.
-    pub const ZERO: Vec4 = Vec4 { x: 0.0, y: 0.0, z: 0.0, w: 0.0 };
+    pub const ZERO: Vec4 = Vec4 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+        w: 0.0,
+    };
 
     /// Creates a vector from its components.
     #[inline]
@@ -377,7 +409,11 @@ impl fmt::Display for Vec3 {
 
 impl fmt::Display for Vec4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({:.4}, {:.4}, {:.4}, {:.4})", self.x, self.y, self.z, self.w)
+        write!(
+            f,
+            "({:.4}, {:.4}, {:.4}, {:.4})",
+            self.x, self.y, self.z, self.w
+        )
     }
 }
 

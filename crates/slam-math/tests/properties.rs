@@ -1,10 +1,10 @@
 //! Property-based tests for the math substrate.
 
 use proptest::prelude::*;
+use slam_math::se3::Twist;
 use slam_math::solve::{cholesky_solve, NormalEquations};
 use slam_math::stats::{percentile, OnlineStats, Summary};
 use slam_math::{Mat3, Quat, Se3, Vec3};
-use slam_math::se3::Twist;
 
 fn small_f32() -> impl Strategy<Value = f32> {
     (-10.0f32..10.0).prop_map(|x| x)

@@ -54,7 +54,10 @@ pub enum TrajectoryError {
 impl fmt::Display for TrajectoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TrajectoryError::LengthMismatch { estimated, ground_truth } => write!(
+            TrajectoryError::LengthMismatch {
+                estimated,
+                ground_truth,
+            } => write!(
                 f,
                 "trajectory length mismatch: {estimated} estimated vs {ground_truth} ground truth"
             ),
@@ -243,8 +246,19 @@ mod tests {
         let gt = straight_line(10);
         let offset = Se3::from_axis_angle(Vec3::Y, 0.2, Vec3::new(1.0, 2.0, 3.0));
         let est: Vec<Se3> = gt.iter().map(|p| offset * *p).collect();
-        let r = ate(&est, &gt, AteOptions { alignment: Alignment::FirstPose }).unwrap();
-        assert!(r.max < 1e-5, "rigidly offset trajectory must align, max {}", r.max);
+        let r = ate(
+            &est,
+            &gt,
+            AteOptions {
+                alignment: Alignment::FirstPose,
+            },
+        )
+        .unwrap();
+        assert!(
+            r.max < 1e-5,
+            "rigidly offset trajectory must align, max {}",
+            r.max
+        );
     }
 
     #[test]
@@ -256,9 +270,17 @@ mod tests {
                 Se3::from_translation(Vec3::new(t.cos(), 0.5 * t.sin(), t * 0.1))
             })
             .collect();
-        let offset = Se3::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.7, Vec3::new(-2.0, 1.0, 0.5));
+        let offset =
+            Se3::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.7, Vec3::new(-2.0, 1.0, 0.5));
         let est: Vec<Se3> = gt.iter().map(|p| offset * *p).collect();
-        let r = ate(&est, &gt, AteOptions { alignment: Alignment::Horn }).unwrap();
+        let r = ate(
+            &est,
+            &gt,
+            AteOptions {
+                alignment: Alignment::Horn,
+            },
+        )
+        .unwrap();
         assert!(r.max < 1e-4, "Horn must recover the offset, max {}", r.max);
     }
 
@@ -272,7 +294,14 @@ mod tests {
             .map(|(i, p)| Se3::from_translation(Vec3::new(0.0, i as f32 * 0.002, 0.0)) * *p)
             .collect();
         let raw = ate(&est, &gt, AteOptions::default()).unwrap();
-        let horn = ate(&est, &gt, AteOptions { alignment: Alignment::Horn }).unwrap();
+        let horn = ate(
+            &est,
+            &gt,
+            AteOptions {
+                alignment: Alignment::Horn,
+            },
+        )
+        .unwrap();
         assert!(horn.rmse < raw.rmse);
     }
 
@@ -281,7 +310,13 @@ mod tests {
         let gt = straight_line(5);
         let est = straight_line(4);
         let err = ate(&est, &gt, AteOptions::default()).unwrap_err();
-        assert!(matches!(err, TrajectoryError::LengthMismatch { estimated: 4, ground_truth: 5 }));
+        assert!(matches!(
+            err,
+            TrajectoryError::LengthMismatch {
+                estimated: 4,
+                ground_truth: 5
+            }
+        ));
         assert!(!err.to_string().is_empty());
     }
 

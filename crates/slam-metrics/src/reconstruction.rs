@@ -17,10 +17,7 @@ use slam_math::Vec3;
 /// surface points `p`, where `sdf` is the ground-truth signed distance
 /// function. Returns the all-zero summary for an empty point set.
 pub fn accuracy(points: &[Vec3], sdf: impl Fn(Vec3) -> f32) -> Summary {
-    let distances: Vec<f64> = points
-        .iter()
-        .map(|&p| f64::from(sdf(p).abs()))
-        .collect();
+    let distances: Vec<f64> = points.iter().map(|&p| f64::from(sdf(p).abs())).collect();
     Summary::of(&distances)
 }
 
@@ -92,7 +89,13 @@ impl PointGrid {
             sorted[cursor[c] as usize] = p;
             cursor[c] += 1;
         }
-        PointGrid { cell, origin: lo, dims, starts: counts, points: sorted }
+        PointGrid {
+            cell,
+            origin: lo,
+            dims,
+            starts: counts,
+            points: sorted,
+        }
     }
 
     /// Number of indexed points.
@@ -112,7 +115,11 @@ impl PointGrid {
             return None;
         }
         let c = (q - self.origin) * (1.0 / self.cell);
-        let (cx, cy, cz) = (c.x.floor() as isize, c.y.floor() as isize, c.z.floor() as isize);
+        let (cx, cy, cz) = (
+            c.x.floor() as isize,
+            c.y.floor() as isize,
+            c.z.floor() as isize,
+        );
         let mut best: Option<f32> = None;
         for dz in -1..=1isize {
             for dy in -1..=1isize {
@@ -127,7 +134,8 @@ impl PointGrid {
                     {
                         continue;
                     }
-                    let cell_idx = (z as usize * self.dims[1] + y as usize) * self.dims[0] + x as usize;
+                    let cell_idx =
+                        (z as usize * self.dims[1] + y as usize) * self.dims[0] + x as usize;
                     let lo = self.starts[cell_idx] as usize;
                     let hi = self.starts[cell_idx + 1] as usize;
                     for &p in &self.points[lo..hi] {
@@ -208,7 +216,11 @@ mod tests {
 
     #[test]
     fn grid_finds_nearest() {
-        let pts = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0)];
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+        ];
         let grid = PointGrid::build(&pts, 0.5);
         assert_eq!(grid.len(), 3);
         let d = grid.nearest_distance(Vec3::new(0.1, 0.0, 0.0)).unwrap();

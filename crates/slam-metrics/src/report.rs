@@ -28,7 +28,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Table {
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Rows shorter than the header are padded with empty
@@ -94,7 +97,11 @@ impl Table {
 /// Used for the Figure 3 speed-up distribution.
 pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
     let max = items.iter().map(|(_, v)| *v).fold(f64::EPSILON, f64::max);
-    let label_w = items.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for (label, value) in items {
         let bars = ((value / max) * width as f64).round().max(0.0) as usize;
@@ -107,11 +114,7 @@ pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
 /// character grid. Each series gets its own glyph, in the order given.
 ///
 /// Used for the Figure 2 runtime-vs-accuracy cloud.
-pub fn scatter_plot(
-    series: &[(&str, char, Vec<(f64, f64)>)],
-    cols: usize,
-    rows: usize,
-) -> String {
+pub fn scatter_plot(series: &[(&str, char, Vec<(f64, f64)>)], cols: usize, rows: usize) -> String {
     let mut all_x: Vec<f64> = Vec::new();
     let mut all_y: Vec<f64> = Vec::new();
     for (_, _, pts) in series {

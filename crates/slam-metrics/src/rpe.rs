@@ -156,7 +156,10 @@ mod tests {
     fn mismatch_rejected() {
         let a = line(4, 0.1);
         let b = line(5, 0.1);
-        assert!(matches!(rpe(&a, &b, 1).unwrap_err(), TrajectoryError::LengthMismatch { .. }));
+        assert!(matches!(
+            rpe(&a, &b, 1).unwrap_err(),
+            TrajectoryError::LengthMismatch { .. }
+        ));
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct SequenceTiming {
 impl SequenceTiming {
     /// Creates an empty aggregate.
     pub fn new() -> SequenceTiming {
-        SequenceTiming { records: Vec::new() }
+        SequenceTiming {
+            records: Vec::new(),
+        }
     }
 
     /// Builds directly from per-frame seconds.
@@ -85,10 +87,7 @@ impl SequenceTiming {
 
     /// Worst-case (slowest) frame time in seconds.
     pub fn max_frame_time(&self) -> f64 {
-        self.records
-            .iter()
-            .map(|r| r.seconds)
-            .fold(0.0, f64::max)
+        self.records.iter().map(|r| r.seconds).fold(0.0, f64::max)
     }
 
     /// Fraction of frames at or above the given FPS target (e.g. `30.0`

@@ -29,7 +29,11 @@ pub struct ParseTumError {
 
 impl fmt::Display for ParseTumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TUM trajectory parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "TUM trajectory parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -101,11 +105,7 @@ pub fn parse_tum(text: &str) -> Result<Vec<TimedPose>, ParseTumError> {
 /// Associates two timestamped trajectories by nearest timestamp within
 /// `max_dt` seconds, returning index pairs — the association step of the
 /// TUM evaluation tools.
-pub fn associate(
-    a: &[TimedPose],
-    b: &[TimedPose],
-    max_dt: f64,
-) -> Vec<(usize, usize)> {
+pub fn associate(a: &[TimedPose], b: &[TimedPose], max_dt: f64) -> Vec<(usize, usize)> {
     let mut pairs = Vec::new();
     let mut bi = 0usize;
     for (ai, pa) in a.iter().enumerate() {
@@ -188,7 +188,10 @@ mod tests {
         let b: Vec<TimedPose> = a
             .iter()
             .step_by(2)
-            .map(|p| TimedPose { timestamp: p.timestamp + 0.001, ..*p })
+            .map(|p| TimedPose {
+                timestamp: p.timestamp + 0.001,
+                ..*p
+            })
             .collect();
         let pairs = associate(&a, &b, 0.01);
         assert_eq!(pairs.len(), 3); // a[0], a[2], a[4] match
@@ -200,7 +203,10 @@ mod tests {
     #[test]
     fn association_respects_max_dt() {
         let a = sample();
-        let b = vec![TimedPose { timestamp: 99.0, pose: Se3::IDENTITY }];
+        let b = vec![TimedPose {
+            timestamp: 99.0,
+            pose: Se3::IDENTITY,
+        }];
         assert!(associate(&a, &b, 0.01).is_empty());
     }
 }

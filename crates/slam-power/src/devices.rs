@@ -144,7 +144,13 @@ pub fn desktop_gtx() -> DeviceModel {
 
 /// Every catalogue device, for table-style reports.
 pub fn all_devices() -> Vec<DeviceModel> {
-    vec![odroid_xu3(), jetson_tk1(), arndale(), raspberry_pi2(), desktop_gtx()]
+    vec![
+        odroid_xu3(),
+        jetson_tk1(),
+        arndale(),
+        raspberry_pi2(),
+        desktop_gtx(),
+    ]
 }
 
 #[cfg(test)]

@@ -71,7 +71,11 @@ pub struct EnergyMeter {
 impl EnergyMeter {
     /// Creates a meter for one device.
     pub fn new(device: DeviceModel) -> EnergyMeter {
-        EnergyMeter { device, cost: RunCost::default(), frame_costs: Vec::new() }
+        EnergyMeter {
+            device,
+            cost: RunCost::default(),
+            frame_costs: Vec::new(),
+        }
     }
 
     /// The device being metered.
@@ -128,7 +132,11 @@ mod tests {
 
     #[test]
     fn fps_and_watts_derivation() {
-        let c = RunCost { frames: 10, seconds: 2.0, joules: 6.0 };
+        let c = RunCost {
+            frames: 10,
+            seconds: 2.0,
+            joules: 6.0,
+        };
         assert!((c.mean_fps() - 5.0).abs() < 1e-12);
         assert!((c.average_watts() - 3.0).abs() < 1e-12);
         assert!((c.joules_per_frame() - 0.6).abs() < 1e-12);

@@ -73,24 +73,189 @@ struct SocTemplate {
 
 const SOC_TEMPLATES: &[SocTemplate] = &[
     // entry level — GPUs mostly unusable for compute
-    SocTemplate { soc: "MediaTek MT6572", tier: Tier::Entry, cpu_gops: 0.25, gpu_gops: 0.5, bandwidth: 2.0, gpu_usable_probability: 0.05, static_watts: 0.25, ram_choices: &[256, 512, 768], thermal_range: (1.2, 2.0), thrash_range: (2.0, 6.0), },
-    SocTemplate { soc: "MediaTek MT6582", tier: Tier::Entry, cpu_gops: 0.35, gpu_gops: 0.7, bandwidth: 2.6, gpu_usable_probability: 0.1, static_watts: 0.25, ram_choices: &[256, 512, 768], thermal_range: (1.2, 2.0), thrash_range: (2.0, 6.0), },
-    SocTemplate { soc: "Snapdragon 200", tier: Tier::Entry, cpu_gops: 0.3, gpu_gops: 0.6, bandwidth: 2.2, gpu_usable_probability: 0.1, static_watts: 0.25, ram_choices: &[256, 512, 768], thermal_range: (1.2, 2.0), thrash_range: (2.0, 6.0), },
-    SocTemplate { soc: "Snapdragon 400", tier: Tier::Entry, cpu_gops: 0.45, gpu_gops: 0.9, bandwidth: 3.2, gpu_usable_probability: 0.3, static_watts: 0.3, ram_choices: &[256, 512, 768], thermal_range: (1.2, 2.0), thrash_range: (2.0, 6.0), },
+    SocTemplate {
+        soc: "MediaTek MT6572",
+        tier: Tier::Entry,
+        cpu_gops: 0.25,
+        gpu_gops: 0.5,
+        bandwidth: 2.0,
+        gpu_usable_probability: 0.05,
+        static_watts: 0.25,
+        ram_choices: &[256, 512, 768],
+        thermal_range: (1.2, 2.0),
+        thrash_range: (2.0, 6.0),
+    },
+    SocTemplate {
+        soc: "MediaTek MT6582",
+        tier: Tier::Entry,
+        cpu_gops: 0.35,
+        gpu_gops: 0.7,
+        bandwidth: 2.6,
+        gpu_usable_probability: 0.1,
+        static_watts: 0.25,
+        ram_choices: &[256, 512, 768],
+        thermal_range: (1.2, 2.0),
+        thrash_range: (2.0, 6.0),
+    },
+    SocTemplate {
+        soc: "Snapdragon 200",
+        tier: Tier::Entry,
+        cpu_gops: 0.3,
+        gpu_gops: 0.6,
+        bandwidth: 2.2,
+        gpu_usable_probability: 0.1,
+        static_watts: 0.25,
+        ram_choices: &[256, 512, 768],
+        thermal_range: (1.2, 2.0),
+        thrash_range: (2.0, 6.0),
+    },
+    SocTemplate {
+        soc: "Snapdragon 400",
+        tier: Tier::Entry,
+        cpu_gops: 0.45,
+        gpu_gops: 0.9,
+        bandwidth: 3.2,
+        gpu_usable_probability: 0.3,
+        static_watts: 0.3,
+        ram_choices: &[256, 512, 768],
+        thermal_range: (1.2, 2.0),
+        thrash_range: (2.0, 6.0),
+    },
     // mid range
-    SocTemplate { soc: "Snapdragon 410", tier: Tier::Mid, cpu_gops: 0.55, gpu_gops: 1.2, bandwidth: 3.8, gpu_usable_probability: 0.55, static_watts: 0.3, ram_choices: &[768, 1024, 1536], thermal_range: (1.5, 2.6), thrash_range: (1.5, 5.0), },
-    SocTemplate { soc: "Snapdragon 615", tier: Tier::Mid, cpu_gops: 0.7, gpu_gops: 1.6, bandwidth: 4.5, gpu_usable_probability: 0.65, static_watts: 0.3, ram_choices: &[768, 1024, 1536], thermal_range: (1.5, 2.6), thrash_range: (1.5, 5.0), },
-    SocTemplate { soc: "Exynos 5410", tier: Tier::Mid, cpu_gops: 0.9, gpu_gops: 1.8, bandwidth: 5.5, gpu_usable_probability: 0.6, static_watts: 0.35, ram_choices: &[768, 1024, 1536], thermal_range: (1.5, 2.6), thrash_range: (1.5, 5.0), },
-    SocTemplate { soc: "Kirin 620", tier: Tier::Mid, cpu_gops: 0.6, gpu_gops: 1.3, bandwidth: 4.0, gpu_usable_probability: 0.5, static_watts: 0.3, ram_choices: &[768, 1024, 1536], thermal_range: (1.5, 2.6), thrash_range: (1.5, 5.0), },
+    SocTemplate {
+        soc: "Snapdragon 410",
+        tier: Tier::Mid,
+        cpu_gops: 0.55,
+        gpu_gops: 1.2,
+        bandwidth: 3.8,
+        gpu_usable_probability: 0.55,
+        static_watts: 0.3,
+        ram_choices: &[768, 1024, 1536],
+        thermal_range: (1.5, 2.6),
+        thrash_range: (1.5, 5.0),
+    },
+    SocTemplate {
+        soc: "Snapdragon 615",
+        tier: Tier::Mid,
+        cpu_gops: 0.7,
+        gpu_gops: 1.6,
+        bandwidth: 4.5,
+        gpu_usable_probability: 0.65,
+        static_watts: 0.3,
+        ram_choices: &[768, 1024, 1536],
+        thermal_range: (1.5, 2.6),
+        thrash_range: (1.5, 5.0),
+    },
+    SocTemplate {
+        soc: "Exynos 5410",
+        tier: Tier::Mid,
+        cpu_gops: 0.9,
+        gpu_gops: 1.8,
+        bandwidth: 5.5,
+        gpu_usable_probability: 0.6,
+        static_watts: 0.35,
+        ram_choices: &[768, 1024, 1536],
+        thermal_range: (1.5, 2.6),
+        thrash_range: (1.5, 5.0),
+    },
+    SocTemplate {
+        soc: "Kirin 620",
+        tier: Tier::Mid,
+        cpu_gops: 0.6,
+        gpu_gops: 1.3,
+        bandwidth: 4.0,
+        gpu_usable_probability: 0.5,
+        static_watts: 0.3,
+        ram_choices: &[768, 1024, 1536],
+        thermal_range: (1.5, 2.6),
+        thrash_range: (1.5, 5.0),
+    },
     // upper mid
-    SocTemplate { soc: "Snapdragon 801", tier: Tier::UpperMid, cpu_gops: 1.3, gpu_gops: 3.0, bandwidth: 8.0, gpu_usable_probability: 0.9, static_watts: 0.35, ram_choices: &[1536, 2048, 3072], thermal_range: (2.0, 3.0), thrash_range: (1.2, 3.0), },
-    SocTemplate { soc: "Snapdragon 805", tier: Tier::UpperMid, cpu_gops: 1.5, gpu_gops: 3.8, bandwidth: 10.0, gpu_usable_probability: 0.9, static_watts: 0.4, ram_choices: &[1536, 2048, 3072], thermal_range: (2.0, 3.0), thrash_range: (1.2, 3.0), },
-    SocTemplate { soc: "Exynos 5433", tier: Tier::UpperMid, cpu_gops: 1.6, gpu_gops: 3.5, bandwidth: 9.0, gpu_usable_probability: 0.8, static_watts: 0.4, ram_choices: &[1536, 2048, 3072], thermal_range: (2.0, 3.0), thrash_range: (1.2, 3.0), },
+    SocTemplate {
+        soc: "Snapdragon 801",
+        tier: Tier::UpperMid,
+        cpu_gops: 1.3,
+        gpu_gops: 3.0,
+        bandwidth: 8.0,
+        gpu_usable_probability: 0.9,
+        static_watts: 0.35,
+        ram_choices: &[1536, 2048, 3072],
+        thermal_range: (2.0, 3.0),
+        thrash_range: (1.2, 3.0),
+    },
+    SocTemplate {
+        soc: "Snapdragon 805",
+        tier: Tier::UpperMid,
+        cpu_gops: 1.5,
+        gpu_gops: 3.8,
+        bandwidth: 10.0,
+        gpu_usable_probability: 0.9,
+        static_watts: 0.4,
+        ram_choices: &[1536, 2048, 3072],
+        thermal_range: (2.0, 3.0),
+        thrash_range: (1.2, 3.0),
+    },
+    SocTemplate {
+        soc: "Exynos 5433",
+        tier: Tier::UpperMid,
+        cpu_gops: 1.6,
+        gpu_gops: 3.5,
+        bandwidth: 9.0,
+        gpu_usable_probability: 0.8,
+        static_watts: 0.4,
+        ram_choices: &[1536, 2048, 3072],
+        thermal_range: (2.0, 3.0),
+        thrash_range: (1.2, 3.0),
+    },
     // flagship
-    SocTemplate { soc: "Snapdragon 810", tier: Tier::Flagship, cpu_gops: 2.0, gpu_gops: 5.5, bandwidth: 12.0, gpu_usable_probability: 0.95, static_watts: 0.45, ram_choices: &[2048, 3072, 4096], thermal_range: (2.2, 3.5), thrash_range: (1.0, 2.0), },
-    SocTemplate { soc: "Snapdragon 820", tier: Tier::Flagship, cpu_gops: 2.6, gpu_gops: 7.5, bandwidth: 14.0, gpu_usable_probability: 0.95, static_watts: 0.45, ram_choices: &[2048, 3072, 4096], thermal_range: (2.2, 3.5), thrash_range: (1.0, 2.0), },
-    SocTemplate { soc: "Exynos 7420", tier: Tier::Flagship, cpu_gops: 2.3, gpu_gops: 6.5, bandwidth: 13.0, gpu_usable_probability: 0.9, static_watts: 0.45, ram_choices: &[2048, 3072, 4096], thermal_range: (2.2, 3.5), thrash_range: (1.0, 2.0), },
-    SocTemplate { soc: "Tegra K1 (tablet)", tier: Tier::Flagship, cpu_gops: 1.8, gpu_gops: 8.0, bandwidth: 14.5, gpu_usable_probability: 0.95, static_watts: 0.6, ram_choices: &[2048, 3072, 4096], thermal_range: (2.2, 3.5), thrash_range: (1.0, 2.0), },
+    SocTemplate {
+        soc: "Snapdragon 810",
+        tier: Tier::Flagship,
+        cpu_gops: 2.0,
+        gpu_gops: 5.5,
+        bandwidth: 12.0,
+        gpu_usable_probability: 0.95,
+        static_watts: 0.45,
+        ram_choices: &[2048, 3072, 4096],
+        thermal_range: (2.2, 3.5),
+        thrash_range: (1.0, 2.0),
+    },
+    SocTemplate {
+        soc: "Snapdragon 820",
+        tier: Tier::Flagship,
+        cpu_gops: 2.6,
+        gpu_gops: 7.5,
+        bandwidth: 14.0,
+        gpu_usable_probability: 0.95,
+        static_watts: 0.45,
+        ram_choices: &[2048, 3072, 4096],
+        thermal_range: (2.2, 3.5),
+        thrash_range: (1.0, 2.0),
+    },
+    SocTemplate {
+        soc: "Exynos 7420",
+        tier: Tier::Flagship,
+        cpu_gops: 2.3,
+        gpu_gops: 6.5,
+        bandwidth: 13.0,
+        gpu_usable_probability: 0.9,
+        static_watts: 0.45,
+        ram_choices: &[2048, 3072, 4096],
+        thermal_range: (2.2, 3.5),
+        thrash_range: (1.0, 2.0),
+    },
+    SocTemplate {
+        soc: "Tegra K1 (tablet)",
+        tier: Tier::Flagship,
+        cpu_gops: 1.8,
+        gpu_gops: 8.0,
+        bandwidth: 14.5,
+        gpu_usable_probability: 0.95,
+        static_watts: 0.6,
+        ram_choices: &[2048, 3072, 4096],
+        thermal_range: (2.2, 3.5),
+        thrash_range: (1.0, 2.0),
+    },
 ];
 
 /// Tier mix of the fleet, matching the long tail of a crowdsourced
@@ -185,7 +350,13 @@ pub fn phone_fleet(seed: u64) -> Vec<PhoneSpec> {
                 large_kernel_bytes: 64e6,
                 thrash_factor: thrash,
             };
-            PhoneSpec { index, tier, ram_mb, gpu_fragile, device }
+            PhoneSpec {
+                index,
+                tier,
+                ram_mb,
+                gpu_fragile,
+                device,
+            }
         })
         .collect()
 }
@@ -234,7 +405,10 @@ mod tests {
         let fleet = phone_fleet(2018);
         let without: usize = fleet.iter().filter(|p| !p.device.has_usable_gpu()).count();
         let with = FLEET_SIZE - without;
-        assert!(without >= 10, "expected a tail without OpenCL, got {without}");
+        assert!(
+            without >= 10,
+            "expected a tail without OpenCL, got {without}"
+        );
         assert!(with >= 30, "expected many GPU-capable phones, got {with}");
     }
 

@@ -246,7 +246,11 @@ impl DeviceModel {
             kernels.push(cost);
         }
         joules += self.static_watts * seconds;
-        FrameCost { seconds, joules, kernels }
+        FrameCost {
+            seconds,
+            joules,
+            kernels,
+        }
     }
 
     /// A copy of this device at a different DVFS operating point.
@@ -256,7 +260,10 @@ impl DeviceModel {
     /// Panics when `scale` is not in `(0, 1]`.
     pub fn at_dvfs(&self, scale: f64) -> DeviceModel {
         assert!(scale > 0.0 && scale <= 1.0, "dvfs scale must be in (0, 1]");
-        DeviceModel { dvfs_scale: scale, ..self.clone() }
+        DeviceModel {
+            dvfs_scale: scale,
+            ..self.clone()
+        }
     }
 
     /// Models sustained execution under the device's thermal budget: when
@@ -269,7 +276,11 @@ impl DeviceModel {
         let Some(budget) = self.thermal_watts else {
             return cost;
         };
-        let watts = if cost.seconds > 0.0 { cost.joules / cost.seconds } else { 0.0 };
+        let watts = if cost.seconds > 0.0 {
+            cost.joules / cost.seconds
+        } else {
+            0.0
+        };
         if watts <= budget {
             return cost;
         }
@@ -307,7 +318,11 @@ impl fmt::Display for DeviceModel {
             self.name,
             self.soc,
             self.units.len(),
-            if self.has_usable_gpu() { ", GPU compute" } else { "" },
+            if self.has_usable_gpu() {
+                ", GPU compute"
+            } else {
+                ""
+            },
             self.dvfs_scale
         )
     }
@@ -327,7 +342,7 @@ mod tests {
         let unit = ComputeUnit {
             name: "test".into(),
             kind: UnitKind::CpuBig,
-            gops: 1.0,          // 1e9 ops/s
+            gops: 1.0,           // 1e9 ops/s
             bandwidth_gbps: 1.0, // 1e9 B/s
             nj_per_op: 1.0,
             dispatch_overhead_s: 0.0,
@@ -380,7 +395,10 @@ mod tests {
         let fast_cost = dev.execute(Kernel::Integrate, w);
         let slow_cost = slow.execute(Kernel::Integrate, w);
         assert!(slow_cost.seconds > fast_cost.seconds * 1.5);
-        assert!(slow_cost.joules < fast_cost.joules, "dynamic energy drops with V²");
+        assert!(
+            slow_cost.joules < fast_cost.joules,
+            "dynamic energy drops with V²"
+        );
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl SyntheticDataset {
     pub fn generate(config: &DatasetConfig) -> SyntheticDataset {
         let renderer = Renderer::with_options(
             config.scene.clone(),
-            RenderOptions { max_range: config.noise.max_range + 1.0, ..RenderOptions::default() },
+            RenderOptions {
+                max_range: config.noise.max_range + 1.0,
+                ..RenderOptions::default()
+            },
         );
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let n = config.frame_count;
@@ -152,7 +155,10 @@ impl SyntheticDataset {
                 }
             })
             .collect();
-        SyntheticDataset { config: config.clone(), frames }
+        SyntheticDataset {
+            config: config.clone(),
+            frames,
+        }
     }
 
     /// The generating configuration.
@@ -227,7 +233,11 @@ mod tests {
     fn frames_have_mostly_valid_depth() {
         let d = tiny();
         for f in &d {
-            assert!(f.valid_depth_fraction() > 0.5, "frame {} too sparse", f.index);
+            assert!(
+                f.valid_depth_fraction() > 0.5,
+                "frame {} too sparse",
+                f.index
+            );
         }
     }
 

@@ -163,12 +163,19 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
         assert!((mean - z).abs() < 0.001, "mean {mean}");
         let sigma = m.sigma_at(z);
-        assert!((var.sqrt() - sigma).abs() < 0.2 * sigma + 3e-4, "std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - sigma).abs() < 0.2 * sigma + 3e-4,
+            "std {}",
+            var.sqrt()
+        );
     }
 
     #[test]
     fn dropout_rate_is_respected() {
-        let m = DepthNoiseModel { dropout: 0.25, ..DepthNoiseModel::kinect() };
+        let m = DepthNoiseModel {
+            dropout: 0.25,
+            ..DepthNoiseModel::kinect()
+        };
         let mut r = rng();
         let holes = (0..10_000).filter(|_| m.apply(2.0, &mut r) == 0).count();
         let rate = holes as f32 / 10_000.0;

@@ -10,7 +10,11 @@ use crate::trajectory::Trajectory;
 use slam_math::Vec3;
 
 /// Centre of the preset rooms (and the natural look-at target).
-pub const ROOM_CENTER: Vec3 = Vec3 { x: 2.0, y: 1.1, z: 2.0 };
+pub const ROOM_CENTER: Vec3 = Vec3 {
+    x: 2.0,
+    y: 1.1,
+    z: 2.0,
+};
 
 /// A furnished living room, the workspace's stand-in for ICL-NUIM
 /// `living_room`: a 4 × 2.5 × 4 m room containing a sofa, a table, a lamp
@@ -360,7 +364,9 @@ mod tests {
 
     #[test]
     fn kt_trajectories_are_distinct() {
-        let mid: Vec<_> = (0..4).map(|k| living_room_kt(k).pose(0.5).translation()).collect();
+        let mid: Vec<_> = (0..4)
+            .map(|k| living_room_kt(k).pose(0.5).translation())
+            .collect();
         for i in 0..4 {
             for j in (i + 1)..4 {
                 assert!(
@@ -399,9 +405,16 @@ mod tests {
         let r = Renderer::new(corridor());
         let cam = PinholeCamera::tiny();
         let frame = r.render(&cam, &corridor_trajectory().pose(0.0));
-        assert!(frame.valid_fraction() > 0.6, "got {}", frame.valid_fraction());
+        assert!(
+            frame.valid_fraction() > 0.6,
+            "got {}",
+            frame.valid_fraction()
+        );
         // the end wall is several metres away
         let centre = frame.depth_at(cam.width / 2, cam.height / 2);
-        assert!(centre > 3.0, "corridor should be deep, centre depth {centre}");
+        assert!(
+            centre > 3.0,
+            "corridor should be deep, centre depth {centre}"
+        );
     }
 }

@@ -83,7 +83,10 @@ pub struct Renderer {
 impl Renderer {
     /// Creates a renderer with default [`RenderOptions`].
     pub fn new(scene: Scene) -> Renderer {
-        Renderer { scene, options: RenderOptions::default() }
+        Renderer {
+            scene,
+            options: RenderOptions::default(),
+        }
     }
 
     /// Creates a renderer with explicit options.
@@ -151,14 +154,18 @@ impl Renderer {
                         let (_, obj_idx) = self.scene.closest(p);
                         let n = self.scene.normal(p);
                         let diffuse = (-light).dot(n).max(0.0);
-                        let shade = self.options.ambient
-                            + (1.0 - self.options.ambient) * diffuse;
+                        let shade = self.options.ambient + (1.0 - self.options.ambient) * diffuse;
                         rgb[idx] = self.scene.objects()[obj_idx].albedo.to_rgb8(shade);
                     }
                 }
             }
         }
-        RenderedFrame { width: w, height: h, depth, rgb }
+        RenderedFrame {
+            width: w,
+            height: h,
+            depth,
+            rgb,
+        }
     }
 }
 
@@ -207,14 +214,21 @@ mod tests {
         let centre = frame.depth_at(cam.width / 2, cam.height / 2);
         assert!((centre - 2.0).abs() < 1e-2);
         let corner = frame.depth_at(0, 0);
-        assert!((corner - 2.0).abs() < 2e-2, "z-depth should be flat, got {corner}");
+        assert!(
+            (corner - 2.0).abs() < 2e-2,
+            "z-depth should be flat, got {corner}"
+        );
         assert!(frame.valid_fraction() > 0.99);
     }
 
     #[test]
     fn sphere_depth_profile() {
         let mut s = Scene::new("ball");
-        s.add("ball", Sdf::sphere(Vec3::new(0.0, 0.0, 3.0), 1.0), Albedo::grey(0.9));
+        s.add(
+            "ball",
+            Sdf::sphere(Vec3::new(0.0, 0.0, 3.0), 1.0),
+            Albedo::grey(0.9),
+        );
         let r = Renderer::new(s);
         let cam = PinholeCamera::tiny();
         let frame = r.render(&cam, &Se3::IDENTITY);
@@ -229,8 +243,10 @@ mod tests {
 
     #[test]
     fn beyond_max_range_is_hole() {
-        let mut opts = RenderOptions::default();
-        opts.max_range = 1.0;
+        let opts = RenderOptions {
+            max_range: 1.0,
+            ..RenderOptions::default()
+        };
         let r = Renderer::with_options(wall_scene(), opts);
         let cam = PinholeCamera::tiny();
         let frame = r.render(&cam, &Se3::IDENTITY);
@@ -240,7 +256,11 @@ mod tests {
     #[test]
     fn shading_darker_away_from_light() {
         let mut s = Scene::new("ball");
-        s.add("ball", Sdf::sphere(Vec3::new(0.0, 0.0, 3.0), 1.0), Albedo::grey(1.0));
+        s.add(
+            "ball",
+            Sdf::sphere(Vec3::new(0.0, 0.0, 3.0), 1.0),
+            Albedo::grey(1.0),
+        );
         let r = Renderer::new(s);
         let cam = PinholeCamera::tiny();
         let frame = r.render(&cam, &Se3::IDENTITY);
@@ -251,7 +271,10 @@ mod tests {
         let cx = cam.width / 2;
         let top = frame.rgb[(cam.height / 2 - 20) * cam.width + cx][0] as i32;
         let bottom = frame.rgb[(cam.height / 2 + 20) * cam.width + cx][0] as i32;
-        assert!(bottom > top, "lit side {bottom} should outshine dark side {top}");
+        assert!(
+            bottom > top,
+            "lit side {bottom} should outshine dark side {top}"
+        );
     }
 
     #[test]
@@ -267,7 +290,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn depth_at_out_of_bounds_panics() {
-        let frame = RenderedFrame { width: 2, height: 2, depth: vec![0.0; 4], rgb: vec![[0; 3]; 4] };
+        let frame = RenderedFrame {
+            width: 2,
+            height: 2,
+            depth: vec![0.0; 4],
+            rgb: vec![[0; 3]; 4],
+        };
         frame.depth_at(2, 0);
     }
 }

@@ -89,7 +89,10 @@ pub struct Scene {
 impl Scene {
     /// Creates an empty scene with the given name.
     pub fn new(name: impl Into<String>) -> Scene {
-        Scene { name: name.into(), objects: Vec::new() }
+        Scene {
+            name: name.into(),
+            objects: Vec::new(),
+        }
     }
 
     /// The scene's name.
@@ -99,7 +102,11 @@ impl Scene {
 
     /// Adds an object and returns `&mut self` for chaining.
     pub fn add(&mut self, name: impl Into<String>, sdf: Sdf, albedo: Albedo) -> &mut Scene {
-        self.objects.push(SceneObject { name: name.into(), sdf, albedo });
+        self.objects.push(SceneObject {
+            name: name.into(),
+            sdf,
+            albedo,
+        });
         self
     }
 
@@ -144,9 +151,12 @@ impl Scene {
     /// differences on the union distance).
     pub fn normal(&self, p: Vec3) -> Vec3 {
         const H: f32 = 1e-3;
-        let dx = self.distance(p + Vec3::new(H, 0.0, 0.0)) - self.distance(p - Vec3::new(H, 0.0, 0.0));
-        let dy = self.distance(p + Vec3::new(0.0, H, 0.0)) - self.distance(p - Vec3::new(0.0, H, 0.0));
-        let dz = self.distance(p + Vec3::new(0.0, 0.0, H)) - self.distance(p - Vec3::new(0.0, 0.0, H));
+        let dx =
+            self.distance(p + Vec3::new(H, 0.0, 0.0)) - self.distance(p - Vec3::new(H, 0.0, 0.0));
+        let dy =
+            self.distance(p + Vec3::new(0.0, H, 0.0)) - self.distance(p - Vec3::new(0.0, H, 0.0));
+        let dz =
+            self.distance(p + Vec3::new(0.0, 0.0, H)) - self.distance(p - Vec3::new(0.0, 0.0, H));
         Vec3::new(dx, dy, dz).normalized_or_zero()
     }
 

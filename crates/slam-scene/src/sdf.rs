@@ -83,24 +83,38 @@ impl Sdf {
 
     /// An axis-aligned box at `center` with the given `half_extents`.
     pub fn cuboid(center: Vec3, half_extents: Vec3) -> Sdf {
-        Sdf::Cuboid { center, half_extents }
+        Sdf::Cuboid {
+            center,
+            half_extents,
+        }
     }
 
     /// A rounded axis-aligned box.
     pub fn rounded_cuboid(center: Vec3, half_extents: Vec3, radius: f32) -> Sdf {
-        Sdf::RoundedCuboid { center, half_extents, radius }
+        Sdf::RoundedCuboid {
+            center,
+            half_extents,
+            radius,
+        }
     }
 
     /// The half space below the plane with (not necessarily unit) `normal`
     /// passing through `point`. A degenerate normal defaults to +y.
     pub fn half_space(normal: Vec3, point: Vec3) -> Sdf {
         let n = normal.normalized().unwrap_or(Vec3::Y);
-        Sdf::HalfSpace { normal: n, offset: n.dot(point) }
+        Sdf::HalfSpace {
+            normal: n,
+            offset: n.dot(point),
+        }
     }
 
     /// A vertical capped cylinder.
     pub fn cylinder_y(center: Vec3, radius: f32, half_height: f32) -> Sdf {
-        Sdf::CylinderY { center, radius, half_height }
+        Sdf::CylinderY {
+            center,
+            radius,
+            half_height,
+        }
     }
 
     /// Union with another field.
@@ -130,25 +144,35 @@ impl Sdf {
     pub fn distance(&self, p: Vec3) -> f32 {
         match self {
             Sdf::Sphere { center, radius } => (p - *center).norm() - radius,
-            Sdf::Cuboid { center, half_extents } => {
+            Sdf::Cuboid {
+                center,
+                half_extents,
+            } => {
                 let q = (p - *center).abs() - *half_extents;
                 let outside = q.max(Vec3::ZERO).norm();
                 let inside = q.max_component().min(0.0);
                 outside + inside
             }
-            Sdf::RoundedCuboid { center, half_extents, radius } => {
+            Sdf::RoundedCuboid {
+                center,
+                half_extents,
+                radius,
+            } => {
                 let q = (p - *center).abs() - *half_extents;
                 let outside = q.max(Vec3::ZERO).norm();
                 let inside = q.max_component().min(0.0);
                 outside + inside - radius
             }
             Sdf::HalfSpace { normal, offset } => normal.dot(p) - offset,
-            Sdf::CylinderY { center, radius, half_height } => {
+            Sdf::CylinderY {
+                center,
+                radius,
+                half_height,
+            } => {
                 let d = p - *center;
                 let radial = (d.x * d.x + d.z * d.z).sqrt() - radius;
                 let axial = d.y.abs() - half_height;
-                let outside =
-                    (radial.max(0.0).powi(2) + axial.max(0.0).powi(2)).sqrt();
+                let outside = (radial.max(0.0).powi(2) + axial.max(0.0).powi(2)).sqrt();
                 let inside = radial.max(axial).min(0.0);
                 outside + inside
             }
@@ -166,9 +190,12 @@ impl Sdf {
     /// direction the renderer needs.
     pub fn normal(&self, p: Vec3) -> Vec3 {
         const H: f32 = 1e-3;
-        let dx = self.distance(p + Vec3::new(H, 0.0, 0.0)) - self.distance(p - Vec3::new(H, 0.0, 0.0));
-        let dy = self.distance(p + Vec3::new(0.0, H, 0.0)) - self.distance(p - Vec3::new(0.0, H, 0.0));
-        let dz = self.distance(p + Vec3::new(0.0, 0.0, H)) - self.distance(p - Vec3::new(0.0, 0.0, H));
+        let dx =
+            self.distance(p + Vec3::new(H, 0.0, 0.0)) - self.distance(p - Vec3::new(H, 0.0, 0.0));
+        let dy =
+            self.distance(p + Vec3::new(0.0, H, 0.0)) - self.distance(p - Vec3::new(0.0, H, 0.0));
+        let dz =
+            self.distance(p + Vec3::new(0.0, 0.0, H)) - self.distance(p - Vec3::new(0.0, 0.0, H));
         Vec3::new(dx, dy, dz).normalized_or_zero()
     }
 

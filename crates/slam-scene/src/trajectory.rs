@@ -54,7 +54,14 @@ impl Trajectory {
     pub fn pose(&self, s: f32) -> Se3 {
         let s = s.clamp(0.0, 1.0);
         match self {
-            Trajectory::Orbit { center, radius, height, target, sweep, start_angle } => {
+            Trajectory::Orbit {
+                center,
+                radius,
+                height,
+                target,
+                sweep,
+                start_angle,
+            } => {
                 let angle = start_angle + sweep * s;
                 let eye = Vec3::new(
                     center.x + radius * angle.cos(),
@@ -63,7 +70,12 @@ impl Trajectory {
                 );
                 Se3::look_at(eye, *target, Vec3::Y)
             }
-            Trajectory::Wobble { base, amplitude, frequency, target } => {
+            Trajectory::Wobble {
+                base,
+                amplitude,
+                frequency,
+                target,
+            } => {
                 use std::f32::consts::TAU;
                 let eye = Vec3::new(
                     base.x + amplitude.x * (TAU * frequency.x * s).sin(),
@@ -73,7 +85,10 @@ impl Trajectory {
                 Se3::look_at(eye, *target, Vec3::Y)
             }
             Trajectory::Keyframes(poses) => {
-                assert!(!poses.is_empty(), "keyframe trajectory needs at least one pose");
+                assert!(
+                    !poses.is_empty(),
+                    "keyframe trajectory needs at least one pose"
+                );
                 if poses.len() == 1 {
                     return poses[0];
                 }

@@ -9,7 +9,7 @@
 //!     --device xu3 --export-trajectory run.tum --export-mesh model.off
 //! ```
 
-use slam_kfusion::{marching_cubes, KFusionConfig, KinectFusion};
+use slam_kfusion::{marching_cubes_with_threads, KFusionConfig, KinectFusion};
 use slam_math::camera::PinholeCamera;
 use slam_metrics::ate::{ate, AteOptions};
 use slam_metrics::timing::SequenceTiming;
@@ -71,6 +71,8 @@ OPTIONS:
     --tracking-rate <N>              track every N frames (default 1)
     --integration-rate <N>           integrate every N frames (default 1)
     --no-bilateral                   disable the bilateral filter
+    --threads <N>                    worker threads for the kernels (0 = auto,
+                                     default 0; output is identical for any N)
     --device <xu3|tk1|arndale|pi|desktop>  cost model (default xu3)
     --dvfs <0..1]                    DVFS operating point (default 1.0)
     --export-trajectory <path>       write the estimated trajectory (TUM format)
@@ -83,11 +85,12 @@ OPTIONS:
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = argv.iter();
-    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
-        it.next()
-            .cloned()
-            .ok_or_else(|| format!("{flag} needs a value"))
-    };
+    let next_value =
+        |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--dataset" => args.dataset = next_value(flag, &mut it)?,
@@ -123,6 +126,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.config.integration_rate = parse(flag, &next_value(flag, &mut it)?)?
             }
             "--no-bilateral" => args.config.bilateral_filter = false,
+            "--threads" => args.config.threads = parse(flag, &next_value(flag, &mut it)?)?,
             "--device" => args.device = next_value(flag, &mut it)?,
             "--dvfs" => args.dvfs = parse(flag, &next_value(flag, &mut it)?)?,
             "--export-trajectory" => args.export_trajectory = Some(next_value(flag, &mut it)?),
@@ -137,7 +141,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
-    v.parse().map_err(|_| format!("invalid value {v:?} for {flag}"))
+    v.parse()
+        .map_err(|_| format!("invalid value {v:?} for {flag}"))
 }
 
 fn device_by_name(name: &str) -> Result<DeviceModel, String> {
@@ -147,7 +152,11 @@ fn device_by_name(name: &str) -> Result<DeviceModel, String> {
         "arndale" => devices::arndale(),
         "pi" => devices::raspberry_pi2(),
         "desktop" => devices::desktop_gtx(),
-        other => return Err(format!("unknown device {other:?} (try xu3|tk1|arndale|pi|desktop)")),
+        other => {
+            return Err(format!(
+                "unknown device {other:?} (try xu3|tk1|arndale|pi|desktop)"
+            ))
+        }
     })
 }
 
@@ -234,7 +243,10 @@ fn main() -> ExitCode {
         let cost = meter.record_frame(&r.workload);
         timing.push(cost.seconds);
         est.push(r.pose);
-        timed.push(TimedPose { timestamp: frame.timestamp, pose: r.pose });
+        timed.push(TimedPose {
+            timestamp: frame.timestamp,
+            pose: r.pose,
+        });
         if !args.quiet {
             println!(
                 "{:>5}  {:^7}  {:>8.2}  {:>5.2}  {:>5}",
@@ -255,7 +267,11 @@ fn main() -> ExitCode {
     println!("configuration : {}", args.config);
     println!("device        : {}", meter.device());
     println!("speed         : {}", timing);
-    println!("power         : {:.2} W avg, {:.2} J total", run.average_watts(), run.joules);
+    println!(
+        "power         : {:.2} W avg, {:.2} J total",
+        run.average_watts(),
+        run.joules
+    );
     println!("accuracy      : {}", accuracy);
     println!("lost frames   : {}", kf.lost_frames());
 
@@ -269,7 +285,7 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.export_mesh {
         eprintln!("extracting mesh...");
-        let mesh = marching_cubes(kf.volume());
+        let mesh = marching_cubes_with_threads(kf.volume(), args.config.threads);
         if let Err(e) = std::fs::write(path, mesh.to_off()) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

@@ -37,7 +37,11 @@ pub fn codesign_space() -> ParameterSpace {
 /// Panics when the vector does not have `codesign_space().len()` entries.
 pub fn decode_codesign(x: &[f64]) -> (KFusionConfig, f64) {
     let space = codesign_space();
-    assert_eq!(x.len(), space.len(), "encoded co-design vector has wrong length");
+    assert_eq!(
+        x.len(),
+        space.len(),
+        "encoded co-design vector has wrong length"
+    );
     let config = decode_config(&x[..x.len() - 1]);
     let dvfs = x[x.len() - 1].clamp(0.2, 1.0);
     (config, dvfs)
@@ -115,8 +119,7 @@ impl CoDesignOutcome {
         self.points
             .iter()
             .filter(|p| {
-                p.measured.max_ate_m <= self.accuracy_limit
-                    && p.measured.watts <= self.power_budget
+                p.measured.max_ate_m <= self.accuracy_limit && p.measured.watts <= self.power_budget
             })
             .min_by(|a, b| {
                 a.measured
@@ -170,7 +173,11 @@ pub fn codesign_explore(
             runtime_s,
             max_ate_m,
             watts,
-            fps: if runtime_s > 0.0 { 1.0 / runtime_s } else { 0.0 },
+            fps: if runtime_s > 0.0 {
+                1.0 / runtime_s
+            } else {
+                0.0
+            },
         };
         let obj = vec![runtime_s, max_ate_m, watts];
         points.push(CoDesignPoint { measured, dvfs });

@@ -49,7 +49,12 @@ pub fn slambench_space() -> ParameterSpace {
 /// Panics when the vector has the wrong length. Values are snapped into
 /// their domains, so any in-length vector decodes to a valid config.
 pub fn decode_config(x: &[f64]) -> KFusionConfig {
-    assert_eq!(x.len(), NAMES.len(), "encoded config must have {} entries", NAMES.len());
+    assert_eq!(
+        x.len(),
+        NAMES.len(),
+        "encoded config must have {} entries",
+        NAMES.len()
+    );
     let space = slambench_space();
     let x = space.snap(x);
     let config = KFusionConfig {

@@ -6,6 +6,7 @@ use crate::run::run_pipeline;
 use serde::{Deserialize, Serialize};
 use slam_dse::active::{ActiveLearner, ActiveLearnerOptions};
 use slam_dse::Evaluation;
+use slam_kfusion::exec;
 use slam_kfusion::KFusionConfig;
 use slam_power::DeviceModel;
 use slam_scene::dataset::SyntheticDataset;
@@ -20,6 +21,9 @@ pub struct ExploreOptions {
     /// The paper's accuracy constraint: max ATE must stay below this
     /// (metres) for a configuration to count as feasible.
     pub accuracy_limit: f64,
+    /// Worker threads for the pipeline kernels during each evaluation
+    /// (`0` = all available). Outputs are identical for any value.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
@@ -28,6 +32,7 @@ impl Default for ExploreOptions {
             budget: 120,
             learner: ActiveLearnerOptions::default(),
             accuracy_limit: 0.05,
+            threads: 0,
         }
     }
 }
@@ -39,6 +44,7 @@ impl ExploreOptions {
             budget: 12,
             learner: ActiveLearnerOptions::fast(),
             accuracy_limit: 0.05,
+            threads: 0,
         }
     }
 }
@@ -94,7 +100,11 @@ impl ExploreOutcome {
         self.measured
             .iter()
             .filter(|m| m.is_accurate(self.accuracy_limit))
-            .min_by(|a, b| a.runtime_s.partial_cmp(&b.runtime_s).expect("finite runtimes"))
+            .min_by(|a, b| {
+                a.runtime_s
+                    .partial_cmp(&b.runtime_s)
+                    .expect("finite runtimes")
+            })
     }
 
     /// The non-dominated subset over (runtime, maxATE, watts).
@@ -112,9 +122,22 @@ impl ExploreOutcome {
     }
 }
 
-/// Measures one encoded configuration on `(dataset, device)`.
+/// Measures one encoded configuration on `(dataset, device)` using the
+/// kernel thread count decoded from the configuration (auto).
 pub fn measure(dataset: &SyntheticDataset, device: &DeviceModel, x: &[f64]) -> MeasuredConfig {
-    let config = decode_config(x);
+    measure_with_threads(dataset, device, x, 0)
+}
+
+/// Like [`measure`] but overriding the kernel thread count (`0` = all
+/// available). The measured objectives are identical for any value.
+pub fn measure_with_threads(
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    x: &[f64],
+    threads: usize,
+) -> MeasuredConfig {
+    let mut config = decode_config(x);
+    config.threads = threads;
     let run = run_pipeline(dataset, &config);
     let report = run.cost_on(device);
     let runtime_s = report.timing.mean_frame_time();
@@ -131,7 +154,11 @@ pub fn measure(dataset: &SyntheticDataset, device: &DeviceModel, x: &[f64]) -> M
         runtime_s,
         max_ate_m,
         watts: report.run_cost.average_watts(),
-        fps: if runtime_s > 0.0 { 1.0 / runtime_s } else { 0.0 },
+        fps: if runtime_s > 0.0 {
+            1.0 / runtime_s
+        } else {
+            0.0
+        },
     }
 }
 
@@ -146,12 +173,17 @@ pub fn explore(
     let mut learner = ActiveLearner::new(space, 3, options.learner);
     let mut measured: Vec<MeasuredConfig> = Vec::new();
     let result = learner.run(options.budget, |x| {
-        let m = measure(dataset, device, x);
+        let m = measure_with_threads(dataset, device, x, options.threads);
         let obj = m.objectives();
         measured.push(m);
         obj
     });
-    let default_config = measure(dataset, device, &encode_config(&KFusionConfig::default()));
+    let default_config = measure_with_threads(
+        dataset,
+        device,
+        &encode_config(&KFusionConfig::default()),
+        options.threads,
+    );
     ExploreOutcome {
         measured,
         initial_count: result.initial_count,
@@ -163,6 +195,10 @@ pub fn explore(
 /// Evaluates `n` uniform random configurations in parallel (Figure 2's
 /// "Random sampling" baseline). Deterministic in `seed`; results are
 /// returned in draw order.
+///
+/// Evaluations run on the shared worker pool. Each one gets an inner
+/// kernel-thread budget so the sweep-level parallelism and the kernel-level
+/// parallelism never multiply past the machine.
 pub fn random_sweep(
     dataset: &SyntheticDataset,
     device: &DeviceModel,
@@ -173,30 +209,15 @@ pub fn random_sweep(
     let space = slambench_space();
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let samples = slam_dse::sampler::random_samples(&space, n, &mut rng);
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n.max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<MeasuredConfig>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= samples.len() {
-                    break;
-                }
-                let m = measure(dataset, device, &samples[i]);
-                *results[i].lock() = Some(m);
-            });
-        }
-    })
-    .expect("worker threads must not panic");
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every sample evaluated"))
-        .collect()
+    let workers = exec::effective_threads(0).min(n.max(1));
+    let inner_budget = (exec::available_threads() / workers).max(1);
+    let tasks: Vec<exec::Task<'_, MeasuredConfig>> = samples
+        .iter()
+        .map(|x| -> exec::Task<'_, MeasuredConfig> {
+            Box::new(move || exec::with_thread_budget(inner_budget, || measure(dataset, device, x)))
+        })
+        .collect();
+    exec::run_tasks(workers, tasks)
 }
 
 #[cfg(test)]
@@ -237,7 +258,12 @@ mod tests {
         large.volume_resolution = 192;
         let ms = measure(&dataset, &dev, &encode_config(&small));
         let ml = measure(&dataset, &dev, &encode_config(&large));
-        assert!(ms.runtime_s < ml.runtime_s, "{} !< {}", ms.runtime_s, ml.runtime_s);
+        assert!(
+            ms.runtime_s < ml.runtime_s,
+            "{} !< {}",
+            ms.runtime_s,
+            ml.runtime_s
+        );
     }
 
     #[test]

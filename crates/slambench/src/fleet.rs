@@ -122,7 +122,11 @@ pub fn fleet_speedups(
                 default_volume: vr,
                 default_s,
                 tuned_s,
-                speedup: if tuned_s > 0.0 { default_s / tuned_s } else { 0.0 },
+                speedup: if tuned_s > 0.0 {
+                    default_s / tuned_s
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -196,7 +200,10 @@ mod tests {
         let (d, t) = configs();
         let fleet = phone_fleet(2018);
         let entries = fleet_speedups(&dataset(), &d, &t, &fleet);
-        let min = entries.iter().map(|e| e.speedup).fold(f64::INFINITY, f64::min);
+        let min = entries
+            .iter()
+            .map(|e| e.speedup)
+            .fold(f64::INFINITY, f64::min);
         let max = entries.iter().map(|e| e.speedup).fold(0.0f64, f64::max);
         assert!(
             max / min > 1.5,
@@ -210,6 +217,9 @@ mod tests {
         let fleet = phone_fleet(2018);
         let entries = fleet_speedups(&dataset(), &d, &t, &fleet);
         let capped = entries.iter().filter(|e| e.default_volume < 192).count();
-        assert!(capped > 0, "the fleet should contain memory-constrained phones");
+        assert!(
+            capped > 0,
+            "the fleet should contain memory-constrained phones"
+        );
     }
 }

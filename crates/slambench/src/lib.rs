@@ -49,7 +49,10 @@ pub mod suite;
 
 pub use codesign::{codesign_explore, CoDesignOptions, CoDesignOutcome};
 pub use config_space::{decode_config, encode_config, slambench_space};
-pub use explore::{explore, random_sweep, ExploreOptions, ExploreOutcome, MeasuredConfig};
+pub use explore::{
+    explore, measure, measure_with_threads, random_sweep, ExploreOptions, ExploreOutcome,
+    MeasuredConfig,
+};
 pub use fleet::{fleet_speedups, FleetEntry};
-pub use run::{run_pipeline, DeviceRunReport, FrameRecord, PipelineRun};
+pub use run::{run_pipeline, run_pipeline_with_threads, DeviceRunReport, FrameRecord, PipelineRun};
 pub use suite::{run_suite, standard_suite, Sequence, SuiteCell};

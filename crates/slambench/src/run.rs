@@ -2,10 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 use slam_kfusion::{FrameWorkload, KFusionConfig, Kernel, KinectFusion};
+use slam_math::Se3;
 use slam_metrics::ate::{ate, AteOptions, AteResult};
 use slam_metrics::timing::SequenceTiming;
 use slam_power::{DeviceModel, RunCost};
-use slam_math::Se3;
 use slam_scene::dataset::SyntheticDataset;
 
 /// Per-frame outcome of a pipeline run (device independent).
@@ -130,6 +130,23 @@ impl DeviceRunReport {
 ///
 /// Panics when the dataset is empty or the configuration is invalid.
 pub fn run_pipeline(dataset: &SyntheticDataset, config: &KFusionConfig) -> PipelineRun {
+    run_pipeline_inner(dataset, config)
+}
+
+/// Like [`run_pipeline`] but overriding the kernel thread count (`0` =
+/// all available). Estimated poses, workloads and ATE are identical for
+/// any value; only host wall time changes.
+pub fn run_pipeline_with_threads(
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+    threads: usize,
+) -> PipelineRun {
+    let mut config = config.clone();
+    config.threads = threads;
+    run_pipeline_inner(dataset, &config)
+}
+
+fn run_pipeline_inner(dataset: &SyntheticDataset, config: &KFusionConfig) -> PipelineRun {
     assert!(!dataset.is_empty(), "cannot run on an empty dataset");
     let init = dataset.frames()[0].ground_truth;
     let mut kf = KinectFusion::new(config.clone(), *dataset.camera(), init);
@@ -175,7 +192,11 @@ mod tests {
         let run = tiny_run();
         assert_eq!(run.frames.len(), 6);
         assert_eq!(run.ate.errors.len(), 6);
-        assert!(run.ate.max < 0.2, "tiny scene should track, ATE {}", run.ate.max);
+        assert!(
+            run.ate.max < 0.2,
+            "tiny scene should track, ATE {}",
+            run.ate.max
+        );
         assert_eq!(run.dataset, "tiny_test");
         assert!(run.wall_seconds() > 0.0);
     }

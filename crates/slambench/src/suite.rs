@@ -30,12 +30,18 @@ pub fn standard_suite(camera: PinholeCamera, frames: usize) -> Vec<Sequence> {
         dc.trajectory = presets::living_room_kt(k);
         dc.camera = camera;
         dc.frame_count = frames;
-        suite.push(Sequence { name: dc.name.clone(), config: dc });
+        suite.push(Sequence {
+            name: dc.name.clone(),
+            config: dc,
+        });
     }
     let mut office = DatasetConfig::office();
     office.camera = camera;
     office.frame_count = frames;
-    suite.push(Sequence { name: "office/wobble".into(), config: office });
+    suite.push(Sequence {
+        name: "office/wobble".into(),
+        config: office,
+    });
     let corridor = DatasetConfig {
         name: "corridor/walk".into(),
         scene: presets::corridor(),
@@ -43,11 +49,17 @@ pub fn standard_suite(camera: PinholeCamera, frames: usize) -> Vec<Sequence> {
         camera,
         frame_count: frames,
         fps: 30.0,
-        noise: DepthNoiseModel { max_range: 6.0, ..DepthNoiseModel::kinect() },
+        noise: DepthNoiseModel {
+            max_range: 6.0,
+            ..DepthNoiseModel::kinect()
+        },
         seed: 0xC0441D04,
         time_step: 0.0101,
     };
-    suite.push(Sequence { name: corridor.name.clone(), config: corridor });
+    suite.push(Sequence {
+        name: corridor.name.clone(),
+        config: corridor,
+    });
     suite
 }
 

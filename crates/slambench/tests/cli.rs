@@ -48,16 +48,27 @@ fn tiny_run_produces_summary_and_exports() {
     let off = dir.join("model.off");
     let frame = dir.join("frame0");
     let out = run(&[
-        "--frames", "6",
-        "--width", "160",
-        "--height", "120",
-        "--volume-resolution", "64",
+        "--frames",
+        "6",
+        "--width",
+        "160",
+        "--height",
+        "120",
+        "--volume-resolution",
+        "64",
         "--quiet",
-        "--export-trajectory", tum.to_str().unwrap(),
-        "--export-mesh", off.to_str().unwrap(),
-        "--export-frame", frame.to_str().unwrap(),
+        "--export-trajectory",
+        tum.to_str().unwrap(),
+        "--export-mesh",
+        off.to_str().unwrap(),
+        "--export-frame",
+        frame.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("slambench summary"));
     assert!(text.contains("accuracy"));
@@ -66,7 +77,11 @@ fn tiny_run_produces_summary_and_exports() {
     assert!(tum_text.lines().count() >= 7);
     let off_text = std::fs::read_to_string(&off).unwrap();
     assert!(off_text.starts_with("OFF"));
-    assert!(std::fs::read(dir.join("frame0.ppm")).unwrap().starts_with(b"P6"));
-    assert!(std::fs::read(dir.join("frame0.pgm")).unwrap().starts_with(b"P5"));
+    assert!(std::fs::read(dir.join("frame0.ppm"))
+        .unwrap()
+        .starts_with(b"P6"));
+    assert!(std::fs::read(dir.join("frame0.pgm"))
+        .unwrap()
+        .starts_with(b"P5"));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -76,10 +76,7 @@ fn main() {
         worst.name, worst.soc, worst.ram_mb, worst.default_volume, worst.speedup
     );
 
-    let realtime = entries
-        .iter()
-        .filter(|e| e.tuned_s <= 1.0 / 30.0)
-        .count();
+    let realtime = entries.iter().filter(|e| e.tuned_s <= 1.0 / 30.0).count();
     println!(
         "\nphones reaching 30 FPS with the tuned configuration: {realtime}/{}",
         entries.len()

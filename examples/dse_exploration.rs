@@ -24,7 +24,10 @@ fn main() {
 
     // explore for the Jetson TK1 this time (the figures use the XU3)
     let device = jetson_tk1();
-    println!("exploring the configuration space for the {} model...", device.name);
+    println!(
+        "exploring the configuration space for the {} model...",
+        device.name
+    );
     let options = ExploreOptions {
         budget: 40,
         learner: ActiveLearnerOptions {
@@ -87,5 +90,8 @@ fn main() {
         class_names: vec!["rejected".into(), "accurate & fast".into()],
     };
     let tree = KnowledgeTree::fit(&slambench_space(), &data, 3);
-    println!("\nwhat makes a configuration good on this device?\n{}", tree.render());
+    println!(
+        "\nwhat makes a configuration good on this device?\n{}",
+        tree.render()
+    );
 }

@@ -17,7 +17,10 @@ fn main() {
     let mut dataset_config = DatasetConfig::living_room();
     dataset_config.camera = PinholeCamera::tiny();
     dataset_config.frame_count = 40;
-    println!("rendering {} frames of '{}'...", dataset_config.frame_count, dataset_config.name);
+    println!(
+        "rendering {} frames of '{}'...",
+        dataset_config.frame_count, dataset_config.name
+    );
     let dataset = SyntheticDataset::generate(&dataset_config);
 
     // 2. a configuration: SLAMBench's defaults, with a smaller TSDF
@@ -39,7 +42,10 @@ fn main() {
     let report = run.cost_on(&xu3);
     println!("\non the {} model:", xu3.name);
     println!("  {}", report.run_cost);
-    println!("  worst frame: {:.1} ms", report.timing.max_frame_time() * 1e3);
+    println!(
+        "  worst frame: {:.1} ms",
+        report.timing.max_frame_time() * 1e3
+    );
     println!(
         "  frames within the 30 FPS budget: {:.0}%",
         report.timing.realtime_fraction(30.0) * 100.0

@@ -1,0 +1,109 @@
+//! Cross-thread-count determinism of the whole pipeline.
+//!
+//! The worker-pool kernels partition work into bands whose layout depends
+//! only on the data size, and reduce band results in band order — so the
+//! estimated trajectory, the accumulated TSDF volume, the extracted mesh
+//! and even the measured workload counters must be *bit-identical* no
+//! matter how many threads execute them. These tests pin that guarantee
+//! end to end; any data race or thread-dependent reduction order breaks
+//! them immediately.
+
+use slam_kfusion::{marching_cubes_with_threads, KFusionConfig, KinectFusion};
+use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+use slambench::run_pipeline_with_threads;
+
+/// `1` is the canonical serial reference; `7` does not divide the band
+/// counts evenly; `0` is the auto knob.
+const THREAD_COUNTS: [usize; 4] = [2, 4, 7, 0];
+
+fn tiny_dataset(frames: usize) -> SyntheticDataset {
+    let mut dc = DatasetConfig::tiny_test();
+    dc.frame_count = frames;
+    SyntheticDataset::generate(&dc)
+}
+
+fn config() -> KFusionConfig {
+    KFusionConfig {
+        volume_resolution: 48,
+        ..KFusionConfig::fast_test()
+    }
+}
+
+#[test]
+fn trajectory_ate_and_workload_are_bit_identical_across_thread_counts() {
+    let dataset = tiny_dataset(6);
+    let reference = run_pipeline_with_threads(&dataset, &config(), 1);
+    // serde_json is configured with `float_roundtrip`, so two poses print
+    // to the same string exactly when every component is bit-identical
+    // (modulo the sign of NaN, which a tracked pose never contains)
+    let ref_poses: Vec<String> = reference
+        .frames
+        .iter()
+        .map(|f| serde_json::to_string(&f.pose).expect("serialisable pose"))
+        .collect();
+    let ref_ate = serde_json::to_string(&reference.ate).expect("serialisable ATE");
+    let ref_ops = reference.total_workload().total().ops.to_bits();
+    for threads in THREAD_COUNTS {
+        let run = run_pipeline_with_threads(&dataset, &config(), threads);
+        let poses: Vec<String> = run
+            .frames
+            .iter()
+            .map(|f| serde_json::to_string(&f.pose).expect("serialisable pose"))
+            .collect();
+        assert_eq!(poses, ref_poses, "poses diverged at threads={threads}");
+        assert_eq!(
+            serde_json::to_string(&run.ate).expect("serialisable ATE"),
+            ref_ate,
+            "ATE diverged at threads={threads}"
+        );
+        assert_eq!(
+            run.total_workload().total().ops.to_bits(),
+            ref_ops,
+            "workload counters diverged at threads={threads}"
+        );
+        assert_eq!(run.lost_frames, reference.lost_frames);
+    }
+}
+
+#[test]
+fn extracted_mesh_is_bit_identical_across_thread_counts() {
+    let dataset = tiny_dataset(5);
+    let fuse = |threads: usize| {
+        let cfg = KFusionConfig {
+            threads,
+            ..config()
+        };
+        let init = dataset.frames()[0].ground_truth;
+        let mut kf = KinectFusion::new(cfg, *dataset.camera(), init);
+        for frame in dataset.frames() {
+            kf.process_frame(&frame.depth_mm);
+        }
+        marching_cubes_with_threads(kf.volume(), threads)
+    };
+    let reference = fuse(1);
+    assert!(
+        reference.triangle_count() > 0,
+        "the tiny scene must produce a surface"
+    );
+    let ref_vertices: Vec<[u32; 3]> = reference
+        .vertices
+        .iter()
+        .map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+        .collect();
+    for threads in THREAD_COUNTS {
+        let mesh = fuse(threads);
+        assert_eq!(
+            mesh.triangles, reference.triangles,
+            "triangles diverged at threads={threads}"
+        );
+        let vertices: Vec<[u32; 3]> = mesh
+            .vertices
+            .iter()
+            .map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+            .collect();
+        assert_eq!(
+            vertices, ref_vertices,
+            "vertex bits diverged at threads={threads}"
+        );
+    }
+}

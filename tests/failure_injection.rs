@@ -30,7 +30,10 @@ fn survives_blackout_frames_and_recovers() {
             assert!(result.tracked, "failed to recover at frame {i}");
         }
     }
-    assert!(lost_during_blackout > 0, "blackout frames should be flagged as lost");
+    assert!(
+        lost_during_blackout > 0,
+        "blackout frames should be flagged as lost"
+    );
 }
 
 #[test]

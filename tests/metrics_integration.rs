@@ -33,9 +33,30 @@ fn ate_and_rpe_agree_on_quality() {
 #[test]
 fn alignment_modes_are_ordered() {
     let (est, gt) = run_poses(15);
-    let none = ate(&est, &gt, AteOptions { alignment: Alignment::None }).unwrap();
-    let first = ate(&est, &gt, AteOptions { alignment: Alignment::FirstPose }).unwrap();
-    let horn = ate(&est, &gt, AteOptions { alignment: Alignment::Horn }).unwrap();
+    let none = ate(
+        &est,
+        &gt,
+        AteOptions {
+            alignment: Alignment::None,
+        },
+    )
+    .unwrap();
+    let first = ate(
+        &est,
+        &gt,
+        AteOptions {
+            alignment: Alignment::FirstPose,
+        },
+    )
+    .unwrap();
+    let horn = ate(
+        &est,
+        &gt,
+        AteOptions {
+            alignment: Alignment::Horn,
+        },
+    )
+    .unwrap();
     // Horn minimises the rms over rigid alignments, so it is at least as
     // good as any other registration of the same trajectory
     assert!(horn.rmse <= none.rmse + 1e-9);

@@ -39,7 +39,10 @@ fn tracks_living_room_noise_free() {
     config.pyramid_iterations = [6, 4, 3];
     let errors = run_errors(&dataset, config);
     let max = errors.iter().cloned().fold(0.0f32, f32::max);
-    assert!(max < 0.05, "max trajectory error {max} m, errors: {errors:?}");
+    assert!(
+        max < 0.05,
+        "max trajectory error {max} m, errors: {errors:?}"
+    );
 }
 
 #[test]
@@ -50,7 +53,10 @@ fn tracks_living_room_with_kinect_noise() {
     config.pyramid_iterations = [6, 4, 3];
     let errors = run_errors(&dataset, config);
     let max = errors.iter().cloned().fold(0.0f32, f32::max);
-    assert!(max < 0.08, "max trajectory error {max} m, errors: {errors:?}");
+    assert!(
+        max < 0.08,
+        "max trajectory error {max} m, errors: {errors:?}"
+    );
 }
 
 #[test]
