@@ -6,6 +6,8 @@
 //! `EXPERIMENTS.md`. The binaries print plain-text tables and ASCII
 //! charts so a reproduction can be eyeballed in a terminal.
 
+#![deny(unsafe_code)]
+
 use slam_kfusion::KFusionConfig;
 use slam_math::camera::PinholeCamera;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};

@@ -242,12 +242,7 @@ impl ActiveLearner {
         }
         // uncertainty ranking (exploration)
         let mut by_uncertainty: Vec<usize> = (0..scored.len()).collect();
-        by_uncertainty.sort_by(|&a, &b| {
-            scored[b]
-                .uncertainty
-                .partial_cmp(&scored[a].uncertainty)
-                .expect("finite uncertainty")
-        });
+        by_uncertainty.sort_by(|&a, &b| scored[b].uncertainty.total_cmp(&scored[a].uncertainty));
         let explore_n = ((self.options.batch_size as f64 * self.options.exploration_fraction)
             .round() as usize)
             .min(self.options.batch_size);

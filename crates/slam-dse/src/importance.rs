@@ -69,11 +69,7 @@ pub fn permutation_importance(
             }
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.relative_increase
-            .partial_cmp(&a.relative_increase)
-            .expect("finite importances")
-    });
+    out.sort_by(|a, b| b.relative_increase.total_cmp(&a.relative_increase));
     out
 }
 

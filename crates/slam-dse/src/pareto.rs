@@ -59,7 +59,7 @@ pub fn hypervolume_2d(front: &[Evaluation], reference: [f64; 2]) -> f64 {
     if pts.is_empty() {
         return 0.0;
     }
-    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite objectives"));
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]));
     // sweep left-to-right keeping the best (lowest) y so far
     let mut area = 0.0;
     let mut best_y = f64::INFINITY;
@@ -95,11 +95,7 @@ pub fn best_by_objective(evaluations: &[Evaluation], index: usize) -> Option<&Ev
     evaluations
         .iter()
         .filter(|e| e.objectives.get(index).is_some_and(|v| v.is_finite()))
-        .min_by(|a, b| {
-            a.objectives[index]
-                .partial_cmp(&b.objectives[index])
-                .expect("finite objectives")
-        })
+        .min_by(|a, b| a.objectives[index].total_cmp(&b.objectives[index]))
 }
 
 #[cfg(test)]

@@ -126,15 +126,13 @@ impl Domain {
     /// value, clipped range, rounded integer, thresholded flag).
     pub fn snap(&self, v: f64) -> f64 {
         match self {
-            Domain::Ordinal(values) => *values
+            // an empty ordinal domain has nothing to snap to; leave the
+            // value untouched rather than panicking
+            Domain::Ordinal(values) => values
                 .iter()
-                .min_by(|a, b| {
-                    (*a - v)
-                        .abs()
-                        .partial_cmp(&(*b - v).abs())
-                        .expect("finite ordinals")
-                })
-                .expect("non-empty ordinal"),
+                .copied()
+                .min_by(|a, b| (a - v).abs().total_cmp(&(b - v).abs()))
+                .unwrap_or(v),
             Domain::Real { min, max, .. } => v.clamp(*min, *max),
             Domain::Integer { min, max } => (v.round() as i64).clamp(*min, *max) as f64,
             Domain::Flag => {

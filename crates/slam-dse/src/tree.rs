@@ -267,7 +267,7 @@ fn grow(
     for &f in &features {
         // candidate thresholds: midpoints between consecutive sorted values
         let mut values: Vec<f64> = indices.iter().map(|&i| x[i][f]).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.sort_by(|a, b| a.total_cmp(b));
         values.dedup();
         if values.len() < 2 {
             continue;

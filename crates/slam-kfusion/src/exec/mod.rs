@@ -26,14 +26,30 @@
 //! configuration's `threads` knob against the machine size and the
 //! active budget, and is the single thread-count derivation used
 //! everywhere.
+//!
+//! # Correctness tooling
+//!
+//! The pool protocol ([`TaskGroup`], [`PoolShared`]) is written against
+//! the [`sync`] facade, so the identical source compiles either over
+//! `std::sync` (default) or over the in-tree model checker ([`model`],
+//! under `--cfg loom`). `tests/loom_exec.rs` uses the latter to explore
+//! thread interleavings of claiming, completion counting, panic
+//! forwarding, queue stragglers, and shutdown systematically; the
+//! lifetime-erasure safety argument in [`erase_lifetime`] leans on
+//! exactly the invariants that harness checks.
+
+#[cfg(loom)]
+pub mod model;
+mod sync;
 
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use sync::{AtomicUsize, Condvar, Mutex, Ordering};
 
 /// A unit of work submitted to the pool: one boxed closure whose result
 /// is collected in submission order.
@@ -169,13 +185,49 @@ pub fn pool() -> &'static WorkerPool {
     })
 }
 
-/// A type-erased, lifetime-erased task. Safety of the lifetime erasure
-/// is argued at the single construction site in [`WorkerPool::run_tasks`].
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A type-erased, lifetime-erased task, produced only by
+/// [`erase_lifetime`]; see there for why the `'static` is a fiction the
+/// group protocol makes safe.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Erases the borrow lifetime of a pool job, pretending it is `'static`.
+///
+/// This is the workspace's one `unsafe` expression (`#![deny(unsafe_code)]`
+/// everywhere, enforced by `cargo xtask lint`), kept in a private named
+/// helper so the obligation it places on callers is written once:
+///
+/// **Invariant — the caller's stack frame must outlive every access to
+/// the job.** Concretely, [`PoolShared::run_tasks_on`] upholds it
+/// because:
+///
+/// 1. it does not return (or unwind) before [`TaskGroup::wait_finished`]
+///    observes that *every* job of the group has been executed — the
+///    `done` counter counts each claimed index exactly once, and the
+///    finished latch flips only at `done == jobs.len()`;
+/// 2. a job leaves its slot only by being claimed (`Option::take` under
+///    the slot mutex), so after the latch flips no job referencing the
+///    caller's frame exists anywhere;
+/// 3. queue stragglers — workers popping a leftover `Arc<TaskGroup>`
+///    clone after the submitter returned — find `next >= jobs.len()` or
+///    empty slots and touch no borrowed data (the group's own storage is
+///    kept alive by the `Arc` they hold).
+///
+/// The interleaving-sensitive parts of this argument (1–3) are exactly
+/// what `tests/loom_exec.rs` model-checks, and `run_tasks_on` re-asserts
+/// the postcondition with a `debug_assert!` on the completion count.
+#[allow(unsafe_code)]
+fn erase_lifetime(job: Box<dyn FnOnce() + Send + '_>) -> Job {
+    // SAFETY: see the invariant above — upheld by the group protocol in
+    // `PoolShared::run_tasks_on`, the only caller.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+}
 
 /// One batch of jobs submitted together. Workers and the submitter claim
 /// jobs by atomic index; the submitter blocks until every job has run.
-struct TaskGroup {
+///
+/// Public so the model-checking harness (`tests/loom_exec.rs`) can drive
+/// the protocol directly; library callers use [`run_tasks`].
+pub struct TaskGroup {
     jobs: Vec<Mutex<Option<Job>>>,
     next: AtomicUsize,
     done: AtomicUsize,
@@ -185,7 +237,8 @@ struct TaskGroup {
 }
 
 impl TaskGroup {
-    fn new(jobs: Vec<Job>) -> TaskGroup {
+    /// Wraps `jobs` into a claimable group.
+    pub fn new(jobs: Vec<Job>) -> TaskGroup {
         TaskGroup {
             jobs: jobs.into_iter().map(|j| Mutex::new(Some(j))).collect(),
             next: AtomicUsize::new(0),
@@ -199,82 +252,212 @@ impl TaskGroup {
     /// Claims and runs jobs until none are left unclaimed. Each job runs
     /// exactly once; the claimer that completes the last job flips the
     /// finished latch.
-    fn run_available(&self) {
+    pub fn run_available(&self) {
         let total = self.jobs.len();
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= total {
                 return;
             }
-            let job = self.jobs[i].lock().expect("job slot lock").take();
+            let job = self.jobs[i].lock().take();
             if let Some(job) = job {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
-                    let mut slot = self.panic.lock().expect("panic slot lock");
+                    let mut slot = self.panic.lock();
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
                 }
             }
-            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == total {
-                *self.finished.lock().expect("finished lock") = true;
+            let previously_done = self.done.fetch_add(1, Ordering::AcqRel);
+            debug_assert!(
+                previously_done < total,
+                "claim counted twice: done {previously_done} >= total {total}"
+            );
+            if previously_done + 1 == total {
+                *self.finished.lock() = true;
                 self.finished_cv.notify_all();
             }
         }
     }
 
-    fn wait_finished(&self) {
-        let mut finished = self.finished.lock().expect("finished lock");
+    /// Blocks until every job of the group has been executed.
+    pub fn wait_finished(&self) {
+        let mut finished = self.finished.lock();
         while !*finished {
-            finished = self.finished_cv.wait(finished).expect("finished wait");
+            finished = self.finished_cv.wait(finished);
         }
+    }
+
+    /// Number of jobs that have finished executing.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Whether every job slot is empty (claimed). After
+    /// [`wait_finished`](TaskGroup::wait_finished) returns this must
+    /// hold; the model-checking harness asserts it on every schedule.
+    pub fn all_jobs_consumed(&self) -> bool {
+        self.jobs.iter().all(|slot| slot.lock().is_none())
+    }
+
+    /// Takes the first captured job panic, if any job panicked.
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().take()
     }
 }
 
-struct PoolShared {
-    queue: Mutex<VecDeque<Arc<TaskGroup>>>,
+/// Queue state shared between submitters and workers.
+struct PoolQueue {
+    groups: VecDeque<Arc<TaskGroup>>,
+    shutdown: bool,
+}
+
+/// The state shared by a pool's workers and submitters: the group queue
+/// plus the full submission protocol ([`run_tasks_on`]
+/// (PoolShared::run_tasks_on)) and the worker body ([`worker_loop`]
+/// (PoolShared::worker_loop)).
+///
+/// Public so the model-checking harness can run *this exact code* on
+/// model threads; library callers use [`WorkerPool`] / [`run_tasks`].
+pub struct PoolShared {
+    queue: Mutex<PoolQueue>,
     work_cv: Condvar,
+}
+
+impl Default for PoolShared {
+    fn default() -> PoolShared {
+        PoolShared::new()
+    }
+}
+
+impl PoolShared {
+    /// Creates an empty queue in the running state.
+    pub fn new() -> PoolShared {
+        PoolShared {
+            queue: Mutex::new(PoolQueue {
+                groups: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `copies` references to `group` and wakes the workers.
+    /// One queue entry enlists (at most) one worker into the group.
+    pub fn submit(&self, group: &Arc<TaskGroup>, copies: usize) {
+        if copies == 0 {
+            return;
+        }
+        let mut queue = self.queue.lock();
+        for _ in 0..copies {
+            queue.groups.push_back(Arc::clone(group));
+        }
+        drop(queue);
+        self.work_cv.notify_all();
+    }
+
+    /// Asks workers to exit once the queue has drained. Pending groups
+    /// are still popped (their stragglers find empty slots and return
+    /// immediately), so a shutdown never strands a submitter.
+    pub fn request_shutdown(&self) {
+        self.queue.lock().shutdown = true;
+        self.work_cv.notify_all();
+    }
+
+    /// The worker body: pop a group, help drain it, repeat; return once
+    /// shutdown is requested and the queue is empty.
+    pub fn worker_loop(&self) {
+        loop {
+            let group = {
+                let mut queue = self.queue.lock();
+                loop {
+                    if let Some(g) = queue.groups.pop_front() {
+                        break g;
+                    }
+                    if queue.shutdown {
+                        return;
+                    }
+                    queue = self.work_cv.wait(queue);
+                }
+            };
+            group.run_available();
+        }
+    }
+
+    /// The full submission protocol: erase the task lifetimes, enqueue
+    /// the group for `helpers` workers, help drain it, block until every
+    /// job ran, forward the first task panic, and collect the results in
+    /// submission order. The lifetime-erasure safety argument lives in
+    /// [`erase_lifetime`] and is upheld *here*.
+    pub fn run_tasks_on<'a, R: Send>(&self, helpers: usize, tasks: Vec<Task<'a, R>>) -> Vec<R> {
+        let total = tasks.len();
+        let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .zip(results.iter())
+            .map(|(task, slot)| {
+                erase_lifetime(Box::new(move || {
+                    let value = task();
+                    *slot.lock() = Some(value);
+                }))
+            })
+            .collect();
+        let group = Arc::new(TaskGroup::new(jobs));
+        self.submit(&group, helpers);
+        group.run_available();
+        group.wait_finished();
+        debug_assert!(
+            group.completed() == total,
+            "finished latch flipped before all jobs completed"
+        );
+        if let Some(payload) = group.take_panic() {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                // xtask-allow: panic-path — protocol invariant: wait_finished implies every job stored its result; machine-checked by tests/loom_exec.rs
+                slot.into_inner().expect("every task produced a result")
+            })
+            .collect()
+    }
 }
 
 /// A pool of persistent worker threads executing [`TaskGroup`]s.
 ///
 /// Use the process-wide instance via [`pool`] (or the [`run_tasks`] /
-/// [`run_bands`] free functions); constructing extra pools leaks their
-/// worker threads for the rest of the process.
+/// [`run_bands`] free functions); a locally constructed pool should be
+/// retired with [`shutdown`](WorkerPool::shutdown), otherwise its
+/// workers live (idle) for the rest of the process.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     workers: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl WorkerPool {
     /// Creates a pool offering `total_threads` of concurrency: it spawns
-    /// `total_threads - 1` detached workers, the submitting thread being
-    /// the last one. `total_threads <= 1` creates a pool with no workers
+    /// `total_threads - 1` workers, the submitting thread being the last
+    /// one. `total_threads <= 1` creates a pool with no workers
     /// (everything runs on the submitter).
     pub fn new(total_threads: usize) -> WorkerPool {
         let workers = total_threads.saturating_sub(1);
-        let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
-            work_cv: Condvar::new(),
-        });
+        let shared = Arc::new(PoolShared::new());
+        let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name(format!("slam-exec-{i}"))
-                .spawn(move || loop {
-                    let group = {
-                        let mut queue = shared.queue.lock().expect("pool queue lock");
-                        loop {
-                            if let Some(g) = queue.pop_front() {
-                                break g;
-                            }
-                            queue = shared.work_cv.wait(queue).expect("pool queue wait");
-                        }
-                    };
-                    group.run_available();
-                })
+                .spawn(move || shared.worker_loop())
+                // xtask-allow: panic-path — a machine that cannot spawn a thread at startup has no graceful degradation path
                 .expect("failed to spawn pool worker");
+            handles.push(handle);
         }
-        WorkerPool { shared, workers }
+        WorkerPool {
+            shared,
+            workers,
+            handles,
+        }
     }
 
     /// Number of persistent worker threads (not counting submitters).
@@ -288,62 +471,29 @@ impl WorkerPool {
         self.workers + 1
     }
 
+    /// Retires the pool: asks the workers to exit once the queue drains
+    /// and joins them. Must not race in-flight [`run_tasks`]
+    /// (WorkerPool::run_tasks) calls on other threads.
+    pub fn shutdown(self) {
+        self.shared.request_shutdown();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+
     /// See the free function [`run_tasks`].
     pub fn run_tasks<'a, R: Send>(&self, threads: usize, tasks: Vec<Task<'a, R>>) -> Vec<R> {
         let total = tasks.len();
         if threads <= 1 || total <= 1 || self.workers == 0 {
             return tasks.into_iter().map(|task| task()).collect();
         }
-        let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
-        let jobs: Vec<Job> = tasks
-            .into_iter()
-            .zip(results.iter())
-            .map(|(task, slot)| {
-                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let value = task();
-                    *slot.lock().expect("result slot lock") = Some(value);
-                });
-                // SAFETY: the job borrows `tasks`' captures (lifetime 'a)
-                // and `results` (a local). Both strictly outlive the
-                // group: this function does not return before
-                // `wait_finished` observes every job executed (or the
-                // stored panic is resumed), and unclaimed jobs cannot
-                // exist past that point because claiming is the only way
-                // a job leaves its slot and `done` counts every claim.
-                // Queue stragglers (extra Arc clones of the group popped
-                // by workers later) find only empty job slots. Hence no
-                // borrow is ever dereferenced after this frame unwinds.
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
-            })
-            .collect();
-        let group = Arc::new(TaskGroup::new(jobs));
         // enlist at most threads-1 helpers; the submitter is the last thread
         let helpers = (threads - 1).min(self.workers).min(total - 1);
-        if helpers > 0 {
-            let mut queue = self.shared.queue.lock().expect("pool queue lock");
-            for _ in 0..helpers {
-                queue.push_back(Arc::clone(&group));
-            }
-            drop(queue);
-            self.shared.work_cv.notify_all();
-        }
-        group.run_available();
-        group.wait_finished();
-        if let Some(payload) = group.panic.lock().expect("panic slot lock").take() {
-            resume_unwind(payload);
-        }
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot lock")
-                    .expect("every task produced a result")
-            })
-            .collect()
+        self.shared.run_tasks_on(helpers, tasks)
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -494,6 +644,21 @@ mod tests {
             let partials = pool.run_tasks(4, tasks);
             assert_eq!(partials.iter().sum::<u64>(), 49_995_000);
         }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn explicit_pool_shutdown_joins_workers() {
+        let pool = WorkerPool::new(3);
+        let out = pool.run_tasks(
+            3,
+            (0..32usize)
+                .map(|i| Box::new(move || i + 1) as Task<'_, usize>)
+                .collect(),
+        );
+        assert_eq!(out.iter().sum::<usize>(), 32 * 33 / 2);
+        // must return (workers observe the shutdown flag), not hang
+        pool.shutdown();
     }
 
     #[test]

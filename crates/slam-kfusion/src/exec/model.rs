@@ -1,0 +1,564 @@
+//! An in-tree model checker for the exec-pool protocol (`--cfg loom`).
+//!
+//! This module plays the role the `loom` crate plays elsewhere: it
+//! replaces the pool's sync primitives ([`super::sync`]) with
+//! instrumented versions whose every visible operation — atomic access,
+//! mutex acquire/release, condvar wait/notify, thread spawn/exit — hands
+//! control to a deterministic scheduler, and then explores the space of
+//! schedules systematically. It is vendored because this workspace must
+//! build in offline environments; the `loom` cfg name is kept so the
+//! real crate can later be swapped in behind the same facade.
+//!
+//! # How exploration works
+//!
+//! One *schedule* is a sequence of decisions: at every yield point the
+//! scheduler picks which runnable model thread executes its next
+//! operation. Threads are real OS threads, but exactly one holds the
+//! run token at any time, so execution is serial and deterministic;
+//! replaying a decision prefix reproduces a run exactly. [`check`]
+//! performs a depth-first search over decision sequences: run to
+//! completion with first-choice defaults beyond the replayed prefix,
+//! then backtrack to the deepest decision with an untried alternative.
+//!
+//! The search is *exhaustive up to a preemption bound* (CHESS-style
+//! iterative context bounding): voluntary switches (a thread blocking or
+//! exiting) are always free, while switching away from a still-runnable
+//! thread consumes one unit of the preemption budget. With the budget
+//! `None` the exploration is fully exhaustive. Empirically almost all
+//! protocol bugs manifest within two or three preemptions, and the
+//! bounded space stays small enough to enumerate completely —
+//! [`Report::schedules`] says how many schedules a run covered, and
+//! exceeding [`CheckOptions::max_schedules`] fails the check rather than
+//! silently truncating it.
+//!
+//! # What the model does and does not check
+//!
+//! Checked: safety and liveness of the *protocol* — each job claimed and
+//! run exactly once, `wait_finished` returning only after the last job,
+//! panic capture and re-throw, stragglers finding only empty slots,
+//! worker shutdown, and absence of deadlock (a state with no runnable
+//! thread and unfinished work fails the run, as does any unexpected
+//! panic, with the full decision trace printed).
+//!
+//! Not checked: weak-memory effects. The model executes sequentially
+//! consistently and ignores `Ordering` arguments, and it does not inject
+//! spurious condvar wakeups (the protocol's wait loops tolerate them,
+//! but that robustness is not what is being proven here). The pool's
+//! cross-thread data handoff rides entirely on the mutex/condvar
+//! acquire-release edges that the model does explore.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Exploration parameters for [`check_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// Maximum number of preemptive context switches per schedule;
+    /// `None` explores the full (unbounded) interleaving space.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules: exceeding it fails the check, so
+    /// an "exhaustive" result can never silently mean "truncated".
+    pub max_schedules: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions {
+            preemption_bound: Some(2),
+            max_schedules: 500_000,
+        }
+    }
+}
+
+/// Outcome of a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+}
+
+/// Explores `f` under the default [`CheckOptions`]. Panics — failing the
+/// enclosing test — if any schedule deadlocks or panics unexpectedly.
+pub fn check(f: impl Fn() + Send + Sync + 'static) -> Report {
+    check_with(CheckOptions::default(), f)
+}
+
+/// Explores `f` under the given options; see the module docs. The
+/// closure runs once per schedule as model thread 0 and may create model
+/// threads with [`spawn`]; all model threads must terminate for a
+/// schedule to complete.
+pub fn check_with(opts: CheckOptions, f: impl Fn() + Send + Sync + 'static) -> Report {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        assert!(
+            schedules <= opts.max_schedules,
+            "model check: schedule budget ({}) exhausted — exploration would be incomplete; \
+             shrink the scenario or raise max_schedules",
+            opts.max_schedules
+        );
+        let ctrl = Arc::new(Controller::new(opts.preemption_bound, replay.clone()));
+        let outcome = run_schedule(&ctrl, Arc::clone(&f));
+        if let Some(message) = outcome.failure {
+            panic!(
+                "model check failed on schedule {schedules}: {message}\n\
+                 decision trace (index into runnable set at each yield): {:?}",
+                outcome.trace.iter().map(|d| d.chosen).collect::<Vec<_>>()
+            );
+        }
+        match next_replay(&outcome.trace) {
+            Some(next) => replay = next,
+            None => return Report { schedules },
+        }
+    }
+}
+
+/// Spawns a model thread running `f`. Must be called from inside a
+/// [`check`] closure; the thread participates in the controlled
+/// schedule and must terminate for the schedule to complete.
+pub fn spawn(f: impl FnOnce() + Send + 'static) {
+    let (ctrl, _me) = current();
+    let tid = {
+        let mut st = ctrl.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    };
+    let ctrl2 = Arc::clone(&ctrl);
+    let handle = std::thread::Builder::new()
+        .name(format!("model-{tid}"))
+        .spawn(move || thread_main(ctrl2, tid, f))
+        .expect("failed to spawn model thread");
+    ctrl.state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .handles
+        .push(handle);
+    // make the spawn itself a visible operation
+    ctrl.yield_point();
+}
+
+/// A scheduling decision: which member of the allowed-thread set ran,
+/// and how many alternatives existed (for backtracking).
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    allowed: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCv(usize),
+    Finished,
+}
+
+struct CtrlState {
+    threads: Vec<TState>,
+    /// Which thread holds the run token.
+    active: Option<usize>,
+    /// Thread scheduled by the previous decision (preemption accounting).
+    last: Option<usize>,
+    preemptions: usize,
+    bound: Option<usize>,
+    replay: Vec<usize>,
+    trace: Vec<Decision>,
+    step: usize,
+    /// Per-mutex held flags; condvar/mutex wait sets live in `threads`.
+    mutexes: Vec<bool>,
+    condvars: usize,
+    failure: Option<String>,
+    done: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Controller {
+    state: StdMutex<CtrlState>,
+    cv: StdCondvar,
+}
+
+struct Outcome {
+    trace: Vec<Decision>,
+    failure: Option<String>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Controller>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Controller>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("model sync primitive used outside a model run (missing model::check)")
+    })
+}
+
+fn run_schedule(ctrl: &Arc<Controller>, f: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+    {
+        let mut st = ctrl.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.threads.push(TState::Runnable); // tid 0: the root closure
+        let ctrl2 = Arc::clone(ctrl);
+        let handle = std::thread::Builder::new()
+            .name("model-0".into())
+            .spawn(move || thread_main(ctrl2, 0, move || f()))
+            .expect("failed to spawn model root thread");
+        st.handles.push(handle);
+        ctrl.pick_next(&mut st); // initial decision: start the root
+    }
+    ctrl.cv.notify_all();
+    let mut st = ctrl.state.lock().unwrap_or_else(PoisonError::into_inner);
+    while !st.done {
+        st = ctrl.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+    let trace = std::mem::take(&mut st.trace);
+    let failure = st.failure.take();
+    let handles = std::mem::take(&mut st.handles);
+    drop(st);
+    for h in handles {
+        let _ = h.join();
+    }
+    Outcome { trace, failure }
+}
+
+/// Computes the deepest-first next decision prefix, or `None` when the
+/// whole (bounded) space has been explored.
+fn next_replay(trace: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        if trace[i].chosen + 1 < trace[i].allowed {
+            let mut replay: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+            replay.push(trace[i].chosen + 1);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+fn thread_main(ctrl: Arc<Controller>, tid: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctrl), tid)));
+    ctrl.wait_for_token(tid);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let mut st = ctrl.state.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Err(payload) = result {
+        if st.failure.is_none() && !st.done {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            st.failure = Some(format!("model thread {tid} panicked: {msg}"));
+        }
+        // abort the whole run: every waiting thread unwinds and exits
+        st.done = true;
+    }
+    st.threads[tid] = TState::Finished;
+    if !st.done {
+        ctrl.pick_next(&mut st);
+    }
+    drop(st);
+    ctrl.cv.notify_all();
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Controller {
+    fn new(bound: Option<usize>, replay: Vec<usize>) -> Controller {
+        Controller {
+            state: StdMutex::new(CtrlState {
+                threads: Vec::new(),
+                active: None,
+                last: None,
+                preemptions: 0,
+                bound,
+                replay,
+                trace: Vec::new(),
+                step: 0,
+                mutexes: Vec::new(),
+                condvars: 0,
+                failure: None,
+                done: false,
+                handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Picks the next thread to run. Called with the state lock held by
+    /// a thread that is giving up the token (or by the run driver).
+    fn pick_next(&self, st: &mut CtrlState) {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == TState::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|&t| t == TState::Finished) {
+                st.done = true;
+            } else if st.failure.is_none() {
+                st.failure = Some(format!(
+                    "deadlock: no runnable thread (states: {:?})",
+                    st.threads
+                ));
+                st.done = true;
+            } else {
+                st.done = true;
+            }
+            st.active = None;
+            return;
+        }
+        // preemption bounding: once the budget is spent, a still-runnable
+        // previous thread must keep running (voluntary switches stay free)
+        let allowed: Vec<usize> = match (st.bound, st.last) {
+            (Some(b), Some(l)) if st.preemptions >= b && st.threads[l] == TState::Runnable => {
+                vec![l]
+            }
+            _ => runnable,
+        };
+        let idx = if st.step < st.replay.len() {
+            st.replay[st.step].min(allowed.len() - 1)
+        } else {
+            0
+        };
+        let chosen = allowed[idx];
+        st.trace.push(Decision {
+            chosen: idx,
+            allowed: allowed.len(),
+        });
+        st.step += 1;
+        if let Some(l) = st.last {
+            if l != chosen && st.threads[l] == TState::Runnable {
+                st.preemptions += 1;
+            }
+        }
+        st.last = Some(chosen);
+        st.active = Some(chosen);
+    }
+
+    /// Blocks the calling OS thread until model thread `tid` holds the
+    /// run token. Panics (unwinding the model thread out of the run) if
+    /// the run was aborted first.
+    fn wait_for_token(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while st.active != Some(tid) && !st.done {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.done && st.active != Some(tid) {
+            drop(st);
+            panic!("model run aborted");
+        }
+    }
+
+    /// One scheduling decision: the calling thread stays runnable and
+    /// re-runs once (re)chosen. Every visible operation performs this
+    /// first, which is what makes op-granularity interleaving complete.
+    fn yield_point(&self) {
+        let (ctrl, me) = current();
+        debug_assert!(std::ptr::eq(self, &*ctrl));
+        {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            self.pick_next(&mut st);
+        }
+        self.cv.notify_all();
+        self.wait_for_token(me);
+    }
+
+    /// Acquires model mutex `id` for the calling thread, blocking (and
+    /// re-contending on wakeup) while it is held. No yield of its own:
+    /// callers decide whether the acquire is a fresh visible op.
+    fn acquire_mutex(&self, id: usize) {
+        let (_, me) = current();
+        loop {
+            {
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if !st.mutexes[id] {
+                    st.mutexes[id] = true;
+                    return;
+                }
+                st.threads[me] = TState::BlockedMutex(id);
+                self.pick_next(&mut st);
+            }
+            self.cv.notify_all();
+            self.wait_for_token(me);
+        }
+    }
+
+    /// Releases model mutex `id`: waiters become runnable and re-contend
+    /// when next scheduled.
+    fn release_mutex(&self, id: usize) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.mutexes[id] = false;
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedMutex(id) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+}
+
+/// The instrumented primitives exported through [`super::sync`] under
+/// `--cfg loom`. API-compatible with the `std` backend.
+pub(crate) mod sync {
+    use super::*;
+
+    /// Model mutex: data lives in a host mutex (uncontended — only the
+    /// token holder touches it), blocking semantics live in the model.
+    pub(crate) struct Mutex<T> {
+        id: usize,
+        data: StdMutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub(crate) fn new(value: T) -> Mutex<T> {
+            let (ctrl, _) = current();
+            let mut st = ctrl.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.mutexes.push(false);
+            let id = st.mutexes.len() - 1;
+            drop(st);
+            Mutex {
+                id,
+                data: StdMutex::new(value),
+            }
+        }
+
+        pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+            let (ctrl, _) = current();
+            ctrl.yield_point();
+            ctrl.acquire_mutex(self.id);
+            MutexGuard {
+                mutex: self,
+                inner: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
+            }
+        }
+
+        pub(crate) fn into_inner(self) -> T {
+            self.data
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Guard for the model [`Mutex`]; releases on drop.
+    pub(crate) struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard data present")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard data present")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner = None; // release the host lock first
+            let (ctrl, _) = current();
+            ctrl.release_mutex(self.mutex.id);
+        }
+    }
+
+    /// Model condvar: precise wakeups, no spurious ones (see the module
+    /// docs for why that is sound here).
+    pub(crate) struct Condvar {
+        id: usize,
+    }
+
+    impl Condvar {
+        pub(crate) fn new() -> Condvar {
+            let (ctrl, _) = current();
+            let mut st = ctrl.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.condvars += 1;
+            Condvar {
+                id: st.condvars - 1,
+            }
+        }
+
+        /// Atomically releases the guard's mutex and blocks until
+        /// notified, then re-acquires.
+        pub(crate) fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let (ctrl, _) = current();
+            let mutex = guard.mutex;
+            ctrl.yield_point();
+            // release + block must be one atomic transition or a wakeup
+            // between them would be lost
+            guard.inner = None;
+            {
+                let mut st = ctrl.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.mutexes[mutex.id] = false;
+                let (_, me) = current();
+                for (t, state) in st.threads.iter_mut().enumerate() {
+                    if t != me && *state == TState::BlockedMutex(mutex.id) {
+                        *state = TState::Runnable;
+                    }
+                }
+                st.threads[me] = TState::BlockedCv(self.id);
+                ctrl.pick_next(&mut st);
+            }
+            ctrl.cv.notify_all();
+            let (_, me) = current();
+            ctrl.wait_for_token(me);
+            std::mem::forget(guard); // its Drop would double-release
+            ctrl.acquire_mutex(mutex.id);
+            MutexGuard {
+                mutex,
+                inner: Some(mutex.data.lock().unwrap_or_else(PoisonError::into_inner)),
+            }
+        }
+
+        /// Wakes every thread waiting on this condvar; each re-contends
+        /// for its mutex when next scheduled.
+        pub(crate) fn notify_all(&self) {
+            let (ctrl, _) = current();
+            ctrl.yield_point();
+            let mut st = ctrl.state.lock().unwrap_or_else(PoisonError::into_inner);
+            for t in st.threads.iter_mut() {
+                if *t == TState::BlockedCv(self.id) {
+                    *t = TState::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Model atomic: a plain value behind the run token; every access is
+    /// a scheduling decision, orderings are ignored (the model is
+    /// sequentially consistent).
+    pub(crate) struct AtomicUsize {
+        value: StdMutex<usize>,
+    }
+
+    impl AtomicUsize {
+        pub(crate) fn new(value: usize) -> AtomicUsize {
+            AtomicUsize {
+                value: StdMutex::new(value),
+            }
+        }
+
+        pub(crate) fn load(&self, _order: Ordering) -> usize {
+            let (ctrl, _) = current();
+            ctrl.yield_point();
+            *self.value.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub(crate) fn fetch_add(&self, add: usize, _order: Ordering) -> usize {
+            let (ctrl, _) = current();
+            ctrl.yield_point();
+            let mut v = self.value.lock().unwrap_or_else(PoisonError::into_inner);
+            let old = *v;
+            *v += add;
+            old
+        }
+    }
+}
+
+// `model` is test infrastructure compiled only under `--cfg loom`: its
+// failure-reporting mechanism IS the panic, like any assertion framework.
+// (The waivers above each panic site would drown the file; the policy
+// exemption lives in xtask's `walk::classify` instead.)

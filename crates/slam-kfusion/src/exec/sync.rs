@@ -1,0 +1,102 @@
+//! Synchronisation facade: the exec pool's primitives, swappable between
+//! `std` and the loom model checker.
+//!
+//! The pool's protocol code ([`super::TaskGroup`], [`super::PoolShared`])
+//! is written exclusively against this module, so the *same* source runs
+//! under two backends:
+//!
+//! * **default** — thin wrappers over `std::sync`. The wrappers recover
+//!   from mutex poisoning via [`std::sync::PoisonError::into_inner`]
+//!   instead of panicking: every mutex in the pool guards plain state
+//!   (job slots, counters, latches) whose invariants are maintained
+//!   before any user code can panic, and task panics are already caught
+//!   and re-thrown by the group protocol, so propagating poison would
+//!   only turn one reported panic into a cascade.
+//! * **`--cfg loom`** — the in-tree model checker's instrumented
+//!   primitives ([`super::model::sync`]), which hand every visible
+//!   operation to a controlled scheduler so `tests/loom_exec.rs` can
+//!   exhaustively explore interleavings of the pool protocol. The `loom`
+//!   cfg name is kept so the real `loom` crate can be swapped in as a
+//!   drop-in backend where its dependency is available; the vendored
+//!   checker exists because this workspace builds in offline
+//!   environments.
+//!
+//! Only the operations the pool actually uses are exposed; keeping the
+//! surface minimal is what keeps the model sound and the swap honest.
+
+#[cfg(loom)]
+pub(crate) use super::model::sync::{AtomicUsize, Condvar, Mutex};
+
+/// Memory orderings are forwarded to `std` untouched; the model backend
+/// executes sequentially consistently and ignores them (documented in
+/// [`super::model`]).
+pub(crate) use std::sync::atomic::Ordering;
+
+#[cfg(not(loom))]
+pub(crate) use std_impl::{AtomicUsize, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+mod std_impl {
+    use std::sync::atomic::Ordering;
+    use std::sync::PoisonError;
+
+    /// Poison-recovering wrapper over [`std::sync::Mutex`].
+    #[derive(Debug, Default)]
+    pub(crate) struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard returned by [`Mutex::lock`].
+    pub(crate) type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        pub(crate) fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Locks, recovering the guard if a previous holder panicked.
+        pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Consumes the mutex, recovering the value if poisoned.
+        pub(crate) fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Wrapper over [`std::sync::Condvar`] pairing with [`Mutex`].
+    #[derive(Debug, Default)]
+    pub(crate) struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub(crate) fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Waits on the condition, recovering the guard on poison.
+        pub(crate) fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub(crate) fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    /// Direct re-export shim over [`std::sync::atomic::AtomicUsize`].
+    #[derive(Debug, Default)]
+    pub(crate) struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+    impl AtomicUsize {
+        pub(crate) fn new(value: usize) -> AtomicUsize {
+            AtomicUsize(std::sync::atomic::AtomicUsize::new(value))
+        }
+
+        pub(crate) fn load(&self, order: Ordering) -> usize {
+            self.0.load(order)
+        }
+
+        pub(crate) fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+            self.0.fetch_add(value, order)
+        }
+    }
+}

@@ -78,9 +78,11 @@ impl KinectFusion {
         sensor_camera: PinholeCamera,
         initial_pose: Se3,
     ) -> KinectFusion {
-        config
-            .validate()
-            .expect("invalid KinectFusion configuration");
+        let validation = config.validate();
+        assert!(
+            validation.is_ok(),
+            "invalid KinectFusion configuration: {validation:?}"
+        );
         let compute_camera = sensor_camera.scaled_down(config.compute_size_ratio);
         let pyramid_cameras = [
             compute_camera,

@@ -320,8 +320,8 @@ impl TsdfVolume {
         if bytes.len() < 12 || &bytes[..4] != b"TSDF" {
             return Err("not a TSDF volume dump".into());
         }
-        let resolution = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
-        let size = f32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let resolution = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+        let size = f32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
         if resolution == 0 || resolution > 1024 {
             return Err(format!("implausible resolution {resolution}"));
         }
@@ -337,7 +337,7 @@ impl TsdfVolume {
             (0..n)
                 .map(|i| {
                     let at = offset + i * 4;
-                    f32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+                    f32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
                 })
                 .collect()
         };

@@ -1,0 +1,269 @@
+//! Model-checked exploration of the exec-pool protocol.
+//!
+//! Compiled (and run in CI) only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p slam-kfusion --test loom_exec
+//! ```
+//!
+//! Under that cfg the pool's sync facade swaps `std::sync` for the
+//! in-tree model checker (`slam_kfusion::exec::model`), and these tests
+//! drive the *production* protocol code — `PoolShared::worker_loop`,
+//! `PoolShared::run_tasks_on` (including the lifetime-erasure site),
+//! `TaskGroup` claiming/completion — across systematically explored
+//! thread interleavings. Assertions inside each scenario hold on every
+//! schedule; a deadlock or unexpected panic on any schedule fails the
+//! test with the offending decision trace.
+//!
+//! Scenario sizes are deliberately tiny: model checking pays
+//! exponentially for every extra visible operation. Two jobs and one or
+//! two workers already cover every protocol transition (claim races,
+//! last-job latching, straggler pops, shutdown wakeups).
+
+#![cfg(loom)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+
+use slam_kfusion::exec::model::{self, CheckOptions};
+use slam_kfusion::exec::{Job, PoolShared, Task, TaskGroup};
+
+/// Silences panic reports from model threads (named `model-N`): task
+/// panics are *scenario inputs* here, re-thrown and asserted on by the
+/// submitter, and aborted schedules unwind every model thread by design.
+/// Panics on the test thread itself (real failures) still print.
+fn quiet_model_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_model_thread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("model-"));
+            if !on_model_thread {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The core protocol, fully exhaustively (no preemption bound): one
+/// worker and the submitter race to claim a single job directly on a
+/// `TaskGroup`; on every interleaving the job runs exactly once, the
+/// finished latch flips only after it ran, and no slot stays occupied.
+#[test]
+fn claim_and_latch_exhaustive() {
+    quiet_model_panics();
+    let report = model::check_with(
+        CheckOptions {
+            preemption_bound: None,
+            max_schedules: 2_000_000,
+        },
+        || {
+            // instrumentation uses plain std atomics: invisible to the
+            // scheduler, so they cost no extra interleavings
+            let runs = Arc::new(AtomicUsize::new(0));
+            let r = Arc::clone(&runs);
+            let group = Arc::new(TaskGroup::new(vec![Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }) as Job]));
+            let helper = Arc::clone(&group);
+            model::spawn(move || helper.run_available());
+            group.run_available();
+            group.wait_finished();
+            assert_eq!(runs.load(Ordering::SeqCst), 1, "job must run exactly once");
+            assert_eq!(group.completed(), 1);
+            assert!(group.all_jobs_consumed());
+        },
+    );
+    assert!(
+        report.schedules > 1,
+        "exploration found only one schedule — the model is not interleaving"
+    );
+}
+
+/// The full submission protocol over the queue: a worker runs
+/// `worker_loop`, the submitter runs `run_tasks_on` (lifetime-erased
+/// borrowing jobs, helper enlistment, result collection) and then shuts
+/// the pool down. Every schedule must see each job run once, results in
+/// submission order, and the worker exit (a stuck worker deadlocks the
+/// model and fails the test).
+#[test]
+fn submission_protocol_with_worker() {
+    quiet_model_panics();
+    model::check(|| {
+        let shared = Arc::new(PoolShared::new());
+        let worker = Arc::clone(&shared);
+        model::spawn(move || worker.worker_loop());
+        let runs = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        let tasks: Vec<Task<'_, usize>> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                Box::new(move || {
+                    slot.fetch_add(1, Ordering::SeqCst);
+                    i * 10
+                }) as Task<'_, usize>
+            })
+            .collect();
+        let out = shared.run_tasks_on(1, tasks);
+        assert_eq!(out, vec![0, 10], "results must arrive in submission order");
+        for (i, slot) in runs.iter().enumerate() {
+            assert_eq!(
+                slot.load(Ordering::SeqCst),
+                1,
+                "job {i} must run exactly once"
+            );
+        }
+        shared.request_shutdown();
+    });
+}
+
+/// Queue stragglers: more queue entries than workers means a leftover
+/// `Arc<TaskGroup>` copy is popped after the group already finished —
+/// possibly after `run_tasks_on` returned and the borrowed task storage
+/// is gone. The straggler must find only empty job slots (invariant 3 of
+/// the `erase_lifetime` safety argument); running anything twice would
+/// double-count `runs` and fail the exactly-once assertion.
+#[test]
+fn queue_straggler_finds_empty_slots() {
+    quiet_model_panics();
+    model::check(|| {
+        let shared = Arc::new(PoolShared::new());
+        let worker = Arc::clone(&shared);
+        model::spawn(move || worker.worker_loop());
+        let runs = AtomicUsize::new(0);
+        let tasks: Vec<Task<'_, ()>> = (0..2)
+            .map(|_| {
+                Box::new(|| {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                }) as Task<'_, ()>
+            })
+            .collect();
+        // two queue entries, one worker: the second entry is a guaranteed
+        // straggler on every schedule
+        let out = shared.run_tasks_on(2, tasks);
+        assert_eq!(out.len(), 2);
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "each job exactly once");
+        shared.request_shutdown();
+    });
+}
+
+/// Panic forwarding: one of the two jobs panics. On every schedule the
+/// panic must be captured by the claimer (worker or submitter), the
+/// group must still finish (the non-panicking job runs, the latch
+/// flips), and `run_tasks_on` must re-throw the original payload to the
+/// submitter after the group completed.
+#[test]
+fn task_panic_is_captured_and_rethrown() {
+    quiet_model_panics();
+    model::check(|| {
+        let shared = Arc::new(PoolShared::new());
+        let worker = Arc::clone(&shared);
+        model::spawn(move || worker.worker_loop());
+        let survivor_ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Task<'_, ()>> = vec![
+                Box::new(|| panic!("injected task panic")),
+                Box::new(|| {
+                    survivor_ran.fetch_add(1, Ordering::SeqCst);
+                }),
+            ];
+            shared.run_tasks_on(1, tasks);
+        }));
+        let payload = result.expect_err("the task panic must reach the submitter");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "injected task panic");
+        assert_eq!(
+            survivor_ran.load(Ordering::SeqCst),
+            1,
+            "the panic must not prevent the other job from running"
+        );
+        shared.request_shutdown();
+    });
+}
+
+/// Shutdown liveness with multiple workers: both workers must observe
+/// the shutdown flag and exit on every interleaving of the request with
+/// their wait/wake cycle — a missed wakeup here would deadlock the model
+/// (no runnable thread, workers not finished) and fail the test.
+#[test]
+fn shutdown_wakes_all_workers() {
+    quiet_model_panics();
+    model::check(|| {
+        let shared = Arc::new(PoolShared::new());
+        for _ in 0..2 {
+            let worker = Arc::clone(&shared);
+            model::spawn(move || worker.worker_loop());
+        }
+        let ran = AtomicUsize::new(0);
+        let tasks: Vec<Task<'_, ()>> = (0..2)
+            .map(|_| {
+                Box::new(|| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }) as Task<'_, ()>
+            })
+            .collect();
+        shared.run_tasks_on(2, tasks);
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+        shared.request_shutdown();
+    });
+}
+
+/// Nested submission: a job executed by the pool submits its own task
+/// group to the same pool and drains it in place. The claimer of the
+/// outer job must complete the inner group without deadlock on every
+/// schedule — this is the "nesting cannot deadlock" guarantee from the
+/// module docs.
+#[test]
+fn nested_submission_cannot_deadlock() {
+    quiet_model_panics();
+    model::check(|| {
+        let shared = Arc::new(PoolShared::new());
+        let worker = Arc::clone(&shared);
+        model::spawn(move || worker.worker_loop());
+        let inner_ran = Arc::new(AtomicUsize::new(0));
+        let outer: Vec<Task<'_, usize>> = vec![{
+            let shared = Arc::clone(&shared);
+            let inner_ran = Arc::clone(&inner_ran);
+            Box::new(move || {
+                let inner: Vec<Task<'_, usize>> = vec![{
+                    let inner_ran = Arc::clone(&inner_ran);
+                    Box::new(move || {
+                        inner_ran.fetch_add(1, Ordering::SeqCst);
+                        7usize
+                    }) as Task<'_, usize>
+                }];
+                shared.run_tasks_on(1, inner)[0]
+            })
+        }];
+        let out = shared.run_tasks_on(1, outer);
+        assert_eq!(out, vec![7]);
+        assert_eq!(inner_ran.load(Ordering::SeqCst), 1);
+        shared.request_shutdown();
+    });
+}
+
+/// The model checker itself must not be vacuous: a protocol *misuse* —
+/// waiting on a group nobody executes — has to be reported as a
+/// deadlock, with the decision trace, rather than hanging or passing.
+#[test]
+fn model_reports_deadlock_with_trace() {
+    quiet_model_panics();
+    let result = catch_unwind(|| {
+        model::check(|| {
+            let group = Arc::new(TaskGroup::new(vec![Box::new(|| ()) as Job]));
+            group.wait_finished(); // nobody ever runs the job
+        });
+    });
+    let payload = result.expect_err("an all-blocked state must fail the check");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("deadlock") && msg.contains("decision trace"),
+        "unexpected failure message: {msg}"
+    );
+}

@@ -126,9 +126,11 @@ impl PinholeCamera {
 
     /// The unit ray direction through pixel `(u, v)` (pixel centres).
     pub fn ray_direction(&self, u: f32, v: f32) -> Vec3 {
+        // the z component is 1, so the norm is >= 1 and normalisation
+        // cannot fail; the optical-axis fallback is unreachable
         Vec3::new((u - self.cx) / self.fx, (v - self.cy) / self.fy, 1.0)
             .normalized()
-            .expect("ray through pinhole is never degenerate")
+            .unwrap_or(Vec3::Z)
     }
 
     /// True when the (sub-pixel) coordinate lies inside the image.

@@ -285,7 +285,7 @@ pub fn jacobi_eigen<const N: usize>(a: [[f64; N]; N]) -> ([f64; N], [[f64; N]; N
     for (i, slot) in order.iter_mut().enumerate() {
         *slot = i;
     }
-    order.sort_by(|&i, &j| m[j][j].partial_cmp(&m[i][i]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| m[j][j].total_cmp(&m[i][i]));
     let mut values = [0.0; N];
     let mut vectors = [[0.0; N]; N];
     for (rank, &i) in order.iter().enumerate() {

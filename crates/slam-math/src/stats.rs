@@ -163,7 +163,7 @@ impl Summary {
         if v.is_empty() {
             return Summary::default();
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let count = v.len();
         let mean = v.iter().sum::<f64>() / count as f64;
         let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
@@ -215,7 +215,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 /// Linear-interpolated percentile of an unsorted slice (copies and sorts).
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    v.sort_by(|a, b| a.total_cmp(b));
     percentile_sorted(&v, p)
 }
 

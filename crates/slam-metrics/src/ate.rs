@@ -147,9 +147,17 @@ pub fn ate(
 /// Computes the rigid transform `T` minimising
 /// `Σ ‖T·est_i − gt_i‖²` over the trajectory positions (Horn's
 /// closed-form quaternion solution, no scale).
+/// Degenerate input (empty or length-mismatched trajectories, which the
+/// [`ate`] entry point already rejects) yields the identity transform.
 pub fn horn_alignment(estimated: &[Se3], ground_truth: &[Se3]) -> Se3 {
-    assert_eq!(estimated.len(), ground_truth.len());
-    assert!(!estimated.is_empty());
+    debug_assert_eq!(
+        estimated.len(),
+        ground_truth.len(),
+        "trajectory lengths must match"
+    );
+    if estimated.is_empty() || estimated.len() != ground_truth.len() {
+        return Se3::IDENTITY;
+    }
     let n = estimated.len() as f32;
     let mean = |poses: &[Se3]| -> Vec3 {
         poses

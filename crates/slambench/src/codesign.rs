@@ -19,7 +19,7 @@ use slam_dse::space::{Domain, ParameterSpace};
 use slam_kfusion::KFusionConfig;
 use slam_power::DeviceModel;
 use slam_scene::dataset::SyntheticDataset;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The joint algorithm × architecture space: the SLAMBench algorithmic
 /// parameters plus the DVFS frequency scale.
@@ -121,12 +121,7 @@ impl CoDesignOutcome {
             .filter(|p| {
                 p.measured.max_ate_m <= self.accuracy_limit && p.measured.watts <= self.power_budget
             })
-            .min_by(|a, b| {
-                a.measured
-                    .runtime_s
-                    .partial_cmp(&b.measured.runtime_s)
-                    .expect("finite runtimes")
-            })
+            .min_by(|a, b| a.measured.runtime_s.total_cmp(&b.measured.runtime_s))
     }
 }
 
@@ -143,7 +138,9 @@ pub fn codesign_explore(
 ) -> CoDesignOutcome {
     let space = codesign_space();
     let mut learner = ActiveLearner::new(space, 3, options.learner);
-    let mut cache: HashMap<Vec<u64>, PipelineRun> = HashMap::new();
+    // BTreeMap, not HashMap: the memo is keyed by float bit patterns and
+    // a nondeterministic iteration order must never leak into outputs
+    let mut cache: BTreeMap<Vec<u64>, PipelineRun> = BTreeMap::new();
     let mut points: Vec<CoDesignPoint> = Vec::new();
     let pipeline_budget = options.pipeline_budget;
     learner.run(options.evaluation_budget, |x| {

@@ -100,11 +100,7 @@ impl ExploreOutcome {
         self.measured
             .iter()
             .filter(|m| m.is_accurate(self.accuracy_limit))
-            .min_by(|a, b| {
-                a.runtime_s
-                    .partial_cmp(&b.runtime_s)
-                    .expect("finite runtimes")
-            })
+            .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
     }
 
     /// The non-dominated subset over (runtime, maxATE, watts).

@@ -69,7 +69,7 @@ pub fn memory_capped_volume(requested: usize, ram_mb: usize) -> usize {
             return vr;
         }
     }
-    *VOLUME_LADDER.last().expect("ladder is non-empty")
+    VOLUME_LADDER[VOLUME_LADDER.len() - 1]
 }
 
 /// Runs the Figure 3 study: the default and tuned configurations across

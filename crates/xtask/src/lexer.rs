@@ -1,0 +1,401 @@
+//! A minimal Rust lexer for source-level lints.
+//!
+//! This is deliberately *not* a full parser (the tooling must build with
+//! zero dependencies, so `syn` is out): it tokenises a source file into
+//! identifiers and punctuation with line numbers, stripping comments,
+//! strings, char literals and lifetimes, which is exactly the level of
+//! fidelity the invariant lints need. Doc comments and string contents can
+//! therefore never produce false positives, and `#[cfg(test)]` item spans
+//! can be computed by brace matching over the token stream.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier, keyword or numeric literal.
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `#`, `(`, `{`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+/// Tokenises `text`, stripping comments, string/char literals and
+/// lifetimes. Unterminated constructs simply end at EOF — a linter must
+/// be robust to files that do not parse.
+pub fn lex(text: &str) -> Vec<Token> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // nested block comments
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+            }
+            '\'' => {
+                i = skip_char_or_lifetime(&chars, i, &mut line);
+            }
+            _ if c.is_alphanumeric() || c == '_' => {
+                let start_line = line;
+                let mut ident = String::new();
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    ident.push(chars[i]);
+                    i += 1;
+                }
+                // string-literal prefixes: r"", r#""#, b"", br"", b'x'
+                let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "rb");
+                if is_str_prefix && i < n && (chars[i] == '"' || chars[i] == '#') {
+                    // count hashes, then require an opening quote
+                    let mut j = i;
+                    let mut hashes = 0usize;
+                    while j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '"' {
+                        i = skip_raw_string(&chars, j, hashes, &mut line);
+                        continue;
+                    }
+                    if hashes > 0 {
+                        // `r#ident`: a raw identifier — consume the hashes
+                        // and keep collecting the identifier
+                        i = j;
+                        ident.clear();
+                        while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                            ident.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                } else if is_str_prefix && ident == "b" && i < n && chars[i] == '\'' {
+                    i = skip_char_or_lifetime(&chars, i, &mut line);
+                    continue;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(ident),
+                    line: start_line,
+                });
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string `"…"##` body starting at the opening quote, with
+/// `hashes` trailing hashes required to close it.
+fn skip_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < chars.len() && chars[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Disambiguates a `'` into a char literal (skipped entirely) or a
+/// lifetime (only the quote is skipped; the identifier lexes normally,
+/// which is harmless for the lints).
+fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    if i + 1 < n && chars[i + 1] == '\\' {
+        // escaped char literal: scan to the closing quote
+        let mut j = i + 2;
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '\'' => return j + 1,
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        return j;
+    }
+    if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        return i + 3; // plain one-char literal like 'a'
+    }
+    i + 1 // lifetime (or stray quote)
+}
+
+/// Returns the set of 1-based lines covered by `#[cfg(test)]` items
+/// (typically the trailing `mod tests { … }` block), as an ordered list
+/// of inclusive line ranges.
+pub fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test_attr(tokens, i) {
+            let start_line = tokens[i].line;
+            let end = item_end(tokens, after_attr);
+            let end_line = if end > 0 && end <= tokens.len() {
+                tokens[end - 1].line
+            } else {
+                start_line
+            };
+            spans.push((start_line, end_line));
+            i = end.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// If `tokens[i..]` starts with an attribute `#[cfg(…test…)]`, returns
+/// the index just past the closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if !(tokens.get(i)?.is_punct('#') && tokens.get(i + 1)?.is_punct('[')) {
+        return None;
+    }
+    if !tokens.get(i + 2)?.is_ident("cfg") {
+        return None;
+    }
+    if !tokens.get(i + 3)?.is_punct('(') {
+        return None;
+    }
+    // scan the balanced (...) for a bare `test` identifier
+    let mut depth = 1usize;
+    let mut j = i + 4;
+    let mut has_test = false;
+    while j < tokens.len() && depth > 0 {
+        if tokens[j].is_punct('(') {
+            depth += 1;
+        } else if tokens[j].is_punct(')') {
+            depth -= 1;
+        } else if tokens[j].is_ident("test") {
+            has_test = true;
+        }
+        j += 1;
+    }
+    if !has_test {
+        return None;
+    }
+    if tokens.get(j)?.is_punct(']') {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// Given the index of the first token of an item (after its `#[cfg(test)]`
+/// attribute), returns the index just past the item: past the `;` for a
+/// declaration, or past the matching `}` of its first brace block.
+/// Any further attributes on the item are skipped first.
+fn item_end(tokens: &[Token], mut i: usize) -> usize {
+    // skip additional attributes
+    while i + 1 < tokens.len() && tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        while j < tokens.len() && depth > 0 {
+            if tokens[j].is_punct('[') {
+                depth += 1;
+            } else if tokens[j].is_punct(']') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    // find the first `{` or `;` at angle/paren-agnostic brace depth zero
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].is_punct(';') {
+            return j + 1;
+        }
+        if tokens[j].is_punct('{') {
+            let mut depth = 1usize;
+            let mut k = j + 1;
+            while k < tokens.len() && depth > 0 {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                }
+                k += 1;
+            }
+            return k;
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(text: &str) -> Vec<String> {
+        lex(text)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r###"
+            // unsafe in a line comment
+            /* unsafe in /* a nested */ block */
+            let s = "unsafe in a string";
+            let r = r#"unsafe in a raw string"#;
+            let c = 'u';
+            fn real() {}
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_tokens() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { unsafe_marker(x) }");
+        assert!(ids.contains(&"unsafe_marker".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "line_one\n\"multi\nline\nstring\"\nlast_ident";
+        let toks = lex(src);
+        let last = toks.last().unwrap();
+        assert!(last.is_ident("last_ident"));
+        assert_eq!(last.line, 5);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let ids = idents("let r#type = 1; let b = r#match;");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_mod_span_covers_block() {
+        let src = "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let toks = lex(src);
+        let spans = cfg_test_spans(&toks);
+        assert_eq!(spans, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attrs_and_decl() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests;\nfn after() {}\n";
+        let toks = lex(src);
+        let spans = cfg_test_spans(&toks);
+        assert_eq!(spans, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn cfg_all_test_is_recognised() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { }\n";
+        let spans = cfg_test_spans(&lex(src));
+        assert_eq!(spans.len(), 1);
+    }
+
+    #[test]
+    fn cfg_not_mentioning_test_is_ignored() {
+        let src = "#[cfg(feature = \"x\")]\nmod m { fn f() {} }\n";
+        assert!(cfg_test_spans(&lex(src)).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Correctness tooling for the `slambench-rs` workspace.
+//!
+//! The binary front-end (`cargo xtask lint`) walks the repository and
+//! enforces the project's determinism and safety invariants at the source
+//! level; see [`lints`] for the individual lints and `DESIGN.md` for the
+//! rationale. The crate is dependency-free by design so it builds in
+//! offline and minimal environments before the main workspace resolves.
+
+#![deny(unsafe_code)]
+
+pub mod lexer;
+pub mod lints;
+pub mod walk;
+
+use lints::{Diagnostic, SourceFile};
+use std::path::Path;
+
+/// Lints every tracked source file under `root`, returning all findings
+/// sorted by file and line.
+pub fn lint_repo(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let sources = walk::collect_sources(root)?;
+    // an empty walk means `root` is not the workspace (every tracked tree
+    // is optional individually, so a bogus path would otherwise report a
+    // clean pass) — fail loudly instead of vacuously succeeding
+    if sources.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no Rust sources found under `{}`", root.display()),
+        ));
+    }
+    let mut out = Vec::new();
+    for rel in sources {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let src = SourceFile::new(&rel, &text);
+        out.extend(lints::lint_file(&src, walk::classify(&rel)));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    Ok(out)
+}

@@ -1,0 +1,83 @@
+//! `cargo xtask` — workspace correctness tooling.
+//!
+//! ```text
+//! cargo xtask lint [--root <path>]   enforce the workspace invariants
+//! ```
+//!
+//! Exits non-zero if any lint fires, printing rustc-style diagnostics.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--root <path>]");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // default: the repo root — two levels up from this crate's manifest,
+    // or the current directory when invoked outside cargo
+    let root = root.unwrap_or_else(|| {
+        option_env!("CARGO_MANIFEST_DIR")
+            .map(|d| PathBuf::from(d).join("../.."))
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    let findings = match xtask::lint_repo(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "xtask lint: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        eprintln!("xtask lint: no findings — all workspace invariants hold");
+        return ExitCode::SUCCESS;
+    }
+    for d in &findings {
+        eprintln!("{d}\n");
+    }
+    eprintln!(
+        "xtask lint: {} finding{} — see DESIGN.md § Correctness tooling",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,131 @@
+//! Repository traversal and per-file lint policy.
+
+use crate::lints::LintPolicy;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain `unsafe`: the single lifetime-erasure site of
+/// the exec pool. Anything else must go through safe abstractions.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/slam-kfusion/src/exec/mod.rs"];
+
+/// Files allowed to create threads: the exec pool itself and its loom
+/// model (whose controlled scheduler hosts the model threads).
+const THREADING_ALLOWLIST: &[&str] = &[
+    "crates/slam-kfusion/src/exec/mod.rs",
+    "crates/slam-kfusion/src/exec/model.rs",
+];
+
+/// Files allowed to panic despite living under `src/`: the loom model
+/// checker is compiled only under `--cfg loom` and, like any assertion
+/// framework, reports failures *by* panicking the test that drives it.
+const PANIC_ALLOWLIST: &[&str] = &["crates/slam-kfusion/src/exec/model.rs"];
+
+/// Returns every Rust source file to lint, as repo-relative paths:
+/// `crates/*/{src,tests}`, the top-level `tests/` and `examples/` trees
+/// and `suite_lib.rs`. Output is sorted for stable diagnostics.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let dir = entry?.path();
+            if dir.file_name().is_some_and(|n| n == "xtask") {
+                // the lint tool itself necessarily names the patterns it
+                // searches for; it is linted by its own self-tests instead
+                continue;
+            }
+            for sub in ["src", "tests", "benches"] {
+                collect_rs(&dir.join(sub), &mut out)?;
+            }
+        }
+    }
+    for sub in ["tests", "examples"] {
+        collect_rs(&root.join(sub), &mut out)?;
+    }
+    let suite = root.join("suite_lib.rs");
+    if suite.is_file() {
+        out.push(suite);
+    }
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .map(|p| p.strip_prefix(root).map(Path::to_path_buf).unwrap_or(p))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Derives the lint policy for a repo-relative path.
+pub fn classify(rel: &Path) -> LintPolicy {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    let is_bin = p.contains("/src/bin/");
+    let is_test_source = p.contains("/tests/")
+        || p.starts_with("tests/")
+        || p.contains("/benches/")
+        || p.starts_with("examples/");
+    // crate roots: crates/<name>/src/lib.rs plus the workspace-root
+    // integration-test library
+    let is_crate_root =
+        (p.starts_with("crates/") && p.ends_with("/src/lib.rs")) || p == "suite_lib.rs";
+    LintPolicy {
+        allow_threading: THREADING_ALLOWLIST.contains(&p.as_str()),
+        allow_unsafe: UNSAFE_ALLOWLIST.contains(&p.as_str()),
+        // panics in binaries, benches and test harnesses abort one run,
+        // not a library caller; the determinism lints still apply to
+        // binaries because their outputs are the recorded experiments
+        allow_panics: is_bin || is_test_source || PANIC_ALLOWLIST.contains(&p.as_str()),
+        allow_hash: is_test_source,
+        require_deny_unsafe: is_crate_root,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_pool_files_get_their_allowances() {
+        let exec = classify(Path::new("crates/slam-kfusion/src/exec/mod.rs"));
+        assert!(exec.allow_unsafe && exec.allow_threading);
+        assert!(!exec.allow_panics && !exec.allow_hash);
+        let model = classify(Path::new("crates/slam-kfusion/src/exec/model.rs"));
+        assert!(model.allow_threading && !model.allow_unsafe);
+        assert!(model.allow_panics, "the model checker asserts by panicking");
+    }
+
+    #[test]
+    fn library_source_is_fully_strict() {
+        let p = classify(Path::new("crates/slam-math/src/solve.rs"));
+        assert_eq!(p, LintPolicy::lib());
+    }
+
+    #[test]
+    fn crate_roots_require_deny_unsafe() {
+        assert!(classify(Path::new("crates/slam-math/src/lib.rs")).require_deny_unsafe);
+        assert!(classify(Path::new("suite_lib.rs")).require_deny_unsafe);
+        assert!(!classify(Path::new("crates/slam-math/src/mat.rs")).require_deny_unsafe);
+    }
+
+    #[test]
+    fn bins_and_tests_may_panic_but_not_thread() {
+        let b = classify(Path::new("crates/bench/src/bin/bench_kernels.rs"));
+        assert!(b.allow_panics && !b.allow_threading && !b.allow_hash);
+        let t = classify(Path::new("crates/slam-kfusion/tests/determinism.rs"));
+        assert!(t.allow_panics && t.allow_hash && !t.allow_threading);
+    }
+}

@@ -1,0 +1,9 @@
+//! Known-good fixture under the binary policy: experiment binaries may
+//! unwrap (a panic aborts one run, not a library caller), but threading
+//! and determinism rules still apply.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(8);
+    println!("{n}");
+}

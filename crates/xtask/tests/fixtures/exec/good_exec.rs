@@ -1,0 +1,17 @@
+//! Known-good fixture under the exec-pool policy: the allowlisted file
+//! may use `unsafe` and spawn threads, but panic and hash-iteration
+//! rules still apply in full.
+
+pub fn spawn_worker() {
+    std::thread::Builder::new()
+        .name("slam-exec-0".into())
+        .spawn(|| ())
+        // xtask-allow: panic-path — pool construction failure is unrecoverable at startup
+        .expect("failed to spawn pool worker");
+}
+
+/// The single sanctioned erasure site.
+#[allow(unsafe_code)]
+pub fn erase(b: Box<dyn FnOnce() + Send + '_>) -> Box<dyn FnOnce() + Send + 'static> {
+    unsafe { std::mem::transmute(b) }
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: hash collections in library code are a
+//! nondeterministic-iteration hazard.
+
+use std::collections::HashMap; //~ hash-iter
+use std::collections::HashSet; //~ hash-iter
+
+pub fn sums_in_hash_order(weights: &HashMap<String, f32>) -> f32 {
+    //~^ hash-iter
+    weights.values().sum()
+}
+
+pub fn collects_unordered(names: &[String]) -> HashSet<String> {
+    //~^ hash-iter
+    names.iter().cloned().collect()
+}

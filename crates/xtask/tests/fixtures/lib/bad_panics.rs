@@ -1,0 +1,44 @@
+//! Known-bad fixture: every panic-family construct in a library path
+//! must fire the `panic-path` lint, with `#[cfg(test)]` code exempt.
+
+pub fn unwraps(v: Option<u32>) -> u32 {
+    v.unwrap() //~ panic-path
+}
+
+pub fn expects(v: Option<u32>) -> u32 {
+    v.expect("present") //~ panic-path
+}
+
+pub fn panics(flag: bool) {
+    if flag {
+        panic!("boom"); //~ panic-path
+    }
+}
+
+pub fn unreachable_arm(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(), //~ panic-path
+    }
+}
+
+pub fn not_done() {
+    todo!() //~ panic-path
+}
+
+pub fn also_not_done() {
+    unimplemented!() //~ panic-path
+}
+
+pub fn chained(r: Result<u32, String>) -> u32 {
+    r.unwrap_err().len() as u32 //~ panic-path
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,31 @@
+//! Known-bad fixture: ad-hoc threading outside the exec pool.
+
+use std::thread;
+
+pub fn spawns() {
+    let h = thread::spawn(|| 1 + 1); //~ threading
+    let _ = h.join();
+}
+
+pub fn spawns_qualified() {
+    std::thread::spawn(|| ()); //~ threading
+}
+
+pub fn named_worker() {
+    let _ = std::thread::Builder::new().name("w".into()); //~ threading
+}
+
+pub fn uses_rayon(v: &mut [u32]) {
+    rayon::join(|| (), || ()); //~ threading
+    let _ = v;
+}
+
+pub fn uses_crossbeam() {
+    crossbeam::scope(|_| ()); //~ threading
+}
+
+pub fn current_thread_is_fine() -> Option<String> {
+    // thread:: paths other than spawn/Builder are observability, not
+    // parallelism, and stay legal
+    std::thread::current().name().map(str::to_string)
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: `unsafe` outside the exec-pool allowlist.
+
+pub fn transmutes(x: u32) -> i32 {
+    unsafe { std::mem::transmute::<u32, i32>(x) } //~ unsafe-code
+}
+
+pub struct RawWrapper(*const u8);
+
+// even an empty unsafe block or an unsafe fn signature is a finding
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    //~^ unsafe-code
+    *p
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: malformed waivers are themselves findings, and a
+//! reason-less waiver does not suppress the lint it names.
+
+pub fn reasonless_waiver(v: Option<u32>) -> u32 {
+    // xtask-allow: panic-path //~ waiver
+    v.unwrap() //~ panic-path
+}
+
+pub fn unknown_lint_waiver(v: Option<u32>) -> u32 {
+    // xtask-allow: no-such-lint because reasons //~ waiver
+    v.unwrap() //~ panic-path
+}

@@ -1,0 +1,63 @@
+//! Known-good fixture: the sanctioned ways to write library code. No
+//! lint may fire anywhere in this file.
+//!
+//! Doc examples may use `unwrap()` freely — they are documentation:
+//!
+//! ```
+//! let x: Option<u32> = Some(1);
+//! assert_eq!(x.unwrap(), 1);
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Errors are returned, not panicked.
+pub fn checked(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing value".to_string())
+}
+
+/// Documented invariants use `debug_assert!`; entry-point preconditions
+/// use `assert!` with a message (the sanctioned contract style).
+pub fn banded(n: usize, bands: usize) -> usize {
+    assert!(bands > 0, "bands must be positive");
+    debug_assert!(n >= bands, "caller guarantees n >= bands");
+    n / bands
+}
+
+/// Ordered maps keep every iteration deterministic.
+pub fn accumulate(weights: &BTreeMap<String, f32>) -> f32 {
+    weights.values().sum()
+}
+
+/// A justified waiver names the lint and carries a reason.
+pub fn contractual_panic(i: usize) -> usize {
+    match i {
+        0 | 1 | 2 => i,
+        // xtask-allow: panic-path — the Index contract requires a panic on out-of-bounds
+        _ => panic!("index {i} out of range"),
+    }
+}
+
+/// Mentioning unsafe, HashMap or thread::spawn in strings and comments is
+/// fine: the lints operate on the token stream, not on raw text.
+pub fn describe() -> &'static str {
+    // a comment about unsafe { } and HashMap and thread::spawn
+    "this string contains unsafe, HashMap and thread::spawn"
+}
+
+/// Free functions named like the flagged methods are not method calls.
+pub fn expect(unwrap: u32) -> u32 {
+    unwrap
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_use_hash_and_panic() {
+        let mut s = HashSet::new();
+        s.insert(1);
+        assert!(s.contains(&1));
+        Some(0).unwrap();
+    }
+}

@@ -1,0 +1,3 @@
+//! Known-bad fixture: a crate root without `#![deny(unsafe_code)]`. //~ unsafe-code
+
+pub fn harmless() {}

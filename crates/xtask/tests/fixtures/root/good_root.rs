@@ -1,0 +1,5 @@
+//! Known-good fixture: a crate root carrying the required deny attribute.
+
+#![deny(unsafe_code)]
+
+pub fn harmless() {}

@@ -1,0 +1,186 @@
+//! Fixture-based self-tests for the invariant lints.
+//!
+//! Every file under `tests/fixtures/` is linted under the policy its
+//! subdirectory maps to, and its findings must match the `//~ lint-name`
+//! expectation markers exactly — both directions: a known-bad snippet
+//! that stops tripping its lint fails the suite just like a known-good
+//! snippet that starts tripping one.
+//!
+//! Marker syntax (trailing comment):
+//! * `//~ lint-name`    — a finding of `lint-name` on this line
+//! * `//~^ lint-name`   — a finding on the previous line (one line up
+//!   per `^`)
+//!
+//! Markers are stripped from the source before linting so they can never
+//! interact with the lints themselves (e.g. with waiver parsing).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use xtask::lints::{lint_file, Diagnostic, LintPolicy, SourceFile};
+use xtask::walk::classify;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Policy each fixture subdirectory is linted under.
+fn policy_for(subdir: &str) -> LintPolicy {
+    match subdir {
+        "lib" => LintPolicy::lib(),
+        "exec" => classify(Path::new("crates/slam-kfusion/src/exec/mod.rs")),
+        "bin" => classify(Path::new("crates/bench/src/bin/fixture.rs")),
+        "root" => LintPolicy {
+            require_deny_unsafe: true,
+            ..LintPolicy::lib()
+        },
+        other => panic!("fixture subdir {other:?} has no policy mapping"),
+    }
+}
+
+/// Parses the expectation markers out of a fixture, returning the
+/// expected `(line, lint)` multiset and the marker-stripped source.
+fn parse_fixture(text: &str) -> (BTreeMap<(u32, String), usize>, String) {
+    let mut expected: BTreeMap<(u32, String), usize> = BTreeMap::new();
+    let mut stripped = String::new();
+    for (i, line) in text.lines().enumerate() {
+        let kept = match line.find("//~") {
+            Some(at) => {
+                let marker = &line[at + 3..];
+                let carets = marker.chars().take_while(|&c| c == '^').count();
+                let target = (i + 1) as u32 - carets as u32;
+                for name in marker[carets..].split_whitespace() {
+                    *expected.entry((target, name.to_string())).or_insert(0) += 1;
+                }
+                &line[..at]
+            }
+            None => line,
+        };
+        stripped.push_str(kept);
+        stripped.push('\n');
+    }
+    (expected, stripped)
+}
+
+fn findings_multiset(findings: &[Diagnostic]) -> BTreeMap<(u32, String), usize> {
+    let mut out = BTreeMap::new();
+    for d in findings {
+        *out.entry((d.line, d.lint.clone())).or_insert(0) += 1;
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics_exactly() {
+    let root = fixtures_dir();
+    let mut checked = 0usize;
+    for subdir in ["lib", "exec", "bin", "root"] {
+        let dir = root.join(subdir);
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("fixture dir {}: {e}", dir.display()))
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        entries.sort();
+        assert!(!entries.is_empty(), "no fixtures in {}", dir.display());
+        for path in entries {
+            let text = std::fs::read_to_string(&path).unwrap();
+            let (expected, stripped) = parse_fixture(&text);
+            let src = SourceFile::new(&path, &stripped);
+            let findings = lint_file(&src, policy_for(subdir));
+            let actual = findings_multiset(&findings);
+            assert_eq!(
+                actual,
+                expected,
+                "fixture {} diagnostics diverge\nfindings:\n{}",
+                path.display(),
+                findings
+                    .iter()
+                    .map(|d| format!("  {d}\n"))
+                    .collect::<String>()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "expected >= 10 fixtures, ran {checked}");
+}
+
+#[test]
+fn bad_fixtures_actually_trip_every_lint() {
+    // belt-and-braces: the fixture set must exercise each lint at least
+    // once, so a lint that silently stops firing cannot hide behind an
+    // all-good fixture set
+    let root = fixtures_dir();
+    let mut fired: BTreeMap<String, usize> = BTreeMap::new();
+    for subdir in ["lib", "exec", "bin", "root"] {
+        for entry in std::fs::read_dir(root.join(subdir)).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_none_or(|x| x != "rs") {
+                continue;
+            }
+            let (_, stripped) = parse_fixture(&std::fs::read_to_string(&path).unwrap());
+            for d in lint_file(&SourceFile::new(&path, &stripped), policy_for(subdir)) {
+                *fired.entry(d.lint).or_insert(0) += 1;
+            }
+        }
+    }
+    for lint in [
+        "threading",
+        "unsafe-code",
+        "hash-iter",
+        "panic-path",
+        "waiver",
+    ] {
+        assert!(
+            fired.get(lint).copied().unwrap_or(0) > 0,
+            "no fixture trips lint {lint:?} (fired: {fired:?})"
+        );
+    }
+}
+
+#[test]
+fn diagnostic_rendering_is_rustc_style() {
+    let src = SourceFile::new(
+        Path::new("crates/demo/src/lib.rs"),
+        "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    );
+    let findings = lint_file(&src, LintPolicy::lib());
+    assert_eq!(findings.len(), 1);
+    let rendered = findings[0].to_string();
+    assert_eq!(
+        rendered,
+        "error[xtask::panic-path]: `.unwrap()` in a library path: return a `Result` \
+         or use a documented-invariant `debug_assert!`\n  --> crates/demo/src/lib.rs:2"
+    );
+}
+
+#[test]
+fn waivers_must_name_the_right_lint() {
+    // a waiver for one lint must not leak onto another lint's finding on
+    // the same line
+    let text =
+        "pub fn f() {\n    // xtask-allow: hash-iter — wrong lint named\n    panic!(\"x\");\n}\n";
+    let src = SourceFile::new(Path::new("crates/demo/src/lib.rs"), text);
+    let findings = lint_file(&src, LintPolicy::lib());
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "panic-path");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn multi_lint_waiver_covers_both() {
+    let text = "pub fn f() {\n    // xtask-allow: threading, panic-path — fixture exercising multi-name waivers\n    std::thread::spawn(|| ()).join().unwrap();\n}\n";
+    let src = SourceFile::new(Path::new("crates/demo/src/lib.rs"), text);
+    let findings = lint_file(&src, LintPolicy::lib());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lint_repo_rejects_roots_with_no_sources() {
+    // a mistyped `--root` must not look like a clean workspace: every
+    // tracked tree is individually optional, so an empty walk has to be
+    // an error rather than a vacuous pass
+    let empty = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bin");
+    let err = xtask::lint_repo(&empty).expect_err("empty root must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    assert!(err.to_string().contains("no Rust sources"), "{err}");
+}

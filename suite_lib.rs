@@ -4,6 +4,8 @@
 //! only exists so `tests/` and `examples/` at the repository root have a
 //! package to belong to.
 
+#![deny(unsafe_code)]
+
 use slam_math::camera::PinholeCamera;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
 use slam_scene::noise::DepthNoiseModel;
