@@ -10,7 +10,7 @@ use bench::{exploration_camera, living_room_dataset};
 use slam_kfusion::KFusionConfig;
 use slam_metrics::report::Table;
 use slam_power::devices::odroid_xu3;
-use slambench::run::run_pipeline;
+use slambench::engine::EvalEngine;
 
 fn main() {
     let frames = 20;
@@ -31,12 +31,16 @@ fn main() {
         "modelled s/frame".into(),
         "power (W)".into(),
     ]);
-    let mut results = Vec::new();
-    for on in [true, false] {
+    let engine = EvalEngine::with_disk_cache("results/cache");
+    let variants = [true, false].map(|on| {
         let mut c = config.clone();
         c.bilateral_filter = on;
-        eprintln!("running with bilateral_filter = {on}...");
-        let run = run_pipeline(&dataset, &c);
+        c
+    });
+    eprintln!("running bilateral on/off as one engine batch...");
+    let runs = engine.evaluate_batch(&dataset, &variants);
+    let mut results = Vec::new();
+    for (on, run) in [true, false].into_iter().zip(&runs) {
         let report = run.cost_on(&device);
         table.row(vec![
             if on { "on" } else { "off" }.into(),

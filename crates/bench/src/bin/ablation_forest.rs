@@ -11,7 +11,10 @@ use bench::{exploration_camera, living_room_dataset, thresholds};
 use slam_dse::active::ActiveLearnerOptions;
 use slam_metrics::report::Table;
 use slam_power::devices::odroid_xu3;
-use slambench::explore::{explore, random_sweep, ExploreOptions, MeasuredConfig};
+use slambench::engine::EvalEngine;
+use slambench::explore::{
+    explore_with_engine, random_sweep_with_engine, ExploreOptions, MeasuredConfig,
+};
 
 fn best_feasible(ms: &[MeasuredConfig]) -> Option<&MeasuredConfig> {
     ms.iter()
@@ -33,8 +36,11 @@ fn main() {
         "feasible found".into(),
     ]);
 
+    // one shared engine: every strategy re-requesting a configuration
+    // already evaluated by another strategy is a cache hit
+    let engine = EvalEngine::with_disk_cache("results/cache");
     eprintln!("random search baseline...");
-    let random = random_sweep(&dataset, &device, budget, 77);
+    let random = random_sweep_with_engine(&engine, &dataset, &device, budget, 77);
     let feasible_count = random
         .iter()
         .filter(|m| m.max_ate_m <= thresholds::MAX_ATE_M)
@@ -68,7 +74,7 @@ fn main() {
             accuracy_limit: thresholds::MAX_ATE_M,
         };
         options.learner.forest.trees = trees;
-        let outcome = explore(&dataset, &device, &options);
+        let outcome = explore_with_engine(&engine, &dataset, &device, &options);
         let feasible_count = outcome
             .measured
             .iter()

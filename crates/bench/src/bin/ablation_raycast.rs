@@ -13,7 +13,7 @@ use bench::{exploration_camera, living_room_dataset};
 use slam_kfusion::{KFusionConfig, Kernel};
 use slam_metrics::report::Table;
 use slam_power::devices::odroid_xu3;
-use slambench::run::run_pipeline;
+use slambench::engine::EvalEngine;
 
 fn main() {
     let frames = 20;
@@ -28,14 +28,18 @@ fn main() {
         "integrate ms/frame".into(),
         "total s/frame".into(),
     ]);
-    for mu in [0.02f32, 0.05, 0.1, 0.15, 0.2] {
-        let config = KFusionConfig {
+    let mus = [0.02f32, 0.05, 0.1, 0.15, 0.2];
+    let configs: Vec<KFusionConfig> = mus
+        .iter()
+        .map(|&mu| KFusionConfig {
             volume_resolution: 128,
             mu,
             ..KFusionConfig::default()
-        };
-        eprintln!("running mu = {mu}...");
-        let run = run_pipeline(&dataset, &config);
+        })
+        .collect();
+    eprintln!("running the mu sweep as one engine batch...");
+    let runs = EvalEngine::with_disk_cache("results/cache").evaluate_batch(&dataset, &configs);
+    for (&mu, run) in mus.iter().zip(&runs) {
         let report = run.cost_on(&device);
         let kernel_ms = |k: Kernel| {
             report

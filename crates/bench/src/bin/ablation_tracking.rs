@@ -13,7 +13,7 @@ use slam_kfusion::config::TrackingReference;
 use slam_kfusion::KFusionConfig;
 use slam_metrics::report::Table;
 use slam_power::devices::odroid_xu3;
-use slambench::run::run_pipeline;
+use slambench::engine::EvalEngine;
 
 fn main() {
     let frames = 90; // long enough for frame-to-frame drift to accumulate
@@ -29,20 +29,24 @@ fn main() {
         "modelled s/frame".into(),
         "late/early error ratio".into(),
     ]);
-    for (name, reference) in [
+    let variants = [
         ("frame-to-model (KinectFusion)", TrackingReference::Model),
         (
             "frame-to-frame (baseline)",
             TrackingReference::PreviousFrame,
         ),
-    ] {
-        let config = KFusionConfig {
+    ];
+    let configs: Vec<KFusionConfig> = variants
+        .iter()
+        .map(|&(_, reference)| KFusionConfig {
             volume_resolution: 128,
             tracking_reference: reference,
             ..KFusionConfig::default()
-        };
-        eprintln!("running {name}...");
-        let run = run_pipeline(&dataset, &config);
+        })
+        .collect();
+    eprintln!("running both tracking references as one engine batch...");
+    let runs = EvalEngine::with_disk_cache("results/cache").evaluate_batch(&dataset, &configs);
+    for ((name, _), run) in variants.into_iter().zip(&runs) {
         let report = run.cost_on(&device);
         let final_err = run.ate.errors.last().copied().unwrap_or(0.0);
         // drift signature: error of the last third vs the first third

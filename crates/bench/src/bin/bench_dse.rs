@@ -1,0 +1,109 @@
+//! Evaluation-engine baseline: batch scheduling and cache warmth.
+//!
+//! Times a fixed batch of distinct configurations through the
+//! [`slambench::engine::EvalEngine`] three ways — serial (thread budget
+//! pinned to 1), batch-parallel on a cold cache, and again on the warm
+//! cache — then repeats the comparison for a whole `explore` run. Writes
+//! the numbers to `BENCH_dse.json` so the performance trajectory is
+//! machine-readable.
+//!
+//! Run with `cargo run --release -p bench --bin bench_dse`.
+
+use bench::{exploration_camera, living_room_dataset};
+use rand::SeedableRng;
+use slam_kfusion::exec;
+use slam_kfusion::KFusionConfig;
+use slam_power::devices::odroid_xu3;
+use slambench::config_space::{decode_config, slambench_space};
+use slambench::engine::EvalEngine;
+use slambench::explore::{explore_with_engine, ExploreOptions};
+use std::time::Instant;
+
+fn secs(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let frames = 12;
+    let batch_n = 8;
+    let dataset = living_room_dataset(exploration_camera(), frames);
+    let device = odroid_xu3();
+
+    // a reproducible batch of distinct algorithmic configurations
+    let space = slambench_space();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2018);
+    let configs: Vec<KFusionConfig> = (0..batch_n)
+        .map(|_| decode_config(&space.sample(&mut rng)))
+        .collect();
+
+    eprintln!(
+        "timing a {batch_n}-configuration batch on {} host threads...",
+        exec::available_threads()
+    );
+    let serial_engine = EvalEngine::new();
+    let serial_s = secs(|| {
+        exec::with_thread_budget(1, || {
+            serial_engine.evaluate_batch(&dataset, &configs);
+        })
+    });
+    let batch_engine = EvalEngine::new();
+    let cold_s = secs(|| {
+        batch_engine.evaluate_batch(&dataset, &configs);
+    });
+    let warm_s = secs(|| {
+        batch_engine.evaluate_batch(&dataset, &configs);
+    });
+
+    eprintln!("timing explore (cold vs warm engine)...");
+    let options = ExploreOptions::fast();
+    let explore_engine = EvalEngine::new();
+    let explore_cold_s = secs(|| {
+        explore_with_engine(&explore_engine, &dataset, &device, &options);
+    });
+    let explore_warm_s = secs(|| {
+        explore_with_engine(&explore_engine, &dataset, &device, &options);
+    });
+
+    let stats = batch_engine.stats();
+    println!("{:<28} {:>10}", "measurement", "seconds");
+    for (label, s) in [
+        ("batch serial (1 thread)", serial_s),
+        ("batch cold (parallel)", cold_s),
+        ("batch warm (cache hits)", warm_s),
+        ("explore cold", explore_cold_s),
+        ("explore warm", explore_warm_s),
+    ] {
+        println!("{label:<28} {s:>10.4}");
+    }
+    println!(
+        "batch speedup {:.2}x cold, {:.0}x warm; engine saw {} hits / {} misses",
+        serial_s / cold_s.max(1e-9),
+        serial_s / warm_s.max(1e-9),
+        stats.hits,
+        stats.misses,
+    );
+
+    let report = serde_json::json!({
+        "host_threads": exec::available_threads(),
+        "frames": frames,
+        "batch_configs": batch_n,
+        "batch_serial_s": serial_s,
+        "batch_cold_s": cold_s,
+        "batch_warm_s": warm_s,
+        "batch_cold_speedup": serial_s / cold_s.max(1e-9),
+        "batch_warm_speedup": serial_s / warm_s.max(1e-9),
+        "explore_budget": options.budget,
+        "explore_cold_s": explore_cold_s,
+        "explore_warm_s": explore_warm_s,
+        "explore_warm_speedup": explore_cold_s / explore_warm_s.max(1e-9),
+    });
+    let path = "BENCH_dse.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialisable report"),
+    )
+    .expect("writable working directory");
+    println!("\nwritten to {path}");
+}

@@ -13,7 +13,8 @@ use bench::{exploration_camera, living_room_dataset, thresholds};
 use slam_dse::active::ActiveLearnerOptions;
 use slam_metrics::report::Table;
 use slam_power::devices::odroid_xu3;
-use slambench::codesign::{codesign_explore, CoDesignOptions};
+use slambench::codesign::{codesign_explore_with_engine, CoDesignOptions};
+use slambench::engine::EvalEngine;
 
 fn main() {
     let frames = 25;
@@ -45,7 +46,8 @@ fn main() {
         "exploring (up to {} pipeline runs, {} evaluations)...",
         options.pipeline_budget, options.evaluation_budget
     );
-    let outcome = codesign_explore(&dataset, &device, &options);
+    let engine = EvalEngine::with_disk_cache("results/cache");
+    let outcome = codesign_explore_with_engine(&engine, &dataset, &device, &options);
 
     println!(
         "evaluated {} co-design points with only {} pipeline executions\n\

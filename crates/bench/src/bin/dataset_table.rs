@@ -9,7 +9,8 @@ use bench::{tiny_camera, xu3_tuned_config};
 use slam_kfusion::KFusionConfig;
 use slam_metrics::report::Table;
 use slam_power::devices::odroid_xu3;
-use slambench::suite::{run_suite, standard_suite};
+use slambench::engine::EvalEngine;
+use slambench::suite::{run_suite_with_engine, standard_suite};
 
 fn main() {
     let frames = 25;
@@ -31,7 +32,8 @@ fn main() {
         sequences.len(),
         configs.len()
     );
-    let cells = run_suite(&sequences, &configs, &odroid_xu3());
+    let engine = EvalEngine::with_disk_cache("results/cache");
+    let cells = run_suite_with_engine(&engine, &sequences, &configs, &odroid_xu3());
 
     let mut table = Table::new(vec![
         "sequence".into(),

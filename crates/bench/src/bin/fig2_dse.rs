@@ -13,7 +13,10 @@ use slam_dse::active::ActiveLearnerOptions;
 use slam_dse::Evaluation;
 use slam_metrics::report::{scatter_plot, Table};
 use slam_power::devices::odroid_xu3;
-use slambench::explore::{explore, random_sweep, ExploreOptions, MeasuredConfig};
+use slambench::engine::EvalEngine;
+use slambench::explore::{
+    explore_with_engine, random_sweep_with_engine, ExploreOptions, MeasuredConfig,
+};
 
 fn to_points(ms: &[MeasuredConfig]) -> Vec<(f64, f64)> {
     ms.iter().map(|m| (m.runtime_s, m.max_ate_m)).collect()
@@ -39,8 +42,9 @@ fn main() {
     let dataset = living_room_dataset(exploration_camera(), frames);
     let device = odroid_xu3();
 
+    let engine = EvalEngine::with_disk_cache("results/cache");
     eprintln!("[1/2] random sampling ({random_n} configurations, parallel)...");
-    let random = random_sweep(&dataset, &device, random_n, 2018);
+    let random = random_sweep_with_engine(&engine, &dataset, &device, random_n, 2018);
 
     eprintln!("[2/2] active learning ({budget} evaluations)...");
     let mut options = ExploreOptions {
@@ -57,7 +61,7 @@ fn main() {
         accuracy_limit: thresholds::MAX_ATE_M,
     };
     options.learner.forest.trees = 24;
-    let outcome = explore(&dataset, &device, &options);
+    let outcome = explore_with_engine(&engine, &dataset, &device, &options);
 
     // ---- the scatter (clip the hopeless tail for readability) -------------
     let clip = |pts: Vec<(f64, f64)>| -> Vec<(f64, f64)> {

@@ -11,7 +11,8 @@ use bench::{exploration_camera, living_room_dataset, thresholds};
 use slam_dse::knowledge::{KnowledgeTree, LabelledConfigs};
 use slam_power::devices::odroid_xu3;
 use slambench::config_space::slambench_space;
-use slambench::explore::random_sweep;
+use slambench::engine::EvalEngine;
+use slambench::explore::random_sweep_with_engine;
 
 fn main() {
     let frames = 25;
@@ -22,7 +23,8 @@ fn main() {
     let dataset = living_room_dataset(exploration_camera(), frames);
     let device = odroid_xu3();
     eprintln!("evaluating {samples} configurations (parallel)...");
-    let measured = random_sweep(&dataset, &device, samples, 4242);
+    let engine = EvalEngine::with_disk_cache("results/cache");
+    let measured = random_sweep_with_engine(&engine, &dataset, &device, samples, 4242);
 
     // label: classes mirror the paper's OR-of-criteria boxes
     let mut x = Vec::new();

@@ -13,8 +13,8 @@ use slam_kfusion::KFusionConfig;
 use slam_math::stats::Summary;
 use slam_metrics::report::{bar_chart, Table};
 use slam_power::fleet::phone_fleet;
-use slambench::fleet::fleet_speedups;
-use slambench::run::run_pipeline;
+use slambench::engine::EvalEngine;
+use slambench::fleet::fleet_speedups_with_engine;
 
 fn main() {
     let frames = 20;
@@ -24,15 +24,18 @@ fn main() {
 
     let dataset = living_room_dataset(headline_camera(), frames);
     println!("tuned configuration: {}", xu3_tuned_config());
+    let engine = EvalEngine::with_disk_cache("results/cache");
     {
-        // accuracy context from the device-independent runs
-        let tuned_run = run_pipeline(&dataset, &xu3_tuned_config());
+        // accuracy context from the device-independent runs; the engine
+        // cache makes this free when fleet_speedups re-requests it below
+        let tuned_run = engine.evaluate(&dataset, &xu3_tuned_config());
         println!("tuned max ATE: {:.4} m\n", tuned_run.ate.max);
     }
 
     let fleet = phone_fleet(2018);
     eprintln!("running pipeline per distinct memory-capped volume and costing 83 phones...");
-    let mut entries = fleet_speedups(
+    let mut entries = fleet_speedups_with_engine(
+        &engine,
         &dataset,
         &KFusionConfig::default(),
         &xu3_tuned_config(),

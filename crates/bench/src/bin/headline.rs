@@ -15,7 +15,8 @@ use slam_kfusion::KFusionConfig;
 use slam_metrics::report::Table;
 use slam_power::devices::odroid_xu3;
 use slam_power::DeviceModel;
-use slambench::run::{run_pipeline, PipelineRun};
+use slambench::engine::EvalEngine;
+use slambench::run::PipelineRun;
 
 struct Row {
     label: String,
@@ -44,13 +45,13 @@ fn main() {
     let dataset = living_room_dataset(headline_camera(), frames);
     let xu3 = odroid_xu3();
 
-    eprintln!("running default configuration (this is the slow one)...");
-    let default_run = run_pipeline(&dataset, &KFusionConfig::default());
-    eprintln!("running tuned configuration...");
-    let tuned_run = run_pipeline(&dataset, &xu3_tuned_config());
+    let engine = EvalEngine::with_disk_cache("results/cache");
+    eprintln!("running default + tuned configurations (one engine batch)...");
+    let runs = engine.evaluate_batch(&dataset, &[KFusionConfig::default(), xu3_tuned_config()]);
+    let (default_run, tuned_run) = (&runs[0], &runs[1]);
 
-    let default_row = cost(&default_run, &xu3, "default @ max freq");
-    let tuned_row = cost(&tuned_run, &xu3, "tuned   @ max freq");
+    let default_row = cost(default_run, &xu3, "default @ max freq");
+    let tuned_row = cost(tuned_run, &xu3, "tuned   @ max freq");
 
     // DVFS sweep on the tuned configuration: fastest point within 1 W
     let mut budget_row: Option<Row> = None;

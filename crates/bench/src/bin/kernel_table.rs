@@ -9,7 +9,7 @@ use slam_kfusion::{KFusionConfig, Kernel};
 use slam_math::camera::PinholeCamera;
 use slam_metrics::report::Table;
 use slam_power::devices::all_devices;
-use slambench::run::run_pipeline;
+use slambench::engine::EvalEngine;
 
 fn main() {
     let frames = 20;
@@ -25,7 +25,7 @@ fn main() {
         ..KFusionConfig::default()
     };
     eprintln!("running pipeline...");
-    let run = run_pipeline(&dataset, &config);
+    let run = EvalEngine::with_disk_cache("results/cache").evaluate(&dataset, &config);
 
     let devices = all_devices();
     let mut headers = vec!["kernel".into()];

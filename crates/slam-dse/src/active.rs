@@ -130,46 +130,71 @@ impl ActiveLearner {
         budget: usize,
         mut evaluator: impl FnMut(&[f64]) -> Vec<f64>,
     ) -> ExplorationResult {
+        self.run_batched(budget, |batch| batch.iter().map(|x| evaluator(x)).collect())
+    }
+
+    /// Like [`ActiveLearner::run`], but handing the evaluator whole
+    /// proposal batches instead of single configurations, so independent
+    /// evaluations can run concurrently (the `slambench` evaluation
+    /// engine schedules them on the shared worker pool).
+    ///
+    /// Given the same seed, budget and a deterministic evaluator, the
+    /// proposals, the evaluation order and the result are identical to
+    /// [`ActiveLearner::run`]'s: the RNG is consumed only by the
+    /// proposal step, never by evaluation, and a batch overshooting the
+    /// budget is truncated to exactly the prefix `run` would have
+    /// evaluated before stopping.
+    pub fn run_batched(
+        &mut self,
+        budget: usize,
+        mut evaluator: impl FnMut(&[Vec<f64>]) -> Vec<Vec<f64>>,
+    ) -> ExplorationResult {
+        let objectives = self.objectives;
         let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
         let mut evaluations: Vec<Evaluation> = Vec::new();
-        let mut evaluate = |x: Vec<f64>, evals: &mut Vec<Evaluation>| {
-            let mut obj = evaluator(&x);
-            assert_eq!(
-                obj.len(),
-                self.objectives,
-                "evaluator returned wrong objective count"
-            );
-            for o in &mut obj {
-                if !o.is_finite() {
-                    // large finite penalty; f64::MAX would overflow the
-                    // surrogate's variance computation
-                    *o = 1e12;
-                }
-                // clamp extreme finite values for the same reason
-                *o = o.clamp(-1e12, 1e12);
+        let mut evaluate_batch = |batch: Vec<Vec<f64>>, evals: &mut Vec<Evaluation>| {
+            if batch.is_empty() {
+                return;
             }
-            evals.push(Evaluation::new(x, obj));
+            let results = evaluator(&batch);
+            assert_eq!(
+                results.len(),
+                batch.len(),
+                "batch evaluator returned wrong result count"
+            );
+            for (x, mut obj) in batch.into_iter().zip(results) {
+                assert_eq!(
+                    obj.len(),
+                    objectives,
+                    "evaluator returned wrong objective count"
+                );
+                for o in &mut obj {
+                    if !o.is_finite() {
+                        // large finite penalty; f64::MAX would overflow the
+                        // surrogate's variance computation
+                        *o = 1e12;
+                    }
+                    // clamp extreme finite values for the same reason
+                    *o = o.clamp(-1e12, 1e12);
+                }
+                evals.push(Evaluation::new(x, obj));
+            }
         };
 
         // ---- phase 1: initial random design --------------------------------
         let initial = self.options.initial_samples.min(budget);
-        for x in crate::sampler::latin_hypercube(&self.space, initial, &mut rng) {
-            evaluate(x, &mut evaluations);
-        }
+        let design = crate::sampler::latin_hypercube(&self.space, initial, &mut rng);
+        evaluate_batch(design, &mut evaluations);
         let initial_count = evaluations.len();
 
         // ---- phase 2: active learning ---------------------------------------
-        'outer: for _iter in 0..self.options.iterations {
+        for _iter in 0..self.options.iterations {
             if evaluations.len() >= budget {
                 break;
             }
-            let batch = self.propose_batch(&evaluations, &mut rng);
-            for x in batch {
-                if evaluations.len() >= budget {
-                    break 'outer;
-                }
-                evaluate(x, &mut evaluations);
-            }
+            let mut batch = self.propose_batch(&evaluations, &mut rng);
+            batch.truncate(budget - evaluations.len());
+            evaluate_batch(batch, &mut evaluations);
         }
 
         let front = pareto_front(&evaluations);
@@ -382,6 +407,25 @@ mod tests {
         for e in &result.pareto_front {
             assert!(e.objectives[0] <= 1.0);
         }
+    }
+
+    #[test]
+    fn batched_run_matches_serial_run() {
+        // run() is the single-evaluation wrapper over run_batched(); pin
+        // that they stay equivalent, including mid-batch budget
+        // truncation (10 initial + 3 + 3 + 1-of-3 = 17)
+        let f = |x: &[f64]| vec![(x[0] - 0.4).powi(2)];
+        let mut serial_learner = ActiveLearner::new(one_d_space(), 1, ActiveLearnerOptions::fast());
+        let serial = serial_learner.run(17, |x| f(x));
+        let mut batched_learner =
+            ActiveLearner::new(one_d_space(), 1, ActiveLearnerOptions::fast());
+        let mut batch_sizes = Vec::new();
+        let batched = batched_learner.run_batched(17, |batch| {
+            batch_sizes.push(batch.len());
+            batch.iter().map(|x| f(x)).collect()
+        });
+        assert_eq!(serial, batched);
+        assert_eq!(batch_sizes, vec![10, 3, 3, 1]);
     }
 
     #[test]

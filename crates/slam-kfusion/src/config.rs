@@ -4,22 +4,82 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Errors produced by [`KFusionConfig::validate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InvalidConfigError {
-    /// Which parameter is out of range.
-    pub parameter: &'static str,
-    /// Human-readable explanation.
-    pub reason: String,
+/// Why a [`KFusionConfig`] failed [`KFusionConfig::validate`].
+///
+/// Each variant carries the offending parameter and enough context to
+/// build an actionable message, so callers (the evaluation engine, the
+/// CLI) can surface a typed error instead of a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A discrete parameter took a value outside its allowed set.
+    NotInSet {
+        /// Which parameter is invalid.
+        parameter: &'static str,
+        /// The rejected value.
+        value: usize,
+        /// The values the parameter accepts.
+        allowed: &'static [usize],
+    },
+    /// A numeric parameter fell outside its legal interval. NaN lands
+    /// here too: it compares outside every interval.
+    OutOfRange {
+        /// Which parameter is invalid.
+        parameter: &'static str,
+        /// The rejected value (integral parameters are widened).
+        value: f64,
+        /// Smallest acceptable value.
+        min: f64,
+        /// Largest acceptable value (`f64::INFINITY` = unbounded).
+        max: f64,
+    },
+    /// `pyramid_iterations` is all zeros — the tracker would never
+    /// iterate, so no frame could ever be aligned.
+    NoPyramidIterations,
 }
 
-impl fmt::Display for InvalidConfigError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid {}: {}", self.parameter, self.reason)
+impl ConfigError {
+    /// The name of the offending parameter.
+    pub fn parameter(&self) -> &'static str {
+        match self {
+            ConfigError::NotInSet { parameter, .. } | ConfigError::OutOfRange { parameter, .. } => {
+                parameter
+            }
+            ConfigError::NoPyramidIterations => "pyramid_iterations",
+        }
     }
 }
 
-impl std::error::Error for InvalidConfigError {}
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotInSet {
+                parameter,
+                value,
+                allowed,
+            } => write!(f, "invalid {parameter}: {value} not in {allowed:?}"),
+            ConfigError::OutOfRange {
+                parameter,
+                value,
+                min,
+                max,
+            } => {
+                if max.is_infinite() {
+                    write!(f, "invalid {parameter}: {value} must be at least {min}")
+                } else {
+                    write!(f, "invalid {parameter}: {value} not in [{min}, {max}]")
+                }
+            }
+            ConfigError::NoPyramidIterations => {
+                write!(
+                    f,
+                    "invalid pyramid_iterations: at least one level needs an iteration"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// What the ICP tracker aligns each new frame against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -159,54 +219,53 @@ impl KFusionConfig {
     ///
     /// # Errors
     ///
-    /// Returns the first offending parameter.
+    /// Returns a typed [`ConfigError`] for the first offending
+    /// parameter.
     // negated comparisons are deliberate: `!(x > 0.0)` also rejects NaN
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    pub fn validate(&self) -> Result<(), InvalidConfigError> {
-        fn err(parameter: &'static str, reason: impl Into<String>) -> InvalidConfigError {
-            InvalidConfigError {
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn range(parameter: &'static str, value: f64, min: f64, max: f64) -> ConfigError {
+            ConfigError::OutOfRange {
                 parameter,
-                reason: reason.into(),
+                value,
+                min,
+                max,
             }
         }
         if ![1, 2, 4, 8].contains(&self.compute_size_ratio) {
-            return Err(err(
-                "compute_size_ratio",
-                format!("{} not in {{1,2,4,8}}", self.compute_size_ratio),
-            ));
+            return Err(ConfigError::NotInSet {
+                parameter: "compute_size_ratio",
+                value: self.compute_size_ratio,
+                allowed: &[1, 2, 4, 8],
+            });
         }
         if !(self.icp_threshold > 0.0) || self.icp_threshold > 1.0 {
-            return Err(err(
+            return Err(range(
                 "icp_threshold",
-                format!("{} not in (0, 1]", self.icp_threshold),
+                f64::from(self.icp_threshold),
+                0.0,
+                1.0,
             ));
         }
         if !(self.mu > 0.0) || self.mu > 1.0 {
-            return Err(err("mu", format!("{} not in (0, 1] m", self.mu)));
+            return Err(range("mu", f64::from(self.mu), 0.0, 1.0));
         }
         if self.volume_resolution < 16 || self.volume_resolution > 1024 {
-            return Err(err(
+            return Err(range(
                 "volume_resolution",
-                format!("{} not in [16, 1024]", self.volume_resolution),
+                self.volume_resolution as f64,
+                16.0,
+                1024.0,
             ));
         }
         if !(self.volume_size > 0.0) || self.volume_size > 32.0 {
-            return Err(err(
-                "volume_size",
-                format!("{} not in (0, 32] m", self.volume_size),
-            ));
+            return Err(range("volume_size", f64::from(self.volume_size), 0.0, 32.0));
         }
         if self.pyramid_iterations.iter().all(|&n| n == 0) {
-            return Err(err(
-                "pyramid_iterations",
-                "at least one level needs an iteration",
-            ));
+            return Err(ConfigError::NoPyramidIterations);
         }
-        if self.pyramid_iterations.iter().any(|&n| n > 100) {
-            return Err(err(
-                "pyramid_iterations",
-                "more than 100 iterations per level",
-            ));
+        if let Some(&n) = self.pyramid_iterations.iter().find(|&&n| n > 100) {
+            return Err(range("pyramid_iterations", n as f64, 0.0, 100.0));
         }
         for (name, v) in [
             ("tracking_rate", self.tracking_rate),
@@ -214,24 +273,27 @@ impl KFusionConfig {
             ("raycast_rate", self.raycast_rate),
         ] {
             if v == 0 || v > 30 {
-                return Err(err(
-                    match name {
-                        "tracking_rate" => "tracking_rate",
-                        "integration_rate" => "integration_rate",
-                        _ => "raycast_rate",
-                    },
-                    format!("{v} not in [1, 30]"),
-                ));
+                return Err(range(name, v as f64, 1.0, 30.0));
             }
         }
         if !(self.min_track_fraction >= 0.0 && self.min_track_fraction <= 1.0) {
-            return Err(err("min_track_fraction", "not in [0, 1]"));
+            return Err(range(
+                "min_track_fraction",
+                f64::from(self.min_track_fraction),
+                0.0,
+                1.0,
+            ));
         }
         if !(self.max_weight >= 1.0) {
-            return Err(err("max_weight", "must be at least 1"));
+            return Err(range(
+                "max_weight",
+                f64::from(self.max_weight),
+                1.0,
+                f64::INFINITY,
+            ));
         }
         if self.threads > 1024 {
-            return Err(err("threads", format!("{} not in [0, 1024]", self.threads)));
+            return Err(range("threads", self.threads as f64, 0.0, 1024.0));
         }
         Ok(())
     }
@@ -302,7 +364,7 @@ mod tests {
             ..KFusionConfig::default()
         };
         let e = c.validate().unwrap_err();
-        assert_eq!(e.parameter, "compute_size_ratio");
+        assert_eq!(e.parameter(), "compute_size_ratio");
         assert!(e.to_string().contains("compute_size_ratio"));
     }
 
@@ -312,9 +374,9 @@ mod tests {
             mu: 0.0,
             ..KFusionConfig::default()
         };
-        assert_eq!(c.validate().unwrap_err().parameter, "mu");
+        assert_eq!(c.validate().unwrap_err().parameter(), "mu");
         c.mu = f32::NAN;
-        assert_eq!(c.validate().unwrap_err().parameter, "mu");
+        assert_eq!(c.validate().unwrap_err().parameter(), "mu");
     }
 
     #[test]
@@ -323,7 +385,7 @@ mod tests {
             pyramid_iterations: [0, 0, 0],
             ..KFusionConfig::default()
         };
-        assert_eq!(c.validate().unwrap_err().parameter, "pyramid_iterations");
+        assert_eq!(c.validate().unwrap_err().parameter(), "pyramid_iterations");
     }
 
     #[test]
@@ -332,10 +394,10 @@ mod tests {
             integration_rate: 0,
             ..KFusionConfig::default()
         };
-        assert_eq!(c.validate().unwrap_err().parameter, "integration_rate");
+        assert_eq!(c.validate().unwrap_err().parameter(), "integration_rate");
         c.integration_rate = 1;
         c.tracking_rate = 31;
-        assert_eq!(c.validate().unwrap_err().parameter, "tracking_rate");
+        assert_eq!(c.validate().unwrap_err().parameter(), "tracking_rate");
     }
 
     #[test]
@@ -344,9 +406,9 @@ mod tests {
             volume_resolution: 8,
             ..KFusionConfig::default()
         };
-        assert_eq!(c.validate().unwrap_err().parameter, "volume_resolution");
+        assert_eq!(c.validate().unwrap_err().parameter(), "volume_resolution");
         c.volume_resolution = 2048;
-        assert_eq!(c.validate().unwrap_err().parameter, "volume_resolution");
+        assert_eq!(c.validate().unwrap_err().parameter(), "volume_resolution");
     }
 
     #[test]
@@ -364,7 +426,7 @@ mod tests {
         };
         c.validate().unwrap();
         c.threads = 2000;
-        assert_eq!(c.validate().unwrap_err().parameter, "threads");
+        assert_eq!(c.validate().unwrap_err().parameter(), "threads");
     }
 
     #[test]

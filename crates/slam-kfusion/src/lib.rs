@@ -62,7 +62,7 @@ pub mod raycast;
 pub mod tsdf;
 pub mod workload;
 
-pub use config::KFusionConfig;
+pub use config::{ConfigError, KFusionConfig};
 pub use exec::{available_threads, effective_threads, with_thread_budget};
 pub use image::Image2D;
 pub use mesh::{marching_cubes, marching_cubes_with_threads, TriangleMesh};

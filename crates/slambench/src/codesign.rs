@@ -8,18 +8,20 @@
 //! exploration is *incremental* — a configuration's pipeline behaviour
 //! (trajectory, workload trace) is independent of the architectural
 //! point, so re-costing the same algorithmic configuration at a new DVFS
-//! point is nearly free. This module exploits exactly that structure by
-//! memoising pipeline runs per algorithmic sub-vector.
+//! point is nearly free. The memoisation lives in the shared
+//! [`EvalEngine`]: this module only charges the *pipeline budget* per
+//! distinct algorithmic sub-vector and lets the engine deduplicate the
+//! actual runs.
 
 use crate::config_space::{decode_config, slambench_space};
+use crate::engine::EvalEngine;
 use crate::explore::MeasuredConfig;
-use crate::run::{run_pipeline, PipelineRun};
 use slam_dse::active::{ActiveLearner, ActiveLearnerOptions};
 use slam_dse::space::{Domain, ParameterSpace};
 use slam_kfusion::KFusionConfig;
 use slam_power::DeviceModel;
 use slam_scene::dataset::SyntheticDataset;
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// The joint algorithm × architecture space: the SLAMBench algorithmic
 /// parameters plus the DVFS frequency scale.
@@ -125,63 +127,99 @@ impl CoDesignOutcome {
     }
 }
 
-/// Key for the pipeline-run memo: the algorithmic sub-vector, bitwise.
+/// Key for the pipeline-budget accounting: the algorithmic sub-vector,
+/// bitwise.
 fn algo_key(x: &[f64]) -> Vec<u64> {
     x[..x.len() - 1].iter().map(|v| v.to_bits()).collect()
 }
 
-/// Runs the joint exploration. Deterministic in the learner seed.
+/// Runs the joint exploration on a fresh in-memory [`EvalEngine`].
+/// Deterministic in the learner seed.
 pub fn codesign_explore(
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    options: &CoDesignOptions,
+) -> CoDesignOutcome {
+    codesign_explore_with_engine(&EvalEngine::new(), dataset, device, options)
+}
+
+/// [`codesign_explore`] on a caller-provided [`EvalEngine`]. Each
+/// proposal batch is evaluated concurrently through the engine; the
+/// budget accounting and outcome are identical to serial evaluation.
+pub fn codesign_explore_with_engine(
+    eval: &EvalEngine,
     dataset: &SyntheticDataset,
     device: &DeviceModel,
     options: &CoDesignOptions,
 ) -> CoDesignOutcome {
     let space = codesign_space();
     let mut learner = ActiveLearner::new(space, 3, options.learner);
-    // BTreeMap, not HashMap: the memo is keyed by float bit patterns and
-    // a nondeterministic iteration order must never leak into outputs
-    let mut cache: BTreeMap<Vec<u64>, PipelineRun> = BTreeMap::new();
+    // BTreeSet, not HashSet: keyed by float bit patterns, and a
+    // nondeterministic iteration order must never leak into outputs
+    let mut charged: BTreeSet<Vec<u64>> = BTreeSet::new();
     let mut points: Vec<CoDesignPoint> = Vec::new();
     let pipeline_budget = options.pipeline_budget;
-    learner.run(options.evaluation_budget, |x| {
-        let (config, dvfs) = decode_codesign(x);
-        let key = algo_key(x);
-        let over_budget = !cache.contains_key(&key) && cache.len() >= pipeline_budget;
-        if over_budget {
-            // out of pipeline budget: report an infeasible (large but
-            // surrogate-safe) dummy so the learner moves on without
-            // spending a run
-            return vec![1e9, 1e9, 1e9];
+    learner.run_batched(options.evaluation_budget, |xs| {
+        // replicate the serial budget accounting in batch order: a point
+        // whose algorithmic sub-vector is new once the budget is spent
+        // gets an infeasible (large but surrogate-safe) dummy and no
+        // pipeline run; re-costings of charged sub-vectors stay free
+        let mut decided: Vec<Option<(KFusionConfig, f64)>> = Vec::with_capacity(xs.len());
+        for x in xs {
+            let key = algo_key(x);
+            if !charged.contains(&key) {
+                if charged.len() >= pipeline_budget {
+                    decided.push(None);
+                    continue;
+                }
+                charged.insert(key);
+            }
+            decided.push(Some(decode_codesign(x)));
         }
-        let run = cache
-            .entry(key)
-            .or_insert_with(|| run_pipeline(dataset, &config));
-        let report = run.cost_on(&device.at_dvfs(dvfs));
-        let runtime_s = report.timing.mean_frame_time();
-        let max_ate_m = if run.lost_frames > run.frames.len() / 2 {
-            f64::from(config.volume_size)
-        } else {
-            run.ate.max
-        };
-        let watts = report.run_cost.average_watts();
-        let measured = MeasuredConfig {
-            x: x.to_vec(),
-            config,
-            runtime_s,
-            max_ate_m,
-            watts,
-            fps: if runtime_s > 0.0 {
-                1.0 / runtime_s
-            } else {
-                0.0
-            },
-        };
-        let obj = vec![runtime_s, max_ate_m, watts];
-        points.push(CoDesignPoint { measured, dvfs });
-        obj
+        let configs: Vec<KFusionConfig> = decided
+            .iter()
+            .flatten()
+            .map(|(config, _)| config.clone())
+            .collect();
+        let runs = eval.evaluate_batch(dataset, &configs);
+        let mut run_iter = runs.iter();
+        decided
+            .into_iter()
+            .zip(xs)
+            .map(|(d, x)| {
+                let Some((config, dvfs)) = d else {
+                    return vec![1e9, 1e9, 1e9];
+                };
+                // xtask-allow: panic-path — evaluate_batch returns one run per decided config by construction
+                let run = run_iter.next().expect("one run per decided config");
+                let report = run.cost_on(&device.at_dvfs(dvfs));
+                let runtime_s = report.timing.mean_frame_time();
+                let max_ate_m = if run.lost_frames > run.frames.len() / 2 {
+                    f64::from(config.volume_size)
+                } else {
+                    run.ate.max
+                };
+                let watts = report.run_cost.average_watts();
+                let measured = MeasuredConfig {
+                    x: x.to_vec(),
+                    config,
+                    runtime_s,
+                    max_ate_m,
+                    watts,
+                    fps: if runtime_s > 0.0 {
+                        1.0 / runtime_s
+                    } else {
+                        0.0
+                    },
+                };
+                let obj = vec![runtime_s, max_ate_m, watts];
+                points.push(CoDesignPoint { measured, dvfs });
+                obj
+            })
+            .collect()
     });
     CoDesignOutcome {
-        pipeline_runs: cache.len(),
+        pipeline_runs: charged.len(),
         points,
         accuracy_limit: options.accuracy_limit,
         power_budget: options.power_budget,
@@ -238,11 +276,39 @@ mod tests {
         let mut x = space.sample(&mut rng);
         let n = x.len();
         x[n - 1] = 1.0;
-        let run = run_pipeline(&dataset, &decode_codesign(&x).0);
+        let run = crate::engine::evaluate_once(&dataset, &decode_codesign(&x).0);
         let full = run.cost_on(&device.at_dvfs(1.0));
         let slow = run.cost_on(&device.at_dvfs(0.4));
         assert!(slow.run_cost.average_watts() < full.run_cost.average_watts());
         assert!(slow.run_cost.seconds > full.run_cost.seconds);
+    }
+
+    #[test]
+    fn codesign_on_warm_engine_is_bitwise_identical() {
+        let dataset = dataset();
+        let device = odroid_xu3();
+        let opts = CoDesignOptions::fast();
+        let cold = codesign_explore(&dataset, &device, &opts);
+        let eval = EvalEngine::new();
+        let warm_first = codesign_explore_with_engine(&eval, &dataset, &device, &opts);
+        let warm_second = codesign_explore_with_engine(&eval, &dataset, &device, &opts);
+        let sig = |o: &CoDesignOutcome| -> Vec<(u64, u64, u64, u64)> {
+            o.points
+                .iter()
+                .map(|p| {
+                    (
+                        p.measured.runtime_s.to_bits(),
+                        p.measured.max_ate_m.to_bits(),
+                        p.measured.watts.to_bits(),
+                        p.dvfs.to_bits(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(cold.pipeline_runs, warm_first.pipeline_runs);
+        assert_eq!(cold.pipeline_runs, warm_second.pipeline_runs);
+        assert_eq!(sig(&cold), sig(&warm_first));
+        assert_eq!(sig(&cold), sig(&warm_second));
     }
 
     #[test]

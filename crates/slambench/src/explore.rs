@@ -2,11 +2,11 @@
 //! model — the machinery behind the paper's Figure 2 and headline result.
 
 use crate::config_space::{decode_config, encode_config, slambench_space};
-use crate::run::run_pipeline;
+use crate::engine::{self, EvalEngine};
+use crate::run::PipelineRun;
 use serde::{Deserialize, Serialize};
 use slam_dse::active::{ActiveLearner, ActiveLearnerOptions};
 use slam_dse::Evaluation;
-use slam_kfusion::exec;
 use slam_kfusion::KFusionConfig;
 use slam_power::DeviceModel;
 use slam_scene::dataset::SyntheticDataset;
@@ -118,23 +118,14 @@ impl ExploreOutcome {
     }
 }
 
-/// Measures one encoded configuration on `(dataset, device)` using the
-/// kernel thread count decoded from the configuration (auto).
-pub fn measure(dataset: &SyntheticDataset, device: &DeviceModel, x: &[f64]) -> MeasuredConfig {
-    measure_with_threads(dataset, device, x, 0)
-}
-
-/// Like [`measure`] but overriding the kernel thread count (`0` = all
-/// available). The measured objectives are identical for any value.
-pub fn measure_with_threads(
-    dataset: &SyntheticDataset,
-    device: &DeviceModel,
+/// Builds a [`MeasuredConfig`] by replaying a pipeline run's workload
+/// trace on the device model.
+fn measured_from_run(
     x: &[f64],
-    threads: usize,
+    config: KFusionConfig,
+    run: &PipelineRun,
+    device: &DeviceModel,
 ) -> MeasuredConfig {
-    let mut config = decode_config(x);
-    config.threads = threads;
-    let run = run_pipeline(dataset, &config);
     let report = run.cost_on(device);
     let runtime_s = report.timing.mean_frame_time();
     // a run that lost tracking for good is useless regardless of its ATE
@@ -158,9 +149,88 @@ pub fn measure_with_threads(
     }
 }
 
+/// Measures one encoded configuration on `(dataset, device)` using the
+/// kernel thread count decoded from the configuration (auto).
+///
+/// Always executes the pipeline (no caching) — callers amortising
+/// repeated evaluations use an [`EvalEngine`] via [`measure_with_engine`].
+pub fn measure(dataset: &SyntheticDataset, device: &DeviceModel, x: &[f64]) -> MeasuredConfig {
+    measure_with_threads(dataset, device, x, 0)
+}
+
+/// Like [`measure`] but overriding the kernel thread count (`0` = all
+/// available). The measured objectives are identical for any value.
+pub fn measure_with_threads(
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    x: &[f64],
+    threads: usize,
+) -> MeasuredConfig {
+    let mut config = decode_config(x);
+    config.threads = threads;
+    let run = engine::evaluate_once(dataset, &config);
+    measured_from_run(x, config, &run, device)
+}
+
+/// [`measure`] through an [`EvalEngine`]: a repeated configuration is
+/// served from the cache instead of re-running the pipeline.
+pub fn measure_with_engine(
+    eval: &EvalEngine,
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    x: &[f64],
+    threads: usize,
+) -> MeasuredConfig {
+    let mut config = decode_config(x);
+    config.threads = threads;
+    let run = eval.evaluate(dataset, &config);
+    measured_from_run(x, config, &run, device)
+}
+
+/// Measures a batch of encoded configurations through an [`EvalEngine`],
+/// scheduling the cache misses concurrently on the shared worker pool.
+/// Results are returned in request order and are bit-identical to
+/// serial [`measure`] calls (any batch order, any thread count).
+pub fn measure_batch_with_engine(
+    eval: &EvalEngine,
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    xs: &[Vec<f64>],
+    threads: usize,
+) -> Vec<MeasuredConfig> {
+    let configs: Vec<KFusionConfig> = xs
+        .iter()
+        .map(|x| {
+            let mut config = decode_config(x);
+            config.threads = threads;
+            config
+        })
+        .collect();
+    let runs = eval.evaluate_batch(dataset, &configs);
+    xs.iter()
+        .zip(configs)
+        .zip(&runs)
+        .map(|((x, config), run)| measured_from_run(x, config, run, device))
+        .collect()
+}
+
 /// Runs the HyperMapper-style active exploration (Figure 2's "Active
-/// learning" series). Deterministic in `options.learner.seed`.
+/// learning" series) on a fresh in-memory [`EvalEngine`]. Deterministic
+/// in `options.learner.seed`.
 pub fn explore(
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    options: &ExploreOptions,
+) -> ExploreOutcome {
+    explore_with_engine(&EvalEngine::new(), dataset, device, options)
+}
+
+/// [`explore`] on a caller-provided [`EvalEngine`] (e.g. one with a
+/// warm disk cache shared across bench bins). Each proposal batch from
+/// the active learner is evaluated concurrently through the engine; the
+/// outcome is identical to evaluating serially.
+pub fn explore_with_engine(
+    eval: &EvalEngine,
     dataset: &SyntheticDataset,
     device: &DeviceModel,
     options: &ExploreOptions,
@@ -168,13 +238,19 @@ pub fn explore(
     let space = slambench_space();
     let mut learner = ActiveLearner::new(space, 3, options.learner);
     let mut measured: Vec<MeasuredConfig> = Vec::new();
-    let result = learner.run(options.budget, |x| {
-        let m = measure_with_threads(dataset, device, x, options.threads);
-        let obj = m.objectives();
-        measured.push(m);
-        obj
+    let result = learner.run_batched(options.budget, |xs| {
+        let batch = measure_batch_with_engine(eval, dataset, device, xs, options.threads);
+        batch
+            .into_iter()
+            .map(|m| {
+                let obj = m.objectives();
+                measured.push(m);
+                obj
+            })
+            .collect()
     });
-    let default_config = measure_with_threads(
+    let default_config = measure_with_engine(
+        eval,
         dataset,
         device,
         &encode_config(&KFusionConfig::default()),
@@ -189,13 +265,23 @@ pub fn explore(
 }
 
 /// Evaluates `n` uniform random configurations in parallel (Figure 2's
-/// "Random sampling" baseline). Deterministic in `seed`; results are
-/// returned in draw order.
-///
-/// Evaluations run on the shared worker pool. Each one gets an inner
-/// kernel-thread budget so the sweep-level parallelism and the kernel-level
-/// parallelism never multiply past the machine.
+/// "Random sampling" baseline) on a fresh in-memory [`EvalEngine`].
+/// Deterministic in `seed`; results are returned in draw order.
 pub fn random_sweep(
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    n: usize,
+    seed: u64,
+) -> Vec<MeasuredConfig> {
+    random_sweep_with_engine(&EvalEngine::new(), dataset, device, n, seed)
+}
+
+/// [`random_sweep`] on a caller-provided [`EvalEngine`]. The draws are
+/// evaluated as one engine batch: misses run concurrently on the shared
+/// worker pool, each under an inner kernel-thread budget so sweep-level
+/// and kernel-level parallelism never multiply past the machine.
+pub fn random_sweep_with_engine(
+    eval: &EvalEngine,
     dataset: &SyntheticDataset,
     device: &DeviceModel,
     n: usize,
@@ -205,15 +291,7 @@ pub fn random_sweep(
     let space = slambench_space();
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let samples = slam_dse::sampler::random_samples(&space, n, &mut rng);
-    let workers = exec::effective_threads(0).min(n.max(1));
-    let inner_budget = (exec::available_threads() / workers).max(1);
-    let tasks: Vec<exec::Task<'_, MeasuredConfig>> = samples
-        .iter()
-        .map(|x| -> exec::Task<'_, MeasuredConfig> {
-            Box::new(move || exec::with_thread_budget(inner_budget, || measure(dataset, device, x)))
-        })
-        .collect();
-    exec::run_tasks(workers, tasks)
+    measure_batch_with_engine(eval, dataset, device, &samples, 0)
 }
 
 #[cfg(test)]
@@ -288,6 +366,27 @@ mod tests {
             assert!((x.runtime_s - y.runtime_s).abs() < 1e-12);
             assert!((x.max_ate_m - y.max_ate_m).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn explore_through_warm_engine_is_identical_and_cached() {
+        let dataset = tiny_dataset(4);
+        let dev = odroid_xu3();
+        let opts = ExploreOptions::fast();
+        let cold = explore(&dataset, &dev, &opts);
+        let eval = EvalEngine::new();
+        let warm_first = explore_with_engine(&eval, &dataset, &dev, &opts);
+        let misses_after_first = eval.stats().misses;
+        let warm_second = explore_with_engine(&eval, &dataset, &dev, &opts);
+        assert_eq!(
+            eval.stats().misses,
+            misses_after_first,
+            "re-exploring on a warm engine must be pure cache hits"
+        );
+        // ExploreOutcome holds no wall-clock fields: byte-identical
+        let json = |o: &ExploreOutcome| serde_json::to_string(o).unwrap();
+        assert_eq!(json(&cold), json(&warm_first));
+        assert_eq!(json(&cold), json(&warm_second));
     }
 
     #[test]

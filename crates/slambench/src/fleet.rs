@@ -14,7 +14,8 @@
 //!   default configuration harder than the tuned one (stretching the
 //!   speed-up on hot devices).
 
-use crate::run::{run_pipeline, PipelineRun};
+use crate::engine::EvalEngine;
+use crate::run::PipelineRun;
 use serde::{Deserialize, Serialize};
 use slam_kfusion::KFusionConfig;
 use slam_power::fleet::Tier;
@@ -84,17 +85,50 @@ pub fn fleet_speedups(
     tuned_config: &KFusionConfig,
     fleet: &[PhoneSpec],
 ) -> Vec<FleetEntry> {
-    let tuned_run = run_pipeline(dataset, tuned_config);
-    let mut default_runs: BTreeMap<usize, PipelineRun> = BTreeMap::new();
+    fleet_speedups_with_engine(
+        &EvalEngine::new(),
+        dataset,
+        default_config,
+        tuned_config,
+        fleet,
+    )
+}
+
+/// [`fleet_speedups`] on a caller-provided [`EvalEngine`]. The tuned
+/// configuration and the distinct memory-capped default volumes are
+/// evaluated as one concurrent engine batch, then replayed per phone.
+pub fn fleet_speedups_with_engine(
+    eval: &EvalEngine,
+    dataset: &SyntheticDataset,
+    default_config: &KFusionConfig,
+    tuned_config: &KFusionConfig,
+    fleet: &[PhoneSpec],
+) -> Vec<FleetEntry> {
+    // distinct memory-capped default volumes, in fleet order
+    let mut volumes: Vec<usize> = Vec::new();
+    for phone in fleet {
+        let vr = memory_capped_volume(default_config.volume_resolution, phone.ram_mb);
+        if !volumes.contains(&vr) {
+            volumes.push(vr);
+        }
+    }
+    let mut configs: Vec<KFusionConfig> = Vec::with_capacity(volumes.len() + 1);
+    configs.push(tuned_config.clone());
+    configs.extend(volumes.iter().map(|&vr| {
+        let mut c = default_config.clone();
+        c.volume_resolution = vr;
+        c
+    }));
+    let runs = eval.evaluate_batch(dataset, &configs);
+    let tuned_run = &runs[0];
+    let default_runs: BTreeMap<usize, &PipelineRun> =
+        volumes.iter().copied().zip(runs[1..].iter()).collect();
     fleet
         .iter()
         .map(|phone| {
             let vr = memory_capped_volume(default_config.volume_resolution, phone.ram_mb);
-            let default_run = default_runs.entry(vr).or_insert_with(|| {
-                let mut c = default_config.clone();
-                c.volume_resolution = vr;
-                run_pipeline(dataset, &c)
-            });
+            // xtask-allow: panic-path — every capped volume was collected into `volumes` above
+            let default_run = default_runs.get(&vr).expect("run for every capped volume");
             let default_s = default_run
                 .cost_on_sustained(&phone.device)
                 .timing

@@ -20,10 +20,16 @@
 //! makes exploring 83 phones (Figure 3) or hundreds of DSE
 //! configurations (Figure 2) tractable.
 //!
+//! All evaluation flows through the [`engine::EvalEngine`]: a
+//! content-addressed run cache (keyed by dataset identity and the
+//! algorithmic configuration bits) whose [`engine::EvalEngine::evaluate_batch`]
+//! schedules independent pipeline runs concurrently on the shared worker
+//! pool while staying bit-identical to serial evaluation.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use slambench::run::run_pipeline;
+//! use slambench::engine::EvalEngine;
 //! use slam_kfusion::KFusionConfig;
 //! use slam_power::devices::odroid_xu3;
 //! use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
@@ -31,10 +37,21 @@
 //! let mut dc = DatasetConfig::tiny_test();
 //! dc.frame_count = 5;
 //! let dataset = SyntheticDataset::generate(&dc);
-//! let run = run_pipeline(&dataset, &KFusionConfig::fast_test());
-//! let on_xu3 = run.cost_on(&odroid_xu3());
-//! println!("ATE {:.3} m at {:.1} FPS, {:.2} W",
-//!          run.ate.max, on_xu3.run_cost.mean_fps(), on_xu3.run_cost.average_watts());
+//!
+//! let engine = EvalEngine::new();
+//! let mut small = KFusionConfig::fast_test();
+//! small.volume_resolution = 32;
+//! let runs = engine.evaluate_batch(&dataset, &[KFusionConfig::fast_test(), small]);
+//! for run in &runs {
+//!     let on_xu3 = run.cost_on(&odroid_xu3());
+//!     println!("ATE {:.3} m at {:.1} FPS, {:.2} W",
+//!              run.ate.max, on_xu3.run_cost.mean_fps(), on_xu3.run_cost.average_watts());
+//! }
+//!
+//! // a repeated request is a cache hit — no pipeline re-execution
+//! let again = engine.evaluate(&dataset, &KFusionConfig::fast_test());
+//! assert_eq!(again.ate.max, runs[0].ate.max);
+//! assert_eq!(engine.stats().hits, 1);
 //! ```
 
 #![deny(missing_docs)]
@@ -43,17 +60,23 @@
 
 pub mod codesign;
 pub mod config_space;
+pub mod engine;
 pub mod explore;
 pub mod fleet;
 pub mod run;
 pub mod suite;
 
-pub use codesign::{codesign_explore, CoDesignOptions, CoDesignOutcome};
+pub use codesign::{
+    codesign_explore, codesign_explore_with_engine, CoDesignOptions, CoDesignOutcome,
+};
 pub use config_space::{decode_config, encode_config, slambench_space};
+pub use engine::{evaluate_once, EngineStats, EvalEngine, EvalError};
 pub use explore::{
-    explore, measure, measure_with_threads, random_sweep, ExploreOptions, ExploreOutcome,
+    explore, explore_with_engine, measure, measure_batch_with_engine, measure_with_engine,
+    measure_with_threads, random_sweep, random_sweep_with_engine, ExploreOptions, ExploreOutcome,
     MeasuredConfig,
 };
-pub use fleet::{fleet_speedups, FleetEntry};
+pub use fleet::{fleet_speedups, fleet_speedups_with_engine, FleetEntry};
+// xtask-allow: engine-only — re-export of the raw runner; callers should prefer the engine
 pub use run::{run_pipeline, run_pipeline_with_threads, DeviceRunReport, FrameRecord, PipelineRun};
-pub use suite::{run_suite, standard_suite, Sequence, SuiteCell};
+pub use suite::{run_suite, run_suite_with_engine, standard_suite, Sequence, SuiteCell};

@@ -2,7 +2,7 @@
 //! configuration) pairs and tabulate speed/accuracy/power per cell —
 //! the shape of the original SLAMBench result tables.
 
-use crate::run::{run_pipeline, PipelineRun};
+use crate::engine::EvalEngine;
 use serde::{Deserialize, Serialize};
 use slam_kfusion::KFusionConfig;
 use slam_math::camera::PinholeCamera;
@@ -83,7 +83,8 @@ pub struct SuiteCell {
     pub watts: f64,
 }
 
-/// Runs every configuration over every sequence, costing on `device`.
+/// Runs every configuration over every sequence, costing on `device`,
+/// on a fresh in-memory [`EvalEngine`].
 ///
 /// Returns cells in `(sequence-major, configuration-minor)` order.
 pub fn run_suite(
@@ -91,11 +92,24 @@ pub fn run_suite(
     configs: &[(String, KFusionConfig)],
     device: &DeviceModel,
 ) -> Vec<SuiteCell> {
+    run_suite_with_engine(&EvalEngine::new(), sequences, configs, device)
+}
+
+/// [`run_suite`] on a caller-provided [`EvalEngine`]. Each sequence's
+/// configurations are evaluated as one concurrent engine batch; the
+/// cell grid is identical to serial evaluation.
+pub fn run_suite_with_engine(
+    eval: &EvalEngine,
+    sequences: &[Sequence],
+    configs: &[(String, KFusionConfig)],
+    device: &DeviceModel,
+) -> Vec<SuiteCell> {
     let mut cells = Vec::with_capacity(sequences.len() * configs.len());
+    let batch: Vec<KFusionConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
     for seq in sequences {
         let dataset = SyntheticDataset::generate(&seq.config);
-        for (label, config) in configs {
-            let run: PipelineRun = run_pipeline(&dataset, config);
+        let runs = eval.evaluate_batch(&dataset, &batch);
+        for ((label, _), run) in configs.iter().zip(&runs) {
             let report = run.cost_on(device);
             cells.push(SuiteCell {
                 sequence: seq.name.clone(),

@@ -21,6 +21,12 @@
 //!   `debug_assert!`. Binaries, tests and `#[cfg(test)]` modules are
 //!   exempt; `assert!`-style *precondition* checks with messages are the
 //!   sanctioned entry-point contract style and are not flagged.
+//! * **`engine-only`** — no direct `run_pipeline` /
+//!   `run_pipeline_with_threads` calls outside `slambench::run` and
+//!   `slambench::engine`. Every evaluation must flow through the
+//!   `EvalEngine`, or its run cache and batch scheduling silently stop
+//!   covering the workload (and duplicated orchestration loops creep
+//!   back in).
 //!
 //! A finding can be waived with an inline comment on the same or the
 //! preceding line:
@@ -36,7 +42,13 @@ use std::fmt;
 use std::path::Path;
 
 /// Names of all lints, used for waiver validation.
-pub const LINT_NAMES: &[&str] = &["threading", "unsafe-code", "hash-iter", "panic-path"];
+pub const LINT_NAMES: &[&str] = &[
+    "threading",
+    "unsafe-code",
+    "hash-iter",
+    "panic-path",
+    "engine-only",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +84,9 @@ pub struct LintPolicy {
     /// `HashMap`/`HashSet` are allowed (binaries and test sources, where
     /// nondeterministic iteration cannot leak into library outputs).
     pub allow_hash: bool,
+    /// File may call the raw pipeline runner directly (`slambench::run`
+    /// itself and the `slambench::engine` it is wrapped by).
+    pub allow_run_pipeline: bool,
     /// File is a crate root and must carry `#![deny(unsafe_code)]`.
     pub require_deny_unsafe: bool,
 }
@@ -84,6 +99,7 @@ impl LintPolicy {
             allow_unsafe: false,
             allow_panics: false,
             allow_hash: false,
+            allow_run_pipeline: false,
             require_deny_unsafe: false,
         }
     }
@@ -177,6 +193,9 @@ pub fn lint_file(src: &SourceFile, policy: LintPolicy) -> Vec<Diagnostic> {
     }
     if !policy.allow_panics {
         lint_panic_path(src, &mut out);
+    }
+    if !policy.allow_run_pipeline {
+        lint_engine_only(src, &mut out);
     }
     out.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
     out
@@ -318,6 +337,32 @@ fn lint_hash_iter(src: &SourceFile, out: &mut Vec<Diagnostic>) {
                  use `BTree{}` (or waive with a reason if iteration order provably \
                  never escapes)",
                 &ident[4..]
+            ),
+        });
+    }
+}
+
+/// `engine-only`: flags any mention of the raw pipeline runners outside
+/// `slambench::run` / `slambench::engine`. No `#[cfg(test)]` exemption —
+/// tests must exercise the engine path too (the raw runner's own
+/// determinism tests carry explicit waivers).
+fn lint_engine_only(src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for t in &src.tokens {
+        let Some(ident) = t.ident() else { continue };
+        if ident != "run_pipeline" && ident != "run_pipeline_with_threads" {
+            continue;
+        }
+        if src.waived(t.line, "engine-only") {
+            continue;
+        }
+        out.push(Diagnostic {
+            lint: "engine-only".into(),
+            file: src.path.clone(),
+            line: t.line,
+            message: format!(
+                "direct `{ident}` outside `slambench::run`/`slambench::engine`: route \
+                 evaluation through `slambench::engine::EvalEngine` so runs are cached \
+                 and batch-schedulable"
             ),
         });
     }

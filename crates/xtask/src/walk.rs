@@ -21,6 +21,14 @@ const THREADING_ALLOWLIST: &[&str] = &[
 /// framework, reports failures *by* panicking the test that drives it.
 const PANIC_ALLOWLIST: &[&str] = &["crates/slam-kfusion/src/exec/model.rs"];
 
+/// Files allowed to call the raw pipeline runner: its home module and the
+/// evaluation engine that wraps it. Everything else goes through
+/// `slambench::engine::EvalEngine` (or carries an explicit waiver).
+const ENGINE_ALLOWLIST: &[&str] = &[
+    "crates/slambench/src/run.rs",
+    "crates/slambench/src/engine.rs",
+];
+
 /// Returns every Rust source file to lint, as repo-relative paths:
 /// `crates/*/{src,tests}`, the top-level `tests/` and `examples/` trees
 /// and `suite_lib.rs`. Output is sorted for stable diagnostics.
@@ -90,6 +98,7 @@ pub fn classify(rel: &Path) -> LintPolicy {
         // binaries because their outputs are the recorded experiments
         allow_panics: is_bin || is_test_source || PANIC_ALLOWLIST.contains(&p.as_str()),
         allow_hash: is_test_source,
+        allow_run_pipeline: ENGINE_ALLOWLIST.contains(&p.as_str()),
         require_deny_unsafe: is_crate_root,
     }
 }
@@ -127,5 +136,14 @@ mod tests {
         assert!(b.allow_panics && !b.allow_threading && !b.allow_hash);
         let t = classify(Path::new("crates/slam-kfusion/tests/determinism.rs"));
         assert!(t.allow_panics && t.allow_hash && !t.allow_threading);
+    }
+
+    #[test]
+    fn only_run_and_engine_may_call_the_raw_runner() {
+        assert!(classify(Path::new("crates/slambench/src/run.rs")).allow_run_pipeline);
+        assert!(classify(Path::new("crates/slambench/src/engine.rs")).allow_run_pipeline);
+        assert!(!classify(Path::new("crates/slambench/src/explore.rs")).allow_run_pipeline);
+        assert!(!classify(Path::new("crates/bench/src/bin/headline.rs")).allow_run_pipeline);
+        assert!(!classify(Path::new("tests/determinism.rs")).allow_run_pipeline);
     }
 }

@@ -1,0 +1,25 @@
+//! Known-bad fixture: calling the raw pipeline runner outside
+//! `slambench::run` / `slambench::engine`.
+
+use slambench::run::run_pipeline; //~ engine-only
+
+pub fn direct_call(dataset: &Dataset, config: &Config) -> Run {
+    run_pipeline(dataset, config) //~ engine-only
+}
+
+pub fn direct_threaded_call(dataset: &Dataset, config: &Config) -> Run {
+    slambench::run::run_pipeline_with_threads(dataset, config, 4) //~ engine-only
+}
+
+pub fn waived_call(dataset: &Dataset, config: &Config) -> Run {
+    // xtask-allow: engine-only — fixture exercising a sanctioned raw-runner call
+    run_pipeline(dataset, config)
+}
+
+pub fn mentions_in_comments_are_fine() {
+    // run_pipeline in a comment never trips the lint, and neither does
+    // the engine's own vocabulary:
+    let _ = "run_pipeline";
+    let run_pipeline_budget = 3; // a *different* identifier stays legal
+    let _ = run_pipeline_budget;
+}

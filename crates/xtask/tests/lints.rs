@@ -128,6 +128,7 @@ fn bad_fixtures_actually_trip_every_lint() {
         "unsafe-code",
         "hash-iter",
         "panic-path",
+        "engine-only",
         "waiver",
     ] {
         assert!(

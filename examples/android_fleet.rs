@@ -8,7 +8,8 @@ use slam_kfusion::KFusionConfig;
 use slam_math::camera::PinholeCamera;
 use slam_power::fleet::{phone_fleet, Tier};
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
-use slambench::fleet::fleet_speedups;
+use slambench::engine::EvalEngine;
+use slambench::fleet::fleet_speedups_with_engine;
 
 fn main() {
     let mut dataset_config = DatasetConfig::living_room();
@@ -32,7 +33,15 @@ fn main() {
 
     let fleet = phone_fleet(2018);
     println!("costing both configurations on {} phones...", fleet.len());
-    let entries = fleet_speedups(&dataset, &default_config, &tuned_config, &fleet);
+    // the tuned config and each distinct memory-capped default volume run
+    // as one concurrent engine batch, then replay onto all 83 phone models
+    let entries = fleet_speedups_with_engine(
+        &EvalEngine::new(),
+        &dataset,
+        &default_config,
+        &tuned_config,
+        &fleet,
+    );
 
     // aggregate per market tier
     println!("\nspeed-up of the tuned configuration, by device tier:");

@@ -13,7 +13,8 @@ use slam_math::camera::PinholeCamera;
 use slam_power::devices::jetson_tk1;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
 use slambench::config_space::slambench_space;
-use slambench::explore::{explore, ExploreOptions};
+use slambench::engine::EvalEngine;
+use slambench::explore::{explore_with_engine, ExploreOptions};
 
 fn main() {
     let mut dataset_config = DatasetConfig::living_room();
@@ -41,7 +42,15 @@ fn main() {
         },
         accuracy_limit: 0.05,
     };
-    let outcome = explore(&dataset, &device, &options);
+    // every proposal batch is evaluated concurrently through the engine;
+    // the outcome is bit-identical to serial evaluation
+    let engine = EvalEngine::new();
+    let outcome = explore_with_engine(&engine, &dataset, &device, &options);
+    let stats = engine.stats();
+    println!(
+        "engine: {} pipeline runs, {} cache hits",
+        stats.misses, stats.hits
+    );
 
     println!(
         "\nevaluated {} configurations ({} initial random + {} active)",

@@ -8,7 +8,7 @@ use slam_kfusion::KFusionConfig;
 use slam_math::camera::PinholeCamera;
 use slam_power::devices::odroid_xu3;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
-use slambench::run::run_pipeline;
+use slambench::engine::EvalEngine;
 
 fn main() {
     // 1. a dataset: the living-room scene rendered along a known
@@ -29,8 +29,11 @@ fn main() {
     config.volume_resolution = 128;
     println!("running KinectFusion [{config}]...");
 
-    // 3. run the pipeline (device-independent: poses + workload trace)
-    let run = run_pipeline(&dataset, &config);
+    // 3. run the pipeline through the evaluation engine (device-
+    //    independent: poses + workload trace). Repeated requests for the
+    //    same (dataset, configuration) pair are cache hits.
+    let engine = EvalEngine::new();
+    let run = engine.evaluate(&dataset, &config);
 
     // 4. accuracy: absolute trajectory error vs the exact ground truth
     println!("\naccuracy:");

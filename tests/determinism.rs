@@ -10,6 +10,7 @@
 
 use slam_kfusion::{marching_cubes_with_threads, KFusionConfig, KinectFusion};
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+// xtask-allow: engine-only — this test pins the raw runner's own thread-count determinism
 use slambench::run_pipeline_with_threads;
 
 /// `1` is the canonical serial reference; `7` does not divide the band
@@ -32,6 +33,7 @@ fn config() -> KFusionConfig {
 #[test]
 fn trajectory_ate_and_workload_are_bit_identical_across_thread_counts() {
     let dataset = tiny_dataset(6);
+    // xtask-allow: engine-only — the raw runner is the object under test
     let reference = run_pipeline_with_threads(&dataset, &config(), 1);
     // serde_json is configured with `float_roundtrip`, so two poses print
     // to the same string exactly when every component is bit-identical
@@ -44,6 +46,7 @@ fn trajectory_ate_and_workload_are_bit_identical_across_thread_counts() {
     let ref_ate = serde_json::to_string(&reference.ate).expect("serialisable ATE");
     let ref_ops = reference.total_workload().total().ops.to_bits();
     for threads in THREAD_COUNTS {
+        // xtask-allow: engine-only — the raw runner is the object under test
         let run = run_pipeline_with_threads(&dataset, &config(), threads);
         let poses: Vec<String> = run
             .frames

@@ -1,0 +1,210 @@
+//! The evaluation engine's contract, end to end.
+//!
+//! * **Batch = serial, bitwise.** `evaluate_batch` must return
+//!   bit-identical `PipelineRun`s versus one-at-a-time serial evaluation,
+//!   in any batch order and at any thread budget. The *only* field
+//!   allowed to differ is `FrameRecord::wall_time` (host wall-clock).
+//! * **Cache hits are clones.** A repeated request returns the cached
+//!   struct verbatim — including its recorded wall times.
+//! * **The disk cache is safe.** Entries round-trip across engine
+//!   instances, and corrupt or truncated files degrade to re-evaluation,
+//!   never to a panic or a wrong answer.
+
+use slam_kfusion::exec;
+use slam_kfusion::KFusionConfig;
+use slambench::engine::{EvalEngine, EvalError};
+use slambench::run::PipelineRun;
+use slambench_suite::test_dataset;
+
+/// A canonical JSON form with the one nondeterministic field zeroed, so
+/// equality of strings is bit-equality of everything else (serde_json is
+/// built with `float_roundtrip`).
+fn canon(run: &PipelineRun) -> String {
+    let mut clean = run.clone();
+    for frame in &mut clean.frames {
+        frame.wall_time = 0.0;
+    }
+    serde_json::to_string(&clean).expect("serialisable run")
+}
+
+/// Five distinct configurations spanning the knobs the cache key covers.
+fn batch_configs() -> Vec<KFusionConfig> {
+    let base = KFusionConfig::fast_test();
+    let mut out = vec![base.clone()];
+    let mut a = base.clone();
+    a.volume_resolution = 32;
+    out.push(a);
+    let mut b = base.clone();
+    b.compute_size_ratio = 2;
+    out.push(b);
+    let mut c = base.clone();
+    c.pyramid_iterations = [3, 2, 1];
+    out.push(c);
+    let mut d = base;
+    d.integration_rate = 2;
+    out.push(d);
+    out
+}
+
+#[test]
+fn batch_is_bit_identical_to_serial_at_any_thread_budget_and_order() {
+    let dataset = test_dataset(4);
+    let configs = batch_configs();
+
+    // serial reference: one at a time, single-threaded
+    let reference: Vec<String> = exec::with_thread_budget(1, || {
+        configs
+            .iter()
+            .map(|c| canon(&EvalEngine::new().evaluate(&dataset, c)))
+            .collect()
+    });
+
+    for budget in [1usize, 2, 7] {
+        let runs = exec::with_thread_budget(budget, || {
+            EvalEngine::new().evaluate_batch(&dataset, &configs)
+        });
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(
+                canon(run),
+                reference[i],
+                "run {i} diverged at thread budget {budget}"
+            );
+        }
+    }
+
+    // any batch order, including in-batch duplicates
+    let order = [4usize, 2, 0, 3, 1, 2, 2];
+    let shuffled: Vec<KFusionConfig> = order.iter().map(|&i| configs[i].clone()).collect();
+    let runs = EvalEngine::new().evaluate_batch(&dataset, &shuffled);
+    for (slot, (&i, run)) in order.iter().zip(&runs).enumerate() {
+        assert_eq!(
+            canon(run),
+            reference[i],
+            "shuffled slot {slot} (config {i}) diverged"
+        );
+    }
+}
+
+#[test]
+fn cache_hit_returns_the_identical_struct() {
+    let dataset = test_dataset(3);
+    let engine = EvalEngine::new();
+    let config = KFusionConfig::fast_test();
+    let first = engine.evaluate(&dataset, &config);
+    let second = engine.evaluate(&dataset, &config);
+    // full equality, wall times included: a hit is a clone, not a re-run
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap()
+    );
+    assert_eq!(engine.stats().hits, 1);
+    assert_eq!(engine.stats().misses, 1);
+}
+
+/// A scratch directory unique to this test process.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("slambench-engine-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn disk_cache_round_trips_across_engine_instances() {
+    let dir = scratch_dir("roundtrip");
+    let dataset = test_dataset(3);
+    let config = KFusionConfig::fast_test();
+
+    let writer = EvalEngine::with_disk_cache(&dir);
+    let first = writer.evaluate(&dataset, &config);
+    assert_eq!(writer.stats().misses, 1);
+
+    let reader = EvalEngine::with_disk_cache(&dir);
+    assert!(reader.is_cached(&dataset, &config));
+    let second = reader.evaluate(&dataset, &config);
+    let stats = reader.stats();
+    assert_eq!(stats.misses, 0, "disk entry must serve the request");
+    assert_eq!(stats.disk_hits + stats.hits, 1);
+    // byte-identical, wall times included: the run was persisted whole
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap()
+    );
+
+    // a different config is still a miss
+    let mut other = config.clone();
+    other.volume_resolution = 32;
+    assert!(!reader.is_cached(&dataset, &other));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_truncated_disk_entries_degrade_to_misses() {
+    let dir = scratch_dir("corrupt");
+    let dataset = test_dataset(3);
+    let config = KFusionConfig::fast_test();
+
+    let writer = EvalEngine::with_disk_cache(&dir);
+    let reference = writer.evaluate(&dataset, &config);
+
+    for (label, mangle) in [
+        ("garbage", b"not json at all {{{".to_vec() as Vec<u8>),
+        ("empty", Vec::new()),
+    ] {
+        for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
+            std::fs::write(entry.expect("dir entry").path(), &mangle).expect("writable");
+        }
+        let reader = EvalEngine::with_disk_cache(&dir);
+        let run = reader.evaluate(&dataset, &config); // must not panic
+        assert_eq!(
+            reader.stats().misses,
+            1,
+            "{label}: a bad file must read as a miss"
+        );
+        assert_eq!(
+            canon(&run),
+            canon(&reference),
+            "{label}: re-evaluation diverged"
+        );
+    }
+
+    // truncation: chop a freshly persisted valid entry in half
+    for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
+        let path = entry.expect("dir entry").path();
+        let text = std::fs::read_to_string(&path).expect("readable");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("writable");
+    }
+    let reader = EvalEngine::with_disk_cache(&dir);
+    let run = reader.evaluate(&dataset, &config);
+    assert_eq!(
+        reader.stats().misses,
+        1,
+        "truncated file must read as a miss"
+    );
+    assert_eq!(canon(&run), canon(&reference));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn typed_errors_surface_without_evaluating() {
+    let dataset = test_dataset(3);
+    let engine = EvalEngine::new();
+    let mut bad = KFusionConfig::fast_test();
+    bad.volume_resolution = 7; // below the [16, 1024] range
+    let err = engine
+        .try_evaluate_batch(&dataset, &[KFusionConfig::fast_test(), bad])
+        .expect_err("invalid config must be rejected");
+    assert!(matches!(err, EvalError::InvalidConfig(_)));
+    assert_eq!(
+        engine.stats().requests(),
+        0,
+        "validation failure must reject the whole batch before any run"
+    );
+
+    let empty = test_dataset(0);
+    let err = engine
+        .try_evaluate(&empty, &KFusionConfig::fast_test())
+        .expect_err("empty dataset must be rejected");
+    assert_eq!(err, EvalError::EmptyDataset);
+}

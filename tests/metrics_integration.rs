@@ -4,14 +4,14 @@ use slam_kfusion::KFusionConfig;
 use slam_math::Se3;
 use slam_metrics::ate::{ate, Alignment, AteOptions};
 use slam_metrics::rpe::rpe;
-use slambench::run::run_pipeline;
+use slambench::engine::EvalEngine;
 use slambench_suite::test_dataset;
 
 fn run_poses(frames: usize) -> (Vec<Se3>, Vec<Se3>) {
     let dataset = test_dataset(frames);
     let mut config = KFusionConfig::fast_test();
     config.volume_resolution = 128;
-    let run = run_pipeline(&dataset, &config);
+    let run = EvalEngine::new().evaluate(&dataset, &config);
     (
         run.frames.iter().map(|f| f.pose).collect(),
         run.frames.iter().map(|f| f.ground_truth).collect(),

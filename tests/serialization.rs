@@ -6,8 +6,8 @@ use slam_kfusion::KFusionConfig;
 use slam_power::devices::odroid_xu3;
 use slam_power::fleet::phone_fleet;
 use slam_power::DeviceModel;
+use slambench::engine::EvalEngine;
 use slambench::explore::MeasuredConfig;
-use slambench::run::run_pipeline;
 use slambench_suite::test_dataset;
 
 #[test]
@@ -37,7 +37,7 @@ fn phone_fleet_roundtrip() {
 #[test]
 fn pipeline_run_roundtrip() {
     let dataset = test_dataset(3);
-    let run = run_pipeline(&dataset, &KFusionConfig::fast_test());
+    let run = EvalEngine::new().evaluate(&dataset, &KFusionConfig::fast_test());
     let json = serde_json::to_string(&run).unwrap();
     let back: slambench::run::PipelineRun = serde_json::from_str(&json).unwrap();
     assert_eq!(back.frames.len(), run.frames.len());
