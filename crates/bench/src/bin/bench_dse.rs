@@ -14,15 +14,23 @@ use rand::SeedableRng;
 use slam_kfusion::exec;
 use slam_kfusion::KFusionConfig;
 use slam_power::devices::odroid_xu3;
+use slam_trace::Tracer;
 use slambench::config_space::{decode_config, slambench_space};
 use slambench::engine::EvalEngine;
 use slambench::explore::{explore_with_engine, ExploreOptions};
-use std::time::Instant;
 
+/// Wall-clock seconds of one call, measured as a slam-trace span.
 fn secs(f: impl FnOnce()) -> f64 {
-    let t = Instant::now();
-    f();
-    t.elapsed().as_secs_f64()
+    let tracer = Tracer::new();
+    {
+        let _s = tracer.section_span("measurement");
+        f();
+    }
+    tracer
+        .drain()
+        .spans()
+        .find(|s| s.name == "measurement")
+        .map_or(0.0, |s| s.duration_ns() as f64 / 1e9)
 }
 
 fn main() {

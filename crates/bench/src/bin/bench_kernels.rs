@@ -16,20 +16,22 @@ use slam_kfusion::tsdf::TsdfVolume;
 use slam_kfusion::KFusionConfig;
 use slam_math::camera::PinholeCamera;
 use slam_math::{Se3, Vec3};
-use std::time::Instant;
+use slam_trace::{ProfileRow, SpanLevel, Tracer};
 
-/// Median wall-clock seconds of `runs` calls (after one warm-up call).
+/// Median wall-clock seconds of `runs` calls (after one warm-up call),
+/// recorded as slam-trace spans and read off the aggregated profile.
 fn median_secs(mut f: impl FnMut(), runs: usize) -> f64 {
     f();
-    let mut times: Vec<f64> = (0..runs)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    let tracer = Tracer::new();
+    for _ in 0..runs {
+        let _run = tracer.section_span("timed_run");
+        f();
+    }
+    tracer
+        .drain()
+        .profile()
+        .get_at(SpanLevel::Section, "timed_run")
+        .map_or(0.0, ProfileRow::median_secs)
 }
 
 struct Entry {

@@ -1,0 +1,93 @@
+//! Tracing-overhead baseline: traced vs untraced pipeline runs.
+//!
+//! Runs the same short sequence with tracing disabled and enabled
+//! (median of several repetitions of each), reports the overhead
+//! percentage and the per-kernel time shares off the traced run's
+//! aggregated profile, writes the numbers to `BENCH_trace.json`, and
+//! dumps the Chrome `trace_event` JSON under `results/traces/` (load it
+//! in Perfetto or `about://tracing`).
+//!
+//! Run with `cargo run --release -p bench --bin bench_trace`.
+
+use bench::{exploration_camera, living_room_dataset};
+use slam_kfusion::KFusionConfig;
+use slam_trace::{SpanLevel, Tracer};
+use slambench::engine::{evaluate_once, evaluate_once_traced};
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let frames = 10;
+    let reps = 5;
+    let dataset = living_room_dataset(exploration_camera(), frames);
+    let config = KFusionConfig {
+        volume_resolution: 128,
+        ..KFusionConfig::default()
+    };
+
+    eprintln!("timing {reps} untraced vs {reps} traced runs of {frames} frames...");
+    evaluate_once(&dataset, &config); // warm-up
+    let untraced_s = median(
+        (0..reps)
+            .map(|_| evaluate_once(&dataset, &config).wall_seconds())
+            .collect(),
+    );
+    let tracer = Tracer::new();
+    let traced_s = median(
+        (0..reps)
+            .map(|_| evaluate_once_traced(&dataset, &config, &tracer).wall_seconds())
+            .collect(),
+    );
+    let overhead_pct = (traced_s / untraced_s.max(1e-12) - 1.0) * 100.0;
+
+    let trace = tracer.drain();
+    let profile = trace.profile();
+    println!("{}", profile.render());
+    println!(
+        "untraced {:.4} s, traced {:.4} s per run: {overhead_pct:+.2}% tracing overhead \
+         ({} events over {reps} runs)",
+        untraced_s,
+        traced_s,
+        trace.len(),
+    );
+
+    let kernels: Vec<serde_json::Value> = profile
+        .rows()
+        .iter()
+        .filter(|r| r.level == SpanLevel::Kernel)
+        .map(|r| {
+            serde_json::json!({
+                "kernel": r.name,
+                "count": r.count,
+                "total_ms": r.total_ns as f64 / 1e6,
+                "ms_per_frame": r.total_ns as f64 / 1e6 / (frames * reps) as f64,
+                "share": profile.share(SpanLevel::Kernel, r.name),
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "frames": frames,
+        "reps": reps,
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "overhead_pct": overhead_pct,
+        "events": trace.len(),
+        "counters": trace.counter_totals(),
+        "kernels": kernels,
+    });
+    let path = "BENCH_trace.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialisable report"),
+    )
+    .expect("writable working directory");
+
+    let trace_dir = std::path::Path::new("results/traces");
+    std::fs::create_dir_all(trace_dir).expect("writable working directory");
+    let chrome = trace_dir.join("bench_trace.json");
+    std::fs::write(&chrome, trace.to_chrome_json()).expect("writable working directory");
+    println!("\nwritten to {path}; Chrome trace at {}", chrome.display());
+}

@@ -9,6 +9,7 @@ use slam_kfusion::{KFusionConfig, Kernel};
 use slam_math::camera::PinholeCamera;
 use slam_metrics::report::Table;
 use slam_power::devices::all_devices;
+use slam_trace::{SpanLevel, Tracer};
 use slambench::engine::EvalEngine;
 
 fn main() {
@@ -25,7 +26,12 @@ fn main() {
         ..KFusionConfig::default()
     };
     eprintln!("running pipeline...");
-    let run = EvalEngine::with_disk_cache("results/cache").evaluate(&dataset, &config);
+    // no disk cache here: the measured profile below needs a real
+    // execution under the tracer, not a cache hit
+    let tracer = Tracer::new();
+    let engine = EvalEngine::new().with_tracer(tracer.clone());
+    let run = engine.evaluate(&dataset, &config);
+    let profile = tracer.drain().profile();
 
     let devices = all_devices();
     let mut headers = vec!["kernel".into()];
@@ -74,6 +80,30 @@ fn main() {
         ]);
     }
     println!("{}", fps.render());
+
+    // the same table measured on this host, derived from the traced
+    // run's aggregated per-kernel profile (informational only; the
+    // figures above use the device model)
+    let mut host = Table::new(vec![
+        "kernel".into(),
+        "host ms/frame".into(),
+        "share".into(),
+    ]);
+    for kernel in Kernel::ALL {
+        let Some(row) = profile.get_at(SpanLevel::Kernel, kernel.name()) else {
+            continue;
+        };
+        host.row(vec![
+            kernel.name().to_string(),
+            format!("{:.2}", row.total_secs() / frames as f64 * 1e3),
+            format!(
+                "{:.1}%",
+                100.0 * profile.share(SpanLevel::Kernel, kernel.name())
+            ),
+        ]);
+    }
+    println!("== measured host profile (slam-trace) ==");
+    println!("{}", host.render());
 
     println!(
         "host wall time: {:.1} ms/frame (informational only; figures use the device model)",

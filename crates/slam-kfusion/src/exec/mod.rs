@@ -49,6 +49,7 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
+use slam_trace::Tracer;
 use sync::{AtomicUsize, Condvar, Mutex, Ordering};
 
 /// A unit of work submitted to the pool: one boxed closure whose result
@@ -170,6 +171,60 @@ where
         .map(|range| Box::new(move || f(range)) as Task<'_, R>)
         .collect();
     run_tasks(threads, tasks)
+}
+
+/// Like [`run_tasks`], with each task wrapped in a `name`d
+/// [`SpanLevel::Band`](slam_trace::SpanLevel::Band) span recorded on
+/// whichever pool worker executes it, plus `pool.groups` / `pool.tasks`
+/// counter bumps. With a disabled tracer this is exactly [`run_tasks`]
+/// (no wrapping, no allocation).
+///
+/// Tracing never changes scheduling or results: the wrappers run the
+/// original tasks unchanged and results still return in submission
+/// order.
+pub fn trace_tasks<'a, R: Send + 'a>(
+    tracer: &'a Tracer,
+    name: &'static str,
+    threads: usize,
+    tasks: Vec<Task<'a, R>>,
+) -> Vec<R> {
+    if !tracer.enabled() {
+        return run_tasks(threads, tasks);
+    }
+    tracer.counter("pool.groups", 1);
+    tracer.counter("pool.tasks", tasks.len() as u64);
+    let tasks: Vec<Task<'a, R>> = tasks
+        .into_iter()
+        .map(|task| {
+            Box::new(move || {
+                let _band = tracer.band_span(name);
+                task()
+            }) as Task<'a, R>
+        })
+        .collect();
+    run_tasks(threads, tasks)
+}
+
+/// Like [`run_bands`], with per-band spans and pool counters recorded
+/// into `tracer` (see [`trace_tasks`]). With a disabled tracer this is
+/// exactly [`run_bands`].
+pub fn run_bands_traced<R, F>(
+    tracer: &Tracer,
+    name: &'static str,
+    threads: usize,
+    n: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let f = &f;
+    let tasks: Vec<Task<'_, R>> = band_ranges(n)
+        .into_iter()
+        .map(|range| Box::new(move || f(range)) as Task<'_, R>)
+        .collect();
+    trace_tasks(tracer, name, threads, tasks)
 }
 
 /// The process-wide worker pool, created on first use with one worker
@@ -659,6 +714,43 @@ mod tests {
         assert_eq!(out.iter().sum::<usize>(), 32 * 33 / 2);
         // must return (workers observe the shutdown flag), not hang
         pool.shutdown();
+    }
+
+    #[test]
+    fn traced_bands_match_untraced_and_record_spans() {
+        use slam_trace::{MockClock, SpanLevel};
+        let values: Vec<f32> = (0..999).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let plain: f32 = run_bands(4, values.len(), |r| values[r].iter().copied().sum::<f32>())
+            .into_iter()
+            .sum();
+        let tracer = Tracer::with_clock(MockClock::new(1));
+        let traced: f32 = run_bands_traced(&tracer, "sum", 4, values.len(), |r| {
+            values[r].iter().copied().sum::<f32>()
+        })
+        .into_iter()
+        .sum();
+        assert_eq!(
+            traced.to_bits(),
+            plain.to_bits(),
+            "tracing perturbed results"
+        );
+        let trace = tracer.drain();
+        let bands = trace
+            .spans()
+            .filter(|s| s.level == SpanLevel::Band && s.name == "sum")
+            .count();
+        assert_eq!(bands, band_ranges(values.len()).len());
+        assert_eq!(trace.counter_total("pool.tasks"), bands as u64);
+        assert_eq!(trace.counter_total("pool.groups"), 1);
+        // disabled tracer takes the zero-overhead path and records nothing
+        let off = Tracer::disabled();
+        let silent: f32 = run_bands_traced(&off, "sum", 4, values.len(), |r| {
+            values[r].iter().copied().sum::<f32>()
+        })
+        .into_iter()
+        .sum();
+        assert_eq!(silent.to_bits(), plain.to_bits());
+        assert!(off.drain().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use slam_math::camera::PinholeCamera;
 use slam_math::se3::Twist;
 use slam_math::solve::NormalEquations;
 use slam_math::{Se3, Vec3};
+use slam_trace::Tracer;
 
 /// Outcome of tracking one frame.
 #[derive(Debug, Clone, Copy)]
@@ -66,78 +67,80 @@ fn icp_iteration(
     model_camera: &PinholeCamera,
     pose: &Se3,
     config: &KFusionConfig,
+    tracer: &Tracer,
 ) -> (IterationStats, Workload) {
     let model_inv = model.pose.inverse();
     let normal_cos_min = config.icp_normal_threshold.cos();
     let threads = exec::effective_threads(config.threads);
-    let band_results = exec::run_bands(threads, level.camera.height, |rows| {
-        let mut ne = NormalEquations::<6>::new();
-        let mut matched = 0usize;
-        let mut total_valid = 0usize;
-        for y in rows {
-            for x in 0..level.camera.width {
-                let v = level.vertices.get(x, y);
-                if v.z <= 0.0 {
-                    continue;
+    let band_results =
+        exec::run_bands_traced(tracer, "track", threads, level.camera.height, |rows| {
+            let mut ne = NormalEquations::<6>::new();
+            let mut matched = 0usize;
+            let mut total_valid = 0usize;
+            for y in rows {
+                for x in 0..level.camera.width {
+                    let v = level.vertices.get(x, y);
+                    if v.z <= 0.0 {
+                        continue;
+                    }
+                    let n_cur = level.normals.get(x, y);
+                    if n_cur.norm_squared() < 0.25 {
+                        continue;
+                    }
+                    total_valid += 1;
+                    // current point in world coordinates under the pose estimate
+                    let p_world = pose.transform_point(v);
+                    // project into the model camera
+                    let p_model_cam = model_inv.transform_point(p_world);
+                    let Some(px) = model_camera.project(p_model_cam) else {
+                        continue;
+                    };
+                    if !model_camera.contains(px) {
+                        continue;
+                    }
+                    // round to the nearest pixel — truncation would bias the
+                    // association half a pixel towards the origin
+                    let (ui, vi) = ((px.x + 0.5) as usize, (px.y + 0.5) as usize);
+                    if ui >= model_camera.width || vi >= model_camera.height {
+                        continue;
+                    }
+                    let v_ref = model.vertices.get(ui, vi);
+                    let n_ref = model.normals.get(ui, vi);
+                    if n_ref.norm_squared() < 0.25 {
+                        continue;
+                    }
+                    let diff = v_ref - p_world;
+                    if diff.norm() > config.icp_dist_threshold {
+                        continue;
+                    }
+                    let n_world_cur = pose.transform_vector(n_cur);
+                    if n_world_cur.dot(n_ref) < normal_cos_min {
+                        continue;
+                    }
+                    matched += 1;
+                    let r = f64::from(n_ref.dot(diff));
+                    let cross = p_world.cross(n_ref);
+                    let j = [
+                        f64::from(n_ref.x),
+                        f64::from(n_ref.y),
+                        f64::from(n_ref.z),
+                        f64::from(cross.x),
+                        f64::from(cross.y),
+                        f64::from(cross.z),
+                    ];
+                    // Huber weighting: down-weight residuals beyond ~1 cm so depth
+                    // discontinuities and TSDF skirts do not drag the solution
+                    const HUBER_DELTA: f64 = 0.01;
+                    let w = if r.abs() <= HUBER_DELTA {
+                        1.0
+                    } else {
+                        HUBER_DELTA / r.abs()
+                    };
+                    ne.add_row(&j, r, w);
                 }
-                let n_cur = level.normals.get(x, y);
-                if n_cur.norm_squared() < 0.25 {
-                    continue;
-                }
-                total_valid += 1;
-                // current point in world coordinates under the pose estimate
-                let p_world = pose.transform_point(v);
-                // project into the model camera
-                let p_model_cam = model_inv.transform_point(p_world);
-                let Some(px) = model_camera.project(p_model_cam) else {
-                    continue;
-                };
-                if !model_camera.contains(px) {
-                    continue;
-                }
-                // round to the nearest pixel — truncation would bias the
-                // association half a pixel towards the origin
-                let (ui, vi) = ((px.x + 0.5) as usize, (px.y + 0.5) as usize);
-                if ui >= model_camera.width || vi >= model_camera.height {
-                    continue;
-                }
-                let v_ref = model.vertices.get(ui, vi);
-                let n_ref = model.normals.get(ui, vi);
-                if n_ref.norm_squared() < 0.25 {
-                    continue;
-                }
-                let diff = v_ref - p_world;
-                if diff.norm() > config.icp_dist_threshold {
-                    continue;
-                }
-                let n_world_cur = pose.transform_vector(n_cur);
-                if n_world_cur.dot(n_ref) < normal_cos_min {
-                    continue;
-                }
-                matched += 1;
-                let r = f64::from(n_ref.dot(diff));
-                let cross = p_world.cross(n_ref);
-                let j = [
-                    f64::from(n_ref.x),
-                    f64::from(n_ref.y),
-                    f64::from(n_ref.z),
-                    f64::from(cross.x),
-                    f64::from(cross.y),
-                    f64::from(cross.z),
-                ];
-                // Huber weighting: down-weight residuals beyond ~1 cm so depth
-                // discontinuities and TSDF skirts do not drag the solution
-                const HUBER_DELTA: f64 = 0.01;
-                let w = if r.abs() <= HUBER_DELTA {
-                    1.0
-                } else {
-                    HUBER_DELTA / r.abs()
-                };
-                ne.add_row(&j, r, w);
             }
-        }
-        (ne, matched, total_valid)
-    });
+            (ne, matched, total_valid)
+        });
     // merge the per-band partial systems in band order: the fixed band
     // layout makes the floating-point accumulation order canonical
     let mut ne = NormalEquations::<6>::new();
@@ -168,7 +171,11 @@ fn icp_iteration(
             work,
         );
     }
-    match ne.solve() {
+    let solved = {
+        let _solve = tracer.kernel_span("solve");
+        ne.solve()
+    };
+    match solved {
         Ok(x) => {
             let update = Twist::new(
                 Vec3::new(x[0] as f32, x[1] as f32, x[2] as f32),
@@ -214,6 +221,28 @@ pub fn track(
     initial_pose: &Se3,
     config: &KFusionConfig,
 ) -> (TrackResult, Workload, Workload) {
+    track_traced(
+        levels,
+        model,
+        model_camera,
+        initial_pose,
+        config,
+        Tracer::off(),
+    )
+}
+
+/// Like [`track`], recording `track` / `solve` kernel spans, per-band
+/// association spans, and an `icp.iterations` counter into `tracer`.
+/// Tracing never changes the estimated pose.
+pub fn track_traced(
+    levels: &[TrackLevel],
+    model: &RaycastResult,
+    model_camera: &PinholeCamera,
+    initial_pose: &Se3,
+    config: &KFusionConfig,
+    tracer: &Tracer,
+) -> (TrackResult, Workload, Workload) {
+    let _kernel = tracer.kernel_span("track");
     let mut pose = *initial_pose;
     let mut track_work = Workload::ZERO;
     let mut solve_work = Workload::ZERO;
@@ -225,7 +254,7 @@ pub fn track(
     for (li, level) in levels.iter().enumerate().rev() {
         let max_iter = config.pyramid_iterations.get(li).copied().unwrap_or(0);
         for _ in 0..max_iter {
-            let (stats, work) = icp_iteration(level, model, model_camera, &pose, config);
+            let (stats, work) = icp_iteration(level, model, model_camera, &pose, config, tracer);
             track_work += work;
             // 6x6 cholesky + substitutions ≈ 500 flops
             solve_work += Workload::new(500.0, 36.0 * 8.0 * 3.0);
@@ -252,6 +281,7 @@ pub fn track(
         && last_matched_fraction >= f64::from(config.min_track_fraction)
         && last_rms.is_finite()
         && last_rms < 0.05;
+    tracer.counter("icp.iterations", iterations as u64);
     (
         TrackResult {
             pose,

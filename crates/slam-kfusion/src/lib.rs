@@ -65,7 +65,7 @@ pub mod workload;
 pub use config::{ConfigError, KFusionConfig};
 pub use exec::{available_threads, effective_threads, with_thread_budget};
 pub use image::Image2D;
-pub use mesh::{marching_cubes, marching_cubes_with_threads, TriangleMesh};
+pub use mesh::{marching_cubes, marching_cubes_traced, marching_cubes_with_threads, TriangleMesh};
 pub use pipeline::{FrameResult, KinectFusion};
 pub use tsdf::TsdfVolume;
 pub use workload::{FrameWorkload, Kernel, Workload};

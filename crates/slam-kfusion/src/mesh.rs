@@ -6,6 +6,7 @@ use crate::exec;
 use crate::mc_tables::{EDGE_TABLE, TRI_TABLE};
 use crate::tsdf::TsdfVolume;
 use slam_math::Vec3;
+use slam_trace::Tracer;
 use std::fmt::Write as _;
 
 /// Cube corner offsets in (x, y, z), Bourke ordering.
@@ -117,12 +118,20 @@ pub fn marching_cubes(volume: &TsdfVolume) -> TriangleMesh {
 /// indices, reproducing the serial emission order exactly — the mesh is
 /// bit-identical for every thread count.
 pub fn marching_cubes_with_threads(volume: &TsdfVolume, threads: usize) -> TriangleMesh {
+    marching_cubes_traced(volume, threads, Tracer::off())
+}
+
+/// Like [`marching_cubes_with_threads`], recording a `marching_cubes`
+/// kernel span plus per-slab band spans into `tracer`. Tracing never
+/// changes the mesh.
+pub fn marching_cubes_traced(volume: &TsdfVolume, threads: usize, tracer: &Tracer) -> TriangleMesh {
+    let _kernel = tracer.kernel_span("marching_cubes");
     let res = volume.resolution();
     if res < 2 {
         return TriangleMesh::default();
     }
     let threads = exec::effective_threads(threads);
-    let slabs = exec::run_bands(threads, res - 1, |zs| {
+    let slabs = exec::run_bands_traced(tracer, "marching_cubes", threads, res - 1, |zs| {
         let mut mesh = TriangleMesh::default();
         for z in zs {
             march_slice(volume, z, &mut mesh);

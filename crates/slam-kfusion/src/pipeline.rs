@@ -1,17 +1,18 @@
 //! The per-frame KinectFusion pipeline orchestration.
 
 use crate::config::{KFusionConfig, TrackingReference};
-use crate::icp::{track, TrackLevel, TrackResult};
+use crate::icp::{track_traced, TrackLevel, TrackResult};
 use crate::image::{DepthImage, Image2D};
 use crate::preprocess::{
-    bilateral_filter_with_threads, depth2vertex, half_sample, mm2meters, vertex2normal,
+    bilateral_filter_traced, depth2vertex, half_sample, mm2meters, vertex2normal,
 };
-use crate::raycast::{raycast_with_threads, RaycastParams, RaycastResult};
+use crate::raycast::{raycast_traced, RaycastParams, RaycastResult};
 use crate::tsdf::TsdfVolume;
 use crate::workload::{FrameWorkload, Kernel, Workload};
 use slam_math::camera::PinholeCamera;
 use slam_math::Se3;
-use std::time::Instant;
+use slam_trace::{Clock, Tracer, WallClock};
+use std::sync::Arc;
 
 /// Everything the pipeline produced for one frame.
 #[derive(Debug, Clone)]
@@ -63,6 +64,11 @@ pub struct KinectFusion {
     prev_frame_maps: Option<RaycastResult>,
     frame_index: usize,
     lost_frames: usize,
+    /// Time source for [`FrameResult::wall_time`]. Defaults to
+    /// [`WallClock`]; tests inject a
+    /// [`MockClock`](slam_trace::MockClock) to pin timing plumbing
+    /// deterministically.
+    clock: Arc<dyn Clock>,
 }
 
 impl KinectFusion {
@@ -101,7 +107,18 @@ impl KinectFusion {
             prev_frame_maps: None,
             frame_index: 0,
             lost_frames: 0,
+            clock: Arc::new(WallClock::new()),
         }
+    }
+
+    /// Replaces the time source behind [`FrameResult::wall_time`]
+    /// (builder style). The default is [`WallClock`]; inject a
+    /// [`MockClock`](slam_trace::MockClock) to make timing
+    /// deterministic in tests. The clock never influences the pipeline's
+    /// outputs — only the reported `wall_time`.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> KinectFusion {
+        self.clock = clock;
+        self
     }
 
     /// The active configuration.
@@ -154,11 +171,19 @@ impl KinectFusion {
     }
 
     /// Builds the three-level tracking pyramid from the filtered depth.
-    fn build_pyramid(&self, filtered: &DepthImage, fw: &mut FrameWorkload) -> Vec<TrackLevel> {
+    fn build_pyramid(
+        &self,
+        filtered: &DepthImage,
+        fw: &mut FrameWorkload,
+        tracer: &Tracer,
+    ) -> Vec<TrackLevel> {
         let mut depths = Vec::with_capacity(3);
         depths.push(filtered.clone());
         for level in 1..3 {
-            let (half, work) = half_sample(&depths[level - 1], 0.1);
+            let (half, work) = {
+                let _k = tracer.kernel_span("halfsample");
+                half_sample(&depths[level - 1], 0.1)
+            };
             fw.record(Kernel::HalfSample, work);
             depths.push(half);
         }
@@ -167,9 +192,15 @@ impl KinectFusion {
             .enumerate()
             .map(|(level, depth)| {
                 let camera = self.pyramid_cameras[level];
-                let (vertices, vw) = depth2vertex(&depth, &camera);
+                let (vertices, vw) = {
+                    let _k = tracer.kernel_span("depth2vertex");
+                    depth2vertex(&depth, &camera)
+                };
                 fw.record(Kernel::Depth2Vertex, vw);
-                let (normals, nw) = vertex2normal(&vertices);
+                let (normals, nw) = {
+                    let _k = tracer.kernel_span("vertex2normal");
+                    vertex2normal(&vertices)
+                };
                 fw.record(Kernel::Vertex2Normal, nw);
                 TrackLevel {
                     vertices,
@@ -186,30 +217,48 @@ impl KinectFusion {
     ///
     /// Panics when `depth_mm.len()` does not match the sensor resolution.
     pub fn process_frame(&mut self, depth_mm: &[u16]) -> FrameResult {
+        self.process_frame_traced(depth_mm, Tracer::off())
+    }
+
+    /// Like [`KinectFusion::process_frame`], recording a `frame` span
+    /// with the full kernel/band hierarchy and the pipeline counters
+    /// into `tracer`. Tracing never changes the pipeline's outputs — a
+    /// traced run is bit-identical to an untraced one (the determinism
+    /// suite asserts this).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth_mm.len()` does not match the sensor resolution.
+    pub fn process_frame_traced(&mut self, depth_mm: &[u16], tracer: &Tracer) -> FrameResult {
         assert_eq!(
             depth_mm.len(),
             self.sensor_camera.pixel_count(),
             "depth buffer does not match sensor resolution"
         );
-        let start = Instant::now();
+        let _frame = tracer.frame_span("frame");
+        let start_ns = self.clock.now_ns();
         let mut fw = FrameWorkload::new();
 
         // --- preprocessing -------------------------------------------------
-        let (raw_m, work) = mm2meters(
-            depth_mm,
-            self.sensor_camera.width,
-            self.sensor_camera.height,
-            self.config.compute_size_ratio,
-        );
+        let (raw_m, work) = {
+            let _k = tracer.kernel_span("mm2meters");
+            mm2meters(
+                depth_mm,
+                self.sensor_camera.width,
+                self.sensor_camera.height,
+                self.config.compute_size_ratio,
+            )
+        };
         fw.record(Kernel::Mm2Meters, work);
         let filtered = if self.config.bilateral_filter {
-            let (f, work) = bilateral_filter_with_threads(&raw_m, 2, 1.5, 0.1, self.config.threads);
+            let (f, work) =
+                bilateral_filter_traced(&raw_m, 2, 1.5, 0.1, self.config.threads, tracer);
             fw.record(Kernel::BilateralFilter, work);
             f
         } else {
             raw_m
         };
-        let levels = self.build_pyramid(&filtered, &mut fw);
+        let levels = self.build_pyramid(&filtered, &mut fw, tracer);
 
         // --- tracking ------------------------------------------------------
         let is_first = self.frame_index == 0;
@@ -222,12 +271,13 @@ impl KinectFusion {
                 TrackingReference::PreviousFrame => self.prev_frame_maps.as_ref(),
             };
             if let Some(model) = reference {
-                let (result, track_work, solve_work) = track(
+                let (result, track_work, solve_work) = track_traced(
                     &levels,
                     model,
                     &self.compute_camera,
                     &self.pose,
                     &self.config,
+                    tracer,
                 );
                 fw.record(Kernel::Track, track_work);
                 fw.record(Kernel::Solve, solve_work);
@@ -250,13 +300,14 @@ impl KinectFusion {
                 .frame_index
                 .is_multiple_of(self.config.integration_rate);
         if should_integrate {
-            let work = self.volume.integrate_with_threads(
+            let work = self.volume.integrate_traced(
                 &filtered,
                 &self.compute_camera,
                 &self.pose,
                 self.config.mu,
                 self.config.max_weight,
                 self.config.threads,
+                tracer,
             );
             fw.record(Kernel::Integrate, work);
         }
@@ -265,12 +316,13 @@ impl KinectFusion {
         let should_raycast =
             self.frame_index.is_multiple_of(self.config.raycast_rate) || self.model.is_none();
         if should_raycast {
-            let (model, work) = raycast_with_threads(
+            let (model, work) = raycast_traced(
                 &self.volume,
                 &self.compute_camera,
                 &self.pose,
                 &self.raycast_params(),
                 self.config.threads,
+                tracer,
             );
             fw.record(Kernel::Raycast, work);
             self.model = Some(model);
@@ -317,7 +369,7 @@ impl KinectFusion {
             integrated: should_integrate,
             raycasted: should_raycast,
             workload: fw,
-            wall_time: start.elapsed().as_secs_f64(),
+            wall_time: self.clock.now_ns().saturating_sub(start_ns) as f64 / 1e9,
         };
         self.frame_index += 1;
         result
@@ -412,6 +464,70 @@ mod tests {
             );
         }
         assert!(r.wall_time > 0.0);
+    }
+
+    #[test]
+    fn wall_time_comes_from_the_injected_clock() {
+        use slam_trace::MockClock;
+        let cam = PinholeCamera::tiny();
+        let mut kf = KinectFusion::new(KFusionConfig::fast_test(), cam, center_pose())
+            .with_clock(Arc::new(MockClock::new(500_000)));
+        let r = kf.process_frame(&structured_depth(&cam));
+        // exactly two readings per frame, one step (0.5 ms) apart —
+        // deterministic regardless of host speed
+        assert_eq!(r.wall_time, 0.0005);
+        let r = kf.process_frame(&structured_depth(&cam));
+        assert_eq!(r.wall_time, 0.0005);
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_hierarchical() {
+        use slam_trace::{MockClock, SpanLevel, Tracer};
+        let cam = PinholeCamera::tiny();
+        let depth = structured_depth(&cam);
+        let mut plain = KinectFusion::new(KFusionConfig::fast_test(), cam, center_pose());
+        let mut traced = KinectFusion::new(KFusionConfig::fast_test(), cam, center_pose());
+        let tracer = Tracer::with_clock(MockClock::new(1));
+        let probe = slam_math::Vec3::new(0.3, -0.2, 1.7);
+        for i in 0..3 {
+            let a = plain.process_frame(&depth);
+            let b = traced.process_frame_traced(&depth, &tracer);
+            let (pa, pb) = (a.pose.transform_point(probe), b.pose.transform_point(probe));
+            for (x, y) in [(pa.x, pb.x), (pa.y, pb.y), (pa.z, pb.z)] {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "frame {i}: tracing perturbed the pose"
+                );
+            }
+            assert_eq!(a.tracked, b.tracked);
+            assert_eq!(a.icp_iterations, b.icp_iterations);
+        }
+        let trace = tracer.drain();
+        let frames: Vec<_> = trace
+            .spans()
+            .filter(|s| s.level == SpanLevel::Frame)
+            .collect();
+        assert_eq!(frames.len(), 3);
+        // kernel spans nest inside their frame: opened after (seq) and
+        // contained in time
+        for k in trace.spans().filter(|s| s.level == SpanLevel::Kernel) {
+            let parent = frames
+                .iter()
+                .filter(|f| f.seq < k.seq)
+                .last()
+                .expect("kernel span outside any frame");
+            assert!(k.start_ns >= parent.start_ns && k.end_ns <= parent.end_ns);
+        }
+        let profile = trace.profile();
+        for name in ["bilateral", "track", "integrate", "raycast"] {
+            assert!(
+                profile.get_at(SpanLevel::Kernel, name).is_some(),
+                "no {name} kernel span recorded"
+            );
+        }
+        assert!(trace.counter_total("icp.iterations") > 0);
+        assert!(trace.counter_total("pool.tasks") > 0);
     }
 
     #[test]

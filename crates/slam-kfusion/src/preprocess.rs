@@ -9,6 +9,7 @@ use crate::image::{DepthImage, Image2D, NormalMap, VertexMap};
 use crate::workload::Workload;
 use slam_math::camera::PinholeCamera;
 use slam_math::Vec3;
+use slam_trace::Tracer;
 
 /// Converts a millimetre depth buffer to metres while down-sampling by
 /// `ratio` (the `compute_size_ratio` parameter): output pixel `(x, y)`
@@ -65,6 +66,29 @@ pub fn bilateral_filter_with_threads(
     sigma_range: f32,
     threads: usize,
 ) -> (DepthImage, Workload) {
+    bilateral_filter_traced(
+        depth,
+        radius,
+        sigma_space,
+        sigma_range,
+        threads,
+        Tracer::off(),
+    )
+}
+
+/// Like [`bilateral_filter_with_threads`], recording a `bilateral`
+/// kernel span plus per-band spans into `tracer`. Tracing never changes
+/// the output (with [`Tracer::disabled`] this *is*
+/// [`bilateral_filter_with_threads`]).
+pub fn bilateral_filter_traced(
+    depth: &DepthImage,
+    radius: usize,
+    sigma_space: f32,
+    sigma_range: f32,
+    threads: usize,
+    tracer: &Tracer,
+) -> (DepthImage, Workload) {
+    let _kernel = tracer.kernel_span("bilateral");
     let (w, h) = (depth.width(), depth.height());
     let mut out = Image2D::new(w, h, 0.0f32);
     let r = radius as isize;
@@ -123,7 +147,9 @@ pub fn bilateral_filter_with_threads(
         }
     }
     // ordered sum over the fixed band layout: deterministic
-    let ops: f64 = exec::run_tasks(threads, tasks).into_iter().sum();
+    let ops: f64 = exec::trace_tasks(tracer, "bilateral", threads, tasks)
+        .into_iter()
+        .sum();
     let n = (w * h) as f64;
     let window_reads = n * (side * side) as f64 * 4.0;
     (out, Workload::new(ops, window_reads + n * 4.0))

@@ -12,6 +12,7 @@ use crate::tsdf::TsdfVolume;
 use crate::workload::Workload;
 use slam_math::camera::PinholeCamera;
 use slam_math::{Se3, Vec3};
+use slam_trace::Tracer;
 
 /// The raycast model prediction: per-pixel world-frame surface points and
 /// normals. Invalid pixels hold zero vectors (tested via
@@ -169,6 +170,20 @@ pub fn raycast_with_threads(
     params: &RaycastParams,
     threads: usize,
 ) -> (RaycastResult, Workload) {
+    raycast_traced(volume, camera, pose, params, threads, Tracer::off())
+}
+
+/// Like [`raycast_with_threads`], recording a `raycast` kernel span plus
+/// per-band spans into `tracer`. Tracing never changes the model maps.
+pub fn raycast_traced(
+    volume: &TsdfVolume,
+    camera: &PinholeCamera,
+    pose: &Se3,
+    params: &RaycastParams,
+    threads: usize,
+    tracer: &Tracer,
+) -> (RaycastResult, Workload) {
+    let _kernel = tracer.kernel_span("raycast");
     let (w, h) = (camera.width, camera.height);
     let mut vertices = Image2D::new(w, h, Vec3::ZERO);
     let mut normals = Image2D::new(w, h, Vec3::ZERO);
@@ -205,7 +220,7 @@ pub fn raycast_with_threads(
             }));
         }
     }
-    let step_counts = exec::run_tasks(threads, tasks);
+    let step_counts = exec::trace_tasks(tracer, "raycast", threads, tasks);
     let total_steps: u64 = step_counts.into_iter().sum();
     // per step: one trilinear sample (~30 ops, 8 voxel reads) — this is the
     // dominant cost; plus per-pixel setup and the gradient at the hit

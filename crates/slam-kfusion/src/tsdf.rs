@@ -6,6 +6,7 @@ use crate::image::DepthImage;
 use crate::workload::Workload;
 use slam_math::camera::PinholeCamera;
 use slam_math::{Se3, Vec3};
+use slam_trace::Tracer;
 
 /// A dense voxel grid storing a truncated signed distance to the nearest
 /// surface (normalised to `[-1, 1]`) and an integration weight per voxel.
@@ -195,6 +196,28 @@ impl TsdfVolume {
         max_weight: f32,
         threads: usize,
     ) -> Workload {
+        self.integrate_traced(depth, camera, pose, mu, max_weight, threads, Tracer::off())
+    }
+
+    /// Like [`TsdfVolume::integrate_with_threads`], recording an
+    /// `integrate` kernel span plus per-slab band spans into `tracer`.
+    /// Tracing never changes the fused volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the camera resolution does not match the depth image.
+    #[allow(clippy::too_many_arguments)]
+    pub fn integrate_traced(
+        &mut self,
+        depth: &DepthImage,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        mu: f32,
+        max_weight: f32,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Workload {
+        let _kernel = tracer.kernel_span("integrate");
         assert_eq!(
             (camera.width, camera.height),
             (depth.width(), depth.height()),
@@ -284,7 +307,7 @@ impl TsdfVolume {
             }
         }
         // ordered fold over the fixed band layout: deterministic
-        let results = exec::run_tasks(threads, tasks);
+        let results = exec::trace_tasks(tracer, "integrate", threads, tasks);
         let (ops, updated) = results
             .into_iter()
             .fold((0.0, 0.0), |(a, b), (o, u)| (a + o, b + u));

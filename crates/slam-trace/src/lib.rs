@@ -1,0 +1,156 @@
+//! Zero-dependency structured tracing & per-kernel profiling.
+//!
+//! The source paper's contribution is *measurement*: per-kernel speed
+//! reported alongside accuracy and power. This crate is the measurement
+//! substrate for the rest of the workspace — a small structured tracing
+//! layer that the hot kernels, the worker pool and the evaluation engine
+//! can emit into without perturbing their outputs or their performance.
+//!
+//! # Model
+//!
+//! * **Spans** are hierarchical regions of time at three levels —
+//!   [`SpanLevel::Frame`] > [`SpanLevel::Kernel`] > [`SpanLevel::Band`]
+//!   (plus [`SpanLevel::Section`] for orchestration work such as engine
+//!   batches). A span is opened with [`Tracer::span`] and closed by
+//!   dropping the returned guard.
+//! * **Counters** are named monotonic tallies ([`Tracer::counter`]) —
+//!   ICP iterations, engine cache hits, pool task counts.
+//! * **Clocks** are pluggable via the [`Clock`] trait: [`WallClock`] for
+//!   real runs, [`MockClock`] for deterministic tests. `WallClock` is the
+//!   single place in the workspace allowed to call
+//!   `std::time::Instant::now()` (enforced by the `trace-clock` xtask
+//!   lint).
+//!
+//! # Hot-path design
+//!
+//! Each recording thread stages events into a thread-local `Vec` — no
+//! locks, no shared-cache-line traffic while a kernel runs. The staged
+//! events are flushed into that thread's own per-worker buffer only when
+//! its outermost span closes (an uncontended mutex acquire, once per
+//! top-level region). [`Tracer::drain`] merges the per-worker buffers
+//! into a [`Trace`] ordered by a global open-sequence number, so parent
+//! spans always precede their children regardless of which pool worker
+//! recorded them.
+//!
+//! A disabled tracer ([`Tracer::disabled`]) is a true no-op: no
+//! allocation, no clock reads, no thread-local access.
+//!
+//! # Example
+//!
+//! ```
+//! use slam_trace::{MockClock, SpanLevel, Tracer};
+//!
+//! let tracer = Tracer::with_clock(MockClock::new(1_000));
+//! {
+//!     let _frame = tracer.frame_span("frame");
+//!     let _kernel = tracer.kernel_span("bilateral");
+//!     tracer.counter("icp.iterations", 3);
+//! }
+//! let trace = tracer.drain();
+//! assert_eq!(trace.spans().count(), 2);
+//! assert_eq!(trace.counter_total("icp.iterations"), 3);
+//! let profile = trace.profile();
+//! assert!(profile.get_at(SpanLevel::Kernel, "bilateral").is_some());
+//! ```
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+mod clock;
+mod profile;
+mod trace;
+mod tracer;
+
+pub use clock::{Clock, MockClock, WallClock};
+pub use profile::{Profile, ProfileRow};
+pub use trace::Trace;
+pub use tracer::{Span, Tracer};
+
+/// Hierarchy level of a span: `Frame > Kernel > Band`, with `Section`
+/// for orchestration-level regions (engine batches, scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanLevel {
+    /// One pipeline frame (`process_frame`).
+    Frame,
+    /// One algorithmic kernel inside a frame (bilateral, track, ...).
+    Kernel,
+    /// One parallel band of a kernel, executed on a pool worker.
+    Band,
+    /// Orchestration work outside the frame hierarchy (engine batches,
+    /// cache probes, pool scheduling).
+    Section,
+}
+
+impl SpanLevel {
+    /// Stable lowercase name, used as the Chrome trace category.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanLevel::Frame => "frame",
+            SpanLevel::Kernel => "kernel",
+            SpanLevel::Band => "band",
+            SpanLevel::Section => "section",
+        }
+    }
+}
+
+/// A closed span as recorded in a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (kernel names match `slam_kfusion::Kernel::name()`).
+    pub name: &'static str,
+    /// Hierarchy level.
+    pub level: SpanLevel,
+    /// Recording thread's slot in the tracer's worker registry.
+    pub thread: usize,
+    /// Nesting depth *on the recording thread* when the span opened
+    /// (0 = outermost on that thread).
+    pub depth: usize,
+    /// Clock reading at open, in nanoseconds.
+    pub start_ns: u64,
+    /// Clock reading at close, in nanoseconds.
+    pub end_ns: u64,
+    /// Global open-sequence number; parents order before children.
+    pub seq: u64,
+}
+
+impl SpanEvent {
+    /// Span duration in nanoseconds (saturating: a misbehaving [`Clock`]
+    /// cannot produce a negative duration).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A counter increment as recorded in a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterEvent {
+    /// Counter name, e.g. `"engine.cache_hit"`.
+    pub name: &'static str,
+    /// Recording thread's slot in the tracer's worker registry.
+    pub thread: usize,
+    /// Amount added to the counter.
+    pub value: u64,
+    /// Clock reading when recorded, in nanoseconds.
+    pub ts_ns: u64,
+    /// Global sequence number shared with spans.
+    pub seq: u64,
+}
+
+/// One recorded event: a closed span or a counter increment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A closed span.
+    Span(SpanEvent),
+    /// A counter increment.
+    Counter(CounterEvent),
+}
+
+impl Event {
+    /// Global sequence number (shared ordering domain for all events).
+    pub fn seq(&self) -> u64 {
+        match self {
+            Event::Span(s) => s.seq,
+            Event::Counter(c) => c.seq,
+        }
+    }
+}

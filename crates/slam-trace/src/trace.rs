@@ -1,0 +1,191 @@
+//! The drained side: [`Trace`] and the Chrome `trace_event` sink.
+
+use crate::profile::Profile;
+use crate::{CounterEvent, Event, SpanEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An ordered batch of recorded events, as returned by
+/// [`Tracer::drain`](crate::Tracer::drain).
+///
+/// Events are ordered by their global open-sequence number, so a parent
+/// span always precedes the spans and counters recorded inside it, even
+/// when those were recorded on different pool workers.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    pub(crate) fn new(events: Vec<Event>) -> Trace {
+        Trace { events }
+    }
+
+    /// All events in open order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The closed spans, in open order.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanEvent> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Span(s) => Some(s),
+            Event::Counter(_) => None,
+        })
+    }
+
+    /// The counter increments, in record order.
+    pub fn counters(&self) -> impl Iterator<Item = &CounterEvent> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Counter(c) => Some(c),
+            Event::Span(_) => None,
+        })
+    }
+
+    /// Sum of all increments of the named counter.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Totals of every counter seen, keyed by name.
+    pub fn counter_totals(&self) -> BTreeMap<&'static str, u64> {
+        let mut totals = BTreeMap::new();
+        for c in self.counters() {
+            *totals.entry(c.name).or_insert(0) += c.value;
+        }
+        totals
+    }
+
+    /// Aggregates the spans into a per-name [`Profile`] table.
+    pub fn profile(&self) -> Profile {
+        Profile::from_spans(self.spans())
+    }
+
+    /// Serialises to Chrome `trace_event` JSON (the "JSON Object
+    /// Format"), loadable in `about://tracing` or Perfetto.
+    ///
+    /// Spans become `ph:"X"` complete events (`ts`/`dur` in
+    /// microseconds, fractional); counter increments become `ph:"C"`
+    /// counter events. `tid` is the tracer's per-thread registry slot.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 112 + 64);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match event {
+                Event::Span(s) => {
+                    out.push_str("{\"name\":");
+                    push_json_str(&mut out, s.name);
+                    let _ = write!(
+                        out,
+                        ",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                         \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"depth\":{},\"seq\":{}}}}}",
+                        s.level.category(),
+                        s.thread,
+                        s.start_ns as f64 / 1e3,
+                        s.duration_ns() as f64 / 1e3,
+                        s.depth,
+                        s.seq,
+                    );
+                }
+                Event::Counter(c) => {
+                    out.push_str("{\"name\":");
+                    push_json_str(&mut out, c.name);
+                    let _ = write!(
+                        out,
+                        ",\"cat\":\"counter\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\
+                         \"ts\":{:.3},\"args\":{{\"value\":{}}}}}",
+                        c.thread,
+                        c.ts_ns as f64 / 1e3,
+                        c.value,
+                    );
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal, escaping per RFC 8259.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MockClock, Tracer};
+
+    #[test]
+    fn chrome_json_shape() {
+        let t = Tracer::with_clock(MockClock::new(1_000));
+        {
+            let _f = t.frame_span("frame");
+            let _k = t.kernel_span("bilateral");
+            t.counter("engine.cache_hit", 2);
+        }
+        let json = t.drain().to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"bilateral\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"cat\":\"kernel\""));
+        assert!(json.contains("\"value\":2"));
+        // MockClock(1000): 1µs per reading, so ts/dur land on whole µs
+        assert!(json.contains("\"ts\":1.000"), "{json}");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\u000ad\"");
+    }
+
+    #[test]
+    fn counter_totals_sum_per_name() {
+        let t = Tracer::with_clock(MockClock::new(1));
+        t.counter("a", 1);
+        t.counter("b", 10);
+        t.counter("a", 2);
+        let trace = t.drain();
+        let totals = trace.counter_totals();
+        assert_eq!(totals.get("a"), Some(&3));
+        assert_eq!(totals.get("b"), Some(&10));
+        assert_eq!(trace.counter_total("missing"), 0);
+    }
+
+    #[test]
+    fn empty_trace_serialises_to_empty_array() {
+        let json = Trace::default().to_chrome_json();
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

@@ -1,0 +1,444 @@
+//! The recording side: [`Tracer`], span guards and counters.
+//!
+//! # Concurrency design
+//!
+//! The hot path (open/close a span, bump a counter) must be lock-free:
+//! pool workers record band spans while the submitting thread records
+//! the enclosing kernel span, and any shared lock would serialise the
+//! very parallelism being measured. The design:
+//!
+//! * Every recording thread lazily registers a per-thread
+//!   [`WorkerBuffer`] with the tracer (one registry append, once per
+//!   thread per tracer) and keeps a *thread-local staging `Vec`* of
+//!   events.
+//! * Recording pushes into the staging `Vec` — no synchronisation at
+//!   all.
+//! * When the thread's outermost span closes (its nesting depth returns
+//!   to zero), the staged events are moved into its own `WorkerBuffer`
+//!   in one append. That buffer's mutex is only ever contended with
+//!   [`Tracer::drain`], never with another recording thread, so the
+//!   acquire is uncontended in steady state.
+//! * [`Tracer::drain`] collects every worker buffer and sorts by the
+//!   global open-sequence number, restoring the cross-thread hierarchy.
+//!
+//! Events are therefore guaranteed visible at drain time as long as all
+//! spans have closed — which the pool's structured-concurrency model
+//! already guarantees: `run_tasks` does not return until every task
+//! (and thus every band span inside it) has finished.
+
+use crate::clock::{Clock, WallClock};
+use crate::trace::Trace;
+use crate::{CounterEvent, Event, SpanEvent, SpanLevel};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, treating poison as benign: buffers hold plain event
+/// data whose invariants cannot be broken mid-update in a way that
+/// matters to a profiler.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-recording-thread event buffer, merged at drain.
+#[derive(Debug, Default)]
+struct WorkerBuffer {
+    events: Mutex<Vec<Event>>,
+}
+
+#[derive(Debug)]
+struct TracerShared {
+    /// Process-unique id, used to find this tracer's slot in each
+    /// thread's staging list.
+    id: u64,
+    clock: Box<dyn Clock>,
+    /// Global open-sequence counter: allocated when a span opens (or a
+    /// counter fires), so parents always sort before their children.
+    seq: AtomicU64,
+    /// Registry of per-thread buffers; a thread's slot is its index.
+    workers: Mutex<Vec<Arc<WorkerBuffer>>>,
+}
+
+/// This thread's staging state for one tracer.
+struct ThreadState {
+    tracer_id: u64,
+    /// Index into the tracer's worker registry.
+    slot: usize,
+    /// This thread's own buffer (flush target).
+    sink: Arc<WorkerBuffer>,
+    /// Current span nesting depth on this thread.
+    depth: usize,
+    /// Events staged since the last flush. Lock-free to push.
+    staged: Vec<Event>,
+}
+
+thread_local! {
+    /// Staging states for every tracer this thread has recorded into.
+    /// A `Vec` (not a map): a thread records into one or two tracers at
+    /// a time, and linear scan beats hashing at that size.
+    static STAGING: RefCell<Vec<ThreadState>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pool workers are long-lived, tracers are not: cap how many idle
+/// staging states a thread retains so short-lived tracers (one per
+/// bench repetition, say) cannot accumulate without bound.
+const MAX_IDLE_STATES: usize = 32;
+
+/// Runs `f` with this thread's staging state for `shared`, registering
+/// the thread with the tracer on first use.
+fn with_state<R>(shared: &TracerShared, f: impl FnOnce(&mut ThreadState) -> R) -> R {
+    STAGING.with(|cell| {
+        let mut states = cell.borrow_mut();
+        let idx = match states.iter().position(|s| s.tracer_id == shared.id) {
+            Some(i) => i,
+            None => {
+                if states.len() >= MAX_IDLE_STATES {
+                    states.retain(|s| s.depth > 0 || !s.staged.is_empty());
+                }
+                let (slot, sink) = shared.register_thread();
+                states.push(ThreadState {
+                    tracer_id: shared.id,
+                    slot,
+                    sink,
+                    depth: 0,
+                    staged: Vec::new(),
+                });
+                states.len() - 1
+            }
+        };
+        f(&mut states[idx])
+    })
+}
+
+/// Moves the staged events into the thread's own buffer if its
+/// outermost span has closed.
+fn flush_if_idle(state: &mut ThreadState) {
+    if state.depth == 0 && !state.staged.is_empty() {
+        let staged = std::mem::take(&mut state.staged);
+        lock(&state.sink.events).extend(staged);
+    }
+}
+
+impl TracerShared {
+    fn register_thread(&self) -> (usize, Arc<WorkerBuffer>) {
+        let mut workers = lock(&self.workers);
+        let slot = workers.len();
+        let buf = Arc::new(WorkerBuffer::default());
+        workers.push(Arc::clone(&buf));
+        (slot, buf)
+    }
+}
+
+/// A structured-event recorder.
+///
+/// Cloning is cheap and shares the underlying buffers; pass `&Tracer`
+/// down the call stack (the instrumented APIs all take one).
+/// [`Tracer::disabled`] is a `const` no-op recorder for call sites that
+/// do not want tracing — it never allocates or reads the clock.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    shared: Option<Arc<TracerShared>>,
+}
+
+/// A disabled tracer usable as `&Tracer::disabled()` in delegating APIs.
+static DISABLED: Tracer = Tracer::disabled();
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer on real time ([`WallClock`]).
+    pub fn new() -> Tracer {
+        Tracer::with_clock(WallClock::new())
+    }
+
+    /// An enabled tracer on the given clock (e.g. a
+    /// [`MockClock`](crate::MockClock) in tests).
+    pub fn with_clock(clock: impl Clock + 'static) -> Tracer {
+        Tracer {
+            shared: Some(Arc::new(TracerShared {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                clock: Box::new(clock),
+                seq: AtomicU64::new(0),
+                workers: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A no-op tracer: every operation returns immediately without
+    /// allocating, reading the clock, or touching thread-locals.
+    pub const fn disabled() -> Tracer {
+        Tracer { shared: None }
+    }
+
+    /// A `'static` reference to a disabled tracer, for APIs that
+    /// delegate to a traced variant.
+    pub fn off() -> &'static Tracer {
+        &DISABLED
+    }
+
+    /// Whether this tracer records anything. Lets call sites skip
+    /// building span names or arguments when disabled.
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Opens a span; it closes (and is recorded) when the returned
+    /// guard drops. Guards must drop in reverse open order on a given
+    /// thread — the natural consequence of binding them to scopes.
+    #[must_use = "a span is recorded when its guard drops; binding it to `_` closes it immediately"]
+    pub fn span(&self, level: SpanLevel, name: &'static str) -> Span<'_> {
+        let Some(shared) = self.shared.as_deref() else {
+            return Span { active: None };
+        };
+        let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+        let (slot, depth) = with_state(shared, |s| {
+            s.depth += 1;
+            (s.slot, s.depth - 1)
+        });
+        // read the clock last so registration cost stays outside the span
+        let start_ns = shared.clock.now_ns();
+        Span {
+            active: Some(ActiveSpan {
+                shared,
+                name,
+                level,
+                slot,
+                depth,
+                seq,
+                start_ns,
+            }),
+        }
+    }
+
+    /// Opens a [`SpanLevel::Frame`] span.
+    #[must_use = "a span is recorded when its guard drops; binding it to `_` closes it immediately"]
+    pub fn frame_span(&self, name: &'static str) -> Span<'_> {
+        self.span(SpanLevel::Frame, name)
+    }
+
+    /// Opens a [`SpanLevel::Kernel`] span.
+    #[must_use = "a span is recorded when its guard drops; binding it to `_` closes it immediately"]
+    pub fn kernel_span(&self, name: &'static str) -> Span<'_> {
+        self.span(SpanLevel::Kernel, name)
+    }
+
+    /// Opens a [`SpanLevel::Band`] span.
+    #[must_use = "a span is recorded when its guard drops; binding it to `_` closes it immediately"]
+    pub fn band_span(&self, name: &'static str) -> Span<'_> {
+        self.span(SpanLevel::Band, name)
+    }
+
+    /// Opens a [`SpanLevel::Section`] span.
+    #[must_use = "a span is recorded when its guard drops; binding it to `_` closes it immediately"]
+    pub fn section_span(&self, name: &'static str) -> Span<'_> {
+        self.span(SpanLevel::Section, name)
+    }
+
+    /// Adds `value` to the named counter.
+    pub fn counter(&self, name: &'static str, value: u64) {
+        let Some(shared) = self.shared.as_deref() else {
+            return;
+        };
+        let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+        let ts_ns = shared.clock.now_ns();
+        with_state(shared, |s| {
+            s.staged.push(Event::Counter(CounterEvent {
+                name,
+                thread: s.slot,
+                value,
+                ts_ns,
+                seq,
+            }));
+            flush_if_idle(s);
+        });
+    }
+
+    /// Collects everything recorded so far into a [`Trace`], emptying
+    /// the buffers. Events staged under still-open spans are not yet
+    /// visible; drain after the work being measured has completed (the
+    /// pool's structured concurrency guarantees worker spans are closed
+    /// and flushed once the submitting call returns).
+    pub fn drain(&self) -> Trace {
+        let Some(shared) = self.shared.as_deref() else {
+            return Trace::default();
+        };
+        // flush this thread's own idle staging (e.g. trailing counters
+        // recorded at depth 0 are flushed eagerly, but be defensive)
+        with_state(shared, flush_if_idle);
+        let workers = lock(&shared.workers);
+        let mut events = Vec::new();
+        for buf in workers.iter() {
+            events.append(&mut lock(&buf.events));
+        }
+        drop(workers);
+        events.sort_by_key(Event::seq);
+        Trace::new(events)
+    }
+}
+
+struct ActiveSpan<'t> {
+    shared: &'t TracerShared,
+    name: &'static str,
+    level: SpanLevel,
+    slot: usize,
+    depth: usize,
+    seq: u64,
+    start_ns: u64,
+}
+
+/// Guard for an open span; dropping it closes and records the span.
+#[must_use = "a span is recorded when its guard drops; binding it to `_` closes it immediately"]
+pub struct Span<'t> {
+    active: Option<ActiveSpan<'t>>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else {
+            return;
+        };
+        let end_ns = a.shared.clock.now_ns();
+        with_state(a.shared, |s| {
+            s.staged.push(Event::Span(SpanEvent {
+                name: a.name,
+                level: a.level,
+                thread: a.slot,
+                depth: a.depth,
+                start_ns: a.start_ns,
+                end_ns,
+                seq: a.seq,
+            }));
+            s.depth = s.depth.saturating_sub(1);
+            flush_if_idle(s);
+        });
+    }
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.active {
+            Some(a) => write!(f, "Span({:?}, {:?}, open)", a.level, a.name),
+            None => write!(f, "Span(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MockClock;
+
+    #[test]
+    fn nesting_depth_and_order_are_recorded() {
+        let t = Tracer::with_clock(MockClock::new(10));
+        {
+            let _f = t.frame_span("frame");
+            {
+                let _k = t.kernel_span("bilateral");
+                t.counter("pool.tasks", 4);
+            }
+            let _k2 = t.kernel_span("integrate");
+        }
+        let trace = t.drain();
+        let spans: Vec<_> = trace.spans().collect();
+        assert_eq!(spans.len(), 3);
+        assert_eq!((spans[0].name, spans[0].depth), ("frame", 0), "{spans:?}");
+        assert_eq!((spans[1].name, spans[1].depth), ("bilateral", 1));
+        assert_eq!((spans[2].name, spans[2].depth), ("integrate", 1));
+        // parent opened before child => lower seq, despite closing later
+        assert!(spans[0].seq < spans[1].seq);
+        // spans nest in time
+        assert!(spans[0].start_ns < spans[1].start_ns);
+        assert!(spans[1].end_ns < spans[0].end_ns);
+        assert_eq!(trace.counter_total("pool.tasks"), 4);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        {
+            let _s = t.frame_span("frame");
+            t.counter("c", 1);
+        }
+        let trace = t.drain();
+        assert!(trace.is_empty());
+        assert!(!Tracer::off().enabled());
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_in_open_order() {
+        let t = Tracer::with_clock(MockClock::new(1));
+        {
+            let _f = t.frame_span("frame");
+            let _k = t.kernel_span("integrate");
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let tr = &t;
+                    scope.spawn(move || {
+                        let _b = tr.band_span("integrate");
+                        tr.counter("pool.tasks", 1);
+                    });
+                }
+            });
+        }
+        let trace = t.drain();
+        let spans: Vec<_> = trace.spans().collect();
+        assert_eq!(spans.len(), 6);
+        // frame and kernel opened first, so they lead the merged order
+        assert_eq!(spans[0].level, SpanLevel::Frame);
+        assert_eq!(spans[1].level, SpanLevel::Kernel);
+        let bands: Vec<_> = spans[2..].iter().collect();
+        assert!(bands.iter().all(|s| s.level == SpanLevel::Band));
+        // each worker thread registered its own slot; bands are depth 0
+        // on their own threads
+        assert!(bands.iter().all(|s| s.depth == 0));
+        let mut slots: Vec<_> = bands.iter().map(|s| s.thread).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 4, "one registry slot per worker thread");
+        assert_eq!(trace.counter_total("pool.tasks"), 4);
+    }
+
+    #[test]
+    fn draining_twice_yields_nothing_new() {
+        let t = Tracer::new();
+        {
+            let _s = t.section_span("batch");
+        }
+        assert_eq!(t.drain().len(), 1);
+        assert_eq!(t.drain().len(), 0);
+    }
+
+    #[test]
+    fn many_short_lived_tracers_do_not_accumulate_thread_state() {
+        // regression guard for the MAX_IDLE_STATES retention cap: a
+        // long-lived thread recording into a stream of fresh tracers
+        // must not grow its staging list without bound
+        for _ in 0..10 * MAX_IDLE_STATES {
+            let t = Tracer::with_clock(MockClock::new(1));
+            let _s = t.kernel_span("raycast");
+            drop(_s);
+            assert_eq!(t.drain().len(), 1);
+        }
+        STAGING.with(|cell| {
+            assert!(cell.borrow().len() <= MAX_IDLE_STATES + 1);
+        });
+    }
+
+    #[test]
+    fn clone_shares_buffers() {
+        let t = Tracer::with_clock(MockClock::new(1));
+        let t2 = t.clone();
+        {
+            let _s = t2.kernel_span("track");
+        }
+        assert_eq!(t.drain().len(), 1);
+    }
+}

@@ -38,11 +38,12 @@
 //! host wall-clock is inherently nondeterministic and is pinned by
 //! `tests/engine.rs` to be the *only* field that may differ.
 
-use crate::run::{run_pipeline, PipelineRun};
+use crate::run::{run_pipeline, run_pipeline_traced, PipelineRun};
 use serde::{Deserialize, Serialize};
 use slam_kfusion::config::ConfigError;
 use slam_kfusion::{exec, KFusionConfig};
 use slam_scene::dataset::SyntheticDataset;
+use slam_trace::Tracer;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -171,6 +172,7 @@ struct EngineState {
 pub struct EvalEngine {
     state: Mutex<EngineState>,
     disk_dir: Option<PathBuf>,
+    tracer: Tracer,
 }
 
 impl Default for EvalEngine {
@@ -188,6 +190,7 @@ impl EvalEngine {
                 stats: EngineStats::default(),
             }),
             disk_dir: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -203,7 +206,24 @@ impl EvalEngine {
                 stats: EngineStats::default(),
             }),
             disk_dir: Some(dir.into()),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a [`Tracer`]: every cache classification bumps an
+    /// `engine.cache_hit` / `engine.disk_hit` / `engine.cache_miss`
+    /// counter, each batch opens an `engine.batch` section span, and
+    /// miss executions record their full frame/kernel/band span tree
+    /// (see [`slam_trace`]). With the default disabled tracer all of
+    /// this is a no-op; either way results are bit-identical.
+    pub fn with_tracer(mut self, tracer: Tracer) -> EvalEngine {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer evaluations record into (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The on-disk cache directory, if persistence is enabled.
@@ -309,6 +329,7 @@ impl EvalEngine {
         for config in configs {
             config.validate()?;
         }
+        let _batch = self.tracer.section_span("engine.batch");
         let ds = dataset_id(dataset);
         let keys: Vec<RunKey> = configs
             .iter()
@@ -327,15 +348,19 @@ impl EvalEngine {
             for (key, config) in keys.iter().zip(configs) {
                 if state.cache.contains_key(key) {
                     state.stats.hits += 1;
+                    self.tracer.counter("engine.cache_hit", 1);
                 } else if miss_keys.contains(key) {
                     // duplicate within this batch: shares the single
                     // execution already scheduled
                     state.stats.hits += 1;
+                    self.tracer.counter("engine.cache_hit", 1);
                 } else if let Some(run) = self.load_from_disk(key) {
                     state.stats.disk_hits += 1;
+                    self.tracer.counter("engine.disk_hit", 1);
                     state.cache.insert(key.clone(), run);
                 } else {
                     state.stats.misses += 1;
+                    self.tracer.counter("engine.cache_miss", 1);
                     miss_keys.push(key.clone());
                     miss_configs.push(config.clone());
                 }
@@ -346,8 +371,9 @@ impl EvalEngine {
         // inside the parallel section, and results are inserted in miss
         // order afterwards, so scheduling cannot influence the cache
         if !miss_configs.is_empty() {
+            let tracer = &self.tracer;
             let runs = if miss_configs.len() == 1 {
-                vec![run_pipeline(dataset, &miss_configs[0])]
+                vec![run_pipeline_traced(dataset, &miss_configs[0], tracer)]
             } else {
                 let workers = exec::effective_threads(0).min(miss_configs.len());
                 let inner = (exec::available_threads() / workers).max(1);
@@ -355,7 +381,9 @@ impl EvalEngine {
                     .iter()
                     .map(|config| {
                         Box::new(move || {
-                            exec::with_thread_budget(inner, || run_pipeline(dataset, config))
+                            exec::with_thread_budget(inner, || {
+                                run_pipeline_traced(dataset, config, tracer)
+                            })
                         }) as exec::Task<'_, PipelineRun>
                     })
                     .collect();
@@ -440,6 +468,22 @@ impl EvalEngine {
 /// Panics when the dataset is empty or the configuration is invalid.
 pub fn evaluate_once(dataset: &SyntheticDataset, config: &KFusionConfig) -> PipelineRun {
     run_pipeline(dataset, config)
+}
+
+/// Like [`evaluate_once`] but recording the execution's span tree and
+/// counters into `tracer` — the building block for the profiling bins
+/// (`kernel_table`, `bench_trace`), which need real spans rather than
+/// cache hits.
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or the configuration is invalid.
+pub fn evaluate_once_traced(
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+    tracer: &Tracer,
+) -> PipelineRun {
+    run_pipeline_traced(dataset, config, tracer)
 }
 
 #[cfg(test)]
@@ -528,6 +572,34 @@ mod tests {
             .try_evaluate(&dataset, &KFusionConfig::fast_test())
             .unwrap_err();
         assert_eq!(err, EvalError::EmptyDataset);
+    }
+
+    #[test]
+    fn tracer_counts_cache_traffic_and_records_miss_spans() {
+        let dataset = tiny_dataset(3);
+        let tracer = Tracer::new();
+        let engine = EvalEngine::new().with_tracer(tracer.clone());
+        let config = KFusionConfig::fast_test();
+        let first = engine.evaluate(&dataset, &config);
+        let second = engine.evaluate(&dataset, &config);
+        assert_eq!(first.ate.errors, second.ate.errors);
+        let trace = tracer.drain();
+        assert_eq!(trace.counter_total("engine.cache_miss"), 1);
+        assert_eq!(trace.counter_total("engine.cache_hit"), 1);
+        assert_eq!(trace.counter_total("engine.disk_hit"), 0);
+        // the miss executed under the tracer: one frame span per frame,
+        // and both evaluate() calls opened a batch section span
+        let frames = trace
+            .spans()
+            .filter(|s| s.level == slam_trace::SpanLevel::Frame)
+            .count();
+        assert_eq!(frames, 3);
+        let batches = trace.spans().filter(|s| s.name == "engine.batch").count();
+        assert_eq!(batches, 2);
+        // a disabled engine records nothing
+        let silent = EvalEngine::new();
+        let _ = silent.evaluate(&dataset, &config);
+        assert!(!silent.tracer().enabled());
     }
 
     #[test]

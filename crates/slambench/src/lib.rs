@@ -70,13 +70,14 @@ pub use codesign::{
     codesign_explore, codesign_explore_with_engine, CoDesignOptions, CoDesignOutcome,
 };
 pub use config_space::{decode_config, encode_config, slambench_space};
-pub use engine::{evaluate_once, EngineStats, EvalEngine, EvalError};
+pub use engine::{evaluate_once, evaluate_once_traced, EngineStats, EvalEngine, EvalError};
 pub use explore::{
     explore, explore_with_engine, measure, measure_batch_with_engine, measure_with_engine,
     measure_with_threads, random_sweep, random_sweep_with_engine, ExploreOptions, ExploreOutcome,
     MeasuredConfig,
 };
 pub use fleet::{fleet_speedups, fleet_speedups_with_engine, FleetEntry};
+pub use run::{DeviceRunReport, FrameRecord, PipelineRun};
 // xtask-allow: engine-only — re-export of the raw runner; callers should prefer the engine
-pub use run::{run_pipeline, run_pipeline_with_threads, DeviceRunReport, FrameRecord, PipelineRun};
+pub use run::{run_pipeline, run_pipeline_traced, run_pipeline_with_threads};
 pub use suite::{run_suite, run_suite_with_engine, standard_suite, Sequence, SuiteCell};

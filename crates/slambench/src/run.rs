@@ -7,6 +7,7 @@ use slam_metrics::ate::{ate, AteOptions, AteResult};
 use slam_metrics::timing::SequenceTiming;
 use slam_power::{DeviceModel, RunCost};
 use slam_scene::dataset::SyntheticDataset;
+use slam_trace::Tracer;
 
 /// Per-frame outcome of a pipeline run (device independent).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -130,7 +131,7 @@ impl DeviceRunReport {
 ///
 /// Panics when the dataset is empty or the configuration is invalid.
 pub fn run_pipeline(dataset: &SyntheticDataset, config: &KFusionConfig) -> PipelineRun {
-    run_pipeline_inner(dataset, config)
+    run_pipeline_inner(dataset, config, Tracer::off())
 }
 
 /// Like [`run_pipeline`] but overriding the kernel thread count (`0` =
@@ -143,16 +144,35 @@ pub fn run_pipeline_with_threads(
 ) -> PipelineRun {
     let mut config = config.clone();
     config.threads = threads;
-    run_pipeline_inner(dataset, &config)
+    run_pipeline_inner(dataset, &config, Tracer::off())
 }
 
-fn run_pipeline_inner(dataset: &SyntheticDataset, config: &KFusionConfig) -> PipelineRun {
+/// Like [`run_pipeline`], recording per-frame/kernel/band spans and the
+/// pipeline counters into `tracer`. Tracing never changes the run: a
+/// traced run is bit-identical to an untraced one.
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or the configuration is invalid.
+pub fn run_pipeline_traced(
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+    tracer: &Tracer,
+) -> PipelineRun {
+    run_pipeline_inner(dataset, config, tracer)
+}
+
+fn run_pipeline_inner(
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+    tracer: &Tracer,
+) -> PipelineRun {
     assert!(!dataset.is_empty(), "cannot run on an empty dataset");
     let init = dataset.frames()[0].ground_truth;
     let mut kf = KinectFusion::new(config.clone(), *dataset.camera(), init);
     let mut frames = Vec::with_capacity(dataset.len());
     for frame in dataset.frames() {
-        let r = kf.process_frame(&frame.depth_mm);
+        let r = kf.process_frame_traced(&frame.depth_mm, tracer);
         frames.push(FrameRecord {
             index: frame.index,
             pose: r.pose,

@@ -22,11 +22,17 @@
 //!   exempt; `assert!`-style *precondition* checks with messages are the
 //!   sanctioned entry-point contract style and are not flagged.
 //! * **`engine-only`** — no direct `run_pipeline` /
-//!   `run_pipeline_with_threads` calls outside `slambench::run` and
-//!   `slambench::engine`. Every evaluation must flow through the
-//!   `EvalEngine`, or its run cache and batch scheduling silently stop
-//!   covering the workload (and duplicated orchestration loops creep
-//!   back in).
+//!   `run_pipeline_with_threads` / `run_pipeline_traced` calls outside
+//!   `slambench::run` and `slambench::engine`. Every evaluation must
+//!   flow through the `EvalEngine`, or its run cache and batch
+//!   scheduling silently stop covering the workload (and duplicated
+//!   orchestration loops creep back in).
+//! * **`trace-clock`** — no direct `Instant::now()` outside
+//!   `slam_trace::clock`. Raw clock reads scattered through the code
+//!   cannot be mocked, aggregated, or exported; all timing flows
+//!   through `slam_trace` spans (or a `Clock` handle), so every
+//!   measurement lands in the same profile and deterministic tests can
+//!   inject a `MockClock`.
 //!
 //! A finding can be waived with an inline comment on the same or the
 //! preceding line:
@@ -48,6 +54,7 @@ pub const LINT_NAMES: &[&str] = &[
     "hash-iter",
     "panic-path",
     "engine-only",
+    "trace-clock",
 ];
 
 /// One lint finding.
@@ -87,6 +94,9 @@ pub struct LintPolicy {
     /// File may call the raw pipeline runner directly (`slambench::run`
     /// itself and the `slambench::engine` it is wrapped by).
     pub allow_run_pipeline: bool,
+    /// File may read the raw monotonic clock (`Instant::now()`) — only
+    /// `slam_trace::clock`, where `WallClock` wraps it.
+    pub allow_raw_clock: bool,
     /// File is a crate root and must carry `#![deny(unsafe_code)]`.
     pub require_deny_unsafe: bool,
 }
@@ -100,6 +110,7 @@ impl LintPolicy {
             allow_panics: false,
             allow_hash: false,
             allow_run_pipeline: false,
+            allow_raw_clock: false,
             require_deny_unsafe: false,
         }
     }
@@ -196,6 +207,9 @@ pub fn lint_file(src: &SourceFile, policy: LintPolicy) -> Vec<Diagnostic> {
     }
     if !policy.allow_run_pipeline {
         lint_engine_only(src, &mut out);
+    }
+    if !policy.allow_raw_clock {
+        lint_trace_clock(src, &mut out);
     }
     out.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
     out
@@ -349,7 +363,10 @@ fn lint_hash_iter(src: &SourceFile, out: &mut Vec<Diagnostic>) {
 fn lint_engine_only(src: &SourceFile, out: &mut Vec<Diagnostic>) {
     for t in &src.tokens {
         let Some(ident) = t.ident() else { continue };
-        if ident != "run_pipeline" && ident != "run_pipeline_with_threads" {
+        if ident != "run_pipeline"
+            && ident != "run_pipeline_with_threads"
+            && ident != "run_pipeline_traced"
+        {
             continue;
         }
         if src.waived(t.line, "engine-only") {
@@ -364,6 +381,38 @@ fn lint_engine_only(src: &SourceFile, out: &mut Vec<Diagnostic>) {
                  evaluation through `slambench::engine::EvalEngine` so runs are cached \
                  and batch-schedulable"
             ),
+        });
+    }
+}
+
+/// `trace-clock`: flags `Instant::now()` outside `slam_trace::clock`. No
+/// `#[cfg(test)]` exemption — tests time things through a tracer (or an
+/// injected `MockClock`) too, or carry an explicit waiver.
+fn lint_trace_clock(src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &src.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("Instant") {
+            continue;
+        }
+        // `Instant :: now` — mentions of the type alone (say in a
+        // signature re-exporting `WallClock`) are not clock reads
+        let is_now_call = toks
+            .get(i + 1)
+            .zip(toks.get(i + 2))
+            .filter(|(a, b)| a.is_punct(':') && b.is_punct(':'))
+            .and_then(|_| toks.get(i + 3))
+            .is_some_and(|n| n.is_ident("now"));
+        if !is_now_call || src.waived(t.line, "trace-clock") {
+            continue;
+        }
+        out.push(Diagnostic {
+            lint: "trace-clock".into(),
+            file: src.path.clone(),
+            line: t.line,
+            message: "raw `Instant::now()` outside `slam_trace::clock`: time through \
+                      `slam_trace` spans or a `Clock` handle so measurements are \
+                      mockable and land in one profile"
+                .into(),
         });
     }
 }

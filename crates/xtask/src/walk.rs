@@ -29,6 +29,11 @@ const ENGINE_ALLOWLIST: &[&str] = &[
     "crates/slambench/src/engine.rs",
 ];
 
+/// Files allowed to read the raw monotonic clock: the `WallClock` shim in
+/// `slam-trace` is the single sanctioned `Instant::now()` site. Everything
+/// else times through `slam_trace` spans or an injected `Clock`.
+const CLOCK_ALLOWLIST: &[&str] = &["crates/slam-trace/src/clock.rs"];
+
 /// Returns every Rust source file to lint, as repo-relative paths:
 /// `crates/*/{src,tests}`, the top-level `tests/` and `examples/` trees
 /// and `suite_lib.rs`. Output is sorted for stable diagnostics.
@@ -99,6 +104,7 @@ pub fn classify(rel: &Path) -> LintPolicy {
         allow_panics: is_bin || is_test_source || PANIC_ALLOWLIST.contains(&p.as_str()),
         allow_hash: is_test_source,
         allow_run_pipeline: ENGINE_ALLOWLIST.contains(&p.as_str()),
+        allow_raw_clock: CLOCK_ALLOWLIST.contains(&p.as_str()),
         require_deny_unsafe: is_crate_root,
     }
 }
@@ -145,5 +151,14 @@ mod tests {
         assert!(!classify(Path::new("crates/slambench/src/explore.rs")).allow_run_pipeline);
         assert!(!classify(Path::new("crates/bench/src/bin/headline.rs")).allow_run_pipeline);
         assert!(!classify(Path::new("tests/determinism.rs")).allow_run_pipeline);
+    }
+
+    #[test]
+    fn only_the_wall_clock_shim_may_read_the_raw_clock() {
+        assert!(classify(Path::new("crates/slam-trace/src/clock.rs")).allow_raw_clock);
+        assert!(!classify(Path::new("crates/slam-trace/src/tracer.rs")).allow_raw_clock);
+        assert!(!classify(Path::new("crates/bench/src/bin/bench_kernels.rs")).allow_raw_clock);
+        assert!(!classify(Path::new("crates/slam-kfusion/src/pipeline.rs")).allow_raw_clock);
+        assert!(!classify(Path::new("tests/trace.rs")).allow_raw_clock);
     }
 }

@@ -1,0 +1,25 @@
+//! Known-bad fixture: reading the raw monotonic clock outside the
+//! `slam_trace::clock` shim.
+
+use std::time::Instant;
+
+pub fn ad_hoc_timer() -> f64 {
+    let t = Instant::now(); //~ trace-clock
+    expensive();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn fully_qualified_read() -> std::time::Instant {
+    std::time::Instant::now() //~ trace-clock
+}
+
+pub fn waived_read() -> Instant {
+    // xtask-allow: trace-clock — fixture exercising a sanctioned raw clock read
+    Instant::now()
+}
+
+pub fn type_mentions_are_fine(origin: Instant) -> Instant {
+    // `Instant` as a type (or in a comment: Instant::now()) never trips
+    // the lint; only the `::now` read does
+    origin
+}

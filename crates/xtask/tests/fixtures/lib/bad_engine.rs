@@ -11,6 +11,10 @@ pub fn direct_threaded_call(dataset: &Dataset, config: &Config) -> Run {
     slambench::run::run_pipeline_with_threads(dataset, config, 4) //~ engine-only
 }
 
+pub fn direct_traced_call(dataset: &Dataset, config: &Config, tracer: &Tracer) -> Run {
+    slambench::run::run_pipeline_traced(dataset, config, tracer) //~ engine-only
+}
+
 pub fn waived_call(dataset: &Dataset, config: &Config) -> Run {
     // xtask-allow: engine-only — fixture exercising a sanctioned raw-runner call
     run_pipeline(dataset, config)

@@ -129,6 +129,7 @@ fn bad_fixtures_actually_trip_every_lint() {
         "hash-iter",
         "panic-path",
         "engine-only",
+        "trace-clock",
         "waiver",
     ] {
         assert!(

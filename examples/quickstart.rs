@@ -8,6 +8,7 @@ use slam_kfusion::KFusionConfig;
 use slam_math::camera::PinholeCamera;
 use slam_power::devices::odroid_xu3;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+use slam_trace::Tracer;
 use slambench::engine::EvalEngine;
 
 fn main() {
@@ -62,5 +63,25 @@ fn main() {
     println!(
         "  max ATE {:.1} cm — the paper's quality bar is 5 cm",
         run.ate.max * 100.0
+    );
+
+    // 7. observability: re-run a short prefix with a tracer attached —
+    //    hierarchical frame/kernel/band spans and counters, aggregated
+    //    into the per-kernel table below (the same trace exports to
+    //    Perfetto via `trace.to_chrome_json()`)
+    let mut short = dataset_config.clone();
+    short.frame_count = 5;
+    let tracer = Tracer::new();
+    let traced = EvalEngine::new().with_tracer(tracer.clone());
+    traced.evaluate(&SyntheticDataset::generate(&short), &config);
+    let trace = tracer.drain();
+    println!(
+        "\nmeasured host profile ({} events over 5 frames):",
+        trace.len()
+    );
+    print!("{}", trace.profile().render());
+    println!(
+        "  ICP iterations: {}",
+        trace.counter_total("icp.iterations")
     );
 }

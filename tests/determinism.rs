@@ -10,8 +10,11 @@
 
 use slam_kfusion::{marching_cubes_with_threads, KFusionConfig, KinectFusion};
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
+use slam_trace::Tracer;
 // xtask-allow: engine-only — this test pins the raw runner's own thread-count determinism
 use slambench::run_pipeline_with_threads;
+// xtask-allow: engine-only — this test pins that tracing never perturbs the raw runner
+use slambench::run_pipeline_traced;
 
 /// `1` is the canonical serial reference; `7` does not divide the band
 /// counts evenly; `0` is the auto knob.
@@ -65,6 +68,46 @@ fn trajectory_ate_and_workload_are_bit_identical_across_thread_counts() {
             "workload counters diverged at threads={threads}"
         );
         assert_eq!(run.lost_frames, reference.lost_frames);
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_thread_count_determinism() {
+    let dataset = tiny_dataset(6);
+    // xtask-allow: engine-only — the raw runner is the object under test
+    let reference = run_pipeline_with_threads(&dataset, &config(), 1);
+    let ref_poses: Vec<String> = reference
+        .frames
+        .iter()
+        .map(|f| serde_json::to_string(&f.pose).expect("serialisable pose"))
+        .collect();
+    let ref_ops = reference.total_workload().total().ops.to_bits();
+    for threads in THREAD_COUNTS {
+        let cfg = KFusionConfig {
+            threads,
+            ..config()
+        };
+        let tracer = Tracer::new();
+        // xtask-allow: engine-only — the traced raw runner is the object under test
+        let run = run_pipeline_traced(&dataset, &cfg, &tracer);
+        let poses: Vec<String> = run
+            .frames
+            .iter()
+            .map(|f| serde_json::to_string(&f.pose).expect("serialisable pose"))
+            .collect();
+        assert_eq!(
+            poses, ref_poses,
+            "traced poses diverged at threads={threads}"
+        );
+        assert_eq!(
+            run.total_workload().total().ops.to_bits(),
+            ref_ops,
+            "traced workload counters diverged at threads={threads}"
+        );
+        assert!(
+            !tracer.drain().is_empty(),
+            "the traced run recorded events at threads={threads}"
+        );
     }
 }
 
