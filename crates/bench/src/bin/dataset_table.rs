@@ -33,7 +33,14 @@ fn main() {
         configs.len()
     );
     let engine = EvalEngine::with_disk_cache("results/cache");
-    let cells = run_suite_with_engine(&engine, &sequences, &configs, &odroid_xu3());
+    let report = run_suite_with_engine(&engine, &sequences, &configs, &odroid_xu3());
+    for failure in &report.failures {
+        eprintln!(
+            "cell ({}, {}) failed: {}",
+            failure.sequence, failure.config, failure.cause
+        );
+    }
+    let cells = report.cells;
 
     let mut table = Table::new(vec![
         "sequence".into(),

@@ -6,13 +6,19 @@
 //! printing rules of the paper's form ("Volume resolution < 96 → …").
 //!
 //! Run with `cargo run --release -p bench --bin fig2_knowledge`.
+//!
+//! The sweep checkpoints to `results/checkpoints/` as it goes; rerun
+//! with `--resume` after an interruption to continue from the last
+//! checkpoint (bit-identical outcome, same seed). `--checkpoint-every N`
+//! tunes the cadence (default 8).
 
 use bench::{exploration_camera, living_room_dataset, thresholds};
 use slam_dse::knowledge::{KnowledgeTree, LabelledConfigs};
 use slam_power::devices::odroid_xu3;
+use slambench::checkpoint::CheckpointOptions;
 use slambench::config_space::slambench_space;
 use slambench::engine::EvalEngine;
-use slambench::explore::random_sweep_with_engine;
+use slambench::explore::random_sweep_checkpointed;
 
 fn main() {
     let frames = 25;
@@ -24,7 +30,24 @@ fn main() {
     let device = odroid_xu3();
     eprintln!("evaluating {samples} configurations (parallel)...");
     let engine = EvalEngine::with_disk_cache("results/cache");
-    let measured = random_sweep_with_engine(&engine, &dataset, &device, samples, 4242);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ckpt = CheckpointOptions::new("fig2_knowledge_random");
+    ckpt.resume = args.iter().any(|a| a == "--resume");
+    if let Some(every) = args
+        .iter()
+        .position(|a| a == "--checkpoint-every")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        ckpt.every = every.max(1);
+    }
+    let sweep = random_sweep_checkpointed(&engine, &dataset, &device, samples, 4242, &ckpt)
+        .complete()
+        .expect("no stop_after configured");
+    for q in &sweep.quarantined {
+        eprintln!("quarantined: {q}");
+    }
+    let measured = sweep.measured;
 
     // label: classes mirror the paper's OR-of-criteria boxes
     let mut x = Vec::new();

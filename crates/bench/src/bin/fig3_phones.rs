@@ -34,13 +34,20 @@ fn main() {
 
     let fleet = phone_fleet(2018);
     eprintln!("running pipeline per distinct memory-capped volume and costing 83 phones...");
-    let mut entries = fleet_speedups_with_engine(
+    let outcome = fleet_speedups_with_engine(
         &engine,
         &dataset,
         &KFusionConfig::default(),
         &xu3_tuned_config(),
         &fleet,
     );
+    for skip in &outcome.skipped {
+        eprintln!(
+            "skipped phone {} ({}): {}",
+            skip.index, skip.name, skip.reason
+        );
+    }
+    let mut entries = outcome.entries;
     entries.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"));
 
     // ---- the sorted speed-up series (the paper's dot plot) -----------------

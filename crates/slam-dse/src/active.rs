@@ -65,6 +65,19 @@ impl ActiveLearnerOptions {
     }
 }
 
+/// The batch evaluator's verdict in a resumable run: either the batch's
+/// objective vectors, or a request to suspend the loop at this batch
+/// boundary (checkpointing callers use this to end a session cleanly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchEval {
+    /// One objective vector per proposed configuration.
+    Evaluated(Vec<Vec<f64>>),
+    /// Stop before evaluating this batch;
+    /// [`ActiveLearner::run_batched_resumable`] returns immediately
+    /// with `suspended = true`.
+    Suspend,
+}
+
 /// The outcome of an exploration run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExplorationResult {
@@ -149,60 +162,97 @@ impl ActiveLearner {
         budget: usize,
         mut evaluator: impl FnMut(&[Vec<f64>]) -> Vec<Vec<f64>>,
     ) -> ExplorationResult {
+        let (result, suspended) =
+            self.run_batched_resumable(budget, |batch| BatchEval::Evaluated(evaluator(batch)));
+        debug_assert!(!suspended, "a plain evaluator cannot suspend");
+        result
+    }
+
+    /// Like [`ActiveLearner::run_batched`], but the evaluator may answer
+    /// a proposal batch with [`BatchEval::Suspend`] to stop the loop
+    /// cleanly at that batch boundary — the mechanism checkpointing
+    /// sweep drivers use to end a session without losing determinism.
+    ///
+    /// Returns the (possibly partial) result and whether the loop was
+    /// suspended. A suspended loop consumed the RNG exactly as far as
+    /// the evaluations it performed, so re-running with the same seed
+    /// and an evaluator that replays the recorded prefix reproduces the
+    /// remaining proposals bit-identically.
+    pub fn run_batched_resumable(
+        &mut self,
+        budget: usize,
+        mut evaluator: impl FnMut(&[Vec<f64>]) -> BatchEval,
+    ) -> (ExplorationResult, bool) {
         let objectives = self.objectives;
         let mut rng = ChaCha8Rng::seed_from_u64(self.options.seed);
         let mut evaluations: Vec<Evaluation> = Vec::new();
-        let mut evaluate_batch = |batch: Vec<Vec<f64>>, evals: &mut Vec<Evaluation>| {
-            if batch.is_empty() {
-                return;
-            }
-            let results = evaluator(&batch);
-            assert_eq!(
-                results.len(),
-                batch.len(),
-                "batch evaluator returned wrong result count"
-            );
-            for (x, mut obj) in batch.into_iter().zip(results) {
-                assert_eq!(
-                    obj.len(),
-                    objectives,
-                    "evaluator returned wrong objective count"
-                );
-                for o in &mut obj {
-                    if !o.is_finite() {
-                        // large finite penalty; f64::MAX would overflow the
-                        // surrogate's variance computation
-                        *o = 1e12;
-                    }
-                    // clamp extreme finite values for the same reason
-                    *o = o.clamp(-1e12, 1e12);
+        let mut suspended = false;
+        let mut evaluate_batch =
+            |batch: Vec<Vec<f64>>, evals: &mut Vec<Evaluation>, suspended: &mut bool| {
+                if batch.is_empty() {
+                    return;
                 }
-                evals.push(Evaluation::new(x, obj));
-            }
-        };
+                let results = match evaluator(&batch) {
+                    BatchEval::Evaluated(results) => results,
+                    BatchEval::Suspend => {
+                        *suspended = true;
+                        return;
+                    }
+                };
+                assert_eq!(
+                    results.len(),
+                    batch.len(),
+                    "batch evaluator returned wrong result count"
+                );
+                for (x, mut obj) in batch.into_iter().zip(results) {
+                    assert_eq!(
+                        obj.len(),
+                        objectives,
+                        "evaluator returned wrong objective count"
+                    );
+                    for o in &mut obj {
+                        if !o.is_finite() {
+                            // large finite penalty; f64::MAX would overflow the
+                            // surrogate's variance computation
+                            *o = 1e12;
+                        }
+                        // clamp extreme finite values for the same reason
+                        *o = o.clamp(-1e12, 1e12);
+                    }
+                    evals.push(Evaluation::new(x, obj));
+                }
+            };
 
         // ---- phase 1: initial random design --------------------------------
         let initial = self.options.initial_samples.min(budget);
         let design = crate::sampler::latin_hypercube(&self.space, initial, &mut rng);
-        evaluate_batch(design, &mut evaluations);
+        evaluate_batch(design, &mut evaluations, &mut suspended);
         let initial_count = evaluations.len();
 
         // ---- phase 2: active learning ---------------------------------------
-        for _iter in 0..self.options.iterations {
-            if evaluations.len() >= budget {
-                break;
+        if !suspended {
+            for _iter in 0..self.options.iterations {
+                if evaluations.len() >= budget {
+                    break;
+                }
+                let mut batch = self.propose_batch(&evaluations, &mut rng);
+                batch.truncate(budget - evaluations.len());
+                evaluate_batch(batch, &mut evaluations, &mut suspended);
+                if suspended {
+                    break;
+                }
             }
-            let mut batch = self.propose_batch(&evaluations, &mut rng);
-            batch.truncate(budget - evaluations.len());
-            evaluate_batch(batch, &mut evaluations);
         }
 
         let front = pareto_front(&evaluations);
-        ExplorationResult {
-            evaluations,
-            initial_count,
-            pareto_front: front,
-        }
+        (
+            ExplorationResult {
+                evaluations,
+                initial_count,
+                pareto_front: front,
+            },
+            suspended,
+        )
     }
 
     /// Proposes the next batch from the surrogate models.
@@ -437,6 +487,48 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn suspended_run_resumes_bit_identically_via_replay() {
+        let f = |x: &[f64]| vec![(x[0] - 0.4).powi(2)];
+        // reference: one uninterrupted run
+        let mut full_learner = ActiveLearner::new(one_d_space(), 1, ActiveLearnerOptions::fast());
+        let full = full_learner.run_batched(16, |batch| batch.iter().map(|x| f(x)).collect());
+        // session 1: suspend once 12 evaluations are done
+        let mut record: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+        let mut first = ActiveLearner::new(one_d_space(), 1, ActiveLearnerOptions::fast());
+        let (_, suspended) = first.run_batched_resumable(16, |batch| {
+            if record.len() >= 12 {
+                return BatchEval::Suspend;
+            }
+            let results: Vec<Vec<f64>> = batch.iter().map(|x| f(x)).collect();
+            for (x, obj) in batch.iter().zip(&results) {
+                record.push((x.clone(), obj.clone()));
+            }
+            BatchEval::Evaluated(results)
+        });
+        assert!(suspended);
+        assert!(record.len() >= 12 && record.len() < 16);
+        // session 2: replay the record, evaluate the rest fresh
+        let mut replay = std::collections::VecDeque::from(record);
+        let mut second = ActiveLearner::new(one_d_space(), 1, ActiveLearnerOptions::fast());
+        let (resumed, suspended) = second.run_batched_resumable(16, |batch| {
+            let results: Vec<Vec<f64>> = batch
+                .iter()
+                .map(|x| {
+                    if let Some((rx, robj)) = replay.pop_front() {
+                        assert_eq!(&rx, x, "replayed proposal must match");
+                        robj
+                    } else {
+                        f(x)
+                    }
+                })
+                .collect();
+            BatchEval::Evaluated(results)
+        });
+        assert!(!suspended);
+        assert_eq!(resumed, full);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod sampler;
 pub mod space;
 pub mod tree;
 
-pub use active::{ActiveLearner, ActiveLearnerOptions, ExplorationResult};
+pub use active::{ActiveLearner, ActiveLearnerOptions, BatchEval, ExplorationResult};
 pub use forest::{RandomForest, RandomForestOptions};
 pub use pareto::pareto_front;
 pub use space::{Domain, ParameterSpace};

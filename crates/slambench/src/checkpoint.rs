@@ -1,0 +1,272 @@
+//! Checkpoint/resume for long evaluation sweeps.
+//!
+//! A multi-hour design-space exploration killed at evaluation 900 of
+//! 1000 should not restart from zero. The checkpointed sweep drivers
+//! ([`explore_checkpointed`](crate::explore::explore_checkpointed),
+//! [`random_sweep_checkpointed`](crate::explore::random_sweep_checkpointed))
+//! atomically write a JSON [`SweepCheckpoint`] under
+//! `results/checkpoints/` every N evaluations; on resume the recorded
+//! evaluations are replayed through the same deterministic loop —
+//! verified bitwise against what the loop re-proposes — so the final
+//! outcome is bit-identical to an uninterrupted sweep with the same
+//! seed, at any thread count.
+//!
+//! Checkpoint IO is best-effort in the same spirit as the engine's disk
+//! cache: a missing, corrupt, truncated, or metadata-mismatched
+//! checkpoint is ignored and the sweep starts fresh; a failed save only
+//! costs resume granularity. Writes go through a temp-file + rename so
+//! a crash mid-write can never leave a half-written checkpoint under
+//! the final name.
+
+use crate::explore::{MeasuredConfig, FAILED_OBJECTIVES};
+use crate::fault::QuarantinedConfig;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Where, how often, and whether to resume a checkpointed sweep.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory holding checkpoint files (default
+    /// `results/checkpoints`).
+    pub dir: PathBuf,
+    /// File stem for this sweep's checkpoint (one sweep = one file).
+    pub label: String,
+    /// Checkpoint every N completed evaluations (minimum 1).
+    pub every: usize,
+    /// Whether to load an existing checkpoint before starting.
+    pub resume: bool,
+    /// Stop cleanly once at least this many evaluations are recorded
+    /// (checked at batch boundaries) — the test hook that simulates a
+    /// killed sweep without killing the process. `None` runs to
+    /// completion.
+    pub stop_after: Option<usize>,
+}
+
+impl CheckpointOptions {
+    /// Defaults: `results/checkpoints/<label>.json`, checkpoint every 8
+    /// evaluations, resume enabled, no stop.
+    pub fn new(label: impl Into<String>) -> CheckpointOptions {
+        CheckpointOptions {
+            dir: PathBuf::from("results/checkpoints"),
+            label: label.into(),
+            every: 8,
+            resume: true,
+            stop_after: None,
+        }
+    }
+
+    /// The checkpoint file path for this sweep.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(format!("{}.json", self.label))
+    }
+}
+
+/// One recorded evaluation, in evaluation order. Failures are recorded
+/// too: replay must feed the learner exactly what the original loop fed
+/// it, including the dummy objectives of quarantined slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecordedEval {
+    /// A successful (possibly deadline-degraded) measurement.
+    Measured(MeasuredConfig),
+    /// A quarantined evaluation; the learner saw
+    /// [`FAILED_OBJECTIVES`](crate::explore)-style dummy objectives.
+    Failed {
+        /// The encoded parameter vector that was proposed.
+        x: Vec<f64>,
+        /// Why the engine gave up on it.
+        quarantined: QuarantinedConfig,
+    },
+}
+
+impl RecordedEval {
+    /// The proposal vector this evaluation answered.
+    pub fn x(&self) -> &[f64] {
+        match self {
+            RecordedEval::Measured(m) => &m.x,
+            RecordedEval::Failed { x, .. } => x,
+        }
+    }
+
+    /// The objectives the learner was fed for this evaluation.
+    pub fn objectives(&self) -> Vec<f64> {
+        match self {
+            RecordedEval::Measured(m) => m.objectives(),
+            RecordedEval::Failed { .. } => FAILED_OBJECTIVES.to_vec(),
+        }
+    }
+}
+
+/// The persisted state of one sweep: identifying metadata plus every
+/// completed evaluation. Resume validates the metadata before trusting
+/// the record — a checkpoint from a different seed, budget, dataset,
+/// device, or thread knob is silently ignored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Which sweep driver wrote this (`"explore"`, `"random_sweep"`).
+    pub kind: String,
+    /// The sweep's RNG seed.
+    pub seed: u64,
+    /// Total evaluation budget of the sweep.
+    pub budget: usize,
+    /// [`dataset_fingerprint`](crate::engine::dataset_fingerprint) of
+    /// the dataset swept over.
+    pub dataset_fingerprint: u64,
+    /// Target device name.
+    pub device: String,
+    /// Kernel thread knob the sweep measures with.
+    pub threads: usize,
+    /// Evaluations completed so far, in evaluation order.
+    pub completed: Vec<RecordedEval>,
+}
+
+impl SweepCheckpoint {
+    /// Whether this checkpoint's identifying metadata matches `meta`
+    /// (everything except `completed`).
+    pub fn matches(&self, meta: &SweepCheckpoint) -> bool {
+        self.kind == meta.kind
+            && self.seed == meta.seed
+            && self.budget == meta.budget
+            && self.dataset_fingerprint == meta.dataset_fingerprint
+            && self.device == meta.device
+            && self.threads == meta.threads
+    }
+
+    /// A copy of this checkpoint's metadata carrying `completed`.
+    pub fn with_completed(&self, completed: Vec<RecordedEval>) -> SweepCheckpoint {
+        SweepCheckpoint {
+            completed,
+            ..self.clone()
+        }
+    }
+}
+
+/// Loads a checkpoint, tolerantly: any IO or parse failure reads as "no
+/// checkpoint".
+pub fn load_checkpoint(path: &Path) -> Option<SweepCheckpoint> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Atomically persists a checkpoint (write temp file, then rename).
+/// Best-effort: returns whether the save landed; a failed save is not
+/// an error, it only costs resume granularity.
+pub fn save_checkpoint(path: &Path, checkpoint: &SweepCheckpoint) -> bool {
+    let Ok(text) = serde_json::to_string(checkpoint) else {
+        return false;
+    };
+    let Some(dir) = path.parent() else {
+        return false;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return false;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, text).is_err() {
+        return false;
+    }
+    if std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    true
+}
+
+/// How a checkpointed sweep session ended.
+#[derive(Debug)]
+pub enum SweepProgress<T> {
+    /// The sweep ran to completion.
+    Complete(T),
+    /// The session stopped at a batch boundary (the
+    /// [`CheckpointOptions::stop_after`] hook); the checkpoint at
+    /// `path` holds `completed` evaluations and a later session with
+    /// `resume: true` continues from it.
+    Suspended {
+        /// Evaluations recorded so far.
+        completed: usize,
+        /// The checkpoint file to resume from.
+        path: PathBuf,
+    },
+}
+
+impl<T> SweepProgress<T> {
+    /// The completed outcome, if the sweep finished.
+    pub fn complete(self) -> Option<T> {
+        match self {
+            SweepProgress::Complete(outcome) => Some(outcome),
+            SweepProgress::Suspended { .. } => None,
+        }
+    }
+
+    /// Whether the sweep finished.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SweepProgress::Complete(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> SweepCheckpoint {
+        SweepCheckpoint {
+            kind: "explore".to_string(),
+            seed: 7,
+            budget: 12,
+            dataset_fingerprint: 0xfeed,
+            device: "xu3".to_string(),
+            threads: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn metadata_match_ignores_completed() {
+        let mut a = meta();
+        a.completed = Vec::new();
+        let b = meta().with_completed(vec![RecordedEval::Failed {
+            x: vec![1.0],
+            quarantined: QuarantinedConfig {
+                config: slam_kfusion::KFusionConfig::fast_test(),
+                attempts: 1,
+                cause: "injected".to_string(),
+            },
+        }]);
+        assert!(a.matches(&b));
+        let mut c = meta();
+        c.seed = 8;
+        assert!(!a.matches(&c));
+        let mut d = meta();
+        d.device = "pi2".to_string();
+        assert!(!a.matches(&d));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_atomically() {
+        let dir = std::env::temp_dir().join(format!("slambench-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("unit.json");
+        assert!(load_checkpoint(&path).is_none());
+        let cp = meta().with_completed(Vec::new());
+        assert!(save_checkpoint(&path, &cp));
+        let back = load_checkpoint(&path);
+        assert!(back.is_some_and(|b| b.matches(&meta())));
+        // corrupt file reads as no checkpoint
+        std::fs::write(&path, "{ not json").ok();
+        assert!(load_checkpoint(&path).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_evals_replay_dummy_objectives() {
+        let r = RecordedEval::Failed {
+            x: vec![0.5, 0.25],
+            quarantined: QuarantinedConfig {
+                config: slam_kfusion::KFusionConfig::fast_test(),
+                attempts: 2,
+                cause: "injected".to_string(),
+            },
+        };
+        assert_eq!(r.x(), &[0.5, 0.25]);
+        assert_eq!(r.objectives(), FAILED_OBJECTIVES.to_vec());
+    }
+}

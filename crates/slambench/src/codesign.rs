@@ -15,7 +15,8 @@
 
 use crate::config_space::{decode_config, slambench_space};
 use crate::engine::EvalEngine;
-use crate::explore::MeasuredConfig;
+use crate::explore::{push_quarantine, MeasuredConfig, FAILED_OBJECTIVES};
+use crate::fault::QuarantinedConfig;
 use slam_dse::active::{ActiveLearner, ActiveLearnerOptions};
 use slam_dse::space::{Domain, ParameterSpace};
 use slam_kfusion::KFusionConfig;
@@ -112,6 +113,10 @@ pub struct CoDesignOutcome {
     pub accuracy_limit: f64,
     /// The power budget used.
     pub power_budget: f64,
+    /// Configurations the engine gave up on (each proposal of one
+    /// became a dummy infeasible point instead of aborting the
+    /// exploration).
+    pub quarantined: Vec<QuarantinedConfig>,
 }
 
 impl CoDesignOutcome {
@@ -158,6 +163,7 @@ pub fn codesign_explore_with_engine(
     // nondeterministic iteration order must never leak into outputs
     let mut charged: BTreeSet<Vec<u64>> = BTreeSet::new();
     let mut points: Vec<CoDesignPoint> = Vec::new();
+    let mut quarantined: Vec<QuarantinedConfig> = Vec::new();
     let pipeline_budget = options.pipeline_budget;
     learner.run_batched(options.evaluation_budget, |xs| {
         // replicate the serial budget accounting in batch order: a point
@@ -181,20 +187,32 @@ pub fn codesign_explore_with_engine(
             .flatten()
             .map(|(config, _)| config.clone())
             .collect();
-        let runs = eval.evaluate_batch(dataset, &configs);
-        let mut run_iter = runs.iter();
+        let outcomes = match eval.try_evaluate_batch_outcomes(dataset, &configs) {
+            Ok(outcomes) => outcomes,
+            // xtask-allow: panic-path — empty datasets / invalid configs violate codesign_explore's documented precondition; per-slot failures never reach this arm
+            Err(e) => panic!("co-design evaluation failed: {e}"),
+        };
+        let mut outcome_iter = outcomes.iter();
         decided
             .into_iter()
             .zip(xs)
             .map(|(d, x)| {
                 let Some((config, dvfs)) = d else {
-                    return vec![1e9, 1e9, 1e9];
+                    return FAILED_OBJECTIVES.to_vec();
                 };
-                // xtask-allow: panic-path — evaluate_batch returns one run per decided config by construction
-                let run = run_iter.next().expect("one run per decided config");
+                // xtask-allow: panic-path — try_evaluate_batch_outcomes returns one outcome per decided config by construction
+                let outcome = outcome_iter.next().expect("one outcome per decided config");
+                if let Some(q) = outcome.failure() {
+                    push_quarantine(&mut quarantined, q.clone());
+                    return FAILED_OBJECTIVES.to_vec();
+                }
+                let degraded = !outcome.is_done();
+                let Some(run) = outcome.run() else {
+                    return FAILED_OBJECTIVES.to_vec();
+                };
                 let report = run.cost_on(&device.at_dvfs(dvfs));
                 let runtime_s = report.timing.mean_frame_time();
-                let max_ate_m = if run.lost_frames > run.frames.len() / 2 {
+                let max_ate_m = if degraded || run.lost_frames > run.frames.len() / 2 {
                     f64::from(config.volume_size)
                 } else {
                     run.ate.max
@@ -223,6 +241,7 @@ pub fn codesign_explore_with_engine(
         points,
         accuracy_limit: options.accuracy_limit,
         power_budget: options.power_budget,
+        quarantined,
     }
 }
 

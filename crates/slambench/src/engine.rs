@@ -38,7 +38,10 @@
 //! host wall-clock is inherently nondeterministic and is pinned by
 //! `tests/engine.rs` to be the *only* field that may differ.
 
-use crate::run::{run_pipeline, run_pipeline_traced, PipelineRun};
+use crate::fault::{FaultPlan, FaultPolicy, QuarantinedConfig, RunClock, WallRunClock};
+use crate::run::{
+    run_pipeline, run_pipeline_guarded, run_pipeline_traced, GuardOptions, PipelineRun, RunStatus,
+};
 use serde::{Deserialize, Serialize};
 use slam_kfusion::config::ConfigError;
 use slam_kfusion::{exec, KFusionConfig};
@@ -46,8 +49,9 @@ use slam_scene::dataset::SyntheticDataset;
 use slam_trace::Tracer;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Why the engine refused to evaluate a configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +60,15 @@ pub enum EvalError {
     InvalidConfig(ConfigError),
     /// The dataset has no frames to run over.
     EmptyDataset,
+    /// The run for this configuration panicked (every attempt allowed by
+    /// the retry policy) and was quarantined. Only that slot failed: the
+    /// engine and the rest of the batch are unaffected.
+    RunFailed {
+        /// The configuration whose run failed.
+        config: Box<KFusionConfig>,
+        /// The panic message of the last attempt.
+        cause: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -63,6 +76,7 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
             EvalError::EmptyDataset => write!(f, "cannot evaluate on an empty dataset"),
+            EvalError::RunFailed { cause, .. } => write!(f, "run failed: {cause}"),
         }
     }
 }
@@ -71,7 +85,7 @@ impl std::error::Error for EvalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EvalError::InvalidConfig(e) => Some(e),
-            EvalError::EmptyDataset => None,
+            EvalError::EmptyDataset | EvalError::RunFailed { .. } => None,
         }
     }
 }
@@ -82,7 +96,45 @@ impl From<ConfigError> for EvalError {
     }
 }
 
-/// Cache traffic counters, one increment per requested evaluation.
+/// Per-slot result of a fault-tolerant batch evaluation.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The run completed within its budget.
+    Done(PipelineRun),
+    /// The per-run [`Deadline`](crate::fault::Deadline) fired: the run
+    /// holds the completed prefix and is *not* cached (a future request
+    /// under a looser policy re-evaluates it).
+    TimedOut(PipelineRun),
+    /// Every attempt panicked; the configuration is quarantined and this
+    /// record says why. Later requests for it fail fast.
+    Failed(QuarantinedConfig),
+}
+
+impl RunOutcome {
+    /// The run, when one exists (complete or deadline-truncated).
+    pub fn run(&self) -> Option<&PipelineRun> {
+        match self {
+            RunOutcome::Done(run) | RunOutcome::TimedOut(run) => Some(run),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The quarantine record, when the slot failed.
+    pub fn failure(&self) -> Option<&QuarantinedConfig> {
+        match self {
+            RunOutcome::Failed(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// Whether the run completed within budget.
+    pub fn is_done(&self) -> bool {
+        matches!(self, RunOutcome::Done(_))
+    }
+}
+
+/// Cache traffic counters, one increment per requested evaluation, plus
+/// fault-tolerance outcome counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Requests answered from the in-memory cache (including duplicates
@@ -92,12 +144,22 @@ pub struct EngineStats {
     pub disk_hits: usize,
     /// Requests that executed the pipeline.
     pub misses: usize,
+    /// Requests answered by a quarantine record (fail-fast, no
+    /// execution).
+    pub quarantined: usize,
+    /// Extra attempts executed by the retry policy.
+    pub retries: usize,
+    /// Executions cut short by the per-run deadline.
+    pub timed_out: usize,
+    /// Executions that exhausted every attempt and created a quarantine
+    /// record.
+    pub failed: usize,
 }
 
 impl EngineStats {
     /// Total evaluations requested.
     pub fn requests(&self) -> usize {
-        self.hits + self.disk_hits + self.misses
+        self.hits + self.disk_hits + self.misses + self.quarantined
     }
 }
 
@@ -132,6 +194,40 @@ fn config_bits(config: &KFusionConfig) -> String {
     serde_json::to_string(&canonical).unwrap_or_default()
 }
 
+/// Stable 64-bit digest of a run key — the identity fed to the fault
+/// plan and the disk-cache file name, so injected fault decisions are a
+/// pure function of *what* is being evaluated.
+fn key_hash(key: &RunKey) -> u64 {
+    let mut bytes = key.dataset.to_le_bytes().to_vec();
+    bytes.extend_from_slice(key.config.as_bytes());
+    fnv1a(&bytes)
+}
+
+/// The content-address of a dataset as used by the engine's cache and
+/// the sweep checkpoints: resuming validates the checkpoint was taken
+/// against the same dataset.
+pub fn dataset_fingerprint(dataset: &SyntheticDataset) -> u64 {
+    dataset_id(dataset)
+}
+
+/// Per-miss execution result, before cache bookkeeping.
+enum MissResult {
+    Done { run: PipelineRun, retries: usize },
+    TimedOut { run: PipelineRun, retries: usize },
+    Failed(QuarantinedConfig),
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// One persisted cache entry: the full key is stored alongside the run
 /// so a load can verify it got the file it asked for (hash collisions,
 /// truncation, stale schema all fail the check and fall back to a miss).
@@ -144,7 +240,18 @@ struct DiskEntry {
 
 struct EngineState {
     cache: BTreeMap<RunKey, PipelineRun>,
+    quarantine: BTreeMap<RunKey, QuarantinedConfig>,
     stats: EngineStats,
+}
+
+impl EngineState {
+    fn new() -> EngineState {
+        EngineState {
+            cache: BTreeMap::new(),
+            quarantine: BTreeMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
 }
 
 /// The evaluation service: a content-addressed [`PipelineRun`] cache
@@ -173,6 +280,9 @@ pub struct EvalEngine {
     state: Mutex<EngineState>,
     disk_dir: Option<PathBuf>,
     tracer: Tracer,
+    policy: FaultPolicy,
+    plan: FaultPlan,
+    run_clock: Arc<dyn RunClock>,
 }
 
 impl Default for EvalEngine {
@@ -185,12 +295,12 @@ impl EvalEngine {
     /// An engine with an in-memory cache only.
     pub fn new() -> EvalEngine {
         EvalEngine {
-            state: Mutex::new(EngineState {
-                cache: BTreeMap::new(),
-                stats: EngineStats::default(),
-            }),
+            state: Mutex::new(EngineState::new()),
             disk_dir: None,
             tracer: Tracer::disabled(),
+            policy: FaultPolicy::default(),
+            plan: FaultPlan::none(),
+            run_clock: Arc::new(WallRunClock),
         }
     }
 
@@ -201,13 +311,42 @@ impl EvalEngine {
     /// can only ever fall back to re-evaluation.
     pub fn with_disk_cache(dir: impl Into<PathBuf>) -> EvalEngine {
         EvalEngine {
-            state: Mutex::new(EngineState {
-                cache: BTreeMap::new(),
-                stats: EngineStats::default(),
-            }),
             disk_dir: Some(dir.into()),
-            tracer: Tracer::disabled(),
+            ..EvalEngine::new()
         }
+    }
+
+    /// Sets the fault-tolerance policy: per-run deadline + retry. The
+    /// default is unlimited/single-attempt, which is the zero-overhead
+    /// pre-fault-tolerance behaviour.
+    pub fn with_policy(mut self, policy: FaultPolicy) -> EvalEngine {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a seeded fault-injection plan (tests only; the default
+    /// plan injects nothing).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> EvalEngine {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the per-run clock source used to measure wall deadlines
+    /// (default: real time via [`WallRunClock`]; tests inject
+    /// [`MockRunClock`](crate::fault::MockRunClock) for determinism).
+    pub fn with_run_clock(mut self, clock: Arc<dyn RunClock>) -> EvalEngine {
+        self.run_clock = clock;
+        self
+    }
+
+    /// The active fault-tolerance policy.
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Every configuration quarantined so far, in key order.
+    pub fn quarantined(&self) -> Vec<QuarantinedConfig> {
+        self.lock().quarantine.values().cloned().collect()
     }
 
     /// Attaches a [`Tracer`]: every cache classification bumps an
@@ -270,13 +409,15 @@ impl EvalEngine {
     }
 
     /// Fallible [`EvalEngine::evaluate`]: surfaces invalid
-    /// configurations and empty datasets as typed errors.
+    /// configurations, empty datasets and failed (quarantined) runs as
+    /// typed errors.
     ///
     /// # Errors
     ///
     /// [`EvalError::InvalidConfig`] when `config` fails
     /// [`KFusionConfig::validate`]; [`EvalError::EmptyDataset`] when the
-    /// dataset has no frames.
+    /// dataset has no frames; [`EvalError::RunFailed`] when the run
+    /// panicked on every allowed attempt.
     pub fn try_evaluate(
         &self,
         dataset: &SyntheticDataset,
@@ -308,18 +449,62 @@ impl EvalEngine {
     }
 
     /// Fallible [`EvalEngine::evaluate_batch`]. Validates every
-    /// configuration up front; on error nothing is evaluated.
+    /// configuration up front; on validation error nothing is evaluated.
+    ///
+    /// Built on [`EvalEngine::try_evaluate_batch_outcomes`]: a
+    /// deadline-truncated run is returned as its completed prefix, and
+    /// the first quarantined slot turns the whole call into
+    /// [`EvalError::RunFailed`]. Callers that need per-slot outcomes
+    /// (all the orchestrators) use the outcomes API directly.
     ///
     /// # Errors
     ///
     /// [`EvalError::InvalidConfig`] for the first configuration failing
     /// [`KFusionConfig::validate`]; [`EvalError::EmptyDataset`] when the
-    /// dataset has no frames.
+    /// dataset has no frames; [`EvalError::RunFailed`] when a slot's run
+    /// panicked on every allowed attempt (the engine itself stays
+    /// usable: the failure is recorded, not propagated as a panic).
     pub fn try_evaluate_batch(
         &self,
         dataset: &SyntheticDataset,
         configs: &[KFusionConfig],
     ) -> Result<Vec<PipelineRun>, EvalError> {
+        let outcomes = self.try_evaluate_batch_outcomes(dataset, configs)?;
+        let mut out = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                RunOutcome::Done(run) | RunOutcome::TimedOut(run) => out.push(run),
+                RunOutcome::Failed(q) => {
+                    return Err(EvalError::RunFailed {
+                        config: Box::new(q.config),
+                        cause: q.cause,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The fault-tolerant batch evaluator: one [`RunOutcome`] per
+    /// request, in request order. A panicking run (real or injected)
+    /// affects only its own slot — it is retried per the
+    /// [`RetryPolicy`](crate::fault::RetryPolicy), quarantined on
+    /// exhaustion, and every other slot's result is returned intact. A
+    /// run exceeding the per-run deadline comes back as
+    /// [`RunOutcome::TimedOut`] with its completed prefix. Neither
+    /// timed-out nor failed runs are ever cached; quarantine records
+    /// make later requests for a failed configuration fail fast.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::InvalidConfig`] for the first configuration failing
+    /// [`KFusionConfig::validate`]; [`EvalError::EmptyDataset`] when the
+    /// dataset has no frames. Per-slot failures are *not* errors here.
+    pub fn try_evaluate_batch_outcomes(
+        &self,
+        dataset: &SyntheticDataset,
+        configs: &[KFusionConfig],
+    ) -> Result<Vec<RunOutcome>, EvalError> {
         if configs.is_empty() {
             return Ok(Vec::new());
         }
@@ -341,6 +526,15 @@ impl EvalEngine {
 
         // classify each request; collect the distinct misses in request
         // order (the deterministic execution + insertion order)
+        enum Slot {
+            /// Resolvable from the cache at assembly time.
+            Ready,
+            /// Answered by an existing quarantine record.
+            Quarantined(QuarantinedConfig),
+            /// Index into this batch's miss list.
+            Miss(usize),
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(configs.len());
         let mut miss_keys: Vec<RunKey> = Vec::new();
         let mut miss_configs: Vec<KFusionConfig> = Vec::new();
         {
@@ -349,64 +543,169 @@ impl EvalEngine {
                 if state.cache.contains_key(key) {
                     state.stats.hits += 1;
                     self.tracer.counter("engine.cache_hit", 1);
-                } else if miss_keys.contains(key) {
+                    slots.push(Slot::Ready);
+                } else if let Some(q) = state.quarantine.get(key) {
+                    // fail fast: this configuration already exhausted
+                    // its attempts in an earlier batch
+                    state.stats.quarantined += 1;
+                    self.tracer.counter("engine.quarantine_hit", 1);
+                    slots.push(Slot::Quarantined(q.clone()));
+                } else if let Some(i) = miss_keys.iter().position(|k| k == key) {
                     // duplicate within this batch: shares the single
                     // execution already scheduled
                     state.stats.hits += 1;
                     self.tracer.counter("engine.cache_hit", 1);
+                    slots.push(Slot::Miss(i));
                 } else if let Some(run) = self.load_from_disk(key) {
                     state.stats.disk_hits += 1;
                     self.tracer.counter("engine.disk_hit", 1);
                     state.cache.insert(key.clone(), run);
+                    slots.push(Slot::Ready);
                 } else {
                     state.stats.misses += 1;
                     self.tracer.counter("engine.cache_miss", 1);
+                    slots.push(Slot::Miss(miss_keys.len()));
                     miss_keys.push(key.clone());
                     miss_configs.push(config.clone());
                 }
             }
         }
 
-        // run the misses concurrently; the cache lock is never held
-        // inside the parallel section, and results are inserted in miss
-        // order afterwards, so scheduling cannot influence the cache
+        // run the misses concurrently, each isolated behind its own
+        // catch_unwind + retry loop; the cache lock is never held inside
+        // the parallel section, and bookkeeping happens in miss order
+        // afterwards, so scheduling cannot influence the cache
+        let mut miss_results: Vec<MissResult> = Vec::new();
         if !miss_configs.is_empty() {
-            let tracer = &self.tracer;
-            let runs = if miss_configs.len() == 1 {
-                vec![run_pipeline_traced(dataset, &miss_configs[0], tracer)]
+            miss_results = if miss_configs.len() == 1 {
+                vec![self.execute_isolated(dataset, &miss_configs[0], key_hash(&miss_keys[0]))]
             } else {
                 let workers = exec::effective_threads(0).min(miss_configs.len());
                 let inner = (exec::available_threads() / workers).max(1);
-                let tasks: Vec<exec::Task<'_, PipelineRun>> = miss_configs
+                let tasks: Vec<exec::Task<'_, MissResult>> = miss_configs
                     .iter()
-                    .map(|config| {
+                    .zip(&miss_keys)
+                    .map(|(config, key)| {
+                        let kh = key_hash(key);
                         Box::new(move || {
                             exec::with_thread_budget(inner, || {
-                                run_pipeline_traced(dataset, config, tracer)
+                                self.execute_isolated(dataset, config, kh)
                             })
-                        }) as exec::Task<'_, PipelineRun>
+                        }) as exec::Task<'_, MissResult>
                     })
                     .collect();
                 exec::run_tasks(workers, tasks)
             };
             let mut state = self.lock();
-            for (key, run) in miss_keys.iter().zip(&runs) {
-                self.store_to_disk(key, run);
-                state.cache.insert(key.clone(), run.clone());
+            for (key, result) in miss_keys.iter().zip(&miss_results) {
+                match result {
+                    MissResult::Done { run, retries } => {
+                        state.stats.retries += retries;
+                        self.store_to_disk(key, run);
+                        state.cache.insert(key.clone(), run.clone());
+                    }
+                    MissResult::TimedOut { retries, .. } => {
+                        state.stats.retries += retries;
+                        state.stats.timed_out += 1;
+                        self.tracer.counter("engine.timed_out", 1);
+                    }
+                    MissResult::Failed(q) => {
+                        state.stats.retries += q.attempts.saturating_sub(1);
+                        state.stats.failed += 1;
+                        self.tracer.counter("engine.run_failed", 1);
+                        state.quarantine.insert(key.clone(), q.clone());
+                    }
+                }
             }
         }
 
         let state = self.lock();
         let mut out = Vec::with_capacity(configs.len());
-        for (key, config) in keys.iter().zip(configs) {
-            // xtask-allow: panic-path — every key is either a prior hit or was inserted from this batch's misses
-            let mut run = state.cache.get(key).cloned().expect("key resolved above");
-            // the cache entry is thread-count-agnostic; report the
-            // thread knob the caller actually asked for
-            run.config.threads = config.threads;
-            out.push(run);
+        for ((slot, key), config) in slots.iter().zip(&keys).zip(configs) {
+            // reported runs are thread-count-agnostic cache entries;
+            // restore the thread knob the caller actually asked for
+            let with_threads = |mut run: PipelineRun| {
+                run.config.threads = config.threads;
+                run
+            };
+            out.push(match slot {
+                Slot::Ready => {
+                    // xtask-allow: panic-path — a Ready slot was in the cache (or inserted from disk) at classification time
+                    let run = state.cache.get(key).cloned().expect("ready slot resolved");
+                    RunOutcome::Done(with_threads(run))
+                }
+                Slot::Quarantined(q) => RunOutcome::Failed(q.clone()),
+                Slot::Miss(i) => match &miss_results[*i] {
+                    MissResult::Done { run, .. } => RunOutcome::Done(with_threads(run.clone())),
+                    MissResult::TimedOut { run, .. } => {
+                        RunOutcome::TimedOut(with_threads(run.clone()))
+                    }
+                    MissResult::Failed(q) => RunOutcome::Failed(q.clone()),
+                },
+            });
         }
         Ok(out)
+    }
+
+    /// Executes one cache miss with full fault isolation: injected
+    /// faults from the plan, a catch_unwind boundary per attempt, the
+    /// retry policy, and the per-run deadline on a fresh per-run clock.
+    /// Never panics and never touches the engine lock.
+    fn execute_isolated(
+        &self,
+        dataset: &SyntheticDataset,
+        config: &KFusionConfig,
+        key_hash: u64,
+    ) -> MissResult {
+        let max_attempts = self.policy.retry.attempts();
+        let slow_ns = self.plan.injected_slow_ns(config);
+        let wants_clock = self.policy.deadline.max_wall_ns.is_some();
+        let mut attempt = 0usize;
+        loop {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(cause) = self.plan.injected_panic(config, key_hash, attempt) {
+                    // xtask-allow: panic-path — deliberate fault injection, caught by the catch_unwind just above
+                    panic!("{cause}");
+                }
+                let clock = wants_clock.then(|| self.run_clock.start());
+                run_pipeline_guarded(
+                    dataset,
+                    config,
+                    &GuardOptions {
+                        tracer: &self.tracer,
+                        clock: clock.as_deref(),
+                        deadline: self.policy.deadline,
+                        slow_frame_penalty_ns: slow_ns,
+                    },
+                )
+            }));
+            match caught {
+                Ok(guarded) => {
+                    return match guarded.status {
+                        RunStatus::Completed => MissResult::Done {
+                            run: guarded.run,
+                            retries: attempt,
+                        },
+                        RunStatus::TimedOut { .. } => MissResult::TimedOut {
+                            run: guarded.run,
+                            retries: attempt,
+                        },
+                    };
+                }
+                Err(payload) => {
+                    let cause = panic_message(payload.as_ref());
+                    attempt += 1;
+                    if attempt >= max_attempts {
+                        return MissResult::Failed(QuarantinedConfig {
+                            config: config.clone(),
+                            attempts: attempt,
+                            cause,
+                        });
+                    }
+                    self.tracer.counter("engine.retry", 1);
+                }
+            }
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, EngineState> {
@@ -418,13 +717,15 @@ impl EvalEngine {
 
     fn disk_path(&self, key: &RunKey) -> Option<PathBuf> {
         let dir = self.disk_dir.as_ref()?;
-        let mut bytes = key.dataset.to_le_bytes().to_vec();
-        bytes.extend_from_slice(key.config.as_bytes());
-        Some(dir.join(format!("{:016x}.json", fnv1a(&bytes))))
+        Some(dir.join(format!("{:016x}.json", key_hash(key))))
     }
 
     fn load_from_disk(&self, key: &RunKey) -> Option<PipelineRun> {
         let path = self.disk_path(key)?;
+        // injected IO error (tests): a failed load is just a miss
+        if self.plan.injected_disk_error(key_hash(key), 0) {
+            return None;
+        }
         let text = std::fs::read_to_string(path).ok()?;
         let entry: DiskEntry = serde_json::from_str(&text).ok()?;
         // verify the full key: a hash collision, truncated write, or
@@ -436,6 +737,11 @@ impl EvalEngine {
         let Some(path) = self.disk_path(key) else {
             return;
         };
+        // injected IO error (tests): a failed store only costs a warm
+        // start later — persistence is best-effort by design
+        if self.plan.injected_disk_error(key_hash(key), 1) {
+            return;
+        }
         let entry = DiskEntry {
             dataset: key.dataset,
             config: key.config.clone(),
@@ -529,8 +835,8 @@ mod tests {
             engine.stats(),
             EngineStats {
                 hits: 1,
-                disk_hits: 0,
-                misses: 1
+                misses: 1,
+                ..EngineStats::default()
             }
         );
         assert_eq!(second.config.threads, 3);
@@ -556,12 +862,12 @@ mod tests {
         let engine = EvalEngine::new();
         let mut config = KFusionConfig::fast_test();
         config.compute_size_ratio = 3;
-        match engine.try_evaluate(&dataset, &config) {
-            Err(EvalError::InvalidConfig(e)) => {
-                assert_eq!(e.parameter(), "compute_size_ratio");
-            }
-            other => panic!("expected InvalidConfig, got {other:?}"),
-        }
+        let err = engine.try_evaluate(&dataset, &config).unwrap_err();
+        let EvalError::InvalidConfig(e) = err else {
+            // xtask-allow: panic-path — test assertion on the error variant
+            panic!("expected InvalidConfig, got {err:?}");
+        };
+        assert_eq!(e.parameter(), "compute_size_ratio");
     }
 
     #[test]

@@ -1,15 +1,26 @@
 //! Design-space exploration of the KinectFusion configuration on a device
 //! model — the machinery behind the paper's Figure 2 and headline result.
 
+use crate::checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointOptions, RecordedEval, SweepCheckpoint,
+    SweepProgress,
+};
 use crate::config_space::{decode_config, encode_config, slambench_space};
-use crate::engine::{self, EvalEngine};
+use crate::engine::{self, EvalEngine, RunOutcome};
+use crate::fault::QuarantinedConfig;
 use crate::run::PipelineRun;
 use serde::{Deserialize, Serialize};
-use slam_dse::active::{ActiveLearner, ActiveLearnerOptions};
+use slam_dse::active::{ActiveLearner, ActiveLearnerOptions, BatchEval};
 use slam_dse::Evaluation;
 use slam_kfusion::KFusionConfig;
 use slam_power::DeviceModel;
 use slam_scene::dataset::SyntheticDataset;
+use std::collections::VecDeque;
+
+/// Objectives fed to the learner for a quarantined evaluation: a point
+/// so bad the optimiser steers away from the region without ever
+/// treating the failure as a measurement.
+pub(crate) const FAILED_OBJECTIVES: [f64; 3] = [1e9, 1e9, 1e9];
 
 /// Options for [`explore`].
 #[derive(Debug, Clone)]
@@ -50,7 +61,7 @@ impl ExploreOptions {
 }
 
 /// One configuration with its measured objectives on the target device.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MeasuredConfig {
     /// Encoded parameter vector.
     pub x: Vec<f64>,
@@ -73,7 +84,7 @@ impl MeasuredConfig {
         self.max_ate_m <= limit
     }
 
-    fn objectives(&self) -> Vec<f64> {
+    pub(crate) fn objectives(&self) -> Vec<f64> {
         vec![self.runtime_s, self.max_ate_m, self.watts]
     }
 }
@@ -90,6 +101,10 @@ pub struct ExploreOutcome {
     pub default_config: MeasuredConfig,
     /// The accuracy constraint used.
     pub accuracy_limit: f64,
+    /// Configurations the engine quarantined during this exploration
+    /// (every attempt panicked): dropped from `measured`, reported here.
+    #[serde(default)]
+    pub quarantined: Vec<QuarantinedConfig>,
 }
 
 impl ExploreOutcome {
@@ -119,18 +134,21 @@ impl ExploreOutcome {
 }
 
 /// Builds a [`MeasuredConfig`] by replaying a pipeline run's workload
-/// trace on the device model.
+/// trace on the device model. `degraded` marks a run the engine cut
+/// short at its deadline: like losing tracking, it is penalised with the
+/// worst-case error bound so the optimiser steers away from it.
 fn measured_from_run(
     x: &[f64],
     config: KFusionConfig,
     run: &PipelineRun,
     device: &DeviceModel,
+    degraded: bool,
 ) -> MeasuredConfig {
     let report = run.cost_on(device);
     let runtime_s = report.timing.mean_frame_time();
     // a run that lost tracking for good is useless regardless of its ATE
     // numbers mid-run; penalise by reporting the worst-case error bound
-    let max_ate_m = if run.lost_frames > run.frames.len() / 2 {
+    let max_ate_m = if degraded || run.lost_frames > run.frames.len() / 2 {
         f64::from(config.volume_size)
     } else {
         run.ate.max
@@ -169,7 +187,7 @@ pub fn measure_with_threads(
     let mut config = decode_config(x);
     config.threads = threads;
     let run = engine::evaluate_once(dataset, &config);
-    measured_from_run(x, config, &run, device)
+    measured_from_run(x, config, &run, device, false)
 }
 
 /// [`measure`] through an [`EvalEngine`]: a repeated configuration is
@@ -184,7 +202,7 @@ pub fn measure_with_engine(
     let mut config = decode_config(x);
     config.threads = threads;
     let run = eval.evaluate(dataset, &config);
-    measured_from_run(x, config, &run, device)
+    measured_from_run(x, config, &run, device, false)
 }
 
 /// Measures a batch of encoded configurations through an [`EvalEngine`],
@@ -210,8 +228,78 @@ pub fn measure_batch_with_engine(
     xs.iter()
         .zip(configs)
         .zip(&runs)
-        .map(|((x, config), run)| measured_from_run(x, config, run, device))
+        .map(|((x, config), run)| measured_from_run(x, config, run, device, false))
         .collect()
+}
+
+/// One evaluation slot of a fault-tolerant measurement batch.
+struct SlotMeasure {
+    /// The measurement, absent when the slot was quarantined.
+    measured: Option<MeasuredConfig>,
+    /// The quarantine record, present only for a failed slot.
+    quarantined: Option<QuarantinedConfig>,
+    /// What the active learner is told about this slot.
+    objectives: Vec<f64>,
+}
+
+/// [`measure_batch_with_engine`] with per-slot fault tolerance: a
+/// quarantined slot becomes a [`FAILED_OBJECTIVES`] dummy point instead
+/// of aborting the sweep; a deadline-truncated run becomes a degraded
+/// (worst-case-ATE) measurement.
+fn measure_slots(
+    eval: &EvalEngine,
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    xs: &[Vec<f64>],
+    threads: usize,
+) -> Vec<SlotMeasure> {
+    let configs: Vec<KFusionConfig> = xs
+        .iter()
+        .map(|x| {
+            let mut config = decode_config(x);
+            config.threads = threads;
+            config
+        })
+        .collect();
+    let outcomes = match eval.try_evaluate_batch_outcomes(dataset, &configs) {
+        Ok(outcomes) => outcomes,
+        // xtask-allow: panic-path — empty datasets / invalid decoded configs violate explore's documented precondition (run_pipeline's historical contract); per-slot failures never reach this arm
+        Err(e) => panic!("exploration batch failed: {e}"),
+    };
+    xs.iter()
+        .zip(configs)
+        .zip(outcomes)
+        .map(|((x, config), outcome)| match outcome {
+            RunOutcome::Done(run) => {
+                let m = measured_from_run(x, config, &run, device, false);
+                SlotMeasure {
+                    objectives: m.objectives(),
+                    measured: Some(m),
+                    quarantined: None,
+                }
+            }
+            RunOutcome::TimedOut(run) => {
+                let m = measured_from_run(x, config, &run, device, true);
+                SlotMeasure {
+                    objectives: m.objectives(),
+                    measured: Some(m),
+                    quarantined: None,
+                }
+            }
+            RunOutcome::Failed(q) => SlotMeasure {
+                measured: None,
+                quarantined: Some(q),
+                objectives: FAILED_OBJECTIVES.to_vec(),
+            },
+        })
+        .collect()
+}
+
+/// Records a quarantined configuration once per distinct configuration.
+pub(crate) fn push_quarantine(list: &mut Vec<QuarantinedConfig>, q: QuarantinedConfig) {
+    if !list.iter().any(|seen| seen.config == q.config) {
+        list.push(q);
+    }
 }
 
 /// Runs the HyperMapper-style active exploration (Figure 2's "Active
@@ -238,14 +326,18 @@ pub fn explore_with_engine(
     let space = slambench_space();
     let mut learner = ActiveLearner::new(space, 3, options.learner);
     let mut measured: Vec<MeasuredConfig> = Vec::new();
+    let mut quarantined: Vec<QuarantinedConfig> = Vec::new();
     let result = learner.run_batched(options.budget, |xs| {
-        let batch = measure_batch_with_engine(eval, dataset, device, xs, options.threads);
-        batch
+        measure_slots(eval, dataset, device, xs, options.threads)
             .into_iter()
-            .map(|m| {
-                let obj = m.objectives();
-                measured.push(m);
-                obj
+            .map(|slot| {
+                if let Some(m) = slot.measured {
+                    measured.push(m);
+                }
+                if let Some(q) = slot.quarantined {
+                    push_quarantine(&mut quarantined, q);
+                }
+                slot.objectives
             })
             .collect()
     });
@@ -261,7 +353,141 @@ pub fn explore_with_engine(
         initial_count: result.initial_count,
         default_config,
         accuracy_limit: options.accuracy_limit,
+        quarantined,
     }
+}
+
+/// [`explore_with_engine`] with atomic JSON checkpoints every
+/// [`CheckpointOptions::every`] evaluations and resume support.
+///
+/// The checkpoint records every evaluation (measurements *and*
+/// quarantined failures) in order; resuming replays that record through
+/// the same deterministic learner loop, verifying each proposal vector
+/// bitwise against the record, so a resumed sweep reaches a final
+/// outcome bit-identical to an uninterrupted one — given the same seed,
+/// at any thread count. A checkpoint whose metadata (seed, budget,
+/// dataset, device, threads) does not match is ignored, and a stale
+/// record tail (e.g. from a different engine policy) falls back to
+/// fresh evaluation.
+pub fn explore_checkpointed(
+    eval: &EvalEngine,
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    options: &ExploreOptions,
+    ckpt: &CheckpointOptions,
+) -> SweepProgress<ExploreOutcome> {
+    let meta = SweepCheckpoint {
+        kind: "explore".to_string(),
+        seed: options.learner.seed,
+        budget: options.budget,
+        dataset_fingerprint: engine::dataset_fingerprint(dataset),
+        device: device.name.clone(),
+        threads: options.threads,
+        completed: Vec::new(),
+    };
+    let mut replay: VecDeque<RecordedEval> = if ckpt.resume {
+        load_checkpoint(&ckpt.path())
+            .filter(|cp| cp.matches(&meta))
+            .map(|cp| cp.completed.into())
+            .unwrap_or_default()
+    } else {
+        VecDeque::new()
+    };
+    let mut record: Vec<RecordedEval> = Vec::new();
+    let mut evals_done = 0usize;
+    let mut since_save = 0usize;
+    let every = ckpt.every.max(1);
+    let space = slambench_space();
+    let mut learner = ActiveLearner::new(space, 3, options.learner);
+    let (result, suspended) = learner.run_batched_resumable(options.budget, |xs| {
+        if ckpt.stop_after.is_some_and(|limit| evals_done >= limit) {
+            return BatchEval::Suspend;
+        }
+        let mut objectives: Vec<Vec<f64>> = Vec::with_capacity(xs.len());
+        // replay the recorded prefix of this batch, verifying the
+        // learner re-proposed exactly what the record says it did
+        let mut fresh_from = 0;
+        while fresh_from < xs.len() && !replay.is_empty() {
+            let matches = replay
+                .front()
+                .is_some_and(|r| r.x() == xs[fresh_from].as_slice());
+            if !matches {
+                // the record diverged (stale checkpoint): drop the tail
+                // and evaluate the rest fresh
+                replay.clear();
+                break;
+            }
+            if let Some(r) = replay.pop_front() {
+                objectives.push(r.objectives());
+                record.push(r);
+                evals_done += 1;
+                fresh_from += 1;
+            }
+        }
+        if fresh_from < xs.len() {
+            for (x, slot) in xs[fresh_from..].iter().zip(measure_slots(
+                eval,
+                dataset,
+                device,
+                &xs[fresh_from..],
+                options.threads,
+            )) {
+                objectives.push(slot.objectives.clone());
+                record.push(match (slot.measured, slot.quarantined) {
+                    (Some(m), _) => RecordedEval::Measured(m),
+                    (None, Some(q)) => RecordedEval::Failed {
+                        x: x.clone(),
+                        quarantined: q,
+                    },
+                    (None, None) => unreachable_slot(x),
+                });
+                evals_done += 1;
+                since_save += 1;
+            }
+        }
+        if since_save >= every {
+            save_checkpoint(&ckpt.path(), &meta.with_completed(record.clone()));
+            since_save = 0;
+        }
+        BatchEval::Evaluated(objectives)
+    });
+    save_checkpoint(&ckpt.path(), &meta.with_completed(record.clone()));
+    if suspended {
+        return SweepProgress::Suspended {
+            completed: evals_done,
+            path: ckpt.path(),
+        };
+    }
+    let mut measured = Vec::new();
+    let mut quarantined = Vec::new();
+    for r in record {
+        match r {
+            RecordedEval::Measured(m) => measured.push(m),
+            RecordedEval::Failed { quarantined: q, .. } => push_quarantine(&mut quarantined, q),
+        }
+    }
+    let default_config = measure_with_engine(
+        eval,
+        dataset,
+        device,
+        &encode_config(&KFusionConfig::default()),
+        options.threads,
+    );
+    SweepProgress::Complete(ExploreOutcome {
+        measured,
+        initial_count: result.initial_count,
+        default_config,
+        accuracy_limit: options.accuracy_limit,
+        quarantined,
+    })
+}
+
+/// A slot with neither a measurement nor a quarantine record cannot be
+/// constructed by [`measure_slots`]; keeping the panic in one audited
+/// place lets the match stay exhaustive without unsafe defaults.
+fn unreachable_slot(x: &[f64]) -> RecordedEval {
+    // xtask-allow: panic-path — measure_slots returns Some(measured) xor Some(quarantined) by construction
+    unreachable!("slot for {x:?} has neither measurement nor quarantine record")
 }
 
 /// Evaluates `n` uniform random configurations in parallel (Figure 2's
@@ -292,6 +518,105 @@ pub fn random_sweep_with_engine(
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let samples = slam_dse::sampler::random_samples(&space, n, &mut rng);
     measure_batch_with_engine(eval, dataset, device, &samples, 0)
+}
+
+/// The result of a fault-tolerant random sweep: successful measurements
+/// in draw order plus the quarantined configurations that were dropped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomSweepOutcome {
+    /// Measurements for every draw that ran (complete or degraded), in
+    /// draw order.
+    pub measured: Vec<MeasuredConfig>,
+    /// Draws whose runs were quarantined.
+    pub quarantined: Vec<QuarantinedConfig>,
+}
+
+/// [`random_sweep_with_engine`] with per-slot fault tolerance, atomic
+/// JSON checkpoints every [`CheckpointOptions::every`] evaluations, and
+/// resume support. The draws are fixed by the seed up front, so a
+/// resumed sweep replays the checkpointed prefix (validated against the
+/// re-drawn samples) and evaluates only the remainder — the final
+/// outcome is bit-identical to an uninterrupted sweep.
+pub fn random_sweep_checkpointed(
+    eval: &EvalEngine,
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    n: usize,
+    seed: u64,
+    ckpt: &CheckpointOptions,
+) -> SweepProgress<RandomSweepOutcome> {
+    use rand::SeedableRng;
+    let space = slambench_space();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let samples = slam_dse::sampler::random_samples(&space, n, &mut rng);
+    let meta = SweepCheckpoint {
+        kind: "random_sweep".to_string(),
+        seed,
+        budget: n,
+        dataset_fingerprint: engine::dataset_fingerprint(dataset),
+        device: device.name.clone(),
+        threads: 0,
+        completed: Vec::new(),
+    };
+    let mut record: Vec<RecordedEval> = if ckpt.resume {
+        load_checkpoint(&ckpt.path())
+            .filter(|cp| cp.matches(&meta))
+            .map(|cp| cp.completed)
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    // validate the replayed prefix against the (re-drawn) samples
+    record.truncate(samples.len());
+    if record
+        .iter()
+        .zip(&samples)
+        .any(|(r, x)| r.x() != x.as_slice())
+    {
+        record.clear();
+    }
+    let every = ckpt.every.max(1);
+    let mut done = record.len();
+    while done < samples.len() {
+        if ckpt.stop_after.is_some_and(|limit| done >= limit) {
+            save_checkpoint(&ckpt.path(), &meta.with_completed(record));
+            return SweepProgress::Suspended {
+                completed: done,
+                path: ckpt.path(),
+            };
+        }
+        let end = (done + every).min(samples.len());
+        for (x, slot) in samples[done..end].iter().zip(measure_slots(
+            eval,
+            dataset,
+            device,
+            &samples[done..end],
+            0,
+        )) {
+            record.push(match (slot.measured, slot.quarantined) {
+                (Some(m), _) => RecordedEval::Measured(m),
+                (None, Some(q)) => RecordedEval::Failed {
+                    x: x.clone(),
+                    quarantined: q,
+                },
+                (None, None) => unreachable_slot(x),
+            });
+        }
+        done = end;
+        save_checkpoint(&ckpt.path(), &meta.with_completed(record.clone()));
+    }
+    let mut measured = Vec::new();
+    let mut quarantined = Vec::new();
+    for r in record {
+        match r {
+            RecordedEval::Measured(m) => measured.push(m),
+            RecordedEval::Failed { quarantined: q, .. } => push_quarantine(&mut quarantined, q),
+        }
+    }
+    SweepProgress::Complete(RandomSweepOutcome {
+        measured,
+        quarantined,
+    })
 }
 
 #[cfg(test)]

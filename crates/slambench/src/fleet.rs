@@ -14,8 +14,7 @@
 //!   default configuration harder than the tuned one (stretching the
 //!   speed-up on hot devices).
 
-use crate::engine::EvalEngine;
-use crate::run::PipelineRun;
+use crate::engine::{EvalEngine, RunOutcome};
 use serde::{Deserialize, Serialize};
 use slam_kfusion::KFusionConfig;
 use slam_power::fleet::Tier;
@@ -49,6 +48,29 @@ pub struct FleetEntry {
     pub speedup: f64,
 }
 
+/// A phone dropped from the fleet report because a run it depends on was
+/// quarantined — the crowdsourced-study reality that some devices fail
+/// and the campaign reports them instead of dying.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetSkip {
+    /// Fleet index of the phone.
+    pub index: usize,
+    /// Device name.
+    pub name: String,
+    /// Why the phone has no entry.
+    pub reason: String,
+}
+
+/// The fleet study's result: per-phone entries plus the phones skipped
+/// because a required run failed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// One entry per phone whose runs all completed, in fleet order.
+    pub entries: Vec<FleetEntry>,
+    /// Phones without an entry, with the reported reason.
+    pub skipped: Vec<FleetSkip>,
+}
+
 /// The fraction of device RAM the benchmark app can realistically devote
 /// to the TSDF volume.
 const VOLUME_RAM_FRACTION: f64 = 0.15;
@@ -78,13 +100,15 @@ pub fn memory_capped_volume(requested: usize, ram_mb: usize) -> usize {
 ///
 /// The pipeline executes once per *distinct* memory-capped default volume
 /// (the workload trace is device-independent), so the whole 83-phone
-/// fleet costs a handful of pipeline runs.
+/// fleet costs a handful of pipeline runs. A quarantined run does not
+/// abort the study: the phones depending on it are skipped with a
+/// reported reason ([`FleetOutcome::skipped`]).
 pub fn fleet_speedups(
     dataset: &SyntheticDataset,
     default_config: &KFusionConfig,
     tuned_config: &KFusionConfig,
     fleet: &[PhoneSpec],
-) -> Vec<FleetEntry> {
+) -> FleetOutcome {
     fleet_speedups_with_engine(
         &EvalEngine::new(),
         dataset,
@@ -103,7 +127,7 @@ pub fn fleet_speedups_with_engine(
     default_config: &KFusionConfig,
     tuned_config: &KFusionConfig,
     fleet: &[PhoneSpec],
-) -> Vec<FleetEntry> {
+) -> FleetOutcome {
     // distinct memory-capped default volumes, in fleet order
     let mut volumes: Vec<usize> = Vec::new();
     for phone in fleet {
@@ -119,51 +143,83 @@ pub fn fleet_speedups_with_engine(
         c.volume_resolution = vr;
         c
     }));
-    let runs = eval.evaluate_batch(dataset, &configs);
-    let tuned_run = &runs[0];
-    let default_runs: BTreeMap<usize, &PipelineRun> =
-        volumes.iter().copied().zip(runs[1..].iter()).collect();
-    fleet
-        .iter()
-        .map(|phone| {
-            let vr = memory_capped_volume(default_config.volume_resolution, phone.ram_mb);
-            // xtask-allow: panic-path — every capped volume was collected into `volumes` above
-            let default_run = default_runs.get(&vr).expect("run for every capped volume");
-            let default_s = default_run
-                .cost_on_sustained(&phone.device)
-                .timing
-                .mean_frame_time();
-            // fragile OpenCL drivers run the stock configuration but fail
-            // on the tuned configuration's work sizes → CPU fallback
-            let tuned_device = if phone.gpu_fragile {
-                let mut d = phone.device.clone();
-                d.gpu_compute_usable = false;
-                d
-            } else {
-                phone.device.clone()
-            };
-            let tuned_s = tuned_run
-                .cost_on_sustained(&tuned_device)
-                .timing
-                .mean_frame_time();
-            FleetEntry {
+    let outcomes = match eval.try_evaluate_batch_outcomes(dataset, &configs) {
+        Ok(outcomes) => outcomes,
+        // xtask-allow: panic-path — empty datasets / invalid configs violate fleet_speedups' documented precondition; per-slot failures never reach this arm
+        Err(e) => panic!("fleet evaluation failed: {e}"),
+    };
+    // a deadline-truncated run still carries a replayable workload
+    // prefix; only a quarantined run makes a phone unreportable
+    let tuned = &outcomes[0];
+    let default_by_vr: BTreeMap<usize, &RunOutcome> =
+        volumes.iter().copied().zip(outcomes[1..].iter()).collect();
+    let mut entries = Vec::new();
+    let mut skipped = Vec::new();
+    for phone in fleet {
+        let vr = memory_capped_volume(default_config.volume_resolution, phone.ram_mb);
+        let reason = if let Some(q) = tuned.failure() {
+            Some(format!("tuned configuration quarantined: {}", q.cause))
+        } else {
+            match default_by_vr.get(&vr) {
+                Some(outcome) => outcome.failure().map(|q| {
+                    format!(
+                        "default configuration at capped volume {vr} quarantined: {}",
+                        q.cause
+                    )
+                }),
+                None => Some(format!("no run for capped volume {vr}")),
+            }
+        };
+        if let Some(reason) = reason {
+            skipped.push(FleetSkip {
                 index: phone.index,
                 name: phone.device.name.clone(),
-                soc: phone.device.soc.clone(),
-                tier: phone.tier,
-                gpu: phone.device.has_usable_gpu(),
-                ram_mb: phone.ram_mb,
-                default_volume: vr,
-                default_s,
-                tuned_s,
-                speedup: if tuned_s > 0.0 {
-                    default_s / tuned_s
-                } else {
-                    0.0
-                },
-            }
-        })
-        .collect()
+                reason,
+            });
+            continue;
+        }
+        let (Some(tuned_run), Some(default_run)) = (
+            tuned.run(),
+            default_by_vr.get(&vr).and_then(|outcome| outcome.run()),
+        ) else {
+            // unreachable: the reason check above covered both failures
+            continue;
+        };
+        let default_s = default_run
+            .cost_on_sustained(&phone.device)
+            .timing
+            .mean_frame_time();
+        // fragile OpenCL drivers run the stock configuration but fail
+        // on the tuned configuration's work sizes → CPU fallback
+        let tuned_device = if phone.gpu_fragile {
+            let mut d = phone.device.clone();
+            d.gpu_compute_usable = false;
+            d
+        } else {
+            phone.device.clone()
+        };
+        let tuned_s = tuned_run
+            .cost_on_sustained(&tuned_device)
+            .timing
+            .mean_frame_time();
+        entries.push(FleetEntry {
+            index: phone.index,
+            name: phone.device.name.clone(),
+            soc: phone.device.soc.clone(),
+            tier: phone.tier,
+            gpu: phone.device.has_usable_gpu(),
+            ram_mb: phone.ram_mb,
+            default_volume: vr,
+            default_s,
+            tuned_s,
+            speedup: if tuned_s > 0.0 {
+                default_s / tuned_s
+            } else {
+                0.0
+            },
+        });
+    }
+    FleetOutcome { entries, skipped }
 }
 
 #[cfg(test)]
@@ -206,7 +262,9 @@ mod tests {
     fn every_phone_gets_an_entry() {
         let (d, t) = configs();
         let fleet = phone_fleet(2018);
-        let entries = fleet_speedups(&dataset(), &d, &t, &fleet);
+        let outcome = fleet_speedups(&dataset(), &d, &t, &fleet);
+        assert!(outcome.skipped.is_empty(), "no faults injected, no skips");
+        let entries = outcome.entries;
         assert_eq!(entries.len(), fleet.len());
         for (i, e) in entries.iter().enumerate() {
             assert_eq!(e.index, i);
@@ -220,7 +278,7 @@ mod tests {
     fn tuned_config_speeds_up_most_phones() {
         let (d, t) = configs();
         let fleet = phone_fleet(2018);
-        let entries = fleet_speedups(&dataset(), &d, &t, &fleet);
+        let entries = fleet_speedups(&dataset(), &d, &t, &fleet).entries;
         let faster = entries.iter().filter(|e| e.speedup > 1.0).count();
         assert!(
             faster * 10 >= entries.len() * 8,
@@ -233,7 +291,7 @@ mod tests {
     fn speedups_vary_across_the_fleet() {
         let (d, t) = configs();
         let fleet = phone_fleet(2018);
-        let entries = fleet_speedups(&dataset(), &d, &t, &fleet);
+        let entries = fleet_speedups(&dataset(), &d, &t, &fleet).entries;
         let min = entries
             .iter()
             .map(|e| e.speedup)
@@ -249,7 +307,7 @@ mod tests {
     fn low_ram_phones_run_reduced_default_volume() {
         let (d, t) = configs();
         let fleet = phone_fleet(2018);
-        let entries = fleet_speedups(&dataset(), &d, &t, &fleet);
+        let entries = fleet_speedups(&dataset(), &d, &t, &fleet).entries;
         let capped = entries.iter().filter(|e| e.default_volume < 192).count();
         assert!(
             capped > 0,

@@ -58,26 +58,36 @@
 #![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod codesign;
 pub mod config_space;
 pub mod engine;
 pub mod explore;
+pub mod fault;
 pub mod fleet;
 pub mod run;
 pub mod suite;
 
+pub use checkpoint::{CheckpointOptions, RecordedEval, SweepCheckpoint, SweepProgress};
 pub use codesign::{
     codesign_explore, codesign_explore_with_engine, CoDesignOptions, CoDesignOutcome,
 };
 pub use config_space::{decode_config, encode_config, slambench_space};
-pub use engine::{evaluate_once, evaluate_once_traced, EngineStats, EvalEngine, EvalError};
-pub use explore::{
-    explore, explore_with_engine, measure, measure_batch_with_engine, measure_with_engine,
-    measure_with_threads, random_sweep, random_sweep_with_engine, ExploreOptions, ExploreOutcome,
-    MeasuredConfig,
+pub use engine::{
+    dataset_fingerprint, evaluate_once, evaluate_once_traced, EngineStats, EvalEngine, EvalError,
+    RunOutcome,
 };
-pub use fleet::{fleet_speedups, fleet_speedups_with_engine, FleetEntry};
-pub use run::{DeviceRunReport, FrameRecord, PipelineRun};
+pub use explore::{
+    explore, explore_checkpointed, explore_with_engine, measure, measure_batch_with_engine,
+    measure_with_engine, measure_with_threads, random_sweep, random_sweep_checkpointed,
+    random_sweep_with_engine, ExploreOptions, ExploreOutcome, MeasuredConfig, RandomSweepOutcome,
+};
+pub use fault::{Deadline, FaultPlan, FaultPolicy, MockRunClock, QuarantinedConfig, RetryPolicy};
+pub use fleet::{fleet_speedups, fleet_speedups_with_engine, FleetEntry, FleetOutcome, FleetSkip};
+pub use run::{DeviceRunReport, FrameRecord, GuardedRun, PipelineRun, RunStatus};
 // xtask-allow: engine-only — re-export of the raw runner; callers should prefer the engine
 pub use run::{run_pipeline, run_pipeline_traced, run_pipeline_with_threads};
-pub use suite::{run_suite, run_suite_with_engine, standard_suite, Sequence, SuiteCell};
+pub use suite::{
+    run_suite, run_suite_with_engine, standard_suite, Sequence, SuiteCell, SuiteError,
+    SuiteFailure, SuiteReport,
+};

@@ -1,5 +1,6 @@
 //! Running the pipeline over a dataset and costing the result on devices.
 
+use crate::fault::Deadline;
 use serde::{Deserialize, Serialize};
 use slam_kfusion::{FrameWorkload, KFusionConfig, Kernel, KinectFusion};
 use slam_math::Se3;
@@ -7,7 +8,7 @@ use slam_metrics::ate::{ate, AteOptions, AteResult};
 use slam_metrics::timing::SequenceTiming;
 use slam_power::{DeviceModel, RunCost};
 use slam_scene::dataset::SyntheticDataset;
-use slam_trace::Tracer;
+use slam_trace::{Clock, Tracer};
 
 /// Per-frame outcome of a pipeline run (device independent).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -167,12 +168,135 @@ fn run_pipeline_inner(
     config: &KFusionConfig,
     tracer: &Tracer,
 ) -> PipelineRun {
+    run_pipeline_guarded(
+        dataset,
+        config,
+        &GuardOptions {
+            tracer,
+            ..GuardOptions::default()
+        },
+    )
+    .run
+}
+
+/// How a guarded run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// Every frame of the dataset was processed.
+    Completed,
+    /// The per-run [`Deadline`] fired: the run holds only the completed
+    /// prefix of the dataset, and its ATE is computed over that prefix.
+    TimedOut {
+        /// Frames fully processed before the budget ran out.
+        frames_completed: usize,
+    },
+}
+
+impl RunStatus {
+    /// Whether the run processed the whole dataset.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+}
+
+/// A [`PipelineRun`] plus how it ended. Produced by
+/// [`run_pipeline_guarded`]; orchestrators treat a timed-out run as a
+/// degraded (lost-tracking-grade) measurement rather than an error.
+#[derive(Debug, Clone)]
+pub struct GuardedRun {
+    /// The (possibly partial) run.
+    pub run: PipelineRun,
+    /// Whether the deadline cut the run short.
+    pub status: RunStatus,
+}
+
+/// Options for [`run_pipeline_guarded`].
+///
+/// The default is the zero-overhead path: no deadline, no clock reads,
+/// no tracing — bit-identical to the unguarded runner.
+pub struct GuardOptions<'a> {
+    /// Span/counter sink (disabled by default).
+    pub tracer: &'a Tracer,
+    /// Time source for the wall budget. Required when
+    /// [`Deadline::max_wall_ns`] is set; never read otherwise, so the
+    /// no-wall-deadline path stays deterministic and free.
+    pub clock: Option<&'a dyn Clock>,
+    /// Per-run budget.
+    pub deadline: Deadline,
+    /// Injected extra nanoseconds charged against the wall budget per
+    /// processed frame — how the fault plan simulates a slow run on a
+    /// deterministic clock.
+    pub slow_frame_penalty_ns: u64,
+}
+
+impl Default for GuardOptions<'static> {
+    fn default() -> GuardOptions<'static> {
+        GuardOptions {
+            tracer: Tracer::off(),
+            clock: None,
+            deadline: Deadline::none(),
+            slow_frame_penalty_ns: 0,
+        }
+    }
+}
+
+/// Runs one configuration under a per-run [`Deadline`]: the frame budget
+/// bounds how many frames are processed, the wall budget bounds elapsed
+/// nanoseconds on the injected clock (plus any injected slow-run
+/// penalty). At least one frame is always processed, so a timed-out run
+/// still carries a usable (if degraded) trajectory prefix and its ATE.
+///
+/// With `Deadline::none()` this is exactly [`run_pipeline`].
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or (debug builds) a wall budget is
+/// configured without a clock.
+pub fn run_pipeline_guarded(
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+    opts: &GuardOptions<'_>,
+) -> GuardedRun {
     assert!(!dataset.is_empty(), "cannot run on an empty dataset");
+    debug_assert!(
+        opts.deadline.max_wall_ns.is_none() || opts.clock.is_some(),
+        "a wall deadline needs a clock"
+    );
+    let frame_cap = opts.deadline.max_frames.unwrap_or(usize::MAX).max(1);
+    let wall = match (opts.deadline.max_wall_ns, opts.clock) {
+        (Some(budget_ns), Some(clock)) => Some((budget_ns, clock, clock.now_ns())),
+        _ => None,
+    };
     let init = dataset.frames()[0].ground_truth;
     let mut kf = KinectFusion::new(config.clone(), *dataset.camera(), init);
     let mut frames = Vec::with_capacity(dataset.len());
+    let mut penalty_ns: u64 = 0;
+    let mut status = RunStatus::Completed;
     for frame in dataset.frames() {
-        let r = kf.process_frame_traced(&frame.depth_mm, tracer);
+        // budget checks run only once a frame has been processed: a
+        // guarded run always makes progress, however tight the deadline
+        if !frames.is_empty() {
+            if frames.len() >= frame_cap {
+                status = RunStatus::TimedOut {
+                    frames_completed: frames.len(),
+                };
+                break;
+            }
+            if let Some((budget_ns, clock, start_ns)) = wall {
+                let elapsed = clock
+                    .now_ns()
+                    .saturating_sub(start_ns)
+                    .saturating_add(penalty_ns);
+                if elapsed >= budget_ns {
+                    status = RunStatus::TimedOut {
+                        frames_completed: frames.len(),
+                    };
+                    break;
+                }
+            }
+        }
+        let r = kf.process_frame_traced(&frame.depth_mm, opts.tracer);
+        penalty_ns = penalty_ns.saturating_add(opts.slow_frame_penalty_ns);
         frames.push(FrameRecord {
             index: frame.index,
             pose: r.pose,
@@ -184,14 +308,17 @@ fn run_pipeline_inner(
     }
     let est: Vec<Se3> = frames.iter().map(|f| f.pose).collect();
     let gt: Vec<Se3> = frames.iter().map(|f| f.ground_truth).collect();
-    // xtask-allow: panic-path — the non-empty assert above guarantees equal-length, non-empty trajectories
+    // xtask-allow: panic-path — the non-empty assert above plus the at-least-one-frame guarantee give equal-length, non-empty trajectories
     let ate = ate(&est, &gt, AteOptions::default()).expect("non-empty trajectories");
-    PipelineRun {
-        config: config.clone(),
-        dataset: dataset.config().name.clone(),
-        frames,
-        ate,
-        lost_frames: kf.lost_frames(),
+    GuardedRun {
+        run: PipelineRun {
+            config: config.clone(),
+            dataset: dataset.config().name.clone(),
+            frames,
+            ate,
+            lost_frames: kf.lost_frames(),
+        },
+        status,
     }
 }
 
@@ -263,5 +390,120 @@ mod tests {
         dc.frame_count = 0;
         let dataset = SyntheticDataset::generate(&dc);
         let _ = run_pipeline(&dataset, &KFusionConfig::fast_test());
+    }
+
+    #[test]
+    fn guarded_default_matches_unguarded() {
+        let mut dc = DatasetConfig::tiny_test();
+        dc.frame_count = 5;
+        let dataset = SyntheticDataset::generate(&dc);
+        let config = KFusionConfig::fast_test();
+        let plain = run_pipeline(&dataset, &config);
+        let guarded = run_pipeline_guarded(&dataset, &config, &GuardOptions::default());
+        assert_eq!(guarded.status, RunStatus::Completed);
+        assert_eq!(guarded.run.frames.len(), plain.frames.len());
+        assert_eq!(guarded.run.ate.errors, plain.ate.errors);
+        for (a, b) in guarded.run.frames.iter().zip(&plain.frames) {
+            assert_eq!(a.pose, b.pose);
+        }
+    }
+
+    #[test]
+    fn frame_deadline_truncates_but_always_progresses() {
+        let mut dc = DatasetConfig::tiny_test();
+        dc.frame_count = 6;
+        let dataset = SyntheticDataset::generate(&dc);
+        let config = KFusionConfig::fast_test();
+        let cut = run_pipeline_guarded(
+            &dataset,
+            &config,
+            &GuardOptions {
+                deadline: Deadline::frames(3),
+                ..GuardOptions::default()
+            },
+        );
+        assert_eq!(
+            cut.status,
+            RunStatus::TimedOut {
+                frames_completed: 3
+            }
+        );
+        assert_eq!(cut.run.frames.len(), 3);
+        assert_eq!(cut.run.ate.errors.len(), 3);
+        // a zero-frame budget still processes one frame
+        let one = run_pipeline_guarded(
+            &dataset,
+            &config,
+            &GuardOptions {
+                deadline: Deadline::frames(0),
+                ..GuardOptions::default()
+            },
+        );
+        assert_eq!(one.run.frames.len(), 1);
+    }
+
+    #[test]
+    fn wall_deadline_fires_deterministically_on_mock_clock() {
+        let mut dc = DatasetConfig::tiny_test();
+        dc.frame_count = 8;
+        let dataset = SyntheticDataset::generate(&dc);
+        let config = KFusionConfig::fast_test();
+        // one clock read at start + one per budget check, 100ns each:
+        // the check before frame k sees elapsed = k * 100
+        let run_with_budget = |budget_ns: u64| {
+            let clock = slam_trace::MockClock::new(100);
+            run_pipeline_guarded(
+                &dataset,
+                &config,
+                &GuardOptions {
+                    clock: Some(&clock),
+                    deadline: Deadline::wall_ns(budget_ns),
+                    ..GuardOptions::default()
+                },
+            )
+        };
+        let cut = run_with_budget(300);
+        assert_eq!(
+            cut.status,
+            RunStatus::TimedOut {
+                frames_completed: 3
+            }
+        );
+        assert_eq!(cut.run.frames.len(), 3);
+        // same budget, fresh clock: bit-identical truncation point
+        let again = run_with_budget(300);
+        assert_eq!(again.status, cut.status);
+        assert_eq!(again.run.ate.errors, cut.run.ate.errors);
+        // a generous budget completes
+        let full = run_with_budget(1_000_000);
+        assert_eq!(full.status, RunStatus::Completed);
+        assert_eq!(full.run.frames.len(), 8);
+    }
+
+    #[test]
+    fn slow_penalty_charges_against_wall_budget() {
+        let mut dc = DatasetConfig::tiny_test();
+        dc.frame_count = 8;
+        let dataset = SyntheticDataset::generate(&dc);
+        let config = KFusionConfig::fast_test();
+        let clock = slam_trace::MockClock::new(100);
+        // base elapsed before frame k is k*100; the penalty adds k*900,
+        // so a 2000ns budget now cuts at frame 2 instead of frame 20
+        let slowed = run_pipeline_guarded(
+            &dataset,
+            &config,
+            &GuardOptions {
+                clock: Some(&clock),
+                deadline: Deadline::wall_ns(2_000),
+                slow_frame_penalty_ns: 900,
+                ..GuardOptions::default()
+            },
+        );
+        assert_eq!(
+            slowed.status,
+            RunStatus::TimedOut {
+                frames_completed: 2
+            }
+        );
     }
 }

@@ -10,6 +10,7 @@ use slam_power::DeviceModel;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
 use slam_scene::noise::DepthNoiseModel;
 use slam_scene::presets;
+use std::fmt;
 
 /// A named benchmark sequence (dataset recipe).
 #[derive(Debug, Clone)]
@@ -83,15 +84,112 @@ pub struct SuiteCell {
     pub watts: f64,
 }
 
+/// One grid cell the suite could not fill: the configuration was
+/// quarantined on that sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteFailure {
+    /// Sequence name.
+    pub sequence: String,
+    /// Configuration label.
+    pub config: String,
+    /// Why the engine gave up
+    /// ([`QuarantinedConfig::cause`](crate::fault::QuarantinedConfig)).
+    pub cause: String,
+}
+
+/// The suite's result: the filled cells plus the cells that failed.
+/// Look cells up by `(sequence, config)` id with [`SuiteReport::cell`]
+/// instead of positional indexing — a failed cell shifts positions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Filled cells, `(sequence-major, configuration-minor)` order,
+    /// failed cells omitted.
+    pub cells: Vec<SuiteCell>,
+    /// Cells with no result, with the reported cause.
+    pub failures: Vec<SuiteFailure>,
+}
+
+/// Why a [`SuiteReport::cell`] lookup found no filled cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteError {
+    /// The cell was attempted but its run was quarantined.
+    CellFailed {
+        /// Sequence name.
+        sequence: String,
+        /// Configuration label.
+        config: String,
+        /// Why the engine gave up on the run.
+        cause: String,
+    },
+    /// No such `(sequence, config)` pair exists in the report at all —
+    /// the id is wrong, not the run.
+    NoSuchCell {
+        /// Sequence name looked up.
+        sequence: String,
+        /// Configuration label looked up.
+        config: String,
+    },
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::CellFailed {
+                sequence,
+                config,
+                cause,
+            } => write!(f, "suite cell ({sequence}, {config}) failed: {cause}"),
+            SuiteError::NoSuchCell { sequence, config } => {
+                write!(f, "no suite cell ({sequence}, {config})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+impl SuiteReport {
+    /// Resolves a cell by `(sequence, config)` id. Distinguishes a cell
+    /// whose run failed ([`SuiteError::CellFailed`], with the cause)
+    /// from an id that was never part of the grid
+    /// ([`SuiteError::NoSuchCell`]).
+    pub fn cell(&self, sequence: &str, config: &str) -> Result<&SuiteCell, SuiteError> {
+        if let Some(cell) = self
+            .cells
+            .iter()
+            .find(|c| c.sequence == sequence && c.config == config)
+        {
+            return Ok(cell);
+        }
+        if let Some(failure) = self
+            .failures
+            .iter()
+            .find(|f| f.sequence == sequence && f.config == config)
+        {
+            return Err(SuiteError::CellFailed {
+                sequence: failure.sequence.clone(),
+                config: failure.config.clone(),
+                cause: failure.cause.clone(),
+            });
+        }
+        Err(SuiteError::NoSuchCell {
+            sequence: sequence.to_string(),
+            config: config.to_string(),
+        })
+    }
+}
+
 /// Runs every configuration over every sequence, costing on `device`,
 /// on a fresh in-memory [`EvalEngine`].
 ///
-/// Returns cells in `(sequence-major, configuration-minor)` order.
+/// Cells land in `(sequence-major, configuration-minor)` order. A
+/// quarantined run does not abort the suite: the affected cell moves to
+/// [`SuiteReport::failures`] and the rest of the grid fills normally.
 pub fn run_suite(
     sequences: &[Sequence],
     configs: &[(String, KFusionConfig)],
     device: &DeviceModel,
-) -> Vec<SuiteCell> {
+) -> SuiteReport {
     run_suite_with_engine(&EvalEngine::new(), sequences, configs, device)
 }
 
@@ -103,26 +201,43 @@ pub fn run_suite_with_engine(
     sequences: &[Sequence],
     configs: &[(String, KFusionConfig)],
     device: &DeviceModel,
-) -> Vec<SuiteCell> {
-    let mut cells = Vec::with_capacity(sequences.len() * configs.len());
+) -> SuiteReport {
+    let mut report = SuiteReport::default();
     let batch: Vec<KFusionConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
     for seq in sequences {
         let dataset = SyntheticDataset::generate(&seq.config);
-        let runs = eval.evaluate_batch(&dataset, &batch);
-        for ((label, _), run) in configs.iter().zip(&runs) {
-            let report = run.cost_on(device);
-            cells.push(SuiteCell {
+        let outcomes = match eval.try_evaluate_batch_outcomes(&dataset, &batch) {
+            Ok(outcomes) => outcomes,
+            // xtask-allow: panic-path — empty datasets / invalid configs violate run_suite's documented precondition; per-slot failures never reach this arm
+            Err(e) => panic!("suite evaluation failed: {e}"),
+        };
+        for ((label, _), outcome) in configs.iter().zip(&outcomes) {
+            // a deadline-truncated run still yields a (degraded) cell
+            let Some(run) = outcome.run() else {
+                let cause = outcome
+                    .failure()
+                    .map(|q| q.cause.clone())
+                    .unwrap_or_else(|| "run failed".to_string());
+                report.failures.push(SuiteFailure {
+                    sequence: seq.name.clone(),
+                    config: label.clone(),
+                    cause,
+                });
+                continue;
+            };
+            let cost = run.cost_on(device);
+            report.cells.push(SuiteCell {
                 sequence: seq.name.clone(),
                 config: label.clone(),
                 max_ate_m: run.ate.max,
                 mean_ate_m: run.ate.mean,
                 lost_frames: run.lost_frames,
-                fps: report.run_cost.mean_fps(),
-                watts: report.run_cost.average_watts(),
+                fps: cost.run_cost.mean_fps(),
+                watts: cost.run_cost.average_watts(),
             });
         }
     }
-    cells
+    report
 }
 
 #[cfg(test)]
@@ -156,7 +271,12 @@ mod tests {
                 c
             }),
         ];
-        let cells = run_suite(suite, &configs, &odroid_xu3());
+        let report = run_suite(suite, &configs, &odroid_xu3());
+        assert!(
+            report.failures.is_empty(),
+            "no faults injected, no failures"
+        );
+        let cells = report.cells;
         assert_eq!(cells.len(), 4);
         for cell in &cells {
             assert!(cell.fps > 0.0);
@@ -177,15 +297,17 @@ mod tests {
             c.volume_resolution = 128;
             c
         })];
-        let cells = run_suite(&suite, &configs, &odroid_xu3());
-        let kt2 = cells
-            .iter()
-            .find(|c| c.sequence == "living_room/kt2")
-            .expect("kt2 present");
-        let corridor = cells
-            .iter()
-            .find(|c| c.sequence == "corridor/walk")
-            .expect("corridor present");
+        let report = run_suite(&suite, &configs, &odroid_xu3());
+        let kt2 = report.cell("living_room/kt2", "fast").unwrap();
+        let corridor = report.cell("corridor/walk", "fast").unwrap();
+        let err = report.cell("corridor/walk", "no-such-config").unwrap_err();
+        assert_eq!(
+            err,
+            SuiteError::NoSuchCell {
+                sequence: "corridor/walk".to_string(),
+                config: "no-such-config".to_string(),
+            }
+        );
         assert!(
             corridor.max_ate_m > kt2.max_ate_m * 0.8,
             "the aperture-problem corridor ({:.4} m) should not be easier than the \

@@ -20,7 +20,14 @@
 //!   library hot paths; return `Result` or use a documented-invariant
 //!   `debug_assert!`. Binaries, tests and `#[cfg(test)]` modules are
 //!   exempt; `assert!`-style *precondition* checks with messages are the
-//!   sanctioned entry-point contract style and are not flagged.
+//!   sanctioned entry-point contract style and are not flagged. In the
+//!   orchestrator crates (`slambench`, `slam-dse`) a *strict test* policy
+//!   additionally flags `.expect(…)` and the `panic!` family inside
+//!   `#[cfg(test)]` items: those crates own the typed failure surface
+//!   (`EvalError`, `RunOutcome`, `SuiteError`), so their tests assert
+//!   typed outcomes rather than burying failure semantics in prose panic
+//!   messages. Bare `.unwrap()`/`.unwrap_err()` stay exempt as the
+//!   mechanical "must be Ok/Some" assertion.
 //! * **`engine-only`** — no direct `run_pipeline` /
 //!   `run_pipeline_with_threads` / `run_pipeline_traced` calls outside
 //!   `slambench::run` and `slambench::engine`. Every evaluation must
@@ -99,6 +106,10 @@ pub struct LintPolicy {
     pub allow_raw_clock: bool,
     /// File is a crate root and must carry `#![deny(unsafe_code)]`.
     pub require_deny_unsafe: bool,
+    /// `#[cfg(test)]` items are held to the orchestrator test policy:
+    /// `.expect(…)` and the `panic!` family are flagged even inside
+    /// tests (`.unwrap()`/`.unwrap_err()` stay exempt).
+    pub strict_test_panics: bool,
 }
 
 impl LintPolicy {
@@ -112,6 +123,7 @@ impl LintPolicy {
             allow_run_pipeline: false,
             allow_raw_clock: false,
             require_deny_unsafe: false,
+            strict_test_panics: false,
         }
     }
 }
@@ -203,7 +215,7 @@ pub fn lint_file(src: &SourceFile, policy: LintPolicy) -> Vec<Diagnostic> {
         lint_hash_iter(src, &mut out);
     }
     if !policy.allow_panics {
-        lint_panic_path(src, &mut out);
+        lint_panic_path(src, policy.strict_test_panics, &mut out);
     }
     if !policy.allow_run_pipeline {
         lint_engine_only(src, &mut out);
@@ -418,11 +430,17 @@ fn lint_trace_clock(src: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 /// `panic-path`: flags `.unwrap()`, `.expect(…)` and the `panic!` macro
-/// family in library code outside `#[cfg(test)]` items.
-fn lint_panic_path(src: &SourceFile, out: &mut Vec<Diagnostic>) {
+/// family in library code outside `#[cfg(test)]` items. With
+/// `strict_tests` (the orchestrator crates), `#[cfg(test)]` items are
+/// also checked for `.expect(…)` and the `panic!` family — their tests
+/// must assert the typed failure surface, not prose panic messages —
+/// while `.unwrap()`/`.unwrap_err()` remain the sanctioned mechanical
+/// assertions.
+fn lint_panic_path(src: &SourceFile, strict_tests: bool, out: &mut Vec<Diagnostic>) {
     let toks = &src.tokens;
     for (i, t) in toks.iter().enumerate() {
         let Some(ident) = t.ident() else { continue };
+        let in_test = src.in_test_span(t.line);
         let message = match ident {
             // method calls only: require a preceding `.` so definitions
             // and paths named `unwrap`/`expect` do not trip the lint
@@ -433,10 +451,23 @@ fn lint_panic_path(src: &SourceFile, out: &mut Vec<Diagnostic>) {
                 if !is_method {
                     continue;
                 }
-                format!(
-                    "`.{ident}()` in a library path: return a `Result` or use a \
-                     documented-invariant `debug_assert!`"
-                )
+                if in_test {
+                    // tests: only `.expect(…)` is flagged, and only under
+                    // the strict orchestrator policy
+                    if !strict_tests || matches!(ident, "unwrap" | "unwrap_err") {
+                        continue;
+                    }
+                    format!(
+                        "`.{ident}()` in an orchestrator test: assert the typed \
+                         error/outcome (or use the exempt `.unwrap()`) instead of a \
+                         prose panic message"
+                    )
+                } else {
+                    format!(
+                        "`.{ident}()` in a library path: return a `Result` or use a \
+                         documented-invariant `debug_assert!`"
+                    )
+                }
             }
             "panic" | "unreachable" | "todo" | "unimplemented" => {
                 let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
@@ -444,14 +475,25 @@ fn lint_panic_path(src: &SourceFile, out: &mut Vec<Diagnostic>) {
                 if !is_macro {
                     continue;
                 }
-                format!(
-                    "`{ident}!` in a library path: return a `Result` or use a \
-                     documented-invariant `debug_assert!`"
-                )
+                if in_test {
+                    if !strict_tests {
+                        continue;
+                    }
+                    format!(
+                        "`{ident}!` in an orchestrator test: assert the typed \
+                         error/outcome (or use the exempt `.unwrap()`) instead of \
+                         panicking with prose"
+                    )
+                } else {
+                    format!(
+                        "`{ident}!` in a library path: return a `Result` or use a \
+                         documented-invariant `debug_assert!`"
+                    )
+                }
             }
             _ => continue,
         };
-        if src.in_test_span(t.line) || src.waived(t.line, "panic-path") {
+        if src.waived(t.line, "panic-path") {
             continue;
         }
         out.push(Diagnostic {

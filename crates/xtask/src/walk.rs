@@ -95,6 +95,12 @@ pub fn classify(rel: &Path) -> LintPolicy {
     // integration-test library
     let is_crate_root =
         (p.starts_with("crates/") && p.ends_with("/src/lib.rs")) || p == "suite_lib.rs";
+    // the orchestrator crates own the typed failure surface (EvalError,
+    // RunOutcome, SuiteError); their unit tests must assert it rather
+    // than panic with prose, so `.expect(…)`/`panic!` are flagged even
+    // inside `#[cfg(test)]` items there
+    let is_orchestrator = !is_bin
+        && (p.starts_with("crates/slambench/src/") || p.starts_with("crates/slam-dse/src/"));
     LintPolicy {
         allow_threading: THREADING_ALLOWLIST.contains(&p.as_str()),
         allow_unsafe: UNSAFE_ALLOWLIST.contains(&p.as_str()),
@@ -106,6 +112,7 @@ pub fn classify(rel: &Path) -> LintPolicy {
         allow_run_pipeline: ENGINE_ALLOWLIST.contains(&p.as_str()),
         allow_raw_clock: CLOCK_ALLOWLIST.contains(&p.as_str()),
         require_deny_unsafe: is_crate_root,
+        strict_test_panics: is_orchestrator,
     }
 }
 
@@ -151,6 +158,18 @@ mod tests {
         assert!(!classify(Path::new("crates/slambench/src/explore.rs")).allow_run_pipeline);
         assert!(!classify(Path::new("crates/bench/src/bin/headline.rs")).allow_run_pipeline);
         assert!(!classify(Path::new("tests/determinism.rs")).allow_run_pipeline);
+    }
+
+    #[test]
+    fn orchestrator_sources_get_the_strict_test_panic_policy() {
+        assert!(classify(Path::new("crates/slambench/src/engine.rs")).strict_test_panics);
+        assert!(classify(Path::new("crates/slam-dse/src/active.rs")).strict_test_panics);
+        // library crates outside the orchestration layer keep the plain
+        // policy, as do integration tests and binaries
+        assert!(!classify(Path::new("crates/slam-math/src/solve.rs")).strict_test_panics);
+        assert!(!classify(Path::new("crates/slambench/tests/explore.rs")).strict_test_panics);
+        assert!(!classify(Path::new("tests/fault_tolerance.rs")).strict_test_panics);
+        assert!(!classify(Path::new("crates/bench/src/bin/headline.rs")).strict_test_panics);
     }
 
     #[test]

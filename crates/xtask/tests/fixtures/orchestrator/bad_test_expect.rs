@@ -1,0 +1,41 @@
+//! Strict test-panic policy fixture: in the orchestrator crates,
+//! `#[cfg(test)]` items may not `.expect(…)` or `panic!` — tests assert
+//! the typed failure surface; `.unwrap()`/`.unwrap_err()` stay exempt.
+
+/// A fallible operation with a typed error, like the engine APIs.
+pub fn halve(v: u32) -> Result<u32, &'static str> {
+    if v % 2 == 0 {
+        Ok(v / 2)
+    } else {
+        Err("odd")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::halve;
+
+    #[test]
+    fn unwrap_is_the_sanctioned_mechanical_assertion() {
+        assert_eq!(halve(4).unwrap(), 2);
+        assert_eq!(halve(3).unwrap_err(), "odd");
+    }
+
+    #[test]
+    fn expect_and_prose_panics_are_flagged() {
+        let v = halve(4).expect("must divide"); //~ panic-path
+        if v != 2 {
+            panic!("wrong answer: {v}"); //~ panic-path
+        }
+        match halve(3) {
+            Ok(_) => unreachable!("odd input cannot halve"), //~ panic-path
+            Err(e) => assert_eq!(e, "odd"),
+        }
+    }
+
+    #[test]
+    fn waived_test_panics_still_work() {
+        // xtask-allow: panic-path — fixture exercising a waived strict-test finding
+        let _ = halve(6).expect("waived");
+    }
+}

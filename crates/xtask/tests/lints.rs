@@ -29,6 +29,7 @@ fn policy_for(subdir: &str) -> LintPolicy {
         "lib" => LintPolicy::lib(),
         "exec" => classify(Path::new("crates/slam-kfusion/src/exec/mod.rs")),
         "bin" => classify(Path::new("crates/bench/src/bin/fixture.rs")),
+        "orchestrator" => classify(Path::new("crates/slambench/src/fixture.rs")),
         "root" => LintPolicy {
             require_deny_unsafe: true,
             ..LintPolicy::lib()
@@ -73,7 +74,7 @@ fn findings_multiset(findings: &[Diagnostic]) -> BTreeMap<(u32, String), usize> 
 fn fixtures_match_expected_diagnostics_exactly() {
     let root = fixtures_dir();
     let mut checked = 0usize;
-    for subdir in ["lib", "exec", "bin", "root"] {
+    for subdir in ["lib", "exec", "bin", "root", "orchestrator"] {
         let dir = root.join(subdir);
         let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
             .unwrap_or_else(|e| panic!("fixture dir {}: {e}", dir.display()))
@@ -111,7 +112,7 @@ fn bad_fixtures_actually_trip_every_lint() {
     // all-good fixture set
     let root = fixtures_dir();
     let mut fired: BTreeMap<String, usize> = BTreeMap::new();
-    for subdir in ["lib", "exec", "bin", "root"] {
+    for subdir in ["lib", "exec", "bin", "root", "orchestrator"] {
         for entry in std::fs::read_dir(root.join(subdir)).unwrap() {
             let path = entry.unwrap().path();
             if path.extension().is_none_or(|x| x != "rs") {

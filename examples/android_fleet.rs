@@ -35,13 +35,17 @@ fn main() {
     println!("costing both configurations on {} phones...", fleet.len());
     // the tuned config and each distinct memory-capped default volume run
     // as one concurrent engine batch, then replay onto all 83 phone models
-    let entries = fleet_speedups_with_engine(
+    let outcome = fleet_speedups_with_engine(
         &EvalEngine::new(),
         &dataset,
         &default_config,
         &tuned_config,
         &fleet,
     );
+    for skip in &outcome.skipped {
+        eprintln!("skipped {}: {}", skip.name, skip.reason);
+    }
+    let entries = outcome.entries;
 
     // aggregate per market tier
     println!("\nspeed-up of the tuned configuration, by device tier:");

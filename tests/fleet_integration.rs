@@ -26,7 +26,9 @@ fn fleet_study_is_reproducible() {
     let fleet = phone_fleet(2018);
     let a = fleet_speedups(&dataset, &d, &t, &fleet);
     let b = fleet_speedups(&dataset, &d, &t, &fleet);
-    for (x, y) in a.iter().zip(&b) {
+    assert_eq!(a.entries.len(), b.entries.len());
+    assert!(a.skipped.is_empty() && b.skipped.is_empty());
+    for (x, y) in a.entries.iter().zip(&b.entries) {
         assert_eq!(x.index, y.index);
         assert!((x.speedup - y.speedup).abs() < 1e-12);
     }
@@ -49,7 +51,7 @@ fn entries_serialize() {
     let dataset = test_dataset(3);
     let (d, t) = configs();
     let fleet = phone_fleet(2018);
-    let entries = fleet_speedups(&dataset, &d, &t, &fleet[..5]);
+    let entries = fleet_speedups(&dataset, &d, &t, &fleet[..5]).entries;
     let json = serde_json::to_string(&entries).unwrap();
     assert!(json.contains("speedup"));
     let back: Vec<slambench::fleet::FleetEntry> = serde_json::from_str(&json).unwrap();
@@ -61,7 +63,7 @@ fn fragile_gpu_phones_see_smaller_gains() {
     let dataset = test_dataset(4);
     let (d, t) = configs();
     let fleet = phone_fleet(2018);
-    let entries = fleet_speedups(&dataset, &d, &t, &fleet);
+    let entries = fleet_speedups(&dataset, &d, &t, &fleet).entries;
     let fragile: Vec<f64> = fleet
         .iter()
         .zip(&entries)
