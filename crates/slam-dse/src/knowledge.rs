@@ -249,7 +249,7 @@ mod tests {
     fn root_splits_on_a_real_parameter() {
         let data = dataset();
         let tree = KnowledgeTree::fit(&space(), &data, 4);
-        // xtask-allow: panic-path — a split is the fixture's premise, not the behaviour under test
+        // xtask-allow: panic-path — reason: a split is the fixture's premise, not the behaviour under test
         let root = tree.root_parameter().expect("tree must split");
         assert!(
             root == "volume_resolution" || root == "compute_size_ratio",

@@ -163,7 +163,7 @@ mod tests {
         s.add("a", Domain::ordinal(vec![1.0, 2.0]))
             .add("b", Domain::Flag)
             .add("c", Domain::real(0.0, 1.0));
-        // xtask-allow: panic-path — the budget is sized so the grid fits; the message names the premise
+        // xtask-allow: panic-path — reason: the budget is sized so the grid fits; the message names the premise
         let g = grid(&s, 3, 100).expect("12 points fit");
         assert_eq!(g.len(), 2 * 2 * 3);
         // all points distinct

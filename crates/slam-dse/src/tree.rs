@@ -368,7 +368,7 @@ mod tests {
                 assert_eq!(*feature, 1);
                 assert!((threshold - 0.4).abs() < 0.1);
             }
-            // xtask-allow: panic-path — exhaustive match arm asserting the fixture produced a split
+            // xtask-allow: panic-path — reason: exhaustive match arm asserting the fixture produced a split
             Node::Leaf { .. } => panic!("expected a split"),
         }
     }

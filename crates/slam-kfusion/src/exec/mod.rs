@@ -227,6 +227,92 @@ where
     trace_tasks(tracer, name, threads, tasks)
 }
 
+// --- blessed ordered reductions -------------------------------------
+//
+// Float addition is non-associative, so a parallel accumulation is
+// bit-identical run to run only if the reduction order is fixed. The
+// pool already returns results in submission/band order; these helpers
+// make the ordered fold part of the submission call itself, so the
+// contract is visible at every call site and the `float-reduce` lint
+// (`cargo xtask lint --explain XT201`) can enforce that no ad-hoc
+// reduction bypasses it.
+
+/// Runs `tasks` on the pool and folds the results **in submission
+/// order** with `fold`. The blessed way to aggregate task results.
+pub fn reduce_tasks<'a, R, A, F>(threads: usize, tasks: Vec<Task<'a, R>>, init: A, fold: F) -> A
+where
+    R: Send,
+    F: FnMut(A, R) -> A,
+{
+    run_tasks(threads, tasks).into_iter().fold(init, fold)
+}
+
+/// [`reduce_tasks`] with per-task spans and pool counters recorded into
+/// `tracer` (see [`trace_tasks`]).
+pub fn reduce_tasks_traced<'a, R, A, F>(
+    tracer: &'a Tracer,
+    name: &'static str,
+    threads: usize,
+    tasks: Vec<Task<'a, R>>,
+    init: A,
+    fold: F,
+) -> A
+where
+    R: Send + 'a,
+    F: FnMut(A, R) -> A,
+{
+    trace_tasks(tracer, name, threads, tasks)
+        .into_iter()
+        .fold(init, fold)
+}
+
+/// Sums task results **in submission order**: `reduce_tasks` for the
+/// common additive case.
+pub fn sum_tasks<'a, R>(threads: usize, tasks: Vec<Task<'a, R>>) -> R
+where
+    R: Send + std::iter::Sum<R>,
+{
+    run_tasks(threads, tasks).into_iter().sum()
+}
+
+/// [`sum_tasks`] with per-task spans and pool counters recorded into
+/// `tracer` (see [`trace_tasks`]).
+pub fn sum_tasks_traced<'a, R>(
+    tracer: &'a Tracer,
+    name: &'static str,
+    threads: usize,
+    tasks: Vec<Task<'a, R>>,
+) -> R
+where
+    R: Send + std::iter::Sum<R> + 'a,
+{
+    trace_tasks(tracer, name, threads, tasks).into_iter().sum()
+}
+
+/// Runs `f` over the canonical [`band_ranges`] of `0..n` (with per-band
+/// spans, see [`run_bands_traced`]) and folds the per-band results **in
+/// band order** with `fold`. Because the band layout depends only on
+/// `n`, the fold order — and therefore any float accumulation — is
+/// independent of the thread count.
+pub fn reduce_bands_traced<R, A, F, G>(
+    tracer: &Tracer,
+    name: &'static str,
+    threads: usize,
+    n: usize,
+    f: F,
+    init: A,
+    fold: G,
+) -> A
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    run_bands_traced(tracer, name, threads, n, f)
+        .into_iter()
+        .fold(init, fold)
+}
+
 /// The process-wide worker pool, created on first use with one worker
 /// per available hardware thread minus one (the submitter supplies the
 /// remaining thread). Workers live for the rest of the process.
@@ -471,7 +557,7 @@ impl PoolShared {
         results
             .into_iter()
             .map(|slot| {
-                // xtask-allow: panic-path — protocol invariant: wait_finished implies every job stored its result; machine-checked by tests/loom_exec.rs
+                // xtask-allow: panic-path — reason: protocol invariant: wait_finished implies every job stored its result; machine-checked by tests/loom_exec.rs
                 slot.into_inner().expect("every task produced a result")
             })
             .collect()
@@ -504,7 +590,7 @@ impl WorkerPool {
             let handle = std::thread::Builder::new()
                 .name(format!("slam-exec-{i}"))
                 .spawn(move || shared.worker_loop())
-                // xtask-allow: panic-path — a machine that cannot spawn a thread at startup has no graceful degradation path
+                // xtask-allow: panic-path — reason: a machine that cannot spawn a thread at startup has no graceful degradation path
                 .expect("failed to spawn pool worker");
             handles.push(handle);
         }

@@ -72,8 +72,14 @@ fn icp_iteration(
     let model_inv = model.pose.inverse();
     let normal_cos_min = config.icp_normal_threshold.cos();
     let threads = exec::effective_threads(config.threads);
-    let band_results =
-        exec::run_bands_traced(tracer, "track", threads, level.camera.height, |rows| {
+    // merge the per-band partial systems in band order: the fixed band
+    // layout makes the floating-point accumulation order canonical
+    let (ne, matched, total_valid) = exec::reduce_bands_traced(
+        tracer,
+        "track",
+        threads,
+        level.camera.height,
+        |rows| {
             let mut ne = NormalEquations::<6>::new();
             let mut matched = 0usize;
             let mut total_valid = 0usize;
@@ -140,17 +146,13 @@ fn icp_iteration(
                 }
             }
             (ne, matched, total_valid)
-        });
-    // merge the per-band partial systems in band order: the fixed band
-    // layout makes the floating-point accumulation order canonical
-    let mut ne = NormalEquations::<6>::new();
-    let mut matched = 0usize;
-    let mut total_valid = 0usize;
-    for (band_ne, band_matched, band_valid) in &band_results {
-        ne.merge(band_ne);
-        matched += band_matched;
-        total_valid += band_valid;
-    }
+        },
+        (NormalEquations::<6>::new(), 0usize, 0usize),
+        |(mut ne, matched, total_valid), (band_ne, band_matched, band_valid)| {
+            ne.merge(&band_ne);
+            (ne, matched + band_matched, total_valid + band_valid)
+        },
+    );
     let pixels = level.camera.pixel_count() as f64;
     // association: transform + project + lookups + checks ≈ 40 ops/pixel;
     // matched pixels additionally accumulate a 6-dof row (~60 ops)

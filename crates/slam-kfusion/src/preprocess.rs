@@ -147,9 +147,7 @@ pub fn bilateral_filter_traced(
         }
     }
     // ordered sum over the fixed band layout: deterministic
-    let ops: f64 = exec::trace_tasks(tracer, "bilateral", threads, tasks)
-        .into_iter()
-        .sum();
+    let ops: f64 = exec::sum_tasks_traced(tracer, "bilateral", threads, tasks);
     let n = (w * h) as f64;
     let window_reads = n * (side * side) as f64 * 4.0;
     (out, Workload::new(ops, window_reads + n * 4.0))

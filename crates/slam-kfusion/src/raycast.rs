@@ -220,8 +220,7 @@ pub fn raycast_traced(
             }));
         }
     }
-    let step_counts = exec::trace_tasks(tracer, "raycast", threads, tasks);
-    let total_steps: u64 = step_counts.into_iter().sum();
+    let total_steps: u64 = exec::sum_tasks_traced(tracer, "raycast", threads, tasks);
     // per step: one trilinear sample (~30 ops, 8 voxel reads) — this is the
     // dominant cost; plus per-pixel setup and the gradient at the hit
     let ops = total_steps as f64 * 30.0 + (w * h) as f64 * 20.0;

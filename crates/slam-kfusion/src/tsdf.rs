@@ -307,10 +307,14 @@ impl TsdfVolume {
             }
         }
         // ordered fold over the fixed band layout: deterministic
-        let results = exec::trace_tasks(tracer, "integrate", threads, tasks);
-        let (ops, updated) = results
-            .into_iter()
-            .fold((0.0, 0.0), |(a, b), (o, u)| (a + o, b + u));
+        let (ops, updated) = exec::reduce_tasks_traced(
+            tracer,
+            "integrate",
+            threads,
+            tasks,
+            (0.0, 0.0),
+            |(a, b), (o, u)| (a + o, b + u),
+        );
         let voxels = (res * res * res) as f64;
         Workload::new(ops, voxels * 2.0 + updated * 16.0)
     }

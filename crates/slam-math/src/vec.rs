@@ -358,7 +358,7 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
-            // xtask-allow: panic-path — std `Index` contract: out-of-bounds access must panic (documented above)
+            // xtask-allow: panic-path — reason: std `Index` contract: out-of-bounds access must panic (documented above)
             _ => panic!("Vec3 index {i} out of range"),
         }
     }
@@ -373,7 +373,7 @@ impl IndexMut<usize> for Vec3 {
             0 => &mut self.x,
             1 => &mut self.y,
             2 => &mut self.z,
-            // xtask-allow: panic-path — std `IndexMut` contract: out-of-bounds access must panic (documented above)
+            // xtask-allow: panic-path — reason: std `IndexMut` contract: out-of-bounds access must panic (documented above)
             _ => panic!("Vec3 index {i} out of range"),
         }
     }

@@ -183,7 +183,7 @@ impl DeviceModel {
             .iter()
             .find(|u| u.kind == UnitKind::CpuBig)
             .or_else(|| self.units.first())
-            // xtask-allow: panic-path — every DeviceModel preset populates `units`; a device with no compute units cannot execute anything
+            // xtask-allow: panic-path — reason: every DeviceModel preset populates `units`; a device with no compute units cannot execute anything
             .expect("device must have at least one unit")
     }
 
@@ -193,7 +193,7 @@ impl DeviceModel {
             .iter()
             .find(|u| u.kind == UnitKind::CpuBig)
             .or_else(|| self.units.first())
-            // xtask-allow: panic-path — every DeviceModel preset populates `units`; a device with no compute units cannot execute anything
+            // xtask-allow: panic-path — reason: every DeviceModel preset populates `units`; a device with no compute units cannot execute anything
             .expect("device must have at least one unit")
     }
 

@@ -273,7 +273,7 @@ pub fn living_room_kt(k: usize) -> Trajectory {
                     .collect(),
             )
         }
-        // xtask-allow: panic-path — documented preset contract (`# Panics`): only kt0..kt3 exist
+        // xtask-allow: panic-path — reason: documented preset contract (`# Panics`): only kt0..kt3 exist
         _ => panic!("living room has trajectories kt0..kt3, got kt{k}"),
     }
 }

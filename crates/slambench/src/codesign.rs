@@ -189,7 +189,7 @@ pub fn codesign_explore_with_engine(
             .collect();
         let outcomes = match eval.try_evaluate_batch_outcomes(dataset, &configs) {
             Ok(outcomes) => outcomes,
-            // xtask-allow: panic-path — empty datasets / invalid configs violate codesign_explore's documented precondition; per-slot failures never reach this arm
+            // xtask-allow: panic-path — reason: empty datasets / invalid configs violate codesign_explore's documented precondition; per-slot failures never reach this arm
             Err(e) => panic!("co-design evaluation failed: {e}"),
         };
         let mut outcome_iter = outcomes.iter();
@@ -200,7 +200,7 @@ pub fn codesign_explore_with_engine(
                 let Some((config, dvfs)) = d else {
                     return FAILED_OBJECTIVES.to_vec();
                 };
-                // xtask-allow: panic-path — try_evaluate_batch_outcomes returns one outcome per decided config by construction
+                // xtask-allow: panic-path — reason: try_evaluate_batch_outcomes returns one outcome per decided config by construction
                 let outcome = outcome_iter.next().expect("one outcome per decided config");
                 if let Some(q) = outcome.failure() {
                     push_quarantine(&mut quarantined, q.clone());

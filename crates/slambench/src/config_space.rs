@@ -120,7 +120,7 @@ mod tests {
         for _ in 0..500 {
             let x = space.sample(&mut rng);
             let config = decode_config(&x);
-            // xtask-allow: panic-path — property loop over 500 samples; the message names the violated invariant
+            // xtask-allow: panic-path — reason: property loop over 500 samples; the message names the violated invariant
             config.validate().expect("sampled config must be valid");
         }
     }

@@ -403,7 +403,7 @@ impl EvalEngine {
     pub fn evaluate(&self, dataset: &SyntheticDataset, config: &KFusionConfig) -> PipelineRun {
         match self.try_evaluate(dataset, config) {
             Ok(run) => run,
-            // xtask-allow: panic-path — back-compat with run_pipeline's panicking contract; fallible callers use try_evaluate
+            // xtask-allow: panic-path — reason: back-compat with run_pipeline's panicking contract; fallible callers use try_evaluate
             Err(e) => panic!("evaluation failed: {e}"),
         }
     }
@@ -443,7 +443,7 @@ impl EvalEngine {
     ) -> Vec<PipelineRun> {
         match self.try_evaluate_batch(dataset, configs) {
             Ok(runs) => runs,
-            // xtask-allow: panic-path — back-compat with run_pipeline's panicking contract; fallible callers use try_evaluate_batch
+            // xtask-allow: panic-path — reason: back-compat with run_pipeline's panicking contract; fallible callers use try_evaluate_batch
             Err(e) => panic!("batch evaluation failed: {e}"),
         }
     }
@@ -630,7 +630,7 @@ impl EvalEngine {
             };
             out.push(match slot {
                 Slot::Ready => {
-                    // xtask-allow: panic-path — a Ready slot was in the cache (or inserted from disk) at classification time
+                    // xtask-allow: panic-path — reason: a Ready slot was in the cache (or inserted from disk) at classification time
                     let run = state.cache.get(key).cloned().expect("ready slot resolved");
                     RunOutcome::Done(with_threads(run))
                 }
@@ -664,7 +664,7 @@ impl EvalEngine {
         loop {
             let caught = catch_unwind(AssertUnwindSafe(|| {
                 if let Some(cause) = self.plan.injected_panic(config, key_hash, attempt) {
-                    // xtask-allow: panic-path — deliberate fault injection, caught by the catch_unwind just above
+                    // xtask-allow: panic-path — reason: deliberate fault injection, caught by the catch_unwind just above
                     panic!("{cause}");
                 }
                 let clock = wants_clock.then(|| self.run_clock.start());
@@ -864,7 +864,7 @@ mod tests {
         config.compute_size_ratio = 3;
         let err = engine.try_evaluate(&dataset, &config).unwrap_err();
         let EvalError::InvalidConfig(e) = err else {
-            // xtask-allow: panic-path — test assertion on the error variant
+            // xtask-allow: panic-path — reason: test assertion on the error variant
             panic!("expected InvalidConfig, got {err:?}");
         };
         assert_eq!(e.parameter(), "compute_size_ratio");

@@ -263,7 +263,7 @@ fn measure_slots(
         .collect();
     let outcomes = match eval.try_evaluate_batch_outcomes(dataset, &configs) {
         Ok(outcomes) => outcomes,
-        // xtask-allow: panic-path — empty datasets / invalid decoded configs violate explore's documented precondition (run_pipeline's historical contract); per-slot failures never reach this arm
+        // xtask-allow: panic-path — reason: empty datasets / invalid decoded configs violate explore's documented precondition (run_pipeline's historical contract); per-slot failures never reach this arm
         Err(e) => panic!("exploration batch failed: {e}"),
     };
     xs.iter()
@@ -486,7 +486,7 @@ pub fn explore_checkpointed(
 /// constructed by [`measure_slots`]; keeping the panic in one audited
 /// place lets the match stay exhaustive without unsafe defaults.
 fn unreachable_slot(x: &[f64]) -> RecordedEval {
-    // xtask-allow: panic-path — measure_slots returns Some(measured) xor Some(quarantined) by construction
+    // xtask-allow: panic-path — reason: measure_slots returns Some(measured) xor Some(quarantined) by construction
     unreachable!("slot for {x:?} has neither measurement nor quarantine record")
 }
 

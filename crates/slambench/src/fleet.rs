@@ -145,7 +145,7 @@ pub fn fleet_speedups_with_engine(
     }));
     let outcomes = match eval.try_evaluate_batch_outcomes(dataset, &configs) {
         Ok(outcomes) => outcomes,
-        // xtask-allow: panic-path — empty datasets / invalid configs violate fleet_speedups' documented precondition; per-slot failures never reach this arm
+        // xtask-allow: panic-path — reason: empty datasets / invalid configs violate fleet_speedups' documented precondition; per-slot failures never reach this arm
         Err(e) => panic!("fleet evaluation failed: {e}"),
     };
     // a deadline-truncated run still carries a replayable workload

@@ -85,7 +85,7 @@ pub use explore::{
 pub use fault::{Deadline, FaultPlan, FaultPolicy, MockRunClock, QuarantinedConfig, RetryPolicy};
 pub use fleet::{fleet_speedups, fleet_speedups_with_engine, FleetEntry, FleetOutcome, FleetSkip};
 pub use run::{DeviceRunReport, FrameRecord, GuardedRun, PipelineRun, RunStatus};
-// xtask-allow: engine-only — re-export of the raw runner; callers should prefer the engine
+// xtask-allow: engine-only — reason: re-export of the raw runner; callers should prefer the engine
 pub use run::{run_pipeline, run_pipeline_traced, run_pipeline_with_threads};
 pub use suite::{
     run_suite, run_suite_with_engine, standard_suite, Sequence, SuiteCell, SuiteError,

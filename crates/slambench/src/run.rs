@@ -308,7 +308,7 @@ pub fn run_pipeline_guarded(
     }
     let est: Vec<Se3> = frames.iter().map(|f| f.pose).collect();
     let gt: Vec<Se3> = frames.iter().map(|f| f.ground_truth).collect();
-    // xtask-allow: panic-path — the non-empty assert above plus the at-least-one-frame guarantee give equal-length, non-empty trajectories
+    // xtask-allow: panic-path — reason: the non-empty assert above plus the at-least-one-frame guarantee give equal-length, non-empty trajectories
     let ate = ate(&est, &gt, AteOptions::default()).expect("non-empty trajectories");
     GuardedRun {
         run: PipelineRun {

@@ -208,7 +208,7 @@ pub fn run_suite_with_engine(
         let dataset = SyntheticDataset::generate(&seq.config);
         let outcomes = match eval.try_evaluate_batch_outcomes(&dataset, &batch) {
             Ok(outcomes) => outcomes,
-            // xtask-allow: panic-path — empty datasets / invalid configs violate run_suite's documented precondition; per-slot failures never reach this arm
+            // xtask-allow: panic-path — reason: empty datasets / invalid configs violate run_suite's documented precondition; per-slot failures never reach this arm
             Err(e) => panic!("suite evaluation failed: {e}"),
         };
         for ((label, _), outcome) in configs.iter().zip(&outcomes) {

@@ -1,0 +1,193 @@
+//! Baseline gating: `lint-baseline.json` load, diff and update.
+//!
+//! The baseline is a checked-in list of accepted findings. A lint run
+//! gated with `--baseline` fails on drift in *either* direction: a
+//! finding not in the baseline is a regression, and a baseline entry no
+//! finding matches is stale (the debt was paid — shrink the file so it
+//! cannot mask a future regression at the same location). The intended
+//! steady state, enforced since the pass landed, is an empty baseline.
+
+use crate::json::{self, Value};
+use crate::lints::Diagnostic;
+use std::collections::BTreeMap;
+
+/// One accepted finding: stable lint ID plus location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    pub id: String,
+    pub file: String,
+    pub line: u32,
+}
+
+impl Entry {
+    fn of(d: &Diagnostic) -> Entry {
+        Entry {
+            id: d.id().to_string(),
+            file: d.file.clone(),
+            line: d.line,
+        }
+    }
+}
+
+/// Parses a baseline document.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let doc = json::parse(text)?;
+    let version = doc
+        .get("version")
+        .and_then(Value::as_u32)
+        .ok_or("baseline is missing its `version` field")?;
+    if version != 1 {
+        return Err(format!("unsupported baseline version {version}"));
+    }
+    let findings = doc
+        .get("findings")
+        .and_then(Value::as_arr)
+        .ok_or("baseline is missing its `findings` array")?;
+    findings
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let field = |k: &str| {
+                f.get(k)
+                    .ok_or_else(|| format!("baseline finding #{i} is missing `{k}`"))
+            };
+            Ok(Entry {
+                id: field("id")?
+                    .as_str()
+                    .ok_or_else(|| format!("baseline finding #{i}: `id` must be a string"))?
+                    .to_string(),
+                file: field("file")?
+                    .as_str()
+                    .ok_or_else(|| format!("baseline finding #{i}: `file` must be a string"))?
+                    .to_string(),
+                line: field("line")?
+                    .as_u32()
+                    .ok_or_else(|| format!("baseline finding #{i}: `line` must be an integer"))?,
+            })
+        })
+        .collect()
+}
+
+/// Serialises findings as a baseline document (sorted, byte-stable).
+pub fn render(findings: &[Diagnostic]) -> String {
+    let mut entries: Vec<Entry> = findings.iter().map(Entry::of).collect();
+    entries.sort();
+    Value::Obj(vec![
+        ("version".into(), Value::Num(1.0)),
+        (
+            "findings".into(),
+            Value::Arr(
+                entries
+                    .into_iter()
+                    .map(|e| {
+                        Value::Obj(vec![
+                            ("id".into(), Value::Str(e.id)),
+                            ("file".into(), Value::Str(e.file)),
+                            ("line".into(), Value::Num(e.line as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .pretty()
+}
+
+/// The two directions of baseline drift.
+pub struct Drift {
+    /// Findings not covered by the baseline (regressions).
+    pub new: Vec<Diagnostic>,
+    /// Baseline entries no current finding matches (stale debt).
+    pub stale: Vec<Entry>,
+}
+
+/// Diffs current findings against the baseline, multiset-style: N
+/// accepted findings at one location cover at most N current ones.
+pub fn diff(findings: &[Diagnostic], baseline: &[Entry]) -> Drift {
+    let mut budget: BTreeMap<Entry, usize> = BTreeMap::new();
+    for e in baseline {
+        *budget.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut new = Vec::new();
+    for d in findings {
+        match budget.get_mut(&Entry::of(d)) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new.push(d.clone()),
+        }
+    }
+    let mut stale = Vec::new();
+    for (e, n) in budget {
+        for _ in 0..n {
+            stale.push(e.clone());
+        }
+    }
+    Drift { new, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: &str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            lint: lint.into(),
+            file: file.into(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let findings = vec![
+            diag("panic-path", "crates/b/src/lib.rs", 9),
+            diag("hash-iter", "crates/a/src/lib.rs", 3),
+        ];
+        let entries = parse(&render(&findings)).unwrap();
+        assert_eq!(entries.len(), 2);
+        // sorted: hash-iter (XT003) in crates/a first
+        assert_eq!(entries[0].id, "XT003");
+        assert_eq!(entries[0].file, "crates/a/src/lib.rs");
+        assert_eq!(entries[1].id, "XT004");
+    }
+
+    #[test]
+    fn drift_detects_both_directions() {
+        let accepted = parse(&render(&[diag("hash-iter", "crates/a/src/lib.rs", 3)])).unwrap();
+        let current = vec![diag("hash-iter", "crates/a/src/lib.rs", 3)];
+        let clean = diff(&current, &accepted);
+        assert!(clean.new.is_empty() && clean.stale.is_empty());
+
+        let regressed = vec![
+            diag("hash-iter", "crates/a/src/lib.rs", 3),
+            diag("threading", "crates/c/src/lib.rs", 7),
+        ];
+        let d = diff(&regressed, &accepted);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].lint, "threading");
+
+        let paid = diff(&[], &accepted);
+        assert_eq!(d.stale.len(), 0);
+        assert_eq!(paid.stale.len(), 1);
+        assert_eq!(paid.stale[0].id, "XT003");
+    }
+
+    #[test]
+    fn duplicate_locations_are_counted() {
+        let two = vec![
+            diag("hash-iter", "crates/a/src/lib.rs", 3),
+            diag("hash-iter", "crates/a/src/lib.rs", 3),
+        ];
+        let accepted = parse(&render(&two)).unwrap();
+        let d = diff(&two[..1], &accepted);
+        assert!(d.new.is_empty());
+        assert_eq!(d.stale.len(), 1, "one of the two accepted slots is unused");
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"version\": 2, \"findings\": []}").is_err());
+        assert!(parse("{\"version\": 1, \"findings\": [{\"id\": 3}]}").is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! A minimal JSON reader/writer.
+//!
+//! `xtask` is dependency-free by design, and the two formats it speaks —
+//! the `lint-baseline.json` gate file and SARIF 2.1 export — need only a
+//! small, strict JSON subset: objects, arrays, strings, integers, bools
+//! and null. Object key order is preserved (objects are association
+//! lists) so emitted documents are byte-stable.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Numbers are kept as `f64`; the formats we speak only use integers
+    /// that fit exactly.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Association list: preserves insertion order for stable output.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as `u32`, if this is an exact small integer.
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+
+    /// Serialises with 2-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document. Strict: trailing garbage is an error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while *pos < chars.len() && chars[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(chars: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{c}` at offset {pos} (found {:?})",
+            chars.get(*pos)
+        ))
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let key = parse_string(chars, pos)?;
+                expect(chars, pos, ':')?;
+                let value = parse_value(chars, pos)?;
+                members.push((key, value));
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(members));
+                    }
+                    other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(format!("expected `,` or `]`, found {other:?}")),
+                }
+            }
+        }
+        Some('"') => Ok(Value::Str(parse_string(chars, pos)?)),
+        Some('t') if chars[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some('f') if chars[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some('n') if chars[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < chars.len()
+                && (chars[*pos].is_ascii_digit()
+                    || matches!(chars[*pos], '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *pos += 1;
+            }
+            let text: String = chars[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        }
+        other => Err(format!("unexpected {other:?} at offset {pos}")),
+    }
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    if chars.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = chars.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = chars.get(*pos).copied().ok_or("truncated escape")?;
+                *pos += 1;
+                match esc {
+                    '"' | '\\' | '/' => out.push(esc),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = chars.get(*pos..*pos + 4).unwrap_or(&[]).iter().collect();
+                        if hex.len() != 4 {
+                            return Err("truncated \\u escape".into());
+                        }
+                        *pos += 4;
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|e| format!("\\u{hex}: {e}"))?;
+                        // surrogate pairs are not needed by our formats;
+                        // map them to the replacement character
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape `\\{other}`")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_baseline_shape() {
+        let doc = Value::Obj(vec![
+            ("version".into(), Value::Num(1.0)),
+            (
+                "findings".into(),
+                Value::Arr(vec![Value::Obj(vec![
+                    ("id".into(), Value::Str("XT004".into())),
+                    ("file".into(), Value::Str("crates/x/src/lib.rs".into())),
+                    ("line".into(), Value::Num(12.0)),
+                ])]),
+            ),
+        ]);
+        let text = doc.pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("findings").unwrap().as_arr().unwrap()[0]
+                .get("line")
+                .unwrap()
+                .as_u32(),
+            Some(12)
+        );
+    }
+
+    #[test]
+    fn escapes_are_handled_both_ways() {
+        let doc = Value::Str("a \"quote\"\nnewline\ttab \\ backslash".into());
+        assert_eq!(parse(&doc.pretty()).unwrap(), doc);
+        assert_eq!(parse(r#""Aé""#).unwrap(), Value::Str("Aé".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("'single'").is_err());
+    }
+
+    #[test]
+    fn empty_containers_render_inline() {
+        assert_eq!(Value::Arr(vec![]).pretty(), "[]\n");
+        assert_eq!(Value::Obj(vec![]).pretty(), "{}\n");
+    }
+}

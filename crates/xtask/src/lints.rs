@@ -45,24 +45,18 @@
 //! preceding line:
 //!
 //! ```text
-//! // xtask-allow: panic-path — Index contract requires a panic here
+//! // xtask-allow: panic-path — reason: Index contract requires a panic here
 //! ```
 //!
-//! The reason text is mandatory; a bare waiver is itself a finding.
+//! The `reason:` clause is mandatory; a bare waiver is itself a finding.
+//! The determinism-taint and concurrency passes live in
+//! [`crate::determinism`] and [`crate::concurrency`]; the crate-layer
+//! pass in [`crate::layers`] over the [`crate::model`] workspace model.
 
 use crate::lexer::{cfg_test_spans, lex, Token};
+use crate::registry;
 use std::fmt;
 use std::path::Path;
-
-/// Names of all lints, used for waiver validation.
-pub const LINT_NAMES: &[&str] = &[
-    "threading",
-    "unsafe-code",
-    "hash-iter",
-    "panic-path",
-    "engine-only",
-    "trace-clock",
-];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,9 +72,16 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl Diagnostic {
+    /// The stable registry ID of the lint that fired (`XT004`, …).
+    pub fn id(&self) -> &'static str {
+        registry::id_for(&self.lint)
+    }
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "error[xtask::{}]: {}", self.lint, self.message)?;
+        writeln!(f, "error[{}/{}]: {}", self.id(), self.lint, self.message)?;
         write!(f, "  --> {}:{}", self.file, self.line)
     }
 }
@@ -110,6 +111,13 @@ pub struct LintPolicy {
     /// `.expect(…)` and the `panic!` family are flagged even inside
     /// tests (`.unwrap()`/`.unwrap_err()` stay exempt).
     pub strict_test_panics: bool,
+    /// File may reduce pool results ad hoc: the exec pool itself (home of
+    /// the blessed ordered-reduction helpers) and test sources, whose
+    /// determinism suites deliberately re-derive reductions by hand.
+    pub allow_pool_reduce: bool,
+    /// File may block inside pool-task closures: the exec pool internals
+    /// and test sources (simulated stragglers legitimately sleep).
+    pub allow_pool_blocking: bool,
 }
 
 impl LintPolicy {
@@ -124,6 +132,8 @@ impl LintPolicy {
             allow_raw_clock: false,
             require_deny_unsafe: false,
             strict_test_panics: false,
+            allow_pool_reduce: false,
+            allow_pool_blocking: false,
         }
     }
 }
@@ -133,9 +143,9 @@ pub struct SourceFile {
     /// Repo-relative path (used in diagnostics).
     pub path: String,
     /// Raw source lines (for waiver comments).
-    lines: Vec<String>,
+    pub(crate) lines: Vec<String>,
     /// Token stream with comments and strings stripped.
-    tokens: Vec<Token>,
+    pub(crate) tokens: Vec<Token>,
     /// Inclusive line ranges covered by `#[cfg(test)]` items.
     test_spans: Vec<(u32, u32)>,
 }
@@ -153,48 +163,49 @@ impl SourceFile {
         }
     }
 
-    fn in_test_span(&self, line: u32) -> bool {
+    pub(crate) fn in_test_span(&self, line: u32) -> bool {
         self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
     }
 
     /// True if `line` (or the line above it) carries a well-formed
     /// `xtask-allow:` waiver naming `lint`.
-    fn waived(&self, line: u32, lint: &str) -> bool {
+    pub(crate) fn waived(&self, line: u32, lint: &str) -> bool {
         let idx = line as usize; // 1-based
         [idx.checked_sub(1), idx.checked_sub(2)]
             .into_iter()
             .flatten()
             .filter_map(|i| self.lines.get(i))
             .filter_map(|l| parse_waiver(l))
-            .any(|(names, reason)| !reason.is_empty() && names.iter().any(|n| n == lint))
+            .any(|(names, reason)| {
+                reason.is_some_and(|r| !r.is_empty()) && names.iter().any(|n| n == lint)
+            })
     }
 }
 
-/// Parses an `// xtask-allow: lint-a, lint-b — reason` comment. Returns
-/// the waived lint names and the reason text (possibly empty).
-fn parse_waiver(line: &str) -> Option<(Vec<String>, String)> {
+/// Parses an `// xtask-allow: lint-a, lint-b — reason: text` comment.
+/// Returns the waived lint names and the justification after the
+/// mandatory `reason:` marker (`None` when the marker is absent).
+fn parse_waiver(line: &str) -> Option<(Vec<String>, Option<String>)> {
     let at = line.find("xtask-allow:")?;
     let rest = &line[at + "xtask-allow:".len()..];
-    // lint names: leading comma-separated kebab-case words; the reason is
-    // everything after them (conventionally set off with an em dash)
+    // lint names: leading comma-separated kebab-case words; everything
+    // after them (conventionally set off with an em dash) must carry a
+    // literal `reason:` clause with the justification
     let mut names = Vec::new();
-    let mut reason = String::new();
     let mut expecting_name = true;
-    for (i, part) in rest.split_whitespace().enumerate() {
+    for part in rest.split_whitespace() {
         let trimmed = part.trim_matches(',');
-        if expecting_name && LINT_NAMES.contains(&trimmed) {
+        if expecting_name && registry::by_name(trimmed).is_some() {
             names.push(trimmed.to_string());
             // a trailing comma announces another lint name
             expecting_name = part.ends_with(',');
         } else {
-            reason = rest
-                .split_whitespace()
-                .skip(i)
-                .collect::<Vec<_>>()
-                .join(" ");
             break;
         }
     }
+    let reason = rest
+        .find("reason:")
+        .map(|r| rest[r + "reason:".len()..].trim().to_string());
     Some((names, reason))
 }
 
@@ -223,34 +234,46 @@ pub fn lint_file(src: &SourceFile, policy: LintPolicy) -> Vec<Diagnostic> {
     if !policy.allow_raw_clock {
         lint_trace_clock(src, &mut out);
     }
-    out.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
+    if !policy.allow_pool_reduce {
+        crate::determinism::lint_float_reduce(src, &mut out);
+    }
+    crate::determinism::lint_entropy_source(src, &mut out);
+    if !policy.allow_pool_blocking {
+        crate::concurrency::lint_pool_blocking(src, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, a.id()).cmp(&(b.line, b.id())));
     out
 }
 
 /// Reports malformed waivers: an `xtask-allow:` comment with no known
-/// lint name or no reason text is dead weight that would silently stop
-/// protecting the line it sits on.
+/// lint name or no `reason:` clause is dead weight that would silently
+/// stop protecting the line it sits on.
 fn lint_waiver_hygiene(src: &SourceFile, out: &mut Vec<Diagnostic>) {
     for (i, line) in src.lines.iter().enumerate() {
         if let Some((names, reason)) = parse_waiver(line) {
-            if names.is_empty() {
-                out.push(Diagnostic {
-                    lint: "waiver".into(),
-                    file: src.path.clone(),
-                    line: (i + 1) as u32,
-                    message: format!(
-                        "xtask-allow waiver names no known lint (expected one of: {})",
-                        LINT_NAMES.join(", ")
-                    ),
-                });
-            } else if reason.is_empty() {
-                out.push(Diagnostic {
-                    lint: "waiver".into(),
-                    file: src.path.clone(),
-                    line: (i + 1) as u32,
-                    message: "xtask-allow waiver has no reason text; justify the exemption".into(),
-                });
-            }
+            let message = if names.is_empty() {
+                let known: Vec<&str> = registry::LINTS.iter().map(|l| l.name).collect();
+                format!(
+                    "xtask-allow waiver names no known lint (expected one of: {})",
+                    known.join(", ")
+                )
+            } else {
+                match reason {
+                    Some(r) if !r.is_empty() => continue,
+                    Some(_) => "xtask-allow waiver has an empty `reason:` clause; \
+                                justify the exemption"
+                        .into(),
+                    None => "xtask-allow waiver is missing its `reason:` clause \
+                             (grammar: `xtask-allow: lint-name — reason: <justification>`)"
+                        .into(),
+                }
+            };
+            out.push(Diagnostic {
+                lint: "waiver".into(),
+                file: src.path.clone(),
+                line: (i + 1) as u32,
+                message,
+            });
         }
     }
 }

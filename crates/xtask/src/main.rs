@@ -1,10 +1,17 @@
 //! `cargo xtask` — workspace correctness tooling.
 //!
 //! ```text
-//! cargo xtask lint [--root <path>]   enforce the workspace invariants
+//! cargo xtask lint [--root <path>]            enforce the workspace invariants
+//!                  [--list]                   print every lint id + summary
+//!                  [--explain <id|name>]      long-form rationale for one lint
+//!                  [--baseline <file>]        gate against accepted findings
+//!                  [--update-baseline]        rewrite the baseline from findings
+//!                  [--sarif <file>]           export findings as SARIF 2.1
 //! ```
 //!
-//! Exits non-zero if any lint fires, printing rustc-style diagnostics.
+//! Without `--baseline`, exits non-zero if any lint fires. With it, exits
+//! non-zero on drift in either direction: findings missing from the
+//! baseline (regressions) or baseline entries nothing matches (stale).
 
 #![deny(unsafe_code)]
 
@@ -28,21 +35,42 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask lint [--root <path>]");
+    eprintln!(
+        "usage: cargo xtask lint [--root <path>] [--list] [--explain <id|name>]\n\
+         \u{20}                       [--baseline <file>] [--update-baseline] [--sarif <file>]"
+    );
 }
 
 fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--root" => match it.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--root requires a path");
+            "--list" => return list(),
+            "--explain" => {
+                return match it.next() {
+                    Some(key) => explain(key),
+                    None => {
+                        eprintln!("--explain requires a lint id or name (try --list)");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            "--root" | "--baseline" | "--sarif" => {
+                let Some(p) = it.next() else {
+                    eprintln!("{arg} requires a path");
                     return ExitCode::FAILURE;
+                };
+                match arg.as_str() {
+                    "--root" => root = Some(PathBuf::from(p)),
+                    "--baseline" => baseline_path = Some(PathBuf::from(p)),
+                    _ => sarif_path = Some(PathBuf::from(p)),
                 }
-            },
+            }
+            "--update-baseline" => update_baseline = true,
             other => {
                 eprintln!("unknown lint option `{other}`");
                 usage();
@@ -67,17 +95,120 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, xtask::sarif::render(&findings)) {
+            eprintln!(
+                "xtask lint: failed to write SARIF to {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask lint: SARIF written to {}", path.display());
+    }
+    if update_baseline {
+        let path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+        if let Err(e) = std::fs::write(&path, xtask::baseline::render(&findings)) {
+            eprintln!(
+                "xtask lint: failed to write baseline to {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "xtask lint: baseline updated ({} accepted finding{}) at {}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    match baseline_path {
+        Some(path) => gate_against_baseline(&findings, &path),
+        None => report_all(&findings),
+    }
+}
+
+fn report_all(findings: &[xtask::lints::Diagnostic]) -> ExitCode {
     if findings.is_empty() {
         eprintln!("xtask lint: no findings — all workspace invariants hold");
         return ExitCode::SUCCESS;
     }
-    for d in &findings {
+    for d in findings {
         eprintln!("{d}\n");
     }
     eprintln!(
-        "xtask lint: {} finding{} — see DESIGN.md § Correctness tooling",
+        "xtask lint: {} finding{} — see DESIGN.md § Static analysis, or \
+         `cargo xtask lint --explain <id>`",
         findings.len(),
         if findings.len() == 1 { "" } else { "s" }
     );
     ExitCode::FAILURE
+}
+
+fn gate_against_baseline(findings: &[xtask::lints::Diagnostic], path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read baseline {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let accepted = match xtask::baseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask lint: malformed baseline {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let drift = xtask::baseline::diff(findings, &accepted);
+    if drift.new.is_empty() && drift.stale.is_empty() {
+        eprintln!(
+            "xtask lint: no drift against {} ({} finding{}, {} accepted)",
+            path.display(),
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            accepted.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &drift.new {
+        eprintln!("{d}\n");
+    }
+    for e in &drift.stale {
+        eprintln!(
+            "stale baseline entry: {} at {}:{} no longer fires — remove it from {}\n",
+            e.id,
+            e.file,
+            e.line,
+            path.display()
+        );
+    }
+    eprintln!(
+        "xtask lint: baseline drift — {} new finding{}, {} stale entr{}",
+        drift.new.len(),
+        if drift.new.len() == 1 { "" } else { "s" },
+        drift.stale.len(),
+        if drift.stale.len() == 1 { "y" } else { "ies" }
+    );
+    ExitCode::FAILURE
+}
+
+fn list() -> ExitCode {
+    for l in xtask::registry::LINTS {
+        println!("{}  {:<15} {}", l.id, l.name, l.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+fn explain(key: &str) -> ExitCode {
+    match xtask::registry::by_id_or_name(key) {
+        Some(l) => {
+            println!("{} / {}\n\n{}\n\n{}", l.id, l.name, l.summary, l.explain);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown lint `{key}` — `cargo xtask lint --list` shows all lints");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,0 +1,152 @@
+//! SARIF 2.1.0 export.
+//!
+//! One run, one driver (`xtask-lint`), with a rule entry per registered
+//! lint (so viewers can show `--explain`-grade docs) and one result per
+//! finding. The output is deliberately a small, stable subset of SARIF —
+//! enough for GitHub code scanning and the usual viewers.
+
+use crate::json::Value;
+use crate::lints::Diagnostic;
+use crate::registry;
+
+/// Serialises findings as a SARIF 2.1.0 document.
+pub fn render(findings: &[Diagnostic]) -> String {
+    let rules: Vec<Value> = registry::LINTS
+        .iter()
+        .map(|l| {
+            Value::Obj(vec![
+                ("id".into(), Value::Str(l.id.into())),
+                ("name".into(), Value::Str(l.name.into())),
+                (
+                    "shortDescription".into(),
+                    Value::Obj(vec![("text".into(), Value::Str(l.summary.into()))]),
+                ),
+                (
+                    "fullDescription".into(),
+                    Value::Obj(vec![("text".into(), Value::Str(l.explain.into()))]),
+                ),
+                (
+                    "defaultConfiguration".into(),
+                    Value::Obj(vec![("level".into(), Value::Str("error".into()))]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = findings
+        .iter()
+        .map(|d| {
+            let rule_index = registry::LINTS
+                .iter()
+                .position(|l| l.id == d.id())
+                .unwrap_or(0);
+            Value::Obj(vec![
+                ("ruleId".into(), Value::Str(d.id().into())),
+                ("ruleIndex".into(), Value::Num(rule_index as f64)),
+                ("level".into(), Value::Str("error".into())),
+                (
+                    "message".into(),
+                    Value::Obj(vec![("text".into(), Value::Str(d.message.clone()))]),
+                ),
+                (
+                    "locations".into(),
+                    Value::Arr(vec![Value::Obj(vec![(
+                        "physicalLocation".into(),
+                        Value::Obj(vec![
+                            (
+                                "artifactLocation".into(),
+                                Value::Obj(vec![
+                                    ("uri".into(), Value::Str(d.file.clone())),
+                                    ("uriBaseId".into(), Value::Str("SRCROOT".into())),
+                                ]),
+                            ),
+                            (
+                                "region".into(),
+                                Value::Obj(vec![("startLine".into(), Value::Num(d.line as f64))]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        (
+            "$schema".into(),
+            Value::Str(
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                    .into(),
+            ),
+        ),
+        ("version".into(), Value::Str("2.1.0".into())),
+        (
+            "runs".into(),
+            Value::Arr(vec![Value::Obj(vec![
+                (
+                    "tool".into(),
+                    Value::Obj(vec![(
+                        "driver".into(),
+                        Value::Obj(vec![
+                            ("name".into(), Value::Str("xtask-lint".into())),
+                            (
+                                "informationUri".into(),
+                                Value::Str("https://example.org/slambench-rs".into()),
+                            ),
+                            ("version".into(), Value::Str("0.1.0".into())),
+                            ("rules".into(), Value::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".into(), Value::Arr(results)),
+            ])]),
+        ),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn sarif_parses_and_carries_rule_metadata_for_every_lint() {
+        let findings = vec![Diagnostic {
+            lint: "lock-order".into(),
+            file: "crates/x/src/lib.rs".into(),
+            line: 41,
+            message: "inversion".into(),
+        }];
+        let doc = json::parse(&render(&findings)).expect("SARIF must be valid JSON");
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let run = &doc.get("runs").and_then(Value::as_arr).unwrap()[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(rules.len(), registry::LINTS.len());
+        for (rule, info) in rules.iter().zip(registry::LINTS) {
+            assert_eq!(rule.get("id").and_then(Value::as_str), Some(info.id));
+            assert!(rule
+                .get("fullDescription")
+                .and_then(|d| d.get("text"))
+                .and_then(Value::as_str)
+                .is_some_and(|t| !t.is_empty()));
+        }
+        let results = run.get("results").and_then(Value::as_arr).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Value::as_str),
+            Some("XT301")
+        );
+        let line = results[0]
+            .get("locations")
+            .and_then(Value::as_arr)
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_u32);
+        assert_eq!(line, Some(41));
+    }
+}

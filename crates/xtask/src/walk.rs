@@ -83,14 +83,22 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// True for test harness sources: integration tests, benches, examples.
+/// These run off the hot path, so the pool-reduction and pool-blocking
+/// lints (and the global lock-order graph) skip them.
+pub fn is_test_source(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    p.contains("/tests/")
+        || p.starts_with("tests/")
+        || p.contains("/benches/")
+        || p.starts_with("examples/")
+}
+
 /// Derives the lint policy for a repo-relative path.
 pub fn classify(rel: &Path) -> LintPolicy {
     let p = rel.to_string_lossy().replace('\\', "/");
     let is_bin = p.contains("/src/bin/");
-    let is_test_source = p.contains("/tests/")
-        || p.starts_with("tests/")
-        || p.contains("/benches/")
-        || p.starts_with("examples/");
+    let is_test_source = is_test_source(rel);
     // crate roots: crates/<name>/src/lib.rs plus the workspace-root
     // integration-test library
     let is_crate_root =
@@ -113,6 +121,11 @@ pub fn classify(rel: &Path) -> LintPolicy {
         allow_raw_clock: CLOCK_ALLOWLIST.contains(&p.as_str()),
         require_deny_unsafe: is_crate_root,
         strict_test_panics: is_orchestrator,
+        // the exec pool is the home of the blessed ordered-reduction
+        // helpers and of the workers themselves; test sources re-derive
+        // reductions by hand and simulate stragglers on purpose
+        allow_pool_reduce: is_test_source || p.starts_with("crates/slam-kfusion/src/exec/"),
+        allow_pool_blocking: is_test_source || p.starts_with("crates/slam-kfusion/src/exec/"),
     }
 }
 

@@ -6,7 +6,7 @@ pub fn spawn_worker() {
     std::thread::Builder::new()
         .name("slam-exec-0".into())
         .spawn(|| ())
-        // xtask-allow: panic-path — pool construction failure is unrecoverable at startup
+        // xtask-allow: panic-path — reason: pool construction failure is unrecoverable at startup
         .expect("failed to spawn pool worker");
 }
 

@@ -1,0 +1,16 @@
+//! Known-good fixture under the exec-pool policy: the pool is the home
+//! of the blessed ordered-reduction helpers, so it may reduce raw task
+//! results by hand — that is where the submission-order contract lives.
+
+pub fn sum_tasks<T: Send + std::iter::Sum<T>>(threads: usize, tasks: Vec<Task<'_, T>>) -> T {
+    run_tasks(threads, tasks).into_iter().sum()
+}
+
+pub fn reduce_tasks<T: Send, A>(
+    threads: usize,
+    tasks: Vec<Task<'_, T>>,
+    init: A,
+    fold: impl FnMut(A, T) -> A,
+) -> A {
+    run_tasks(threads, tasks).into_iter().fold(init, fold)
+}

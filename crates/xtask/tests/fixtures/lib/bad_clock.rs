@@ -14,7 +14,7 @@ pub fn fully_qualified_read() -> std::time::Instant {
 }
 
 pub fn waived_read() -> Instant {
-    // xtask-allow: trace-clock — fixture exercising a sanctioned raw clock read
+    // xtask-allow: trace-clock — reason: fixture exercising a sanctioned raw clock read
     Instant::now()
 }
 

@@ -16,7 +16,7 @@ pub fn direct_traced_call(dataset: &Dataset, config: &Config, tracer: &Tracer) -
 }
 
 pub fn waived_call(dataset: &Dataset, config: &Config) -> Run {
-    // xtask-allow: engine-only — fixture exercising a sanctioned raw-runner call
+    // xtask-allow: engine-only — reason: fixture exercising a sanctioned raw-runner call
     run_pipeline(dataset, config)
 }
 

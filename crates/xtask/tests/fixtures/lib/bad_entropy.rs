@@ -1,0 +1,28 @@
+//! Known-bad fixture: ambient entropy sources. Every run must be
+//! replayable from its seed and injected clock alone.
+
+use rand::rngs::OsRng; //~ entropy-source
+use std::time::SystemTime; //~ entropy-source
+
+pub fn ambient_rng() -> f64 {
+    let mut rng = rand::thread_rng(); //~ entropy-source
+    rng.gen()
+}
+
+pub fn os_seeded() -> ChaCha8Rng {
+    ChaCha8Rng::from_entropy() //~ entropy-source
+}
+
+pub fn bare_random() -> f64 {
+    rand::random() //~ entropy-source
+}
+
+pub fn wall_clock_stamp() -> u64 {
+    let now = SystemTime::now(); //~ entropy-source
+    now.duration_since(std::time::UNIX_EPOCH).map_or(0, |d| d.as_secs())
+}
+
+pub fn waived_stamp() {
+    // xtask-allow: entropy-source — reason: fixture exercising a sanctioned ambient read
+    let _ = SystemTime::now();
+}

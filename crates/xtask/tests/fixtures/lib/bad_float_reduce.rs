@@ -1,0 +1,27 @@
+//! Known-bad fixture: ad-hoc reductions over worker-pool results. The
+//! pool's submission-order contract lives in the callee; reducing by hand
+//! at the call site hides it, so every shape below must route through the
+//! ordered helpers in `slam_kfusion::exec` instead.
+
+use slam_kfusion::exec;
+
+pub fn direct_chain(threads: usize, tasks: Vec<exec::Task<'_, f64>>) -> f64 {
+    exec::run_tasks(threads, tasks).into_iter().sum() //~ float-reduce
+}
+
+pub fn traced_chain(tracer: &Tracer, threads: usize, tasks: Vec<exec::Task<'_, u64>>) -> u64 {
+    exec::trace_tasks(tracer, "kernel", threads, tasks)
+        .into_iter()
+        .sum::<u64>() //~ float-reduce
+}
+
+pub fn banded_fold(threads: usize, n: usize) -> f64 {
+    exec::run_bands(threads, n, |range| range.len() as f64)
+        .into_iter()
+        .fold(0.0, |acc, x| acc + x) //~ float-reduce
+}
+
+pub fn via_binding(tracer: &Tracer, threads: usize, n: usize) -> f64 {
+    let partials = exec::run_bands_traced(tracer, "kernel", threads, n, |r| r.len() as f64);
+    partials.iter().copied().reduce(|a, b| a + b).unwrap_or(0.0) //~ float-reduce
+}

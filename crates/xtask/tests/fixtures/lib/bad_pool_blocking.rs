@@ -1,0 +1,31 @@
+//! Known-bad fixture: blocking calls inside closures that run on pool
+//! workers. A parked worker serialises the batch and can deadlock nested
+//! submissions.
+
+use slam_kfusion::exec;
+
+pub fn sleeping_task(threads: usize) {
+    exec::run_tasks(
+        threads,
+        vec![Box::new(move || {
+            std::thread::sleep(std::time::Duration::from_millis(1)); //~ pool-blocking
+        }) as exec::Task<'_, ()>],
+    );
+}
+
+pub fn file_io_in_cast_task() -> Vec<exec::Task<'static, ()>> {
+    vec![Box::new(move || {
+        let _ = std::fs::write("scratch.bin", b"partial"); //~ pool-blocking
+    }) as exec::Task<'static, ()>]
+}
+
+pub fn channel_wait_in_band(threads: usize, n: usize, rx: &Receiver<u32>) {
+    exec::run_bands(threads, n, |_range| {
+        let _ = rx.recv(); //~ pool-blocking
+    });
+}
+
+pub fn io_outside_tasks_is_fine(path: &str) -> std::io::Result<String> {
+    // blocking outside a pool region never trips the lint
+    std::fs::read_to_string(path)
+}

@@ -10,3 +10,8 @@ pub fn unknown_lint_waiver(v: Option<u32>) -> u32 {
     // xtask-allow: no-such-lint because reasons //~ waiver
     v.unwrap() //~ panic-path
 }
+
+pub fn empty_reason_waiver(v: Option<u32>) -> u32 {
+    // xtask-allow: panic-path — reason: //~ waiver
+    v.unwrap() //~ panic-path
+}

@@ -32,7 +32,7 @@ pub fn accumulate(weights: &BTreeMap<String, f32>) -> f32 {
 pub fn contractual_panic(i: usize) -> usize {
     match i {
         0 | 1 | 2 => i,
-        // xtask-allow: panic-path — the Index contract requires a panic on out-of-bounds
+        // xtask-allow: panic-path — reason: the Index contract requires a panic on out-of-bounds
         _ => panic!("index {i} out of range"),
     }
 }

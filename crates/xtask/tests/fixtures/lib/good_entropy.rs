@@ -1,0 +1,20 @@
+//! Known-good fixture: seeded randomness and injected time. No lint may
+//! fire anywhere in this file.
+
+use rand_chacha::ChaCha8Rng;
+
+/// Randomness is derived from an explicit seed, so runs replay exactly.
+pub fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Time is read through an injected handle, never ambiently.
+pub fn stamped(clock: &dyn Clock) -> f64 {
+    clock.now_secs()
+}
+
+/// Vocabulary in comments and strings never trips the lint: thread_rng,
+/// OsRng, SystemTime and rand::random are all mentioned right here.
+pub fn describe() -> &'static str {
+    "seeded, not thread_rng / OsRng / SystemTime / rand::random"
+}

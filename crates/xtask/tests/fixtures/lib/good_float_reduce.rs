@@ -1,0 +1,30 @@
+//! Known-good fixture: pool results reduced the sanctioned ways. No lint
+//! may fire anywhere in this file.
+
+use slam_kfusion::exec;
+
+/// The blessed helpers carry the ordered-reduction contract themselves.
+pub fn blessed_sum(tracer: &Tracer, threads: usize, tasks: Vec<exec::Task<'_, f64>>) -> f64 {
+    exec::sum_tasks_traced(tracer, "kernel", threads, tasks)
+}
+
+/// Folding through the helper keeps the accumulation order explicit.
+pub fn blessed_fold(threads: usize, tasks: Vec<exec::Task<'_, (f64, f64)>>) -> (f64, f64) {
+    exec::reduce_tasks(threads, tasks, (0.0, 0.0), |(a, b), (o, u)| (a + o, b + u))
+}
+
+/// Structured merges (not a float `.sum()`/`.fold()` chain) stay legal:
+/// the per-band systems are combined via an explicit domain method.
+pub fn structured_merge(threads: usize, tasks: Vec<exec::Task<'_, Partial>>) -> Partial {
+    let partials = exec::run_tasks(threads, tasks);
+    let mut acc = Partial::new();
+    for p in &partials {
+        acc.merge(p);
+    }
+    acc
+}
+
+/// Reductions over data that never came from the pool are untouched.
+pub fn plain_iterator_sum(values: &[f64]) -> f64 {
+    values.iter().sum()
+}

@@ -1,0 +1,25 @@
+//! Known-bad fixture for the global lock-order pass: two code paths take
+//! the same pair of locks in opposite orders — the classic deadlock shape.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    workers: Mutex<Vec<u32>>,
+    events: Mutex<Vec<u32>>,
+}
+
+impl Shared {
+    /// Holds `workers` while taking `events`.
+    pub fn drain(&self) -> usize {
+        let w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        let e = self.events.lock().unwrap_or_else(|e| e.into_inner()); //~ lock-order
+        w.len() + e.len()
+    }
+
+    /// Holds `events` while taking `workers`: the inversion.
+    pub fn publish(&self, item: u32) {
+        let mut e = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let w = self.workers.lock().unwrap_or_else(|e| e.into_inner()); //~ lock-order
+        e.push(item + w.len() as u32);
+    }
+}

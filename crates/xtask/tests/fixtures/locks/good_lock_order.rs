@@ -1,0 +1,43 @@
+//! Known-good fixture for the global lock-order pass: every path takes
+//! the locks in the same order, or narrows the first guard's scope before
+//! taking the second. The pass must report nothing here.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Shared {
+    workers: Mutex<Vec<u32>>,
+    events: Mutex<Vec<u32>>,
+    settings: RwLock<u32>,
+}
+
+impl Shared {
+    /// The canonical order: `workers`, then `events`.
+    pub fn drain(&self) -> usize {
+        let w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        let e = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        w.len() + e.len()
+    }
+
+    /// Same order on every other path keeps the graph acyclic.
+    pub fn enqueue(&self, item: u32) {
+        let w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut e = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        e.push(item + w.len() as u32);
+    }
+
+    /// Dropping the first guard before taking the "wrong-order" second
+    /// lock is fine: the guards never overlap.
+    pub fn reversed_but_scoped(&self) -> usize {
+        let e = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let n = e.len();
+        drop(e);
+        let w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        w.len() + n
+    }
+
+    /// A reader layered under the canonical order adds no cycle.
+    pub fn snapshot(&self) -> u32 {
+        let s = self.settings.read().unwrap_or_else(|e| e.into_inner());
+        *s
+    }
+}

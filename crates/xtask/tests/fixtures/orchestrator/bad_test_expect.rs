@@ -35,7 +35,7 @@ mod tests {
 
     #[test]
     fn waived_test_panics_still_work() {
-        // xtask-allow: panic-path — fixture exercising a waived strict-test finding
+        // xtask-allow: panic-path — reason: fixture exercising a waived strict-test finding
         let _ = halve(6).expect("waived");
     }
 }

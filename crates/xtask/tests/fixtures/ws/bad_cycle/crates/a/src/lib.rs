@@ -1,0 +1,3 @@
+pub fn from_a() -> u32 {
+    1
+}

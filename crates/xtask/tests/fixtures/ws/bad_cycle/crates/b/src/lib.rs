@@ -1,0 +1,3 @@
+pub fn from_b() -> u32 {
+    2
+}

@@ -1,0 +1,6 @@
+//! Names exec-pool internals from outside their home crates: both the
+//! protocol type and the raw submission call must be flagged.
+
+pub fn poke(shared: &PoolShared) -> u32 {
+    run_tasks(2, shared.jobs())
+}

@@ -1,0 +1,8 @@
+//! A layer-0 crate reaching *up* the DAG: both the manifest dependency
+//! and this import must be flagged.
+
+use b::Thing;
+
+pub fn lift(t: Thing) -> Thing {
+    t
+}

@@ -1,0 +1,3 @@
+pub fn offset() -> u32 {
+    7
+}

@@ -1,0 +1,5 @@
+pub mod helper;
+
+pub fn entry() -> u32 {
+    helper::offset()
+}

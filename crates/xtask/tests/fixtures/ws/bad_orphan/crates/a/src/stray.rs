@@ -1,0 +1,3 @@
+pub fn never_compiled() -> u32 {
+    0
+}

@@ -1,0 +1,7 @@
+//! Layer-1 crate depending strictly downward.
+
+pub mod helper;
+
+pub fn combine(x: u32) -> u32 {
+    b::base(x) + helper::offset()
+}

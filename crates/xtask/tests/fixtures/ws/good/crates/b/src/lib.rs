@@ -1,0 +1,3 @@
+pub fn base(x: u32) -> u32 {
+    x * 2
+}

@@ -1,10 +1,14 @@
-//! Fixture-based self-tests for the invariant lints.
+//! Fixture-based self-tests for the static-analysis passes.
 //!
 //! Every file under `tests/fixtures/` is linted under the policy its
 //! subdirectory maps to, and its findings must match the `//~ lint-name`
 //! expectation markers exactly — both directions: a known-bad snippet
 //! that stops tripping its lint fails the suite just like a known-good
-//! snippet that starts tripping one.
+//! snippet that starts tripping one. The workspace-level passes get the
+//! same treatment: `fixtures/locks/` drives the global lock-order graph
+//! and the mini workspace trees under `fixtures/ws/` drive the
+//! crate-layer pass, and every lint in the registry must fire on at
+//! least one bad fixture.
 //!
 //! Marker syntax (trailing comment):
 //! * `//~ lint-name`    — a finding of `lint-name` on this line
@@ -124,18 +128,31 @@ fn bad_fixtures_actually_trip_every_lint() {
             }
         }
     }
-    for lint in [
-        "threading",
-        "unsafe-code",
-        "hash-iter",
-        "panic-path",
-        "engine-only",
-        "trace-clock",
-        "waiver",
+    // the workspace-level passes fire from their own fixture sets
+    for path in lock_fixture_paths() {
+        let (_, stripped) = parse_fixture(&std::fs::read_to_string(&path).unwrap());
+        let src = SourceFile::new(&path, &stripped);
+        for d in xtask::concurrency::lint_lock_order(&[&src]) {
+            *fired.entry(d.lint).or_insert(0) += 1;
+        }
+    }
+    for case in [
+        "good",
+        "bad_cycle",
+        "bad_order",
+        "bad_internal",
+        "bad_orphan",
     ] {
+        for d in ws_findings(case) {
+            *fired.entry(d.lint).or_insert(0) += 1;
+        }
+    }
+    for lint in xtask::registry::LINTS {
         assert!(
-            fired.get(lint).copied().unwrap_or(0) > 0,
-            "no fixture trips lint {lint:?} (fired: {fired:?})"
+            fired.get(lint.name).copied().unwrap_or(0) > 0,
+            "no fixture trips lint {:?} ({}) (fired: {fired:?})",
+            lint.name,
+            lint.id
         );
     }
 }
@@ -151,7 +168,7 @@ fn diagnostic_rendering_is_rustc_style() {
     let rendered = findings[0].to_string();
     assert_eq!(
         rendered,
-        "error[xtask::panic-path]: `.unwrap()` in a library path: return a `Result` \
+        "error[XT004/panic-path]: `.unwrap()` in a library path: return a `Result` \
          or use a documented-invariant `debug_assert!`\n  --> crates/demo/src/lib.rs:2"
     );
 }
@@ -161,7 +178,7 @@ fn waivers_must_name_the_right_lint() {
     // a waiver for one lint must not leak onto another lint's finding on
     // the same line
     let text =
-        "pub fn f() {\n    // xtask-allow: hash-iter — wrong lint named\n    panic!(\"x\");\n}\n";
+        "pub fn f() {\n    // xtask-allow: hash-iter — reason: wrong lint named\n    panic!(\"x\");\n}\n";
     let src = SourceFile::new(Path::new("crates/demo/src/lib.rs"), text);
     let findings = lint_file(&src, LintPolicy::lib());
     assert_eq!(findings.len(), 1, "{findings:?}");
@@ -171,10 +188,128 @@ fn waivers_must_name_the_right_lint() {
 
 #[test]
 fn multi_lint_waiver_covers_both() {
-    let text = "pub fn f() {\n    // xtask-allow: threading, panic-path — fixture exercising multi-name waivers\n    std::thread::spawn(|| ()).join().unwrap();\n}\n";
+    let text = "pub fn f() {\n    // xtask-allow: threading, panic-path — reason: fixture exercising multi-name waivers\n    std::thread::spawn(|| ()).join().unwrap();\n}\n";
     let src = SourceFile::new(Path::new("crates/demo/src/lib.rs"), text);
     let findings = lint_file(&src, LintPolicy::lib());
     assert!(findings.is_empty(), "{findings:?}");
+}
+
+fn lock_fixture_paths() -> Vec<PathBuf> {
+    let dir = fixtures_dir().join("locks");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixture dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no fixtures in {}", dir.display());
+    entries
+}
+
+#[test]
+fn lock_order_fixtures_match_expected_diagnostics_exactly() {
+    // each lock fixture is a self-contained workspace for the global
+    // acquisition-order graph: its `//~ lock-order` markers must match
+    // the pass output exactly, in both directions
+    for path in lock_fixture_paths() {
+        let (expected, stripped) = parse_fixture(&std::fs::read_to_string(&path).unwrap());
+        let src = SourceFile::new(&path, &stripped);
+        let findings = xtask::concurrency::lint_lock_order(&[&src]);
+        assert_eq!(
+            findings_multiset(&findings),
+            expected,
+            "lock fixture {} diagnostics diverge\nfindings:\n{}",
+            path.display(),
+            findings
+                .iter()
+                .map(|d| format!("  {d}\n"))
+                .collect::<String>()
+        );
+    }
+}
+
+/// Runs the crate-layer passes over the mini workspace tree at
+/// `fixtures/ws/<case>` with a fixture-local layer table (`a` above `b`;
+/// `c` deliberately unassigned).
+fn ws_findings(case: &str) -> Vec<Diagnostic> {
+    let root = fixtures_dir().join("ws").join(case);
+    let model = xtask::model::Model::build(&root)
+        .unwrap_or_else(|e| panic!("model for {}: {e}", root.display()));
+    let table: &[(&str, u32)] = match case {
+        // bad_order inverts the ranks so both the manifest dep and the
+        // import point *up* the DAG
+        "bad_order" => &[("a", 0), ("b", 1)],
+        _ => &[("a", 1), ("b", 0)],
+    };
+    let mut out = Vec::new();
+    xtask::layers::lint_layers(&model, table, &mut out);
+    xtask::layers::lint_internal(&model, xtask::layers::INTERNAL_RULES, &mut out);
+    xtask::layers::lint_mod_orphans(&model, &mut out);
+    out
+}
+
+fn lint_file_line(findings: &[Diagnostic]) -> Vec<(String, String, u32)> {
+    let mut v: Vec<(String, String, u32)> = findings
+        .iter()
+        .map(|d| (d.lint.clone(), d.file.clone(), d.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn layer_passes_stay_silent_on_a_clean_workspace_tree() {
+    let findings = ws_findings("good");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn dependency_cycles_are_reported_on_both_edges() {
+    // a ⇄ b: both manifest dep edges lie on the cycle; the b → a edge is
+    // additionally a layer-order violation (layer 0 depending on layer 1)
+    assert_eq!(
+        lint_file_line(&ws_findings("bad_cycle")),
+        vec![
+            ("layer-cycle".into(), "crates/a/Cargo.toml".into(), 6),
+            ("layer-cycle".into(), "crates/b/Cargo.toml".into(), 6),
+            ("layer-order".into(), "crates/b/Cargo.toml".into(), 6),
+        ]
+    );
+}
+
+#[test]
+fn upward_deps_imports_and_unassigned_crates_are_reported() {
+    assert_eq!(
+        lint_file_line(&ws_findings("bad_order")),
+        vec![
+            // manifest dependency a (0) → b (1)
+            ("layer-order".into(), "crates/a/Cargo.toml".into(), 6),
+            // `use b::Thing;` import edge
+            ("layer-order".into(), "crates/a/src/lib.rs".into(), 4),
+            // crate `c` has no layer assignment
+            ("layer-order".into(), "crates/c/Cargo.toml".into(), 1),
+        ]
+    );
+}
+
+#[test]
+fn internal_pool_symbols_are_flagged_outside_their_home_crates() {
+    assert_eq!(
+        lint_file_line(&ws_findings("bad_internal")),
+        vec![
+            // `PoolShared` (protocol) and `run_tasks` (submission surface)
+            ("layer-internal".into(), "crates/a/src/lib.rs".into(), 4),
+            ("layer-internal".into(), "crates/a/src/lib.rs".into(), 5),
+        ]
+    );
+}
+
+#[test]
+fn unreachable_src_files_are_reported_as_orphans() {
+    assert_eq!(
+        lint_file_line(&ws_findings("bad_orphan")),
+        vec![("mod-orphan".into(), "crates/a/src/stray.rs".into(), 1)]
+    );
 }
 
 #[test]

@@ -11,9 +11,9 @@
 use slam_kfusion::{marching_cubes_with_threads, KFusionConfig, KinectFusion};
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
 use slam_trace::Tracer;
-// xtask-allow: engine-only — this test pins the raw runner's own thread-count determinism
+// xtask-allow: engine-only — reason: this test pins the raw runner's own thread-count determinism
 use slambench::run_pipeline_with_threads;
-// xtask-allow: engine-only — this test pins that tracing never perturbs the raw runner
+// xtask-allow: engine-only — reason: this test pins that tracing never perturbs the raw runner
 use slambench::run_pipeline_traced;
 
 /// `1` is the canonical serial reference; `7` does not divide the band
@@ -36,7 +36,7 @@ fn config() -> KFusionConfig {
 #[test]
 fn trajectory_ate_and_workload_are_bit_identical_across_thread_counts() {
     let dataset = tiny_dataset(6);
-    // xtask-allow: engine-only — the raw runner is the object under test
+    // xtask-allow: engine-only — reason: the raw runner is the object under test
     let reference = run_pipeline_with_threads(&dataset, &config(), 1);
     // serde_json is configured with `float_roundtrip`, so two poses print
     // to the same string exactly when every component is bit-identical
@@ -49,7 +49,7 @@ fn trajectory_ate_and_workload_are_bit_identical_across_thread_counts() {
     let ref_ate = serde_json::to_string(&reference.ate).expect("serialisable ATE");
     let ref_ops = reference.total_workload().total().ops.to_bits();
     for threads in THREAD_COUNTS {
-        // xtask-allow: engine-only — the raw runner is the object under test
+        // xtask-allow: engine-only — reason: the raw runner is the object under test
         let run = run_pipeline_with_threads(&dataset, &config(), threads);
         let poses: Vec<String> = run
             .frames
@@ -74,7 +74,7 @@ fn trajectory_ate_and_workload_are_bit_identical_across_thread_counts() {
 #[test]
 fn tracing_does_not_perturb_thread_count_determinism() {
     let dataset = tiny_dataset(6);
-    // xtask-allow: engine-only — the raw runner is the object under test
+    // xtask-allow: engine-only — reason: the raw runner is the object under test
     let reference = run_pipeline_with_threads(&dataset, &config(), 1);
     let ref_poses: Vec<String> = reference
         .frames
@@ -88,7 +88,7 @@ fn tracing_does_not_perturb_thread_count_determinism() {
             ..config()
         };
         let tracer = Tracer::new();
-        // xtask-allow: engine-only — the traced raw runner is the object under test
+        // xtask-allow: engine-only — reason: the traced raw runner is the object under test
         let run = run_pipeline_traced(&dataset, &cfg, &tracer);
         let poses: Vec<String> = run
             .frames

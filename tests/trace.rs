@@ -180,7 +180,7 @@ fn disabled_tracer_is_a_true_noop_end_to_end() {
     let dataset = tiny_dataset(3);
     let off = Tracer::disabled();
     assert!(!off.enabled());
-    // xtask-allow: engine-only — pinning that the traced raw runner records nothing when disabled
+    // xtask-allow: engine-only — reason: pinning that the traced raw runner records nothing when disabled
     let run = slambench::run_pipeline_traced(&dataset, &config(), &off);
     assert_eq!(run.frames.len(), 3);
     assert!(off.drain().is_empty());
