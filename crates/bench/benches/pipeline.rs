@@ -3,7 +3,7 @@
 
 use bench::xu3_tuned_config;
 use criterion::{criterion_group, criterion_main, Criterion};
-use slam_kfusion::{KFusionConfig, KinectFusion};
+use slam_kfusion::{AlgoId, KFusionConfig};
 use slam_math::camera::PinholeCamera;
 use slam_math::{Se3, Vec3};
 
@@ -22,7 +22,7 @@ fn depth_frame(cam: &PinholeCamera) -> Vec<u16> {
     d
 }
 
-fn bench_process_frame(c: &mut Criterion) {
+fn bench_step_frame(c: &mut Criterion) {
     let cam = PinholeCamera::tiny();
     let depth = depth_frame(&cam);
     let init = Se3::from_translation(Vec3::new(2.0, 2.0, 0.2));
@@ -41,13 +41,13 @@ fn bench_process_frame(c: &mut Criterion) {
     configs.push(("default_vr128", default_small));
     for (name, config) in configs {
         group.bench_function(name, |b| {
-            let mut kf = KinectFusion::new(config.clone(), cam, init);
-            kf.process_frame(&depth); // bootstrap
-            b.iter(|| kf.process_frame(&depth));
+            let mut alg = AlgoId::KinectFusion.create(&config, cam, init);
+            alg.step_frame(&depth); // bootstrap
+            b.iter(|| alg.step_frame(&depth));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_process_frame);
+criterion_group!(benches, bench_step_frame);
 criterion_main!(benches);

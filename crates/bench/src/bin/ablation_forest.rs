@@ -72,6 +72,7 @@ fn main() {
                 ..ActiveLearnerOptions::default()
             },
             accuracy_limit: thresholds::MAX_ATE_M,
+            ..ExploreOptions::default()
         };
         options.learner.forest.trees = trees;
         let outcome = explore_with_engine(&engine, &dataset, &device, &options);

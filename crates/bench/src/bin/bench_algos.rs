@@ -1,0 +1,74 @@
+//! Head-to-head algorithm baseline: every [`AlgoId`] over the
+//! adversarial scene suite, reporting host frame time and trajectory
+//! accuracy per algorithm per scene, and writing the grid to
+//! `BENCH_algos.json` so the cross-algorithm trajectory is
+//! machine-readable.
+//!
+//! Run with `cargo run --release -p bench --bin bench_algos`.
+
+use slam_kfusion::{AlgoId, KFusionConfig};
+use slam_math::camera::PinholeCamera;
+use slam_scene::dataset::SyntheticDataset;
+use slambench::engine::EvalEngine;
+use slambench::suite::adversarial_suite;
+
+fn main() {
+    let frames = 30;
+    let sequences = adversarial_suite(PinholeCamera::tiny(), frames);
+    let config = KFusionConfig::fast_test();
+
+    eprintln!(
+        "running {} algorithms over {} adversarial scenes ({frames} frames each)...",
+        AlgoId::ALL.len(),
+        sequences.len()
+    );
+    println!(
+        "{:<16} {:<24} {:>10} {:>10} {:>6}",
+        "algorithm", "scene", "frame(ms)", "maxATE(m)", "lost"
+    );
+
+    let mut rows = Vec::new();
+    for algo in AlgoId::ALL {
+        // one engine per algorithm: the engine is the algorithm handle,
+        // and cache entries are keyed by algorithm so grids never alias
+        let engine = EvalEngine::new().with_algorithm(algo);
+        for seq in &sequences {
+            let dataset = SyntheticDataset::generate(&seq.config);
+            let run = engine.evaluate(&dataset, &config);
+            let mean_frame_s = run.frames.iter().map(|f| f.wall_time).sum::<f64>()
+                / run.frames.len().max(1) as f64;
+            println!(
+                "{:<16} {:<24} {:>10.2} {:>10.4} {:>6}",
+                algo.id(),
+                seq.name,
+                mean_frame_s * 1e3,
+                run.ate.max,
+                run.lost_frames
+            );
+            rows.push(serde_json::json!({
+                "algorithm": algo.id(),
+                "scene": seq.name,
+                "mean_frame_ms": mean_frame_s * 1e3,
+                "max_ate_m": run.ate.max,
+                "mean_ate_m": run.ate.mean,
+                "rmse_ate_m": run.ate.rmse,
+                "lost_frames": run.lost_frames,
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "frames": frames,
+        "config": config.to_string(),
+        "scenes": sequences.iter().map(|s| s.name.clone()).collect::<Vec<_>>(),
+        "algorithms": AlgoId::ALL.iter().map(|a| a.id()).collect::<Vec<_>>(),
+        "rows": rows,
+    });
+    let path = "BENCH_algos.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialisable report"),
+    )
+    .expect("writable working directory");
+    println!("\nwritten to {path}");
+}

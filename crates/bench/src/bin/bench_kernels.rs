@@ -52,6 +52,7 @@ fn main() {
         }
     }
     let pose = Se3::from_translation(Vec3::new(2.0, 2.0, 0.2));
+    // xtask-allow: algorithm-boundary — reason: kernel microbenchmark legitimately constructs the raw volume
     let mut vol = TsdfVolume::new(128, 4.0);
     for _ in 0..3 {
         vol.integrate(&depth, &cam, &pose, 0.1, 100.0);
@@ -94,6 +95,7 @@ fn main() {
     time_pair("icp_track", &mut |t| {
         track(&levels, &model, &cam, &start, &icp_config(t));
     });
+    // xtask-allow: algorithm-boundary — reason: kernel microbenchmark legitimately constructs the raw volume
     let mut scratch = TsdfVolume::new(128, 4.0);
     time_pair("integrate_128", &mut |t| {
         scratch.integrate_with_threads(&depth, &cam, &pose, 0.1, 100.0, t);

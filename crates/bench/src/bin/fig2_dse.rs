@@ -97,6 +97,7 @@ fn main() {
             ..ActiveLearnerOptions::default()
         },
         accuracy_limit: thresholds::MAX_ATE_M,
+        ..ExploreOptions::default()
     };
     options.learner.forest.trees = 24;
     let outcome = explore_checkpointed(

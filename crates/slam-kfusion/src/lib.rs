@@ -50,22 +50,26 @@
 #![deny(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
+pub mod algo;
 pub mod config;
 pub mod exec;
 pub mod icp;
 pub mod image;
 mod mc_tables;
 pub mod mesh;
+pub mod odometry;
 pub mod pipeline;
 pub mod preprocess;
 pub mod raycast;
 pub mod tsdf;
 pub mod workload;
 
+pub use algo::{AlgoId, ParamDescriptor, ParamDomain, SlamAlgorithm};
 pub use config::{ConfigError, KFusionConfig};
 pub use exec::{available_threads, effective_threads, with_thread_budget};
 pub use image::Image2D;
 pub use mesh::{marching_cubes, marching_cubes_traced, marching_cubes_with_threads, TriangleMesh};
+pub use odometry::PointOdometry;
 pub use pipeline::{FrameResult, KinectFusion};
 pub use tsdf::TsdfVolume;
 pub use workload::{FrameWorkload, Kernel, Workload};

@@ -1,0 +1,410 @@
+//! Frame-to-frame ICP odometry with point-based fusion — the workspace's
+//! second SLAM algorithm, behind [`crate::algo::SlamAlgorithm`].
+//!
+//! Where KinectFusion tracks each frame against a raycast prediction of
+//! a dense TSDF model (frame-to-model), this pipeline aligns each frame
+//! against the *previous frame's* measured maps and fuses the tracked
+//! points into a sparse voxel-binned world point map (in the spirit of
+//! point-based fusion, Keller et al. 3DV'13) — no TSDF volume, no
+//! raycast. Per frame:
+//!
+//! ```text
+//! mm2meters → bilateral filter → pyramid (half-sample)
+//!           → depth2vertex / vertex2normal
+//!           → ICP against the previous frame's maps
+//!           → running-average point fusion into a voxel-binned map
+//! ```
+//!
+//! The trade-off is exactly the one the algorithm-comparison literature
+//! documents: much less work per frame (the TSDF integrate/raycast
+//! kernels disappear) but open-loop drift — every small alignment error
+//! is committed forever, so texture-poor or aliased scenes degrade the
+//! trajectory far faster than they degrade frame-to-model tracking.
+//!
+//! Determinism: the parallel kernels reused here (bilateral filter, ICP)
+//! are bit-identical across thread counts, and the fusion pass is a
+//! serial loop over pixels in row-major order into a `BTreeMap` — so the
+//! whole pipeline inherits the workspace's any-thread-count bit-identity
+//! guarantee.
+
+use crate::config::KFusionConfig;
+use crate::icp::{track_traced, TrackResult};
+use crate::pipeline::{build_pyramid_levels, lift_to_world, preprocess_depth, FrameResult};
+use crate::raycast::RaycastResult;
+use crate::workload::{FrameWorkload, Kernel, Workload};
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+use slam_trace::{Clock, Tracer, WallClock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One fused surface element (surfel) of the world point map.
+#[derive(Debug, Clone, Copy)]
+pub struct MapPoint {
+    /// Running-average world position.
+    pub position: Vec3,
+    /// Running-average (unnormalised) world normal.
+    pub normal: Vec3,
+    /// Accumulated confidence weight, capped at
+    /// [`KFusionConfig::max_weight`].
+    pub weight: f32,
+}
+
+/// Frame-to-frame ICP odometry with point-based fusion.
+///
+/// Interprets the shared [`KFusionConfig`] parameters it has analogues
+/// for — `compute_size_ratio`, the ICP family, `pyramid_iterations`,
+/// `tracking_rate`, `integration_rate` (fusion cadence),
+/// `bilateral_filter`, `max_weight` — and reuses `volume_resolution` /
+/// `volume_size` as the binning grid of its point map. The TSDF-specific
+/// knobs (`mu`, `raycast_rate`, `tracking_reference`) are ignored: this
+/// pipeline has no volume and always tracks frame-to-frame.
+#[derive(Debug)]
+pub struct PointOdometry {
+    config: KFusionConfig,
+    sensor_camera: PinholeCamera,
+    compute_camera: PinholeCamera,
+    pyramid_cameras: [PinholeCamera; 3],
+    pose: Se3,
+    /// Previous frame's measured maps in world coordinates — the
+    /// tracking reference.
+    prev_frame_maps: Option<RaycastResult>,
+    /// The fused world model: voxel-binned surfels keyed by integer grid
+    /// coordinates (`BTreeMap` for deterministic iteration).
+    map: BTreeMap<(i32, i32, i32), MapPoint>,
+    frame_index: usize,
+    lost_frames: usize,
+    /// Time source for [`FrameResult::wall_time`]; never influences
+    /// outputs.
+    clock: Arc<dyn Clock>,
+}
+
+impl PointOdometry {
+    /// Creates an odometry pipeline for a sensor with the given
+    /// intrinsics, starting at `initial_pose` (camera-to-world).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`KFusionConfig::validate`].
+    pub fn new(
+        config: KFusionConfig,
+        sensor_camera: PinholeCamera,
+        initial_pose: Se3,
+    ) -> PointOdometry {
+        let validation = config.validate();
+        assert!(
+            validation.is_ok(),
+            "invalid odometry configuration: {validation:?}"
+        );
+        let compute_camera = sensor_camera.scaled_down(config.compute_size_ratio);
+        let pyramid_cameras = [
+            compute_camera,
+            compute_camera.scaled_down(2),
+            compute_camera.scaled_down(4),
+        ];
+        PointOdometry {
+            config,
+            sensor_camera,
+            compute_camera,
+            pyramid_cameras,
+            pose: initial_pose,
+            prev_frame_maps: None,
+            map: BTreeMap::new(),
+            frame_index: 0,
+            lost_frames: 0,
+            clock: Arc::new(WallClock::new()),
+        }
+    }
+
+    /// Replaces the time source behind [`FrameResult::wall_time`]
+    /// (builder style); outputs are unaffected.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> PointOdometry {
+        self.clock = clock;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KFusionConfig {
+        &self.config
+    }
+
+    /// The current pose estimate (camera-to-world).
+    pub fn current_pose(&self) -> Se3 {
+        self.pose
+    }
+
+    /// Number of frames processed so far.
+    pub fn frames_processed(&self) -> usize {
+        self.frame_index
+    }
+
+    /// Number of frames on which tracking failed.
+    pub fn lost_frames(&self) -> usize {
+        self.lost_frames
+    }
+
+    /// Number of fused surfels in the world point map.
+    pub fn map_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The fused surfels, in deterministic (grid-key) order.
+    pub fn map_points(&self) -> impl Iterator<Item = &MapPoint> {
+        self.map.values()
+    }
+
+    /// Fuses the finest level's world-lifted maps into the point map:
+    /// each valid measurement lands in its voxel bin as a confidence-
+    /// weighted running average (the point-based-fusion update rule).
+    /// Serial by construction — deterministic for any thread count.
+    fn fuse_points(&mut self, world: &RaycastResult) -> Workload {
+        let bin = self.config.voxel_size();
+        let mut fused = 0usize;
+        for y in 0..world.vertices.height() {
+            for x in 0..world.vertices.width() {
+                let p = world.vertices.get(x, y);
+                let n = world.normals.get(x, y);
+                if n == Vec3::ZERO {
+                    continue;
+                }
+                let key = (
+                    (p.x / bin).floor() as i32,
+                    (p.y / bin).floor() as i32,
+                    (p.z / bin).floor() as i32,
+                );
+                let e = self.map.entry(key).or_insert(MapPoint {
+                    position: Vec3::ZERO,
+                    normal: Vec3::ZERO,
+                    weight: 0.0,
+                });
+                let w = e.weight;
+                e.position = (e.position * w + p) * (1.0 / (w + 1.0));
+                e.normal = (e.normal * w + n) * (1.0 / (w + 1.0));
+                e.weight = (w + 1.0).min(self.config.max_weight);
+                fused += 1;
+            }
+        }
+        // ~20 flops per fused point (two running averages + the bin
+        // computation); one point + one normal read and one surfel
+        // read-modify-write of 28 bytes each
+        Workload::new(20.0 * fused as f64, 80.0 * fused as f64)
+    }
+
+    /// Processes one depth frame and advances the pipeline state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth_mm.len()` does not match the sensor resolution.
+    pub fn process_frame(&mut self, depth_mm: &[u16]) -> FrameResult {
+        self.process_frame_traced(depth_mm, Tracer::off())
+    }
+
+    /// Like [`PointOdometry::process_frame`], recording the frame/kernel
+    /// span hierarchy into `tracer`. Tracing never changes the outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth_mm.len()` does not match the sensor resolution.
+    pub fn process_frame_traced(&mut self, depth_mm: &[u16], tracer: &Tracer) -> FrameResult {
+        assert_eq!(
+            depth_mm.len(),
+            self.sensor_camera.pixel_count(),
+            "depth buffer does not match sensor resolution"
+        );
+        let _frame = tracer.frame_span("frame");
+        let start_ns = self.clock.now_ns();
+        let mut fw = FrameWorkload::new();
+
+        // --- preprocessing -------------------------------------------------
+        let filtered = preprocess_depth(depth_mm, &self.sensor_camera, &self.config, &mut fw, tracer);
+        let levels = build_pyramid_levels(&filtered, &self.pyramid_cameras, &mut fw, tracer);
+
+        // --- tracking: always against the previous frame -------------------
+        let is_first = self.frame_index == 0;
+        let should_track = !is_first && self.frame_index.is_multiple_of(self.config.tracking_rate);
+        let mut tracked = true;
+        let mut track_result: Option<TrackResult> = None;
+        if should_track {
+            if let Some(prev) = self.prev_frame_maps.as_ref() {
+                let (result, track_work, solve_work) = track_traced(
+                    &levels,
+                    prev,
+                    &self.compute_camera,
+                    &self.pose,
+                    &self.config,
+                    tracer,
+                );
+                fw.record(Kernel::Track, track_work);
+                fw.record(Kernel::Solve, solve_work);
+                tracked = result.tracked;
+                if result.tracked {
+                    self.pose = result.pose;
+                } else {
+                    self.lost_frames += 1;
+                }
+                track_result = Some(result);
+            } else {
+                tracked = false;
+                self.lost_frames += 1;
+            }
+        }
+
+        // the new tracking reference: this frame's maps at the (possibly
+        // updated) pose; an untracked frame keeps the previous reference
+        // so recovery re-aligns against the last good frame
+        let world = lift_to_world(&levels[0], &self.pose);
+
+        // --- point fusion --------------------------------------------------
+        let should_fuse = (tracked || self.frame_index < 4)
+            && self
+                .frame_index
+                .is_multiple_of(self.config.integration_rate);
+        if should_fuse {
+            let work = {
+                let _k = tracer.kernel_span("fuse");
+                self.fuse_points(&world)
+            };
+            fw.record(Kernel::Integrate, work);
+        }
+        if tracked {
+            self.prev_frame_maps = Some(world);
+        }
+
+        let result = FrameResult {
+            frame_index: self.frame_index,
+            pose: self.pose,
+            tracked,
+            rms_residual: track_result.as_ref().map_or(0.0, |r| r.rms_residual),
+            matched_fraction: track_result.as_ref().map_or(0.0, |r| r.matched_fraction),
+            icp_iterations: track_result.as_ref().map_or(0, |r| r.iterations),
+            integrated: should_fuse,
+            raycasted: false,
+            workload: fw,
+            wall_time: self.clock.now_ns().saturating_sub(start_ns) as f64 / 1e9,
+        };
+        self.frame_index += 1;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_depth(camera: &PinholeCamera, mm: u16) -> Vec<u16> {
+        vec![mm; camera.pixel_count()]
+    }
+
+    fn structured_depth(camera: &PinholeCamera) -> Vec<u16> {
+        let mut d = flat_depth(camera, 1500);
+        for y in 20..60 {
+            for x in 20..60 {
+                d[y * camera.width + x] = 1200;
+            }
+        }
+        for y in 70..100 {
+            for x in 100..140 {
+                d[y * camera.width + x] = 1350;
+            }
+        }
+        d
+    }
+
+    fn center_pose() -> Se3 {
+        Se3::from_translation(Vec3::new(2.0, 2.0, 0.2))
+    }
+
+    #[test]
+    fn first_frame_bootstraps_map_and_reference() {
+        let cam = PinholeCamera::tiny();
+        let mut odo = PointOdometry::new(KFusionConfig::fast_test(), cam, center_pose());
+        let r = odo.process_frame(&structured_depth(&cam));
+        assert!(r.tracked);
+        assert!(r.integrated);
+        assert!(!r.raycasted, "odometry never raycasts");
+        assert!(odo.map_len() > 0, "fusion should populate the point map");
+        assert_eq!(odo.frames_processed(), 1);
+    }
+
+    #[test]
+    fn static_camera_stays_put() {
+        let cam = PinholeCamera::tiny();
+        let init = center_pose();
+        let mut odo = PointOdometry::new(KFusionConfig::fast_test(), cam, init);
+        let depth = structured_depth(&cam);
+        for _ in 0..5 {
+            let r = odo.process_frame(&depth);
+            assert!(r.tracked, "frame {} lost", r.frame_index);
+        }
+        let drift = odo.current_pose().translation_distance(&init);
+        assert!(drift < 0.02, "static camera drifted {drift} m");
+        assert_eq!(odo.lost_frames(), 0);
+    }
+
+    #[test]
+    fn workload_has_no_tsdf_kernels() {
+        let cam = PinholeCamera::tiny();
+        let mut odo = PointOdometry::new(KFusionConfig::fast_test(), cam, center_pose());
+        let depth = structured_depth(&cam);
+        odo.process_frame(&depth);
+        let r = odo.process_frame(&depth);
+        assert!(r.workload.kernel(Kernel::Raycast).is_zero());
+        assert!(
+            !r.workload.kernel(Kernel::Integrate).is_zero(),
+            "fusion work is reported under the integrate kernel"
+        );
+        assert!(!r.workload.kernel(Kernel::Track).is_zero());
+    }
+
+    #[test]
+    fn fusion_weight_is_capped() {
+        let cam = PinholeCamera::tiny();
+        let mut config = KFusionConfig::fast_test();
+        config.max_weight = 3.0;
+        let mut odo = PointOdometry::new(config, cam, center_pose());
+        let depth = structured_depth(&cam);
+        for _ in 0..6 {
+            odo.process_frame(&depth);
+        }
+        assert!(odo.map_points().all(|p| p.weight <= 3.0));
+        assert!(odo.map_points().any(|p| p.weight > 1.0));
+    }
+
+    #[test]
+    fn all_holes_frame_is_lost_but_survives() {
+        let cam = PinholeCamera::tiny();
+        let mut odo = PointOdometry::new(KFusionConfig::fast_test(), cam, center_pose());
+        odo.process_frame(&structured_depth(&cam));
+        let r = odo.process_frame(&flat_depth(&cam, 0));
+        assert!(!r.tracked);
+        assert_eq!(odo.lost_frames(), 1);
+        let r = odo.process_frame(&structured_depth(&cam));
+        assert!(r.tracked);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match sensor resolution")]
+    fn wrong_buffer_size_panics() {
+        let cam = PinholeCamera::tiny();
+        let mut odo = PointOdometry::new(KFusionConfig::fast_test(), cam, Se3::IDENTITY);
+        odo.process_frame(&[0u16; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid odometry configuration")]
+    fn invalid_config_panics() {
+        let mut config = KFusionConfig::fast_test();
+        config.compute_size_ratio = 3;
+        let _ = PointOdometry::new(config, PinholeCamera::tiny(), Se3::IDENTITY);
+    }
+
+    #[test]
+    fn wall_time_comes_from_the_injected_clock() {
+        use slam_trace::MockClock;
+        let cam = PinholeCamera::tiny();
+        let mut odo = PointOdometry::new(KFusionConfig::fast_test(), cam, center_pose())
+            .with_clock(Arc::new(MockClock::new(500_000)));
+        let r = odo.process_frame(&structured_depth(&cam));
+        assert_eq!(r.wall_time, 0.0005);
+    }
+}

@@ -14,6 +14,102 @@ use slam_math::Se3;
 use slam_trace::{Clock, Tracer, WallClock};
 use std::sync::Arc;
 
+/// The shared measurement front-end of every depth-based algorithm:
+/// millimetre → metre conversion (with `compute_size_ratio`
+/// down-sampling) followed by the optional bilateral filter. Records the
+/// per-kernel workload into `fw`.
+pub(crate) fn preprocess_depth(
+    depth_mm: &[u16],
+    sensor_camera: &PinholeCamera,
+    config: &KFusionConfig,
+    fw: &mut FrameWorkload,
+    tracer: &Tracer,
+) -> DepthImage {
+    let (raw_m, work) = {
+        let _k = tracer.kernel_span("mm2meters");
+        mm2meters(
+            depth_mm,
+            sensor_camera.width,
+            sensor_camera.height,
+            config.compute_size_ratio,
+        )
+    };
+    fw.record(Kernel::Mm2Meters, work);
+    if config.bilateral_filter {
+        let (f, work) = bilateral_filter_traced(&raw_m, 2, 1.5, 0.1, config.threads, tracer);
+        fw.record(Kernel::BilateralFilter, work);
+        f
+    } else {
+        raw_m
+    }
+}
+
+/// Builds the three-level tracking pyramid (half-sampled depths plus
+/// vertex/normal maps) from the filtered depth. Shared by every
+/// algorithm that tracks with the pyramidal ICP.
+pub(crate) fn build_pyramid_levels(
+    filtered: &DepthImage,
+    pyramid_cameras: &[PinholeCamera; 3],
+    fw: &mut FrameWorkload,
+    tracer: &Tracer,
+) -> Vec<TrackLevel> {
+    let mut depths = Vec::with_capacity(3);
+    depths.push(filtered.clone());
+    for level in 1..3 {
+        let (half, work) = {
+            let _k = tracer.kernel_span("halfsample");
+            half_sample(&depths[level - 1], 0.1)
+        };
+        fw.record(Kernel::HalfSample, work);
+        depths.push(half);
+    }
+    depths
+        .into_iter()
+        .enumerate()
+        .map(|(level, depth)| {
+            let camera = pyramid_cameras[level];
+            let (vertices, vw) = {
+                let _k = tracer.kernel_span("depth2vertex");
+                depth2vertex(&depth, &camera)
+            };
+            fw.record(Kernel::Depth2Vertex, vw);
+            let (normals, nw) = {
+                let _k = tracer.kernel_span("vertex2normal");
+                vertex2normal(&vertices)
+            };
+            fw.record(Kernel::Vertex2Normal, nw);
+            TrackLevel {
+                vertices,
+                normals,
+                camera,
+            }
+        })
+        .collect()
+}
+
+/// Lifts a level's camera-frame measured maps into world coordinates —
+/// the "previous frame as tracking reference" representation shared by
+/// the frame-to-frame tracking modes.
+pub(crate) fn lift_to_world(level: &TrackLevel, pose: &Se3) -> RaycastResult {
+    let mut vertices = Image2D::new(level.camera.width, level.camera.height, slam_math::Vec3::ZERO);
+    let mut normals = Image2D::new(level.camera.width, level.camera.height, slam_math::Vec3::ZERO);
+    for y in 0..level.camera.height {
+        for x in 0..level.camera.width {
+            let v = level.vertices.get(x, y);
+            let n = level.normals.get(x, y);
+            if v.z > 0.0 && n.norm_squared() > 0.25 {
+                vertices.set(x, y, pose.transform_point(v));
+                normals.set(x, y, pose.transform_vector(n));
+            }
+        }
+    }
+    RaycastResult {
+        vertices,
+        normals,
+        pose: *pose,
+    }
+}
+
 /// Everything the pipeline produced for one frame.
 #[derive(Debug, Clone)]
 pub struct FrameResult {
@@ -170,47 +266,6 @@ impl KinectFusion {
         }
     }
 
-    /// Builds the three-level tracking pyramid from the filtered depth.
-    fn build_pyramid(
-        &self,
-        filtered: &DepthImage,
-        fw: &mut FrameWorkload,
-        tracer: &Tracer,
-    ) -> Vec<TrackLevel> {
-        let mut depths = Vec::with_capacity(3);
-        depths.push(filtered.clone());
-        for level in 1..3 {
-            let (half, work) = {
-                let _k = tracer.kernel_span("halfsample");
-                half_sample(&depths[level - 1], 0.1)
-            };
-            fw.record(Kernel::HalfSample, work);
-            depths.push(half);
-        }
-        depths
-            .into_iter()
-            .enumerate()
-            .map(|(level, depth)| {
-                let camera = self.pyramid_cameras[level];
-                let (vertices, vw) = {
-                    let _k = tracer.kernel_span("depth2vertex");
-                    depth2vertex(&depth, &camera)
-                };
-                fw.record(Kernel::Depth2Vertex, vw);
-                let (normals, nw) = {
-                    let _k = tracer.kernel_span("vertex2normal");
-                    vertex2normal(&vertices)
-                };
-                fw.record(Kernel::Vertex2Normal, nw);
-                TrackLevel {
-                    vertices,
-                    normals,
-                    camera,
-                }
-            })
-            .collect()
-    }
-
     /// Processes one depth frame and advances the pipeline state.
     ///
     /// # Panics
@@ -240,25 +295,8 @@ impl KinectFusion {
         let mut fw = FrameWorkload::new();
 
         // --- preprocessing -------------------------------------------------
-        let (raw_m, work) = {
-            let _k = tracer.kernel_span("mm2meters");
-            mm2meters(
-                depth_mm,
-                self.sensor_camera.width,
-                self.sensor_camera.height,
-                self.config.compute_size_ratio,
-            )
-        };
-        fw.record(Kernel::Mm2Meters, work);
-        let filtered = if self.config.bilateral_filter {
-            let (f, work) =
-                bilateral_filter_traced(&raw_m, 2, 1.5, 0.1, self.config.threads, tracer);
-            fw.record(Kernel::BilateralFilter, work);
-            f
-        } else {
-            raw_m
-        };
-        let levels = self.build_pyramid(&filtered, &mut fw, tracer);
+        let filtered = preprocess_depth(depth_mm, &self.sensor_camera, &self.config, &mut fw, tracer);
+        let levels = build_pyramid_levels(&filtered, &self.pyramid_cameras, &mut fw, tracer);
 
         // --- tracking ------------------------------------------------------
         let is_first = self.frame_index == 0;
@@ -331,32 +369,7 @@ impl KinectFusion {
         // keep the previous-frame reference when frame-to-frame tracking
         // is selected: the finest level's maps, lifted to world coordinates
         if self.config.tracking_reference == TrackingReference::PreviousFrame {
-            let level0 = &levels[0];
-            let mut vertices = Image2D::new(
-                level0.camera.width,
-                level0.camera.height,
-                slam_math::Vec3::ZERO,
-            );
-            let mut normals = Image2D::new(
-                level0.camera.width,
-                level0.camera.height,
-                slam_math::Vec3::ZERO,
-            );
-            for y in 0..level0.camera.height {
-                for x in 0..level0.camera.width {
-                    let v = level0.vertices.get(x, y);
-                    let n = level0.normals.get(x, y);
-                    if v.z > 0.0 && n.norm_squared() > 0.25 {
-                        vertices.set(x, y, self.pose.transform_point(v));
-                        normals.set(x, y, self.pose.transform_vector(n));
-                    }
-                }
-            }
-            self.prev_frame_maps = Some(RaycastResult {
-                vertices,
-                normals,
-                pose: self.pose,
-            });
+            self.prev_frame_maps = Some(lift_to_world(&levels[0], &self.pose));
         }
 
         let result = FrameResult {

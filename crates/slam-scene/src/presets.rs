@@ -174,6 +174,71 @@ pub fn corridor_trajectory() -> Trajectory {
     )
 }
 
+/// The corridor stripped of every landmark: bare walls, floor and
+/// ceiling only. With the signs and the bin gone *nothing* constrains
+/// the forward degree of freedom — the pure aperture problem. Paired
+/// with heavy depth dropout (see the adversarial suite in `slambench`)
+/// this is the scenario where frame-to-model and frame-to-frame
+/// trackers fail in visibly different ways: a TSDF tracker coasts on
+/// its accumulated model while an odometry tracker has only the
+/// previous (mostly empty) frame to hold on to.
+pub fn blank_corridor() -> Scene {
+    let mut s = Scene::new("blank_corridor");
+    // the same 1.6 m wide, 2.5 m tall, 8 m long hallway as `corridor`,
+    // with no wall furniture at all
+    s.add(
+        "hall",
+        Sdf::cuboid(Vec3::new(2.0, 1.25, 2.0), Vec3::new(0.8, 1.25, 4.0)).complement(),
+        Albedo::grey(0.72),
+    );
+    s
+}
+
+/// A warehouse bay: a 4 × 2.5 × 4 m hall with a regular 3 × 3 grid of
+/// identical floor-to-ceiling pillars, one metre apart. Every view down
+/// an aisle looks like every other — aliased geometry. A tracker that
+/// drifts by about one pillar pitch can re-converge onto the *wrong*
+/// pillar and report confident, consistent, wrong poses; algorithms
+/// with different drift characteristics diverge measurably here.
+pub fn warehouse() -> Scene {
+    let mut s = Scene::new("warehouse");
+    s.add(
+        "hall",
+        Sdf::cuboid(Vec3::new(2.0, 1.25, 2.0), Vec3::new(2.0, 1.25, 2.0)).complement(),
+        Albedo::grey(0.68),
+    );
+    for ix in 0..3 {
+        let x = 1.0 + ix as f32;
+        for iz in 0..3 {
+            let z = 1.0 + iz as f32;
+            s.add(
+                format!("pillar_{ix}{iz}"),
+                Sdf::cylinder_y(Vec3::new(x, 1.25, z), 0.12, 1.25),
+                Albedo::grey(0.5),
+            );
+        }
+    }
+    s
+}
+
+/// The warehouse walk: straight down an aisle between two pillar rows,
+/// looking forward — each frame sees the same repeating pillar pattern
+/// the previous one did, one pitch further on.
+pub fn warehouse_trajectory() -> Trajectory {
+    use slam_math::Se3;
+    let eyes = [
+        Vec3::new(1.5, 1.3, 0.5),
+        Vec3::new(1.52, 1.3, 1.3),
+        Vec3::new(1.48, 1.28, 2.1),
+        Vec3::new(1.5, 1.3, 2.9),
+    ];
+    Trajectory::Keyframes(
+        eyes.iter()
+            .map(|&eye| Se3::look_at(eye, eye + Vec3::new(0.0, -0.12, 1.0), Vec3::Y))
+            .collect(),
+    )
+}
+
 /// A deliberately cheap scene — a room with a ball, a box and a pillar —
 /// for unit tests and quickstart examples where render time matters more
 /// than realism. The three primitives sit inside the default trajectory's
@@ -399,6 +464,66 @@ mod tests {
             let p = pose.translation();
             assert!(scene.distance(p) > 0.15, "camera at {p} inside geometry");
         }
+    }
+
+    #[test]
+    fn blank_corridor_path_is_clear_and_featureless() {
+        let scene = blank_corridor();
+        for pose in corridor_trajectory().sample(50) {
+            let p = pose.translation();
+            assert!(scene.distance(p) > 0.15, "camera at {p} inside geometry");
+        }
+        // one object only: the bare hall — no landmarks to track against
+        assert_eq!(scene.objects().len(), 1);
+    }
+
+    #[test]
+    fn blank_corridor_renders_like_the_corridor_shell() {
+        let r = Renderer::new(blank_corridor());
+        let cam = PinholeCamera::tiny();
+        let frame = r.render(&cam, &corridor_trajectory().pose(0.0));
+        assert!(
+            frame.valid_fraction() > 0.6,
+            "got {}",
+            frame.valid_fraction()
+        );
+        let centre = frame.depth_at(cam.width / 2, cam.height / 2);
+        assert!(centre > 3.0, "hall should be deep, centre depth {centre}");
+    }
+
+    #[test]
+    fn warehouse_aisle_is_clear() {
+        let scene = warehouse();
+        for pose in warehouse_trajectory().sample(50) {
+            let p = pose.translation();
+            assert!(scene.distance(p) > 0.15, "camera at {p} inside geometry");
+        }
+    }
+
+    #[test]
+    fn warehouse_walk_is_trackable() {
+        let step = warehouse_trajectory().max_step(100);
+        assert!(step < 0.05, "max inter-frame step {step} m");
+    }
+
+    #[test]
+    fn warehouse_renders_repeating_pillars() {
+        let r = Renderer::new(warehouse());
+        let cam = PinholeCamera::tiny();
+        let frame = r.render(&cam, &warehouse_trajectory().pose(0.0));
+        assert!(
+            frame.valid_fraction() > 0.6,
+            "got {}",
+            frame.valid_fraction()
+        );
+        // the pillar grid is in view: some depth well short of the far wall
+        let near = frame
+            .depth
+            .iter()
+            .copied()
+            .filter(|&d| d > 0.0 && d < 1.5)
+            .count();
+        assert!(near > 0, "no pillar geometry within 1.5 m of the camera");
     }
 
     #[test]

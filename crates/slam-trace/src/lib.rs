@@ -70,7 +70,7 @@ pub use tracer::{Span, Tracer};
 /// for orchestration-level regions (engine batches, scheduling).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpanLevel {
-    /// One pipeline frame (`process_frame`).
+    /// One pipeline frame (`step_frame`).
     Frame,
     /// One algorithmic kernel inside a frame (bilateral, track, ...).
     Kernel,

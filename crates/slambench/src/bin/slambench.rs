@@ -9,7 +9,7 @@
 //!     --device xu3 --export-trajectory run.tum --export-mesh model.off
 //! ```
 
-use slam_kfusion::{marching_cubes_with_threads, KFusionConfig, KinectFusion};
+use slam_kfusion::{AlgoId, KFusionConfig};
 use slam_math::camera::PinholeCamera;
 use slam_metrics::ate::{ate, AteOptions};
 use slam_metrics::timing::SequenceTiming;
@@ -21,6 +21,7 @@ use slam_scene::presets;
 use std::process::ExitCode;
 
 struct Args {
+    algorithm: AlgoId,
     dataset: String,
     kt: usize,
     frames: usize,
@@ -38,6 +39,7 @@ struct Args {
 impl Default for Args {
     fn default() -> Args {
         Args {
+            algorithm: AlgoId::default(),
             dataset: "living_room".into(),
             kt: 2,
             frames: 50,
@@ -55,9 +57,10 @@ impl Default for Args {
 }
 
 const USAGE: &str = "\
-slambench — KinectFusion performance/accuracy/power benchmark
+slambench — dense SLAM performance/accuracy/power benchmark
 
 OPTIONS:
+    --algorithm <kfusion|point-odometry>  SLAM algorithm (default kfusion)
     --dataset <living_room|office>   scene preset (default living_room)
     --kt <0..3>                      living-room trajectory variant (default 2)
     --frames <N>                     frames to run (default 50)
@@ -93,6 +96,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--algorithm" => args.algorithm = next_value(flag, &mut it)?.parse()?,
             "--dataset" => args.dataset = next_value(flag, &mut it)?,
             "--kt" => args.kt = parse(flag, &next_value(flag, &mut it)?)?,
             "--frames" => args.frames = parse(flag, &next_value(flag, &mut it)?)?,
@@ -228,9 +232,12 @@ fn main() -> ExitCode {
     }
 
     // ---- run ----------------------------------------------------------------
-    eprintln!("running [{}] on {} ...", args.config, device);
+    eprintln!(
+        "running {} [{}] on {} ...",
+        args.algorithm, args.config, device
+    );
     let init = dataset.frames()[0].ground_truth;
-    let mut kf = KinectFusion::new(args.config.clone(), *dataset.camera(), init);
+    let mut alg = args.algorithm.create(&args.config, *dataset.camera(), init);
     let mut meter = EnergyMeter::new(device);
     let mut timing = SequenceTiming::new();
     let mut est = Vec::new();
@@ -239,7 +246,7 @@ fn main() -> ExitCode {
         println!("frame  tracked  model-ms  watts   iters");
     }
     for frame in dataset.frames() {
-        let r = kf.process_frame(&frame.depth_mm);
+        let r = alg.step_frame(&frame.depth_mm);
         let cost = meter.record_frame(&r.workload);
         timing.push(cost.seconds);
         est.push(r.pose);
@@ -264,6 +271,7 @@ fn main() -> ExitCode {
     let accuracy = ate(&est, &gt, AteOptions::default()).expect("non-empty run");
     let run = meter.run_cost();
     println!("\n=== slambench summary ===");
+    println!("algorithm     : {}", args.algorithm);
     println!("configuration : {}", args.config);
     println!("device        : {}", meter.device());
     println!("speed         : {}", timing);
@@ -273,7 +281,7 @@ fn main() -> ExitCode {
         run.joules
     );
     println!("accuracy      : {}", accuracy);
-    println!("lost frames   : {}", kf.lost_frames());
+    println!("lost frames   : {}", alg.lost_frames());
 
     // ---- exports --------------------------------------------------------------
     if let Some(path) = &args.export_trajectory {
@@ -285,15 +293,21 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.export_mesh {
         eprintln!("extracting mesh...");
-        let mesh = marching_cubes_with_threads(kf.volume(), args.config.threads);
-        if let Err(e) = std::fs::write(path, mesh.to_off()) {
-            eprintln!("failed to write {path}: {e}");
-            return ExitCode::FAILURE;
+        match alg.extract_mesh(args.config.threads) {
+            Some(mesh) => {
+                if let Err(e) = std::fs::write(path, mesh.to_off()) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "mesh          : {} triangles written to {path} (OFF format)",
+                    mesh.triangle_count()
+                );
+            }
+            None => {
+                eprintln!("{} builds no meshable model; skipping {path}", args.algorithm);
+            }
         }
-        println!(
-            "mesh          : {} triangles written to {path} (OFF format)",
-            mesh.triangle_count()
-        );
     }
     ExitCode::SUCCESS
 }

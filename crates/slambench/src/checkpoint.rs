@@ -104,6 +104,12 @@ impl RecordedEval {
 pub struct SweepCheckpoint {
     /// Which sweep driver wrote this (`"explore"`, `"random_sweep"`).
     pub kind: String,
+    /// Stable id of the algorithm swept
+    /// ([`AlgoId::id`](slam_kfusion::AlgoId::id)). Defaults to the
+    /// KinectFusion id so pre-algorithm checkpoints keep resuming
+    /// KinectFusion sweeps and are rejected by any other algorithm.
+    #[serde(default = "default_algorithm")]
+    pub algorithm: String,
     /// The sweep's RNG seed.
     pub seed: u64,
     /// Total evaluation budget of the sweep.
@@ -119,11 +125,16 @@ pub struct SweepCheckpoint {
     pub completed: Vec<RecordedEval>,
 }
 
+fn default_algorithm() -> String {
+    slam_kfusion::AlgoId::KinectFusion.id().to_string()
+}
+
 impl SweepCheckpoint {
     /// Whether this checkpoint's identifying metadata matches `meta`
     /// (everything except `completed`).
     pub fn matches(&self, meta: &SweepCheckpoint) -> bool {
         self.kind == meta.kind
+            && self.algorithm == meta.algorithm
             && self.seed == meta.seed
             && self.budget == meta.budget
             && self.dataset_fingerprint == meta.dataset_fingerprint
@@ -210,6 +221,7 @@ mod tests {
     fn meta() -> SweepCheckpoint {
         SweepCheckpoint {
             kind: "explore".to_string(),
+            algorithm: slam_kfusion::AlgoId::KinectFusion.id().to_string(),
             seed: 7,
             budget: 12,
             dataset_fingerprint: 0xfeed,
@@ -238,6 +250,21 @@ mod tests {
         let mut d = meta();
         d.device = "pi2".to_string();
         assert!(!a.matches(&d));
+        let mut e = meta();
+        e.algorithm = slam_kfusion::AlgoId::PointOdometry.id().to_string();
+        assert!(!a.matches(&e));
+    }
+
+    #[test]
+    fn pre_algorithm_checkpoints_default_to_kfusion() {
+        // a v1 checkpoint JSON has no `algorithm` field
+        let cp = meta().with_completed(Vec::new());
+        let json = serde_json::to_string(&cp).unwrap();
+        let v1 = json.replace("\"algorithm\":\"kfusion\",", "");
+        assert_ne!(json, v1, "test must actually strip the field");
+        let back: SweepCheckpoint = serde_json::from_str(&v1).unwrap();
+        assert_eq!(back.algorithm, "kfusion");
+        assert!(back.matches(&meta()));
     }
 
     #[test]

@@ -13,13 +13,13 @@
 //! distinct algorithmic sub-vector and lets the engine deduplicate the
 //! actual runs.
 
-use crate::config_space::{decode_config, slambench_space};
+use crate::config_space::{decode_for, space_for};
 use crate::engine::EvalEngine;
 use crate::explore::{push_quarantine, MeasuredConfig, FAILED_OBJECTIVES};
 use crate::fault::QuarantinedConfig;
 use slam_dse::active::{ActiveLearner, ActiveLearnerOptions};
 use slam_dse::space::{Domain, ParameterSpace};
-use slam_kfusion::KFusionConfig;
+use slam_kfusion::{AlgoId, KFusionConfig};
 use slam_power::DeviceModel;
 use slam_scene::dataset::SyntheticDataset;
 use std::collections::BTreeSet;
@@ -27,7 +27,13 @@ use std::collections::BTreeSet;
 /// The joint algorithm × architecture space: the SLAMBench algorithmic
 /// parameters plus the DVFS frequency scale.
 pub fn codesign_space() -> ParameterSpace {
-    let mut space = slambench_space();
+    codesign_space_for(AlgoId::KinectFusion)
+}
+
+/// The joint space of any registered algorithm: its own parameter space
+/// plus the DVFS frequency scale.
+pub fn codesign_space_for(algorithm: AlgoId) -> ParameterSpace {
+    let mut space = space_for(algorithm);
     space.add("dvfs_scale", Domain::real(0.2, 1.0));
     space
 }
@@ -39,13 +45,23 @@ pub fn codesign_space() -> ParameterSpace {
 ///
 /// Panics when the vector does not have `codesign_space().len()` entries.
 pub fn decode_codesign(x: &[f64]) -> (KFusionConfig, f64) {
-    let space = codesign_space();
+    decode_codesign_for(AlgoId::KinectFusion, x)
+}
+
+/// Splits an encoded co-design vector (in `codesign_space_for(algorithm)`
+/// order) into the algorithm's configuration and the DVFS scale.
+///
+/// # Panics
+///
+/// Panics when the vector does not have
+/// `codesign_space_for(algorithm).len()` entries.
+pub fn decode_codesign_for(algorithm: AlgoId, x: &[f64]) -> (KFusionConfig, f64) {
     assert_eq!(
         x.len(),
-        space.len(),
+        algorithm.parameter_space().len() + 1,
         "encoded co-design vector has wrong length"
     );
-    let config = decode_config(&x[..x.len() - 1]);
+    let config = decode_for(algorithm, &x[..x.len() - 1]);
     let dvfs = x[x.len() - 1].clamp(0.2, 1.0);
     (config, dvfs)
 }
@@ -148,6 +164,22 @@ pub fn codesign_explore(
     codesign_explore_with_engine(&EvalEngine::new(), dataset, device, options)
 }
 
+/// [`codesign_explore`] for any registered algorithm, on a fresh
+/// in-memory [`EvalEngine`] bound to it.
+pub fn codesign_explore_algorithm(
+    algorithm: AlgoId,
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    options: &CoDesignOptions,
+) -> CoDesignOutcome {
+    codesign_explore_with_engine(
+        &EvalEngine::new().with_algorithm(algorithm),
+        dataset,
+        device,
+        options,
+    )
+}
+
 /// [`codesign_explore`] on a caller-provided [`EvalEngine`]. Each
 /// proposal batch is evaluated concurrently through the engine; the
 /// budget accounting and outcome are identical to serial evaluation.
@@ -157,7 +189,8 @@ pub fn codesign_explore_with_engine(
     device: &DeviceModel,
     options: &CoDesignOptions,
 ) -> CoDesignOutcome {
-    let space = codesign_space();
+    let algorithm = eval.algorithm();
+    let space = codesign_space_for(algorithm);
     let mut learner = ActiveLearner::new(space, 3, options.learner);
     // BTreeSet, not HashSet: keyed by float bit patterns, and a
     // nondeterministic iteration order must never leak into outputs
@@ -180,7 +213,7 @@ pub fn codesign_explore_with_engine(
                 }
                 charged.insert(key);
             }
-            decided.push(Some(decode_codesign(x)));
+            decided.push(Some(decode_codesign_for(algorithm, x)));
         }
         let configs: Vec<KFusionConfig> = decided
             .iter()
@@ -248,6 +281,7 @@ pub fn codesign_explore_with_engine(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config_space::slambench_space;
     use slam_power::devices::odroid_xu3;
     use slam_scene::dataset::DatasetConfig;
 
@@ -262,6 +296,11 @@ mod tests {
         let space = codesign_space();
         assert_eq!(space.len(), slambench_space().len() + 1);
         assert!(space.index_of("dvfs_scale").is_some());
+        for &algo in &AlgoId::ALL {
+            let joint = codesign_space_for(algo);
+            assert_eq!(joint.len(), algo.parameter_space().len() + 1);
+            assert!(joint.index_of("dvfs_scale").is_some());
+        }
     }
 
     #[test]

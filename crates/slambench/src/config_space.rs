@@ -1,44 +1,118 @@
 //! Binding between [`KFusionConfig`] and the DSE parameter space.
 //!
-//! The space matches the algorithmic parameters the PACT'16/ISPASS'18
-//! studies sweep (table in `DESIGN.md`). `volume_size` is held at the
-//! default 4 m — the preset scenes are built to fill exactly that volume.
+//! The space is no longer hand-written per algorithm: it is built from
+//! the [`ParamDescriptor`] list each [`AlgoId`] publishes, so adding an
+//! algorithm (or a knob) extends the DSE layer without touching this
+//! module. The KinectFusion space matches the algorithmic parameters the
+//! PACT'16/ISPASS'18 studies sweep (table in `DESIGN.md`); `volume_size`
+//! is held at the default 4 m — the preset scenes are built to fill
+//! exactly that volume.
 
 use slam_dse::space::{Domain, ParameterSpace};
-use slam_kfusion::KFusionConfig;
+use slam_kfusion::{AlgoId, KFusionConfig, ParamDomain};
 
-/// Parameter order of the encoded vector. Kept in one place so encode,
-/// decode and the space definition can never drift apart.
-const NAMES: [&str; 10] = [
-    "compute_size_ratio",
-    "icp_threshold",
-    "mu",
-    "volume_resolution",
-    "pyramid_l0",
-    "pyramid_l1",
-    "pyramid_l2",
-    "tracking_rate",
-    "integration_rate",
-    "bilateral_filter",
-];
+fn domain_of(d: &ParamDomain) -> Domain {
+    match *d {
+        ParamDomain::Ordinal(values) => Domain::ordinal(values.to_vec()),
+        ParamDomain::Real { lo, hi } => Domain::real(lo, hi),
+        ParamDomain::LogReal { lo, hi } => Domain::log_real(lo, hi),
+        ParamDomain::Integer { lo, hi } => Domain::Integer { min: lo, max: hi },
+        ParamDomain::Flag => Domain::Flag,
+    }
+}
 
-/// The SLAMBench algorithmic configuration space of the paper.
-pub fn slambench_space() -> ParameterSpace {
+/// The DSE parameter space of one algorithm, built from its descriptor.
+pub fn space_for(algorithm: AlgoId) -> ParameterSpace {
     let mut s = ParameterSpace::new();
-    s.add(NAMES[0], Domain::ordinal(vec![1.0, 2.0, 4.0, 8.0]))
-        .add(NAMES[1], Domain::log_real(1e-6, 1e-4))
-        .add(NAMES[2], Domain::real(0.01, 0.2))
-        .add(
-            NAMES[3],
-            Domain::ordinal(vec![32.0, 64.0, 96.0, 128.0, 192.0, 256.0]),
-        )
-        .add(NAMES[4], Domain::Integer { min: 1, max: 10 })
-        .add(NAMES[5], Domain::Integer { min: 0, max: 5 })
-        .add(NAMES[6], Domain::Integer { min: 0, max: 4 })
-        .add(NAMES[7], Domain::Integer { min: 1, max: 3 })
-        .add(NAMES[8], Domain::Integer { min: 1, max: 5 })
-        .add(NAMES[9], Domain::Flag);
+    for p in algorithm.parameter_space() {
+        s.add(p.name, domain_of(&p.domain));
+    }
     s
+}
+
+/// Writes one named parameter into the configuration. Descriptor names
+/// are the single source of truth: an algorithm advertising a name this
+/// function does not know is a programming error.
+fn apply(config: &mut KFusionConfig, name: &str, v: f64) {
+    match name {
+        "compute_size_ratio" => config.compute_size_ratio = v as usize,
+        "icp_threshold" => config.icp_threshold = v as f32,
+        "mu" => config.mu = v as f32,
+        "volume_resolution" => config.volume_resolution = v as usize,
+        "pyramid_l0" => config.pyramid_iterations[0] = v as usize,
+        "pyramid_l1" => config.pyramid_iterations[1] = v as usize,
+        "pyramid_l2" => config.pyramid_iterations[2] = v as usize,
+        "tracking_rate" => config.tracking_rate = v as usize,
+        "integration_rate" => config.integration_rate = v as usize,
+        "bilateral_filter" => config.bilateral_filter = v >= 0.5,
+        // xtask-allow: panic-path — reason: unknown descriptor names are a compile-time drift between an algorithm's parameter_space and this binding
+        other => panic!("unknown DSE parameter {other}"),
+    }
+}
+
+/// Reads one named parameter out of the configuration (the inverse of
+/// [`apply`]).
+fn extract(config: &KFusionConfig, name: &str) -> f64 {
+    match name {
+        "compute_size_ratio" => config.compute_size_ratio as f64,
+        "icp_threshold" => f64::from(config.icp_threshold),
+        "mu" => f64::from(config.mu),
+        "volume_resolution" => config.volume_resolution as f64,
+        "pyramid_l0" => config.pyramid_iterations[0] as f64,
+        "pyramid_l1" => config.pyramid_iterations[1] as f64,
+        "pyramid_l2" => config.pyramid_iterations[2] as f64,
+        "tracking_rate" => config.tracking_rate as f64,
+        "integration_rate" => config.integration_rate as f64,
+        "bilateral_filter" => {
+            if config.bilateral_filter {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        // xtask-allow: panic-path — reason: unknown descriptor names are a compile-time drift between an algorithm's parameter_space and this binding
+        other => panic!("unknown DSE parameter {other}"),
+    }
+}
+
+/// Decodes an encoded vector (in `space_for(algorithm)` order) into a
+/// validated configuration for that algorithm.
+///
+/// # Panics
+///
+/// Panics when the vector has the wrong length. Values are snapped into
+/// their domains, so any in-length vector decodes to a valid config.
+pub fn decode_for(algorithm: AlgoId, x: &[f64]) -> KFusionConfig {
+    let descs = algorithm.parameter_space();
+    assert_eq!(
+        x.len(),
+        descs.len(),
+        "encoded config must have {} entries",
+        descs.len()
+    );
+    let space = space_for(algorithm);
+    let x = space.snap(x);
+    let mut config = KFusionConfig::default();
+    for (p, &v) in descs.iter().zip(x.iter()) {
+        apply(&mut config, p.name, v);
+    }
+    debug_assert!(config.validate().is_ok(), "snapped config must validate");
+    config
+}
+
+/// Encodes a configuration into the algorithm space's vector form.
+pub fn encode_for(algorithm: AlgoId, config: &KFusionConfig) -> Vec<f64> {
+    algorithm
+        .parameter_space()
+        .iter()
+        .map(|p| extract(config, p.name))
+        .collect()
+}
+
+/// The SLAMBench algorithmic configuration space of the paper — the
+/// KinectFusion space.
+pub fn slambench_space() -> ParameterSpace {
+    space_for(AlgoId::KinectFusion)
 }
 
 /// Decodes an encoded vector (in [`slambench_space`] order) into a
@@ -49,43 +123,12 @@ pub fn slambench_space() -> ParameterSpace {
 /// Panics when the vector has the wrong length. Values are snapped into
 /// their domains, so any in-length vector decodes to a valid config.
 pub fn decode_config(x: &[f64]) -> KFusionConfig {
-    assert_eq!(
-        x.len(),
-        NAMES.len(),
-        "encoded config must have {} entries",
-        NAMES.len()
-    );
-    let space = slambench_space();
-    let x = space.snap(x);
-    let config = KFusionConfig {
-        compute_size_ratio: x[0] as usize,
-        icp_threshold: x[1] as f32,
-        mu: x[2] as f32,
-        volume_resolution: x[3] as usize,
-        pyramid_iterations: [x[4] as usize, x[5] as usize, x[6] as usize],
-        tracking_rate: x[7] as usize,
-        integration_rate: x[8] as usize,
-        bilateral_filter: x[9] >= 0.5,
-        ..KFusionConfig::default()
-    };
-    debug_assert!(config.validate().is_ok(), "snapped config must validate");
-    config
+    decode_for(AlgoId::KinectFusion, x)
 }
 
 /// Encodes a configuration into the space's vector form.
 pub fn encode_config(config: &KFusionConfig) -> Vec<f64> {
-    vec![
-        config.compute_size_ratio as f64,
-        f64::from(config.icp_threshold),
-        f64::from(config.mu),
-        config.volume_resolution as f64,
-        config.pyramid_iterations[0] as f64,
-        config.pyramid_iterations[1] as f64,
-        config.pyramid_iterations[2] as f64,
-        config.tracking_rate as f64,
-        config.integration_rate as f64,
-        if config.bilateral_filter { 1.0 } else { 0.0 },
-    ]
+    encode_for(AlgoId::KinectFusion, config)
 }
 
 #[cfg(test)]
@@ -114,15 +157,30 @@ mod tests {
     }
 
     #[test]
-    fn every_sample_decodes_to_valid_config() {
-        let space = slambench_space();
-        let mut rng = StdRng::seed_from_u64(9);
-        for _ in 0..500 {
-            let x = space.sample(&mut rng);
-            let config = decode_config(&x);
-            // xtask-allow: panic-path — reason: property loop over 500 samples; the message names the violated invariant
-            config.validate().expect("sampled config must be valid");
+    fn every_sample_decodes_to_valid_config_for_every_algorithm() {
+        for &algo in &AlgoId::ALL {
+            let space = space_for(algo);
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..500 {
+                let x = space.sample(&mut rng);
+                let config = decode_for(algo, &x);
+                // xtask-allow: panic-path — reason: property loop over 500 samples; the message names the violated invariant
+                config.validate().expect("sampled config must be valid");
+            }
         }
+    }
+
+    #[test]
+    fn odometry_space_drops_mu_but_roundtrips() {
+        let space = space_for(AlgoId::PointOdometry);
+        assert_eq!(space.index_of("mu"), None);
+        assert_eq!(space.len(), 9);
+        let c = KFusionConfig::default();
+        let decoded = decode_for(AlgoId::PointOdometry, &encode_for(AlgoId::PointOdometry, &c));
+        assert_eq!(decoded.volume_resolution, c.volume_resolution);
+        assert_eq!(decoded.pyramid_iterations, c.pyramid_iterations);
+        // mu is not swept for odometry: decode leaves the default
+        assert_eq!(decoded.mu, KFusionConfig::default().mu);
     }
 
     #[test]

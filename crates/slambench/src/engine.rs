@@ -7,13 +7,16 @@
 //! all re-evaluate configurations. [`EvalEngine`] centralises that cost:
 //!
 //! * **Content-addressed run cache.** Every [`PipelineRun`] is keyed by
-//!   `(dataset id, config bits)` — the dataset id is a hash of the full
+//!   `(algorithm id, dataset id, config bits)` — the algorithm id is the
+//!   stable [`AlgoId::id`] string, the dataset id is a hash of the full
 //!   serialised [`DatasetConfig`](slam_scene::dataset::DatasetConfig),
 //!   the config bits are the serialised [`KFusionConfig`] with the
 //!   `threads` knob normalised to `0`. The `threads` knob is excluded
 //!   because kernel outputs are bit-identical across thread counts (see
 //!   [`slam_kfusion::exec`]): it changes host wall time only, so two
 //!   configurations differing only in `threads` share one cache entry.
+//!   Two algorithms sharing dataset and config bits never share an
+//!   entry.
 //! * **Optional on-disk persistence.** [`EvalEngine::with_disk_cache`]
 //!   spills every entry to one JSON file per run under the given
 //!   directory (the bench bins use `results/cache/`), giving warm starts
@@ -40,11 +43,12 @@
 
 use crate::fault::{FaultPlan, FaultPolicy, QuarantinedConfig, RunClock, WallRunClock};
 use crate::run::{
-    run_pipeline, run_pipeline_guarded, run_pipeline_traced, GuardOptions, PipelineRun, RunStatus,
+    run_algorithm, run_algorithm_guarded, run_algorithm_traced, GuardOptions, PipelineRun,
+    RunStatus,
 };
 use serde::{Deserialize, Serialize};
 use slam_kfusion::config::ConfigError;
-use slam_kfusion::{exec, KFusionConfig};
+use slam_kfusion::{exec, AlgoId, KFusionConfig};
 use slam_scene::dataset::SyntheticDataset;
 use slam_trace::Tracer;
 use std::collections::BTreeMap;
@@ -163,10 +167,18 @@ impl EngineStats {
     }
 }
 
-/// The content address of one pipeline run: dataset id + config bits
-/// (with the pure-performance `threads` knob normalised away).
+/// Version of the on-disk cache entry layout. Bumped to 2 when the
+/// algorithm id joined the key: every entry now records which algorithm
+/// produced it, and version-1 files (no `version`/`algorithm` fields)
+/// fail deserialisation and read as misses — never as aliased hits.
+const CACHE_SCHEMA_VERSION: u32 = 2;
+
+/// The content address of one pipeline run: algorithm + dataset id +
+/// config bits (with the pure-performance `threads` knob normalised
+/// away).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct RunKey {
+    algorithm: AlgoId,
     dataset: u64,
     config: String,
 }
@@ -198,7 +210,9 @@ fn config_bits(config: &KFusionConfig) -> String {
 /// plan and the disk-cache file name, so injected fault decisions are a
 /// pure function of *what* is being evaluated.
 fn key_hash(key: &RunKey) -> u64 {
-    let mut bytes = key.dataset.to_le_bytes().to_vec();
+    let mut bytes = key.algorithm.id().as_bytes().to_vec();
+    bytes.push(0); // separator: id strings never contain NUL
+    bytes.extend_from_slice(&key.dataset.to_le_bytes());
     bytes.extend_from_slice(key.config.as_bytes());
     fnv1a(&bytes)
 }
@@ -231,8 +245,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// One persisted cache entry: the full key is stored alongside the run
 /// so a load can verify it got the file it asked for (hash collisions,
 /// truncation, stale schema all fail the check and fall back to a miss).
+/// The `version` and `algorithm` fields are deliberately *not*
+/// defaulted: a pre-versioning (v1) file is missing both, fails to
+/// deserialise, and falls back to a safe miss.
 #[derive(Serialize, Deserialize)]
 struct DiskEntry {
+    version: u32,
+    algorithm: String,
     dataset: u64,
     config: String,
     run: PipelineRun,
@@ -278,6 +297,7 @@ impl EngineState {
 /// ```
 pub struct EvalEngine {
     state: Mutex<EngineState>,
+    algorithm: AlgoId,
     disk_dir: Option<PathBuf>,
     tracer: Tracer,
     policy: FaultPolicy,
@@ -296,6 +316,7 @@ impl EvalEngine {
     pub fn new() -> EvalEngine {
         EvalEngine {
             state: Mutex::new(EngineState::new()),
+            algorithm: AlgoId::default(),
             disk_dir: None,
             tracer: Tracer::disabled(),
             policy: FaultPolicy::default(),
@@ -314,6 +335,21 @@ impl EvalEngine {
             disk_dir: Some(dir.into()),
             ..EvalEngine::new()
         }
+    }
+
+    /// Sets the algorithm this engine evaluates (builder style). The
+    /// default is [`AlgoId::KinectFusion`], the historical behaviour.
+    /// The algorithm id is part of every cache key, so engines over
+    /// different algorithms never share or alias entries even when they
+    /// share a disk-cache directory.
+    pub fn with_algorithm(mut self, algorithm: AlgoId) -> EvalEngine {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// The algorithm this engine evaluates.
+    pub fn algorithm(&self) -> AlgoId {
+        self.algorithm
     }
 
     /// Sets the fault-tolerance policy: per-run deadline + retry. The
@@ -379,6 +415,7 @@ impl EvalEngine {
     /// the pipeline (in memory, or loadable from the disk cache).
     pub fn is_cached(&self, dataset: &SyntheticDataset, config: &KFusionConfig) -> bool {
         let key = RunKey {
+            algorithm: self.algorithm,
             dataset: dataset_id(dataset),
             config: config_bits(config),
         };
@@ -519,6 +556,7 @@ impl EvalEngine {
         let keys: Vec<RunKey> = configs
             .iter()
             .map(|config| RunKey {
+                algorithm: self.algorithm,
                 dataset: ds,
                 config: config_bits(config),
             })
@@ -544,12 +582,12 @@ impl EvalEngine {
                     state.stats.hits += 1;
                     self.tracer.counter("engine.cache_hit", 1);
                     slots.push(Slot::Ready);
-                } else if let Some(q) = state.quarantine.get(key) {
+                } else if let Some(q) = state.quarantine.get(key).cloned() {
                     // fail fast: this configuration already exhausted
                     // its attempts in an earlier batch
                     state.stats.quarantined += 1;
                     self.tracer.counter("engine.quarantine_hit", 1);
-                    slots.push(Slot::Quarantined(q.clone()));
+                    slots.push(Slot::Quarantined(q));
                 } else if let Some(i) = miss_keys.iter().position(|k| k == key) {
                     // duplicate within this batch: shares the single
                     // execution already scheduled
@@ -668,7 +706,8 @@ impl EvalEngine {
                     panic!("{cause}");
                 }
                 let clock = wants_clock.then(|| self.run_clock.start());
-                run_pipeline_guarded(
+                run_algorithm_guarded(
+                    self.algorithm,
                     dataset,
                     config,
                     &GuardOptions {
@@ -728,9 +767,14 @@ impl EvalEngine {
         }
         let text = std::fs::read_to_string(path).ok()?;
         let entry: DiskEntry = serde_json::from_str(&text).ok()?;
-        // verify the full key: a hash collision, truncated write, or
-        // schema drift must read as a miss, never as a wrong answer
-        (entry.dataset == key.dataset && entry.config == key.config).then_some(entry.run)
+        // verify the schema version and the full key: a hash collision,
+        // truncated write, or schema drift must read as a miss, never as
+        // a wrong answer
+        (entry.version == CACHE_SCHEMA_VERSION
+            && entry.algorithm == key.algorithm.id()
+            && entry.dataset == key.dataset
+            && entry.config == key.config)
+            .then_some(entry.run)
     }
 
     fn store_to_disk(&self, key: &RunKey, run: &PipelineRun) {
@@ -743,6 +787,8 @@ impl EvalEngine {
             return;
         }
         let entry = DiskEntry {
+            version: CACHE_SCHEMA_VERSION,
+            algorithm: key.algorithm.id().to_string(),
             dataset: key.dataset,
             config: key.config.clone(),
             run: run.clone(),
@@ -773,7 +819,20 @@ impl EvalEngine {
 ///
 /// Panics when the dataset is empty or the configuration is invalid.
 pub fn evaluate_once(dataset: &SyntheticDataset, config: &KFusionConfig) -> PipelineRun {
-    run_pipeline(dataset, config)
+    evaluate_algorithm_once(AlgoId::KinectFusion, dataset, config)
+}
+
+/// Like [`evaluate_once`] for any registered algorithm.
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or the configuration is invalid.
+pub fn evaluate_algorithm_once(
+    algorithm: AlgoId,
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+) -> PipelineRun {
+    run_algorithm(algorithm, dataset, config)
 }
 
 /// Like [`evaluate_once`] but recording the execution's span tree and
@@ -789,7 +848,7 @@ pub fn evaluate_once_traced(
     config: &KFusionConfig,
     tracer: &Tracer,
 ) -> PipelineRun {
-    run_pipeline_traced(dataset, config, tracer)
+    run_algorithm_traced(AlgoId::KinectFusion, dataset, config, tracer)
 }
 
 #[cfg(test)]

@@ -1,18 +1,25 @@
-//! Design-space exploration of the KinectFusion configuration on a device
-//! model — the machinery behind the paper's Figure 2 and headline result.
+//! Design-space exploration of a SLAM algorithm's configuration on a
+//! device model — the machinery behind the paper's Figure 2 and headline
+//! result.
+//!
+//! The [`EvalEngine`] is the algorithm handle: every `*_with_engine`
+//! entry point explores the space of [`EvalEngine::algorithm`] (built
+//! from the algorithm's own parameter descriptor), and the convenience
+//! wrappers take an explicit [`AlgoId`]. The historical KinectFusion
+//! functions are thin shims over the generic ones.
 
 use crate::checkpoint::{
     load_checkpoint, save_checkpoint, CheckpointOptions, RecordedEval, SweepCheckpoint,
     SweepProgress,
 };
-use crate::config_space::{decode_config, encode_config, slambench_space};
+use crate::config_space::{decode_for, encode_for, space_for};
 use crate::engine::{self, EvalEngine, RunOutcome};
 use crate::fault::QuarantinedConfig;
 use crate::run::PipelineRun;
 use serde::{Deserialize, Serialize};
 use slam_dse::active::{ActiveLearner, ActiveLearnerOptions, BatchEval};
 use slam_dse::Evaluation;
-use slam_kfusion::KFusionConfig;
+use slam_kfusion::{AlgoId, KFusionConfig};
 use slam_power::DeviceModel;
 use slam_scene::dataset::SyntheticDataset;
 use std::collections::VecDeque;
@@ -184,7 +191,7 @@ pub fn measure_with_threads(
     x: &[f64],
     threads: usize,
 ) -> MeasuredConfig {
-    let mut config = decode_config(x);
+    let mut config = decode_for(AlgoId::KinectFusion, x);
     config.threads = threads;
     let run = engine::evaluate_once(dataset, &config);
     measured_from_run(x, config, &run, device, false)
@@ -199,7 +206,7 @@ pub fn measure_with_engine(
     x: &[f64],
     threads: usize,
 ) -> MeasuredConfig {
-    let mut config = decode_config(x);
+    let mut config = decode_for(eval.algorithm(), x);
     config.threads = threads;
     let run = eval.evaluate(dataset, &config);
     measured_from_run(x, config, &run, device, false)
@@ -219,7 +226,7 @@ pub fn measure_batch_with_engine(
     let configs: Vec<KFusionConfig> = xs
         .iter()
         .map(|x| {
-            let mut config = decode_config(x);
+            let mut config = decode_for(eval.algorithm(), x);
             config.threads = threads;
             config
         })
@@ -256,7 +263,7 @@ fn measure_slots(
     let configs: Vec<KFusionConfig> = xs
         .iter()
         .map(|x| {
-            let mut config = decode_config(x);
+            let mut config = decode_for(eval.algorithm(), x);
             config.threads = threads;
             config
         })
@@ -310,7 +317,24 @@ pub fn explore(
     device: &DeviceModel,
     options: &ExploreOptions,
 ) -> ExploreOutcome {
-    explore_with_engine(&EvalEngine::new(), dataset, device, options)
+    explore_algorithm(AlgoId::KinectFusion, dataset, device, options)
+}
+
+/// [`explore`] for any registered algorithm, on a fresh in-memory
+/// [`EvalEngine`] bound to it: the learner sweeps that algorithm's own
+/// parameter space.
+pub fn explore_algorithm(
+    algorithm: AlgoId,
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    options: &ExploreOptions,
+) -> ExploreOutcome {
+    explore_with_engine(
+        &EvalEngine::new().with_algorithm(algorithm),
+        dataset,
+        device,
+        options,
+    )
 }
 
 /// [`explore`] on a caller-provided [`EvalEngine`] (e.g. one with a
@@ -323,7 +347,7 @@ pub fn explore_with_engine(
     device: &DeviceModel,
     options: &ExploreOptions,
 ) -> ExploreOutcome {
-    let space = slambench_space();
+    let space = space_for(eval.algorithm());
     let mut learner = ActiveLearner::new(space, 3, options.learner);
     let mut measured: Vec<MeasuredConfig> = Vec::new();
     let mut quarantined: Vec<QuarantinedConfig> = Vec::new();
@@ -345,7 +369,7 @@ pub fn explore_with_engine(
         eval,
         dataset,
         device,
-        &encode_config(&KFusionConfig::default()),
+        &encode_for(eval.algorithm(), &KFusionConfig::default()),
         options.threads,
     );
     ExploreOutcome {
@@ -378,6 +402,7 @@ pub fn explore_checkpointed(
 ) -> SweepProgress<ExploreOutcome> {
     let meta = SweepCheckpoint {
         kind: "explore".to_string(),
+        algorithm: eval.algorithm().id().to_string(),
         seed: options.learner.seed,
         budget: options.budget,
         dataset_fingerprint: engine::dataset_fingerprint(dataset),
@@ -397,7 +422,7 @@ pub fn explore_checkpointed(
     let mut evals_done = 0usize;
     let mut since_save = 0usize;
     let every = ckpt.every.max(1);
-    let space = slambench_space();
+    let space = space_for(eval.algorithm());
     let mut learner = ActiveLearner::new(space, 3, options.learner);
     let (result, suspended) = learner.run_batched_resumable(options.budget, |xs| {
         if ckpt.stop_after.is_some_and(|limit| evals_done >= limit) {
@@ -470,7 +495,7 @@ pub fn explore_checkpointed(
         eval,
         dataset,
         device,
-        &encode_config(&KFusionConfig::default()),
+        &encode_for(eval.algorithm(), &KFusionConfig::default()),
         options.threads,
     );
     SweepProgress::Complete(ExploreOutcome {
@@ -502,6 +527,24 @@ pub fn random_sweep(
     random_sweep_with_engine(&EvalEngine::new(), dataset, device, n, seed)
 }
 
+/// [`random_sweep`] for any registered algorithm, on a fresh in-memory
+/// [`EvalEngine`] bound to it.
+pub fn random_sweep_algorithm(
+    algorithm: AlgoId,
+    dataset: &SyntheticDataset,
+    device: &DeviceModel,
+    n: usize,
+    seed: u64,
+) -> Vec<MeasuredConfig> {
+    random_sweep_with_engine(
+        &EvalEngine::new().with_algorithm(algorithm),
+        dataset,
+        device,
+        n,
+        seed,
+    )
+}
+
 /// [`random_sweep`] on a caller-provided [`EvalEngine`]. The draws are
 /// evaluated as one engine batch: misses run concurrently on the shared
 /// worker pool, each under an inner kernel-thread budget so sweep-level
@@ -514,7 +557,7 @@ pub fn random_sweep_with_engine(
     seed: u64,
 ) -> Vec<MeasuredConfig> {
     use rand::SeedableRng;
-    let space = slambench_space();
+    let space = space_for(eval.algorithm());
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let samples = slam_dse::sampler::random_samples(&space, n, &mut rng);
     measure_batch_with_engine(eval, dataset, device, &samples, 0)
@@ -546,11 +589,12 @@ pub fn random_sweep_checkpointed(
     ckpt: &CheckpointOptions,
 ) -> SweepProgress<RandomSweepOutcome> {
     use rand::SeedableRng;
-    let space = slambench_space();
+    let space = space_for(eval.algorithm());
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let samples = slam_dse::sampler::random_samples(&space, n, &mut rng);
     let meta = SweepCheckpoint {
         kind: "random_sweep".to_string(),
+        algorithm: eval.algorithm().id().to_string(),
         seed,
         budget: n,
         dataset_fingerprint: engine::dataset_fingerprint(dataset),
@@ -622,6 +666,7 @@ pub fn random_sweep_checkpointed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config_space::encode_config;
     use slam_power::devices::odroid_xu3;
     use slam_scene::dataset::DatasetConfig;
     use slam_scene::noise::DepthNoiseModel;

@@ -118,9 +118,29 @@ pub fn fleet_speedups(
     )
 }
 
-/// [`fleet_speedups`] on a caller-provided [`EvalEngine`]. The tuned
-/// configuration and the distinct memory-capped default volumes are
-/// evaluated as one concurrent engine batch, then replayed per phone.
+/// [`fleet_speedups`] with an explicit algorithm: deploys that
+/// algorithm across the fleet on a fresh in-memory engine.
+pub fn fleet_speedups_algorithm(
+    algorithm: slam_kfusion::AlgoId,
+    dataset: &SyntheticDataset,
+    default_config: &KFusionConfig,
+    tuned_config: &KFusionConfig,
+    fleet: &[PhoneSpec],
+) -> FleetOutcome {
+    fleet_speedups_with_engine(
+        &EvalEngine::new().with_algorithm(algorithm),
+        dataset,
+        default_config,
+        tuned_config,
+        fleet,
+    )
+}
+
+/// [`fleet_speedups`] on a caller-provided [`EvalEngine`]. The engine
+/// is the algorithm handle: the study deploys whatever algorithm the
+/// engine carries. The tuned configuration and the distinct
+/// memory-capped default volumes are evaluated as one concurrent engine
+/// batch, then replayed per phone.
 pub fn fleet_speedups_with_engine(
     eval: &EvalEngine,
     dataset: &SyntheticDataset,
@@ -301,6 +321,18 @@ mod tests {
             max / min > 1.5,
             "device heterogeneity should spread the speed-ups ({min:.2}..{max:.2})"
         );
+    }
+
+    #[test]
+    fn fleet_study_runs_for_every_algorithm() {
+        let (d, t) = configs();
+        let fleet = &phone_fleet(2018)[..3];
+        let ds = dataset();
+        for &algo in &slam_kfusion::AlgoId::ALL {
+            let outcome = fleet_speedups_algorithm(algo, &ds, &d, &t, fleet);
+            assert!(outcome.skipped.is_empty(), "{algo}: no faults, no skips");
+            assert_eq!(outcome.entries.len(), fleet.len(), "{algo}");
+        }
     }
 
     #[test]

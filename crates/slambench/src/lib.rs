@@ -70,24 +70,33 @@ pub mod suite;
 
 pub use checkpoint::{CheckpointOptions, RecordedEval, SweepCheckpoint, SweepProgress};
 pub use codesign::{
-    codesign_explore, codesign_explore_with_engine, CoDesignOptions, CoDesignOutcome,
+    codesign_explore, codesign_explore_algorithm, codesign_explore_with_engine, codesign_space,
+    codesign_space_for, decode_codesign, decode_codesign_for, CoDesignOptions, CoDesignOutcome,
 };
-pub use config_space::{decode_config, encode_config, slambench_space};
+pub use config_space::{
+    decode_config, decode_for, encode_config, encode_for, slambench_space, space_for,
+};
 pub use engine::{
-    dataset_fingerprint, evaluate_once, evaluate_once_traced, EngineStats, EvalEngine, EvalError,
-    RunOutcome,
+    dataset_fingerprint, evaluate_algorithm_once, evaluate_once, evaluate_once_traced, EngineStats,
+    EvalEngine, EvalError, RunOutcome,
 };
 pub use explore::{
-    explore, explore_checkpointed, explore_with_engine, measure, measure_batch_with_engine,
-    measure_with_engine, measure_with_threads, random_sweep, random_sweep_checkpointed,
-    random_sweep_with_engine, ExploreOptions, ExploreOutcome, MeasuredConfig, RandomSweepOutcome,
+    explore, explore_algorithm, explore_checkpointed, explore_with_engine, measure,
+    measure_batch_with_engine, measure_with_engine, measure_with_threads, random_sweep,
+    random_sweep_algorithm, random_sweep_checkpointed, random_sweep_with_engine, ExploreOptions,
+    ExploreOutcome, MeasuredConfig, RandomSweepOutcome,
 };
 pub use fault::{Deadline, FaultPlan, FaultPolicy, MockRunClock, QuarantinedConfig, RetryPolicy};
-pub use fleet::{fleet_speedups, fleet_speedups_with_engine, FleetEntry, FleetOutcome, FleetSkip};
+pub use fleet::{
+    fleet_speedups, fleet_speedups_algorithm, fleet_speedups_with_engine, FleetEntry, FleetOutcome,
+    FleetSkip,
+};
 pub use run::{DeviceRunReport, FrameRecord, GuardedRun, PipelineRun, RunStatus};
-// xtask-allow: engine-only — reason: re-export of the raw runner; callers should prefer the engine
+// xtask-allow: engine-only — reason: re-export of the raw runners; callers should prefer the engine
+pub use run::{run_algorithm, run_algorithm_traced, run_algorithm_with_threads};
+// xtask-allow: engine-only — reason: re-export of the raw runners; callers should prefer the engine
 pub use run::{run_pipeline, run_pipeline_traced, run_pipeline_with_threads};
 pub use suite::{
-    run_suite, run_suite_with_engine, standard_suite, Sequence, SuiteCell, SuiteError,
-    SuiteFailure, SuiteReport,
+    adversarial_suite, run_suite, run_suite_algorithm, run_suite_with_engine, standard_suite,
+    Sequence, SuiteCell, SuiteError, SuiteFailure, SuiteReport,
 };

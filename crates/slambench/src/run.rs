@@ -2,7 +2,7 @@
 
 use crate::fault::Deadline;
 use serde::{Deserialize, Serialize};
-use slam_kfusion::{FrameWorkload, KFusionConfig, Kernel, KinectFusion};
+use slam_kfusion::{AlgoId, FrameWorkload, KFusionConfig, Kernel};
 use slam_math::Se3;
 use slam_metrics::ate::{ate, AteOptions, AteResult};
 use slam_metrics::timing::SequenceTiming;
@@ -31,6 +31,10 @@ pub struct FrameRecord {
 /// dataset.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineRun {
+    /// The algorithm that ran (defaults to KinectFusion so pre-existing
+    /// serialised runs deserialise unchanged).
+    #[serde(default)]
+    pub algorithm: AlgoId,
     /// The configuration that ran.
     pub config: KFusionConfig,
     /// Name of the dataset.
@@ -125,14 +129,59 @@ impl DeviceRunReport {
     }
 }
 
-/// Runs one configuration over a dataset, seeded with the dataset's
-/// ground-truth initial pose (the SLAMBench evaluation protocol).
+/// Runs one algorithm/configuration over a dataset, seeded with the
+/// dataset's ground-truth initial pose (the SLAMBench evaluation
+/// protocol).
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or the configuration is invalid.
+pub fn run_algorithm(
+    algorithm: AlgoId,
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+) -> PipelineRun {
+    run_algorithm_inner(algorithm, dataset, config, Tracer::off())
+}
+
+/// Like [`run_algorithm`] but overriding the kernel thread count (`0` =
+/// all available). Estimated poses, workloads and ATE are identical for
+/// any value; only host wall time changes.
+pub fn run_algorithm_with_threads(
+    algorithm: AlgoId,
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+    threads: usize,
+) -> PipelineRun {
+    let mut config = config.clone();
+    config.threads = threads;
+    run_algorithm_inner(algorithm, dataset, &config, Tracer::off())
+}
+
+/// Like [`run_algorithm`], recording per-frame/kernel/band spans and the
+/// pipeline counters into `tracer`. Tracing never changes the run: a
+/// traced run is bit-identical to an untraced one.
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or the configuration is invalid.
+pub fn run_algorithm_traced(
+    algorithm: AlgoId,
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+    tracer: &Tracer,
+) -> PipelineRun {
+    run_algorithm_inner(algorithm, dataset, config, tracer)
+}
+
+/// Runs the KinectFusion pipeline over a dataset — shorthand for
+/// [`run_algorithm`] with [`AlgoId::KinectFusion`].
 ///
 /// # Panics
 ///
 /// Panics when the dataset is empty or the configuration is invalid.
 pub fn run_pipeline(dataset: &SyntheticDataset, config: &KFusionConfig) -> PipelineRun {
-    run_pipeline_inner(dataset, config, Tracer::off())
+    run_algorithm(AlgoId::KinectFusion, dataset, config)
 }
 
 /// Like [`run_pipeline`] but overriding the kernel thread count (`0` =
@@ -143,9 +192,7 @@ pub fn run_pipeline_with_threads(
     config: &KFusionConfig,
     threads: usize,
 ) -> PipelineRun {
-    let mut config = config.clone();
-    config.threads = threads;
-    run_pipeline_inner(dataset, &config, Tracer::off())
+    run_algorithm_with_threads(AlgoId::KinectFusion, dataset, config, threads)
 }
 
 /// Like [`run_pipeline`], recording per-frame/kernel/band spans and the
@@ -160,15 +207,17 @@ pub fn run_pipeline_traced(
     config: &KFusionConfig,
     tracer: &Tracer,
 ) -> PipelineRun {
-    run_pipeline_inner(dataset, config, tracer)
+    run_algorithm_traced(AlgoId::KinectFusion, dataset, config, tracer)
 }
 
-fn run_pipeline_inner(
+fn run_algorithm_inner(
+    algorithm: AlgoId,
     dataset: &SyntheticDataset,
     config: &KFusionConfig,
     tracer: &Tracer,
 ) -> PipelineRun {
-    run_pipeline_guarded(
+    run_algorithm_guarded(
+        algorithm,
         dataset,
         config,
         &GuardOptions {
@@ -240,19 +289,42 @@ impl Default for GuardOptions<'static> {
     }
 }
 
-/// Runs one configuration under a per-run [`Deadline`]: the frame budget
-/// bounds how many frames are processed, the wall budget bounds elapsed
-/// nanoseconds on the injected clock (plus any injected slow-run
-/// penalty). At least one frame is always processed, so a timed-out run
-/// still carries a usable (if degraded) trajectory prefix and its ATE.
-///
-/// With `Deadline::none()` this is exactly [`run_pipeline`].
+/// Runs the KinectFusion pipeline under a per-run [`Deadline`] —
+/// shorthand for [`run_algorithm_guarded`] with
+/// [`AlgoId::KinectFusion`].
 ///
 /// # Panics
 ///
 /// Panics when the dataset is empty or (debug builds) a wall budget is
 /// configured without a clock.
 pub fn run_pipeline_guarded(
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+    opts: &GuardOptions<'_>,
+) -> GuardedRun {
+    run_algorithm_guarded(AlgoId::KinectFusion, dataset, config, opts)
+}
+
+/// Runs one algorithm/configuration under a per-run [`Deadline`]: the
+/// frame budget bounds how many frames are processed, the wall budget
+/// bounds elapsed nanoseconds on the injected clock (plus any injected
+/// slow-run penalty). At least one frame is always processed, so a
+/// timed-out run still carries a usable (if degraded) trajectory prefix
+/// and its ATE.
+///
+/// With `Deadline::none()` this is exactly [`run_algorithm`].
+///
+/// This is the single place where the workspace steps a
+/// [`slam_kfusion::SlamAlgorithm`] over a dataset — every orchestrator,
+/// the [`crate::engine::EvalEngine`], and the bench bins funnel through
+/// it, so new algorithms plug in everywhere at once.
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or (debug builds) a wall budget is
+/// configured without a clock.
+pub fn run_algorithm_guarded(
+    algorithm: AlgoId,
     dataset: &SyntheticDataset,
     config: &KFusionConfig,
     opts: &GuardOptions<'_>,
@@ -268,7 +340,7 @@ pub fn run_pipeline_guarded(
         _ => None,
     };
     let init = dataset.frames()[0].ground_truth;
-    let mut kf = KinectFusion::new(config.clone(), *dataset.camera(), init);
+    let mut alg = algorithm.create(config, *dataset.camera(), init);
     let mut frames = Vec::with_capacity(dataset.len());
     let mut penalty_ns: u64 = 0;
     let mut status = RunStatus::Completed;
@@ -295,7 +367,7 @@ pub fn run_pipeline_guarded(
                 }
             }
         }
-        let r = kf.process_frame_traced(&frame.depth_mm, opts.tracer);
+        let r = alg.step_frame_traced(&frame.depth_mm, opts.tracer);
         penalty_ns = penalty_ns.saturating_add(opts.slow_frame_penalty_ns);
         frames.push(FrameRecord {
             index: frame.index,
@@ -312,11 +384,12 @@ pub fn run_pipeline_guarded(
     let ate = ate(&est, &gt, AteOptions::default()).expect("non-empty trajectories");
     GuardedRun {
         run: PipelineRun {
+            algorithm,
             config: config.clone(),
             dataset: dataset.config().name.clone(),
             frames,
             ate,
-            lost_frames: kf.lost_frames(),
+            lost_frames: alg.lost_frames(),
         },
         status,
     }
@@ -390,6 +463,36 @@ mod tests {
         dc.frame_count = 0;
         let dataset = SyntheticDataset::generate(&dc);
         let _ = run_pipeline(&dataset, &KFusionConfig::fast_test());
+    }
+
+    #[test]
+    fn every_algorithm_runs_through_the_generic_driver() {
+        let mut dc = DatasetConfig::tiny_test();
+        dc.frame_count = 5;
+        let dataset = SyntheticDataset::generate(&dc);
+        let config = KFusionConfig::fast_test();
+        for &algo in &AlgoId::ALL {
+            let run = run_algorithm(algo, &dataset, &config);
+            assert_eq!(run.algorithm, algo);
+            assert_eq!(run.frames.len(), 5, "{algo} truncated the dataset");
+            assert!(
+                run.ate.max < 0.5,
+                "{algo} diverged on the tiny scene, ATE {}",
+                run.ate.max
+            );
+        }
+    }
+
+    #[test]
+    fn run_pipeline_is_the_kfusion_shorthand() {
+        let mut dc = DatasetConfig::tiny_test();
+        dc.frame_count = 4;
+        let dataset = SyntheticDataset::generate(&dc);
+        let config = KFusionConfig::fast_test();
+        let via_shorthand = run_pipeline(&dataset, &config);
+        let via_generic = run_algorithm(AlgoId::KinectFusion, &dataset, &config);
+        assert_eq!(via_shorthand.algorithm, AlgoId::KinectFusion);
+        assert_eq!(via_shorthand.ate.errors, via_generic.ate.errors);
     }
 
     #[test]

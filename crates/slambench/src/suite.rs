@@ -4,7 +4,7 @@
 
 use crate::engine::EvalEngine;
 use serde::{Deserialize, Serialize};
-use slam_kfusion::KFusionConfig;
+use slam_kfusion::{AlgoId, KFusionConfig};
 use slam_math::camera::PinholeCamera;
 use slam_power::DeviceModel;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
@@ -64,6 +64,71 @@ pub fn standard_suite(camera: PinholeCamera, frames: usize) -> Vec<Sequence> {
     suite
 }
 
+/// The adversarial suite: sequences built to separate algorithms, not
+/// configurations. Each sequence attacks a structural assumption —
+/// frame-to-model trackers coast on the accumulated TSDF where
+/// frame-to-frame odometry has only the previous (degraded) frame, and
+/// vice versa — so algorithms that tie on [`standard_suite`] diverge
+/// measurably here in ATE or lost frames.
+///
+/// * `blank_corridor/dropout` — the featureless hallway under 35 % depth
+///   dropout: the aperture problem with most of the evidence removed.
+/// * `warehouse/aisle` — a regular grid of identical pillars: aliased
+///   geometry where a drifted tracker re-converges onto the wrong
+///   pillar.
+/// * `corridor/dropout` — the landmarked corridor under the same heavy
+///   dropout, the control pairing for `blank_corridor/dropout`.
+pub fn adversarial_suite(camera: PinholeCamera, frames: usize) -> Vec<Sequence> {
+    let heavy_dropout = DepthNoiseModel {
+        dropout: 0.35,
+        max_range: 6.0,
+        ..DepthNoiseModel::kinect()
+    };
+    let blank = DatasetConfig {
+        name: "blank_corridor/dropout".into(),
+        scene: presets::blank_corridor(),
+        trajectory: presets::corridor_trajectory(),
+        camera,
+        frame_count: frames,
+        fps: 30.0,
+        noise: heavy_dropout,
+        seed: 0xAD5E_0001,
+        time_step: 0.0101,
+    };
+    let warehouse = DatasetConfig {
+        name: "warehouse/aisle".into(),
+        scene: presets::warehouse(),
+        trajectory: presets::warehouse_trajectory(),
+        camera,
+        frame_count: frames,
+        fps: 30.0,
+        noise: DepthNoiseModel {
+            max_range: 6.0,
+            ..DepthNoiseModel::kinect()
+        },
+        seed: 0xAD5E_0002,
+        time_step: 0.0101,
+    };
+    let corridor = DatasetConfig {
+        name: "corridor/dropout".into(),
+        scene: presets::corridor(),
+        trajectory: presets::corridor_trajectory(),
+        camera,
+        frame_count: frames,
+        fps: 30.0,
+        noise: heavy_dropout,
+        seed: 0xAD5E_0003,
+        time_step: 0.0101,
+    };
+    [blank, warehouse, corridor]
+        .into_iter()
+        .map(|config| Sequence {
+            name: config.name.clone(),
+            config,
+        })
+        .collect()
+}
+
 /// One suite cell: a configuration's result on a sequence, costed on a
 /// device.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -102,6 +167,11 @@ pub struct SuiteFailure {
 /// instead of positional indexing — a failed cell shifts positions.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SuiteReport {
+    /// Stable id of the algorithm that filled the grid
+    /// ([`AlgoId::id`]); empty in reports serialised before the
+    /// algorithm abstraction (those were all KinectFusion).
+    #[serde(default)]
+    pub algorithm: String,
     /// Filled cells, `(sequence-major, configuration-minor)` order,
     /// failed cells omitted.
     pub cells: Vec<SuiteCell>,
@@ -193,16 +263,38 @@ pub fn run_suite(
     run_suite_with_engine(&EvalEngine::new(), sequences, configs, device)
 }
 
-/// [`run_suite`] on a caller-provided [`EvalEngine`]. Each sequence's
-/// configurations are evaluated as one concurrent engine batch; the
-/// cell grid is identical to serial evaluation.
+/// [`run_suite`] with an explicit algorithm: the head-to-head entry
+/// point. Each algorithm gets its own fresh in-memory engine, so two
+/// reports over the same grid never share cached runs.
+pub fn run_suite_algorithm(
+    algorithm: AlgoId,
+    sequences: &[Sequence],
+    configs: &[(String, KFusionConfig)],
+    device: &DeviceModel,
+) -> SuiteReport {
+    run_suite_with_engine(
+        &EvalEngine::new().with_algorithm(algorithm),
+        sequences,
+        configs,
+        device,
+    )
+}
+
+/// [`run_suite`] on a caller-provided [`EvalEngine`]. The engine is the
+/// algorithm handle: the grid runs whatever algorithm the engine
+/// carries. Each sequence's configurations are evaluated as one
+/// concurrent engine batch; the cell grid is identical to serial
+/// evaluation.
 pub fn run_suite_with_engine(
     eval: &EvalEngine,
     sequences: &[Sequence],
     configs: &[(String, KFusionConfig)],
     device: &DeviceModel,
 ) -> SuiteReport {
-    let mut report = SuiteReport::default();
+    let mut report = SuiteReport {
+        algorithm: eval.algorithm().id().to_string(),
+        ..SuiteReport::default()
+    };
     let batch: Vec<KFusionConfig> = configs.iter().map(|(_, c)| c.clone()).collect();
     for seq in sequences {
         let dataset = SyntheticDataset::generate(&seq.config);
@@ -286,6 +378,29 @@ mod tests {
         // grid order: sequence-major
         assert_eq!(cells[0].sequence, cells[1].sequence);
         assert_ne!(cells[1].sequence, cells[2].sequence);
+    }
+
+    #[test]
+    fn adversarial_suite_names_three_hostile_sequences() {
+        let suite = adversarial_suite(tiny_camera(), 8);
+        assert_eq!(suite.len(), 3);
+        let names: Vec<_> = suite.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"blank_corridor/dropout"));
+        assert!(names.contains(&"warehouse/aisle"));
+        // the blank corridor really is the heavy-dropout variant
+        let blank = &suite[0].config;
+        assert!(blank.noise.dropout > 0.3, "got {}", blank.noise.dropout);
+    }
+
+    #[test]
+    fn report_records_the_algorithm_that_ran() {
+        let suite = &standard_suite(tiny_camera(), 4)[..1];
+        let configs = vec![("fast".to_string(), KFusionConfig::fast_test())];
+        let kf = run_suite(suite, &configs, &odroid_xu3());
+        assert_eq!(kf.algorithm, AlgoId::KinectFusion.id());
+        let odo = run_suite_algorithm(AlgoId::PointOdometry, suite, &configs, &odroid_xu3());
+        assert_eq!(odo.algorithm, AlgoId::PointOdometry.id());
+        assert_eq!(odo.cells.len(), 1);
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct LintPolicy {
     /// File may call the raw pipeline runner directly (`slambench::run`
     /// itself and the `slambench::engine` it is wrapped by).
     pub allow_run_pipeline: bool,
+    /// File may name KinectFusion internals (`process_frame*`,
+    /// `TsdfVolume::new`) — the algorithm crate itself and the generic
+    /// driver in `slambench::run`.
+    pub allow_kfusion_internals: bool,
     /// File may read the raw monotonic clock (`Instant::now()`) — only
     /// `slam_trace::clock`, where `WallClock` wraps it.
     pub allow_raw_clock: bool,
@@ -129,6 +133,7 @@ impl LintPolicy {
             allow_panics: false,
             allow_hash: false,
             allow_run_pipeline: false,
+            allow_kfusion_internals: false,
             allow_raw_clock: false,
             require_deny_unsafe: false,
             strict_test_panics: false,
@@ -230,6 +235,9 @@ pub fn lint_file(src: &SourceFile, policy: LintPolicy) -> Vec<Diagnostic> {
     }
     if !policy.allow_run_pipeline {
         lint_engine_only(src, &mut out);
+    }
+    if !policy.allow_kfusion_internals {
+        lint_algorithm_boundary(src, &mut out);
     }
     if !policy.allow_raw_clock {
         lint_trace_clock(src, &mut out);
@@ -398,10 +406,15 @@ fn lint_hash_iter(src: &SourceFile, out: &mut Vec<Diagnostic>) {
 fn lint_engine_only(src: &SourceFile, out: &mut Vec<Diagnostic>) {
     for t in &src.tokens {
         let Some(ident) = t.ident() else { continue };
-        if ident != "run_pipeline"
-            && ident != "run_pipeline_with_threads"
-            && ident != "run_pipeline_traced"
-        {
+        if !matches!(
+            ident,
+            "run_pipeline"
+                | "run_pipeline_with_threads"
+                | "run_pipeline_traced"
+                | "run_algorithm"
+                | "run_algorithm_with_threads"
+                | "run_algorithm_traced"
+        ) {
             continue;
         }
         if src.waived(t.line, "engine-only") {
@@ -416,6 +429,53 @@ fn lint_engine_only(src: &SourceFile, out: &mut Vec<Diagnostic>) {
                  evaluation through `slambench::engine::EvalEngine` so runs are cached \
                  and batch-schedulable"
             ),
+        });
+    }
+}
+
+/// `algorithm-boundary`: flags KinectFusion internals — the inherent
+/// `process_frame` / `process_frame_traced` methods and direct
+/// `TsdfVolume::new` construction — outside the algorithm crate and the
+/// generic driver. No `#[cfg(test)]` exemption: tests drive pipelines
+/// through the `SlamAlgorithm` trait too, so they keep covering every
+/// algorithm. Kernel microbenchmarks carry explicit waivers.
+fn lint_algorithm_boundary(src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &src.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(ident) = t.ident() else { continue };
+        let message = match ident {
+            "process_frame" | "process_frame_traced" => format!(
+                "KinectFusion-specific `{ident}` outside the algorithm crate: drive \
+                 pipelines through the `SlamAlgorithm` trait (`AlgoId::create` + \
+                 `step_frame*`) so every algorithm stays covered"
+            ),
+            "TsdfVolume" => {
+                // `TsdfVolume :: new` — mentions of the type alone (say in
+                // a mesh-extraction signature) are not constructions
+                let is_new_call = toks
+                    .get(i + 1)
+                    .zip(toks.get(i + 2))
+                    .filter(|(a, b)| a.is_punct(':') && b.is_punct(':'))
+                    .and_then(|_| toks.get(i + 3))
+                    .is_some_and(|n| n.is_ident("new"));
+                if !is_new_call {
+                    continue;
+                }
+                "direct `TsdfVolume::new` outside the algorithm crate: the volume is \
+                 a KinectFusion internal; go through the `SlamAlgorithm` trait (or \
+                 waive for kernel microbenchmarks)"
+                    .into()
+            }
+            _ => continue,
+        };
+        if src.waived(t.line, "algorithm-boundary") {
+            continue;
+        }
+        out.push(Diagnostic {
+            lint: "algorithm-boundary".into(),
+            file: src.path.clone(),
+            line: t.line,
+            message,
         });
     }
 }

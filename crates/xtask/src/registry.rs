@@ -70,12 +70,13 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         id: "XT005",
         name: "engine-only",
-        summary: "no raw run_pipeline* calls outside slambench::run / slambench::engine",
+        summary: "no raw run_pipeline*/run_algorithm* calls outside slambench::run / slambench::engine",
         explain: "Every evaluation flows through `slambench::engine::EvalEngine` so \
                   runs are content-addressed-cached, batch-scheduled and covered by \
                   the fault policy. Direct `run_pipeline` / `run_pipeline_with_threads` \
-                  / `run_pipeline_traced` calls bypass the cache and quietly duplicate \
-                  orchestration loops.",
+                  / `run_pipeline_traced` calls — and their generic `run_algorithm*` \
+                  counterparts — bypass the cache and quietly duplicate orchestration \
+                  loops.",
     },
     LintInfo {
         id: "XT006",
@@ -95,6 +96,20 @@ pub const LINTS: &[LintInfo] = &[
                   dead weight that silently stops protecting the line it sits on. The \
                   grammar is `// xtask-allow: lint-a, lint-b — reason: <justification>` \
                   on the offending line or the line above it.",
+    },
+    LintInfo {
+        id: "XT008",
+        name: "algorithm-boundary",
+        summary: "no KinectFusion internals outside the algorithm crate and the generic driver",
+        explain: "The evaluation stack drives pipelines through the `SlamAlgorithm` \
+                  trait (`AlgoId::create`, `step_frame*`, `extract_mesh`). Naming \
+                  KinectFusion internals — the inherent `process_frame` / \
+                  `process_frame_traced` methods or direct `TsdfVolume::new` \
+                  construction — outside `crates/slam-kfusion/` and the generic \
+                  driver in `slambench::run` hard-wires one algorithm into an \
+                  orchestrator, bin or test, so second algorithms silently fall out \
+                  of coverage. Kernel microbenchmarks that legitimately build raw \
+                  volumes carry explicit waivers.",
     },
     LintInfo {
         id: "XT101",

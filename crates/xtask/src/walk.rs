@@ -29,6 +29,14 @@ const ENGINE_ALLOWLIST: &[&str] = &[
     "crates/slambench/src/engine.rs",
 ];
 
+/// Files allowed to name KinectFusion internals (`process_frame*`,
+/// `TsdfVolume::new`): the algorithm crate itself (trait impls live next
+/// to the internals they wrap) and the generic driver that the trait
+/// objects run behind. Everything else drives pipelines through the
+/// `SlamAlgorithm` trait.
+const ALGORITHM_ALLOWLIST_PREFIX: &str = "crates/slam-kfusion/";
+const ALGORITHM_ALLOWLIST: &[&str] = &["crates/slambench/src/run.rs"];
+
 /// Files allowed to read the raw monotonic clock: the `WallClock` shim in
 /// `slam-trace` is the single sanctioned `Instant::now()` site. Everything
 /// else times through `slam_trace` spans or an injected `Clock`.
@@ -118,6 +126,8 @@ pub fn classify(rel: &Path) -> LintPolicy {
         allow_panics: is_bin || is_test_source || PANIC_ALLOWLIST.contains(&p.as_str()),
         allow_hash: is_test_source,
         allow_run_pipeline: ENGINE_ALLOWLIST.contains(&p.as_str()),
+        allow_kfusion_internals: p.starts_with(ALGORITHM_ALLOWLIST_PREFIX)
+            || ALGORITHM_ALLOWLIST.contains(&p.as_str()),
         allow_raw_clock: CLOCK_ALLOWLIST.contains(&p.as_str()),
         require_deny_unsafe: is_crate_root,
         strict_test_panics: is_orchestrator,
@@ -171,6 +181,16 @@ mod tests {
         assert!(!classify(Path::new("crates/slambench/src/explore.rs")).allow_run_pipeline);
         assert!(!classify(Path::new("crates/bench/src/bin/headline.rs")).allow_run_pipeline);
         assert!(!classify(Path::new("tests/determinism.rs")).allow_run_pipeline);
+    }
+
+    #[test]
+    fn only_the_algorithm_crate_and_driver_may_name_kfusion_internals() {
+        assert!(classify(Path::new("crates/slam-kfusion/src/pipeline.rs")).allow_kfusion_internals);
+        assert!(classify(Path::new("crates/slam-kfusion/tests/odometry.rs")).allow_kfusion_internals);
+        assert!(classify(Path::new("crates/slambench/src/run.rs")).allow_kfusion_internals);
+        assert!(!classify(Path::new("crates/slambench/src/engine.rs")).allow_kfusion_internals);
+        assert!(!classify(Path::new("crates/bench/benches/kernels.rs")).allow_kfusion_internals);
+        assert!(!classify(Path::new("tests/determinism.rs")).allow_kfusion_internals);
     }
 
     #[test]

@@ -15,6 +15,14 @@ pub fn direct_traced_call(dataset: &Dataset, config: &Config, tracer: &Tracer) -
     slambench::run::run_pipeline_traced(dataset, config, tracer) //~ engine-only
 }
 
+pub fn direct_generic_call(dataset: &Dataset, config: &Config) -> Run {
+    slambench::run::run_algorithm(AlgoId::KinectFusion, dataset, config) //~ engine-only
+}
+
+pub fn direct_generic_traced(dataset: &Dataset, config: &Config, tracer: &Tracer) -> Run {
+    slambench::run::run_algorithm_traced(AlgoId::PointOdometry, dataset, config, tracer) //~ engine-only
+}
+
 pub fn waived_call(dataset: &Dataset, config: &Config) -> Run {
     // xtask-allow: engine-only — reason: fixture exercising a sanctioned raw-runner call
     run_pipeline(dataset, config)

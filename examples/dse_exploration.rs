@@ -41,6 +41,7 @@ fn main() {
             ..ActiveLearnerOptions::default()
         },
         accuracy_limit: 0.05,
+        ..ExploreOptions::default()
     };
     // every proposal batch is evaluated concurrently through the engine;
     // the outcome is bit-identical to serial evaluation

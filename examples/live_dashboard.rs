@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example live_dashboard`.
 
-use slam_kfusion::{KFusionConfig, KinectFusion};
+use slam_kfusion::{KFusionConfig, KinectFusion, SlamAlgorithm};
 use slam_math::camera::PinholeCamera;
 use slam_power::devices::odroid_xu3;
 use slam_power::EnergyMeter;
@@ -55,7 +55,7 @@ fn main() {
     println!("frame | track |   FPS(XU3) | power(W) | ATE(m) | matched");
     println!("------+-------+------------+----------+--------+--------");
     for frame in dataset.frames() {
-        let result = kf.process_frame(&frame.depth_mm);
+        let result = kf.step_frame(&frame.depth_mm);
         let cost = meter.record_frame(&result.workload);
         let ate = result.pose.translation_distance(&frame.ground_truth);
         println!(

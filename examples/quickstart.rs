@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use slam_kfusion::KFusionConfig;
+use slam_kfusion::{AlgoId, KFusionConfig};
 use slam_math::camera::PinholeCamera;
 use slam_power::devices::odroid_xu3;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
@@ -31,9 +31,12 @@ fn main() {
     println!("running KinectFusion [{config}]...");
 
     // 3. run the pipeline through the evaluation engine (device-
-    //    independent: poses + workload trace). Repeated requests for the
-    //    same (dataset, configuration) pair are cache hits.
-    let engine = EvalEngine::new();
+    //    independent: poses + workload trace). The engine carries an
+    //    explicit algorithm handle — swap in `AlgoId::PointOdometry` to
+    //    run the frame-to-frame tracker over the same dataset. Repeated
+    //    requests for the same (algorithm, dataset, configuration)
+    //    triple are cache hits.
+    let engine = EvalEngine::new().with_algorithm(AlgoId::KinectFusion);
     let run = engine.evaluate(&dataset, &config);
 
     // 4. accuracy: absolute trajectory error vs the exact ground truth
@@ -72,7 +75,9 @@ fn main() {
     let mut short = dataset_config.clone();
     short.frame_count = 5;
     let tracer = Tracer::new();
-    let traced = EvalEngine::new().with_tracer(tracer.clone());
+    let traced = EvalEngine::new()
+        .with_algorithm(AlgoId::KinectFusion)
+        .with_tracer(tracer.clone());
     traced.evaluate(&SyntheticDataset::generate(&short), &config);
     let trace = tracer.drain();
     println!(

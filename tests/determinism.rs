@@ -8,13 +8,15 @@
 //! end to end; any data race or thread-dependent reduction order breaks
 //! them immediately.
 
-use slam_kfusion::{marching_cubes_with_threads, KFusionConfig, KinectFusion};
+use slam_kfusion::{AlgoId, KFusionConfig};
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
 use slam_trace::Tracer;
 // xtask-allow: engine-only — reason: this test pins the raw runner's own thread-count determinism
 use slambench::run_pipeline_with_threads;
 // xtask-allow: engine-only — reason: this test pins that tracing never perturbs the raw runner
 use slambench::run_pipeline_traced;
+// xtask-allow: engine-only — reason: this test pins the generic driver's cross-algorithm determinism
+use slambench::run_algorithm_with_threads;
 
 /// `1` is the canonical serial reference; `7` does not divide the band
 /// counts evenly; `0` is the auto knob.
@@ -112,6 +114,43 @@ fn tracing_does_not_perturb_thread_count_determinism() {
 }
 
 #[test]
+fn every_algorithm_is_bit_identical_across_thread_counts() {
+    let dataset = tiny_dataset(6);
+    for &algo in &AlgoId::ALL {
+        // xtask-allow: engine-only — reason: the generic raw driver is the object under test
+        let reference = run_algorithm_with_threads(algo, &dataset, &config(), 1);
+        let ref_poses: Vec<String> = reference
+            .frames
+            .iter()
+            .map(|f| serde_json::to_string(&f.pose).expect("serialisable pose"))
+            .collect();
+        let ref_ops = reference.total_workload().total().ops.to_bits();
+        // 8 exceeds the band count of some tiny kernels on this dataset,
+        // the adversarial end of the oversubscription spectrum
+        for threads in [2, 8, 7, 0] {
+            // xtask-allow: engine-only — reason: the generic raw driver is the object under test
+            let run = run_algorithm_with_threads(algo, &dataset, &config(), threads);
+            assert_eq!(run.algorithm, algo);
+            let poses: Vec<String> = run
+                .frames
+                .iter()
+                .map(|f| serde_json::to_string(&f.pose).expect("serialisable pose"))
+                .collect();
+            assert_eq!(
+                poses, ref_poses,
+                "{algo} poses diverged at threads={threads}"
+            );
+            assert_eq!(
+                run.total_workload().total().ops.to_bits(),
+                ref_ops,
+                "{algo} workload counters diverged at threads={threads}"
+            );
+            assert_eq!(run.lost_frames, reference.lost_frames, "{algo}");
+        }
+    }
+}
+
+#[test]
 fn extracted_mesh_is_bit_identical_across_thread_counts() {
     let dataset = tiny_dataset(5);
     let fuse = |threads: usize| {
@@ -120,11 +159,12 @@ fn extracted_mesh_is_bit_identical_across_thread_counts() {
             ..config()
         };
         let init = dataset.frames()[0].ground_truth;
-        let mut kf = KinectFusion::new(cfg, *dataset.camera(), init);
+        let mut alg = AlgoId::KinectFusion.create(&cfg, *dataset.camera(), init);
         for frame in dataset.frames() {
-            kf.process_frame(&frame.depth_mm);
+            alg.step_frame(&frame.depth_mm);
         }
-        marching_cubes_with_threads(kf.volume(), threads)
+        alg.extract_mesh(threads)
+            .expect("KinectFusion builds a meshable model")
     };
     let reference = fuse(1);
     assert!(

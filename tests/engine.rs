@@ -11,7 +11,7 @@
 //!   never to a panic or a wrong answer.
 
 use slam_kfusion::exec;
-use slam_kfusion::KFusionConfig;
+use slam_kfusion::{AlgoId, KFusionConfig};
 use slambench::engine::{EvalEngine, EvalError};
 use slambench::run::PipelineRun;
 use slambench_suite::test_dataset;
@@ -207,4 +207,97 @@ fn typed_errors_surface_without_evaluating() {
         .try_evaluate(&empty, &KFusionConfig::fast_test())
         .expect_err("empty dataset must be rejected");
     assert_eq!(err, EvalError::EmptyDataset);
+}
+
+#[test]
+fn algorithms_never_share_or_alias_cache_entries() {
+    let dir = scratch_dir("algo-keys");
+    let dataset = test_dataset(3);
+    let config = KFusionConfig::fast_test();
+
+    // the same (dataset, config) evaluated by both algorithms through a
+    // SHARED disk-cache directory
+    let kfusion = EvalEngine::with_disk_cache(&dir).with_algorithm(AlgoId::KinectFusion);
+    let kf_run = kfusion.evaluate(&dataset, &config);
+    assert_eq!(kfusion.stats().misses, 1);
+
+    let odometry = EvalEngine::with_disk_cache(&dir).with_algorithm(AlgoId::PointOdometry);
+    assert!(
+        !odometry.is_cached(&dataset, &config),
+        "a KinectFusion entry must never answer a point-odometry request"
+    );
+    let odo_run = odometry.evaluate(&dataset, &config);
+    assert_eq!(
+        odometry.stats().misses,
+        1,
+        "the odometry engine must evaluate, not alias the KinectFusion entry"
+    );
+
+    // two algorithms, two distinct files under the same directory
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .map(|e| e.expect("dir entry").file_name())
+        .collect();
+    assert_eq!(files.len(), 2, "each algorithm persists its own entry");
+
+    // the runs really are different computations
+    assert_eq!(kf_run.algorithm, AlgoId::KinectFusion);
+    assert_eq!(odo_run.algorithm, AlgoId::PointOdometry);
+    assert_ne!(
+        canon(&kf_run),
+        canon(&odo_run),
+        "the two algorithms must not produce bit-identical runs"
+    );
+
+    // fresh engines over the shared directory each warm-start from their
+    // own entry
+    for (algo, reference) in [
+        (AlgoId::KinectFusion, &kf_run),
+        (AlgoId::PointOdometry, &odo_run),
+    ] {
+        let reader = EvalEngine::with_disk_cache(&dir).with_algorithm(algo);
+        assert!(reader.is_cached(&dataset, &config), "{algo}");
+        let run = reader.evaluate(&dataset, &config);
+        assert_eq!(reader.stats().misses, 0, "{algo}: disk entry must serve");
+        assert_eq!(
+            serde_json::to_string(&run).unwrap(),
+            serde_json::to_string(reference).unwrap(),
+            "{algo}: the persisted run must round-trip whole"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_v1_disk_entries_read_as_misses_not_aliased_hits() {
+    let dir = scratch_dir("legacy-v1");
+    let dataset = test_dataset(3);
+    let config = KFusionConfig::fast_test();
+
+    let writer = EvalEngine::with_disk_cache(&dir);
+    let reference = writer.evaluate(&dataset, &config);
+
+    // rewrite every entry as a version-1 file: no `version`, no
+    // `algorithm` — the pre-abstraction layout
+    for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
+        let path = entry.expect("dir entry").path();
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let legacy = text
+            .replace("\"version\":2,", "")
+            .replace("\"algorithm\":\"kfusion\",", "");
+        assert_ne!(legacy, text, "the rewrite must strip both fields");
+        std::fs::write(&path, legacy).expect("writable");
+    }
+
+    let reader = EvalEngine::with_disk_cache(&dir);
+    let run = reader.evaluate(&dataset, &config); // must not panic
+    assert_eq!(
+        reader.stats().misses,
+        1,
+        "a v1 entry must re-key as a miss, never alias"
+    );
+    assert_eq!(canon(&run), canon(&reference));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

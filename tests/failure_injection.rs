@@ -1,7 +1,7 @@
 //! Failure injection: the pipeline must degrade gracefully, not panic,
 //! when the sensor misbehaves.
 
-use slam_kfusion::{KFusionConfig, KinectFusion};
+use slam_kfusion::{KFusionConfig, KinectFusion, SlamAlgorithm};
 use slam_math::camera::PinholeCamera;
 use slambench_suite::{noisy_test_dataset, test_dataset};
 
@@ -17,9 +17,9 @@ fn survives_blackout_frames_and_recovers() {
     let mut lost_during_blackout = 0;
     for (i, frame) in dataset.frames().iter().enumerate() {
         let result = if (5..8).contains(&i) {
-            kf.process_frame(&blackout)
+            kf.step_frame(&blackout)
         } else {
-            kf.process_frame(&frame.depth_mm)
+            kf.step_frame(&frame.depth_mm)
         };
         if (5..8).contains(&i) && !result.tracked {
             lost_during_blackout += 1;
@@ -42,10 +42,10 @@ fn survives_saturated_depth() {
     let mut kf = KinectFusion::new(KFusionConfig::fast_test(), camera, slam_math::Se3::IDENTITY);
     // all pixels at the far limit of u16
     let saturated = vec![u16::MAX; camera.pixel_count()];
-    let r = kf.process_frame(&saturated);
+    let r = kf.step_frame(&saturated);
     // frame 0 bootstraps regardless; the pipeline must simply not panic
     assert_eq!(r.frame_index, 0);
-    let r = kf.process_frame(&saturated);
+    let r = kf.step_frame(&saturated);
     assert_eq!(r.frame_index, 1);
 }
 
@@ -65,7 +65,7 @@ fn survives_salt_and_pepper_depth() {
                 *d = if i % 14 == 0 { 0 } else { 60000 };
             }
         }
-        let _ = kf.process_frame(&depth);
+        let _ = kf.step_frame(&depth);
     }
     // the run finished; tracking may degrade but must not corrupt state
     assert_eq!(kf.frames_processed(), 6);
@@ -81,7 +81,7 @@ fn heavy_sensor_noise_still_tracks() {
     let mut kf = KinectFusion::new(config, *dataset.camera(), init);
     let mut worst = 0.0f32;
     for frame in dataset.frames() {
-        let r = kf.process_frame(&frame.depth_mm);
+        let r = kf.step_frame(&frame.depth_mm);
         worst = worst.max(r.pose.translation_distance(&frame.ground_truth));
     }
     assert!(worst < 0.08, "noisy tracking error {worst}");
@@ -96,7 +96,7 @@ fn zero_iteration_levels_are_tolerated() {
     config.volume_resolution = 128;
     let mut kf = KinectFusion::new(config, *dataset.camera(), init);
     for frame in dataset.frames() {
-        let _ = kf.process_frame(&frame.depth_mm);
+        let _ = kf.step_frame(&frame.depth_mm);
     }
     assert_eq!(kf.frames_processed(), 5);
 }

@@ -3,7 +3,7 @@
 //! we verify the extracted mesh actually lies on the synthetic scene's
 //! surface.
 
-use slam_kfusion::{marching_cubes, KFusionConfig, KinectFusion};
+use slam_kfusion::{KFusionConfig, KinectFusion, SlamAlgorithm};
 use slam_scene::presets;
 use slambench_suite::test_dataset;
 
@@ -16,9 +16,9 @@ fn reconstructed_mesh_lies_on_the_true_surface() {
     config.volume_resolution = 128;
     let mut kf = KinectFusion::new(config.clone(), *dataset.camera(), init);
     for frame in dataset.frames() {
-        kf.process_frame(&frame.depth_mm);
+        kf.step_frame(&frame.depth_mm);
     }
-    let mesh = marching_cubes(kf.volume());
+    let mesh = kf.extract_mesh(0).expect("KinectFusion builds a meshable model");
     assert!(
         mesh.triangle_count() > 500,
         "expected a substantial reconstruction, got {} triangles",
@@ -52,12 +52,12 @@ fn mesh_grows_with_exploration() {
     let mut config = KFusionConfig::fast_test();
     config.volume_resolution = 96;
     let mut kf = KinectFusion::new(config, *dataset.camera(), init);
-    kf.process_frame(&dataset.frames()[0].depth_mm);
-    let early = marching_cubes(kf.volume()).surface_area();
+    kf.step_frame(&dataset.frames()[0].depth_mm);
+    let early = kf.extract_mesh(0).expect("meshable model").surface_area();
     for frame in &dataset.frames()[1..] {
-        kf.process_frame(&frame.depth_mm);
+        kf.step_frame(&frame.depth_mm);
     }
-    let late = marching_cubes(kf.volume()).surface_area();
+    let late = kf.extract_mesh(0).expect("meshable model").surface_area();
     assert!(
         late >= early,
         "seen surface should not shrink: {early} -> {late}"

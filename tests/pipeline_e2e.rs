@@ -1,7 +1,7 @@
 //! End-to-end integration: synthetic dataset → KinectFusion → trajectory
 //! accuracy.
 
-use slam_kfusion::{KFusionConfig, KinectFusion};
+use slam_kfusion::{KFusionConfig, KinectFusion, SlamAlgorithm};
 use slam_math::camera::PinholeCamera;
 use slam_scene::dataset::{DatasetConfig, SyntheticDataset};
 use slam_scene::noise::DepthNoiseModel;
@@ -15,7 +15,7 @@ fn run_errors(dataset: &SyntheticDataset, config: KFusionConfig) -> Vec<f32> {
         .frames()
         .iter()
         .map(|frame| {
-            let r = kf.process_frame(&frame.depth_mm);
+            let r = kf.step_frame(&frame.depth_mm);
             r.pose.translation_distance(&frame.ground_truth)
         })
         .collect()
