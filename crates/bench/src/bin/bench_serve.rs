@@ -1,0 +1,199 @@
+//! Campaign-server throughput/latency baseline: stands up a loopback
+//! `slam-serve` instance and hammers it with concurrent clients, each
+//! submitting a sweep campaign and blocking until its outcomes stream
+//! back. Reports campaign-completion latency (p50/p99) and evaluation
+//! throughput at 1/4/16 clients, cold shards (every run computed) vs
+//! warm shards (every run a cache hit), and writes the grid to
+//! `BENCH_serve.json` so the serving trajectory is machine-readable.
+//!
+//! Run with `cargo run --release -p bench --bin bench_serve`.
+//! `--smoke` shrinks the grid to one 2-client scenario on a tiny
+//! dataset — the configuration CI runs.
+
+use slam_kfusion::KFusionConfig;
+use slam_scene::dataset::DatasetConfig;
+use slam_serve::{
+    serve, CampaignHub, CampaignKind, CampaignRequest, Client, OutcomesPage, Priority,
+    ServeOptions, Submitted,
+};
+use slam_trace::{Clock, WallClock};
+
+/// One client's campaign workload: a small sweep whose configurations
+/// are distinct per client, so cold scenarios really compute every run.
+fn workload(client: usize, configs_per_client: usize, frames: usize) -> CampaignRequest {
+    let mut dataset = DatasetConfig::tiny_test();
+    dataset.frame_count = frames;
+    let configs = (0..configs_per_client)
+        .map(|j| {
+            let mut config = KFusionConfig::fast_test();
+            config.volume_resolution = 32;
+            config.pyramid_iterations = [1 + (client % 3), 1 + (j % 2), 1];
+            config
+        })
+        .collect();
+    CampaignRequest {
+        algorithm: "kfusion".to_string(),
+        dataset,
+        kind: CampaignKind::Sweep { configs },
+        priority: Priority::Batch,
+        device: None,
+    }
+}
+
+/// Submits one campaign and blocks until every outcome has streamed
+/// back; returns (latency_secs, evaluations).
+fn drive_campaign(client: Client, request: &CampaignRequest, clock: &WallClock) -> (f64, usize) {
+    let started = clock.now_ns();
+    let submitted: Submitted = client
+        .post("/campaigns", request)
+        .expect("loopback server reachable")
+        .json()
+        .expect("submit body decodes");
+    let mut seen = 0usize;
+    loop {
+        let page: OutcomesPage = client
+            .get(&format!(
+                "/campaigns/{}/outcomes?from={seen}&wait=1",
+                submitted.id
+            ))
+            .expect("loopback server reachable")
+            .json()
+            .expect("outcomes body decodes");
+        seen += page.records.len();
+        if page.done || seen >= submitted.total {
+            break;
+        }
+    }
+    let latency = (clock.now_ns() - started) as f64 / 1e9;
+    (latency, seen)
+}
+
+struct Scenario {
+    clients: usize,
+    warm: bool,
+    latencies: Vec<f64>,
+    evals: usize,
+    wall_s: f64,
+}
+
+/// Runs `clients` concurrent campaign drivers against `addr`.
+fn run_scenario(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    configs_per_client: usize,
+    frames: usize,
+    warm: bool,
+    clock: &WallClock,
+) -> Scenario {
+    let started = clock.now_ns();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let request = workload(c, configs_per_client, frames);
+            let client = Client::new(addr);
+            let clock = WallClock::new();
+            // xtask-allow: threading — reason: bench clients model independent processes hammering the server; they never touch the exec pool
+            std::thread::spawn(move || drive_campaign(client, &request, &clock))
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut evals = 0usize;
+    for handle in handles {
+        let (latency, n) = handle.join().expect("client thread completes");
+        latencies.push(latency);
+        evals += n;
+    }
+    let wall_s = (clock.now_ns() - started) as f64 / 1e9;
+    latencies.sort_by(f64::total_cmp);
+    Scenario {
+        clients,
+        warm,
+        latencies,
+        evals,
+        wall_s,
+    }
+}
+
+/// Percentile over an ascending-sorted sample (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (client_counts, configs_per_client, frames): (&[usize], usize, usize) = if smoke {
+        (&[2], 2, 3)
+    } else {
+        (&[1, 4, 16], 3, 4)
+    };
+    let shards = 2usize;
+    let clock = WallClock::new();
+
+    let state_dir = std::env::temp_dir().join(format!("bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    eprintln!(
+        "serving {shards} shards; {configs_per_client} configs/client over {frames} frames...",
+    );
+    println!(
+        "{:<8} {:>8} {:>6} {:>10} {:>10} {:>12}",
+        "clients", "shards", "warm", "p50(s)", "p99(s)", "evals/s"
+    );
+
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        // a fresh state dir per client count: cold really means cold
+        let scenario_dir = state_dir.join(format!("c{clients}"));
+        let mut options = ServeOptions::new(&scenario_dir);
+        options.shards = shards;
+        options.executors = clients.min(4).max(2);
+        let hub = CampaignHub::start(options);
+        let handle = serve(hub.clone(), "127.0.0.1:0").expect("loopback bind");
+        let addr = handle.addr();
+        for warm in [false, true] {
+            let s = run_scenario(addr, clients, configs_per_client, frames, warm, &clock);
+            let throughput = s.evals as f64 / s.wall_s.max(1e-9);
+            println!(
+                "{:<8} {:>8} {:>6} {:>10.3} {:>10.3} {:>12.1}",
+                s.clients,
+                shards,
+                if s.warm { "yes" } else { "no" },
+                percentile(&s.latencies, 50.0),
+                percentile(&s.latencies, 99.0),
+                throughput
+            );
+            rows.push(serde_json::json!({
+                "clients": s.clients,
+                "shards": shards,
+                "warm": s.warm,
+                "campaigns": s.latencies.len(),
+                "evaluations": s.evals,
+                "wall_s": s.wall_s,
+                "p50_s": percentile(&s.latencies, 50.0),
+                "p99_s": percentile(&s.latencies, 99.0),
+                "evals_per_s": throughput,
+            }));
+        }
+        handle.stop();
+        hub.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let report = serde_json::json!({
+        "smoke": smoke,
+        "shards": shards,
+        "configs_per_client": configs_per_client,
+        "frames": frames,
+        "rows": rows,
+    });
+    let path = "BENCH_serve.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialisable report"),
+    )
+    .expect("writable working directory");
+    println!("\nwritten to {path}");
+}

@@ -244,7 +244,9 @@ impl AlgoId {
         initial_pose: Se3,
     ) -> Box<dyn SlamAlgorithm> {
         match self {
-            AlgoId::KinectFusion => Box::new(KinectFusion::new(config.clone(), camera, initial_pose)),
+            AlgoId::KinectFusion => {
+                Box::new(KinectFusion::new(config.clone(), camera, initial_pose))
+            }
             AlgoId::PointOdometry => {
                 Box::new(PointOdometry::new(config.clone(), camera, initial_pose))
             }
@@ -272,13 +274,20 @@ impl fmt::Display for AlgoId {
 impl FromStr for AlgoId {
     type Err = String;
 
+    /// Parses a stable algorithm id. The error message enumerates every
+    /// valid name: it surfaces verbatim in user-facing rejections (CLI
+    /// argument errors, `slam-serve` 400 responses), where "unknown
+    /// algorithm" alone would leave the caller guessing.
     fn from_str(s: &str) -> Result<AlgoId, String> {
         AlgoId::ALL
             .into_iter()
             .find(|a| a.id() == s)
             .ok_or_else(|| {
                 let known: Vec<&str> = AlgoId::ALL.iter().map(|a| a.id()).collect();
-                format!("unknown algorithm {s:?}; known: {known:?}")
+                format!(
+                    "unknown algorithm {s:?}; valid algorithms: {}",
+                    known.join(", ")
+                )
             })
     }
 }
@@ -354,6 +363,15 @@ mod tests {
     }
 
     #[test]
+    fn parse_error_lists_every_valid_name() {
+        let err = "nonesuch".parse::<AlgoId>().unwrap_err();
+        assert!(err.contains("\"nonesuch\""), "echoes the input: {err}");
+        for a in AlgoId::ALL {
+            assert!(err.contains(a.id()), "missing {} in: {err}", a.id());
+        }
+    }
+
+    #[test]
     fn every_algorithm_steps_through_the_trait() {
         let cam = PinholeCamera::tiny();
         let depth = structured_depth(&cam);
@@ -395,7 +413,10 @@ mod tests {
         assert_eq!(kf.len(), 10);
         assert_eq!(odo.len(), 9);
         assert!(kf.iter().any(|p| p.name == "mu"));
-        assert!(!odo.iter().any(|p| p.name == "mu"), "odometry has no TSDF mu");
+        assert!(
+            !odo.iter().any(|p| p.name == "mu"),
+            "odometry has no TSDF mu"
+        );
     }
 
     #[test]

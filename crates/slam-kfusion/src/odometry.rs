@@ -216,7 +216,8 @@ impl PointOdometry {
         let mut fw = FrameWorkload::new();
 
         // --- preprocessing -------------------------------------------------
-        let filtered = preprocess_depth(depth_mm, &self.sensor_camera, &self.config, &mut fw, tracer);
+        let filtered =
+            preprocess_depth(depth_mm, &self.sensor_camera, &self.config, &mut fw, tracer);
         let levels = build_pyramid_levels(&filtered, &self.pyramid_cameras, &mut fw, tracer);
 
         // --- tracking: always against the previous frame -------------------

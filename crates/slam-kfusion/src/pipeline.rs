@@ -91,8 +91,16 @@ pub(crate) fn build_pyramid_levels(
 /// the "previous frame as tracking reference" representation shared by
 /// the frame-to-frame tracking modes.
 pub(crate) fn lift_to_world(level: &TrackLevel, pose: &Se3) -> RaycastResult {
-    let mut vertices = Image2D::new(level.camera.width, level.camera.height, slam_math::Vec3::ZERO);
-    let mut normals = Image2D::new(level.camera.width, level.camera.height, slam_math::Vec3::ZERO);
+    let mut vertices = Image2D::new(
+        level.camera.width,
+        level.camera.height,
+        slam_math::Vec3::ZERO,
+    );
+    let mut normals = Image2D::new(
+        level.camera.width,
+        level.camera.height,
+        slam_math::Vec3::ZERO,
+    );
     for y in 0..level.camera.height {
         for x in 0..level.camera.width {
             let v = level.vertices.get(x, y);
@@ -295,7 +303,8 @@ impl KinectFusion {
         let mut fw = FrameWorkload::new();
 
         // --- preprocessing -------------------------------------------------
-        let filtered = preprocess_depth(depth_mm, &self.sensor_camera, &self.config, &mut fw, tracer);
+        let filtered =
+            preprocess_depth(depth_mm, &self.sensor_camera, &self.config, &mut fw, tracer);
         let levels = build_pyramid_levels(&filtered, &self.pyramid_cameras, &mut fw, tracer);
 
         // --- tracking ------------------------------------------------------

@@ -153,6 +153,16 @@ pub fn all_devices() -> Vec<DeviceModel> {
     ]
 }
 
+/// Looks a catalogue device up by its [`DeviceModel::name`],
+/// case-insensitively — the string surface used by CLI flags and the
+/// `slam-serve` wire protocol, where the caller names a device rather
+/// than linking against a constructor.
+pub fn by_name(name: &str) -> Option<DeviceModel> {
+    all_devices()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +242,17 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn by_name_finds_every_catalogue_device() {
+        for dev in all_devices() {
+            let found = by_name(&dev.name);
+            assert!(found.is_some_and(|f| f.name == dev.name));
+            // lookup is case-insensitive: wire protocols pass strings
+            let upper = dev.name.to_uppercase();
+            assert!(by_name(&upper).is_some_and(|f| f.name == dev.name));
+        }
+        assert!(by_name("nonesuch").is_none());
     }
 }

@@ -1,0 +1,171 @@
+//! The `slam-serve` binary: stand up the campaign server.
+//!
+//! ```text
+//! slam-serve [--addr 127.0.0.1:7878] [--state-dir results/serve]
+//!            [--shards 2] [--executors 2] [--quantum 4]
+//!            [--self-check] [--example-request]
+//! ```
+//!
+//! `--self-check` starts an ephemeral server on a loopback port, runs
+//! one tiny campaign end-to-end through the HTTP surface, prints the
+//! result, and exits — the smoke test CI runs. `--example-request`
+//! prints a complete, valid `POST /campaigns` body to stdout (a
+//! `DatasetConfig` is too nested to hand-write) and exits; pipe it to
+//! a file, edit, and `curl -d @-` it.
+
+use slam_kfusion::KFusionConfig;
+use slam_scene::dataset::DatasetConfig;
+use slam_serve::{
+    serve, CampaignHub, CampaignKind, CampaignRequest, Client, OutcomesPage, Priority,
+    ServeOptions, Submitted,
+};
+
+struct Args {
+    addr: String,
+    options: ServeOptions,
+    self_check: bool,
+    example_request: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        options: ServeOptions::new("results/serve"),
+        self_check: false,
+        example_request: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--state-dir" => args.options.state_dir = value("--state-dir")?.into(),
+            "--shards" => {
+                args.options.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--executors" => {
+                args.options.executors = value("--executors")?
+                    .parse()
+                    .map_err(|e| format!("--executors: {e}"))?;
+            }
+            "--quantum" => {
+                args.options.quantum = value("--quantum")?
+                    .parse()
+                    .map_err(|e| format!("--quantum: {e}"))?;
+            }
+            "--self-check" => args.self_check = true,
+            "--example-request" => args.example_request = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn self_check(mut options: ServeOptions) -> Result<(), String> {
+    options.state_dir =
+        std::env::temp_dir().join(format!("slam-serve-check-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&options.state_dir);
+    let state_dir = options.state_dir.clone();
+    let hub = CampaignHub::start(options);
+    let handle = serve(hub.clone(), "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let client = Client::new(handle.addr());
+    let mut dataset = DatasetConfig::tiny_test();
+    dataset.frame_count = 3;
+    let request = CampaignRequest {
+        algorithm: "kfusion".to_string(),
+        dataset,
+        kind: CampaignKind::Sweep {
+            configs: vec![KFusionConfig::fast_test()],
+        },
+        priority: Priority::Interactive,
+        device: None,
+    };
+    let submitted: Submitted = client
+        .post("/campaigns", &request)
+        .map_err(|e| format!("submit: {e}"))?
+        .json()
+        .map_err(|e| format!("submit body: {e}"))?;
+    let page: OutcomesPage = client
+        .get(&format!(
+            "/campaigns/{}/outcomes?from=0&wait=1",
+            submitted.id
+        ))
+        .map_err(|e| format!("outcomes: {e}"))?
+        .json()
+        .map_err(|e| format!("outcomes body: {e}"))?;
+    handle.stop();
+    hub.shutdown();
+    let _ = std::fs::remove_dir_all(&state_dir);
+    if page.records.len() == submitted.total {
+        println!(
+            "self-check ok: campaign {} streamed {} outcome(s)",
+            submitted.id,
+            page.records.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "self-check failed: {}/{} outcomes",
+            page.records.len(),
+            submitted.total
+        ))
+    }
+}
+
+/// Prints a complete `POST /campaigns` body: the living-room sequence
+/// at 30 frames, a two-configuration sweep, interactive priority.
+fn example_request() {
+    let mut dataset = DatasetConfig::living_room();
+    dataset.frame_count = 30;
+    let mut tuned = KFusionConfig::default();
+    tuned.volume_resolution = 128;
+    let request = CampaignRequest {
+        algorithm: "kfusion".to_string(),
+        dataset,
+        kind: CampaignKind::Sweep {
+            configs: vec![KFusionConfig::default(), tuned],
+        },
+        priority: Priority::Interactive,
+        device: None,
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&request).expect("request serialises")
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("slam-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.example_request {
+        example_request();
+        return;
+    }
+    if args.self_check {
+        if let Err(e) = self_check(args.options) {
+            eprintln!("slam-serve: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let hub = CampaignHub::start(args.options);
+    match serve(hub, &args.addr) {
+        Ok(handle) => {
+            println!("slam-serve listening on {}", handle.addr());
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("slam-serve: bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! A minimal blocking HTTP/1.1 client over std [`TcpStream`] — just
+//! enough to drive the campaign API from the integration tests,
+//! `bench_serve`, and the binary's `--self-check`. One request per
+//! connection, mirroring the server's `Connection: close` policy.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One response: the status code and the raw body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON for every route but the stream).
+    pub body: String,
+}
+
+impl Response {
+    /// Deserialises the body.
+    ///
+    /// # Errors
+    ///
+    /// The `serde_json` parse error, verbatim.
+    pub fn json<T: Deserialize>(&self) -> Result<T, serde_json::Error> {
+        serde_json::from_str(&self.body)
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the server at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr }
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<Response> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: slam-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+        })
+    }
+
+    /// `GET path` → status + body.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol errors, verbatim.
+    pub fn get(&self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    /// `DELETE path` → status + body.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol errors, verbatim.
+    pub fn delete(&self, path: &str) -> std::io::Result<Response> {
+        self.request("DELETE", path, None)
+    }
+
+    /// `POST path` with a JSON body → status + body.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol errors, verbatim; serialisation failures
+    /// surface as `InvalidData`.
+    pub fn post<T: Serialize>(&self, path: &str, body: &T) -> std::io::Result<Response> {
+        let text = serde_json::to_string(body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.request("POST", path, Some(&text))
+    }
+
+    /// `GET` a chunked NDJSON stream, blocking until the server closes
+    /// it: returns the streamed lines in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol errors, verbatim.
+    pub fn stream(&self, path: &str) -> std::io::Result<Vec<String>> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        let head = format!("GET {path} HTTP/1.1\r\nHost: slam-serve\r\nConnection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        let (_, payload) = split_head(&raw).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+        })?;
+        let decoded = decode_chunked(payload).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed chunking")
+        })?;
+        Ok(decoded
+            .split('\n')
+            .filter(|line| !line.is_empty())
+            .map(str::to_string)
+            .collect())
+    }
+}
+
+fn split_head(raw: &[u8]) -> Option<(&str, &[u8])> {
+    let pos = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..pos]).ok()?;
+    Some((head, &raw[pos + 4..]))
+}
+
+fn parse_response(raw: &[u8]) -> Option<Response> {
+    let (head, body) = split_head(raw)?;
+    let status_line = head.split("\r\n").next()?;
+    let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+    Some(Response {
+        status,
+        body: String::from_utf8_lossy(body).into_owned(),
+    })
+}
+
+/// Decodes a chunked transfer-encoded payload into its content.
+fn decode_chunked(mut payload: &[u8]) -> Option<String> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = payload.windows(2).position(|w| w == b"\r\n")?;
+        let size_line = std::str::from_utf8(&payload[..line_end]).ok()?;
+        let size = usize::from_str_radix(size_line.trim(), 16).ok()?;
+        payload = &payload[line_end + 2..];
+        if size == 0 {
+            break;
+        }
+        if payload.len() < size + 2 {
+            return None;
+        }
+        out.extend_from_slice(&payload[..size]);
+        payload = &payload[size + 2..]; // skip the chunk's trailing CRLF
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parsing_extracts_status_and_body() {
+        let raw = b"HTTP/1.1 202 Accepted\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 202);
+        assert_eq!(resp.body, "{}");
+        assert!(parse_response(b"garbage").is_none());
+    }
+
+    #[test]
+    fn chunked_decoding_reassembles_lines() {
+        let payload = b"6\r\n{\"a\"}\n\r\n6\r\n{\"b\"}\n\r\n0\r\n\r\n";
+        let decoded = decode_chunked(payload).unwrap();
+        assert_eq!(decoded, "{\"a\"}\n{\"b\"}\n");
+        // truncated chunk is a protocol error, not a panic
+        assert!(decode_chunked(b"6\r\n{\"a\"").is_none());
+    }
+}

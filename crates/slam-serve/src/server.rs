@@ -1,0 +1,353 @@
+//! The HTTP front end: a hand-rolled HTTP/1.1 server over std
+//! [`TcpListener`], one short-lived thread per connection, JSON bodies,
+//! chunked streaming for live outcome feeds. Zero dependencies beyond
+//! the workspace.
+//!
+//! The protocol is deliberately tiny — every route is a
+//! [`protocol`](crate::protocol) type:
+//!
+//! ```text
+//! POST   /campaigns                  submit  → 202 Submitted | 400 ErrorBody
+//! GET    /campaigns/<id>             status  → 200 CampaignStatus | 404
+//! GET    /campaigns/<id>/outcomes    page    → 200 OutcomesPage   (?from=K&wait=1)
+//! GET    /campaigns/<id>/stream      stream  → 200 chunked NDJSON (?from=K)
+//! DELETE /campaigns/<id>             cancel  → 200 CampaignStatus | 404
+//! GET    /stats                      stats   → 200 ServerStatsReport
+//! GET    /healthz                    health  → 200 {"ok":true}
+//! ```
+//!
+//! Malformed requests get typed 400s with the validation message
+//! verbatim (so an unknown algorithm 400 lists every registered
+//! algorithm id). Connections are `Connection: close` — one request
+//! per connection keeps the parser trivial and is plenty for a
+//! campaign-grained API where each evaluation costs far more than a
+//! TCP handshake.
+
+use crate::protocol::{ErrorBody, OutcomesPage};
+use crate::scheduler::CampaignHub;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Request header cap: a campaign API has no business sending more.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Request body cap (a sweep of a few thousand configs fits easily).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A running server: the bound address plus the shutdown handle.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    hub: CampaignHub,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The address the server actually bound (use `port 0` to let the
+    /// OS pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hub this server fronts.
+    pub fn hub(&self) -> &CampaignHub {
+        &self.hub
+    }
+
+    /// Stops accepting connections and joins the accept loop. The hub
+    /// keeps running — callers that want full shutdown also call
+    /// [`CampaignHub::shutdown`].
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // self-connect to unblock the blocking accept
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves the hub's campaign
+/// API until [`ServeHandle::stop`].
+///
+/// # Errors
+///
+/// Any bind error, verbatim.
+pub fn serve(hub: CampaignHub, addr: &str) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_hub = hub.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("slam-serve-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    continue;
+                };
+                let hub = accept_hub.clone();
+                let _ = std::thread::Builder::new()
+                    .name("slam-serve-conn".to_string())
+                    .spawn(move || handle_connection(&hub, stream));
+            }
+        })?;
+    Ok(ServeHandle {
+        addr: local,
+        hub,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// One parsed request head plus its body.
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+fn query_usize(query: &[(String, String)], key: &str) -> usize {
+    query
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn query_flag(query: &[(String, String)], key: &str) -> bool {
+    query
+        .iter()
+        .any(|(k, v)| k == key && v != "0" && v != "false")
+}
+
+/// Reads one HTTP/1.1 request off the stream. `None` on any protocol
+/// violation (the caller answers 400) or a dead socket.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return None;
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    match parts.next() {
+        Some(version) if version.starts_with("HTTP/1.") => {}
+        _ => return None,
+    }
+    let (path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok()?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Some(Request {
+        method,
+        path: path.to_string(),
+        query: parse_query(raw_query),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_json<T: Serialize>(stream: &mut TcpStream, status: u16, body: &T) {
+    let text = serde_json::to_string(body).unwrap_or_default();
+    let response = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        status_reason(status),
+        text.len(),
+        text
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+fn write_error(stream: &mut TcpStream, status: u16, error: impl Into<String>) {
+    write_json(
+        stream,
+        status,
+        &ErrorBody {
+            error: error.into(),
+        },
+    );
+}
+
+fn handle_connection(hub: &CampaignHub, mut stream: TcpStream) {
+    let Some(request) = read_request(&mut stream) else {
+        write_error(&mut stream, 400, "malformed HTTP request");
+        return;
+    };
+    hub.tracer().counter("serve.request", 1);
+    let _span = hub.tracer().section_span("serve.request");
+    route(hub, &mut stream, &request);
+}
+
+fn route(hub: &CampaignHub, stream: &mut TcpStream, request: &Request) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => write_json(stream, 200, &serde_json::json!({"ok": true})),
+        ("GET", ["stats"]) => write_json(stream, 200, &hub.stats_report()),
+        ("POST", ["campaigns"]) => match serde_json::from_slice(&request.body) {
+            Ok(campaign_request) => match hub.submit(campaign_request) {
+                Ok(submitted) => write_json(stream, 202, &submitted),
+                Err(error) => write_error(stream, 400, error),
+            },
+            Err(e) => write_error(stream, 400, format!("invalid campaign request: {e}")),
+        },
+        (method, ["campaigns", id, rest @ ..]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                write_error(stream, 404, format!("no campaign {id:?}"));
+                return;
+            };
+            let Some(campaign) = hub.campaign(id) else {
+                write_error(stream, 404, format!("no campaign {id}"));
+                return;
+            };
+            match (method, rest) {
+                ("GET", []) => write_json(stream, 200, &campaign.status()),
+                ("DELETE", []) => match hub.cancel(id) {
+                    Some(status) => write_json(stream, 200, &status),
+                    None => write_error(stream, 404, format!("no campaign {id}")),
+                },
+                ("GET", ["outcomes"]) => {
+                    let from = query_usize(&request.query, "from");
+                    let wait = query_flag(&request.query, "wait");
+                    let (records, done) = campaign.page_from(from, wait);
+                    write_json(
+                        stream,
+                        200,
+                        &OutcomesPage {
+                            from: from.min(campaign.completed()),
+                            records,
+                            done,
+                        },
+                    );
+                }
+                ("GET", ["stream"]) => {
+                    stream_outcomes(stream, &campaign, query_usize(&request.query, "from"));
+                }
+                _ => write_error(stream, 405, format!("{method} not supported here")),
+            }
+        }
+        (method, _) => write_error(
+            stream,
+            404,
+            format!("no route for {method} {}", request.path),
+        ),
+    }
+}
+
+/// Streams outcome records as they land: a chunked response with one
+/// JSON [`OutcomeRecord`](crate::protocol::OutcomeRecord) per line,
+/// ending once the campaign is terminal (or the client hangs up).
+fn stream_outcomes(stream: &mut TcpStream, campaign: &crate::campaign::Campaign, from: usize) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let mut cursor = from;
+    loop {
+        let (records, done) = campaign.page_from(cursor, true);
+        for record in &records {
+            let Ok(line) = serde_json::to_string(record) else {
+                continue;
+            };
+            let chunk = format!("{:x}\r\n{}\n\r\n", line.len() + 1, line);
+            if stream.write_all(chunk.as_bytes()).is_err() {
+                return; // client hung up
+            }
+        }
+        cursor += records.len();
+        if done {
+            break;
+        }
+    }
+    let _ = stream.write_all(b"0\r\n\r\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_handles_the_grammar() {
+        let q = parse_query("from=7&wait=1&flag");
+        assert_eq!(query_usize(&q, "from"), 7);
+        assert!(query_flag(&q, "wait"));
+        assert!(query_flag(&q, "flag"));
+        assert!(!query_flag(&q, "absent"));
+        assert_eq!(query_usize(&q, "absent"), 0);
+        let q = parse_query("wait=0");
+        assert!(!query_flag(&q, "wait"));
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -69,6 +69,20 @@ impl Trace {
         totals
     }
 
+    /// Totals of every counter whose name starts with `prefix`, keyed by
+    /// name. Subsystems namespace their counters with a dotted prefix
+    /// (`engine.`, `serve.`), so this is the one-call way to pull a
+    /// subsystem's whole counter family out of a shared trace.
+    pub fn counters_with_prefix(&self, prefix: &str) -> BTreeMap<&'static str, u64> {
+        let mut totals = BTreeMap::new();
+        for c in self.counters() {
+            if c.name.starts_with(prefix) {
+                *totals.entry(c.name).or_insert(0) += c.value;
+            }
+        }
+        totals
+    }
+
     /// Aggregates the spans into a per-name [`Profile`] table.
     pub fn profile(&self) -> Profile {
         Profile::from_spans(self.spans())
@@ -181,6 +195,21 @@ mod tests {
         assert_eq!(totals.get("a"), Some(&3));
         assert_eq!(totals.get("b"), Some(&10));
         assert_eq!(trace.counter_total("missing"), 0);
+    }
+
+    #[test]
+    fn counters_with_prefix_select_one_namespace() {
+        let t = Tracer::with_clock(MockClock::new(1));
+        t.counter("serve.request", 1);
+        t.counter("serve.cross_shard_hit", 2);
+        t.counter("engine.cache_hit", 5);
+        t.counter("serve.request", 1);
+        let trace = t.drain();
+        let serve = trace.counters_with_prefix("serve.");
+        assert_eq!(serve.len(), 2);
+        assert_eq!(serve.get("serve.request"), Some(&2));
+        assert_eq!(serve.get("serve.cross_shard_hit"), Some(&2));
+        assert!(trace.counters_with_prefix("nope.").is_empty());
     }
 
     #[test]

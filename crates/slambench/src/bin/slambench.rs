@@ -305,7 +305,10 @@ fn main() -> ExitCode {
                 );
             }
             None => {
-                eprintln!("{} builds no meshable model; skipping {path}", args.algorithm);
+                eprintln!(
+                    "{} builds no meshable model; skipping {path}",
+                    args.algorithm
+                );
             }
         }
     }

@@ -151,18 +151,22 @@ impl SweepCheckpoint {
     }
 }
 
-/// Loads a checkpoint, tolerantly: any IO or parse failure reads as "no
-/// checkpoint".
-pub fn load_checkpoint(path: &Path) -> Option<SweepCheckpoint> {
+/// Loads any JSON-persisted state, tolerantly: any IO or parse failure
+/// reads as "no state". The generic primitive under
+/// [`load_checkpoint`]; other persistence layers (the `slam-serve`
+/// campaign store) build on it so every resume path shares one
+/// tolerance policy.
+pub fn load_json<T: serde::Deserialize>(path: &Path) -> Option<T> {
     let text = std::fs::read_to_string(path).ok()?;
     serde_json::from_str(&text).ok()
 }
 
-/// Atomically persists a checkpoint (write temp file, then rename).
-/// Best-effort: returns whether the save landed; a failed save is not
-/// an error, it only costs resume granularity.
-pub fn save_checkpoint(path: &Path, checkpoint: &SweepCheckpoint) -> bool {
-    let Ok(text) = serde_json::to_string(checkpoint) else {
+/// Atomically persists any serialisable state (write temp file, then
+/// rename). Best-effort: returns whether the save landed; a failed
+/// save is not an error, it only costs resume granularity. The generic
+/// primitive under [`save_checkpoint`].
+pub fn save_json_atomic<T: Serialize>(path: &Path, value: &T) -> bool {
+    let Ok(text) = serde_json::to_string(value) else {
         return false;
     };
     let Some(dir) = path.parent() else {
@@ -180,6 +184,19 @@ pub fn save_checkpoint(path: &Path, checkpoint: &SweepCheckpoint) -> bool {
         return false;
     }
     true
+}
+
+/// Loads a checkpoint, tolerantly: any IO or parse failure reads as "no
+/// checkpoint".
+pub fn load_checkpoint(path: &Path) -> Option<SweepCheckpoint> {
+    load_json(path)
+}
+
+/// Atomically persists a checkpoint (write temp file, then rename).
+/// Best-effort: returns whether the save landed; a failed save is not
+/// an error, it only costs resume granularity.
+pub fn save_checkpoint(path: &Path, checkpoint: &SweepCheckpoint) -> bool {
+    save_json_atomic(path, checkpoint)
 }
 
 /// How a checkpointed sweep session ended.

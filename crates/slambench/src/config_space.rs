@@ -176,7 +176,10 @@ mod tests {
         assert_eq!(space.index_of("mu"), None);
         assert_eq!(space.len(), 9);
         let c = KFusionConfig::default();
-        let decoded = decode_for(AlgoId::PointOdometry, &encode_for(AlgoId::PointOdometry, &c));
+        let decoded = decode_for(
+            AlgoId::PointOdometry,
+            &encode_for(AlgoId::PointOdometry, &c),
+        );
         assert_eq!(decoded.volume_resolution, c.volume_resolution);
         assert_eq!(decoded.pyramid_iterations, c.pyramid_iterations);
         // mu is not swept for odometry: decode leaves the default

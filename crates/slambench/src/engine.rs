@@ -138,8 +138,10 @@ impl RunOutcome {
 }
 
 /// Cache traffic counters, one increment per requested evaluation, plus
-/// fault-tolerance outcome counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// fault-tolerance outcome counters. Serialisable so stats surfaces
+/// (the `slam-serve` `/stats` endpoint, bench reports) can ship them
+/// as JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Requests answered from the in-memory cache (including duplicates
     /// within one batch, which share the batch's single execution).
@@ -164,6 +166,24 @@ impl EngineStats {
     /// Total evaluations requested.
     pub fn requests(&self) -> usize {
         self.hits + self.disk_hits + self.misses + self.quarantined
+    }
+
+    /// Element-wise sum of a set of per-engine counters — the aggregation
+    /// used wherever several engines serve one logical workload (the
+    /// sharded server core, fleet summaries). Summing is exact: each
+    /// counter counts disjoint per-engine events.
+    pub fn merge(stats: &[EngineStats]) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in stats {
+            total.hits += s.hits;
+            total.disk_hits += s.disk_hits;
+            total.misses += s.misses;
+            total.quarantined += s.quarantined;
+            total.retries += s.retries;
+            total.timed_out += s.timed_out;
+            total.failed += s.failed;
+        }
+        total
     }
 }
 
@@ -222,6 +242,24 @@ fn key_hash(key: &RunKey) -> u64 {
 /// against the same dataset.
 pub fn dataset_fingerprint(dataset: &SyntheticDataset) -> u64 {
     dataset_id(dataset)
+}
+
+/// The stable 64-bit content address of one evaluation request — the
+/// same digest the engine uses for its cache keys and disk-cache file
+/// names. Exposed so shard routers can place a request on the shard
+/// that owns its cache entry: `run_fingerprint(...) % shard_count` is
+/// stable across processes, thread counts, and the `threads` knob
+/// (which is normalised out of the key).
+pub fn run_fingerprint(
+    algorithm: AlgoId,
+    dataset: &SyntheticDataset,
+    config: &KFusionConfig,
+) -> u64 {
+    key_hash(&RunKey {
+        algorithm,
+        dataset: dataset_id(dataset),
+        config: config_bits(config),
+    })
 }
 
 /// Per-miss execution result, before cache bookkeeping.
@@ -965,6 +1003,61 @@ mod tests {
         let silent = EvalEngine::new();
         let _ = silent.evaluate(&dataset, &config);
         assert!(!silent.tracer().enabled());
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = EngineStats {
+            hits: 1,
+            disk_hits: 2,
+            misses: 3,
+            quarantined: 4,
+            retries: 5,
+            timed_out: 6,
+            failed: 7,
+        };
+        let b = EngineStats {
+            hits: 10,
+            ..EngineStats::default()
+        };
+        let merged = EngineStats::merge(&[a, b, EngineStats::default()]);
+        assert_eq!(merged.hits, 11);
+        assert_eq!(merged.disk_hits, 2);
+        assert_eq!(merged.misses, 3);
+        assert_eq!(merged.quarantined, 4);
+        assert_eq!(merged.retries, 5);
+        assert_eq!(merged.timed_out, 6);
+        assert_eq!(merged.failed, 7);
+        assert_eq!(merged.requests(), a.requests() + b.requests());
+        assert_eq!(EngineStats::merge(&[]), EngineStats::default());
+        // round-trips through JSON for the server stats endpoint
+        let json = serde_json::to_string(&merged).unwrap();
+        let back: EngineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn run_fingerprint_matches_cache_identity() {
+        let dataset = tiny_dataset(4);
+        let config = KFusionConfig::fast_test();
+        let mut threaded = config.clone();
+        threaded.threads = 9;
+        // the threads knob is normalised out, like the cache key
+        assert_eq!(
+            run_fingerprint(AlgoId::KinectFusion, &dataset, &config),
+            run_fingerprint(AlgoId::KinectFusion, &dataset, &threaded),
+        );
+        // algorithm and config changes move the fingerprint
+        assert_ne!(
+            run_fingerprint(AlgoId::KinectFusion, &dataset, &config),
+            run_fingerprint(AlgoId::PointOdometry, &dataset, &config),
+        );
+        let mut coarse = config.clone();
+        coarse.volume_resolution = 32;
+        assert_ne!(
+            run_fingerprint(AlgoId::KinectFusion, &dataset, &config),
+            run_fingerprint(AlgoId::KinectFusion, &dataset, &coarse),
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ pub mod fleet;
 pub mod run;
 pub mod suite;
 
-pub use checkpoint::{CheckpointOptions, RecordedEval, SweepCheckpoint, SweepProgress};
+pub use checkpoint::{
+    load_checkpoint, load_json, save_checkpoint, save_json_atomic, CheckpointOptions, RecordedEval,
+    SweepCheckpoint, SweepProgress,
+};
 pub use codesign::{
     codesign_explore, codesign_explore_algorithm, codesign_explore_with_engine, codesign_space,
     codesign_space_for, decode_codesign, decode_codesign_for, CoDesignOptions, CoDesignOutcome,
@@ -77,8 +80,8 @@ pub use config_space::{
     decode_config, decode_for, encode_config, encode_for, slambench_space, space_for,
 };
 pub use engine::{
-    dataset_fingerprint, evaluate_algorithm_once, evaluate_once, evaluate_once_traced, EngineStats,
-    EvalEngine, EvalError, RunOutcome,
+    dataset_fingerprint, evaluate_algorithm_once, evaluate_once, evaluate_once_traced,
+    run_fingerprint, EngineStats, EvalEngine, EvalError, RunOutcome,
 };
 pub use explore::{
     explore, explore_algorithm, explore_checkpointed, explore_with_engine, measure,

@@ -17,9 +17,11 @@
 //! `pool-blocking` scans closures submitted to the worker pool — the
 //! argument list of a `run_tasks`-family call, or a `Box::new(…) as
 //! …Task` cast — for calls that park the worker: `sleep`, `.recv()`
-//! without a timeout, and file IO (`fs::…`, `File`, `read_to_string`,
-//! …). A blocked worker serialises the whole batch behind IO latency and
-//! can deadlock nested submissions.
+//! without a timeout, file IO (`fs::…`, `File`, `read_to_string`, …)
+//! and socket work (`TcpListener` / `TcpStream` / `UdpSocket`
+//! construction, `.accept()`). A blocked worker serialises the whole
+//! batch behind IO latency and can deadlock nested submissions; a
+//! worker parked in `accept()` never returns at all.
 
 use crate::determinism::skip_balanced;
 use crate::lexer::Token;
@@ -39,9 +41,9 @@ const POOL_SUBMITTERS: &[&str] = &[
     "reduce_bands_traced",
 ];
 
-/// Identifiers that block the calling thread. `recv` is matched only as
-/// a method call (`.recv()`); `recv_timeout`/`try_recv` are distinct
-/// identifiers and stay allowed.
+/// Identifiers that block the calling thread. `recv` and `accept` are
+/// matched only as method calls (`.recv()` / `.accept()`);
+/// `recv_timeout`/`try_recv` are distinct identifiers and stay allowed.
 const BLOCKING_IDENTS: &[&str] = &[
     "sleep",
     "File",
@@ -51,6 +53,11 @@ const BLOCKING_IDENTS: &[&str] = &[
     "create_dir_all",
     "remove_file",
     "remove_dir_all",
+    // socket types: connect/bind block on the network, and a worker
+    // parked in accept() never comes back
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
 ];
 
 /// `pool-blocking`: blocking calls inside pool-task closures.
@@ -86,12 +93,12 @@ pub fn lint_pool_blocking(src: &SourceFile, out: &mut Vec<Diagnostic>) {
             };
             let hit = if BLOCKING_IDENTS.contains(&ident) {
                 Some(ident)
-            } else if ident == "recv"
+            } else if matches!(ident, "recv" | "accept")
                 && j > 0
                 && toks[j - 1].is_punct('.')
                 && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
             {
-                Some("recv")
+                Some(ident)
             } else if ident == "fs"
                 && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
                 && toks.get(j + 2).is_some_and(|n| n.is_punct(':'))

@@ -9,7 +9,8 @@
 //! 2  slam-kfusion                   (kernels + exec pool)
 //! 3  slam-power
 //! 4  slambench                      (engine / orchestration)
-//! 5  bench, slambench-suite         (binaries, integration tests)
+//! 5  slam-serve                     (campaign server over the engine)
+//! 6  bench, slambench-suite         (binaries, integration tests)
 //! ```
 //!
 //! Every `Cargo.toml` dependency and every observed import must point
@@ -35,8 +36,9 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("slam-kfusion", 2),
     ("slam-power", 3),
     ("slambench", 4),
-    ("bench", 5),
-    ("slambench-suite", 5),
+    ("slam-serve", 5),
+    ("bench", 6),
+    ("slambench-suite", 6),
 ];
 
 /// One internal-module rule: `symbols` may only be named in files whose

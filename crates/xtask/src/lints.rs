@@ -34,6 +34,11 @@
 //!   flow through the `EvalEngine`, or its run cache and batch
 //!   scheduling silently stop covering the workload (and duplicated
 //!   orchestration loops creep back in).
+//! * **`network-boundary`** — no raw socket types (`TcpListener`,
+//!   `TcpStream`, `UdpSocket`) outside `crates/slam-serve/`, its loopback
+//!   `bench_serve` driver and test sources. The campaign server owns the
+//!   network surface; a socket anywhere else bypasses its validation
+//!   boundary and never lands in the trace profile.
 //! * **`trace-clock`** — no direct `Instant::now()` outside
 //!   `slam_trace::clock`. Raw clock reads scattered through the code
 //!   cannot be mocked, aggregated, or exported; all timing flows
@@ -109,6 +114,10 @@ pub struct LintPolicy {
     /// File may read the raw monotonic clock (`Instant::now()`) — only
     /// `slam_trace::clock`, where `WallClock` wraps it.
     pub allow_raw_clock: bool,
+    /// File may name raw socket types (`TcpListener`, `TcpStream`,
+    /// `UdpSocket`) — the campaign server crate, its loopback bench
+    /// driver, and test sources.
+    pub allow_network: bool,
     /// File is a crate root and must carry `#![deny(unsafe_code)]`.
     pub require_deny_unsafe: bool,
     /// `#[cfg(test)]` items are held to the orchestrator test policy:
@@ -135,6 +144,7 @@ impl LintPolicy {
             allow_run_pipeline: false,
             allow_kfusion_internals: false,
             allow_raw_clock: false,
+            allow_network: false,
             require_deny_unsafe: false,
             strict_test_panics: false,
             allow_pool_reduce: false,
@@ -241,6 +251,9 @@ pub fn lint_file(src: &SourceFile, policy: LintPolicy) -> Vec<Diagnostic> {
     }
     if !policy.allow_raw_clock {
         lint_trace_clock(src, &mut out);
+    }
+    if !policy.allow_network {
+        lint_network_boundary(src, &mut out);
     }
     if !policy.allow_pool_reduce {
         crate::determinism::lint_float_reduce(src, &mut out);
@@ -508,6 +521,32 @@ fn lint_trace_clock(src: &SourceFile, out: &mut Vec<Diagnostic>) {
                       `slam_trace` spans or a `Clock` handle so measurements are \
                       mockable and land in one profile"
                 .into(),
+        });
+    }
+}
+
+/// `network-boundary`: flags the raw socket types outside the serving
+/// crate. No `#[cfg(test)]` exemption — a unit test opening sockets in a
+/// non-network crate is the same untracked side channel; loopback tests
+/// live in test sources (which the walk allowlists) or in `slam-serve`.
+fn lint_network_boundary(src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for t in &src.tokens {
+        let Some(ident) = t.ident() else { continue };
+        if !matches!(ident, "TcpListener" | "TcpStream" | "UdpSocket") {
+            continue;
+        }
+        if src.waived(t.line, "network-boundary") {
+            continue;
+        }
+        out.push(Diagnostic {
+            lint: "network-boundary".into(),
+            file: src.path.clone(),
+            line: t.line,
+            message: format!(
+                "raw `{ident}` outside `slam-serve`: the campaign server owns the \
+                 network surface — talk to evaluations through its HTTP API (or \
+                 its `Client`) so requests stay validated, traced and replayable"
+            ),
         });
     }
 }

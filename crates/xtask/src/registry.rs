@@ -70,7 +70,8 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         id: "XT005",
         name: "engine-only",
-        summary: "no raw run_pipeline*/run_algorithm* calls outside slambench::run / slambench::engine",
+        summary:
+            "no raw run_pipeline*/run_algorithm* calls outside slambench::run / slambench::engine",
         explain: "Every evaluation flows through `slambench::engine::EvalEngine` so \
                   runs are content-addressed-cached, batch-scheduled and covered by \
                   the fault policy. Direct `run_pipeline` / `run_pipeline_with_threads` \
@@ -112,6 +113,19 @@ pub const LINTS: &[LintInfo] = &[
                   volumes carry explicit waivers.",
     },
     LintInfo {
+        id: "XT009",
+        name: "network-boundary",
+        summary: "no raw sockets outside the slam-serve crate and its drivers",
+        explain: "The campaign server owns the workspace's network surface: every \
+                  `TcpListener` / `TcpStream` / `UdpSocket` lives in \
+                  `crates/slam-serve/` (the HTTP front end and its blocking client), \
+                  the loopback `bench_serve` driver, or a test source. A socket \
+                  opened anywhere else is an untracked side channel: it bypasses the \
+                  campaign API's validation boundary, its latency never lands in the \
+                  trace profile, and evaluations stop being replayable from the \
+                  recorded requests.",
+    },
+    LintInfo {
         id: "XT101",
         name: "layer-cycle",
         summary: "crate dependency graph must be acyclic",
@@ -127,7 +141,8 @@ pub const LINTS: &[LintInfo] = &[
         summary: "crate deps and imports must point strictly down the layer DAG",
         explain: "Each workspace crate is assigned a layer: `slam-math`/`slam-trace` \
                   (0) → `slam-scene`/`slam-metrics`/`slam-dse` (1) → `slam-kfusion` \
-                  (2) → `slam-power` (3) → `slambench` (4) → `bench`/root suite (5). \
+                  (2) → `slam-power` (3) → `slambench` (4) → `slam-serve` (5) → \
+                  `bench`/root suite (6). \
                   A `Cargo.toml` dependency or a `use`/qualified-path import of a \
                   same-or-higher layer from another crate is a layering violation: it \
                   lets orchestration details leak into kernels and makes the layers \
@@ -201,12 +216,15 @@ pub const LINTS: &[LintInfo] = &[
         summary: "no blocking calls (file IO, sleep, recv) inside pool tasks",
         explain: "A closure submitted to the worker pool (as an argument to \
                   `run_tasks`-family calls, or via a `Box::new(…) as Task` cast) must \
-                  not block: `sleep`, un-timed-out `recv`, and file IO (`fs::…`, \
-                  `File`, `read_to_string`, …) park a pool worker, serialising the \
-                  batch behind IO latency and deadlocking under nested submissions. \
-                  Do IO outside the parallel section (the engine persists cache \
-                  entries after the batch) or through a dedicated non-pool path. \
-                  Test sources are exempt: simulated stragglers legitimately sleep.",
+                  not block: `sleep`, un-timed-out `recv`, file IO (`fs::…`, `File`, \
+                  `read_to_string`, …) and socket work (`TcpListener` / `TcpStream` / \
+                  `UdpSocket` construction, `.accept()`) park a pool worker, \
+                  serialising the batch behind IO latency and deadlocking under \
+                  nested submissions. Do IO outside the parallel section (the engine \
+                  persists cache entries after the batch; the campaign server talks \
+                  HTTP on its own connection threads) or through a dedicated \
+                  non-pool path. Test sources are exempt: simulated stragglers \
+                  legitimately sleep.",
     },
 ];
 

@@ -14,6 +14,12 @@ const UNSAFE_ALLOWLIST: &[&str] = &["crates/slam-kfusion/src/exec/mod.rs"];
 const THREADING_ALLOWLIST: &[&str] = &[
     "crates/slam-kfusion/src/exec/mod.rs",
     "crates/slam-kfusion/src/exec/model.rs",
+    // the campaign server's structural threads: the accept loop and
+    // per-connection handlers, and the executor pool that multiplexes
+    // campaigns — all of which run *around* the exec pool, never inside
+    // it (kernel parallelism still flows through `slam_kfusion::exec`)
+    "crates/slam-serve/src/server.rs",
+    "crates/slam-serve/src/scheduler.rs",
 ];
 
 /// Files allowed to panic despite living under `src/`: the loom model
@@ -41,6 +47,13 @@ const ALGORITHM_ALLOWLIST: &[&str] = &["crates/slambench/src/run.rs"];
 /// `slam-trace` is the single sanctioned `Instant::now()` site. Everything
 /// else times through `slam_trace` spans or an injected `Clock`.
 const CLOCK_ALLOWLIST: &[&str] = &["crates/slam-trace/src/clock.rs"];
+
+/// Files allowed to name raw socket types: the campaign server crate
+/// (HTTP front end + blocking client) and its loopback bench driver.
+/// Test sources are additionally allowed by [`classify`] — the
+/// integration suite drives the server over real loopback sockets.
+const NETWORK_ALLOWLIST_PREFIX: &str = "crates/slam-serve/";
+const NETWORK_ALLOWLIST: &[&str] = &["crates/bench/src/bin/bench_serve.rs"];
 
 /// Returns every Rust source file to lint, as repo-relative paths:
 /// `crates/*/{src,tests}`, the top-level `tests/` and `examples/` trees
@@ -129,6 +142,9 @@ pub fn classify(rel: &Path) -> LintPolicy {
         allow_kfusion_internals: p.starts_with(ALGORITHM_ALLOWLIST_PREFIX)
             || ALGORITHM_ALLOWLIST.contains(&p.as_str()),
         allow_raw_clock: CLOCK_ALLOWLIST.contains(&p.as_str()),
+        allow_network: is_test_source
+            || p.starts_with(NETWORK_ALLOWLIST_PREFIX)
+            || NETWORK_ALLOWLIST.contains(&p.as_str()),
         require_deny_unsafe: is_crate_root,
         strict_test_panics: is_orchestrator,
         // the exec pool is the home of the blessed ordered-reduction
@@ -186,7 +202,9 @@ mod tests {
     #[test]
     fn only_the_algorithm_crate_and_driver_may_name_kfusion_internals() {
         assert!(classify(Path::new("crates/slam-kfusion/src/pipeline.rs")).allow_kfusion_internals);
-        assert!(classify(Path::new("crates/slam-kfusion/tests/odometry.rs")).allow_kfusion_internals);
+        assert!(
+            classify(Path::new("crates/slam-kfusion/tests/odometry.rs")).allow_kfusion_internals
+        );
         assert!(classify(Path::new("crates/slambench/src/run.rs")).allow_kfusion_internals);
         assert!(!classify(Path::new("crates/slambench/src/engine.rs")).allow_kfusion_internals);
         assert!(!classify(Path::new("crates/bench/benches/kernels.rs")).allow_kfusion_internals);
@@ -203,6 +221,31 @@ mod tests {
         assert!(!classify(Path::new("crates/slambench/tests/explore.rs")).strict_test_panics);
         assert!(!classify(Path::new("tests/fault_tolerance.rs")).strict_test_panics);
         assert!(!classify(Path::new("crates/bench/src/bin/headline.rs")).strict_test_panics);
+    }
+
+    #[test]
+    fn only_the_serve_crate_and_its_drivers_may_open_sockets() {
+        // the whole serving crate may name socket types…
+        assert!(classify(Path::new("crates/slam-serve/src/server.rs")).allow_network);
+        assert!(classify(Path::new("crates/slam-serve/src/client.rs")).allow_network);
+        assert!(classify(Path::new("crates/slam-serve/src/bin/slam_serve.rs")).allow_network);
+        // …plus the loopback bench driver and test sources
+        assert!(classify(Path::new("crates/bench/src/bin/bench_serve.rs")).allow_network);
+        assert!(classify(Path::new("tests/serve.rs")).allow_network);
+        // everything else is socket-free
+        assert!(!classify(Path::new("crates/slambench/src/engine.rs")).allow_network);
+        assert!(!classify(Path::new("crates/bench/src/bin/headline.rs")).allow_network);
+        assert!(!classify(Path::new("crates/slam-kfusion/src/pipeline.rs")).allow_network);
+    }
+
+    #[test]
+    fn serve_structural_threads_are_allowlisted_narrowly() {
+        // only the accept loop / connection handlers and the executor
+        // pool may spawn; the rest of the crate stays thread-free
+        assert!(classify(Path::new("crates/slam-serve/src/server.rs")).allow_threading);
+        assert!(classify(Path::new("crates/slam-serve/src/scheduler.rs")).allow_threading);
+        assert!(!classify(Path::new("crates/slam-serve/src/campaign.rs")).allow_threading);
+        assert!(!classify(Path::new("crates/slam-serve/src/client.rs")).allow_threading);
     }
 
     #[test]

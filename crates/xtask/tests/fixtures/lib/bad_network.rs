@@ -1,0 +1,28 @@
+//! Known-bad fixture: raw socket types in a non-network library crate.
+//! The campaign server (`crates/slam-serve/`) owns the workspace's
+//! network surface; sockets anywhere else are untracked side channels.
+
+use std::net::TcpListener; //~ network-boundary
+
+pub fn sneaky_server() -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?; //~ network-boundary
+    let (stream, _) = listener.accept()?;
+    drop(stream);
+    Ok(())
+}
+
+pub fn sneaky_client(addr: &str) -> std::io::Result<()> {
+    let stream = std::net::TcpStream::connect(addr)?; //~ network-boundary
+    drop(stream);
+    Ok(())
+}
+
+pub fn sneaky_datagram() -> std::io::Result<std::net::UdpSocket> { //~ network-boundary
+    std::net::UdpSocket::bind("127.0.0.1:0") //~ network-boundary
+}
+
+// a waived site documents why it is sanctioned
+pub fn waived_probe() -> bool {
+    // xtask-allow: network-boundary — reason: fixture exercising the waiver path
+    std::net::TcpStream::connect("127.0.0.1:1").is_ok()
+}

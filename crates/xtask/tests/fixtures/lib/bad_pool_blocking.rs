@@ -25,6 +25,15 @@ pub fn channel_wait_in_band(threads: usize, n: usize, rx: &Receiver<u32>) {
     });
 }
 
+pub fn socket_wait_in_task(threads: usize, listener: &Listener) {
+    exec::run_tasks(
+        threads,
+        vec![Box::new(move || {
+            let _ = listener.accept(); //~ pool-blocking
+        }) as exec::Task<'_, ()>],
+    );
+}
+
 pub fn io_outside_tasks_is_fine(path: &str) -> std::io::Result<String> {
     // blocking outside a pool region never trips the lint
     std::fs::read_to_string(path)

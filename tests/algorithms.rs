@@ -59,7 +59,10 @@ fn head_to_head_reruns_are_bit_identical() {
     for &algo in &AlgoId::ALL {
         let first = serde_json::to_string(&run_one(algo)).expect("serialisable report");
         let second = serde_json::to_string(&run_one(algo)).expect("serialisable report");
-        assert_eq!(first, second, "{algo}: a fresh engine must reproduce the grid");
+        assert_eq!(
+            first, second,
+            "{algo}: a fresh engine must reproduce the grid"
+        );
     }
 }
 

@@ -18,7 +18,9 @@ fn reconstructed_mesh_lies_on_the_true_surface() {
     for frame in dataset.frames() {
         kf.step_frame(&frame.depth_mm);
     }
-    let mesh = kf.extract_mesh(0).expect("KinectFusion builds a meshable model");
+    let mesh = kf
+        .extract_mesh(0)
+        .expect("KinectFusion builds a meshable model");
     assert!(
         mesh.triangle_count() > 500,
         "expected a substantial reconstruction, got {} triangles",
