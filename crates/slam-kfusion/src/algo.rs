@@ -114,7 +114,9 @@ pub struct ParamDescriptor {
     pub domain: ParamDomain,
 }
 
-/// The KinectFusion design space — the ISPASS'18 paper's ten knobs.
+/// The KinectFusion design space — the ISPASS'18 paper's ten knobs plus
+/// the TSDF storage backend (appended last so existing design-point
+/// encodings keep their indices).
 const KFUSION_SPACE: &[ParamDescriptor] = &[
     ParamDescriptor {
         name: "compute_size_ratio",
@@ -154,6 +156,10 @@ const KFUSION_SPACE: &[ParamDescriptor] = &[
     },
     ParamDescriptor {
         name: "bilateral_filter",
+        domain: ParamDomain::Flag,
+    },
+    ParamDescriptor {
+        name: "volume_backend",
         domain: ParamDomain::Flag,
     },
 ];
@@ -310,7 +316,12 @@ impl SlamAlgorithm for KinectFusion {
     }
 
     fn extract_mesh(&self, threads: usize) -> Option<TriangleMesh> {
-        Some(marching_cubes_with_threads(self.volume(), threads))
+        // match once so marching cubes runs statically dispatched on the
+        // concrete backend instead of through the storage enum per voxel
+        Some(match self.volume() {
+            crate::volume::VolumeStorage::Dense(v) => marching_cubes_with_threads(v, threads),
+            crate::volume::VolumeStorage::Sparse(v) => marching_cubes_with_threads(v, threads),
+        })
     }
 }
 
@@ -410,12 +421,19 @@ mod tests {
     fn parameter_spaces_differ_per_algorithm() {
         let kf = AlgoId::KinectFusion.parameter_space();
         let odo = AlgoId::PointOdometry.parameter_space();
-        assert_eq!(kf.len(), 10);
+        assert_eq!(kf.len(), 11);
         assert_eq!(odo.len(), 9);
         assert!(kf.iter().any(|p| p.name == "mu"));
         assert!(
             !odo.iter().any(|p| p.name == "mu"),
             "odometry has no TSDF mu"
+        );
+        // the backend knob is appended last so the ten original knob
+        // indices — part of existing design-point encodings — are stable
+        assert_eq!(kf.last().map(|p| p.name), Some("volume_backend"));
+        assert!(
+            !odo.iter().any(|p| p.name == "volume_backend"),
+            "odometry has no TSDF volume"
         );
     }
 

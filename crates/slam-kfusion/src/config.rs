@@ -1,6 +1,7 @@
 //! The KinectFusion algorithmic configuration — the design space of the
 //! ISPASS'18 paper.
 
+use crate::volume::VolumeBackend;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -158,6 +159,12 @@ pub struct KFusionConfig {
     /// [`crate::exec::with_thread_budget`].
     #[serde(default)]
     pub threads: usize,
+    /// TSDF storage backend: dense `res³` arrays or sparse 8³ bricks
+    /// allocated on first touch. Pure performance/memory knob — both
+    /// backends produce bit-identical voxel values inside the truncation
+    /// band (see [`crate::volume`]).
+    #[serde(default)]
+    pub volume_backend: VolumeBackend,
 }
 
 impl Default for KFusionConfig {
@@ -179,6 +186,7 @@ impl Default for KFusionConfig {
             min_track_fraction: 0.1,
             tracking_reference: TrackingReference::Model,
             threads: 0,
+            volume_backend: VolumeBackend::Dense,
         }
     }
 }
@@ -303,7 +311,7 @@ impl fmt::Display for KFusionConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "csr={} vr={} vs={:.1} mu={:.3} icp={:.0e} pyr={:?} tr={} ir={} rr={} bf={} thr={}",
+            "csr={} vr={} vs={:.1} mu={:.3} icp={:.0e} pyr={:?} tr={} ir={} rr={} bf={} thr={} vb={}",
             self.compute_size_ratio,
             self.volume_resolution,
             self.volume_size,
@@ -315,6 +323,7 @@ impl fmt::Display for KFusionConfig {
             self.raycast_rate,
             self.bilateral_filter,
             self.threads,
+            self.volume_backend,
         )
     }
 }
@@ -437,6 +446,22 @@ mod tests {
         assert!(!stripped.contains("threads"));
         let back: KFusionConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.threads, 0);
+    }
+
+    #[test]
+    fn volume_backend_is_serde_defaulted_and_displayed() {
+        // configs serialised before the knob existed must still load
+        let json = serde_json::to_string(&KFusionConfig::fast_test()).unwrap();
+        let stripped = json.replace(",\"volume_backend\":\"Dense\"", "");
+        assert!(!stripped.contains("volume_backend"));
+        let back: KFusionConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.volume_backend, VolumeBackend::Dense);
+        let sparse = KFusionConfig {
+            volume_backend: VolumeBackend::Sparse,
+            ..KFusionConfig::fast_test()
+        };
+        sparse.validate().unwrap();
+        assert!(format!("{sparse}").contains("vb=sparse"));
     }
 
     #[test]

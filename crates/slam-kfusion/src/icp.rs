@@ -86,11 +86,13 @@ fn icp_iteration(
             for y in rows {
                 for x in 0..level.camera.width {
                     let v = level.vertices.get(x, y);
-                    if v.z <= 0.0 {
+                    // `z <= 0.0` is false for NaN: require finite depth so a
+                    // poisoned vertex cannot reach the normal equations
+                    if !v.z.is_finite() || v.z <= 0.0 {
                         continue;
                     }
                     let n_cur = level.normals.get(x, y);
-                    if n_cur.norm_squared() < 0.25 {
+                    if !n_cur.norm_squared().is_finite() || n_cur.norm_squared() < 0.25 {
                         continue;
                     }
                     total_valid += 1;
@@ -112,11 +114,14 @@ fn icp_iteration(
                     }
                     let v_ref = model.vertices.get(ui, vi);
                     let n_ref = model.normals.get(ui, vi);
-                    if n_ref.norm_squared() < 0.25 {
+                    if !n_ref.norm_squared().is_finite() || n_ref.norm_squared() < 0.25 {
                         continue;
                     }
                     let diff = v_ref - p_world;
-                    if diff.norm() > config.icp_dist_threshold {
+                    // reject non-finite model vertices the same way: a
+                    // `> threshold` comparison is false for NaN and would
+                    // let a poisoned association through
+                    if !diff.norm().is_finite() || diff.norm() > config.icp_dist_threshold {
                         continue;
                     }
                     let n_world_cur = pose.transform_vector(n_cur);

@@ -62,6 +62,8 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod raycast;
 pub mod tsdf;
+pub mod tsdf_sparse;
+pub mod volume;
 pub mod workload;
 
 pub use algo::{AlgoId, ParamDescriptor, ParamDomain, SlamAlgorithm};
@@ -72,4 +74,6 @@ pub use mesh::{marching_cubes, marching_cubes_traced, marching_cubes_with_thread
 pub use odometry::PointOdometry;
 pub use pipeline::{FrameResult, KinectFusion};
 pub use tsdf::TsdfVolume;
+pub use tsdf_sparse::SparseTsdfVolume;
+pub use volume::{Volume, VolumeBackend, VolumeStorage};
 pub use workload::{FrameWorkload, Kernel, Workload};

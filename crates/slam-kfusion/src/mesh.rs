@@ -4,7 +4,7 @@
 
 use crate::exec;
 use crate::mc_tables::{EDGE_TABLE, TRI_TABLE};
-use crate::tsdf::TsdfVolume;
+use crate::volume::Volume;
 use slam_math::Vec3;
 use slam_trace::Tracer;
 use std::fmt::Write as _;
@@ -107,7 +107,7 @@ impl TriangleMesh {
 /// grow spurious walls. Vertices on shared cell edges are *not* welded
 /// (each triangle owns its vertices), which is what the original
 /// KinectFusion's renderer produced too.
-pub fn marching_cubes(volume: &TsdfVolume) -> TriangleMesh {
+pub fn marching_cubes<V: Volume + Sync + ?Sized>(volume: &V) -> TriangleMesh {
     marching_cubes_with_threads(volume, 0)
 }
 
@@ -117,14 +117,21 @@ pub fn marching_cubes(volume: &TsdfVolume) -> TriangleMesh {
 /// stitched back together **in slab order** with re-based triangle
 /// indices, reproducing the serial emission order exactly — the mesh is
 /// bit-identical for every thread count.
-pub fn marching_cubes_with_threads(volume: &TsdfVolume, threads: usize) -> TriangleMesh {
+pub fn marching_cubes_with_threads<V: Volume + Sync + ?Sized>(
+    volume: &V,
+    threads: usize,
+) -> TriangleMesh {
     marching_cubes_traced(volume, threads, Tracer::off())
 }
 
 /// Like [`marching_cubes_with_threads`], recording a `marching_cubes`
 /// kernel span plus per-slab band spans into `tracer`. Tracing never
 /// changes the mesh.
-pub fn marching_cubes_traced(volume: &TsdfVolume, threads: usize, tracer: &Tracer) -> TriangleMesh {
+pub fn marching_cubes_traced<V: Volume + Sync + ?Sized>(
+    volume: &V,
+    threads: usize,
+    tracer: &Tracer,
+) -> TriangleMesh {
     let _kernel = tracer.kernel_span("marching_cubes");
     let res = volume.resolution();
     if res < 2 {
@@ -154,7 +161,7 @@ pub fn marching_cubes_traced(volume: &TsdfVolume, threads: usize, tracer: &Trace
 
 /// Marches every cell of one z-slice, appending geometry to `mesh` in
 /// the canonical y-major/x-fastest cell order.
-fn march_slice(volume: &TsdfVolume, z: usize, mesh: &mut TriangleMesh) {
+fn march_slice<V: Volume + ?Sized>(volume: &V, z: usize, mesh: &mut TriangleMesh) {
     let res = volume.resolution();
     for y in 0..res - 1 {
         for x in 0..res - 1 {
@@ -211,7 +218,13 @@ fn march_slice(volume: &TsdfVolume, z: usize, mesh: &mut TriangleMesh) {
     }
 }
 
-fn corner_pos(volume: &TsdfVolume, x: usize, y: usize, z: usize, d: (usize, usize, usize)) -> Vec3 {
+fn corner_pos<V: Volume + ?Sized>(
+    volume: &V,
+    x: usize,
+    y: usize,
+    z: usize,
+    d: (usize, usize, usize),
+) -> Vec3 {
     volume.voxel_center(x + d.0, y + d.1, z + d.2)
 }
 
@@ -219,6 +232,8 @@ fn corner_pos(volume: &TsdfVolume, x: usize, y: usize, z: usize, d: (usize, usiz
 mod tests {
     use super::*;
     use crate::image::Image2D;
+    use crate::tsdf::TsdfVolume;
+    use crate::tsdf_sparse::SparseTsdfVolume;
     use slam_math::camera::PinholeCamera;
     use slam_math::Se3;
 
@@ -325,6 +340,32 @@ mod tests {
                 for (ac, bc) in [(a.x, b.x), (a.y, b.y), (a.z, b.z)] {
                     assert_eq!(ac.to_bits(), bc.to_bits(), "{threads} threads diverged");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_backend_produces_identical_mesh() {
+        // same frames, same poses, both backends: the triangle-emitting
+        // cells lie strictly inside the truncation band, where the two
+        // backends are bit-identical — so the meshes must be too
+        let cam = PinholeCamera::tiny();
+        let depth = Image2D::new(cam.width, cam.height, 1.0f32);
+        let mut dense = TsdfVolume::new(48, 2.0);
+        let mut sparse = SparseTsdfVolume::new(48, 2.0);
+        for i in 0..3 {
+            let pose = Se3::from_translation(Vec3::new(0.95 + 0.05 * i as f32, 1.0, 0.0));
+            dense.integrate(&depth, &cam, &pose, 0.2, 100.0);
+            sparse.integrate(&depth, &cam, &pose, 0.2, 100.0);
+        }
+        let dm = marching_cubes(&dense);
+        let sm = marching_cubes(&sparse);
+        assert!(!dm.is_empty());
+        assert_eq!(dm.triangles, sm.triangles, "triangle lists differ");
+        assert_eq!(dm.vertices.len(), sm.vertices.len());
+        for (a, b) in dm.vertices.iter().zip(&sm.vertices) {
+            for (ac, bc) in [(a.x, b.x), (a.y, b.y), (a.z, b.z)] {
+                assert_eq!(ac.to_bits(), bc.to_bits(), "vertex differs: {a} vs {b}");
             }
         }
     }

@@ -167,6 +167,13 @@ impl PointOdometry {
                 if n == Vec3::ZERO {
                     continue;
                 }
+                // a non-finite point would hash to a garbage bin and then
+                // poison that surfel's running average forever
+                if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite())
+                    || !(n.x.is_finite() && n.y.is_finite() && n.z.is_finite())
+                {
+                    continue;
+                }
                 let key = (
                     (p.x / bin).floor() as i32,
                     (p.y / bin).floor() as i32,

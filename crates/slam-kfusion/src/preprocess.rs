@@ -105,6 +105,7 @@ pub fn bilateral_filter_traced(
     let inv_2sr = 1.0 / (2.0 * sigma_range * sigma_range);
     let threads = exec::effective_threads(threads);
     let spatial = &spatial;
+    let src = depth.as_slice();
     let mut tasks: Vec<exec::Task<'_, f64>> = Vec::new();
     {
         let mut rest: &mut [f32] = out.as_mut_slice();
@@ -113,32 +114,51 @@ pub fn bilateral_filter_traced(
             rest = next;
             tasks.push(Box::new(move || {
                 let mut ops = 0.0f64;
+                // SoA row accumulators: the offset loops stream whole rows
+                // through `acc_sum`/`acc_w`, so the hot inner loop over `x`
+                // is a contiguous gather-multiply-accumulate that the
+                // compiler can vectorize. Per pixel the (dy, dx) terms are
+                // still added in the same order as the scalar formulation,
+                // so the output is bit-identical to it.
+                let mut acc_sum = vec![0.0f32; w];
+                let mut acc_w = vec![0.0f32; w];
                 for (row, y) in band.enumerate() {
-                    let y = y as isize;
-                    for x in 0..w as isize {
-                        let center = depth.try_get(x, y).unwrap_or(0.0);
-                        if center <= 0.0 {
+                    acc_sum.fill(0.0);
+                    acc_w.fill(0.0);
+                    let centre_row = &src[y * w..(y + 1) * w];
+                    for dy in -r..=r {
+                        let yy = y as isize + dy;
+                        if yy < 0 || yy >= h as isize {
                             continue;
                         }
-                        let mut sum = 0.0f32;
-                        let mut weight = 0.0f32;
-                        for dy in -r..=r {
-                            for dx in -r..=r {
-                                if let Some(d) = depth.try_get(x + dx, y + dy) {
-                                    if d > 0.0 {
-                                        let diff = d - center;
-                                        let wgt = spatial
-                                            [((dy + r) as usize) * side + (dx + r) as usize]
-                                            * (-diff * diff * inv_2sr).exp();
-                                        sum += wgt * d;
-                                        weight += wgt;
-                                    }
+                        let nrow = &src[(yy as usize) * w..(yy as usize + 1) * w];
+                        for dx in -r..=r {
+                            let sw = spatial[((dy + r) as usize) * side + (dx + r) as usize];
+                            let x0 = (-dx).max(0).min(w as isize) as usize;
+                            let x1 = (w as isize - dx).clamp(0, w as isize) as usize;
+                            for x in x0..x1 {
+                                let d = nrow[(x as isize + dx) as usize];
+                                // reject holes AND non-finite samples: a
+                                // NaN or Inf pixel must not poison the
+                                // accumulators of its neighbours
+                                if !d.is_finite() || d <= 0.0 {
+                                    continue;
                                 }
+                                let diff = d - centre_row[x];
+                                let wgt = sw * (-diff * diff * inv_2sr).exp();
+                                acc_sum[x] += wgt * d;
+                                acc_w[x] += wgt;
                             }
                         }
+                    }
+                    for x in 0..w {
+                        let centre = centre_row[x];
+                        if !centre.is_finite() || centre <= 0.0 {
+                            continue;
+                        }
                         ops += (side * side) as f64 * 6.0;
-                        if weight > 0.0 {
-                            chunk[row * w + x as usize] = sum / weight;
+                        if acc_w[x] > 0.0 {
+                            chunk[row * w + x] = acc_sum[x] / acc_w[x];
                         }
                     }
                 }
@@ -163,7 +183,7 @@ pub fn half_sample(depth: &DepthImage, sigma_range: f32) -> (DepthImage, Workloa
     for y in 0..h {
         for x in 0..w {
             let center = depth.get(x * 2, y * 2);
-            if center <= 0.0 {
+            if !center.is_finite() || center <= 0.0 {
                 continue;
             }
             let mut sum = 0.0f32;
@@ -171,7 +191,7 @@ pub fn half_sample(depth: &DepthImage, sigma_range: f32) -> (DepthImage, Workloa
             for dy in 0..2 {
                 for dx in 0..2 {
                     let d = depth.get(x * 2 + dx, y * 2 + dy);
-                    if d > 0.0 && (d - center).abs() < band {
+                    if d.is_finite() && d > 0.0 && (d - center).abs() < band {
                         sum += d;
                         count += 1;
                     }
@@ -203,7 +223,9 @@ pub fn depth2vertex(depth: &DepthImage, camera: &PinholeCamera) -> (VertexMap, W
     for y in 0..h {
         for x in 0..w {
             let d = depth.get(x, y);
-            if d > 0.0 {
+            // `d > 0.0` alone would let +Inf through (NaN already fails
+            // the comparison); reject both so vertices stay finite
+            if d.is_finite() && d > 0.0 {
                 out.set(
                     x,
                     y,
@@ -224,15 +246,18 @@ pub fn vertex2normal(vertices: &VertexMap) -> (NormalMap, Workload) {
     let mut out = Image2D::new(w, h, Vec3::ZERO);
     for y in 0..h {
         for x in 0..w {
+            // `z <= 0.0` is false for NaN, so an explicit finite check is
+            // needed to keep poisoned vertices out of the differences
+            let invalid = |v: Vec3| !v.z.is_finite() || v.z <= 0.0;
             let center = vertices.get(x, y);
-            if center.z <= 0.0 || x + 1 >= w || y + 1 >= h || x == 0 || y == 0 {
+            if invalid(center) || x + 1 >= w || y + 1 >= h || x == 0 || y == 0 {
                 continue;
             }
             let right = vertices.get(x + 1, y);
             let left = vertices.get(x - 1, y);
             let down = vertices.get(x, y + 1);
             let up = vertices.get(x, y - 1);
-            if right.z <= 0.0 || left.z <= 0.0 || down.z <= 0.0 || up.z <= 0.0 {
+            if invalid(right) || invalid(left) || invalid(down) || invalid(up) {
                 continue;
             }
             let dx = right - left;
@@ -349,6 +374,44 @@ mod tests {
             assert_eq!(bits(&f), bits(&reference), "{threads} threads diverged");
             assert_eq!(work.ops.to_bits(), ref_work.ops.to_bits());
         }
+    }
+
+    #[test]
+    fn non_finite_depth_does_not_poison_outputs() {
+        let cam = PinholeCamera::tiny();
+        let mut depth = flat_depth(cam.width, cam.height, 2.0);
+        depth.set(8, 8, f32::NAN);
+        depth.set(12, 8, f32::INFINITY);
+        depth.set(8, 12, f32::NEG_INFINITY);
+        let (f, _) = bilateral_filter(&depth, 2, 1.5, 0.1);
+        for (x, y, v) in f.enumerate_pixels() {
+            assert!(v.is_finite(), "bilateral emitted non-finite at ({x},{y})");
+        }
+        assert_eq!(f.get(8, 8), 0.0, "NaN centre must become a hole");
+        assert!((f.get(9, 8) - 2.0).abs() < 1e-4, "neighbour unaffected");
+        let (hs, _) = half_sample(&depth, 0.1);
+        for (x, y, v) in hs.enumerate_pixels() {
+            assert!(v.is_finite(), "half_sample emitted non-finite at ({x},{y})");
+        }
+        let (vm, _) = depth2vertex(&depth, &cam);
+        for (x, y, v) in vm.enumerate_pixels() {
+            assert!(
+                v.x.is_finite() && v.y.is_finite() && v.z.is_finite(),
+                "depth2vertex emitted non-finite at ({x},{y})"
+            );
+        }
+        assert_eq!(vm.get(8, 8), Vec3::ZERO);
+        assert_eq!(vm.get(12, 8), Vec3::ZERO, "Inf depth must become a hole");
+        let mut poisoned = vm.clone();
+        poisoned.set(6, 6, Vec3::new(0.0, 0.0, f32::NAN));
+        let (nm, _) = vertex2normal(&poisoned);
+        for (x, y, n) in nm.enumerate_pixels() {
+            assert!(
+                n.x.is_finite() && n.y.is_finite() && n.z.is_finite(),
+                "vertex2normal emitted non-finite at ({x},{y})"
+            );
+        }
+        assert_eq!(nm.get(7, 6), Vec3::ZERO, "neighbour of NaN vertex invalid");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::exec;
 use crate::image::{Image2D, NormalMap, VertexMap};
-use crate::tsdf::TsdfVolume;
+use crate::volume::Volume;
 use crate::workload::Workload;
 use slam_math::camera::PinholeCamera;
 use slam_math::{Se3, Vec3};
@@ -76,8 +76,8 @@ impl Default for RaycastParams {
 /// or `None` if the ray leaves the far plane or never sees observed space
 /// with a zero crossing. Also returns the number of steps marched (for
 /// workload accounting) via the `steps` out-counter.
-fn march_ray(
-    volume: &TsdfVolume,
+fn march_ray<V: Volume + ?Sized>(
+    volume: &V,
     origin: Vec3,
     dir: Vec3,
     params: &RaycastParams,
@@ -114,7 +114,10 @@ fn march_ray(
             }
             None => {
                 prev = None;
-                t += step;
+                // a sparse backend can certify a longer leap through
+                // unallocated bricks; the dense backend returns 0.0 and
+                // falls back to the plain step
+                t += volume.free_space_skip(p, dir).max(step);
             }
         }
     }
@@ -148,9 +151,10 @@ fn ray_aabb(origin: Vec3, dir: Vec3, size: f32) -> Option<(f32, f32)> {
 }
 
 /// Raycasts the volume from `pose`, producing the model maps for ICP.
-/// Uses all available threads (see [`raycast_with_threads`]).
-pub fn raycast(
-    volume: &TsdfVolume,
+/// Uses all available threads (see [`raycast_with_threads`]). Works
+/// over any [`Volume`] backend.
+pub fn raycast<V: Volume + Sync + ?Sized>(
+    volume: &V,
     camera: &PinholeCamera,
     pose: &Se3,
     params: &RaycastParams,
@@ -163,8 +167,8 @@ pub fn raycast(
 /// bands; every pixel is written exactly once and the band layout
 /// depends only on the image height, so the output is bit-identical
 /// for every thread count.
-pub fn raycast_with_threads(
-    volume: &TsdfVolume,
+pub fn raycast_with_threads<V: Volume + Sync + ?Sized>(
+    volume: &V,
     camera: &PinholeCamera,
     pose: &Se3,
     params: &RaycastParams,
@@ -175,8 +179,8 @@ pub fn raycast_with_threads(
 
 /// Like [`raycast_with_threads`], recording a `raycast` kernel span plus
 /// per-band spans into `tracer`. Tracing never changes the model maps.
-pub fn raycast_traced(
-    volume: &TsdfVolume,
+pub fn raycast_traced<V: Volume + Sync + ?Sized>(
+    volume: &V,
     camera: &PinholeCamera,
     pose: &Se3,
     params: &RaycastParams,
@@ -239,6 +243,8 @@ pub fn raycast_traced(
 mod tests {
     use super::*;
     use crate::image::Image2D;
+    use crate::tsdf::TsdfVolume;
+    use crate::tsdf_sparse::SparseTsdfVolume;
 
     /// Builds a volume with a wall at z = 1 m integrated from the pose the
     /// test raycasts from.
@@ -321,6 +327,63 @@ mod tests {
     #[test]
     fn raycast_is_thread_count_invariant() {
         let (vol, cam, pose) = wall_volume();
+        let (reference, ref_work) = raycast_with_threads(&vol, &cam, &pose, &params(), 1);
+        for threads in [2usize, 4, 7] {
+            let (result, work) = raycast_with_threads(&vol, &cam, &pose, &params(), threads);
+            assert_eq!(
+                result.vertices, reference.vertices,
+                "{threads} threads diverged"
+            );
+            assert_eq!(
+                result.normals, reference.normals,
+                "{threads} threads diverged"
+            );
+            assert_eq!(work.ops.to_bits(), ref_work.ops.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_backend_recovers_wall_and_skips_free_space() {
+        let cam = PinholeCamera::tiny();
+        let depth = Image2D::new(cam.width, cam.height, 1.0);
+        let pose = Se3::from_translation(Vec3::new(1.0, 1.0, 0.0));
+        let mut dense = TsdfVolume::new(64, 2.0);
+        let mut sparse = SparseTsdfVolume::new(64, 2.0);
+        for _ in 0..3 {
+            dense.integrate(&depth, &cam, &pose, 0.15, 100.0);
+            sparse.integrate(&depth, &cam, &pose, 0.15, 100.0);
+        }
+        let (dr, dw) = raycast(&dense, &cam, &pose, &params());
+        let (sr, sw) = raycast(&sparse, &cam, &pose, &params());
+        assert!(sr.valid_fraction() > 0.7, "valid {}", sr.valid_fraction());
+        // both backends must land on the same wall
+        let dc = dr.vertices.get(cam.width / 2, cam.height / 2);
+        let sc = sr.vertices.get(cam.width / 2, cam.height / 2);
+        assert!(
+            (dc.z - sc.z).abs() < 0.02,
+            "dense z={} sparse z={}",
+            dc.z,
+            sc.z
+        );
+        // the sparse march leaps unallocated bricks, so it takes fewer
+        // steps (its workload counts the actual samples)
+        assert!(
+            sw.ops < dw.ops,
+            "sparse raycast ({}) not cheaper than dense ({})",
+            sw.ops,
+            dw.ops
+        );
+    }
+
+    #[test]
+    fn sparse_raycast_is_thread_count_invariant() {
+        let cam = PinholeCamera::tiny();
+        let depth = Image2D::new(cam.width, cam.height, 1.0);
+        let pose = Se3::from_translation(Vec3::new(1.0, 1.0, 0.0));
+        let mut vol = SparseTsdfVolume::new(64, 2.0);
+        for _ in 0..3 {
+            vol.integrate(&depth, &cam, &pose, 0.15, 100.0);
+        }
         let (reference, ref_work) = raycast_with_threads(&vol, &cam, &pose, &params(), 1);
         for threads in [2usize, 4, 7] {
             let (result, work) = raycast_with_threads(&vol, &cam, &pose, &params(), threads);

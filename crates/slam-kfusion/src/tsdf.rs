@@ -8,6 +8,71 @@ use slam_math::camera::PinholeCamera;
 use slam_math::{Se3, Vec3};
 use slam_trace::Tracer;
 
+/// Fuses one contiguous x-span of voxels into `tsdf`/`weight` and
+/// returns `(ops, updated)` for the workload model.
+///
+/// The span covers global voxel x-coordinates `x0 .. x0 + tsdf.len()`
+/// of a single `(y, z)` row. `row_base` is the camera-frame position of
+/// the voxel centre at global `x = 0` and `dx_cam` the camera-frame
+/// step per voxel along world +x, so every voxel evaluates the closed
+/// form `cam_p = row_base + dx_cam * x` — no loop-carried dependency,
+/// which keeps the loop chunk-friendly for autovectorization and makes
+/// the dense and sparse volume backends bit-identical per voxel.
+///
+/// Non-finite depth samples are rejected: a plain `d <= 0.0` guard is
+/// false for NaN, which would poison the running average permanently.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn integrate_span(
+    depth: &DepthImage,
+    camera: &PinholeCamera,
+    row_base: Vec3,
+    dx_cam: Vec3,
+    x0: usize,
+    tsdf: &mut [f32],
+    weight: &mut [f32],
+    mu: f32,
+    max_weight: f32,
+) -> (f64, f64) {
+    debug_assert_eq!(tsdf.len(), weight.len());
+    let mut ops: f64 = 0.0;
+    let mut updated: f64 = 0.0;
+    for (i, (t, w)) in tsdf.iter_mut().zip(weight.iter_mut()).enumerate() {
+        let cam_p = row_base + dx_cam * ((x0 + i) as f32);
+        ops += 4.0;
+        if cam_p.z <= 0.001 {
+            continue;
+        }
+        let u = camera.fx * cam_p.x / cam_p.z + camera.cx;
+        let v = camera.fy * cam_p.y / cam_p.z + camera.cy;
+        ops += 6.0;
+        if u < -0.5 || v < -0.5 {
+            continue;
+        }
+        // nearest-pixel lookup (truncation would bias the fusion)
+        let (ui, vi) = ((u + 0.5) as usize, (v + 0.5) as usize);
+        if ui >= camera.width || vi >= camera.height {
+            continue;
+        }
+        let d = depth.get(ui, vi);
+        if !d.is_finite() || d <= 0.0 {
+            continue;
+        }
+        // projective signed distance along the optical axis
+        let sdf = d - cam_p.z;
+        if sdf < -mu {
+            continue; // occluded
+        }
+        let tsdf_obs = (sdf / mu).min(1.0);
+        let w_old = *w;
+        let w_new = (w_old + 1.0).min(max_weight);
+        *t = (*t * w_old + tsdf_obs) / (w_old + 1.0);
+        *w = w_new;
+        ops += 8.0;
+        updated += 1.0;
+    }
+    (ops, updated)
+}
+
 /// A dense voxel grid storing a truncated signed distance to the nearest
 /// surface (normalised to `[-1, 1]`) and an integration weight per voxel.
 ///
@@ -82,6 +147,34 @@ impl TsdfVolume {
         (z * self.resolution + y) * self.resolution + x
     }
 
+    /// Raw TSDF storage (z-major, x fastest) for the dump writer.
+    pub(crate) fn tsdf_raw(&self) -> &[f32] {
+        &self.tsdf
+    }
+
+    /// Raw weight storage (z-major, x fastest) for the dump writer.
+    pub(crate) fn weight_raw(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Rebuilds a volume from raw storage (the dump reader).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths do not match `resolution³`.
+    pub(crate) fn from_raw(resolution: usize, size: f32, tsdf: Vec<f32>, weight: Vec<f32>) -> Self {
+        let n = resolution * resolution * resolution;
+        assert_eq!(tsdf.len(), n, "tsdf storage length mismatch");
+        assert_eq!(weight.len(), n, "weight storage length mismatch");
+        TsdfVolume {
+            resolution,
+            size,
+            voxel: size / resolution as f32,
+            tsdf,
+            weight,
+        }
+    }
+
     /// Raw TSDF value of voxel `(x, y, z)`.
     ///
     /// # Panics
@@ -121,6 +214,15 @@ impl TsdfVolume {
     /// point is outside the volume or entirely unobserved (all eight
     /// neighbouring voxels have zero weight).
     pub fn sample(&self, p: Vec3) -> Option<f32> {
+        let (c, tx, ty, tz) = self.cell(p)?;
+        Some(slam_math::interp::trilerp(c, tx, ty, tz))
+    }
+
+    /// The interpolation cell around a world point: the eight corner
+    /// TSDF values (x varies fastest) and the fractional coordinates.
+    /// `None` when the point is outside the volume or every corner is
+    /// unobserved.
+    fn cell(&self, p: Vec3) -> Option<([f32; 8], f32, f32, f32)> {
         let g = p * (1.0 / self.voxel) - Vec3::splat(0.5);
         let x0 = g.x.floor();
         let y0 = g.y.floor();
@@ -140,20 +242,43 @@ impl TsdfVolume {
         if !any_observed {
             return None;
         }
-        Some(slam_math::interp::trilerp(c, g.x - x0, g.y - y0, g.z - z0))
+        Some((c, g.x - x0, g.y - y0, g.z - z0))
     }
 
-    /// TSDF gradient (points from inside to outside) at a world point via
-    /// central differences of trilinear samples; `None` near the volume
-    /// border or in unobserved space.
+    /// TSDF gradient (points from inside to outside) at a world point
+    /// via central differences of trilinear samples one voxel apart;
+    /// `None` near the volume border or in unobserved space. All six
+    /// shifted samples come from one 4³-neighbourhood fetch
+    /// ([`slam_math::interp::central_gradient`]) instead of six
+    /// independent bounds-checked samples.
     pub fn gradient(&self, p: Vec3) -> Option<Vec3> {
-        let h = self.voxel;
-        let dx =
-            self.sample(p + Vec3::new(h, 0.0, 0.0))? - self.sample(p - Vec3::new(h, 0.0, 0.0))?;
-        let dy =
-            self.sample(p + Vec3::new(0.0, h, 0.0))? - self.sample(p - Vec3::new(0.0, h, 0.0))?;
-        let dz =
-            self.sample(p + Vec3::new(0.0, 0.0, h))? - self.sample(p - Vec3::new(0.0, 0.0, h))?;
+        let g = p * (1.0 / self.voxel) - Vec3::splat(0.5);
+        let x0 = g.x.floor();
+        let y0 = g.y.floor();
+        let z0 = g.z.floor();
+        // the 4³ block spans grid offsets -1..=2, and the shifted cells
+        // interpolate inside it, so the base corner needs a one-voxel
+        // border on each side
+        let max = (self.resolution - 3) as f32;
+        if x0 < 1.0 || y0 < 1.0 || z0 < 1.0 || x0 > max || y0 > max || z0 > max {
+            return None;
+        }
+        let (xi, yi, zi) = (x0 as usize, y0 as usize, z0 as usize);
+        let mut c = [0.0f32; 64];
+        let mut any_observed = false;
+        for dz in 0..4 {
+            for dy in 0..4 {
+                let row = self.index(xi - 1, yi - 1 + dy, zi - 1 + dz);
+                for dx in 0..4 {
+                    c[(dz * 4 + dy) * 4 + dx] = self.tsdf[row + dx];
+                    any_observed |= self.weight[row + dx] > 0.0;
+                }
+            }
+        }
+        if !any_observed {
+            return None;
+        }
+        let (dx, dy, dz) = slam_math::interp::central_gradient(&c, g.x - x0, g.y - y0, g.z - z0);
         Some(Vec3::new(dx, dy, dz))
     }
 
@@ -254,52 +379,28 @@ impl TsdfVolume {
                     for zi in 0..zn {
                         let z = z0 + zi;
                         for y in 0..res {
+                            // camera-frame position of the voxel centre
+                            // at global x = 0 of this (y, z) row
                             let row_world = Vec3::new(
                                 0.5 * voxel,
                                 (y as f32 + 0.5) * voxel,
                                 (z as f32 + 0.5) * voxel,
                             );
-                            let mut cam_p = world_to_cam.transform_point(row_world);
-                            for x in 0..res {
-                                if x > 0 {
-                                    cam_p += dx_cam;
-                                }
-                                ops += 4.0;
-                                if cam_p.z <= 0.001 {
-                                    continue;
-                                }
-                                let u = camera.fx * cam_p.x / cam_p.z + camera.cx;
-                                let v = camera.fy * cam_p.y / cam_p.z + camera.cy;
-                                ops += 6.0;
-                                if u < -0.5 || v < -0.5 {
-                                    continue;
-                                }
-                                // nearest-pixel lookup (truncation
-                                // would bias the fusion)
-                                let (ui, vi) = ((u + 0.5) as usize, (v + 0.5) as usize);
-                                if ui >= camera.width || vi >= camera.height {
-                                    continue;
-                                }
-                                let d = depth_ref.get(ui, vi);
-                                if d <= 0.0 {
-                                    continue;
-                                }
-                                // projective signed distance along the
-                                // optical axis
-                                let sdf = d - cam_p.z;
-                                if sdf < -mu {
-                                    continue; // occluded
-                                }
-                                let tsdf_obs = (sdf / mu).min(1.0);
-                                let idx = zi * slab + y * res + x;
-                                let w_old = weight_chunk[idx];
-                                let w_new = (w_old + 1.0).min(max_weight);
-                                tsdf_chunk[idx] =
-                                    (tsdf_chunk[idx] * w_old + tsdf_obs) / (w_old + 1.0);
-                                weight_chunk[idx] = w_new;
-                                ops += 8.0;
-                                updated += 1.0;
-                            }
+                            let row_base = world_to_cam.transform_point(row_world);
+                            let at = zi * slab + y * res;
+                            let (o, u) = integrate_span(
+                                depth_ref,
+                                camera,
+                                row_base,
+                                dx_cam,
+                                0,
+                                &mut tsdf_chunk[at..at + res],
+                                &mut weight_chunk[at..at + res],
+                                mu,
+                                max_weight,
+                            );
+                            ops += o;
+                            updated += u;
                         }
                     }
                     (ops, updated)
@@ -349,7 +450,9 @@ impl TsdfVolume {
         }
         let resolution = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
         let size = f32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-        if resolution == 0 || resolution > 1024 {
+        // same bounds as `KFusionConfig::validate`: a forged dump must
+        // not materialize a volume the config layer forbids
+        if !(16..=1024).contains(&resolution) {
             return Err(format!("implausible resolution {resolution}"));
         }
         if !(size > 0.0) || size > 100.0 {
@@ -596,6 +699,68 @@ mod tests {
         bad.extend_from_slice(&0u32.to_le_bytes());
         bad.extend_from_slice(&1.0f32.to_le_bytes());
         assert!(TsdfVolume::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn from_bytes_bounds_match_config_validate() {
+        // the config layer accepts resolutions 16..=1024; the dump
+        // parser must agree at both edges
+        let small = integrated_wall(16, 1.0, 0.5, 1);
+        let back = TsdfVolume::from_bytes(&small.to_bytes()).expect("16 is the legal floor");
+        assert_eq!(back.resolution(), 16);
+        assert_eq!(back.occupied_voxels(), small.occupied_voxels());
+        // 15 used to slip through the old `resolution == 0` guard
+        let mut forged = b"TSDF".to_vec();
+        forged.extend_from_slice(&15u32.to_le_bytes());
+        forged.extend_from_slice(&1.0f32.to_le_bytes());
+        forged.extend_from_slice(&vec![0u8; 15 * 15 * 15 * 8]);
+        let err = TsdfVolume::from_bytes(&forged).unwrap_err();
+        assert!(err.contains("implausible resolution"), "{err}");
+        // 1024 passes the resolution gate (we can't afford the 8.6 GB
+        // body here, so the failure must be about the length instead)
+        let mut huge = b"TSDF".to_vec();
+        huge.extend_from_slice(&1024u32.to_le_bytes());
+        huge.extend_from_slice(&1.0f32.to_le_bytes());
+        let err = TsdfVolume::from_bytes(&huge).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn integration_rejects_non_finite_depth() {
+        // a NaN/Inf-laced frame must leave every voxel finite and every
+        // poisoned pixel unobserved
+        let cam = PinholeCamera::tiny();
+        let mut depth = Image2D::new(cam.width, cam.height, 1.0f32);
+        for y in 0..cam.height {
+            for x in 0..cam.width {
+                match (x + y * cam.width) % 5 {
+                    0 => depth.set(x, y, f32::NAN),
+                    1 => depth.set(x, y, f32::INFINITY),
+                    2 => depth.set(x, y, f32::NEG_INFINITY),
+                    _ => {}
+                }
+            }
+        }
+        let pose = Se3::from_translation(Vec3::new(1.0, 1.0, 0.0));
+        let mut vol = TsdfVolume::new(32, 2.0);
+        vol.integrate(&depth, &cam, &pose, 0.2, 100.0);
+        let res = vol.resolution();
+        for z in 0..res {
+            for y in 0..res {
+                for x in 0..res {
+                    assert!(
+                        vol.voxel_tsdf(x, y, z).is_finite(),
+                        "NaN escaped into tsdf at ({x},{y},{z})"
+                    );
+                    assert!(
+                        vol.voxel_weight(x, y, z).is_finite(),
+                        "NaN escaped into weight at ({x},{y},{z})"
+                    );
+                }
+            }
+        }
+        // the surviving finite pixels still fuse normally
+        assert!(vol.occupied_voxels() > 500, "got {}", vol.occupied_voxels());
     }
 
     #[test]

@@ -1,0 +1,571 @@
+//! Backend-agnostic volume abstraction: the [`Volume`] trait both TSDF
+//! backends satisfy, the [`VolumeStorage`] dispatch enum the pipeline
+//! holds, and the versioned on-disk dump format (v3) that serialises
+//! either backend while still loading legacy dense dumps.
+
+use crate::image::DepthImage;
+use crate::tsdf::TsdfVolume;
+use crate::tsdf_sparse::{SparseTsdfVolume, BRICK_SIDE};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use slam_math::camera::PinholeCamera;
+use slam_math::{Se3, Vec3};
+use slam_trace::Tracer;
+
+/// Magic bytes of the versioned volume dump format.
+pub const DUMP_MAGIC_V3: &[u8; 4] = b"TSV3";
+/// Magic bytes of the legacy dense-only dump format.
+pub const DUMP_MAGIC_LEGACY: &[u8; 4] = b"TSDF";
+
+/// The operations every TSDF volume backend provides: geometry queries
+/// for raycasting and meshing plus the fusion kernel itself.
+///
+/// Both implementations share the per-voxel fusion math (see
+/// `tsdf::integrate_span`), so a voxel observed by both backends holds
+/// bit-identical values; they differ only in which voxels are stored.
+pub trait Volume {
+    /// Voxels per side.
+    fn resolution(&self) -> usize;
+
+    /// Physical size of the cube side in metres.
+    fn size(&self) -> f32;
+
+    /// Side of one voxel in metres.
+    fn voxel_size(&self) -> f32;
+
+    /// Memory footprint of the voxel storage in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Number of voxels that have received at least one observation.
+    fn occupied_voxels(&self) -> usize;
+
+    /// Raw TSDF value of voxel `(x, y, z)`; `1.0` where unobserved.
+    fn voxel_tsdf(&self, x: usize, y: usize, z: usize) -> f32;
+
+    /// Integration weight of voxel `(x, y, z)`; `0.0` where unobserved.
+    fn voxel_weight(&self, x: usize, y: usize, z: usize) -> f32;
+
+    /// World-space centre of voxel `(x, y, z)`.
+    fn voxel_center(&self, x: usize, y: usize, z: usize) -> Vec3 {
+        let v = self.voxel_size();
+        Vec3::new(
+            (x as f32 + 0.5) * v,
+            (y as f32 + 0.5) * v,
+            (z as f32 + 0.5) * v,
+        )
+    }
+
+    /// Trilinearly-interpolated TSDF at a world point, or `None` when
+    /// the point is outside the volume or entirely unobserved.
+    fn sample(&self, p: Vec3) -> Option<f32>;
+
+    /// TSDF gradient at a world point via central differences of
+    /// trilinear samples; `None` near the border or unobserved space.
+    fn gradient(&self, p: Vec3) -> Option<Vec3>;
+
+    /// Hint for the ray marcher: a safe distance (in multiples of the
+    /// unit direction `dir`) the ray can advance from `p` without
+    /// crossing any stored surface. `0.0` means "no hint" — the dense
+    /// backend has no empty-space structure to consult.
+    fn free_space_skip(&self, p: Vec3, dir: Vec3) -> f32 {
+        let _ = (p, dir);
+        0.0
+    }
+
+    /// Fuses one depth frame into the volume; see
+    /// [`TsdfVolume::integrate_traced`] for the parameter contract.
+    /// Bit-identical across thread counts for every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the camera resolution does not match the depth image.
+    #[allow(clippy::too_many_arguments)]
+    fn integrate_traced(
+        &mut self,
+        depth: &DepthImage,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        mu: f32,
+        max_weight: f32,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Workload;
+}
+
+impl Volume for TsdfVolume {
+    fn resolution(&self) -> usize {
+        TsdfVolume::resolution(self)
+    }
+
+    fn size(&self) -> f32 {
+        TsdfVolume::size(self)
+    }
+
+    fn voxel_size(&self) -> f32 {
+        TsdfVolume::voxel_size(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        TsdfVolume::memory_bytes(self)
+    }
+
+    fn occupied_voxels(&self) -> usize {
+        TsdfVolume::occupied_voxels(self)
+    }
+
+    fn voxel_tsdf(&self, x: usize, y: usize, z: usize) -> f32 {
+        TsdfVolume::voxel_tsdf(self, x, y, z)
+    }
+
+    fn voxel_weight(&self, x: usize, y: usize, z: usize) -> f32 {
+        TsdfVolume::voxel_weight(self, x, y, z)
+    }
+
+    fn voxel_center(&self, x: usize, y: usize, z: usize) -> Vec3 {
+        TsdfVolume::voxel_center(self, x, y, z)
+    }
+
+    fn sample(&self, p: Vec3) -> Option<f32> {
+        TsdfVolume::sample(self, p)
+    }
+
+    fn gradient(&self, p: Vec3) -> Option<Vec3> {
+        TsdfVolume::gradient(self, p)
+    }
+
+    fn integrate_traced(
+        &mut self,
+        depth: &DepthImage,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        mu: f32,
+        max_weight: f32,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Workload {
+        TsdfVolume::integrate_traced(self, depth, camera, pose, mu, max_weight, threads, tracer)
+    }
+}
+
+/// Which TSDF storage backend a pipeline run uses — a design-space knob
+/// (`KFusionConfig::volume_backend`).
+// serialised by variant name ("Dense"/"Sparse"), like every other enum
+// knob in the workspace; Display/FromStr use the lowercase CLI form
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum VolumeBackend {
+    /// One flat `resolution³` array pair — simple, but memory scales
+    /// cubically whether or not space is observed.
+    #[default]
+    Dense,
+    /// 8³ voxel bricks allocated on first touch inside the truncation
+    /// band — memory scales with observed surface, not volume.
+    Sparse,
+}
+
+impl std::fmt::Display for VolumeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VolumeBackend::Dense => "dense",
+            VolumeBackend::Sparse => "sparse",
+        })
+    }
+}
+
+impl std::str::FromStr for VolumeBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(VolumeBackend::Dense),
+            "sparse" => Ok(VolumeBackend::Sparse),
+            other => Err(format!("unknown volume backend {other:?}")),
+        }
+    }
+}
+
+/// The volume a pipeline actually holds: one of the two backends, with
+/// static dispatch per arm in the hot paths and a common serialised
+/// form (the v3 dump) for both.
+#[derive(Debug, Clone)]
+pub enum VolumeStorage {
+    /// Dense flat-array backend.
+    Dense(TsdfVolume),
+    /// Sparse brick-table backend.
+    Sparse(SparseTsdfVolume),
+}
+
+impl VolumeStorage {
+    /// Creates an empty volume of the requested backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `resolution == 0` or `size <= 0`.
+    pub fn new(backend: VolumeBackend, resolution: usize, size: f32) -> VolumeStorage {
+        match backend {
+            VolumeBackend::Dense => VolumeStorage::Dense(TsdfVolume::new(resolution, size)),
+            VolumeBackend::Sparse => VolumeStorage::Sparse(SparseTsdfVolume::new(resolution, size)),
+        }
+    }
+
+    /// Which backend this storage is.
+    pub fn backend(&self) -> VolumeBackend {
+        match self {
+            VolumeStorage::Dense(_) => VolumeBackend::Dense,
+            VolumeStorage::Sparse(_) => VolumeBackend::Sparse,
+        }
+    }
+
+    /// The dense volume, when this storage is dense.
+    pub fn as_dense(&self) -> Option<&TsdfVolume> {
+        match self {
+            VolumeStorage::Dense(v) => Some(v),
+            VolumeStorage::Sparse(_) => None,
+        }
+    }
+
+    /// The sparse volume, when this storage is sparse.
+    pub fn as_sparse(&self) -> Option<&SparseTsdfVolume> {
+        match self {
+            VolumeStorage::Dense(_) => None,
+            VolumeStorage::Sparse(v) => Some(v),
+        }
+    }
+
+    /// Serialises the volume into the versioned dump format:
+    /// `"TSV3", backend: u32, resolution: u32, size: f32, payload`.
+    ///
+    /// The dense payload is the raw `tsdf[]` then `weight[]` arrays;
+    /// the sparse payload is `brick_side: u32, brick_count: u32` then
+    /// the allocated bricks sorted by brick id (`id: u32, tsdf[512],
+    /// weight[512]`), so the dump is canonical regardless of the
+    /// allocation history.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(DUMP_MAGIC_V3);
+        out.extend_from_slice(
+            &match self {
+                VolumeStorage::Dense(_) => 0u32,
+                VolumeStorage::Sparse(_) => 1u32,
+            }
+            .to_le_bytes(),
+        );
+        out.extend_from_slice(&(self.resolution() as u32).to_le_bytes());
+        out.extend_from_slice(&self.size().to_le_bytes());
+        match self {
+            VolumeStorage::Dense(v) => {
+                out.reserve(v.tsdf_raw().len() * 8);
+                for x in v.tsdf_raw() {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                for w in v.weight_raw() {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            VolumeStorage::Sparse(v) => v.payload_to_bytes(&mut out),
+        }
+        out
+    }
+
+    /// Reconstructs a volume from [`VolumeStorage::to_bytes`] output or
+    /// from a legacy dense dump ([`TsdfVolume::to_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    // `!(size > 0.0)` is deliberate: it also rejects NaN
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn from_bytes(bytes: &[u8]) -> Result<VolumeStorage, String> {
+        if bytes.len() >= 4 && &bytes[..4] == DUMP_MAGIC_LEGACY {
+            return TsdfVolume::from_bytes(bytes).map(VolumeStorage::Dense);
+        }
+        if bytes.len() < 16 || &bytes[..4] != DUMP_MAGIC_V3 {
+            return Err("not a TSV3 volume dump".into());
+        }
+        let word = |at: usize| {
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+        };
+        let backend = word(4);
+        let resolution = word(8) as usize;
+        let size = f32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        // same bounds as `KFusionConfig::validate` and the legacy parser
+        if !(16..=1024).contains(&resolution) {
+            return Err(format!("implausible resolution {resolution}"));
+        }
+        if !(size > 0.0) || size > 100.0 {
+            return Err(format!("implausible size {size}"));
+        }
+        let payload = &bytes[16..];
+        match backend {
+            0 => {
+                let n = resolution * resolution * resolution;
+                if payload.len() != n * 8 {
+                    return Err(format!(
+                        "expected {} payload bytes, found {}",
+                        n * 8,
+                        payload.len()
+                    ));
+                }
+                let read_f32s = |offset: usize| -> Vec<f32> {
+                    (0..n)
+                        .map(|i| {
+                            let at = offset + i * 4;
+                            f32::from_le_bytes([
+                                payload[at],
+                                payload[at + 1],
+                                payload[at + 2],
+                                payload[at + 3],
+                            ])
+                        })
+                        .collect()
+                };
+                Ok(VolumeStorage::Dense(TsdfVolume::from_raw(
+                    resolution,
+                    size,
+                    read_f32s(0),
+                    read_f32s(n * 4),
+                )))
+            }
+            1 => {
+                SparseTsdfVolume::from_payload(resolution, size, payload).map(VolumeStorage::Sparse)
+            }
+            other => Err(format!("unknown volume backend tag {other}")),
+        }
+    }
+}
+
+impl Volume for VolumeStorage {
+    fn resolution(&self) -> usize {
+        match self {
+            VolumeStorage::Dense(v) => v.resolution(),
+            VolumeStorage::Sparse(v) => v.resolution(),
+        }
+    }
+
+    fn size(&self) -> f32 {
+        match self {
+            VolumeStorage::Dense(v) => v.size(),
+            VolumeStorage::Sparse(v) => v.size(),
+        }
+    }
+
+    fn voxel_size(&self) -> f32 {
+        match self {
+            VolumeStorage::Dense(v) => v.voxel_size(),
+            VolumeStorage::Sparse(v) => v.voxel_size(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            VolumeStorage::Dense(v) => v.memory_bytes(),
+            VolumeStorage::Sparse(v) => v.memory_bytes(),
+        }
+    }
+
+    fn occupied_voxels(&self) -> usize {
+        match self {
+            VolumeStorage::Dense(v) => v.occupied_voxels(),
+            VolumeStorage::Sparse(v) => v.occupied_voxels(),
+        }
+    }
+
+    fn voxel_tsdf(&self, x: usize, y: usize, z: usize) -> f32 {
+        match self {
+            VolumeStorage::Dense(v) => v.voxel_tsdf(x, y, z),
+            VolumeStorage::Sparse(v) => v.voxel_tsdf(x, y, z),
+        }
+    }
+
+    fn voxel_weight(&self, x: usize, y: usize, z: usize) -> f32 {
+        match self {
+            VolumeStorage::Dense(v) => v.voxel_weight(x, y, z),
+            VolumeStorage::Sparse(v) => v.voxel_weight(x, y, z),
+        }
+    }
+
+    fn sample(&self, p: Vec3) -> Option<f32> {
+        match self {
+            VolumeStorage::Dense(v) => v.sample(p),
+            VolumeStorage::Sparse(v) => v.sample(p),
+        }
+    }
+
+    fn gradient(&self, p: Vec3) -> Option<Vec3> {
+        match self {
+            VolumeStorage::Dense(v) => v.gradient(p),
+            VolumeStorage::Sparse(v) => v.gradient(p),
+        }
+    }
+
+    fn free_space_skip(&self, p: Vec3, dir: Vec3) -> f32 {
+        match self {
+            VolumeStorage::Dense(_) => 0.0,
+            VolumeStorage::Sparse(v) => Volume::free_space_skip(v, p, dir),
+        }
+    }
+
+    fn integrate_traced(
+        &mut self,
+        depth: &DepthImage,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        mu: f32,
+        max_weight: f32,
+        threads: usize,
+        tracer: &Tracer,
+    ) -> Workload {
+        match self {
+            VolumeStorage::Dense(v) => {
+                v.integrate_traced(depth, camera, pose, mu, max_weight, threads, tracer)
+            }
+            VolumeStorage::Sparse(v) => {
+                v.integrate_traced(depth, camera, pose, mu, max_weight, threads, tracer)
+            }
+        }
+    }
+}
+
+/// Asserts that the sparse payload header advertises the compiled brick
+/// side; used by the parser and pinned by tests.
+pub(crate) fn expect_brick_side(side: u32) -> Result<(), String> {
+    if side as usize != BRICK_SIDE {
+        return Err(format!(
+            "unsupported brick side {side} (expected {BRICK_SIDE})"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image2D;
+
+    fn integrated(backend: VolumeBackend) -> VolumeStorage {
+        let cam = PinholeCamera::tiny();
+        let mut vol = VolumeStorage::new(backend, 32, 2.0);
+        let mut depth = Image2D::new(cam.width, cam.height, 1.0f32);
+        for y in 0..cam.height {
+            for x in 0..cam.width {
+                depth.set(x, y, 0.9 + (x as f32 * 0.002) + (y as f32 * 0.001));
+            }
+        }
+        let pose = Se3::from_translation(Vec3::new(1.0, 1.0, 0.0));
+        for _ in 0..2 {
+            vol.integrate_traced(&depth, &cam, &pose, 0.2, 100.0, 0, Tracer::off());
+        }
+        vol
+    }
+
+    #[test]
+    fn v3_roundtrip_dense() {
+        let vol = integrated(VolumeBackend::Dense);
+        let bytes = vol.to_bytes();
+        assert_eq!(&bytes[..4], DUMP_MAGIC_V3);
+        let back = VolumeStorage::from_bytes(&bytes).unwrap();
+        assert_eq!(back.backend(), VolumeBackend::Dense);
+        assert_eq!(back.to_bytes(), bytes, "roundtrip must be canonical");
+        assert_eq!(back.occupied_voxels(), vol.occupied_voxels());
+    }
+
+    #[test]
+    fn v3_roundtrip_sparse() {
+        let vol = integrated(VolumeBackend::Sparse);
+        assert!(vol.occupied_voxels() > 0, "test scene fused nothing");
+        let bytes = vol.to_bytes();
+        let back = VolumeStorage::from_bytes(&bytes).unwrap();
+        assert_eq!(back.backend(), VolumeBackend::Sparse);
+        assert_eq!(back.to_bytes(), bytes, "roundtrip must be canonical");
+        assert_eq!(back.occupied_voxels(), vol.occupied_voxels());
+        for z in (0..32).step_by(3) {
+            for y in (0..32).step_by(3) {
+                for x in (0..32).step_by(3) {
+                    assert_eq!(back.voxel_tsdf(x, y, z), vol.voxel_tsdf(x, y, z));
+                    assert_eq!(back.voxel_weight(x, y, z), vol.voxel_weight(x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_dense_dumps_still_load() {
+        let vol = integrated(VolumeBackend::Dense);
+        let dense = vol.as_dense().unwrap();
+        let legacy = dense.to_bytes();
+        assert_eq!(&legacy[..4], DUMP_MAGIC_LEGACY);
+        let back = VolumeStorage::from_bytes(&legacy).unwrap();
+        assert_eq!(back.backend(), VolumeBackend::Dense);
+        assert_eq!(back.occupied_voxels(), vol.occupied_voxels());
+    }
+
+    #[test]
+    fn corruption_grid_rejects_malformed_dumps() {
+        let vol = integrated(VolumeBackend::Sparse);
+        let good = vol.to_bytes();
+        assert!(VolumeStorage::from_bytes(&good).is_ok());
+        // bad magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(VolumeStorage::from_bytes(&bad).is_err());
+        // truncated header
+        assert!(VolumeStorage::from_bytes(&good[..10]).is_err());
+        // unknown backend tag
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&7u32.to_le_bytes());
+        assert!(VolumeStorage::from_bytes(&bad).is_err());
+        // implausible resolution (both edges)
+        for res in [15u32, 1025] {
+            let mut bad = good.clone();
+            bad[8..12].copy_from_slice(&res.to_le_bytes());
+            let err = VolumeStorage::from_bytes(&bad).unwrap_err();
+            assert!(err.contains("implausible resolution"), "{err}");
+        }
+        // implausible size (NaN and oversized)
+        for size in [f32::NAN, 101.0] {
+            let mut bad = good.clone();
+            bad[12..16].copy_from_slice(&size.to_le_bytes());
+            let err = VolumeStorage::from_bytes(&bad).unwrap_err();
+            assert!(err.contains("implausible size"), "{err}");
+        }
+        // unsupported brick side
+        let mut bad = good.clone();
+        bad[16..20].copy_from_slice(&16u32.to_le_bytes());
+        let err = VolumeStorage::from_bytes(&bad).unwrap_err();
+        assert!(err.contains("brick side"), "{err}");
+        // mismatched brick count (header says one more than stored)
+        let count = u32::from_le_bytes([good[20], good[21], good[22], good[23]]);
+        let mut bad = good.clone();
+        bad[20..24].copy_from_slice(&(count + 1).to_le_bytes());
+        assert!(VolumeStorage::from_bytes(&bad).is_err());
+        // truncated payload
+        let mut bad = good.clone();
+        bad.pop();
+        assert!(VolumeStorage::from_bytes(&bad).is_err());
+        // out-of-order brick ids break the canonical-form contract
+        if count >= 2 {
+            let mut bad = good.clone();
+            let rec = 4 + BRICK_SIDE * BRICK_SIDE * BRICK_SIDE * 8;
+            let (a, b) = (24, 24 + rec);
+            let first: Vec<u8> = bad[a..a + rec].to_vec();
+            let second: Vec<u8> = bad[b..b + rec].to_vec();
+            bad[a..a + rec].copy_from_slice(&second);
+            bad[b..b + rec].copy_from_slice(&first);
+            let err = VolumeStorage::from_bytes(&bad).unwrap_err();
+            assert!(err.contains("ascending"), "{err}");
+        }
+    }
+
+    #[test]
+    fn backend_knob_parses_and_displays() {
+        assert_eq!(VolumeBackend::default(), VolumeBackend::Dense);
+        assert_eq!(VolumeBackend::Dense.to_string(), "dense");
+        assert_eq!(VolumeBackend::Sparse.to_string(), "sparse");
+        assert_eq!("sparse".parse::<VolumeBackend>(), Ok(VolumeBackend::Sparse));
+        assert!("voxelhash".parse::<VolumeBackend>().is_err());
+        // wire format is the variant name, matching the AlgoId precedent
+        let json = serde_json::to_string(&VolumeBackend::Sparse).unwrap();
+        assert_eq!(json, "\"Sparse\"");
+        let back: VolumeBackend = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, VolumeBackend::Sparse);
+    }
+}

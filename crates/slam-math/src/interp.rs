@@ -34,6 +34,54 @@ pub fn trilerp(c: [f32; 8], tx: f32, ty: f32, tz: f32) -> f32 {
     )
 }
 
+/// Analytic gradient `(∂/∂tx, ∂/∂ty, ∂/∂tz)` of [`trilerp`] at
+/// `(tx, ty, tz)`, in cell units: each component is the bilinear
+/// interpolation of the corner differences along that axis. One call
+/// costs about as much as a single [`trilerp`] — the cheapest gradient
+/// available, at the price of a normal field that is discontinuous
+/// across cell faces (prefer [`central_gradient`] where smoothness
+/// matters, e.g. for ICP normals).
+#[inline]
+pub fn trilerp_gradient(c: [f32; 8], tx: f32, ty: f32, tz: f32) -> (f32, f32, f32) {
+    let dx = bilerp(c[1] - c[0], c[3] - c[2], c[5] - c[4], c[7] - c[6], ty, tz);
+    let dy = bilerp(c[2] - c[0], c[3] - c[1], c[6] - c[4], c[7] - c[5], tx, tz);
+    let dz = bilerp(c[4] - c[0], c[5] - c[1], c[6] - c[2], c[7] - c[3], tx, ty);
+    (dx, dy, dz)
+}
+
+/// Central differences of trilinear samples, one voxel apart, computed
+/// from a single 4×4×4 neighbourhood fetch.
+///
+/// `c` holds the 64 voxel values around the query cell with x varying
+/// fastest (`c[(z * 4 + y) * 4 + x]`), covering grid offsets `-1..=2`
+/// relative to the cell's base corner; `(tx, ty, tz)` are the
+/// fractional coordinates inside the centre cell. Each component is
+/// `trilerp(cell shifted +1) - trilerp(cell shifted -1)` along that
+/// axis — the same smoothed gradient six independent samples would
+/// give, at roughly a third of the memory traffic.
+#[inline]
+pub fn central_gradient(c: &[f32; 64], tx: f32, ty: f32, tz: f32) -> (f32, f32, f32) {
+    // corners of the unit cell whose base voxel sits at offset
+    // (ox, oy, oz) of the 4³ block, in trilerp's corner order
+    let cell = |ox: usize, oy: usize, oz: usize| -> [f32; 8] {
+        let at = |dx: usize, dy: usize, dz: usize| c[((oz + dz) * 4 + oy + dy) * 4 + ox + dx];
+        [
+            at(0, 0, 0),
+            at(1, 0, 0),
+            at(0, 1, 0),
+            at(1, 1, 0),
+            at(0, 0, 1),
+            at(1, 0, 1),
+            at(0, 1, 1),
+            at(1, 1, 1),
+        ]
+    };
+    let dx = trilerp(cell(2, 1, 1), tx, ty, tz) - trilerp(cell(0, 1, 1), tx, ty, tz);
+    let dy = trilerp(cell(1, 2, 1), tx, ty, tz) - trilerp(cell(1, 0, 1), tx, ty, tz);
+    let dz = trilerp(cell(1, 1, 2), tx, ty, tz) - trilerp(cell(1, 1, 0), tx, ty, tz);
+    (dx, dy, dz)
+}
+
 /// Smoothstep: cubic Hermite ramp from 0 at `edge0` to 1 at `edge1`.
 ///
 /// Used for soft-shading the synthetic renderer's output.
@@ -82,6 +130,76 @@ mod tests {
         // constant gradient along z
         let c = [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
         assert_eq!(trilerp(c, 0.3, 0.8, 0.25), 0.25);
+    }
+
+    #[test]
+    fn trilerp_gradient_matches_linear_field() {
+        // corner values of the field f = 2x - 3y + 5z sampled on the
+        // unit cube; the analytic gradient must recover (2, -3, 5)
+        // everywhere inside
+        let mut c = [0.0f32; 8];
+        for (i, v) in c.iter_mut().enumerate() {
+            let x = (i & 1) as f32;
+            let y = ((i >> 1) & 1) as f32;
+            let z = ((i >> 2) & 1) as f32;
+            *v = 2.0 * x - 3.0 * y + 5.0 * z;
+        }
+        for &(tx, ty, tz) in &[(0.0, 0.0, 0.0), (0.5, 0.5, 0.5), (0.2, 0.9, 0.4)] {
+            let (dx, dy, dz) = trilerp_gradient(c, tx, ty, tz);
+            assert!((dx - 2.0).abs() < 1e-6, "dx {dx}");
+            assert!((dy + 3.0).abs() < 1e-6, "dy {dy}");
+            assert!((dz - 5.0).abs() < 1e-6, "dz {dz}");
+        }
+    }
+
+    #[test]
+    fn trilerp_gradient_matches_finite_differences() {
+        let c = [0.3, -0.7, 0.9, 0.1, -0.2, 0.8, -0.5, 0.6];
+        let (tx, ty, tz) = (0.37, 0.61, 0.23);
+        let h = 1e-3f32;
+        let (dx, dy, dz) = trilerp_gradient(c, tx, ty, tz);
+        let fd_x = (trilerp(c, tx + h, ty, tz) - trilerp(c, tx - h, ty, tz)) / (2.0 * h);
+        let fd_y = (trilerp(c, tx, ty + h, tz) - trilerp(c, tx, ty - h, tz)) / (2.0 * h);
+        let fd_z = (trilerp(c, tx, ty, tz + h) - trilerp(c, tx, ty, tz - h)) / (2.0 * h);
+        assert!((dx - fd_x).abs() < 1e-3, "dx {dx} vs {fd_x}");
+        assert!((dy - fd_y).abs() < 1e-3, "dy {dy} vs {fd_y}");
+        assert!((dz - fd_z).abs() < 1e-3, "dz {dz} vs {fd_z}");
+    }
+
+    #[test]
+    fn central_gradient_matches_independent_samples() {
+        // a smooth but non-linear field sampled on the 4³ block at
+        // offsets -1..=2 around the centre cell's base corner
+        let f = |x: f32, y: f32, z: f32| 0.5 * x * x - 0.3 * y * x + 0.7 * z - 0.1 * z * y;
+        let mut c = [0.0f32; 64];
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    c[(z * 4 + y) * 4 + x] = f(x as f32 - 1.0, y as f32 - 1.0, z as f32 - 1.0);
+                }
+            }
+        }
+        let (tx, ty, tz) = (0.31f32, 0.62, 0.84);
+        // reference: six independent trilinear samples one voxel apart
+        let sample = |px: f32, py: f32, pz: f32| -> f32 {
+            let (x0, y0, z0) = (px.floor(), py.floor(), pz.floor());
+            let mut cc = [0.0f32; 8];
+            for (i, v) in cc.iter_mut().enumerate() {
+                *v = f(
+                    x0 + (i & 1) as f32,
+                    y0 + ((i >> 1) & 1) as f32,
+                    z0 + ((i >> 2) & 1) as f32,
+                );
+            }
+            trilerp(cc, px - x0, py - y0, pz - z0)
+        };
+        let (dx, dy, dz) = central_gradient(&c, tx, ty, tz);
+        let rx = sample(tx + 1.0, ty, tz) - sample(tx - 1.0, ty, tz);
+        let ry = sample(tx, ty + 1.0, tz) - sample(tx, ty - 1.0, tz);
+        let rz = sample(tx, ty, tz + 1.0) - sample(tx, ty, tz - 1.0);
+        assert!((dx - rx).abs() < 1e-5, "dx {dx} vs {rx}");
+        assert!((dy - ry).abs() < 1e-5, "dy {dy} vs {ry}");
+        assert!((dz - rz).abs() < 1e-5, "dz {dz} vs {rz}");
     }
 
     #[test]

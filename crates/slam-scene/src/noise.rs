@@ -98,6 +98,25 @@ impl Default for DepthNoiseModel {
     }
 }
 
+/// Laces a metre-unit depth map with non-finite pixels — the hostile
+/// sensor frame of the adversarial suite. Roughly `fraction` of the
+/// pixels are overwritten, cycling through `NaN`, `+∞` and `-∞` so every
+/// non-finite class is represented. The millimetre wire format cannot
+/// carry these values (`u16` has no NaN), so laced frames are fed to the
+/// float-depth pipeline entry point directly; a correct pipeline treats
+/// every laced pixel as a hole and lets none of them escape into the
+/// TSDF, the weights, the poses or the ATE.
+pub fn lace_non_finite(depth_m: &mut [f32], fraction: f32, rng: &mut impl Rng) {
+    let poisons = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+    let mut next = 0usize;
+    for d in depth_m.iter_mut() {
+        if rng.gen::<f32>() < fraction {
+            *d = poisons[next % poisons.len()];
+            next += 1;
+        }
+    }
+}
+
 /// A standard-normal sample via Box–Muller (keeps us off `rand_distr`).
 fn gaussian(rng: &mut impl Rng) -> f32 {
     loop {
@@ -188,6 +207,25 @@ mod tests {
         let mut r = rng();
         let img = m.apply_image(&[1.0, 0.0, 2.0, 20.0], &mut r);
         assert_eq!(img, vec![1000, 0, 2000, 0]);
+    }
+
+    #[test]
+    fn lacing_injects_every_non_finite_class() {
+        let mut depth = vec![2.0f32; 400];
+        lace_non_finite(&mut depth, 0.1, &mut rng());
+        let nans = depth.iter().filter(|d| d.is_nan()).count();
+        let infs = depth.iter().filter(|d| d.is_infinite()).count();
+        let finite = depth.iter().filter(|d| d.is_finite()).count();
+        assert!(nans > 0, "no NaN laced");
+        assert!(infs > 0, "no Inf laced");
+        assert!(finite > 300, "lacing overwrote too much: {finite} finite");
+        // deterministic under a fixed seed
+        let mut again = vec![2.0f32; 400];
+        lace_non_finite(&mut again, 0.1, &mut rng());
+        assert_eq!(
+            depth.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|d| d.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -67,6 +67,9 @@ OPTIONS:
     --width <W> --height <H>         sensor resolution (default 320x240)
     --volume-resolution <N>          TSDF voxels per side (default 256)
     --volume-size <M>                TSDF cube size in metres (default 4)
+    --volume-backend <dense|sparse>  TSDF storage layout (default dense;
+                                     identical output, sparse allocates
+                                     8^3-voxel bricks on first touch)
     --compute-size-ratio <1|2|4|8>   input downsampling (default 1)
     --mu <M>                         TSDF truncation distance (default 0.1)
     --icp-threshold <T>              ICP convergence threshold (default 1e-5)
@@ -106,6 +109,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.config.volume_resolution = parse(flag, &next_value(flag, &mut it)?)?
             }
             "--volume-size" => args.config.volume_size = parse(flag, &next_value(flag, &mut it)?)?,
+            "--volume-backend" => {
+                args.config.volume_backend = match next_value(flag, &mut it)?.as_str() {
+                    "dense" => slam_kfusion::VolumeBackend::Dense,
+                    "sparse" => slam_kfusion::VolumeBackend::Sparse,
+                    other => return Err(format!("--volume-backend: unknown backend {other}")),
+                }
+            }
             "--compute-size-ratio" => {
                 args.config.compute_size_ratio = parse(flag, &next_value(flag, &mut it)?)?
             }

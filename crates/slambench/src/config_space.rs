@@ -45,6 +45,13 @@ fn apply(config: &mut KFusionConfig, name: &str, v: f64) {
         "tracking_rate" => config.tracking_rate = v as usize,
         "integration_rate" => config.integration_rate = v as usize,
         "bilateral_filter" => config.bilateral_filter = v >= 0.5,
+        "volume_backend" => {
+            config.volume_backend = if v >= 0.5 {
+                slam_kfusion::VolumeBackend::Sparse
+            } else {
+                slam_kfusion::VolumeBackend::Dense
+            }
+        }
         // xtask-allow: panic-path — reason: unknown descriptor names are a compile-time drift between an algorithm's parameter_space and this binding
         other => panic!("unknown DSE parameter {other}"),
     }
@@ -70,6 +77,10 @@ fn extract(config: &KFusionConfig, name: &str) -> f64 {
                 0.0
             }
         }
+        "volume_backend" => match config.volume_backend {
+            slam_kfusion::VolumeBackend::Dense => 0.0,
+            slam_kfusion::VolumeBackend::Sparse => 1.0,
+        },
         // xtask-allow: panic-path — reason: unknown descriptor names are a compile-time drift between an algorithm's parameter_space and this binding
         other => panic!("unknown DSE parameter {other}"),
     }
@@ -138,10 +149,28 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn space_has_ten_parameters() {
+    fn space_has_eleven_parameters() {
         let s = slambench_space();
-        assert_eq!(s.len(), 10);
+        assert_eq!(s.len(), 11);
         assert_eq!(s.index_of("volume_resolution"), Some(3));
+        // appended last: existing encoded design points keep their indices
+        assert_eq!(s.index_of("volume_backend"), Some(10));
+    }
+
+    #[test]
+    fn volume_backend_roundtrips_through_the_space() {
+        use slam_kfusion::VolumeBackend;
+        let mut c = KFusionConfig::default();
+        c.volume_backend = VolumeBackend::Sparse;
+        let x = encode_config(&c);
+        assert_eq!(x[10], 1.0);
+        let decoded = decode_config(&x);
+        assert_eq!(decoded.volume_backend, VolumeBackend::Sparse);
+        c.volume_backend = VolumeBackend::Dense;
+        assert_eq!(
+            decode_config(&encode_config(&c)).volume_backend,
+            VolumeBackend::Dense
+        );
     }
 
     #[test]
@@ -209,7 +238,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "10 entries")]
+    #[should_panic(expected = "11 entries")]
     fn wrong_length_panics() {
         let _ = decode_config(&[1.0, 2.0]);
     }

@@ -912,6 +912,22 @@ mod tests {
     }
 
     #[test]
+    fn key_separates_volume_backends() {
+        // the sparse and dense backends are distinct cache identities:
+        // their runs differ (raycast stride in free space), so a hit on
+        // the other backend's entry would return the wrong trajectory
+        let a = KFusionConfig::fast_test();
+        let mut b = a.clone();
+        b.volume_backend = slam_kfusion::VolumeBackend::Sparse;
+        assert_ne!(config_bits(&a), config_bits(&b));
+        let dataset = tiny_dataset(4);
+        assert_ne!(
+            run_fingerprint(AlgoId::KinectFusion, &dataset, &a),
+            run_fingerprint(AlgoId::KinectFusion, &dataset, &b)
+        );
+    }
+
+    #[test]
     fn dataset_id_separates_datasets() {
         let a = tiny_dataset(4);
         let b = tiny_dataset(5);

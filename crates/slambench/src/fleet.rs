@@ -87,6 +87,7 @@ pub fn memory_capped_volume(requested: usize, ram_mb: usize) -> usize {
         if vr > requested {
             continue;
         }
+        // xtask-allow: volume-boundary — reason: RAM-ladder estimate of the dense footprint; allocates nothing
         let bytes = (vr * vr * vr * 8) as f64; // two f32 fields per voxel
         if bytes <= budget_bytes {
             return vr;

@@ -78,6 +78,12 @@ pub fn standard_suite(camera: PinholeCamera, frames: usize) -> Vec<Sequence> {
 ///   pillar.
 /// * `corridor/dropout` — the landmarked corridor under the same heavy
 ///   dropout, the control pairing for `blank_corridor/dropout`.
+///
+/// One attack cannot ride this suite's millimetre wire format: NaN/Inf
+/// laced sensor frames (`u16` has no NaN). Those are built with
+/// [`slam_scene::noise::lace_non_finite`] and fed through the pipeline's
+/// float-depth entry point instead; the `non_finite` integration suite
+/// asserts nothing escapes into the model, the poses or the ATE.
 pub fn adversarial_suite(camera: PinholeCamera, frames: usize) -> Vec<Sequence> {
     let heavy_dropout = DepthNoiseModel {
         dropout: 0.35,

@@ -124,6 +124,13 @@ pub struct LintPolicy {
     /// `.expect(…)` and the `panic!` family are flagged even inside
     /// tests (`.unwrap()`/`.unwrap_err()` stay exempt).
     pub strict_test_panics: bool,
+    /// File may size dense `res³` voxel buffers — only the volume
+    /// backends themselves (`tsdf.rs`, `tsdf_sparse.rs`, `volume.rs`),
+    /// where the dense layout is the implementation.
+    pub allow_cubic_volume_alloc: bool,
+    /// File may access the raw `.tsdf` / `.weight` voxel arrays — the
+    /// algorithm crate, where the `Volume` trait impls live.
+    pub allow_volume_fields: bool,
     /// File may reduce pool results ad hoc: the exec pool itself (home of
     /// the blessed ordered-reduction helpers) and test sources, whose
     /// determinism suites deliberately re-derive reductions by hand.
@@ -147,6 +154,8 @@ impl LintPolicy {
             allow_network: false,
             require_deny_unsafe: false,
             strict_test_panics: false,
+            allow_cubic_volume_alloc: false,
+            allow_volume_fields: false,
             allow_pool_reduce: false,
             allow_pool_blocking: false,
         }
@@ -254,6 +263,9 @@ pub fn lint_file(src: &SourceFile, policy: LintPolicy) -> Vec<Diagnostic> {
     }
     if !policy.allow_network {
         lint_network_boundary(src, &mut out);
+    }
+    if !policy.allow_cubic_volume_alloc || !policy.allow_volume_fields {
+        lint_volume_boundary(src, policy, &mut out);
     }
     if !policy.allow_pool_reduce {
         crate::determinism::lint_float_reduce(src, &mut out);
@@ -549,6 +561,79 @@ fn lint_network_boundary(src: &SourceFile, out: &mut Vec<Diagnostic>) {
             ),
         });
     }
+}
+
+/// `volume-boundary`: keeps voxel storage behind the `Volume` trait.
+/// Two sub-rules, each gated by its own policy flag:
+///
+/// * dense `res³` buffer sizing — a same-identifier triple product
+///   (`res * res * res`) or a literal `.pow(3)` — outside the volume
+///   backends. `#[cfg(test)]` items are exempt: synthetic test volumes
+///   legitimately materialize small dense grids.
+/// * `.tsdf` / `.weight` *field* access (not same-named method calls)
+///   outside the algorithm crate. No test exemption, matching
+///   `algorithm-boundary`: tests go through trait accessors too.
+fn lint_volume_boundary(src: &SourceFile, policy: LintPolicy, out: &mut Vec<Diagnostic>) {
+    let toks = &src.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(ident) = t.ident() else { continue };
+        let message = if !policy.allow_cubic_volume_alloc && is_cubic_sizing(toks, i, ident) {
+            if src.in_test_span(t.line) {
+                continue;
+            }
+            format!(
+                "dense `{ident}\u{b3}` buffer sizing outside the volume backends: \
+                 materializing every voxel re-couples the caller to the dense layout \
+                 and defeats the sparse memory win; size through the `Volume` trait \
+                 (or waive non-allocating footprint math with a reason)"
+            )
+        } else if !policy.allow_volume_fields
+            && matches!(ident, "tsdf" | "weight")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && (i < 2 || !toks[i - 2].is_punct('.'))
+            && !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            format!(
+                "direct `.{ident}` voxel-array access outside `slam-kfusion`: the \
+                 storage layout is a backend internal; read through the `Volume` \
+                 trait (`sample`, `gradient`, `to_bytes`) instead"
+            )
+        } else {
+            continue;
+        };
+        if src.waived(t.line, "volume-boundary") {
+            continue;
+        }
+        out.push(Diagnostic {
+            lint: "volume-boundary".into(),
+            file: src.path.clone(),
+            line: t.line,
+            message,
+        });
+    }
+}
+
+/// True when token `i` (identifier `ident`) starts a same-identifier
+/// triple product (`res * res * res`) or a `.pow(3)` call on an
+/// identifier (`res.pow(3)`).
+fn is_cubic_sizing(toks: &[Token], i: usize, ident: &str) -> bool {
+    // numeric literals lex as identifiers too; `512 * 512 * 512` is
+    // compile-time footprint math, not a buffer sized off a runtime
+    // resolution, so only flag non-numeric identifiers
+    if ident.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let triple = toks.get(i + 1).is_some_and(|t| t.is_punct('*'))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident(ident))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('*'))
+        && toks.get(i + 4).is_some_and(|t| t.is_ident(ident));
+    let pow3 = toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident("pow"))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+        && toks.get(i + 4).is_some_and(|t| t.is_ident("3"))
+        && toks.get(i + 5).is_some_and(|t| t.is_punct(')'));
+    triple || pow3
 }
 
 /// `panic-path`: flags `.unwrap()`, `.expect(…)` and the `panic!` macro

@@ -126,6 +126,21 @@ pub const LINTS: &[LintInfo] = &[
                   recorded requests.",
     },
     LintInfo {
+        id: "XT010",
+        name: "volume-boundary",
+        summary: "dense res³ buffers and tsdf/weight field access stay inside the volume backends",
+        explain: "The sparse-volume work makes voxel storage an implementation detail \
+                  behind the `Volume` trait. Two patterns re-couple callers to one \
+                  backend's layout: materializing a dense `res³` buffer (a same-name \
+                  triple product like `res * res * res`, or `.pow(3)`, used to size an \
+                  allocation) outside `tsdf.rs` / `tsdf_sparse.rs` / `volume.rs`, and \
+                  reaching into the `.tsdf` / `.weight` voxel arrays from outside \
+                  `crates/slam-kfusion/`. Both defeat the memory win that makes ≥512³ \
+                  volumes feasible and silently pin code to the dense layout. \
+                  Non-allocating size arithmetic (e.g. a RAM-ladder footprint estimate) \
+                  carries an explicit waiver.",
+    },
+    LintInfo {
         id: "XT101",
         name: "layer-cycle",
         summary: "crate dependency graph must be acyclic",

@@ -43,6 +43,16 @@ const ENGINE_ALLOWLIST: &[&str] = &[
 const ALGORITHM_ALLOWLIST_PREFIX: &str = "crates/slam-kfusion/";
 const ALGORITHM_ALLOWLIST: &[&str] = &["crates/slambench/src/run.rs"];
 
+/// Files allowed to size dense `res³` voxel buffers: the volume backends
+/// themselves, where the storage layout *is* the implementation. The
+/// `.tsdf`/`.weight` field-access sub-rule is wider — the whole algorithm
+/// crate — since the `Volume` trait impls and fusion kernels live there.
+const VOLUME_ALLOWLIST: &[&str] = &[
+    "crates/slam-kfusion/src/tsdf.rs",
+    "crates/slam-kfusion/src/tsdf_sparse.rs",
+    "crates/slam-kfusion/src/volume.rs",
+];
+
 /// Files allowed to read the raw monotonic clock: the `WallClock` shim in
 /// `slam-trace` is the single sanctioned `Instant::now()` site. Everything
 /// else times through `slam_trace` spans or an injected `Clock`.
@@ -147,6 +157,8 @@ pub fn classify(rel: &Path) -> LintPolicy {
             || NETWORK_ALLOWLIST.contains(&p.as_str()),
         require_deny_unsafe: is_crate_root,
         strict_test_panics: is_orchestrator,
+        allow_cubic_volume_alloc: VOLUME_ALLOWLIST.contains(&p.as_str()),
+        allow_volume_fields: p.starts_with("crates/slam-kfusion/"),
         // the exec pool is the home of the blessed ordered-reduction
         // helpers and of the workers themselves; test sources re-derive
         // reductions by hand and simulate stragglers on purpose
@@ -209,6 +221,22 @@ mod tests {
         assert!(!classify(Path::new("crates/slambench/src/engine.rs")).allow_kfusion_internals);
         assert!(!classify(Path::new("crates/bench/benches/kernels.rs")).allow_kfusion_internals);
         assert!(!classify(Path::new("tests/determinism.rs")).allow_kfusion_internals);
+    }
+
+    #[test]
+    fn only_the_volume_backends_may_size_dense_buffers() {
+        // cubic sizing: just the backend files, not the rest of the crate
+        assert!(classify(Path::new("crates/slam-kfusion/src/tsdf.rs")).allow_cubic_volume_alloc);
+        assert!(
+            classify(Path::new("crates/slam-kfusion/src/tsdf_sparse.rs")).allow_cubic_volume_alloc
+        );
+        assert!(classify(Path::new("crates/slam-kfusion/src/volume.rs")).allow_cubic_volume_alloc);
+        assert!(!classify(Path::new("crates/slam-kfusion/src/mesh.rs")).allow_cubic_volume_alloc);
+        assert!(!classify(Path::new("crates/slambench/src/fleet.rs")).allow_cubic_volume_alloc);
+        // raw voxel-array fields: the whole algorithm crate, nothing else
+        assert!(classify(Path::new("crates/slam-kfusion/src/mesh.rs")).allow_volume_fields);
+        assert!(!classify(Path::new("crates/slambench/src/engine.rs")).allow_volume_fields);
+        assert!(!classify(Path::new("tests/determinism.rs")).allow_volume_fields);
     }
 
     #[test]

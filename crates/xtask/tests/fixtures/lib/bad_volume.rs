@@ -1,0 +1,42 @@
+//! Known-bad fixture: sizing dense `res³` voxel buffers and reaching
+//! into the raw voxel arrays outside the volume backends.
+
+pub fn dense_scratch(res: usize) -> Vec<f32> {
+    vec![1.0; res * res * res] //~ volume-boundary
+}
+
+pub fn dense_scratch_pow(res: usize) -> Vec<f32> {
+    Vec::with_capacity(res.pow(3)) //~ volume-boundary
+}
+
+pub fn peeks_at_fields(vol: &SomeVolume) -> (f32, usize) {
+    let first = vol.tsdf[0]; //~ volume-boundary
+    let observed = vol.weight.iter().filter(|&&w| w > 0.0).count(); //~ volume-boundary
+    (first, observed)
+}
+
+pub fn waived_footprint_math(res: usize) -> usize {
+    // xtask-allow: volume-boundary — reason: fixture exercising sanctioned non-allocating footprint math
+    res * res * res * 8
+}
+
+pub fn near_misses(vol: &SomeVolume, a: usize, b: usize) -> f32 {
+    // accessor *calls* named like the fields are fine, as are mixed
+    // products, literal cubes and ranges ending in a field-like name
+    let sampled = vol.tsdf(1, 2, 3) + vol.weight(1, 2, 3);
+    let mixed = a * a * b + 512 * 512 * 512;
+    let weight = 4;
+    for _ in 0..weight {}
+    sampled + mixed as f32
+}
+
+#[cfg(test)]
+mod tests {
+    // synthetic test volumes may materialize small dense grids
+    #[test]
+    fn builds_a_dense_reference() {
+        let res = 16usize;
+        let grid = vec![0.0f32; res * res * res];
+        assert_eq!(grid.len(), 4096);
+    }
+}

@@ -74,6 +74,97 @@ fn trajectory_ate_and_workload_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn sparse_backend_is_bit_identical_across_thread_counts() {
+    let dataset = tiny_dataset(6);
+    let sparse = KFusionConfig {
+        volume_backend: slam_kfusion::VolumeBackend::Sparse,
+        ..config()
+    };
+    // xtask-allow: engine-only — reason: the raw runner is the object under test
+    let reference = run_pipeline_with_threads(&dataset, &sparse, 1);
+    let ref_poses: Vec<String> = reference
+        .frames
+        .iter()
+        .map(|f| serde_json::to_string(&f.pose).expect("serialisable pose"))
+        .collect();
+    let ref_ate = serde_json::to_string(&reference.ate).expect("serialisable ATE");
+    let ref_ops = reference.total_workload().total().ops.to_bits();
+    assert!(
+        reference.ate.max.is_finite(),
+        "sparse reference run produced a finite ATE"
+    );
+    for threads in THREAD_COUNTS {
+        // xtask-allow: engine-only — reason: the raw runner is the object under test
+        let run = run_pipeline_with_threads(&dataset, &sparse, threads);
+        let poses: Vec<String> = run
+            .frames
+            .iter()
+            .map(|f| serde_json::to_string(&f.pose).expect("serialisable pose"))
+            .collect();
+        assert_eq!(
+            poses, ref_poses,
+            "sparse poses diverged at threads={threads}"
+        );
+        assert_eq!(
+            serde_json::to_string(&run.ate).expect("serialisable ATE"),
+            ref_ate,
+            "sparse ATE diverged at threads={threads}"
+        );
+        assert_eq!(
+            run.total_workload().total().ops.to_bits(),
+            ref_ops,
+            "sparse workload counters diverged at threads={threads}"
+        );
+        assert_eq!(run.lost_frames, reference.lost_frames);
+    }
+}
+
+#[test]
+fn sparse_mesh_is_bit_identical_across_thread_counts() {
+    let dataset = tiny_dataset(5);
+    let fuse = |threads: usize| {
+        let cfg = KFusionConfig {
+            threads,
+            volume_backend: slam_kfusion::VolumeBackend::Sparse,
+            ..config()
+        };
+        let init = dataset.frames()[0].ground_truth;
+        let mut alg = AlgoId::KinectFusion.create(&cfg, *dataset.camera(), init);
+        for frame in dataset.frames() {
+            alg.step_frame(&frame.depth_mm);
+        }
+        alg.extract_mesh(threads)
+            .expect("KinectFusion builds a meshable model")
+    };
+    let reference = fuse(1);
+    assert!(
+        reference.triangle_count() > 0,
+        "the sparse backend must produce a surface too"
+    );
+    let ref_vertices: Vec<[u32; 3]> = reference
+        .vertices
+        .iter()
+        .map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+        .collect();
+    for threads in THREAD_COUNTS {
+        let mesh = fuse(threads);
+        assert_eq!(
+            mesh.triangles, reference.triangles,
+            "sparse triangles diverged at threads={threads}"
+        );
+        let vertices: Vec<[u32; 3]> = mesh
+            .vertices
+            .iter()
+            .map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+            .collect();
+        assert_eq!(
+            vertices, ref_vertices,
+            "sparse vertex bits diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn tracing_does_not_perturb_thread_count_determinism() {
     let dataset = tiny_dataset(6);
     // xtask-allow: engine-only — reason: the raw runner is the object under test
